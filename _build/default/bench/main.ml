@@ -1,0 +1,440 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper (printing computed vs reported), runs the five Section VI
+   experiment simulations, and times the machinery with Bechamel (one
+   Test.make per reproduced artefact plus the core kernels).
+
+   Run with: dune exec bench/main.exe *)
+
+module Survey = Argus_survey.Selection
+module Queries = Argus_survey.Queries
+module Informal = Argus_fallacy.Informal
+module Formal = Argus_fallacy.Formal
+module Greenwell = Argus_fallacy.Greenwell
+module Engine = Argus_prolog.Engine
+module Term = Argus_logic.Term
+module Prop = Argus_logic.Prop
+module Natded = Argus_logic.Natded
+module Sat = Argus_logic.Sat
+module Syllogism = Argus_logic.Syllogism
+module Structure = Argus_gsn.Structure
+module Wellformed = Argus_gsn.Wellformed
+module Pattern = Argus_patterns.Pattern
+module Proofgen = Argus_proofgen.Proofgen
+open Argus_experiments
+
+let section title =
+  Format.printf "@.==== %s ====@.@." title
+
+(* --- Table I --- *)
+
+let table1 () =
+  section "Table I: papers selected in the first selection phase";
+  let t = Survey.table1 Survey.corpus in
+  Format.printf "%a@." Survey.pp_table1 t;
+  Format.printf "reported by the paper: IEEE 12/13, ACM 17/7, Springer 24/2, \
+                 Scholar 8/1; 72 unique (54 safety, 23 security)@.";
+  Format.printf "phase two yield: %d (paper: 20)@."
+    (Survey.selected_after_phase2 Survey.corpus)
+
+(* --- Survey derived counts --- *)
+
+let survey_counts () =
+  section "Survey counts (Sections IV-VI)";
+  Format.printf "%-60s %9s %9s@." "count" "computed" "reported";
+  List.iter
+    (fun (what, computed, reported) ->
+      Format.printf "%-60s %9d %9d%s@." what computed reported
+        (if computed = reported then "" else "   << MISMATCH"))
+    (Queries.report ())
+
+(* --- Figure 1 --- *)
+
+let figure1 () =
+  section "Figure 1: the Desert Bank argument";
+  let goal = Result.get_ok (Term.of_string "adjacent(desert_bank, river)") in
+  (match Engine.prove Informal.desert_bank goal with
+  | Some d ->
+      Format.printf "formally derivable (as the paper shows):@.%a"
+        Engine.pp_derivation d
+  | None -> Format.printf "NOT derivable — mismatch with the paper!@.");
+  Format.printf "equivocation candidates flagged for human review: %s@."
+    (String.concat ", "
+       (Informal.equivocation_candidates Informal.desert_bank))
+
+(* --- Greenwell fallacy counts (Section V.B) --- *)
+
+let greenwell () =
+  section "Greenwell et al. fallacy instances (Section V.B)";
+  Format.printf "%-36s %9s %9s %22s@." "kind" "corpus" "reported"
+    "formal detector hits";
+  List.iter
+    (fun (kind, reported) ->
+      let instances =
+        List.filter (fun i -> i.Greenwell.kind = kind) Greenwell.corpus
+      in
+      let hits =
+        List.length
+          (List.filter
+             (fun i -> Formal.check_propositional i.Greenwell.argument <> [])
+             instances)
+      in
+      Format.printf "%-36s %9d %9d %22d@."
+        (Greenwell.kind_to_string kind)
+        (List.length instances) reported hits)
+    Greenwell.reported_counts;
+  Format.printf
+    "total: %d instances; the formal checker flags none of them — and the \
+     eight Damer formal fallacies are all detected on positive controls: "
+    (List.length Greenwell.corpus);
+  (* Positive controls: each of the eight formal fallacies, detected. *)
+  let a = Prop.Var "a" and b = Prop.Var "b" in
+  let detected =
+    [
+      List.mem Formal.Begging_the_question
+        (Formal.check_propositional
+           { Formal.premises = [ a; b ]; conclusion = a });
+      List.mem Formal.Incompatible_premises
+        (Formal.check_propositional
+           { Formal.premises = [ a; Prop.Not a ]; conclusion = b });
+      List.mem Formal.Premise_conclusion_contradiction
+        (Formal.check_propositional
+           { Formal.premises = [ a ]; conclusion = Prop.Not a });
+      List.mem Formal.Denying_the_antecedent
+        (Formal.check_propositional
+           {
+             Formal.premises = [ Prop.Implies (a, b); Prop.Not a ];
+             conclusion = Prop.Not b;
+           });
+      List.mem Formal.Affirming_the_consequent
+        (Formal.check_propositional
+           { Formal.premises = [ Prop.Implies (a, b); b ]; conclusion = a });
+      (let from = Syllogism.prop Syllogism.A "s" "p" in
+       List.mem Formal.False_conversion
+         (Formal.check_conversion
+            { Formal.from; to_ = Syllogism.converse from }));
+      List.mem Formal.Undistributed_middle
+        (Formal.check_syllogism
+           Syllogism.
+             {
+               major = prop A "dog" "animal";
+               minor = prop A "cat" "animal";
+               conclusion = prop A "cat" "dog";
+             });
+      List.mem Formal.Illicit_distribution
+        (Formal.check_syllogism
+           Syllogism.
+             {
+               major = prop A "m" "p";
+               minor = prop E "s" "m";
+               conclusion = prop E "s" "p";
+             });
+    ]
+  in
+  Format.printf "%d/8@."
+    (List.length (List.filter Fun.id detected))
+
+(* --- Experiments --- *)
+
+let experiments () =
+  section "Experiment VI.A (simulated)";
+  Format.printf "%a" Exp_a.pp (Exp_a.run Exp_a.default_config);
+  section "Experiment VI.B (simulated)";
+  Format.printf "%a" Exp_b.pp (Exp_b.run Exp_b.default_config);
+  section "Experiment VI.C (simulated)";
+  Format.printf "%a" Exp_c.pp (Exp_c.run Exp_c.default_config);
+  section "Experiment VI.D (simulated, real checker in the tool arm)";
+  Format.printf "%a" Exp_d.pp (Exp_d.run Exp_d.default_config);
+  section "Experiment VI.E (simulated, real procedures)";
+  Format.printf "%a" Exp_e.pp (Exp_e.run Exp_e.default_config)
+
+(* --- Proof-to-argument size (the Basir 'too many details' point) --- *)
+
+let proofgen_sizes () =
+  section "Proof-to-argument abstraction (Basir et al.'s complaint)";
+  let p = Prop.of_string_exn in
+  (* A proof with single-citation bookkeeping steps (Split, Reiterate) —
+     exactly the detail the generated argument drags along. *)
+  let proof =
+    Natded.
+      [
+        { formula = p "a & b"; rule = Premise };
+        { formula = p "a"; rule = And_elim_left 1 };
+        { formula = p "a"; rule = Reiterate 2 };
+        { formula = p "a -> c"; rule = Premise };
+        { formula = p "c"; rule = Imp_elim (4, 3) };
+        { formula = p "c -> safe"; rule = Premise };
+        { formula = p "safe"; rule = Imp_elim (6, 5) };
+      ]
+  in
+  match Natded.check proof with
+  | Error _ -> Format.printf "unexpected: proof rejected@."
+  | Ok checked ->
+      let g = Proofgen.generate checked in
+      let a = Proofgen.abstract g in
+      Format.printf
+        "generated argument: %d nodes; after abstraction: %d nodes \
+         (well-formed before and after: %b/%b)@."
+        (Proofgen.node_count g) (Proofgen.node_count a)
+        (Wellformed.is_well_formed g)
+        (Wellformed.is_well_formed a)
+
+(* --- Bechamel micro-benchmarks --- *)
+
+let term_exn s = Result.get_ok (Term.of_string s)
+
+(* A 12-argument framework with a mix of chains and cycles. *)
+let bench_af =
+  Argus_dialectic.Af.of_lists
+    ~arguments:(List.init 12 (fun i -> Printf.sprintf "a%d" i))
+    ~attacks:
+      (List.init 11 (fun i ->
+           (Printf.sprintf "a%d" i, Printf.sprintf "a%d" (i + 1)))
+      @ [ ("a11", "a4"); ("a7", "a2") ])
+
+let bench_ec =
+  Argus_eventcalc.Eventcalc.make
+    ~initially:[ term_exn "friends(u, s)" ]
+    ~axioms:
+      [
+        {
+          Argus_eventcalc.Eventcalc.event = term_exn "tap(u, s)";
+          conditions = [ term_exn "friends(u, s)" ];
+          initiates = [ term_exn "visible(u, s)" ];
+          terminates = [];
+        };
+        {
+          Argus_eventcalc.Eventcalc.event = term_exn "unfriend(u, s)";
+          conditions = [];
+          initiates = [];
+          terminates = [ term_exn "friends(u, s)"; term_exn "visible(u, s)" ];
+        };
+      ]
+    (List.init 10 (fun i ->
+         ( i,
+           if i mod 4 = 3 then term_exn "unfriend(u, s)"
+           else term_exn "tap(u, s)" )))
+
+let bench_kaos =
+  let ltl = Argus_ltl.Ltl.of_string_exn in
+  Argus_kaos.Kaos.(
+    empty
+    |> add (goal ~formal:(ltl "G (close -> F clear)") "G_top" "avoid")
+    |> add ~parent:"G_top"
+         (goal ~formal:(ltl "G (close -> tracked)") "G_a" "track")
+    |> add ~parent:"G_top"
+         (goal ~formal:(ltl "G (tracked -> F clear)") "G_b" "resolve")
+    |> add ~parent:"G_a" (requirement ~agent:"sw" "R_a" "sense")
+    |> add ~parent:"G_b" (requirement ~agent:"pilot" "R_b" "manoeuvre"))
+
+let ablation_formula =
+  Prop.of_string_exn
+    "((a | b) & (c | d) & (e | f) & (g | h)) -> ((a & c) | (b & d) | (e & g) | (f & h))"
+
+(* A deep chain case for the well-formedness and hicase ablations. *)
+let deep_case =
+  let nodes =
+    List.concat_map
+      (fun i ->
+        [
+          Argus_gsn.Node.goal (Printf.sprintf "G%d" i)
+            (Printf.sprintf "level %d claim is safe" i);
+          Argus_gsn.Node.strategy (Printf.sprintf "S%d" i) "decompose";
+        ])
+      (List.init 20 Fun.id)
+    @ [ Argus_gsn.Node.solution ~evidence:"E" "Sn" "evidence" ]
+  in
+  let links =
+    List.concat_map
+      (fun i ->
+        [
+          (Structure.Supported_by, Printf.sprintf "G%d" i, Printf.sprintf "S%d" i);
+          ( Structure.Supported_by,
+            Printf.sprintf "S%d" i,
+            if i = 19 then "Sn" else Printf.sprintf "G%d" (i + 1) );
+        ])
+      (List.init 20 Fun.id)
+  in
+  Structure.of_nodes ~links
+    ~evidence:
+      [
+        Argus_core.Evidence.make
+          ~id:(Argus_core.Id.of_string "E")
+          ~kind:Argus_core.Evidence.Analysis "analysis";
+      ]
+    nodes
+
+let bench_subjects =
+  let open Bechamel in
+  let goal = term_exn "adjacent(desert_bank, river)" in
+  let prop_formula =
+    Prop.of_string_exn
+      "(a -> b) & (b -> c) & (c -> d) & a -> d | (e <-> ~f) & (g | h)"
+  in
+  let haley =
+    let p = Prop.of_string_exn in
+    Natded.
+      [
+        { formula = p "i -> v"; rule = Premise };
+        { formula = p "c -> h"; rule = Premise };
+        { formula = p "y -> v & c"; rule = Premise };
+        { formula = p "d -> y"; rule = Premise };
+        { formula = p "d"; rule = Premise };
+        { formula = p "y"; rule = Imp_elim (4, 5) };
+        { formula = p "v & c"; rule = Imp_elim (3, 6) };
+        { formula = p "v"; rule = And_elim_left 7 };
+        { formula = p "c"; rule = And_elim_right 7 };
+        { formula = p "h"; rule = Imp_elim (2, 9) };
+        { formula = p "d -> h"; rule = Imp_intro (5, 10) };
+      ]
+  in
+  let sample_case =
+    Structure.of_nodes
+      ~links:
+        [
+          (Structure.Supported_by, "G1", "S1");
+          (Structure.Supported_by, "S1", "G2");
+          (Structure.Supported_by, "S1", "G3");
+          (Structure.Supported_by, "G2", "Sn1");
+          (Structure.Supported_by, "G3", "Sn2");
+        ]
+      ~evidence:
+        [
+          Argus_core.Evidence.make
+            ~id:(Argus_core.Id.of_string "E1")
+            ~kind:Argus_core.Evidence.Analysis "analysis";
+        ]
+      [
+        Argus_gsn.Node.goal "G1" "top claim is safe";
+        Argus_gsn.Node.strategy "S1" "argue over hazards";
+        Argus_gsn.Node.goal "G2" "hazard one is managed";
+        Argus_gsn.Node.goal "G3" "hazard two is managed";
+        Argus_gsn.Node.solution ~evidence:"E1" "Sn1" "analysis results";
+        Argus_gsn.Node.solution ~evidence:"E1" "Sn2" "analysis results";
+      ]
+  in
+  let hazard_pattern =
+    Pattern.make ~name:"bench"
+      ~params:
+        [
+          { Pattern.pname = "system"; ptype = Pattern.Pstring };
+          { Pattern.pname = "hazard"; ptype = Pattern.Plist Pattern.Pstring };
+        ]
+      ~replicate:[ ("G_h", "hazard") ]
+      (Structure.of_nodes
+         ~links:
+           [
+             (Structure.Supported_by, "G_top", "G_h");
+             (Structure.Supported_by, "G_h", "Sn");
+           ]
+         ~evidence:
+           [
+             Argus_core.Evidence.make
+               ~id:(Argus_core.Id.of_string "E")
+               ~kind:Argus_core.Evidence.Analysis "analysis";
+           ]
+         [
+           Argus_gsn.Node.goal "G_top" "{system} is safe";
+           Argus_gsn.Node.goal "G_h" "{hazard} is managed";
+           Argus_gsn.Node.solution ~evidence:"E" "Sn" "results";
+         ])
+  in
+  let binding =
+    [
+      ("system", Pattern.Vstr "S");
+      ( "hazard",
+        Pattern.Vlist (List.init 8 (fun i -> Pattern.Vstr (Printf.sprintf "h%d" i)))
+      );
+    ]
+  in
+  let small_exp_a = { Exp_a.default_config with Exp_a.subjects_per_arm = 5 } in
+  let small_exp_d = { Exp_d.default_config with Exp_d.trials_per_arm = 20 } in
+  [
+    Test.make ~name:"table1-pipeline" (Staged.stage (fun () ->
+        ignore (Survey.table1 Survey.corpus)));
+    Test.make ~name:"survey-counts" (Staged.stage (fun () ->
+        ignore (Queries.report ())));
+    Test.make ~name:"figure1-resolution" (Staged.stage (fun () ->
+        ignore (Engine.provable Informal.desert_bank goal)));
+    Test.make ~name:"greenwell-corpus-check" (Staged.stage (fun () ->
+        List.iter
+          (fun i -> ignore (Formal.check_propositional i.Greenwell.argument))
+          Greenwell.corpus));
+    Test.make ~name:"exp-a-small" (Staged.stage (fun () ->
+        ignore (Exp_a.run small_exp_a)));
+    Test.make ~name:"exp-b" (Staged.stage (fun () ->
+        ignore (Exp_b.run Exp_b.default_config)));
+    Test.make ~name:"exp-c" (Staged.stage (fun () ->
+        ignore (Exp_c.run Exp_c.default_config)));
+    Test.make ~name:"exp-d-small" (Staged.stage (fun () ->
+        ignore (Exp_d.run small_exp_d)));
+    Test.make ~name:"exp-e" (Staged.stage (fun () ->
+        ignore (Exp_e.run Exp_e.default_config)));
+    Test.make ~name:"dpll-sat" (Staged.stage (fun () ->
+        ignore (Sat.satisfiable prop_formula)));
+    Test.make ~name:"natded-check" (Staged.stage (fun () ->
+        ignore (Natded.check haley)));
+    Test.make ~name:"gsn-wellformed" (Staged.stage (fun () ->
+        ignore (Wellformed.check sample_case)));
+    Test.make ~name:"pattern-instantiate-8" (Staged.stage (fun () ->
+        ignore (Pattern.instantiate hazard_pattern binding)));
+    Test.make ~name:"syllogism-all-256" (Staged.stage (fun () ->
+        List.iter
+          (fun s -> ignore (Syllogism.violations s))
+          (Syllogism.all_moods_figures ())));
+    (* New-substrate kernels. *)
+    Test.make ~name:"af-grounded" (Staged.stage (fun () ->
+        ignore (Argus_dialectic.Af.grounded bench_af)));
+    Test.make ~name:"eventcalc-denial" (Staged.stage (fun () ->
+        ignore
+          (Argus_eventcalc.Eventcalc.denial bench_ec
+             ~when_not:(term_exn "friends(u, s)")
+             (term_exn "visible(u, s)"))));
+    Test.make ~name:"kaos-refute-50" (Staged.stage (fun () ->
+        ignore
+          (Argus_kaos.Kaos.verify_refinement ~traces:50 bench_kaos
+             (Argus_core.Id.of_string "G_top"))));
+    (* Ablations: design choices DESIGN.md calls out. *)
+    Test.make ~name:"ablation-cnf-tseitin" (Staged.stage (fun () ->
+        ignore (Sat.solve (Sat.tseitin ablation_formula))));
+    Test.make ~name:"ablation-cnf-direct" (Staged.stage (fun () ->
+        ignore (Sat.solve (Sat.cnf_of_prop ablation_formula))));
+    Test.make ~name:"ablation-wf-with-cycle-check" (Staged.stage (fun () ->
+        ignore (Wellformed.check deep_case)));
+    Test.make ~name:"ablation-hicase-visible-depth1" (Staged.stage (fun () ->
+        ignore
+          (Argus_gsn.Hicase.visible
+             (Argus_gsn.Hicase.collapse_to_depth 1
+                (Argus_gsn.Hicase.of_structure deep_case)))));
+  ]
+
+let run_benchmarks () =
+  section "Bechamel micro-benchmarks (ns per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let test = Test.make_grouped ~name:"argus" ~fmt:"%s/%s" bench_subjects in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> Format.printf "%-32s %14.0f ns/run@." name ns
+      | _ -> Format.printf "%-32s %14s@." name "n/a")
+    (List.sort compare rows)
+
+let () =
+  table1 ();
+  survey_counts ();
+  figure1 ();
+  greenwell ();
+  proofgen_sizes ();
+  experiments ();
+  run_benchmarks ();
+  Format.printf "@.done.@."

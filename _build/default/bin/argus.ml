@@ -1,0 +1,446 @@
+(* The argus command-line tool: check, query, render and analyse
+   assurance cases written in the textual DSL; run the resolution
+   engine; regenerate the paper's survey tables; run the Section VI
+   experiment simulations. *)
+
+module Dsl = Argus_dsl.Dsl
+module Structure = Argus_gsn.Structure
+module Wellformed = Argus_gsn.Wellformed
+module Query = Argus_gsn.Query
+module Hicase = Argus_gsn.Hicase
+module Cae = Argus_cae.Cae
+module Informal = Argus_fallacy.Informal
+module Program = Argus_prolog.Program
+module Engine = Argus_prolog.Engine
+module Lterm = Argus_logic.Term
+module Diagnostic = Argus_core.Diagnostic
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_case path =
+  match Dsl.parse ~filename:path (read_file path) with
+  | Ok case -> Ok case
+  | Error ds ->
+      Format.eprintf "%a" Diagnostic.pp_report ds;
+      Error ()
+
+let exit_of_diags ds = if Diagnostic.has_errors ds then 1 else 0
+
+(* --- check --- *)
+
+let ruleset_conv =
+  Arg.enum
+    [ ("standard", Wellformed.Standard); ("denney-pai", Wellformed.Denney_pai_2013) ]
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Case file.")
+
+let check_cmd =
+  let run ruleset with_lints path =
+    match Dsl.parse_collection ~filename:path (read_file path) with
+    | Error ds ->
+        Format.eprintf "%a" Diagnostic.pp_report ds;
+        1
+    | Ok [ case ] when case.Dsl.module_name = None ->
+        let ds =
+          Wellformed.check ~ruleset case.Dsl.structure
+          @ Dsl.validate_metadata case
+          @ (if with_lints then Informal.check_structure case.Dsl.structure
+             else [])
+        in
+        Format.printf "%a" Diagnostic.pp_report ds;
+        exit_of_diags ds
+    | Ok cases -> (
+        match Dsl.to_modular cases with
+        | Error ds ->
+            Format.eprintf "%a" Diagnostic.pp_report ds;
+            1
+        | Ok collection ->
+            let ds =
+              Argus_gsn.Modular.check collection
+              @ List.concat_map Dsl.validate_metadata cases
+              @
+              if with_lints then
+                List.concat_map
+                  (fun c -> Informal.check_structure c.Dsl.structure)
+                  cases
+              else []
+            in
+            Format.printf "%a" Diagnostic.pp_report ds;
+            exit_of_diags ds)
+  in
+  let ruleset =
+    Arg.(value & opt ruleset_conv Wellformed.Standard
+         & info [ "ruleset" ] ~doc:"Rule set: $(b,standard) or $(b,denney-pai).")
+  in
+  let lints =
+    Arg.(value & flag & info [ "lints" ] ~doc:"Also run informal-fallacy lints.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a case for well-formedness")
+    Term.(const run $ ruleset $ lints $ file_arg)
+
+(* --- render --- *)
+
+let render_cmd =
+  let run dot depth path =
+    match load_case path with
+    | Error () -> 1
+    | Ok case ->
+        let structure =
+          match depth with
+          | None -> case.Dsl.structure
+          | Some d ->
+              Hicase.visible
+                (Hicase.collapse_to_depth d
+                   (Hicase.of_structure case.Dsl.structure))
+        in
+        if dot then print_string (Structure.to_dot structure)
+        else Format.printf "%a" Structure.pp_outline structure;
+        0
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.") in
+  let depth =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"N" ~doc:"Hicase view collapsed at depth $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Render a case as an outline or Graphviz")
+    Term.(const run $ dot $ depth $ file_arg)
+
+(* --- query --- *)
+
+let query_cmd =
+  let run trace path query_text =
+    match load_case path with
+    | Error () -> 1
+    | Ok case -> (
+        match Query.of_string query_text with
+        | Error e ->
+            Format.eprintf "query error: %s@." e;
+            1
+        | Ok q ->
+            if trace then
+              Format.printf "%a" Structure.pp_outline
+                (Query.trace_view q case.Dsl.structure)
+            else
+              List.iter
+                (fun n -> Format.printf "%a@." Argus_gsn.Node.pp n)
+                (Query.select q case.Dsl.structure);
+            0)
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Print the traceability view instead of matches.")
+  in
+  let query_text =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query an annotated case (Denney-Naylor-Pai style)")
+    Term.(const run $ trace $ file_arg $ query_text)
+
+(* --- fallacies --- *)
+
+let fallacies_cmd =
+  let run path =
+    match load_case path with
+    | Error () -> 1
+    | Ok case ->
+        let ds = Informal.check_structure case.Dsl.structure in
+        Format.printf "%a" Diagnostic.pp_report ds;
+        0
+  in
+  Cmd.v
+    (Cmd.info "fallacies" ~doc:"Run the informal-fallacy lints over a case")
+    Term.(const run $ file_arg)
+
+(* --- prove --- *)
+
+let prove_cmd =
+  let run max_depth path goal_text =
+    match Program.of_string (read_file path) with
+    | Error e ->
+        Format.eprintf "program error: %s@." e;
+        1
+    | Ok program -> (
+        match Lterm.of_string goal_text with
+        | Error e ->
+            Format.eprintf "goal error: %s@." e;
+            1
+        | Ok goal -> (
+            match Engine.prove ~max_depth program goal with
+            | Some derivation ->
+                Format.printf "%a" Engine.pp_derivation derivation;
+                0
+            | None ->
+                Format.printf "not derivable@.";
+                1))
+  in
+  let max_depth =
+    Arg.(value & opt int 64 & info [ "max-depth" ] ~docv:"N" ~doc:"Depth bound.")
+  in
+  let goal =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GOAL")
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Run SLD resolution over a Horn-clause program")
+    Term.(const run $ max_depth $ file_arg $ goal)
+
+(* --- cae --- *)
+
+let cae_cmd =
+  let run path =
+    match load_case path with
+    | Error () -> 1
+    | Ok case ->
+        let cae = Cae.of_gsn case.Dsl.structure in
+        Format.printf "%a" Cae.pp_outline cae;
+        exit_of_diags (Cae.check cae)
+  in
+  Cmd.v
+    (Cmd.info "cae" ~doc:"Translate a GSN case to Claims-Argument-Evidence")
+    Term.(const run $ file_arg)
+
+(* --- export / stats --- *)
+
+let export_cmd =
+  let run path =
+    match load_case path with
+    | Error () -> 1
+    | Ok case ->
+        print_string (Argus_gsn.Interchange.export case.Dsl.structure);
+        print_newline ();
+        0
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a case's structure as JSON")
+    Term.(const run $ file_arg)
+
+let import_cmd =
+  let run path =
+    match Argus_gsn.Interchange.import (read_file path) with
+    | Error ds ->
+        Format.eprintf "%a" Diagnostic.pp_report ds;
+        1
+    | Ok structure ->
+        Format.printf "%a" Structure.pp_outline structure;
+        exit_of_diags (Wellformed.check structure)
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Import a JSON structure, render it and check well-formedness")
+    Term.(const run $ file_arg)
+
+let stats_cmd =
+  let run path =
+    match load_case path with
+    | Error () -> 1
+    | Ok case ->
+        Format.printf "%a" Argus_gsn.Metrics.pp
+          (Argus_gsn.Metrics.measure case.Dsl.structure);
+        0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print descriptive metrics of a case")
+    Term.(const run $ file_arg)
+
+(* --- probe --- *)
+
+let probe_cmd =
+  let run path =
+    let module Proof_text = Argus_logic.Proof_text in
+    let module Natded = Argus_logic.Natded in
+    let module Prop = Argus_logic.Prop in
+    let module Confidence = Argus_confidence.Confidence in
+    match Proof_text.parse (read_file path) with
+    | Error e ->
+        Format.eprintf "proof error: %s@." e;
+        1
+    | Ok proof -> (
+        match Natded.check proof with
+        | Error ds ->
+            Format.eprintf "%a" Diagnostic.pp_report ds;
+            1
+        | Ok checked ->
+            Format.printf "proof checks; it proves %s@.@."
+              (Prop.to_string (Natded.theorem checked));
+            Format.printf "what-if exploration (retract each premise):@.";
+            List.iter
+              (fun premise ->
+                match Confidence.probe_counterexample checked premise with
+                | None ->
+                    Format.printf "  %-30s conclusion survives@."
+                      (Prop.to_string premise)
+                | Some model ->
+                    Format.printf "  %-30s LOAD-BEARING; countermodel: %s@."
+                      (Prop.to_string premise)
+                      (String.concat ", "
+                         (List.map
+                            (fun (v, b) ->
+                              Printf.sprintf "%s=%b" v b)
+                            model)))
+              checked.Natded.premises;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:
+         "Check a natural-deduction proof and run Rushby-style what-if \
+          probing of its premises")
+    Term.(const run $ file_arg)
+
+(* --- format --- *)
+
+let format_cmd =
+  let run path =
+    match Dsl.parse_collection ~filename:path (read_file path) with
+    | Error ds ->
+        Format.eprintf "%a" Diagnostic.pp_report ds;
+        1
+    | Ok cases ->
+        List.iteri
+          (fun i case ->
+            if i > 0 then print_newline ();
+            print_string (Dsl.print case))
+          cases;
+        0
+  in
+  Cmd.v
+    (Cmd.info "format" ~doc:"Reprint a case file in canonical form")
+    Term.(const run $ file_arg)
+
+(* --- equivocation --- *)
+
+let equivocation_cmd =
+  let run path =
+    match Program.of_string (read_file path) with
+    | Error e ->
+        Format.eprintf "program error: %s@." e;
+        1
+    | Ok program -> (
+        match Informal.equivocation_candidates program with
+        | [] ->
+            Format.printf "no equivocation candidates@.";
+            0
+        | candidates ->
+            List.iter
+              (fun c ->
+                Format.printf
+                  "%s occupies multiple predicate roles; check it means one \
+                   thing@."
+                  c)
+              candidates;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "equivocation"
+       ~doc:"Flag equivocation candidates in a Horn-clause program")
+    Term.(const run $ file_arg)
+
+(* --- survey --- *)
+
+let survey_cmd =
+  let run papers =
+    if papers then begin
+      Format.printf "%a" Argus_survey.Report.pp_all ();
+      0
+    end
+    else begin
+    let table = Argus_survey.Selection.table1 Argus_survey.Selection.corpus in
+    Format.printf "Table I (regenerated by the selection pipeline):@.%a@."
+      Argus_survey.Selection.pp_table1 table;
+    Format.printf "Papers surviving phase two: %d@.@."
+      (Argus_survey.Selection.selected_after_phase2
+         Argus_survey.Selection.corpus);
+    Format.printf "Derived survey counts (computed vs reported):@.";
+    List.iter
+      (fun (what, computed, reported) ->
+        Format.printf "  %-58s %3d  (paper: %d)%s@." what computed reported
+          (if computed = reported then "" else "  MISMATCH"))
+      (Argus_survey.Queries.report ());
+    0
+    end
+  in
+  let papers =
+    Arg.(value & flag
+         & info [ "papers" ]
+             ~doc:"Print the per-paper characterisations instead of counts.")
+  in
+  Cmd.v
+    (Cmd.info "survey" ~doc:"Regenerate Table I and the survey counts")
+    Term.(const run $ papers)
+
+(* --- experiments --- *)
+
+let experiments_cmd =
+  let open Argus_experiments in
+  let run which seed =
+    let run_a () =
+      Format.printf "%a@." Exp_a.pp
+        (Exp_a.run { Exp_a.default_config with seed })
+    and run_b () =
+      Format.printf "%a@." Exp_b.pp
+        (Exp_b.run { Exp_b.default_config with seed })
+    and run_c () =
+      Format.printf "%a@." Exp_c.pp
+        (Exp_c.run { Exp_c.default_config with seed })
+    and run_d () =
+      Format.printf "%a@." Exp_d.pp
+        (Exp_d.run { Exp_d.default_config with seed })
+    and run_e () =
+      Format.printf "%a@." Exp_e.pp
+        (Exp_e.run { Exp_e.default_config with seed })
+    in
+    (match which with
+    | "a" -> run_a ()
+    | "b" -> run_b ()
+    | "c" -> run_c ()
+    | "d" -> run_d ()
+    | "e" -> run_e ()
+    | _ ->
+        run_a ();
+        run_b ();
+        run_c ();
+        run_d ();
+        run_e ());
+    0
+  in
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"WHICH"
+         ~doc:"Which experiment: a, b, c, d, e or all.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the Section VI experiment simulations")
+    Term.(const run $ which $ seed)
+
+let () =
+  let doc = "assurance-argument toolkit (Graydon, DSN 2015, reproduced)" in
+  let info = Cmd.info "argus" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd;
+            render_cmd;
+            query_cmd;
+            fallacies_cmd;
+            prove_cmd;
+            cae_cmd;
+            probe_cmd;
+            export_cmd;
+            import_cmd;
+            stats_cmd;
+            format_cmd;
+            equivocation_cmd;
+            survey_cmd;
+            experiments_cmd;
+          ]))

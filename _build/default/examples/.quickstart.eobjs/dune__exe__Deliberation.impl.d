@@ -1,0 +1,1 @@
+examples/deliberation.ml: Argus_core Argus_dialectic Format List String

@@ -1,0 +1,1 @@
+examples/desert_bank.ml: Argus_fallacy Argus_logic Argus_prolog Format List Result String

@@ -1,0 +1,1 @@
+examples/desert_bank.mli:

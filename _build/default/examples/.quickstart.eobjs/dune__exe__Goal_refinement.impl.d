@@ -1,0 +1,1 @@
+examples/goal_refinement.ml: Argus_core Argus_gsn Argus_kaos Argus_ltl Format List

@@ -1,0 +1,1 @@
+examples/goal_refinement.mli:

@@ -1,0 +1,1 @@
+examples/privacy_case.ml: Argus_eventcalc Argus_logic Format Result

@@ -1,0 +1,1 @@
+examples/privacy_case.mli:

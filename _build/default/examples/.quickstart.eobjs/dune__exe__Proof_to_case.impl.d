@@ -1,0 +1,1 @@
+examples/proof_to_case.ml: Argus_cae Argus_core Argus_gsn Argus_logic Argus_proofgen Format

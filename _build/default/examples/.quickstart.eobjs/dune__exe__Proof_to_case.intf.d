@@ -1,0 +1,1 @@
+examples/proof_to_case.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Argus_core Argus_dsl Argus_fallacy Argus_gsn Format List Result String

@@ -1,0 +1,1 @@
+examples/security_case.ml: Argus_confidence Argus_core Argus_logic Argus_toulmin Format List Printf

@@ -1,0 +1,1 @@
+examples/uav_safety.ml: Argus_confidence Argus_core Argus_gsn Argus_ltl Format List

@@ -1,0 +1,1 @@
+examples/uav_safety.mli:

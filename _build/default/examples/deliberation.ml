@@ -1,0 +1,74 @@
+(* The Tolchinsky et al. scenario (Section III.O of the paper): an
+   on-line deliberation dialogue about a safety-critical action — organ
+   transplantation — whose acceptability is computed, non-monotonically,
+   from the argumentation framework the moves build.
+
+   Run with: dune exec examples/deliberation.exe *)
+
+module Dialogue = Argus_dialectic.Dialogue
+module Af = Argus_dialectic.Af
+module Id = Argus_core.Id
+
+let show d =
+  Format.printf "%a" Dialogue.pp d;
+  let verdict =
+    match Dialogue.decision d with
+    | Dialogue.Proceed -> "PROCEED"
+    | Dialogue.Do_not_proceed -> "DO NOT PROCEED"
+    | Dialogue.Undecided -> "UNDECIDED"
+  in
+  Format.printf "  -> decision: %s@.@." verdict
+
+let () =
+  Format.printf "Deliberation dialogue for a safety-critical action@.@.";
+
+  let d0 =
+    Dialogue.start ~id:"P" ~by:"transplant-unit"
+      "Transplant donor organ D into recipient R"
+  in
+  Format.printf "Move 1 - the proposal:@.";
+  show d0;
+
+  let d1 =
+    Dialogue.move ~id:"O1" ~by:"nephrologist"
+      ~kind:(Dialogue.Objection (Id.of_string "P"))
+      "Donor history suggests hepatitis risk" d0
+  in
+  Format.printf "Move 2 - a safety factor is raised:@.";
+  show d1;
+
+  let d2 =
+    Dialogue.move ~id:"R1" ~by:"virologist"
+      ~kind:(Dialogue.Rebuttal (Id.of_string "O1"))
+      "Serology rules out active infection" d1
+  in
+  Format.printf "Move 3 - the factor is rebutted (non-monotonic flip):@.";
+  show d2;
+
+  let d3 =
+    Dialogue.move ~id:"O2" ~by:"immunologist"
+      ~kind:(Dialogue.Objection (Id.of_string "P"))
+      "Crossmatch is borderline positive" d2
+  in
+  Format.printf "Move 4 - a second, so far unanswered factor:@.";
+  show d3;
+
+  (* The induced framework, and its semantics beyond grounded. *)
+  let af = Dialogue.framework d3 in
+  Format.printf "Induced argumentation framework:@.%a@." Af.pp af;
+  Format.printf "grounded extension: {%s}@."
+    (String.concat ", "
+       (List.map Id.to_string (Id.Set.elements (Af.grounded af))));
+  List.iter
+    (fun ext ->
+      Format.printf "preferred extension: {%s}@."
+        (String.concat ", " (List.map Id.to_string (Id.Set.elements ext))))
+    (Af.preferred af);
+
+  (* Protocol checking. *)
+  match Dialogue.check d3 with
+  | [] -> Format.printf "@.dialogue is protocol-clean@."
+  | ds ->
+      List.iter
+        (fun diag -> Format.printf "%a@." Argus_core.Diagnostic.pp diag)
+        ds

@@ -1,0 +1,106 @@
+(* The Haley et al. security requirements satisfaction argument from the
+   paper's Section III.K, end to end: the eleven-step formal outer proof
+   (I->V, C->H, Y->V&C, D->Y, D |- D->H), the extended-Toulmin inner
+   arguments supporting its trust assumptions, and the satisfaction
+   checker tying them together.
+
+   Run with: dune exec examples/security_case.exe *)
+
+module Prop = Argus_logic.Prop
+module Natded = Argus_logic.Natded
+module Toulmin = Argus_toulmin.Toulmin
+module Satisfaction = Argus_toulmin.Satisfaction
+module Confidence = Argus_confidence.Confidence
+module Diagnostic = Argus_core.Diagnostic
+
+let p = Prop.of_string_exn
+
+(* Symbols, as Haley et al. define them in natural language first:
+   i = identification provided, v = credentials valid, c = HR credential
+   shown, h = requester is an HR member, y = token displayed,
+   d = data may be displayed...  Here: D = display request granted only
+   to HR members (the requirement is d -> h). *)
+let outer =
+  Natded.
+    [
+      { formula = p "i -> v"; rule = Premise };
+      { formula = p "c -> h"; rule = Premise };
+      { formula = p "y -> v & c"; rule = Premise };
+      { formula = p "d -> y"; rule = Premise };
+      { formula = p "d"; rule = Premise };
+      { formula = p "y"; rule = Imp_elim (4, 5) };
+      { formula = p "v & c"; rule = Imp_elim (3, 6) };
+      { formula = p "v"; rule = And_elim_left 7 };
+      { formula = p "c"; rule = And_elim_right 7 };
+      { formula = p "h"; rule = Imp_elim (2, 9) };
+      { formula = p "d -> h"; rule = Imp_intro (5, 10) };
+    ]
+
+(* The inner argument the paper reproduces, verbatim. *)
+let inner_c_h =
+  Toulmin.of_string_exn
+    {|
+      given grounds G2: "Valid credentials are given only to HR members"
+      warranted by (
+        given grounds G3: "Credentials are given in person"
+        warranted by G4: "Credential administrators are honest and reliable"
+        thus claim C1: "Credential administration is correct")
+      thus claim P2: "HR credentials provided --> HR member"
+      rebutted by R1: "HR member is dishonest"
+    |}
+
+let simple_inner label text =
+  Toulmin.of_string_exn
+    (Printf.sprintf
+       {|given grounds G_%s: "Domain analysis of the workflow"
+         warranted by W_%s: "Confirmed with the HR department"
+         thus claim C_%s: "%s"|}
+       label label label text)
+
+let satisfaction =
+  {
+    Satisfaction.requirement = p "d -> h";
+    outer;
+    inner =
+      [
+        (p "c -> h", inner_c_h);
+        (p "y -> v & c", simple_inner "y" "Tokens carry valid credentials");
+        (p "d -> y", simple_inner "d" "Display requires a shown token");
+      ];
+  }
+
+let () =
+  Format.printf "Security requirements satisfaction argument (Haley et al.)@.@.";
+  Format.printf "Formal outer argument:@.%a@." Natded.pp outer;
+  (match Natded.check outer with
+  | Ok checked ->
+      Format.printf "Outer proof checks; it proves %s@.@."
+        (Prop.to_string (Natded.theorem checked));
+      Format.printf "Trust assumptions to be supported informally:@.";
+      List.iter
+        (fun f -> Format.printf "  %s@." (Prop.to_string f))
+        (Satisfaction.trust_assumptions satisfaction);
+      (* Rushby-style what-if probing over the same proof. *)
+      Format.printf "@.Load-bearing premises (what-if probing):@.";
+      List.iter
+        (fun f -> Format.printf "  %s@." (Prop.to_string f))
+        (Confidence.load_bearing_premises checked)
+  | Error ds -> Format.printf "%a@." Diagnostic.pp_report ds);
+
+  Format.printf "@.Inner argument for c -> h (extended Toulmin notation):@.";
+  Format.printf "%a@.@." Toulmin.pp inner_c_h;
+
+  Format.printf "Satisfaction check:@.";
+  (match Satisfaction.check satisfaction with
+  | [] -> Format.printf "  fully satisfied, no findings@."
+  | ds -> List.iter (fun d -> Format.printf "  %a@." Diagnostic.pp d) ds);
+
+  (* What the formal part cannot see: R1 rebuts the trust assumption.
+     Drop the inner argument for c -> h and the checker objects. *)
+  let broken =
+    { satisfaction with Satisfaction.inner = List.tl satisfaction.Satisfaction.inner }
+  in
+  Format.printf "@.Without the inner argument for c -> h:@.";
+  List.iter
+    (fun d -> Format.printf "  %a@." Diagnostic.pp d)
+    (Satisfaction.check broken)

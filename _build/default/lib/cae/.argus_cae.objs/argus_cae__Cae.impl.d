@@ -1,0 +1,1 @@
+lib/cae/cae.ml: Argus_core Argus_gsn Format List Node Printf String Structure

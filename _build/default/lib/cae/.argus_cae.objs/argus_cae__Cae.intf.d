@@ -1,0 +1,1 @@
+lib/cae/cae.mli: Argus_core Argus_gsn Format

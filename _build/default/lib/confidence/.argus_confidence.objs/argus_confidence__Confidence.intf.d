@@ -1,0 +1,1 @@
+lib/confidence/confidence.mli: Argus_core Argus_gsn Argus_logic

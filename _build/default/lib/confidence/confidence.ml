@@ -1,0 +1,120 @@
+module Id = Argus_core.Id
+module Evidence = Argus_core.Evidence
+module Prop = Argus_logic.Prop
+module Sat = Argus_logic.Sat
+module Natded = Argus_logic.Natded
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+
+let noisy_or xs = 1.0 -. List.fold_left (fun acc x -> acc *. (1.0 -. x)) 1.0 xs
+let noisy_and xs = List.fold_left ( *. ) 1.0 xs
+
+let assess ~trust structure =
+  let memo = ref Id.Map.empty in
+  let rec conf visiting id =
+    match Id.Map.find_opt id !memo with
+    | Some c -> c
+    | None ->
+        if Id.Set.mem id visiting then 0.0
+        else
+          let c =
+            match Structure.find id structure with
+            | None -> 0.0
+            | Some n -> (
+                let visiting = Id.Set.add id visiting in
+                let kids =
+                  Structure.children Structure.Supported_by id structure
+                in
+                let kid_confs = List.map (conf visiting) kids in
+                match n.Node.node_type with
+                | Node.Solution -> (
+                    match n.Node.evidence with
+                    | None -> 0.0
+                    | Some ev_id -> (
+                        match Structure.find_evidence ev_id structure with
+                        | None -> 0.0
+                        | Some ev -> trust ev))
+                | Node.Strategy ->
+                    if kids = [] then 0.0 else noisy_and kid_confs
+                | Node.Goal | Node.Away_goal _ ->
+                    if
+                      n.Node.status = Node.Undeveloped
+                      || n.Node.status = Node.Undeveloped_uninstantiated
+                    then 0.0
+                    else if kids = [] then 0.0
+                    else noisy_or kid_confs
+                | Node.Module_ref _ | Node.Contract _ ->
+                    if kids = [] then 0.0 else noisy_or kid_confs
+                | Node.Context | Node.Assumption | Node.Justification -> 0.0)
+          in
+          memo := Id.Map.add id c !memo;
+          c
+  in
+  List.iter
+    (fun n ->
+      if not (Node.is_contextual n.Node.node_type) then
+        ignore (conf Id.Set.empty n.Node.id))
+    (Structure.nodes structure);
+  !memo
+
+let root_confidence ~trust structure =
+  match Structure.roots structure with
+  | [] -> 0.0
+  | root :: _ -> (
+      match Id.Map.find_opt root (assess ~trust structure) with
+      | Some c -> c
+      | None -> 0.0)
+
+let impact_by_tracing structure evidence_id =
+  let citing =
+    List.filter
+      (fun n ->
+        n.Node.node_type = Node.Solution
+        && n.Node.evidence = Some evidence_id)
+      (Structure.nodes structure)
+  in
+  let seen = ref Id.Set.empty in
+  let order = ref [] in
+  let rec up id =
+    List.iter
+      (fun parent ->
+        if not (Id.Set.mem parent !seen) then begin
+          seen := Id.Set.add parent !seen;
+          order := parent :: !order;
+          up parent
+        end)
+      (Structure.parents Structure.Supported_by id structure)
+  in
+  List.iter (fun n -> up n.Node.id) citing;
+  List.rev !order
+
+let sensitivity ~trust structure evidence_id =
+  let baseline = root_confidence ~trust structure in
+  let trust' ev =
+    if Id.equal ev.Evidence.id evidence_id then 0.0 else trust ev
+  in
+  baseline -. root_confidence ~trust:trust' structure
+
+let probe_premise checked premise =
+  let remaining =
+    List.filter
+      (fun p -> not (Prop.equal p premise))
+      checked.Natded.premises
+  in
+  Sat.entails remaining checked.Natded.conclusion
+
+let load_bearing_premises checked =
+  List.filter
+    (fun p -> not (probe_premise checked p))
+    checked.Natded.premises
+
+let probe_counterexample checked premise =
+  if probe_premise checked premise then None
+  else
+    let remaining =
+      List.filter
+        (fun p -> not (Prop.equal p premise))
+        checked.Natded.premises
+    in
+    Sat.models
+      (Prop.And (Prop.conj remaining, Prop.Not checked.Natded.conclusion))

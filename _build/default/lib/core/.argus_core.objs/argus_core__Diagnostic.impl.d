@@ -1,0 +1,1 @@
+lib/core/diagnostic.ml: Format Id Int List Loc String

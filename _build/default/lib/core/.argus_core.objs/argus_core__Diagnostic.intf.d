@@ -1,0 +1,1 @@
+lib/core/diagnostic.mli: Format Id Loc

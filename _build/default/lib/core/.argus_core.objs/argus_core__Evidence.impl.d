@@ -1,0 +1,1 @@
+lib/core/evidence.ml: Format Id List String

@@ -1,0 +1,1 @@
+lib/core/evidence.mli: Format Id

@@ -1,0 +1,1 @@
+lib/core/id.mli: Format Map Set

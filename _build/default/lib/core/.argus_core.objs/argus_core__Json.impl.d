@@ -1,0 +1,1 @@
+lib/core/json.ml: Buffer Char Float List Printf Stdlib String

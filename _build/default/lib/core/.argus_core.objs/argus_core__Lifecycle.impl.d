@@ -1,0 +1,1 @@
+lib/core/lifecycle.ml: Format List

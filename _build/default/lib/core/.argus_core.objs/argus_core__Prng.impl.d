@@ -1,0 +1,1 @@
+lib/core/prng.ml: Array Float Int64 List

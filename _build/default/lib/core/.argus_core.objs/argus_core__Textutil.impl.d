@@ -1,0 +1,1 @@
+lib/core/textutil.ml: Array Buffer Char Fun List String

@@ -1,0 +1,66 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  loc : Loc.t option;
+  subjects : Id.t list;
+}
+
+let make severity ?loc ?(subjects = []) ~code message =
+  { severity; code; message; loc; subjects }
+
+let error ?loc ?subjects ~code message =
+  make Error ?loc ?subjects ~code message
+
+let warning ?loc ?subjects ~code message =
+  make Warning ?loc ?subjects ~code message
+
+let info ?loc ?subjects ~code message = make Info ?loc ?subjects ~code message
+
+let kf mk ?loc ?subjects ~code fmt =
+  Format.kasprintf (fun message -> mk ?loc ?subjects ~code message) fmt
+
+let errorf ?loc ?subjects ~code fmt = kf error ?loc ?subjects ~code fmt
+let warningf ?loc ?subjects ~code fmt = kf warning ?loc ?subjects ~code fmt
+let infof ?loc ?subjects ~code fmt = kf info ?loc ?subjects ~code fmt
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_compare a b = Int.compare (severity_rank a) (severity_rank b)
+
+let compare a b =
+  let c = severity_compare a.severity b.severity in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c else String.compare a.message b.message
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let sort ds = List.stable_sort compare ds
+
+let pp_severity ppf = function
+  | Error -> Format.pp_print_string ppf "error"
+  | Warning -> Format.pp_print_string ppf "warning"
+  | Info -> Format.pp_print_string ppf "info"
+
+let pp ppf d =
+  (match d.loc with
+  | Some loc when not (Loc.is_dummy loc) -> Format.fprintf ppf "%a: " Loc.pp loc
+  | Some _ | None -> ());
+  Format.fprintf ppf "%a [%s] %s" pp_severity d.severity d.code d.message;
+  match d.subjects with
+  | [] -> ()
+  | subjects ->
+      Format.fprintf ppf " (%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Id.pp)
+        subjects
+
+let pp_report ppf ds =
+  let ds = sort ds in
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@." (count Error ds)
+    (count Warning ds) (count Info ds)

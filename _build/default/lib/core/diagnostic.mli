@@ -1,0 +1,61 @@
+(** Diagnostics emitted by the well-formedness checkers, the fallacy
+    detectors and the DSL front end.
+
+    Every checker in the toolkit reports through this one type so that
+    the CLI, the tests and the experiment harness can treat findings
+    uniformly.  A diagnostic has a machine-readable [code] (stable across
+    releases, suitable for suppression lists), a severity, a
+    human-readable message, and optionally a source span and the
+    identifiers of the argument elements involved. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** e.g. ["gsn/goal-under-solution"]. *)
+  message : string;
+  loc : Loc.t option;
+  subjects : Id.t list;  (** Elements the finding is about, if any. *)
+}
+
+val error : ?loc:Loc.t -> ?subjects:Id.t list -> code:string -> string -> t
+val warning : ?loc:Loc.t -> ?subjects:Id.t list -> code:string -> string -> t
+val info : ?loc:Loc.t -> ?subjects:Id.t list -> code:string -> string -> t
+
+val errorf :
+  ?loc:Loc.t ->
+  ?subjects:Id.t list ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** Like {!error} with a format string; [warningf] and [infof] likewise. *)
+
+val warningf :
+  ?loc:Loc.t ->
+  ?subjects:Id.t list ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val infof :
+  ?loc:Loc.t ->
+  ?subjects:Id.t list ->
+  code:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val severity_compare : severity -> severity -> int
+(** Orders [Error < Warning < Info] (most severe first). *)
+
+val compare : t -> t -> int
+(** Severity-major ordering, then code, then message — a stable order for
+    reporting. *)
+
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+val sort : t list -> t list
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> t -> unit
+val pp_report : Format.formatter -> t list -> unit
+(** One diagnostic per line, sorted, followed by a summary count line. *)

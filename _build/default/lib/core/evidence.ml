@@ -1,0 +1,80 @@
+type kind =
+  | Test_results
+  | Formal_proof
+  | Review
+  | Field_data
+  | Analysis
+  | Simulation
+  | Expert_judgement
+  | Process_compliance
+
+type claim_strength = Universal | Statistical | Existential
+
+type t = {
+  id : Id.t;
+  kind : kind;
+  description : string;
+  source : string;
+  strength : claim_strength;
+}
+
+let make ~id ~kind ?(source = "unspecified") ?(strength = Statistical)
+    description =
+  { id; kind; description; source; strength }
+
+let supports_kind kind strength =
+  match (kind, strength) with
+  | Formal_proof, (Universal | Statistical | Existential) -> true
+  | _, Universal -> false
+  | Expert_judgement, Statistical -> false
+  | Expert_judgement, Existential -> true
+  | ( ( Test_results | Review | Field_data | Analysis | Simulation
+      | Process_compliance ),
+      (Statistical | Existential) ) ->
+      true
+
+let kind_to_string = function
+  | Test_results -> "test-results"
+  | Formal_proof -> "formal-proof"
+  | Review -> "review"
+  | Field_data -> "field-data"
+  | Analysis -> "analysis"
+  | Simulation -> "simulation"
+  | Expert_judgement -> "expert-judgement"
+  | Process_compliance -> "process-compliance"
+
+let all_kinds =
+  [
+    Test_results;
+    Formal_proof;
+    Review;
+    Field_data;
+    Analysis;
+    Simulation;
+    Expert_judgement;
+    Process_compliance;
+  ]
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let strength_to_string = function
+  | Universal -> "universal"
+  | Statistical -> "statistical"
+  | Existential -> "existential"
+
+let strength_of_string = function
+  | "universal" -> Some Universal
+  | "statistical" -> Some Statistical
+  | "existential" -> Some Existential
+  | _ -> None
+
+let equal a b =
+  Id.equal a.id b.id && a.kind = b.kind
+  && String.equal a.description b.description
+  && String.equal a.source b.source
+  && a.strength = b.strength
+
+let pp ppf t =
+  Format.fprintf ppf "%a [%s, %s] %s" Id.pp t.id (kind_to_string t.kind)
+    (strength_to_string t.strength) t.description

@@ -1,0 +1,59 @@
+(** Evidence items referenced by assurance arguments.
+
+    The paper distinguishes the {e kinds} of evidence a safety case cites
+    (test results, formal proof, reviews, field data, ...) because the
+    soundness of an argument depends on whether each kind can support the
+    claim it is attached to (Section V.B: asserting [wcet(task_1, 250)]
+    on the basis of unit-test results is a wrong-reasons fallacy).  The
+    {!supports_kind} table encodes which claim strengths each evidence
+    kind can support; the fallacy lints consume it. *)
+
+type kind =
+  | Test_results
+  | Formal_proof
+  | Review  (** Inspection, walkthrough or peer review. *)
+  | Field_data  (** Operational history, incident statistics. *)
+  | Analysis  (** Static/timing/hazard analysis outputs. *)
+  | Simulation
+  | Expert_judgement
+  | Process_compliance  (** Conformance to a development standard. *)
+
+(** The strength of claim an item of evidence is used to support.  A
+    universal claim ("all executions meet deadlines") demands more than
+    an existential or statistical one. *)
+type claim_strength = Universal | Statistical | Existential
+
+type t = {
+  id : Id.t;
+  kind : kind;
+  description : string;
+  source : string;  (** Provenance: document, tool, test campaign... *)
+  strength : claim_strength;
+      (** The strongest claim form the producer intends it to support. *)
+}
+
+val make :
+  id:Id.t ->
+  kind:kind ->
+  ?source:string ->
+  ?strength:claim_strength ->
+  string ->
+  t
+(** [make ~id ~kind description] builds an item.  [source] defaults to
+    ["unspecified"], [strength] to [Statistical]. *)
+
+val supports_kind : kind -> claim_strength -> bool
+(** [supports_kind k s] is whether evidence of kind [k] can, in
+    principle, support a claim of strength [s].  Only {!Formal_proof}
+    supports {!Universal} claims; {!Expert_judgement} supports only
+    {!Existential} ones; everything else supports statistical and
+    existential claims.  Deliberately coarse: it encodes the paper's
+    example, not a full evidence theory. *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+val strength_to_string : claim_strength -> string
+val strength_of_string : string -> claim_strength option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t = string
+
+exception Invalid of string
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_body_char c =
+  is_letter c || (c >= '0' && c <= '9') || c = '_' || c = '.' || c = '-'
+
+let is_valid s =
+  String.length s > 0
+  && is_letter s.[0]
+  && String.for_all is_body_char s
+
+let of_string s = if is_valid s then s else raise (Invalid s)
+let of_string_opt s = if is_valid s then Some s else None
+let to_string s = s
+let equal = String.equal
+let compare = String.compare
+let pp = Format.pp_print_string
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Gen = struct
+  type t = { prefix : string; mutable next : int }
+
+  let create ?(prefix = "n") () =
+    if not (String.length prefix > 0 && is_letter prefix.[0]) then
+      raise (Invalid prefix);
+    { prefix; next = 1 }
+
+  let fresh g =
+    let id = Printf.sprintf "%s%d" g.prefix g.next in
+    g.next <- g.next + 1;
+    id
+
+  let rec fresh_avoiding g used =
+    let id = fresh g in
+    if Set.mem id used then fresh_avoiding g used else id
+end

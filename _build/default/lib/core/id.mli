@@ -1,0 +1,51 @@
+(** Identifiers for argument elements, evidence items and other artefacts.
+
+    Identifiers are non-empty strings over [A-Za-z0-9_.-] starting with a
+    letter.  They identify nodes across notations (GSN, CAE, Toulmin), so
+    equality and ordering are defined here once and reused everywhere. *)
+
+type t
+
+exception Invalid of string
+(** Raised by {!of_string} when the candidate violates the lexical rules.
+    The payload is the offending string. *)
+
+val of_string : string -> t
+(** [of_string s] validates [s] and returns it as an identifier.
+    @raise Invalid if [s] is empty, starts with a non-letter, or contains
+    a character outside [A-Za-z0-9_.-]. *)
+
+val of_string_opt : string -> t option
+(** Like {!of_string} but returns [None] instead of raising. *)
+
+val to_string : t -> string
+
+val is_valid : string -> bool
+(** [is_valid s] is [true] iff [of_string s] would succeed. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+module Gen : sig
+  (** Fresh-identifier generators, used by pattern instantiation and by
+      proof-to-argument generation where element names are synthesised. *)
+
+  type id := t
+  type t
+
+  val create : ?prefix:string -> unit -> t
+  (** [create ~prefix ()] makes a generator producing [prefix1],
+      [prefix2], ... The default prefix is ["n"]. *)
+
+  val fresh : t -> id
+  (** Next fresh identifier.  Never returns the same identifier twice for
+      one generator. *)
+
+  val fresh_avoiding : t -> Set.t -> id
+  (** [fresh_avoiding g used] returns the next fresh identifier not in
+      [used]. *)
+end

@@ -1,0 +1,101 @@
+type role =
+  | Design_engineer
+  | Stakeholder
+  | Certifier
+  | Operator
+  | Field_safety_engineer
+  | Maintainer
+  | Manager
+  | Mechanical_engineer
+
+type purpose =
+  | Operational_definition_of_safe
+  | Risk_management_approach
+  | Usage_assumptions
+  | Evidence_claim_linkage
+  | Key_safety_considerations
+
+type phase = Concept | Development | Certification | Operation | Maintenance
+
+let all_roles =
+  [
+    Design_engineer;
+    Stakeholder;
+    Certifier;
+    Operator;
+    Field_safety_engineer;
+    Maintainer;
+    Manager;
+    Mechanical_engineer;
+  ]
+
+let all_purposes =
+  [
+    Operational_definition_of_safe;
+    Risk_management_approach;
+    Usage_assumptions;
+    Evidence_claim_linkage;
+    Key_safety_considerations;
+  ]
+
+let all_phases = [ Concept; Development; Certification; Operation; Maintenance ]
+
+let logic_literacy = function
+  | Design_engineer -> 0.85
+  | Maintainer -> 0.75
+  | Certifier -> 0.55
+  | Field_safety_engineer -> 0.45
+  | Stakeholder -> 0.30
+  | Operator -> 0.25
+  | Mechanical_engineer -> 0.25
+  | Manager -> 0.15
+
+let reads_in_phase role phase =
+  match (role, phase) with
+  | Design_engineer, (Concept | Development | Certification) -> true
+  | Design_engineer, (Operation | Maintenance) -> false
+  | Stakeholder, (Concept | Certification | Operation) -> true
+  | Stakeholder, (Development | Maintenance) -> false
+  | Certifier, (Certification | Maintenance) -> true
+  | Certifier, (Concept | Development | Operation) -> false
+  | Operator, (Operation | Maintenance) -> true
+  | Operator, (Concept | Development | Certification) -> false
+  | Field_safety_engineer, (Operation | Maintenance) -> true
+  | Field_safety_engineer, (Concept | Development | Certification) -> false
+  | Maintainer, Maintenance -> true
+  | Maintainer, (Concept | Development | Certification | Operation) -> false
+  | Manager, (Concept | Operation | Maintenance) -> true
+  | Manager, (Development | Certification) -> false
+  | Mechanical_engineer, (Concept | Development) -> true
+  | Mechanical_engineer, (Certification | Operation | Maintenance) -> false
+
+let role_to_string = function
+  | Design_engineer -> "design-engineer"
+  | Stakeholder -> "stakeholder"
+  | Certifier -> "certifier"
+  | Operator -> "operator"
+  | Field_safety_engineer -> "field-safety-engineer"
+  | Maintainer -> "maintainer"
+  | Manager -> "manager"
+  | Mechanical_engineer -> "mechanical-engineer"
+
+let role_of_string s =
+  List.find_opt (fun r -> role_to_string r = s) all_roles
+
+let purpose_to_string = function
+  | Operational_definition_of_safe -> "operational-definition-of-safe"
+  | Risk_management_approach -> "risk-management-approach"
+  | Usage_assumptions -> "usage-assumptions"
+  | Evidence_claim_linkage -> "evidence-claim-linkage"
+  | Key_safety_considerations -> "key-safety-considerations"
+
+let phase_to_string = function
+  | Concept -> "concept"
+  | Development -> "development"
+  | Certification -> "certification"
+  | Operation -> "operation"
+  | Maintenance -> "maintenance"
+
+let pp_role ppf r = Format.pp_print_string ppf (role_to_string r)
+let pp_purpose ppf p = Format.pp_print_string ppf (purpose_to_string p)
+let pp_phase ppf p = Format.pp_print_string ppf (phase_to_string p)

@@ -1,0 +1,50 @@
+(** Lifecycle roles and communication purposes of an assurance case.
+
+    Section II.A of the paper lists what a safety argument must
+    communicate and to whom.  These enumerations drive the
+    reading-audience experiment (Section VI.C), where comprehension of a
+    formalised argument depends on the reader's training in symbolic
+    logic, and the per-role rendering choices of the CLI. *)
+
+(** The readers Section II.A enumerates. *)
+type role =
+  | Design_engineer  (** Engineers creating or refining the design. *)
+  | Stakeholder  (** Judging how safe a system is or will be. *)
+  | Certifier  (** Certifiers and safety assessors. *)
+  | Operator  (** Changing operating procedures. *)
+  | Field_safety_engineer  (** Monitoring safety in the field. *)
+  | Maintainer  (** Making changes to existing systems. *)
+  | Manager  (** Considering operational changes. *)
+  | Mechanical_engineer  (** Non-software engineering readers. *)
+
+(** What the argument must convey (the bulleted list of Section II.A). *)
+type purpose =
+  | Operational_definition_of_safe
+  | Risk_management_approach
+  | Usage_assumptions
+  | Evidence_claim_linkage
+  | Key_safety_considerations
+
+type phase = Concept | Development | Certification | Operation | Maintenance
+
+val all_roles : role list
+val all_purposes : purpose list
+val all_phases : phase list
+
+val logic_literacy : role -> float
+(** Baseline probability, in [0,1], that a reader in this role can read
+    symbolic deductive logic fluently.  The paper's premise: software
+    engineers learn formal logic at university; managers, mechanical
+    engineers and safety assessors not necessarily.  Used as the default
+    subject-model parameter in the Section VI.C simulation. *)
+
+val reads_in_phase : role -> phase -> bool
+(** Which roles consult the case in which lifecycle phase. *)
+
+val role_to_string : role -> string
+val role_of_string : string -> role option
+val purpose_to_string : purpose -> string
+val phase_to_string : phase -> string
+val pp_role : Format.formatter -> role -> unit
+val pp_purpose : Format.formatter -> purpose -> unit
+val pp_phase : Format.formatter -> phase -> unit

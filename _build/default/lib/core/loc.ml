@@ -1,0 +1,27 @@
+type pos = { file : string; line : int; col : int }
+type t = { start : pos; stop : pos }
+
+let pos ?(file = "<input>") ~line ~col () = { file; line; col }
+let make start stop = { start; stop }
+let point p = { start = p; stop = p }
+
+let dummy_pos = { file = "<none>"; line = 0; col = 0 }
+let dummy = { start = dummy_pos; stop = dummy_pos }
+let is_dummy t = t.start.line = 0 && t.stop.line = 0
+
+let pos_le a b = a.line < b.line || (a.line = b.line && a.col <= b.col)
+
+let merge a b =
+  let start = if pos_le a.start b.start then a.start else b.start in
+  let stop = if pos_le a.stop b.stop then b.stop else a.stop in
+  { start; stop }
+
+let pos_equal a b = a.file = b.file && a.line = b.line && a.col = b.col
+let equal a b = pos_equal a.start b.start && pos_equal a.stop b.stop
+
+let pp ppf t =
+  if pos_equal t.start t.stop then
+    Format.fprintf ppf "%s:%d.%d" t.start.file t.start.line t.start.col
+  else
+    Format.fprintf ppf "%s:%d.%d-%d.%d" t.start.file t.start.line t.start.col
+      t.stop.line t.stop.col

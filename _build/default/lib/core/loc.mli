@@ -1,0 +1,29 @@
+(** Source locations for the textual notations (the assurance-case DSL,
+    the Toulmin notation and the Horn-clause programs).
+
+    A {!pos} is a point in a named source; a {!t} is a span between two
+    points.  Diagnostics carry spans so that checker output can point at
+    the offending text. *)
+
+type pos = { file : string; line : int; col : int }
+(** 1-based line, 0-based column, as is conventional for compilers. *)
+
+type t = { start : pos; stop : pos }
+
+val pos : ?file:string -> line:int -> col:int -> unit -> pos
+(** [pos ~line ~col ()] is a point; [file] defaults to ["<input>"]. *)
+
+val make : pos -> pos -> t
+val point : pos -> t
+(** A zero-width span at a single position. *)
+
+val dummy : t
+(** Placeholder span for synthesised elements with no source text. *)
+
+val is_dummy : t -> bool
+val merge : t -> t -> t
+(** Smallest span covering both arguments (assumes the same file). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Renders as [file:line.col-line.col], or [file:line.col] for points. *)

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (next_int64 t) }
+
+let float t =
+  (* 53 high bits to a double in [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  int_of_float (float t *. float_of_int n)
+
+let bernoulli t p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  float t < p
+
+let gaussian t ~mean ~sd =
+  let u1 = Float.max 1e-300 (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (sd *. z)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~sd:sigma)
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Prng.exponential: rate must be positive";
+  -.log (Float.max 1e-300 (1.0 -. float t)) /. rate
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The experiment simulations must be exactly reproducible from their
+    seed — EXPERIMENTS.md records numbers that a re-run has to
+    regenerate bit-for-bit — so they use this self-contained generator
+    rather than [Random]. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded from an integer. *)
+
+val copy : t -> t
+val split : t -> t
+(** A statistically independent generator derived from [t] (advances
+    [t]). *)
+
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, n).  @raise Invalid_argument if [n <= 0]. *)
+
+val bernoulli : t -> float -> bool
+(** True with the given probability (clamped to [0, 1]). *)
+
+val gaussian : t -> mean:float -> sd:float -> float
+(** Box–Muller. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian — non-negative, right-skewed; the conventional
+    model for task-completion times. *)
+
+val exponential : t -> rate:float -> float
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a array -> unit

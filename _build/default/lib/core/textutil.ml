@@ -1,0 +1,142 @@
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let words s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_alnum c then Buffer.add_char buf c else flush ()) s;
+  flush ();
+  List.rev !out
+
+let normalise_word w =
+  let w = String.lowercase_ascii w in
+  let n = String.length w in
+  if n > 3 && w.[n - 1] = 's' && w.[n - 2] <> 's' then String.sub w 0 (n - 1)
+  else w
+
+let stop_words =
+  [
+    "a"; "an"; "the"; "is"; "are"; "was"; "were"; "be"; "been"; "being";
+    "and"; "or"; "not"; "no"; "of"; "to"; "in"; "on"; "at"; "by"; "for";
+    "with"; "from"; "that"; "this"; "these"; "those"; "it"; "its"; "as";
+    "all"; "any"; "each"; "when"; "if"; "then"; "than"; "so"; "such";
+    "will"; "shall"; "can"; "cannot"; "must"; "may"; "might"; "do"; "doe";
+    "ha"; "has"; "have"; "had"; "which"; "who"; "whom"; "what"; "where";
+  ]
+
+let content_words s =
+  words s
+  |> List.map normalise_word
+  |> List.filter (fun w -> not (List.mem w stop_words))
+
+let sentences s =
+  let out = ref [] in
+  let buf = Buffer.create 64 in
+  let flush () =
+    let t = String.trim (Buffer.contents buf) in
+    if t <> "" then out := t :: !out;
+    Buffer.clear buf
+  in
+  String.iter
+    (fun c ->
+      match c with '.' | '!' | '?' -> flush () | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+let is_vowel c =
+  match Char.lowercase_ascii c with
+  | 'a' | 'e' | 'i' | 'o' | 'u' | 'y' -> true
+  | _ -> false
+
+let syllables w =
+  let n = String.length w in
+  if n = 0 then 0
+  else begin
+    let count = ref 0 in
+    let prev_vowel = ref false in
+    String.iter
+      (fun c ->
+        let v = is_vowel c in
+        if v && not !prev_vowel then incr count;
+        prev_vowel := v)
+      w;
+    (* A final silent 'e' usually does not add a syllable. *)
+    if n > 2 && Char.lowercase_ascii w.[n - 1] = 'e' && not (is_vowel w.[n - 2])
+    then decr count;
+    max 1 !count
+  end
+
+let flesch_reading_ease text =
+  let ws = words text in
+  let ss = sentences text in
+  match (ws, ss) with
+  | [], _ | _, [] -> 100.0
+  | _ ->
+      let nw = float_of_int (List.length ws) in
+      let ns = float_of_int (List.length ss) in
+      let syl =
+        float_of_int (List.fold_left (fun acc w -> acc + syllables w) 0 ws)
+      in
+      206.835 -. (1.015 *. (nw /. ns)) -. (84.6 *. (syl /. nw))
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <-
+          min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let symbolic_digraphs = [ "=>"; "->"; "|-"; "<->"; ":-"; "/\\"; "\\/" ]
+
+let symbolic_utf8 =
+  [ "\xc2\xac" (* ¬ *); "\xe2\x88\xa7" (* ∧ *); "\xe2\x88\xa8" (* ∨ *);
+    "\xe2\x86\x92" (* → *); "\xe2\x87\x92" (* ⇒ *); "\xe2\x88\x80" (* ∀ *);
+    "\xe2\x88\x83" (* ∃ *) ]
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 || nn > nh then false
+  else
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub hay i nn = needle then true
+      else go (i + 1)
+    in
+    go 0
+
+(* An applied-term shape like [wcet(task_1, 250)]: an identifier directly
+   followed by an opening parenthesis. *)
+let has_applied_term s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then false
+    else if s.[i] = '(' && i > 0 && (is_alnum s.[i - 1] || s.[i - 1] = '_')
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let contains_symbolic_notation s =
+  List.exists (contains_substring s) symbolic_digraphs
+  || List.exists (contains_substring s) symbolic_utf8
+  || contains_substring s "&"
+  || has_applied_term s

@@ -1,0 +1,1 @@
+lib/dialectic/af.ml: Argus_core Array Format List String

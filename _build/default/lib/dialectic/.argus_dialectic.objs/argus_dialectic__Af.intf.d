@@ -1,0 +1,1 @@
+lib/dialectic/af.mli: Argus_core Format

@@ -1,0 +1,1 @@
+lib/dialectic/dialogue.ml: Af Argus_core Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/dialectic/dialogue.mli: Af Argus_core Format

@@ -1,0 +1,113 @@
+module Id = Argus_core.Id
+
+type t = {
+  args : Id.t list;  (** Insertion order, no duplicates. *)
+  attacks : (Id.t * Id.t) list;  (** (attacker, target), no duplicates. *)
+}
+
+let empty = { args = []; attacks = [] }
+
+let add_argument a t =
+  if List.exists (Id.equal a) t.args then t else { t with args = t.args @ [ a ] }
+
+let add_attack ~attacker ~target t =
+  let t = add_argument attacker (add_argument target t) in
+  if List.mem (attacker, target) t.attacks then t
+  else { t with attacks = t.attacks @ [ (attacker, target) ] }
+
+let of_lists ~arguments ~attacks =
+  let t =
+    List.fold_left (fun t a -> add_argument (Id.of_string a) t) empty arguments
+  in
+  List.fold_left
+    (fun t (a, b) ->
+      add_attack ~attacker:(Id.of_string a) ~target:(Id.of_string b) t)
+    t attacks
+
+let arguments t = t.args
+let size t = List.length t.args
+
+let attackers a t =
+  List.filter_map
+    (fun (x, y) -> if Id.equal y a then Some x else None)
+    t.attacks
+
+let attacks_of a t =
+  List.filter_map
+    (fun (x, y) -> if Id.equal x a then Some y else None)
+    t.attacks
+
+let set_attacks t s a =
+  List.exists (fun m -> List.exists (Id.equal a) (attacks_of m t)) (Id.Set.elements s)
+
+let conflict_free t s =
+  not
+    (List.exists
+       (fun (x, y) -> Id.Set.mem x s && Id.Set.mem y s)
+       t.attacks)
+
+let defends t s a =
+  List.for_all (fun attacker -> set_attacks t s attacker) (attackers a t)
+
+let admissible t s =
+  conflict_free t s && Id.Set.for_all (fun a -> defends t s a) s
+
+let grounded t =
+  (* Least fixpoint of F(S) = arguments defended by S. *)
+  let rec iterate s =
+    let s' =
+      List.filter (fun a -> defends t s a) t.args |> Id.Set.of_list
+    in
+    if Id.Set.equal s s' then s else iterate s'
+  in
+  iterate Id.Set.empty
+
+let all_subsets args =
+  (* Subsets in increasing-size-friendly order (bit enumeration). *)
+  let arr = Array.of_list args in
+  let n = Array.length arr in
+  List.init (1 lsl n) (fun mask ->
+      let s = ref Id.Set.empty in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then s := Id.Set.add arr.(i) !s
+      done;
+      !s)
+
+let preferred t =
+  if size t > 16 then
+    invalid_arg "Af.preferred: framework too large for subset search";
+  let admissibles = List.filter (admissible t) (all_subsets t.args) in
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun s' -> (not (Id.Set.equal s s')) && Id.Set.subset s s')
+           admissibles))
+    admissibles
+
+let stable t =
+  if size t > 16 then
+    invalid_arg "Af.stable: framework too large for subset search";
+  List.filter
+    (fun s ->
+      conflict_free t s
+      && List.for_all
+           (fun a -> Id.Set.mem a s || set_attacks t s a)
+           t.args)
+    (all_subsets t.args)
+
+type status = Accepted | Rejected | Undecided
+
+let status t a =
+  let g = grounded t in
+  if Id.Set.mem a g then Accepted
+  else if set_attacks t g a then Rejected
+  else Undecided
+
+let pp ppf t =
+  Format.fprintf ppf "arguments: %s@."
+    (String.concat ", " (List.map Id.to_string t.args));
+  List.iter
+    (fun (x, y) ->
+      Format.fprintf ppf "  %a attacks %a@." Id.pp x Id.pp y)
+    t.attacks

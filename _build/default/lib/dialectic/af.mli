@@ -1,0 +1,55 @@
+(** Abstract argumentation frameworks (Dung 1995).
+
+    The substrate for Tolchinsky et al.'s deliberation dialogues
+    (Section III.O of the paper): arguments and an attack relation, with
+    the standard acceptability semantics.  Non-monotonic by
+    construction — adding an attacker can retract a previously
+    acceptable argument, which is what makes the dialogue games of
+    {!Dialogue} meaningful.
+
+    Semantics implemented via the standard labelling approach:
+    {!grounded} is the least fixpoint of the characteristic function;
+    {!preferred} and {!stable} by maximal-admissible search (the
+    frameworks a dialogue builds are small, so exponential search is
+    fine and is bounded by the argument count). *)
+
+type t
+
+val empty : t
+val add_argument : Argus_core.Id.t -> t -> t
+val add_attack : attacker:Argus_core.Id.t -> target:Argus_core.Id.t -> t -> t
+(** Endpoints are added implicitly if absent. *)
+
+val of_lists :
+  arguments:string list -> attacks:(string * string) list -> t
+
+val arguments : t -> Argus_core.Id.t list
+(** Insertion order. *)
+
+val attackers : Argus_core.Id.t -> t -> Argus_core.Id.t list
+val attacks_of : Argus_core.Id.t -> t -> Argus_core.Id.t list
+val size : t -> int
+
+val conflict_free : t -> Argus_core.Id.Set.t -> bool
+val defends : t -> Argus_core.Id.Set.t -> Argus_core.Id.t -> bool
+(** [defends af s a]: every attacker of [a] is attacked by some member
+    of [s]. *)
+
+val admissible : t -> Argus_core.Id.Set.t -> bool
+val grounded : t -> Argus_core.Id.Set.t
+(** The (unique) grounded extension. *)
+
+val preferred : t -> Argus_core.Id.Set.t list
+(** All maximal admissible sets; at least one (possibly empty). *)
+
+val stable : t -> Argus_core.Id.Set.t list
+(** Conflict-free sets attacking every outside argument; may be none. *)
+
+(** Acceptability status of one argument under grounded semantics. *)
+type status = Accepted | Rejected | Undecided
+
+val status : t -> Argus_core.Id.t -> status
+(** [Accepted] if in the grounded extension, [Rejected] if attacked by
+    it, [Undecided] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+
+type move_kind = Propose | Objection of Id.t | Rebuttal of Id.t
+
+type move = { id : Id.t; by : string; kind : move_kind; statement : string }
+
+type t = { all : move list (** In move order; head is the proposal. *) }
+
+let start ~id ~by statement =
+  { all = [ { id = Id.of_string id; by; kind = Propose; statement } ] }
+
+let move ~id ~by ~kind statement t =
+  { all = t.all @ [ { id = Id.of_string id; by; kind; statement } ] }
+
+let moves t = t.all
+let proposal t = List.hd t.all
+
+let check t =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun k m ->
+      if Hashtbl.mem seen m.id then
+        add
+          (Diagnostic.errorf ~code:"dialogue/duplicate-move"
+             ~subjects:[ m.id ] "move id reused");
+      (match m.kind with
+      | Propose ->
+          if k > 0 then
+            add
+              (Diagnostic.errorf ~code:"dialogue/second-proposal"
+                 ~subjects:[ m.id ]
+                 "a deliberation dialogue has a single proposal")
+      | Objection target | Rebuttal target -> (
+          match Hashtbl.find_opt seen target with
+          | None ->
+              add
+                (Diagnostic.errorf ~code:"dialogue/dangling-target"
+                   ~subjects:[ m.id; target ]
+                   "move targets a move that has not been made")
+          | Some earlier_by ->
+              if earlier_by = m.by then
+                add
+                  (Diagnostic.warningf ~code:"dialogue/self-attack"
+                     ~subjects:[ m.id; target ]
+                     "%s attacks their own earlier move" m.by)));
+      Hashtbl.replace seen m.id m.by)
+    t.all;
+  Diagnostic.sort (List.rev !out)
+
+let framework t =
+  List.fold_left
+    (fun af m ->
+      match m.kind with
+      | Propose -> Af.add_argument m.id af
+      | Objection target | Rebuttal target ->
+          Af.add_attack ~attacker:m.id ~target af)
+    Af.empty t.all
+
+let pp ppf t =
+  List.iter
+    (fun m ->
+      let kind =
+        match m.kind with
+        | Propose -> "proposes"
+        | Objection target ->
+            Printf.sprintf "objects to %s:" (Id.to_string target)
+        | Rebuttal target ->
+            Printf.sprintf "rebuts %s:" (Id.to_string target)
+      in
+      Format.fprintf ppf "%a  %s %s %S@." Id.pp m.id m.by kind m.statement)
+    t.all
+
+type decision = Proceed | Do_not_proceed | Undecided
+
+let decision t =
+  let af = framework t in
+  match Af.status af (proposal t).id with
+  | Af.Accepted -> Proceed
+  | Af.Rejected -> Do_not_proceed
+  | Af.Undecided -> Undecided

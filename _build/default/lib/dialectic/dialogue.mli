@@ -1,0 +1,54 @@
+(** Deliberation dialogues for safety-critical actions
+    (Tolchinsky et al., Section III.O of the paper).
+
+    A proposal (e.g. "transplant this organ into this patient") is
+    debated by moves that raise safety factors against it and rebut
+    those factors.  The record of moves induces an abstract
+    argumentation framework — objections attack what they object to,
+    rebuttals attack objections — and the current {!decision} is the
+    grounded acceptability of the proposal, which changes
+    non-monotonically as moves arrive: exactly the on-line
+    decision-support use the surveyed paper describes (and, as the
+    survey notes, {e not} the way safety cases are normally used). *)
+
+type move_kind =
+  | Propose  (** The initial action proposal. *)
+  | Objection of Argus_core.Id.t  (** Raises a factor against a move. *)
+  | Rebuttal of Argus_core.Id.t  (** Counters an objection (or any move). *)
+
+type move = {
+  id : Argus_core.Id.t;
+  by : string;  (** The professional making the move. *)
+  kind : move_kind;
+  statement : string;
+}
+
+type t
+
+val start : id:string -> by:string -> string -> t
+(** [start ~id ~by statement] opens the dialogue with the proposal. *)
+
+val move :
+  id:string -> by:string -> kind:move_kind -> string -> t -> t
+(** Appends a move.  Structural legality is reported by {!check}, not
+    enforced here, so ill-formed dialogues can be represented and
+    diagnosed. *)
+
+val moves : t -> move list
+val proposal : t -> move
+
+val check : t -> Argus_core.Diagnostic.t list
+(** Codes under ["dialogue/"]: ["dialogue/duplicate-move"],
+    ["dialogue/dangling-target"] (target not an earlier move),
+    ["dialogue/self-attack"] (a participant attacking their own move),
+    ["dialogue/second-proposal"]. *)
+
+val framework : t -> Af.t
+(** The induced argumentation framework. *)
+
+type decision = Proceed | Do_not_proceed | Undecided
+
+val decision : t -> decision
+(** Grounded status of the proposal: accepted, rejected or undecided. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dsl/dsl.ml: Argus_core Argus_gsn Argus_logic Buffer Format Hashtbl List Printf String

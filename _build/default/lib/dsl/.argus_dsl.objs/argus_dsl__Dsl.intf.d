@@ -1,0 +1,1 @@
+lib/dsl/dsl.mli: Argus_core Argus_gsn

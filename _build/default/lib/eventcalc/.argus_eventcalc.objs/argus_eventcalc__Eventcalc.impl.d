@@ -1,0 +1,1 @@
+lib/eventcalc/eventcalc.ml: Argus_logic Format List String

@@ -1,0 +1,1 @@
+lib/eventcalc/eventcalc.mli: Argus_logic Format

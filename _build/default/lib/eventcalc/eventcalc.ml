@@ -1,0 +1,134 @@
+module Term = Argus_logic.Term
+
+type fluent = Term.t
+type event = Term.t
+
+type effect_axiom = {
+  event : event;
+  conditions : fluent list;
+  initiates : fluent list;
+  terminates : fluent list;
+}
+
+type narrative = (int * event) list
+
+type t = {
+  initially : fluent list;
+  axioms : effect_axiom list;
+  narrative : narrative;  (** Sorted by time. *)
+  horizon : int;
+}
+
+let make ?(initially = []) ~axioms narrative =
+  let narrative = List.sort (fun (a, _) (b, _) -> compare a b) narrative in
+  let horizon =
+    1 + List.fold_left (fun acc (t, _) -> max acc t) 0 narrative
+  in
+  { initially; axioms; narrative; horizon }
+
+let horizon t = t.horizon
+
+let happens_at t time =
+  List.filter_map
+    (fun (tm, e) -> if tm = time then Some e else None)
+    t.narrative
+
+(* Effects are conditional on the state when the event happens, so
+   states are computed by forward simulation from time 0. *)
+let effects_in sys state time =
+  (* (initiated, terminated) fluents produced by occurrences at [time]
+     given the [state] at that time. *)
+  List.fold_left
+    (fun (inits, terms) event ->
+      List.fold_left
+        (fun (inits, terms) ax ->
+          if
+            Term.equal ax.event event
+            && List.for_all (fun c -> List.exists (Term.equal c) state)
+                 ax.conditions
+          then (ax.initiates @ inits, ax.terminates @ terms)
+          else (inits, terms))
+        (inits, terms) sys.axioms)
+    ([], []) (happens_at sys time)
+
+let state_set sys time =
+  let rec step state t =
+    if t >= time then state
+    else
+      let inits, terms = effects_in sys state t in
+      let survived =
+        List.filter (fun f -> not (List.exists (Term.equal f) terms)) state
+      in
+      let added =
+        List.filter
+          (fun f -> not (List.exists (Term.equal f) survived))
+          inits
+      in
+      step (survived @ added) (t + 1)
+  in
+  step sys.initially 0
+
+let holds_at sys time f = List.exists (Term.equal f) (state_set sys time)
+let state_at sys time = state_set sys time
+
+let availability sys ?(within = 1) ~after f =
+  List.for_all
+    (fun (time, e) ->
+      if not (Term.equal e after) then true
+      else
+        let rec ok k =
+          k <= within
+          && (holds_at sys (time + k) f || ok (k + 1))
+        in
+        ok 1)
+    sys.narrative
+
+let denial sys ~when_not f =
+  let rec go time =
+    time > horizon sys
+    || ((holds_at sys time when_not || not (holds_at sys time f))
+       && go (time + 1))
+  in
+  go 0
+
+let explanation sys time f =
+  if not (holds_at sys time f) then []
+  else
+    (* Most recent occurrence strictly before [time] that initiated f
+       (with conditions satisfied). *)
+    let rec search t =
+      if t < 0 then []
+      else
+        let inits, _ = effects_in sys (state_set sys t) t in
+        if List.exists (Term.equal f) inits then
+          List.filter_map
+            (fun (tm, e) ->
+              if tm = t then
+                let initiated_by_e =
+                  List.exists
+                    (fun ax ->
+                      Term.equal ax.event e
+                      && List.exists (Term.equal f) ax.initiates
+                      && List.for_all
+                           (fun c -> holds_at sys t c)
+                           ax.conditions)
+                    sys.axioms
+                in
+                if initiated_by_e then Some (tm, e) else None
+              else None)
+            sys.narrative
+        else search (t - 1)
+    in
+    search (time - 1)
+
+let pp_timeline ppf sys =
+  for time = 0 to horizon sys do
+    let events = happens_at sys time in
+    let state = state_at sys time in
+    Format.fprintf ppf "t=%d  holds: {%s}" time
+      (String.concat ", " (List.map Term.to_string state));
+    if events <> [] then
+      Format.fprintf ppf "  happens: {%s}"
+        (String.concat ", " (List.map Term.to_string events));
+    Format.fprintf ppf "@."
+  done

@@ -1,0 +1,70 @@
+(** A discrete Event Calculus.
+
+    Tun et al. (Section III.P of the paper) formalise privacy arguments
+    into the Event Calculus so that "requirement satisfaction can be
+    reasoned about": fluents like [SamePF(user, subject)] hold at times,
+    events like [Tap(user, subject)] happen and initiate or terminate
+    fluents.  This module is the discrete-time fragment their examples
+    need: inertial fluents over integer time, [Initiates]/[Terminates]
+    effect axioms with (ground, conjunctive) fluent preconditions, a
+    narrative of event occurrences, and queries [holds_at] /
+    [happens_at], plus the three property checks their paper names
+    (information availability, denial, and explanation).
+
+    Fluents and events are {!Argus_logic.Term} ground terms. *)
+
+type fluent = Argus_logic.Term.t
+type event = Argus_logic.Term.t
+
+type effect_axiom = {
+  event : event;
+  conditions : fluent list;
+      (** Fluents that must hold when the event happens. *)
+  initiates : fluent list;
+  terminates : fluent list;
+}
+
+type narrative = (int * event) list
+(** Event occurrences at integer times; order irrelevant. *)
+
+type t
+
+val make :
+  ?initially:fluent list -> axioms:effect_axiom list -> narrative -> t
+
+val horizon : t -> int
+(** Latest narrative time + 1. *)
+
+val happens_at : t -> int -> event list
+
+val holds_at : t -> int -> fluent -> bool
+(** Inertia: a fluent holds at [t] iff it held initially and was never
+    terminated before [t], or some occurrence at [t' < t] initiated it
+    (with its axiom's conditions holding at [t']) and no later
+    occurrence before [t] terminated it.  An event at time [t] affects
+    times [> t]. *)
+
+val state_at : t -> int -> fluent list
+(** All fluents holding at the time, from the (finite) set of fluents
+    mentioned anywhere in the system. *)
+
+(** The three privacy-argument checks of the surveyed paper. *)
+
+val availability : t -> ?within:int -> after:event -> fluent -> bool
+(** Information availability: after every occurrence of [after], the
+    fluent holds within [within] steps (default 1) — e.g. a location
+    query is answered after a tap. *)
+
+val denial : t -> when_not:fluent -> fluent -> bool
+(** Denial: at every time where [when_not] does not hold, the fluent
+    does not hold either — e.g. location is never disclosed to
+    non-friends. *)
+
+val explanation : t -> int -> fluent -> (int * event) list
+(** Explanation: the occurrences that causally support the fluent
+    holding at the time — the initiating occurrence (most recent one)
+    if the fluent holds by initiation, [] if it holds initially or does
+    not hold. *)
+
+val pp_timeline : Format.formatter -> t -> unit
+(** One line per time step: events happening, fluents holding. *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_a.ml: Argus_fallacy Argus_logic Format List Printf Prng Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_b.ml: Format List Prng Stats

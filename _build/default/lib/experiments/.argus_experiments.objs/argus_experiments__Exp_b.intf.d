@@ -1,0 +1,1 @@
+lib/experiments/exp_b.mli: Format Stats

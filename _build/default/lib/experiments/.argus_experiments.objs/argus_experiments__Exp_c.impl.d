@@ -1,0 +1,1 @@
+lib/experiments/exp_c.ml: Argus_core Float Format List Prng Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_c.mli: Argus_core Format

@@ -1,0 +1,1 @@
+lib/experiments/exp_d.ml: Argus_core Argus_gsn Argus_patterns Format List Printf Prng Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_d.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_e.ml: Argus_confidence Argus_core Argus_gsn Argus_logic Array Float Format List Printf Prng Result Stats String

@@ -1,0 +1,1 @@
+lib/experiments/exp_e.mli: Format

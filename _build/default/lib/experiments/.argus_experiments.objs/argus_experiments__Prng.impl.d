@@ -1,0 +1,1 @@
+lib/experiments/prng.ml: Argus_core

@@ -1,0 +1,1 @@
+lib/experiments/stats.ml: Array Float List

@@ -1,0 +1,3 @@
+(* Re-export: the generator lives in the core library so that other
+   subsystems (e.g. bounded LTL refutation in argus.kaos) can share it. *)
+include Argus_core.Prng

@@ -1,0 +1,202 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      let v i = List.nth sorted (max 0 (min (n - 1) i)) in
+      ((1.0 -. frac) *. v lo) +. (frac *. v hi)
+
+let median xs = percentile 50.0 xs
+
+let ci95 xs =
+  let m = mean xs in
+  match List.length xs with
+  | 0 | 1 -> (m, m)
+  | n ->
+      let se = stddev xs /. sqrt (float_of_int n) in
+      (m -. (1.96 *. se), m +. (1.96 *. se))
+
+(* Regularised incomplete beta function by Lentz's continued fraction
+   (Numerical Recipes' betacf/betai). *)
+let rec betai a b x =
+  if x < 0.0 || x > 1.0 then invalid_arg "betai: x outside [0,1]";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else
+    let lbeta =
+      let rec lgamma z =
+        (* Lanczos approximation. *)
+        let g = 7.0 in
+        let c =
+          [|
+            0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+            771.32342877765313; -176.61502916214059; 12.507343278686905;
+            -0.13857109526572012; 9.9843695780195716e-6;
+            1.5056327351493116e-7;
+          |]
+        in
+        if z < 0.5 then
+          log (Float.pi /. sin (Float.pi *. z)) -. lgamma_pos (1.0 -. z) g c
+        else lgamma_pos z g c
+      and lgamma_pos z g c =
+        let z = z -. 1.0 in
+        let x = ref c.(0) in
+        for i = 1 to 8 do
+          x := !x +. (c.(i) /. (z +. float_of_int i))
+        done;
+        let t = z +. g +. 0.5 in
+        (0.5 *. log (2.0 *. Float.pi))
+        +. ((z +. 0.5) *. log t)
+        -. t +. log !x
+      in
+      lgamma a +. lgamma b -. lgamma (a +. b)
+    in
+    let front = exp ((a *. log x) +. (b *. log (1.0 -. x)) -. lbeta) in
+    let betacf a b x =
+      let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+      let c = ref 1.0 in
+      let d = ref (1.0 -. (qab *. x /. qap)) in
+      if Float.abs !d < 1e-30 then d := 1e-30;
+      d := 1.0 /. !d;
+      let h = ref !d in
+      (try
+         for m = 1 to 200 do
+           let mf = float_of_int m in
+           let m2 = 2.0 *. mf in
+           let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+           d := 1.0 +. (aa *. !d);
+           if Float.abs !d < 1e-30 then d := 1e-30;
+           c := 1.0 +. (aa /. !c);
+           if Float.abs !c < 1e-30 then c := 1e-30;
+           d := 1.0 /. !d;
+           h := !h *. !d *. !c;
+           let aa =
+             -.(a +. mf) *. (qab +. mf) *. x
+             /. ((a +. m2) *. (qap +. m2))
+           in
+           d := 1.0 +. (aa *. !d);
+           if Float.abs !d < 1e-30 then d := 1e-30;
+           c := 1.0 +. (aa /. !c);
+           if Float.abs !c < 1e-30 then c := 1e-30;
+           d := 1.0 /. !d;
+           let del = !d *. !c in
+           h := !h *. del;
+           if Float.abs (del -. 1.0) < 3e-12 then raise Exit
+         done
+       with Exit -> ());
+      !h
+    in
+    if x <= (a +. 1.0) /. (a +. b +. 2.0) then front *. betacf a b x /. a
+    else 1.0 -. betai b a (1.0 -. x)
+
+let student_t_cdf t df =
+  if df <= 0.0 then invalid_arg "student_t_cdf: df must be positive";
+  let x = df /. (df +. (t *. t)) in
+  let tail = 0.5 *. betai (df /. 2.0) 0.5 x in
+  if t >= 0.0 then 1.0 -. tail else tail
+
+type t_test = { t : float; df : float; p : float }
+
+let welch_t xs ys =
+  let nx = List.length xs and ny = List.length ys in
+  if nx < 2 || ny < 2 then { t = 0.0; df = 1.0; p = 1.0 }
+  else
+    let vx = variance xs and vy = variance ys in
+    let nxf = float_of_int nx and nyf = float_of_int ny in
+    let sx = vx /. nxf and sy = vy /. nyf in
+    if sx +. sy <= 0.0 then { t = 0.0; df = 1.0; p = 1.0 }
+    else
+      let t = (mean xs -. mean ys) /. sqrt (sx +. sy) in
+      let df =
+        ((sx +. sy) ** 2.0)
+        /. ((sx ** 2.0 /. (nxf -. 1.0)) +. (sy ** 2.0 /. (nyf -. 1.0)))
+      in
+      let p = 2.0 *. (1.0 -. student_t_cdf (Float.abs t) df) in
+      { t; df; p = Float.max 0.0 (Float.min 1.0 p) }
+
+let cohens_d xs ys =
+  let nx = List.length xs and ny = List.length ys in
+  if nx < 2 || ny < 2 then 0.0
+  else
+    let pooled =
+      sqrt
+        (((float_of_int (nx - 1) *. variance xs)
+         +. (float_of_int (ny - 1) *. variance ys))
+        /. float_of_int (nx + ny - 2))
+    in
+    if pooled = 0.0 then 0.0 else (mean xs -. mean ys) /. pooled
+
+let pearson_r pairs =
+  match pairs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let xs = List.map fst pairs and ys = List.map snd pairs in
+      let mx = mean xs and my = mean ys in
+      let cov =
+        List.fold_left
+          (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my)))
+          0.0 pairs
+      in
+      let sx =
+        sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs)
+      in
+      let sy =
+        sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys)
+      in
+      if sx = 0.0 || sy = 0.0 then 0.0 else cov /. (sx *. sy)
+
+let fleiss_kappa m =
+  let n_subjects = Array.length m in
+  if n_subjects = 0 then invalid_arg "fleiss_kappa: no subjects";
+  let n_categories = Array.length m.(0) in
+  let raters = Array.fold_left ( + ) 0 m.(0) in
+  if raters < 2 then invalid_arg "fleiss_kappa: need at least two raters";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_categories then
+        invalid_arg "fleiss_kappa: ragged matrix";
+      if Array.fold_left ( + ) 0 row <> raters then
+        invalid_arg "fleiss_kappa: unequal rater counts")
+    m;
+  let nf = float_of_int n_subjects and rf = float_of_int raters in
+  (* Per-subject agreement. *)
+  let p_i row =
+    let sum_sq =
+      Array.fold_left (fun acc k -> acc +. (float_of_int k ** 2.0)) 0.0 row
+    in
+    (sum_sq -. rf) /. (rf *. (rf -. 1.0))
+  in
+  let p_bar = Array.fold_left (fun acc row -> acc +. p_i row) 0.0 m /. nf in
+  (* Category proportions. *)
+  let p_e =
+    let total = nf *. rf in
+    let cat j =
+      Array.fold_left (fun acc row -> acc +. float_of_int row.(j)) 0.0 m
+      /. total
+    in
+    let acc = ref 0.0 in
+    for j = 0 to n_categories - 1 do
+      acc := !acc +. (cat j ** 2.0)
+    done;
+    !acc
+  in
+  if 1.0 -. p_e < 1e-12 then 1.0 else (p_bar -. p_e) /. (1.0 -. p_e)

@@ -1,0 +1,50 @@
+(** Descriptive and inferential statistics for the experiment harness.
+
+    Section VI proposes between-group comparisons (review time with and
+    without a formal-fallacy duty, defect rates with and without tool
+    checking) and agreement measures (evidence-sufficiency judgments
+    across assessors); this module provides the corresponding
+    estimators: summary statistics with confidence intervals, Welch's
+    t-test, Cohen's d, and Fleiss' kappa. *)
+
+val mean : float list -> float
+(** 0 on an empty list. *)
+
+val variance : float list -> float
+(** Unbiased sample variance; 0 when fewer than two points. *)
+
+val stddev : float list -> float
+val median : float list -> float
+val percentile : float -> float list -> float
+(** Linear interpolation; argument in [0, 100]. *)
+
+val ci95 : float list -> float * float
+(** Normal-approximation 95% confidence interval for the mean. *)
+
+type t_test = {
+  t : float;
+  df : float;  (** Welch–Satterthwaite degrees of freedom. *)
+  p : float;  (** Two-sided p-value. *)
+}
+
+val welch_t : float list -> float list -> t_test
+(** Welch's unequal-variances t-test.  With degenerate inputs (fewer
+    than two points, or both variances zero) returns [t = 0], [df = 1],
+    [p = 1]. *)
+
+val cohens_d : float list -> float list -> float
+(** Standardised mean difference (pooled SD); 0 when degenerate. *)
+
+val pearson_r : (float * float) list -> float
+(** Sample correlation coefficient; 0 when degenerate (fewer than two
+    points or zero variance on either axis). *)
+
+val fleiss_kappa : int array array -> float
+(** [fleiss_kappa m] where [m.(subject).(category)] counts the raters
+    assigning the subject to the category.  All subjects must have the
+    same total number of raters (>= 2).  1 = perfect agreement, 0 =
+    chance.  @raise Invalid_argument on ragged input. *)
+
+val student_t_cdf : float -> float -> float
+(** [student_t_cdf t df] — CDF of Student's t, via the regularised
+    incomplete beta function; exposed for tests. *)

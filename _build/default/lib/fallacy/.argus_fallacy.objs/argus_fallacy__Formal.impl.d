@@ -1,0 +1,1 @@
+lib/fallacy/formal.ml: Argus_logic List

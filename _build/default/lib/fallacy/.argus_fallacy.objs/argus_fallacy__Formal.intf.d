@@ -1,0 +1,1 @@
+lib/fallacy/formal.mli: Argus_logic

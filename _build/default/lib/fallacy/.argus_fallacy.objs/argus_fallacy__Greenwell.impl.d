@@ -1,0 +1,1 @@
+lib/fallacy/greenwell.ml: Argus_logic Formal List

@@ -1,0 +1,1 @@
+lib/fallacy/greenwell.mli: Formal

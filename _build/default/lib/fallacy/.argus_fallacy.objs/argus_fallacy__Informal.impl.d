@@ -1,0 +1,1 @@
+lib/fallacy/informal.ml: Argus_core Argus_gsn Argus_logic Argus_prolog Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/fallacy/informal.mli: Argus_core Argus_gsn Argus_prolog

@@ -1,0 +1,110 @@
+module Prop = Argus_logic.Prop
+module Sat = Argus_logic.Sat
+module Syllogism = Argus_logic.Syllogism
+
+type finding =
+  | Begging_the_question
+  | Incompatible_premises
+  | Premise_conclusion_contradiction
+  | Denying_the_antecedent
+  | Affirming_the_consequent
+  | False_conversion
+  | Undistributed_middle
+  | Illicit_distribution
+
+type propositional = { premises : Prop.t list; conclusion : Prop.t }
+
+type conversion = {
+  from : Syllogism.proposition;
+  to_ : Syllogism.proposition;
+}
+
+let all_findings =
+  [
+    Begging_the_question;
+    Incompatible_premises;
+    Premise_conclusion_contradiction;
+    Denying_the_antecedent;
+    Affirming_the_consequent;
+    False_conversion;
+    Undistributed_middle;
+    Illicit_distribution;
+  ]
+
+let finding_to_string = function
+  | Begging_the_question -> "begging the question"
+  | Incompatible_premises -> "incompatible premises"
+  | Premise_conclusion_contradiction ->
+      "contradiction between premise and conclusion"
+  | Denying_the_antecedent -> "denying the antecedent"
+  | Affirming_the_consequent -> "affirming the consequent"
+  | False_conversion -> "false conversion"
+  | Undistributed_middle -> "undistributed middle term"
+  | Illicit_distribution -> "illicit distribution of an end term"
+
+let is_valid_propositional { premises; conclusion } =
+  Sat.entails premises conclusion
+
+let check_propositional ({ premises; conclusion } as arg) =
+  let out = ref [] in
+  let add f = if not (List.mem f !out) then out := f :: !out in
+  (* 1. Begging the question: a premise equivalent to the conclusion.
+     Only meaningful when the premises are consistent (otherwise
+     everything is "equivalent" in the empty model set). *)
+  let premises_consistent = Sat.satisfiable (Prop.conj premises) in
+  if
+    premises_consistent
+    && List.exists
+         (fun p -> Prop.equal p conclusion || Sat.equivalent p conclusion)
+         premises
+  then add Begging_the_question;
+  (* 2. Incompatible premises. *)
+  if (not premises_consistent) && List.length premises > 1 then
+    add Incompatible_premises;
+  (* 3. Premise/conclusion contradiction: some single premise is
+     inconsistent with the conclusion. *)
+  if
+    premises_consistent
+    && List.exists
+         (fun p -> not (Sat.satisfiable (Prop.And (p, conclusion))))
+         premises
+  then add Premise_conclusion_contradiction;
+  (* 4/5. Conditional-shape fallacies, only when not actually valid. *)
+  if not (is_valid_propositional arg) then
+    List.iter
+      (fun p ->
+        match p with
+        | Prop.Implies (a, b) ->
+            let rest = List.filter (fun q -> not (Prop.equal q p)) premises in
+            let has f = List.exists (fun q -> Prop.equal q f) rest in
+            if has (Prop.Not a) && Prop.equal conclusion (Prop.Not b) then
+              add Denying_the_antecedent;
+            if has b && Prop.equal conclusion a then
+              add Affirming_the_consequent
+        | _ -> ())
+      premises;
+  List.rev !out
+
+let check_syllogism syll =
+  List.filter_map
+    (fun v ->
+      match (v : Syllogism.violation) with
+      | Syllogism.Undistributed_middle -> Some Undistributed_middle
+      | Syllogism.Illicit_major | Syllogism.Illicit_minor ->
+          Some Illicit_distribution
+      | Syllogism.Exclusive_premises | Syllogism.Affirmative_from_negative
+      | Syllogism.Negative_from_affirmatives
+      | Syllogism.Existential_from_universals | Syllogism.Malformed _ ->
+          None)
+    (Syllogism.violations syll)
+  |> List.sort_uniq compare
+
+let check_conversion { from; to_ } =
+  let is_converse =
+    to_.Syllogism.subject = from.Syllogism.predicate
+    && to_.Syllogism.predicate = from.Syllogism.subject
+    && to_.Syllogism.form = from.Syllogism.form
+  in
+  if is_converse && not (Syllogism.conversion_valid from.Syllogism.form) then
+    [ False_conversion ]
+  else []

@@ -1,0 +1,275 @@
+module Prop = Argus_logic.Prop
+
+type kind =
+  | Drawing_wrong_conclusion
+  | Fallacious_use_of_language
+  | Fallacy_of_composition
+  | Hasty_inductive_generalisation
+  | Omission_of_key_evidence
+  | Red_herring
+  | Using_wrong_reasons
+
+let all_kinds =
+  [
+    Drawing_wrong_conclusion;
+    Fallacious_use_of_language;
+    Fallacy_of_composition;
+    Hasty_inductive_generalisation;
+    Omission_of_key_evidence;
+    Red_herring;
+    Using_wrong_reasons;
+  ]
+
+let kind_to_string = function
+  | Drawing_wrong_conclusion -> "drawing the wrong conclusion"
+  | Fallacious_use_of_language -> "fallacious use of language"
+  | Fallacy_of_composition -> "fallacy of composition"
+  | Hasty_inductive_generalisation -> "hasty inductive generalisation"
+  | Omission_of_key_evidence -> "omission of key evidence"
+  | Red_herring -> "red herring"
+  | Using_wrong_reasons -> "using the wrong reasons"
+
+let reported_counts =
+  [
+    (Drawing_wrong_conclusion, 3);
+    (Fallacious_use_of_language, 10);
+    (Fallacy_of_composition, 2);
+    (Hasty_inductive_generalisation, 4);
+    (Omission_of_key_evidence, 5);
+    (Red_herring, 5);
+    (Using_wrong_reasons, 16);
+  ]
+
+let is_strictly_formal (_ : kind) = false
+
+let machine_help = function
+  | Drawing_wrong_conclusion ->
+      "A proof checker prevents drawing the wrong conclusion from symbolic \
+       premises, but one can still assert a rule that draws it from \
+       premises that do not support it; human review of asserted premises \
+       is needed."
+  | Fallacious_use_of_language ->
+      "Symbols are unambiguous, but the natural language binding them to \
+       real-world meaning can still be ambiguous; equivocation survives \
+       formalisation."
+  | Fallacy_of_composition ->
+      "The fallacy exists only where parts can interact; a theorem prover \
+       cannot know how real-world elements interact."
+  | Hasty_inductive_generalisation ->
+      "Formalisation drives the generalisation into the informal part, or \
+       the arguer simply asserts it as a deductive rule; a proof checker \
+       cannot know whether a formal set is complete with respect to the \
+       world."
+  | Omission_of_key_evidence ->
+      "Detecting omission requires knowing what evidence is key; \
+       formalisation can force assertions but cannot validate them."
+  | Red_herring ->
+      "Proof checkers are not distracted by formally irrelevant premises, \
+       but an asserted rule can launder an irrelevant premise into the \
+       conclusion, and misleading symbol names still mislead humans."
+  | Using_wrong_reasons ->
+      "Premises inappropriate to the claim can be encoded as false \
+       premises or asserted rules; machine checking alone cannot \
+       eliminate them."
+
+type instance = {
+  kind : kind;
+  system : string;
+  description : string;
+  argument : Formal.propositional;
+}
+
+let v = Prop.var
+
+(* Build a deductively valid argument whose soundness hinges on the
+   asserted bridge rule [from -> to]: the shape into which each informal
+   fallacy is pressed when formalised. *)
+let bridge ?(extra = []) from_atom to_atom =
+  {
+    Formal.premises = extra @ [ v from_atom; Prop.Implies (v from_atom, v to_atom) ];
+    conclusion = v to_atom;
+  }
+
+let mk kind system description argument = { kind; system; description; argument }
+
+let corpus =
+  (* 3 x drawing the wrong conclusion. *)
+  [
+    mk Drawing_wrong_conclusion "altimeter"
+      "concludes the altimeter is airworthy from evidence that only shows \
+       its firmware compiles without warnings"
+      (bridge "altimeter_fw_compiles_clean" "altimeter_airworthy");
+    mk Drawing_wrong_conclusion "thrust reverser"
+      "concludes in-flight deployment is impossible from evidence that \
+       deployment was not observed during taxi tests"
+      (bridge "no_deploy_in_taxi_tests" "no_inflight_deploy_possible");
+    mk Drawing_wrong_conclusion "insulin pump"
+      "concludes dosing is always correct because the dosing requirement \
+       document was approved"
+      (bridge "dosing_reqs_approved" "dosing_always_correct");
+  ]
+  (* 10 x fallacious use of language (ambiguity/equivocation). *)
+  @ List.map
+      (fun (system, word, description) ->
+        mk Fallacious_use_of_language system description
+          (bridge
+             (word ^ "_property_established")
+             (word ^ "_conclusion_follows")))
+      [
+        ("desert bank", "bank",
+         "'bank' names both a financial institution and a riverside; the \
+          premises are about different banks");
+        ("rail interlock", "secure",
+         "'secure' shifts between 'locked' and 'resistant to attack' \
+          between premise and conclusion");
+        ("UAV", "operator",
+         "'operator' means the pilot in one premise and the airline in \
+          another");
+        ("reactor trip", "fast",
+         "'fast' means 'within 10 ms' in the evidence but 'before damage \
+          occurs' in the claim");
+        ("brake-by-wire", "failure",
+         "'failure' covers both component faults and system-level hazards, \
+          conflating their rates");
+        ("medical monitor", "alarm",
+         "'alarm' denotes the audible signal in tests but the full \
+          escalation chain in the claim");
+        ("flight control", "verified",
+         "'verified' means 'reviewed' in the premise and 'proved' in the \
+          conclusion");
+        ("train door", "closed",
+         "'closed' means 'commanded closed' in the log evidence but \
+          'physically latched' in the hazard analysis");
+        ("battery pack", "isolated",
+         "'isolated' shifts between electrical isolation and physical \
+          containment");
+        ("autopilot", "envelope",
+         "'envelope' means the tested flight regime in evidence but the \
+          certified regime in the claim");
+      ]
+  (* 2 x fallacy of composition. *)
+  @ [
+      mk Fallacy_of_composition "avionics suite"
+        "each LRU meets its own availability target, therefore the \
+         integrated suite does — ignoring shared-bus interactions"
+        (bridge "each_lru_meets_availability" "suite_meets_availability");
+      mk Fallacy_of_composition "software stack"
+        "every task is schedulable in isolation, therefore the task set is \
+         schedulable — ignoring interference"
+        (bridge "each_task_schedulable_alone" "taskset_schedulable");
+    ]
+  (* 4 x hasty inductive generalisation. *)
+  @ [
+      mk Hasty_inductive_generalisation "autonomous shuttle"
+        "10,000 km of trials in fair weather generalised to all operating \
+         conditions"
+        (bridge "trials_fair_weather_ok" "all_conditions_ok");
+      mk Hasty_inductive_generalisation "pacemaker"
+        "bench results on three units generalised to the production \
+         population"
+        (bridge "three_units_pass_bench" "population_conforms");
+      mk Hasty_inductive_generalisation "rail signalling"
+        "no wrong-side failure in one year of service generalised to the \
+         30-year life"
+        (bridge "one_year_no_wsf" "life_no_wsf");
+      mk Hasty_inductive_generalisation "engine controller"
+        "nominal-load test coverage generalised to all load profiles"
+        (bridge "nominal_load_tests_pass" "all_loads_pass");
+    ]
+  (* 5 x omission of key evidence. *)
+  @ [
+      mk Omission_of_key_evidence "chemical plant"
+        "argues all identified hazards are managed without evidence that \
+         hazard identification was adequate"
+        (bridge "identified_hazards_managed" "all_hazards_managed");
+      mk Omission_of_key_evidence "flight management system"
+        "cites unit tests but omits the integration test campaign that \
+         was never run"
+        (bridge "unit_tests_pass" "verification_complete");
+      mk Omission_of_key_evidence "infusion pump"
+        "omits the usability study on which the mitigation of use errors \
+         depends"
+        (bridge "device_alarms_work" "use_errors_mitigated");
+      mk Omission_of_key_evidence "level crossing"
+        "claims sensor coverage without the site survey evidencing it"
+        (bridge "sensors_installed" "coverage_adequate");
+      mk Omission_of_key_evidence "satellite bus"
+        "relies on radiation tolerance data for a different die revision"
+        (bridge "old_die_rad_data_ok" "new_die_rad_tolerant");
+    ]
+  (* 5 x red herring. *)
+  @ [
+      mk Red_herring "automotive ECU"
+        "the development process is ISO 26262 certified, which is offered \
+         in support of a claim about a specific timing hazard"
+        (bridge "process_iso26262_certified" "timing_hazard_mitigated");
+      mk Red_herring "surgical robot"
+        "the vendor's long market history is offered in support of a \
+         sterilisation claim"
+        (bridge "vendor_established_1985" "sterilisation_effective");
+      mk Red_herring "metro doors"
+        "passenger satisfaction surveys are offered in support of the \
+         obstacle-detection claim"
+        (bridge "passenger_satisfaction_high" "obstacle_detection_reliable");
+      mk Red_herring "data recorder"
+        "crash-survivability of the casing is offered in support of data \
+         integrity in normal operation"
+        (bridge "casing_survives_crash" "records_never_corrupted");
+      mk Red_herring "ground station"
+        "staff training records are offered in support of a claim about \
+         software fault tolerance"
+        (bridge "staff_trained" "software_fault_tolerant");
+    ]
+  (* 16 x using the wrong reasons. *)
+  @ List.map
+      (fun (system, from_atom, to_atom, description) ->
+        mk Using_wrong_reasons system description (bridge from_atom to_atom))
+      [
+        ("task scheduler", "unit_test_results_ok", "wcet_task_1_le_250",
+         "asserts wcet(task_1) <= 250 on the basis of unit test results \
+          (the paper's own example)");
+        ("task scheduler", "code_reviewed_and_tests_pass", "meets_deadlines",
+         "asserts deadline satisfaction from code review and unit tests \
+          (the paper's other example)");
+        ("display unit", "mtbf_brochure_value", "display_failure_rate_met",
+         "cites a brochure MTBF as if it were measured reliability");
+        ("sensor fusion", "simulation_matches_spec", "sensor_noise_bounded",
+         "uses simulation agreement to bound physical sensor noise");
+        ("actuator", "supplier_self_declaration", "actuator_fail_safe",
+         "uses a supplier self-declaration as failure-mode evidence");
+        ("network switch", "ping_latency_ok", "worst_case_latency_ok",
+         "uses average ping data for a worst-case latency claim");
+        ("power supply", "nominal_temp_tests_pass", "thermal_margins_ok",
+         "uses nominal-temperature tests for claims over the full range");
+        ("flight software", "static_analysis_clean", "runtime_errors_absent",
+         "treats a clean static-analysis run as proof of absence of all \
+          runtime errors");
+        ("hydraulics", "maintenance_on_schedule", "leak_rate_acceptable",
+         "uses maintenance schedule compliance as leak-rate evidence");
+        ("radar altimeter", "design_review_passed", "interference_immune",
+         "uses a design review outcome as interference immunity evidence");
+        ("door controller", "fmea_completed", "all_failures_detected",
+         "treats FMEA completion as evidence that detection coverage is \
+          total");
+        ("cooling loop", "pump_spec_says_redundant", "cooling_never_lost",
+         "derives 'never lost' from a specification statement, not from \
+          analysis");
+        ("telemetry link", "crc_in_protocol", "telemetry_always_delivered",
+         "derives guaranteed delivery from the mere presence of a CRC");
+        ("braking system", "component_certificates_present",
+         "braking_distance_met",
+         "derives a system-level braking distance from component \
+          certificates");
+        ("operating system", "vendor_cert_kit_passed", "partitioning_sound",
+         "uses a vendor certification kit pass for a partitioning claim \
+          beyond its scope");
+        ("watchdog", "watchdog_present", "hangs_always_recovered",
+         "derives guaranteed hang recovery from the presence of a \
+          watchdog");
+      ]
+
+let corpus_counts =
+  List.map
+    (fun k ->
+      (k, List.length (List.filter (fun i -> i.kind = k) corpus)))
+    all_kinds

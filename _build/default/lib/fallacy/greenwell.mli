@@ -1,0 +1,54 @@
+(** The Greenwell et al. safety-argument fallacy data.
+
+    Greenwell, Knight, Holloway and Pease reviewed three real safety
+    arguments and found 45 fallacy instances in seven kinds (the paper's
+    Section V.B): 3 instances of drawing the wrong conclusion, 10 of
+    fallacious use of language, 2 of fallacy of composition, 4 of hasty
+    inductive generalisation, 5 of omission of key evidence, 5 of red
+    herring, and 16 of using the wrong reasons.
+
+    The paper's argument is that {e none of these is strictly formal}:
+    each can be rendered as a deductively valid propositional argument
+    whose flaw lives in a false or unsupported premise, so mechanical
+    proof checking cannot catch it.  This module makes that claim
+    executable: {!corpus} contains one formalised argument per reported
+    instance, built so that a human reviewer would recognise the flaw
+    from the description, while {!Formal.check_propositional} finds
+    nothing wrong — which is exactly what the bench harness verifies. *)
+
+type kind =
+  | Drawing_wrong_conclusion
+  | Fallacious_use_of_language
+  | Fallacy_of_composition
+  | Hasty_inductive_generalisation
+  | Omission_of_key_evidence
+  | Red_herring
+  | Using_wrong_reasons
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+val reported_counts : (kind * int) list
+(** The counts Greenwell et al. report, as cited by the paper. *)
+
+val is_strictly_formal : kind -> bool
+(** [false] for every kind — the paper's central observation. *)
+
+val machine_help : kind -> string
+(** The paper's Section V.B analysis of what, if anything, formal
+    machinery contributes against this kind. *)
+
+type instance = {
+  kind : kind;
+  system : string;  (** The (synthetic) system the argument concerns. *)
+  description : string;  (** What a human reviewer would object to. *)
+  argument : Formal.propositional;
+      (** The formalised rendering: deductively valid, flaw in a
+          premise. *)
+}
+
+val corpus : instance list
+(** 45 instances; per-kind counts match {!reported_counts}. *)
+
+val corpus_counts : (kind * int) list
+(** Computed from {!corpus}; equals {!reported_counts}. *)

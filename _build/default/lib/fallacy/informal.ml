@@ -1,0 +1,165 @@
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Textutil = Argus_core.Textutil
+module Term = Argus_logic.Term
+module Program = Argus_prolog.Program
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+
+let desert_bank_program =
+  {|% Figure 1: a flawed argument that passes formal validation.
+is_a(desert_bank, bank).
+adjacent(bank, river).
+adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).
+|}
+
+let desert_bank = Program.of_string_exn desert_bank_program
+
+(* Roles of constants: every (predicate, argument index) position a
+   constant occupies, across clause heads and bodies. *)
+let constant_roles program =
+  let roles = Hashtbl.create 32 in
+  let note name role =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt roles name) in
+    if not (List.mem role existing) then
+      Hashtbl.replace roles name (role :: existing)
+  in
+  let scan_atom t =
+    match t with
+    | Term.App (pred, args) ->
+        List.iteri
+          (fun i arg ->
+            match arg with
+            | Term.App (c, []) -> note c (pred, i)
+            | Term.App _ | Term.Var _ -> ())
+          args
+    | Term.Var _ -> ()
+  in
+  List.iter
+    (fun c ->
+      scan_atom c.Program.head;
+      List.iter scan_atom c.Program.body)
+    program;
+  roles
+
+let equivocation_candidates program =
+  let roles = constant_roles program in
+  Hashtbl.fold
+    (fun name rs acc -> if List.length rs >= 2 then name :: acc else acc)
+    roles []
+  |> List.sort String.compare
+
+let ignorance_phrases =
+  [
+    "no evidence that";
+    "no evidence of";
+    "has never been observed";
+    "have never been observed";
+    "not been shown";
+    "never been demonstrated";
+    "absence of any report";
+    "no counterexample";
+  ]
+
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 || nn > nh then false
+  else
+    let rec go i =
+      if i + nn > nh then false else String.sub hay i nn = needle || go (i + 1)
+    in
+    go 0
+
+let check_structure structure =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (* Circular support: descendant goal restating an ancestor goal.  The
+     walk carries the path (for the restatement check) and cuts cycles
+     so it terminates on arbitrary graphs. *)
+  let norm text = String.concat " " (Textutil.content_words text) in
+  (* Heuristic work budget: path enumeration on a dense DAG is
+     exponential, and a lint need not be exhaustive. *)
+  let budget = ref 10_000 in
+  let rec walk ancestors on_path id =
+    decr budget;
+    if Id.Set.mem id on_path || !budget <= 0 then ()
+    else
+      match Structure.find id structure with
+      | None -> ()
+      | Some n ->
+          let here = norm n.Node.text in
+          if
+            Node.is_goal_like n.Node.node_type
+            && here <> ""
+            && List.exists
+                 (fun (aid, atext) ->
+                   (not (Id.equal aid id)) && atext = here)
+                 ancestors
+          then
+            add
+              (Diagnostic.warningf ~code:"informal/circular-support"
+                 ~subjects:[ id ]
+                 "goal restates an ancestor goal's claim");
+          let ancestors' =
+            if Node.is_goal_like n.Node.node_type then (id, here) :: ancestors
+            else ancestors
+          in
+          let on_path' = Id.Set.add id on_path in
+          List.iter
+            (walk ancestors' on_path')
+            (Structure.children Structure.Supported_by id structure)
+  in
+  List.iter (walk [] Id.Set.empty) (Structure.roots structure);
+  (* Argument from ignorance. *)
+  List.iter
+    (fun n ->
+      if List.exists (contains_ci n.Node.text) ignorance_phrases then
+        add
+          (Diagnostic.warningf ~code:"informal/argument-from-ignorance"
+             ~subjects:[ n.Node.id ]
+             "claim argued from absence of evidence; confirm the search \
+              procedure was adequate"))
+    (Structure.nodes structure);
+  (* Equivocation candidates among sibling goals: a shared content word
+     whose surrounding vocabularies are otherwise disjoint. *)
+  let goal_children id =
+    Structure.children Structure.Supported_by id structure
+    |> List.filter_map (fun cid ->
+           match Structure.find cid structure with
+           | Some c when Node.is_goal_like c.Node.node_type -> Some c
+           | _ -> None)
+  in
+  List.iter
+    (fun n ->
+      let siblings = goal_children n.Node.id in
+      if List.length siblings >= 2 then
+        let word_sets =
+          List.map
+            (fun s ->
+              (s.Node.id, Textutil.content_words s.Node.text))
+            siblings
+        in
+        let rec pairs = function
+          | [] -> []
+          | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+        in
+        List.iter
+          (fun (((id1 : Id.t), ws1), (id2, ws2)) ->
+            let shared = List.filter (fun w -> List.mem w ws2) ws1 in
+            let only1 = List.filter (fun w -> not (List.mem w ws2)) ws1 in
+            let only2 = List.filter (fun w -> not (List.mem w ws1)) ws2 in
+            match shared with
+            | [ word ]
+              when List.length only1 >= 3 && List.length only2 >= 3 ->
+                add
+                  (Diagnostic.warningf
+                     ~code:"informal/equivocation-candidate"
+                     ~subjects:[ id1; id2 ]
+                     "the word %S links otherwise-unrelated sibling goals; \
+                      check it means the same thing in both"
+                     word)
+            | _ -> ())
+          (pairs word_sets))
+    (Structure.nodes structure);
+  Diagnostic.sort (List.rev !out)

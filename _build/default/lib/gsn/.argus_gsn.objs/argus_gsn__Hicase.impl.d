@@ -1,0 +1,1 @@
+lib/gsn/hicase.ml: Argus_core List Node Structure

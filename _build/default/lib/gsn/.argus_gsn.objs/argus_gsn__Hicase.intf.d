@@ -1,0 +1,1 @@
+lib/gsn/hicase.mli: Argus_core Structure

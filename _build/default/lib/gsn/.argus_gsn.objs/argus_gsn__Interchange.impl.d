@@ -1,0 +1,1 @@
+lib/gsn/interchange.ml: Argus_core Argus_logic Format List Metadata Node Option Structure

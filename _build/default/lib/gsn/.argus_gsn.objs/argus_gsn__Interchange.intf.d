@@ -1,0 +1,1 @@
+lib/gsn/interchange.mli: Argus_core Structure

@@ -1,0 +1,1 @@
+lib/gsn/metadata.ml: Argus_core Buffer Format List Printf Result String

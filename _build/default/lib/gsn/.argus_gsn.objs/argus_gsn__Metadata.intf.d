@@ -1,0 +1,1 @@
+lib/gsn/metadata.mli: Argus_core Format

@@ -1,0 +1,1 @@
+lib/gsn/metrics.ml: Argus_core Format List Node Printf String Structure

@@ -1,0 +1,1 @@
+lib/gsn/metrics.mli: Argus_core Format Structure

@@ -1,0 +1,1 @@
+lib/gsn/modular.ml: Argus_core List Node Option Printf Structure Wellformed

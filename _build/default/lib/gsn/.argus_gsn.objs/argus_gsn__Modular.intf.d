@@ -1,0 +1,1 @@
+lib/gsn/modular.mli: Argus_core Structure

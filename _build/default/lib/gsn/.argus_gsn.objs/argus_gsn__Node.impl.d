@@ -1,0 +1,1 @@
+lib/gsn/node.ml: Argus_core Argus_logic Format List Metadata Option String

@@ -1,0 +1,1 @@
+lib/gsn/node.mli: Argus_core Argus_logic Format Metadata

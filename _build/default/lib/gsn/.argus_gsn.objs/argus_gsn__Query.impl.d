@@ -1,0 +1,1 @@
+lib/gsn/query.ml: Argus_core Buffer Format List Metadata Node Option Printf String Structure

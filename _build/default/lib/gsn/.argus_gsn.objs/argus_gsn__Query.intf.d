@@ -1,0 +1,1 @@
+lib/gsn/query.mli: Format Metadata Node Structure

@@ -1,0 +1,1 @@
+lib/gsn/structure.ml: Argus_core Buffer Format List Node Printf String

@@ -1,0 +1,1 @@
+lib/gsn/structure.mli: Argus_core Format Node

@@ -1,0 +1,1 @@
+lib/gsn/wellformed.ml: Argus_core List Node String Structure

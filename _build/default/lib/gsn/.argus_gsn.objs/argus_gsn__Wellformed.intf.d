@@ -1,0 +1,1 @@
+lib/gsn/wellformed.mli: Argus_core Structure

@@ -1,0 +1,67 @@
+module Id = Argus_core.Id
+
+type t = { structure : Structure.t; collapsed : Id.Set.t }
+
+let of_structure structure = { structure; collapsed = Id.Set.empty }
+let structure t = t.structure
+let collapsed t = t.collapsed
+
+let collapse id t =
+  match Structure.find id t.structure with
+  | None -> t
+  | Some _ ->
+      if Structure.children Structure.Supported_by id t.structure = [] then t
+      else { t with collapsed = Id.Set.add id t.collapsed }
+
+let expand id t = { t with collapsed = Id.Set.remove id t.collapsed }
+let expand_all t = { t with collapsed = Id.Set.empty }
+
+let toggle id t =
+  if Id.Set.mem id t.collapsed then expand id t else collapse id t
+
+(* Nodes hidden by the fold state: strict supported-descendants of a
+   collapsed node, not re-rooted elsewhere...  visibility is defined by
+   traversal from the roots that stops below collapsed nodes. *)
+let visible_ids t =
+  let rec go visited id =
+    if Id.Set.mem id visited then visited
+    else
+      let visited = Id.Set.add id visited in
+      let visited =
+        List.fold_left
+          (fun acc ctx -> Id.Set.add ctx acc)
+          visited
+          (Structure.context_of id t.structure)
+      in
+      if Id.Set.mem id t.collapsed then visited
+      else
+        List.fold_left go visited
+          (Structure.children Structure.Supported_by id t.structure)
+  in
+  List.fold_left go Id.Set.empty (Structure.roots t.structure)
+
+let is_visible id t = Id.Set.mem id (visible_ids t)
+
+let visible t =
+  let keep = visible_ids t in
+  let restricted = Structure.restrict keep t.structure in
+  Structure.map_nodes
+    (fun n ->
+      if
+        Id.Set.mem n.Node.id t.collapsed
+        && Structure.children Structure.Supported_by n.Node.id restricted = []
+      then { n with Node.status = Node.Undeveloped }
+      else n)
+    restricted
+
+let visible_count t = Id.Set.cardinal (visible_ids t)
+
+let collapse_to_depth depth t =
+  let rec go d t id =
+    if d = depth then collapse id t
+    else
+      List.fold_left (go (d + 1))
+        t
+        (Structure.children Structure.Supported_by id t.structure)
+  in
+  List.fold_left (go 0) (expand_all t) (Structure.roots t.structure)

@@ -1,0 +1,47 @@
+(** Hierarchical safety cases ("hicases", Denney, Pai & Whiteside).
+
+    A hicase is an argument structure plus a fold state: any node may be
+    {e collapsed}, hiding its supported subtree (and that subtree's
+    contextual elements) from the rendered view.  The motivation in the
+    surveyed paper is reading large cases on screen: formalised syntax
+    is what makes fold/unfold well-defined.
+
+    The central invariant, checked by property tests: the visible
+    structure of any fold state of a well-formed case is well-formed,
+    with collapsed nodes rendered as undeveloped.  *)
+
+type t
+
+val of_structure : Structure.t -> t
+(** Fully expanded view. *)
+
+val structure : t -> Structure.t
+(** The underlying, complete structure (never mutated by folding). *)
+
+val collapsed : t -> Argus_core.Id.Set.t
+
+val collapse : Argus_core.Id.t -> t -> t
+(** Mark a node collapsed.  Collapsing an unknown node or a leaf is a
+    no-op.  Nested collapses are allowed; the outermost wins in the
+    view. *)
+
+val expand : Argus_core.Id.t -> t -> t
+val expand_all : t -> t
+val toggle : Argus_core.Id.t -> t -> t
+
+val is_visible : Argus_core.Id.t -> t -> bool
+(** Whether the node appears in the current view (i.e. is not hidden
+    inside some collapsed subtree).  A collapsed node is itself
+    visible; its supportees are not. *)
+
+val visible : t -> Structure.t
+(** The view: hidden nodes and their links removed; collapsed nodes
+    re-marked {!Node.Undeveloped} so the view remains a well-formed
+    argument fragment. *)
+
+val visible_count : t -> int
+
+val collapse_to_depth : int -> t -> t
+(** Collapse every node at the given depth from the root(s) (depth 0 =
+    roots), producing the "level-k overview" reading the hicases paper
+    describes. *)

@@ -1,0 +1,31 @@
+(** JSON interchange for argument structures.
+
+    A stable, tool-neutral encoding so cases can cross between Argus,
+    editors and the D-Case/SACM-style ecosystems the surveyed tooling
+    papers target:
+
+    {v
+    { "nodes":    [ { "id", "type", "text", "status",
+                      "formal"?, "annotations"?, "evidence"? } ],
+      "links":    [ { "kind", "from", "to" } ],
+      "evidence": [ { "id", "kind", "description", "source",
+                      "strength" } ] }
+    v}
+
+    [to_json] followed by [of_json] is the identity on structures. *)
+
+val to_json : Structure.t -> Argus_core.Json.t
+
+val of_json :
+  Argus_core.Json.t ->
+  (Structure.t, Argus_core.Diagnostic.t list) result
+(** Validation errors carry codes under ["interchange/"]:
+    ["interchange/shape"] (wrong JSON shape), ["interchange/bad-id"],
+    ["interchange/bad-type"], ["interchange/bad-status"],
+    ["interchange/bad-kind"], ["interchange/bad-formula"],
+    ["interchange/bad-annotation"]. *)
+
+val export : Structure.t -> string
+(** Pretty-printed JSON text. *)
+
+val import : string -> (Structure.t, Argus_core.Diagnostic.t list) result

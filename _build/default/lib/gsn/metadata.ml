@@ -1,0 +1,131 @@
+module Diagnostic = Argus_core.Diagnostic
+
+type value = Int of int | Nat of int | Str of string | Enum of string
+type param_type = Pint | Pnat | Pstr | Penum of string
+type attribute_decl = { name : string; params : param_type list }
+
+type ontology = {
+  enums : (string * string list) list;
+  attributes : attribute_decl list;
+}
+
+type annotation = { attr : string; args : value list }
+
+let ontology ?(enums = []) attributes = { enums; attributes }
+let attr name params = { name; params }
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Nat n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Enum e -> e
+
+let pp_annotation ppf a =
+  Format.fprintf ppf "%s" a.attr;
+  List.iter (fun v -> Format.fprintf ppf " %s" (value_to_string v)) a.args
+
+let check_param ontology ~attr_name ~index declared actual =
+  let errf code fmt =
+    Format.kasprintf
+      (fun m -> Some (Diagnostic.error ~code m))
+      fmt
+  in
+  match (declared, actual) with
+  | Pint, (Int _ | Nat _) -> None
+  | Pnat, Nat _ -> None
+  | Pnat, Int n when n >= 0 -> None
+  | Pnat, Int _ ->
+      errf "metadata/negative-nat" "%s: parameter %d must be a natural"
+        attr_name index
+  | Pstr, Str _ -> None
+  | Penum enum_name, Enum v -> (
+      match List.assoc_opt enum_name ontology.enums with
+      | None ->
+          errf "metadata/unknown-enum" "%s: enumeration %s is not declared"
+            attr_name enum_name
+      | Some members ->
+          if List.mem v members then None
+          else
+            errf "metadata/not-a-member" "%s: %s is not a member of %s"
+              attr_name v enum_name)
+  | _, _ ->
+      errf "metadata/type" "%s: parameter %d has the wrong type" attr_name
+        index
+
+let validate ontology annotations =
+  List.concat_map
+    (fun ann ->
+      match
+        List.find_opt (fun d -> d.name = ann.attr) ontology.attributes
+      with
+      | None ->
+          [
+            Diagnostic.errorf ~code:"metadata/unknown-attribute"
+              "attribute %s is not declared in the ontology" ann.attr;
+          ]
+      | Some decl ->
+          if List.length decl.params <> List.length ann.args then
+            [
+              Diagnostic.errorf ~code:"metadata/arity"
+                "%s expects %d parameter(s) but has %d" ann.attr
+                (List.length decl.params)
+                (List.length ann.args);
+            ]
+          else
+            List.filteri
+              (fun _ _ -> true)
+              (List.mapi (fun i (d, a) -> (i, d, a))
+                 (List.combine decl.params ann.args))
+            |> List.filter_map (fun (i, d, a) ->
+                   check_param ontology ~attr_name:ann.attr ~index:(i + 1) d a))
+    annotations
+
+(* --- Parser --- *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+let annotation_of_string s =
+  let n = String.length s in
+  let rec tokens i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> tokens (i + 1) acc
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then Error "unterminated string"
+            else if s.[j] = '"' then Ok (j + 1)
+            else begin
+              Buffer.add_char buf s.[j];
+              scan (j + 1)
+            end
+          in
+          Result.bind (scan (i + 1)) (fun next ->
+              tokens next (`Str (Buffer.contents buf) :: acc))
+      | c when is_word_char c || c = '+' ->
+          let j = ref i in
+          while !j < n && (is_word_char s.[!j] || s.[!j] = '+') do
+            incr j
+          done;
+          tokens !j (`Word (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  match tokens 0 [] with
+  | Error e -> Error e
+  | Ok [] -> Error "empty annotation"
+  | Ok (`Str _ :: _) -> Error "annotation must start with an attribute name"
+  | Ok (`Word name :: rest) ->
+      let arg_of = function
+        | `Str s -> Str s
+        | `Word w -> (
+            match int_of_string_opt w with
+            | Some i when i >= 0 -> Nat i
+            | Some i -> Int i
+            | None -> Enum w)
+      in
+      Ok { attr = name; args = List.map arg_of rest }

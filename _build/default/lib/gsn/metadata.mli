@@ -1,0 +1,49 @@
+(** Typed metadata annotations for argument nodes.
+
+    Denney, Naylor and Pai propose "semantically enriching" GSN nodes
+    with metadata of the form [attribute ::= attributeName param*] where
+    parameters are strings, integers, naturals or values of user-defined
+    enumerations, so that arguments can be queried structurally.  This
+    module is that annotation language: an {e ontology} declares the
+    attributes and their parameter types; {!validate} type-checks a
+    node's annotations against it. *)
+
+type value = Int of int | Nat of int | Str of string | Enum of string
+
+(** Parameter type declarations. *)
+type param_type =
+  | Pint
+  | Pnat  (** Non-negative integer. *)
+  | Pstr
+  | Penum of string  (** Name of a declared enumeration. *)
+
+type attribute_decl = { name : string; params : param_type list }
+
+type ontology = {
+  enums : (string * string list) list;
+      (** Enumeration name to allowed values, e.g.
+          [("element", ["aileron"; "elevator"; "flaps"])]. *)
+  attributes : attribute_decl list;
+}
+
+type annotation = { attr : string; args : value list }
+
+val ontology :
+  ?enums:(string * string list) list -> attribute_decl list -> ontology
+
+val attr : string -> param_type list -> attribute_decl
+
+val validate :
+  ontology -> annotation list -> Argus_core.Diagnostic.t list
+(** Codes under ["metadata/"]: ["metadata/unknown-attribute"],
+    ["metadata/arity"], ["metadata/type"], ["metadata/unknown-enum"],
+    ["metadata/not-a-member"], ["metadata/negative-nat"]. *)
+
+val value_to_string : value -> string
+val pp_annotation : Format.formatter -> annotation -> unit
+
+val annotation_of_string : string -> (annotation, string) result
+(** Parses ["severity catastrophic 4 \"note\""]-style text: an attribute
+    name followed by whitespace-separated parameters; bare words are
+    enum values, integers are ints (naturals when non-negative), quoted
+    strings are strings. *)

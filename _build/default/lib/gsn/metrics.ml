@@ -1,0 +1,121 @@
+module Id = Argus_core.Id
+module Evidence = Argus_core.Evidence
+module Textutil = Argus_core.Textutil
+
+type t = {
+  nodes : int;
+  goals : int;
+  strategies : int;
+  solutions : int;
+  contextual : int;
+  modular : int;
+  links : int;
+  depth : int;
+  max_fanout : int;
+  undeveloped : int;
+  evidence_items : int;
+  evidence_by_kind : (Evidence.kind * int) list;
+  formalised_nodes : int;
+  formalisation_ratio : float;
+  words : int;
+  reading_ease : float;
+}
+
+let depth_of structure =
+  let rec go visited id =
+    if Id.Set.mem id visited then 0
+    else
+      let visited = Id.Set.add id visited in
+      1
+      + List.fold_left
+          (fun acc child -> max acc (go visited child))
+          0
+          (Structure.children Structure.Supported_by id structure)
+  in
+  List.fold_left
+    (fun acc root -> max acc (go Id.Set.empty root))
+    0
+    (Structure.roots structure)
+
+let measure structure =
+  let nodes = Structure.nodes structure in
+  let count p = List.length (List.filter p nodes) in
+  let goals = count (fun n -> n.Node.node_type = Node.Goal) in
+  let strategies = count (fun n -> n.Node.node_type = Node.Strategy) in
+  let solutions = count (fun n -> n.Node.node_type = Node.Solution) in
+  let contextual = count (fun n -> Node.is_contextual n.Node.node_type) in
+  let modular =
+    count (fun n ->
+        match n.Node.node_type with
+        | Node.Away_goal _ | Node.Module_ref _ | Node.Contract _ -> true
+        | _ -> false)
+  in
+  let undeveloped =
+    count (fun n ->
+        n.Node.status = Node.Undeveloped
+        || n.Node.status = Node.Undeveloped_uninstantiated)
+  in
+  let formalised_nodes = count (fun n -> n.Node.formal <> None) in
+  let evidence = Structure.evidence structure in
+  let evidence_by_kind =
+    List.filter_map
+      (fun kind ->
+        match
+          List.length
+            (List.filter (fun e -> e.Evidence.kind = kind) evidence)
+        with
+        | 0 -> None
+        | k -> Some (kind, k))
+      Evidence.all_kinds
+  in
+  let max_fanout =
+    List.fold_left
+      (fun acc n ->
+        max acc
+          (List.length
+             (Structure.children Structure.Supported_by n.Node.id structure)))
+      0 nodes
+  in
+  let all_text = String.concat ". " (List.map (fun n -> n.Node.text) nodes) in
+  {
+    nodes = List.length nodes;
+    goals;
+    strategies;
+    solutions;
+    contextual;
+    modular;
+    links = List.length (Structure.links structure);
+    depth = depth_of structure;
+    max_fanout;
+    undeveloped;
+    evidence_items = List.length evidence;
+    evidence_by_kind;
+    formalised_nodes;
+    formalisation_ratio =
+      (if nodes = [] then 0.0
+       else float_of_int formalised_nodes /. float_of_int (List.length nodes));
+    words = List.length (Textutil.words all_text);
+    reading_ease =
+      (if nodes = [] then 100.0 else Textutil.flesch_reading_ease all_text);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "nodes %d (goals %d, strategies %d, solutions %d, contextual %d, \
+     modular %d)@."
+    m.nodes m.goals m.strategies m.solutions m.contextual m.modular;
+  Format.fprintf ppf "links %d, depth %d, max fan-out %d, undeveloped %d@."
+    m.links m.depth m.max_fanout m.undeveloped;
+  Format.fprintf ppf "evidence items %d" m.evidence_items;
+  if m.evidence_by_kind <> [] then
+    Format.fprintf ppf " (%s)"
+      (String.concat ", "
+         (List.map
+            (fun (k, n) -> Printf.sprintf "%s %d" (Evidence.kind_to_string k) n)
+            m.evidence_by_kind));
+  Format.fprintf ppf "@.";
+  Format.fprintf ppf
+    "formalised nodes %d (%.0f%%), %d words, reading ease %.0f@."
+    m.formalised_nodes
+    (100.0 *. m.formalisation_ratio)
+    m.words m.reading_ease

@@ -1,0 +1,34 @@
+(** Descriptive metrics of an argument structure.
+
+    The cost/benefit questions of Section VI turn on measurable
+    properties of arguments: how big they are (formalisation effort
+    scales with node count), how readable their prose is (the audience
+    experiment), and how much of them is formalised (Rushby's partial
+    formalisation).  These metrics feed the experiment harness and the
+    [argus stats] command. *)
+
+type t = {
+  nodes : int;
+  goals : int;
+  strategies : int;
+  solutions : int;
+  contextual : int;  (** Context, assumption, justification. *)
+  modular : int;  (** Away goals, module references, contracts. *)
+  links : int;
+  depth : int;
+      (** Longest [Supported_by] path from a root, counting nodes; 0 for
+          an empty structure.  Cycles are cut. *)
+  max_fanout : int;  (** Largest [Supported_by] out-degree. *)
+  undeveloped : int;
+  evidence_items : int;
+  evidence_by_kind : (Argus_core.Evidence.kind * int) list;
+      (** Only kinds that occur. *)
+  formalised_nodes : int;  (** Nodes carrying a [formal] annotation. *)
+  formalisation_ratio : float;  (** Formalised / total; 0 when empty. *)
+  words : int;  (** Total words of node text. *)
+  reading_ease : float;
+      (** Flesch score of the concatenated node texts; 100 when empty. *)
+}
+
+val measure : Structure.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Structured queries over annotated arguments (Denney, Naylor & Pai).
+
+    The surveyed example: "generate a view ... of traceability to only
+    those hazards whose likelihood of occurrence is remote, and whose
+    severity is catastrophic".  With {!Metadata} annotations on nodes,
+    such a query is [attr "likelihood" (Enum "remote") && attr
+    "severity" (Enum "catastrophic")], and {!trace_view} produces the
+    sub-argument from the root down to the matching nodes. *)
+
+type t =
+  | Any
+  | Type_is of Node.node_type
+  | Text_contains of string  (** Case-insensitive substring. *)
+  | Has_attr of string  (** Annotation with this attribute name. *)
+  | Attr_is of string * Metadata.value
+      (** Annotation whose first parameter equals the value. *)
+  | Attr_ge of string * int
+  | Attr_le of string * int
+      (** Numeric comparison on the first parameter. *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val matches : t -> Node.t -> bool
+
+val select : t -> Structure.t -> Node.t list
+(** Matching nodes in insertion order. *)
+
+val trace_view : t -> Structure.t -> Structure.t
+(** Sub-structure containing every matching node, every ancestor up to a
+    root (over [Supported_by]), and the contextual elements of the kept
+    nodes — the "traceability view" of the surveyed paper.  Nodes whose
+    support the view truncates are re-marked {!Node.Undeveloped}, so a
+    view of a well-formed case is well-formed (the hicase convention). *)
+
+val of_string : string -> (t, string) result
+(** Query syntax:
+    {v
+    q ::= 'any' | 'type' '=' ident | 'text' '~' string
+        | name '=' value | name '>=' int | name '<=' int
+        | 'has' name | '!' q | q '&' q | q '|' q | '(' q ')'
+    v}
+    ['&'] binds tighter than ['|'].  Values: integers, quoted strings,
+    bare words (enum members). *)
+
+val pp : Format.formatter -> t -> unit

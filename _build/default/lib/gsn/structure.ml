@@ -1,0 +1,252 @@
+module Id = Argus_core.Id
+module Evidence = Argus_core.Evidence
+
+type link = Supported_by | In_context_of
+
+type t = {
+  node_map : Node.t Id.Map.t;
+  node_order : Id.t list;  (** Insertion order, newest last. *)
+  link_list : (link * Id.t * Id.t) list;  (** Insertion order, newest last. *)
+  evidence_map : Evidence.t Id.Map.t;
+  evidence_order : Id.t list;
+}
+
+let empty =
+  {
+    node_map = Id.Map.empty;
+    node_order = [];
+    link_list = [];
+    evidence_map = Id.Map.empty;
+    evidence_order = [];
+  }
+
+let mem id t = Id.Map.mem id t.node_map
+
+let add_node node t =
+  let order =
+    if mem node.Node.id t then t.node_order else t.node_order @ [ node.Node.id ]
+  in
+  { t with node_map = Id.Map.add node.Node.id node t.node_map; node_order = order }
+
+let remove_node id t =
+  {
+    t with
+    node_map = Id.Map.remove id t.node_map;
+    node_order = List.filter (fun i -> not (Id.equal i id)) t.node_order;
+    link_list =
+      List.filter
+        (fun (_, s, d) -> not (Id.equal s id || Id.equal d id))
+        t.link_list;
+  }
+
+let connect kind ~src ~dst t =
+  let l = (kind, src, dst) in
+  if List.mem l t.link_list then t else { t with link_list = t.link_list @ [ l ] }
+
+let disconnect kind ~src ~dst t =
+  { t with link_list = List.filter (fun l -> l <> (kind, src, dst)) t.link_list }
+
+let add_evidence ev t =
+  let order =
+    if Id.Map.mem ev.Evidence.id t.evidence_map then t.evidence_order
+    else t.evidence_order @ [ ev.Evidence.id ]
+  in
+  {
+    t with
+    evidence_map = Id.Map.add ev.Evidence.id ev t.evidence_map;
+    evidence_order = order;
+  }
+
+let of_nodes ?(links = []) ?(evidence = []) node_list =
+  let t = List.fold_left (fun t n -> add_node n t) empty node_list in
+  let t = List.fold_left (fun t e -> add_evidence e t) t evidence in
+  List.fold_left
+    (fun t (kind, src, dst) ->
+      connect kind ~src:(Id.of_string src) ~dst:(Id.of_string dst) t)
+    t links
+
+let find id t = Id.Map.find_opt id t.node_map
+
+let find_exn id t =
+  match find id t with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Structure.find_exn: %s" (Id.to_string id))
+
+let nodes t = List.filter_map (fun id -> find id t) t.node_order
+let size t = Id.Map.cardinal t.node_map
+let links t = t.link_list
+
+let evidence t =
+  List.filter_map (fun id -> Id.Map.find_opt id t.evidence_map) t.evidence_order
+
+let find_evidence id t = Id.Map.find_opt id t.evidence_map
+
+let children kind id t =
+  List.filter_map
+    (fun (k, s, d) -> if k = kind && Id.equal s id then Some d else None)
+    t.link_list
+
+let parents kind id t =
+  List.filter_map
+    (fun (k, s, d) -> if k = kind && Id.equal d id then Some s else None)
+    t.link_list
+
+let roots t =
+  let supported =
+    List.filter_map
+      (fun (k, _, d) -> if k = Supported_by then Some d else None)
+      t.link_list
+    |> Id.Set.of_list
+  in
+  List.filter
+    (fun id ->
+      (not (Id.Set.mem id supported))
+      &&
+      match find id t with
+      | Some n -> not (Node.is_contextual n.Node.node_type)
+      | None -> false)
+    t.node_order
+
+let supported_subtree id t =
+  let rec go visited acc id =
+    if Id.Set.mem id visited then (visited, acc)
+    else
+      let visited = Id.Set.add id visited in
+      let acc = id :: acc in
+      List.fold_left
+        (fun (visited, acc) child -> go visited acc child)
+        (visited, acc)
+        (children Supported_by id t)
+  in
+  let _, acc = go Id.Set.empty [] id in
+  List.rev acc
+
+let context_of id t = children In_context_of id t
+
+let has_cycle t =
+  (* DFS over Supported_by with a recursion stack; returns the stack
+     when a back edge is found. *)
+  let rec visit path visited id =
+    if List.exists (Id.equal id) path then
+      Some (List.rev (id :: path))
+    else if Id.Set.mem id visited then None
+    else
+      let path = id :: path in
+      List.fold_left
+        (fun found child ->
+          match found with Some _ -> found | None -> visit path visited child)
+        None
+        (children Supported_by id t)
+  in
+  (* Visit every node as a potential entry; keep a global visited set to
+     stay linear-ish (nodes proven cycle-free are skipped). *)
+  let visited = ref Id.Set.empty in
+  List.fold_left
+    (fun found id ->
+      match found with
+      | Some _ -> found
+      | None ->
+          let r = visit [] !visited id in
+          if r = None then visited := Id.Set.add id !visited;
+          r)
+    None t.node_order
+
+let map_nodes f t =
+  {
+    t with
+    node_map =
+      Id.Map.map
+        (fun n ->
+          let n' = f n in
+          if not (Id.equal n'.Node.id n.Node.id) then
+            invalid_arg "Structure.map_nodes: node id changed";
+          n')
+        t.node_map;
+  }
+
+let fold_nodes f t init = List.fold_left (fun acc n -> f n acc) init (nodes t)
+
+let restrict keep t =
+  {
+    t with
+    node_map = Id.Map.filter (fun id _ -> Id.Set.mem id keep) t.node_map;
+    node_order = List.filter (fun id -> Id.Set.mem id keep) t.node_order;
+    link_list =
+      List.filter
+        (fun (_, s, d) -> Id.Set.mem s keep && Id.Set.mem d keep)
+        t.link_list;
+  }
+
+let equal a b =
+  Id.Map.equal Node.equal a.node_map b.node_map
+  && List.sort compare a.link_list = List.sort compare b.link_list
+  && Id.Map.equal Evidence.equal a.evidence_map b.evidence_map
+
+(* --- Rendering --- *)
+
+let dot_shape = function
+  | Node.Goal -> "box"
+  | Node.Away_goal _ -> "box"
+  | Node.Strategy -> "parallelogram"
+  | Node.Solution -> "circle"
+  | Node.Context -> "box"
+  | Node.Assumption | Node.Justification -> "ellipse"
+  | Node.Module_ref _ -> "folder"
+  | Node.Contract _ -> "tab"
+
+let dot_style = function
+  | Node.Context -> ", style=rounded"
+  | Node.Away_goal _ -> ", peripheries=2"
+  | _ -> ""
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph gsn {\n  rankdir=TB;\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=%s%s, label=\"%s\\n%s\"];\n"
+           (Id.to_string n.Node.id)
+           (dot_shape n.Node.node_type)
+           (dot_style n.Node.node_type)
+           (Id.to_string n.Node.id)
+           (escape n.Node.text)))
+    (nodes t);
+  List.iter
+    (fun (kind, s, d) ->
+      let style = match kind with Supported_by -> "solid" | In_context_of -> "dashed" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [style=%s];\n" (Id.to_string s)
+           (Id.to_string d) style))
+    t.link_list;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_outline ppf t =
+  let rec go indent visited id =
+    match find id t with
+    | None -> ()
+    | Some n ->
+        Format.fprintf ppf "%s%a@." indent Node.pp n;
+        if Id.Set.mem id visited then
+          Format.fprintf ppf "%s  (cycle)@." indent
+        else begin
+          let visited = Id.Set.add id visited in
+          List.iter
+            (fun c ->
+              match find c t with
+              | Some cn when Node.is_contextual cn.Node.node_type ->
+                  Format.fprintf ppf "%s  ~ %a@." indent Node.pp cn
+              | _ -> ())
+            (context_of id t);
+          List.iter (go (indent ^ "  ") visited) (children Supported_by id t)
+        end
+  in
+  List.iter (go "" Id.Set.empty) (roots t)

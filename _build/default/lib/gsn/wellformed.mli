@@ -1,0 +1,41 @@
+(** Well-formedness checking of GSN structures.
+
+    Two rule sets:
+
+    - {!Standard} follows the GSN Community Standard's prose syntax
+      rules: goals may be supported by goals, strategies or solutions;
+      strategies by goals; contextual elements support nothing; the
+      SupportedBy relation is acyclic; solutions are leaves; and
+      "solutions cannot be in the context of an away goal" (the rule the
+      paper quotes in Section II.B).
+
+    - {!Denney_pai_2013} reproduces the formalisation of Denney and
+      Pai's SAFECOMP 2013 paper {e including its discrepancy}: their
+      rule [(n -> m) ∧ l(n) = g ⇒ l(m) ∈ {{s, e, a, j, c}}] forbids
+      goal-to-goal support, which the standard explicitly allows — the
+      paper points this out in Section III.I.  Under this rule set a
+      goal directly supported by a goal is an error
+      (["gsn/dp-goal-under-goal"]). *)
+
+type ruleset = Standard | Denney_pai_2013
+
+val check :
+  ?ruleset:ruleset -> Structure.t -> Argus_core.Diagnostic.t list
+(** Diagnostics carry codes under ["gsn/"].  Errors:
+    ["gsn/dangling-link"], ["gsn/bad-support-link"],
+    ["gsn/bad-context-link"], ["gsn/solution-in-context-of-away-goal"],
+    ["gsn/cycle"], ["gsn/no-root"], ["gsn/unsupported-goal"],
+    ["gsn/undeveloped-strategy"], ["gsn/unknown-evidence"],
+    ["gsn/empty-text"], ["gsn/placeholder-text"], and (strict set only)
+    ["gsn/dp-goal-under-goal"].  Warnings: ["gsn/multiple-roots"],
+    ["gsn/root-not-goal"], ["gsn/undeveloped-with-support"],
+    ["gsn/solution-without-evidence"], ["gsn/unreachable"],
+    ["gsn/non-propositional-goal"], ["gsn/uninstantiated"],
+    ["gsn/weak-evidence"]. *)
+
+val is_well_formed : ?ruleset:ruleset -> Structure.t -> bool
+(** No errors (warnings allowed). *)
+
+val error_codes : string list
+(** All error codes the checker can emit, for the experiment harness's
+    defect classification. *)

@@ -1,0 +1,1 @@
+lib/kaos/kaos.ml: Argus_core Argus_gsn Argus_ltl Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/kaos/kaos.mli: Argus_core Argus_gsn Argus_ltl Format

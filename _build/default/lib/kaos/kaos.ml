@@ -1,0 +1,235 @@
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Prng = Argus_core.Prng
+module Evidence = Argus_core.Evidence
+module Ltl = Argus_ltl.Ltl
+module Structure = Argus_gsn.Structure
+module Gnode = Argus_gsn.Node
+
+type kind = Goal | Requirement of string | Expectation of string
+
+type node = {
+  id : Id.t;
+  kind : kind;
+  description : string;
+  formal : Ltl.t option;
+}
+
+type t = {
+  node_map : node Id.Map.t;
+  order : Id.t list;
+  child_map : Id.t list Id.Map.t;  (** Parent to children, in order. *)
+  parent_map : Id.t Id.Map.t;
+}
+
+let empty =
+  {
+    node_map = Id.Map.empty;
+    order = [];
+    child_map = Id.Map.empty;
+    parent_map = Id.Map.empty;
+  }
+
+let add ?parent n t =
+  let t =
+    {
+      t with
+      node_map = Id.Map.add n.id n t.node_map;
+      order =
+        (if List.exists (Id.equal n.id) t.order then t.order
+         else t.order @ [ n.id ]);
+    }
+  in
+  match parent with
+  | None -> t
+  | Some p ->
+      let pid = Id.of_string p in
+      if not (Id.Map.mem pid t.node_map) then
+        invalid_arg (Printf.sprintf "Kaos.add: unknown parent %s" p);
+      let siblings = Option.value ~default:[] (Id.Map.find_opt pid t.child_map) in
+      {
+        t with
+        child_map = Id.Map.add pid (siblings @ [ n.id ]) t.child_map;
+        parent_map = Id.Map.add n.id pid t.parent_map;
+      }
+
+let goal ?formal id description =
+  { id = Id.of_string id; kind = Goal; description; formal }
+
+let requirement ?formal ~agent id description =
+  { id = Id.of_string id; kind = Requirement agent; description; formal }
+
+let expectation ?formal ~agent id description =
+  { id = Id.of_string id; kind = Expectation agent; description; formal }
+
+let find id t = Id.Map.find_opt id t.node_map
+
+let children id t =
+  Option.value ~default:[] (Id.Map.find_opt id t.child_map)
+  |> List.filter_map (fun c -> find c t)
+
+let roots t =
+  List.filter_map
+    (fun id ->
+      if Id.Map.mem id t.parent_map then None else find id t)
+    t.order
+
+let size t = Id.Map.cardinal t.node_map
+
+let check t =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  List.iter
+    (fun id ->
+      match find id t with
+      | None -> ()
+      | Some n -> (
+          let kids = children id t in
+          match n.kind with
+          | Goal ->
+              if kids = [] then
+                add
+                  (Diagnostic.errorf ~code:"kaos/unrefined-goal"
+                     ~subjects:[ id ]
+                     "goal is neither refined nor operationalised");
+              if
+                n.formal <> None
+                && kids <> []
+                && List.exists
+                     (fun c -> c.kind = Goal && c.formal = None)
+                     kids
+              then
+                add
+                  (Diagnostic.warningf ~code:"kaos/informal-under-formal"
+                     ~subjects:[ id ]
+                     "formal goal refined by informal subgoals; the \
+                      refinement cannot be verified")
+          | Requirement _ | Expectation _ ->
+              if kids <> [] then
+                add
+                  (Diagnostic.errorf ~code:"kaos/refined-requirement"
+                     ~subjects:[ id ]
+                     "requirements and expectations are leaves")))
+    t.order;
+  Diagnostic.sort (List.rev !out)
+
+type verdict =
+  | Verified_bounded of int
+  | Refuted of Ltl.Trace.t
+  | Not_applicable
+
+let random_state rng atoms =
+  List.filter (fun _ -> Prng.bernoulli rng 0.5) atoms
+
+let random_trace rng atoms =
+  let prefix_len = Prng.int rng 5 in
+  let loop_len = 1 + Prng.int rng 3 in
+  Ltl.Trace.make
+    ~prefix:(List.init prefix_len (fun _ -> random_state rng atoms))
+    ~loop:(List.init loop_len (fun _ -> random_state rng atoms))
+
+let verify_refinement ?(traces = 500) ?(seed = 7) t id =
+  match find id t with
+  | None -> Not_applicable
+  | Some parent -> (
+      match parent.formal with
+      | None -> Not_applicable
+      | Some parent_formula ->
+          let child_formulas =
+            List.filter_map (fun c -> c.formal) (children id t)
+          in
+          if child_formulas = [] then Not_applicable
+          else begin
+            let atoms =
+              List.sort_uniq String.compare
+                (List.concat_map Ltl.atoms (parent_formula :: child_formulas))
+            in
+            let rng = Prng.create (seed + Hashtbl.hash (Id.to_string id)) in
+            let rec search k =
+              if k >= traces then Verified_bounded traces
+              else
+                let trace = random_trace rng atoms in
+                if
+                  List.for_all (fun f -> Ltl.holds trace f) child_formulas
+                  && not (Ltl.holds trace parent_formula)
+                then Refuted trace
+                else search (k + 1)
+            in
+            search 0
+          end)
+
+let verify_all ?traces ?seed t =
+  List.filter_map
+    (fun id ->
+      if Id.Map.find_opt id t.child_map = None then None
+      else Some (id, verify_refinement ?traces ?seed t id))
+    t.order
+
+let to_gsn t =
+  let s = ref Structure.empty in
+  let add_gsn n = s := Structure.add_node n !s in
+  let connect src dst =
+    s := Structure.connect Structure.Supported_by ~src ~dst !s
+  in
+  List.iter
+    (fun id ->
+      match find id t with
+      | None -> ()
+      | Some n -> (
+          let text =
+            match n.formal with
+            | Some f ->
+                Printf.sprintf "%s (formally: %s)" n.description
+                  (Ltl.to_string f)
+            | None -> n.description
+          in
+          match n.kind with
+          | Goal -> add_gsn (Gnode.make ~id ~node_type:Gnode.Goal text)
+          | Requirement agent | Expectation agent ->
+              let ev_id = Id.of_string ("E_" ^ Id.to_string id) in
+              let sol_id = Id.of_string ("Sn_" ^ Id.to_string id) in
+              add_gsn (Gnode.make ~id ~node_type:Gnode.Goal text);
+              s :=
+                Structure.add_evidence
+                  (Evidence.make ~id:ev_id ~kind:Evidence.Expert_judgement
+                     ~source:"KAOS responsibility assignment"
+                     ~strength:Evidence.Existential
+                     (Printf.sprintf "Responsibility assigned to %s" agent))
+                  !s;
+              add_gsn
+                (Gnode.make ~id:sol_id ~node_type:Gnode.Solution
+                   ~evidence:ev_id
+                   (Printf.sprintf "Satisfied by agent %s" agent));
+              connect id sol_id))
+    t.order;
+  (* Refinements become strategies. *)
+  List.iter
+    (fun id ->
+      let kids = Option.value ~default:[] (Id.Map.find_opt id t.child_map) in
+      if kids <> [] then begin
+        let strat_id = Id.of_string ("S_" ^ Id.to_string id) in
+        add_gsn
+          (Gnode.make ~id:strat_id ~node_type:Gnode.Strategy
+             "AND-refinement of the goal");
+        connect id strat_id;
+        List.iter (fun kid -> connect strat_id kid) kids
+      end)
+    t.order;
+  !s
+
+let pp ppf t =
+  let rec go indent n =
+    let tag =
+      match n.kind with
+      | Goal -> "goal"
+      | Requirement a -> Printf.sprintf "requirement(%s)" a
+      | Expectation a -> Printf.sprintf "expectation(%s)" a
+    in
+    Format.fprintf ppf "%s[%s] %a: %s" indent tag Id.pp n.id n.description;
+    (match n.formal with
+    | Some f -> Format.fprintf ppf "  {%s}" (Ltl.to_string f)
+    | None -> ());
+    Format.fprintf ppf "@.";
+    List.iter (go (indent ^ "  ")) (children n.id t)
+  in
+  List.iter (go "") (roots t)

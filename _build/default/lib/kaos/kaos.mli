@@ -1,0 +1,86 @@
+(** KAOS-style goal models with LTL-formalised goals.
+
+    Brunel and Cazin (Section III.G of the paper) "propose first
+    developing a KAOS goal structure and then deriving the formalised
+    argument from this"; the formal argument's structure reflects the
+    goal structure's.  This module is that substrate: an AND-refinement
+    goal tree whose goals may carry LTL formalisations, with
+
+    - structural checking (cycles, unrefined non-leaf goals, leaves
+      without an operationalising requirement/expectation);
+    - refinement verification by {e bounded refutation}: a search over
+      random lasso traces for one satisfying every subgoal but not the
+      parent (LTL refinement entailment is expensive in general; a
+      counterexample search is what a bounded model checker does, and a
+      found trace is a definitive refutation);
+    - derivation of the GSN argument, as the surveyed proposal
+      describes. *)
+
+type kind =
+  | Goal  (** To be refined into subgoals. *)
+  | Requirement of string  (** Operationalised; assigned to an agent. *)
+  | Expectation of string  (** Assigned to an agent in the environment. *)
+
+type node = {
+  id : Argus_core.Id.t;
+  kind : kind;
+  description : string;
+  formal : Argus_ltl.Ltl.t option;
+}
+
+type t
+
+val empty : t
+val add : ?parent:string -> node -> t -> t
+(** Adds a node, optionally as a child of an existing node (by id
+    string).  @raise Invalid_argument if the parent is unknown. *)
+
+val goal : ?formal:Argus_ltl.Ltl.t -> string -> string -> node
+(** [goal id description]. *)
+
+val requirement :
+  ?formal:Argus_ltl.Ltl.t -> agent:string -> string -> string -> node
+
+val expectation :
+  ?formal:Argus_ltl.Ltl.t -> agent:string -> string -> string -> node
+
+val find : Argus_core.Id.t -> t -> node option
+val children : Argus_core.Id.t -> t -> node list
+val roots : t -> node list
+val size : t -> int
+
+val check : t -> Argus_core.Diagnostic.t list
+(** Codes under ["kaos/"]: ["kaos/unrefined-goal"] (a [Goal] leaf),
+    ["kaos/refined-requirement"] (a requirement/expectation with
+    children), ["kaos/informal-under-formal"] (warning: a formal goal
+    refined by an informal sub-goal, so the refinement cannot be
+    verified; informal requirements/expectations are normal
+    operationalisations and are not flagged). *)
+
+(** Result of bounded refinement verification for one goal. *)
+type verdict =
+  | Verified_bounded of int
+      (** No counterexample among this many sampled traces. *)
+  | Refuted of Argus_ltl.Ltl.Trace.t
+      (** A trace satisfying all subgoals but not the parent. *)
+  | Not_applicable  (** Parent or all children lack formalisation. *)
+
+val verify_refinement :
+  ?traces:int -> ?seed:int -> t -> Argus_core.Id.t -> verdict
+(** Checks the AND-refinement of the given goal: children's formulas
+    jointly entail the parent's, by counterexample search over random
+    lassos built from the formulas' atoms (prefix up to 4, loop up to
+    3).  Children without formulas are skipped (making the check
+    weaker, as flagged by {!check}). *)
+
+val verify_all :
+  ?traces:int -> ?seed:int -> t -> (Argus_core.Id.t * verdict) list
+(** Every refined goal, in insertion order. *)
+
+val to_gsn : t -> Argus_gsn.Structure.t
+(** The derived argument: goals become GSN goals (with their LTL text
+    recorded in the node text), refinements become strategies,
+    requirements/expectations become goals supported by solutions citing
+    synthesised evidence ("satisfied by agent ..."). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/logic/natded.ml: Argus_core Array Format Int List Prop Result Sat Set String

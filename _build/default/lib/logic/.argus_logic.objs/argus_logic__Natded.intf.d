@@ -1,0 +1,1 @@
+lib/logic/natded.mli: Argus_core Format Prop Set

@@ -1,0 +1,1 @@
+lib/logic/proof_text.ml: Buffer List Natded Printf Prop String

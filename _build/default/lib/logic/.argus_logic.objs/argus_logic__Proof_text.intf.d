@@ -1,0 +1,1 @@
+lib/logic/proof_text.mli: Natded

@@ -1,0 +1,1 @@
+lib/logic/prop.ml: Bool Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/prop.mli: Format

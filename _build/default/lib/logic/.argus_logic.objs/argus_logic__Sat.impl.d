@@ -1,0 +1,1 @@
+lib/logic/sat.ml: Array Bool Hashtbl List Map Printf Prop String

@@ -1,0 +1,1 @@
+lib/logic/sat.mli: Prop

@@ -1,0 +1,1 @@
+lib/logic/syllogism.mli: Format

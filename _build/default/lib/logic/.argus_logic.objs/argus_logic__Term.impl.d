@@ -1,0 +1,1 @@
+lib/logic/term.ml: Format Hashtbl List Map Printf Stdlib String

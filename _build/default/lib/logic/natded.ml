@@ -1,0 +1,278 @@
+module Diagnostic = Argus_core.Diagnostic
+
+type rule =
+  | Premise
+  | Assumption
+  | And_intro of int * int
+  | And_elim_left of int
+  | And_elim_right of int
+  | Or_intro_left of int
+  | Or_intro_right of int
+  | Or_elim of int * int * int
+  | Imp_elim of int * int
+  | Imp_intro of int * int
+  | Iff_intro of int * int
+  | Iff_elim_left of int
+  | Iff_elim_right of int
+  | Not_elim of int * int
+  | Not_intro of int * int
+  | Bot_elim of int
+  | Reiterate of int
+  | Excluded_middle
+
+type step = { formula : Prop.t; rule : rule }
+type t = step list
+
+module Intset = Set.Make (Int)
+
+type checked = {
+  proof : t;
+  dependencies : Intset.t array;
+  premises : Prop.t list;
+  conclusion : Prop.t;
+}
+
+let rule_name = function
+  | Premise -> "Premise"
+  | Assumption -> "Assumption"
+  | And_intro _ -> "Join"
+  | And_elim_left _ | And_elim_right _ -> "Split"
+  | Or_intro_left _ | Or_intro_right _ -> "Widen"
+  | Or_elim _ -> "Cases"
+  | Imp_elim _ -> "Detach"
+  | Imp_intro _ -> "Conclusion"
+  | Iff_intro _ -> "IffIntro"
+  | Iff_elim_left _ | Iff_elim_right _ -> "IffElim"
+  | Not_elim _ -> "Contradiction"
+  | Not_intro _ -> "Reductio"
+  | Bot_elim _ -> "ExFalso"
+  | Reiterate _ -> "Reiterate"
+  | Excluded_middle -> "ExcludedMiddle"
+
+let citations = function
+  | Premise | Assumption | Excluded_middle -> []
+  | And_elim_left i
+  | And_elim_right i
+  | Or_intro_left i
+  | Or_intro_right i
+  | Iff_elim_left i
+  | Iff_elim_right i
+  | Bot_elim i
+  | Reiterate i ->
+      [ i ]
+  | And_intro (i, j)
+  | Imp_elim (i, j)
+  | Imp_intro (i, j)
+  | Iff_intro (i, j)
+  | Not_elim (i, j)
+  | Not_intro (i, j) ->
+      [ i; j ]
+  | Or_elim (i, j, k) -> [ i; j; k ]
+
+type check_state = {
+  formulas : Prop.t array;
+  deps : Intset.t array;
+  rules : rule array;
+}
+
+let err ~code fmt = Format.kasprintf (fun m -> Diagnostic.error ~code m) fmt
+
+(* Check step [k] (0-based) given that steps [0..k-1] checked out.
+   Returns the dependency set or a diagnostic. *)
+let check_step st k =
+  let n = k in
+  let step_no = k + 1 in
+  let cite i =
+    if i < 1 || i > n then
+      Error
+        (err ~code:"natded/bad-citation"
+           "step %d cites step %d, which is not an earlier step" step_no i)
+    else Ok (st.formulas.(i - 1), st.deps.(i - 1))
+  in
+  let ( let* ) r f = Result.bind r f in
+  let mismatch what =
+    Error
+      (err ~code:"natded/rule-mismatch" "step %d: %s" step_no what)
+  in
+  let f = st.formulas.(k) in
+  match st.rules.(k) with
+  | Premise | Assumption -> Ok (Intset.singleton step_no)
+  | Reiterate i ->
+      let* fi, di = cite i in
+      if Prop.equal f fi then Ok di
+      else mismatch "Reiterate must restate the cited formula"
+  | And_intro (i, j) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      match f with
+      | Prop.And (a, b) when Prop.equal a fi && Prop.equal b fj ->
+          Ok (Intset.union di dj)
+      | _ -> mismatch "Join must conclude the conjunction of the cited steps")
+  | And_elim_left i -> (
+      let* fi, di = cite i in
+      match fi with
+      | Prop.And (a, _) when Prop.equal f a -> Ok di
+      | _ -> mismatch "Split(left) needs a conjunction whose left part is the conclusion")
+  | And_elim_right i -> (
+      let* fi, di = cite i in
+      match fi with
+      | Prop.And (_, b) when Prop.equal f b -> Ok di
+      | _ -> mismatch "Split(right) needs a conjunction whose right part is the conclusion")
+  | Or_intro_left i -> (
+      let* fi, di = cite i in
+      match f with
+      | Prop.Or (a, _) when Prop.equal a fi -> Ok di
+      | _ -> mismatch "Widen(left) must conclude a disjunction whose left part is the cited formula")
+  | Or_intro_right i -> (
+      let* fi, di = cite i in
+      match f with
+      | Prop.Or (_, b) when Prop.equal b fi -> Ok di
+      | _ -> mismatch "Widen(right) must conclude a disjunction whose right part is the cited formula")
+  | Or_elim (i, j, l) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      let* fl, dl = cite l in
+      match (fi, fj, fl) with
+      | Prop.Or (a, b), Prop.Implies (a', c1), Prop.Implies (b', c2)
+        when Prop.equal a a' && Prop.equal b b' && Prop.equal c1 c2
+             && Prop.equal f c1 ->
+          Ok (Intset.union di (Intset.union dj dl))
+      | _ ->
+          mismatch
+            "Cases needs a disjunction and implications from each disjunct to the conclusion")
+  | Imp_elim (i, j) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      match fi with
+      | Prop.Implies (a, b) when Prop.equal a fj && Prop.equal b f ->
+          Ok (Intset.union di dj)
+      | _ ->
+          mismatch
+            "Detach needs an implication and its antecedent, concluding the consequent")
+  | Imp_intro (i, j) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      ignore di;
+      match (st.rules.(i - 1), f) with
+      | (Premise | Assumption), Prop.Implies (a, b)
+        when Prop.equal a fi && Prop.equal b fj ->
+          Ok (Intset.remove i dj)
+      | (Premise | Assumption), _ ->
+          mismatch
+            "Conclusion must conclude (discharged formula -> cited result)"
+      | _ ->
+          mismatch "Conclusion can only discharge a Premise or Assumption step")
+  | Iff_intro (i, j) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      match (fi, fj, f) with
+      | Prop.Implies (a, b), Prop.Implies (b', a'), Prop.Iff (x, y)
+        when Prop.equal a a' && Prop.equal b b' && Prop.equal x a
+             && Prop.equal y b ->
+          Ok (Intset.union di dj)
+      | _ -> mismatch "IffIntro needs both implications of the equivalence")
+  | Iff_elim_left i -> (
+      let* fi, di = cite i in
+      match (fi, f) with
+      | Prop.Iff (a, b), Prop.Implies (a', b')
+        when Prop.equal a a' && Prop.equal b b' ->
+          Ok di
+      | _ -> mismatch "IffElim(left) concludes the forward implication")
+  | Iff_elim_right i -> (
+      let* fi, di = cite i in
+      match (fi, f) with
+      | Prop.Iff (a, b), Prop.Implies (b', a')
+        when Prop.equal a a' && Prop.equal b b' ->
+          Ok di
+      | _ -> mismatch "IffElim(right) concludes the backward implication")
+  | Not_elim (i, j) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      let contradictory =
+        match (fi, fj) with
+        | a, Prop.Not b when Prop.equal a b -> true
+        | Prop.Not a, b when Prop.equal a b -> true
+        | _ -> false
+      in
+      match f with
+      | Prop.Bot when contradictory -> Ok (Intset.union di dj)
+      | _ ->
+          mismatch
+            "Contradiction needs a formula and its negation, concluding false")
+  | Not_intro (i, j) -> (
+      let* fi, di = cite i in
+      let* fj, dj = cite j in
+      ignore di;
+      match (st.rules.(i - 1), fj, f) with
+      | (Premise | Assumption), Prop.Bot, Prop.Not a when Prop.equal a fi ->
+          Ok (Intset.remove i dj)
+      | (Premise | Assumption), _, _ ->
+          mismatch
+            "Reductio must cite a false step and conclude the negation of the discharged assumption"
+      | _ -> mismatch "Reductio can only discharge a Premise or Assumption step")
+  | Bot_elim i -> (
+      let* fi, di = cite i in
+      match fi with
+      | Prop.Bot -> Ok di
+      | _ -> mismatch "ExFalso must cite a false step")
+  | Excluded_middle -> (
+      match f with
+      | Prop.Or (a, Prop.Not b) when Prop.equal a b -> Ok Intset.empty
+      | _ -> mismatch "ExcludedMiddle must conclude a formula or its negation")
+
+let check proof =
+  match proof with
+  | [] ->
+      Error [ Diagnostic.error ~code:"natded/empty-proof" "the proof has no steps" ]
+  | _ ->
+      let arr = Array.of_list proof in
+      let n = Array.length arr in
+      let st =
+        {
+          formulas = Array.map (fun s -> s.formula) arr;
+          deps = Array.make n Intset.empty;
+          rules = Array.map (fun s -> s.rule) arr;
+        }
+      in
+      let errors = ref [] in
+      for k = 0 to n - 1 do
+        match check_step st k with
+        | Ok deps -> st.deps.(k) <- deps
+        | Error d -> errors := d :: !errors
+      done;
+      if !errors <> [] then Error (List.rev !errors)
+      else
+        let final = st.deps.(n - 1) in
+        let premises =
+          Intset.elements final |> List.map (fun i -> st.formulas.(i - 1))
+        in
+        Ok
+          {
+            proof;
+            dependencies = st.deps;
+            premises;
+            conclusion = st.formulas.(n - 1);
+          }
+
+let is_valid proof = Result.is_ok (check proof)
+let semantically_sound c = Sat.entails c.premises c.conclusion
+
+let theorem c =
+  match c.premises with
+  | [] -> c.conclusion
+  | ps -> Prop.Implies (Prop.conj ps, c.conclusion)
+
+let pp ppf proof =
+  let n = List.length proof in
+  let width = String.length (string_of_int n) in
+  List.iteri
+    (fun k { formula; rule } ->
+      let cites = citations rule in
+      let cite_text =
+        match cites with
+        | [] -> ""
+        | _ -> ", " ^ String.concat ", " (List.map string_of_int cites)
+      in
+      Format.fprintf ppf "%*d  %-40s (%s%s)@." width (k + 1)
+        (Prop.to_string formula) (rule_name rule) cite_text)
+    proof

@@ -1,0 +1,86 @@
+(** Fitch-style linear natural-deduction proofs and their checker.
+
+    This is the proof system in which Haley et al. write the formal
+    "outer" arguments of security requirements satisfaction arguments
+    (their 2008 example is an eleven-step proof using Premise, Detach
+    (implication elimination), Split (conjunction elimination) and
+    Conclusion (implication introduction, discharging a premise)).  The
+    same representation feeds the Basir/Denney proof-to-argument
+    generator.
+
+    A proof is a numbered list of steps.  Each step cites earlier steps
+    by their 1-based index.  The checker verifies every citation and rule
+    application and computes, per step, the set of undischarged
+    assumptions it depends on, giving the proved sequent. *)
+
+type rule =
+  | Premise  (** An axiom of the argument; remains in the sequent. *)
+  | Assumption  (** A hypothesis intended to be discharged later. *)
+  | And_intro of int * int
+  | And_elim_left of int  (** From [A & B], conclude [A] ("Split"). *)
+  | And_elim_right of int
+  | Or_intro_left of int  (** From [A], conclude [A | B] for stated [B]. *)
+  | Or_intro_right of int
+  | Or_elim of int * int * int
+      (** From [A | B], [A -> C], [B -> C], conclude [C]. *)
+  | Imp_elim of int * int  (** Modus ponens ("Detach"). *)
+  | Imp_intro of int * int
+      (** [Imp_intro (i, j)]: discharge premise/assumption step [i] (with
+          formula [A]) using step [j] (with formula [B]); conclude
+          [A -> B] ("Conclusion"). *)
+  | Iff_intro of int * int  (** From [A -> B] and [B -> A]. *)
+  | Iff_elim_left of int  (** From [A <-> B], conclude [A -> B]. *)
+  | Iff_elim_right of int
+  | Not_elim of int * int  (** From [A] and [~A], conclude [false]. *)
+  | Not_intro of int * int
+      (** Discharge assumption step [i] (formula [A]) using a
+          [false] at step [j]; conclude [~A]. *)
+  | Bot_elim of int  (** Ex falso: from [false], conclude anything. *)
+  | Reiterate of int
+  | Excluded_middle  (** Conclude [A | ~A] for any stated [A]. *)
+
+type step = { formula : Prop.t; rule : rule }
+
+type t = step list
+(** Steps are numbered from 1 in citation order. *)
+
+module Intset : Set.S with type elt = int
+
+type checked = {
+  proof : t;
+  dependencies : Intset.t array;
+      (** [dependencies.(k)] is the set of undischarged premise /
+          assumption step indices the [(k+1)]-th step rests on. *)
+  premises : Prop.t list;
+      (** Formulas of the undischarged steps the conclusion depends on,
+          in step order. *)
+  conclusion : Prop.t;  (** Formula of the final step. *)
+}
+
+val check : t -> (checked, Argus_core.Diagnostic.t list) result
+(** Verifies every step.  Diagnostics carry codes under ["natded/"], e.g.
+    ["natded/bad-citation"], ["natded/rule-mismatch"],
+    ["natded/empty-proof"]. *)
+
+val is_valid : t -> bool
+
+val semantically_sound : checked -> bool
+(** SAT cross-check that the premises entail the conclusion.  A proof
+    accepted by {!check} always satisfies this; exposed for property
+    tests and for the paper's point that syntactic checking tracks
+    semantic entailment. *)
+
+val theorem : checked -> Prop.t
+(** The proved formula [premise_1 & ... & premise_n -> conclusion] (just
+    the conclusion when no premises remain). *)
+
+val rule_name : rule -> string
+(** Short conventional name, e.g. ["Detach"] for [Imp_elim], ["Split"]
+    for conjunction elimination, ["Conclusion"] for [Imp_intro] —
+    matching the vocabulary of the Haley et al. example. *)
+
+val citations : rule -> int list
+
+val pp : Format.formatter -> t -> unit
+(** Tabular rendering in the style of the paper's Section III.K example:
+    step number, formula, rule name with citations. *)

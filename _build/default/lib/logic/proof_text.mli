@@ -1,0 +1,41 @@
+(** A textual format for natural-deduction proofs.
+
+    One step per line, [#] comments, blank lines ignored:
+
+    {v
+    # the Haley et al. outer argument
+    1. i -> v      premise
+    2. c -> h      premise
+    3. y -> v & c  premise
+    4. d -> y      premise
+    5. d           premise
+    6. y           detach 4 5
+    7. v & c       detach 3 6
+    8. v           split-left 7
+    9. c           split-right 7
+    10. h          detach 2 9
+    11. d -> h     conclusion 5 10
+    v}
+
+    The leading [n.] is optional and, when present, must equal the
+    actual step number — a proof written down with wrong numbering is
+    already suspect.  Rule names (case-insensitive):
+    [premise], [assumption], [join i j], [split-left i],
+    [split-right i], [widen-left i], [widen-right i], [cases i j k],
+    [detach i j], [conclusion i j], [iff-intro i j], [iff-elim-left i],
+    [iff-elim-right i], [contradiction i j], [reductio i j],
+    [exfalso i], [reiterate i], [excluded-middle].
+
+    Parsing anchors at the end of each line — trailing integers are
+    citations and the word before them is the rule — so formulas may
+    freely use identifiers that happen to look like rule names. *)
+
+val rule_keywords : string list
+
+val parse : string -> (Natded.t, string) result
+(** Parse a whole proof.  The error message names the offending line. *)
+
+val parse_exn : string -> Natded.t
+
+val print : Natded.t -> string
+(** Numbered rendering in the same format; [parse (print p) = Ok p]. *)

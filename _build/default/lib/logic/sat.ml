@@ -1,0 +1,212 @@
+type literal = { var : string; sign : bool }
+type clause = literal list
+type cnf = clause list
+
+let lit var sign = { var; sign }
+let neg_lit l = { l with sign = not l.sign }
+
+(* --- Direct CNF via NNF + distribution --- *)
+
+let rec cnf_of_nnf = function
+  | Prop.Top -> []
+  | Prop.Bot -> [ [] ]
+  | Prop.Var v -> [ [ lit v true ] ]
+  | Prop.Not (Prop.Var v) -> [ [ lit v false ] ]
+  | Prop.And (a, b) -> cnf_of_nnf a @ cnf_of_nnf b
+  | Prop.Or (a, b) ->
+      let ca = cnf_of_nnf a and cb = cnf_of_nnf b in
+      List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) cb) ca
+  | Prop.Not _ | Prop.Implies _ | Prop.Iff _ ->
+      invalid_arg "cnf_of_nnf: input not in NNF"
+
+let cnf_of_prop f = cnf_of_nnf (Prop.nnf f)
+
+(* --- Tseitin transformation --- *)
+
+let tseitin f =
+  let counter = ref 0 in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "_ts%d" !counter
+  in
+  (* Returns a literal equivalent to the subformula. *)
+  let rec go f =
+    match f with
+    | Prop.Var v -> lit v true
+    | Prop.Top ->
+        let x = fresh () in
+        emit [ lit x true ];
+        lit x true
+    | Prop.Bot ->
+        let x = fresh () in
+        emit [ lit x false ];
+        lit x true
+    | Prop.Not a -> neg_lit (go a)
+    | Prop.And (a, b) ->
+        let la = go a and lb = go b in
+        let x = lit (fresh ()) true in
+        (* x <-> la & lb *)
+        emit [ neg_lit x; la ];
+        emit [ neg_lit x; lb ];
+        emit [ x; neg_lit la; neg_lit lb ];
+        x
+    | Prop.Or (a, b) ->
+        let la = go a and lb = go b in
+        let x = lit (fresh ()) true in
+        emit [ neg_lit x; la; lb ];
+        emit [ x; neg_lit la ];
+        emit [ x; neg_lit lb ];
+        x
+    | Prop.Implies (a, b) -> go (Prop.Or (Prop.Not a, b))
+    | Prop.Iff (a, b) ->
+        let la = go a and lb = go b in
+        let x = lit (fresh ()) true in
+        emit [ neg_lit x; neg_lit la; lb ];
+        emit [ neg_lit x; la; neg_lit lb ];
+        emit [ x; la; lb ];
+        emit [ x; neg_lit la; neg_lit lb ];
+        x
+  in
+  let root = go f in
+  emit [ root ];
+  List.rev !clauses
+
+(* --- DPLL --- *)
+
+module Smap = Map.Make (String)
+
+type assignment = bool Smap.t
+
+let lit_value (asg : assignment) l =
+  match Smap.find_opt l.var asg with
+  | None -> None
+  | Some b -> Some (Bool.equal b l.sign)
+
+(* Simplify a clause under the assignment: [None] when satisfied,
+   [Some remaining] otherwise. *)
+let simplify_clause asg clause =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | l :: rest -> (
+        match lit_value asg l with
+        | Some true -> None
+        | Some false -> go acc rest
+        | None -> go (l :: acc) rest)
+  in
+  go [] clause
+
+exception Conflict
+
+let simplify asg clauses =
+  List.filter_map
+    (fun c ->
+      match simplify_clause asg c with
+      | None -> None
+      | Some [] -> raise Conflict
+      | Some c -> Some c)
+    clauses
+
+let find_unit clauses =
+  List.find_map (function [ l ] -> Some l | _ -> None) clauses
+
+let find_pure clauses =
+  let polarity = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l ->
+          match Hashtbl.find_opt polarity l.var with
+          | None -> Hashtbl.add polarity l.var (Some l.sign)
+          | Some (Some s) when Bool.equal s l.sign -> ()
+          | Some (Some _) -> Hashtbl.replace polarity l.var None
+          | Some None -> ())
+        c)
+    clauses;
+  Hashtbl.fold
+    (fun var pol acc ->
+      match (acc, pol) with
+      | Some _, _ -> acc
+      | None, Some sign -> Some (lit var sign)
+      | None, None -> acc)
+    polarity None
+
+let rec dpll asg clauses =
+  match clauses with
+  | [] -> Some asg
+  | _ when List.exists (fun c -> c = []) clauses -> None
+  | _ -> (
+      match find_unit clauses with
+      | Some l -> assign asg clauses l
+      | None -> (
+          match find_pure clauses with
+          | Some l -> assign asg clauses l
+          | None -> (
+              match clauses with
+              | (l :: _) :: _ -> (
+                  match assign asg clauses l with
+                  | Some _ as r -> r
+                  | None -> assign asg clauses (neg_lit l))
+              | _ -> assert false)))
+
+and assign asg clauses l =
+  let asg = Smap.add l.var l.sign asg in
+  match simplify asg clauses with
+  | clauses -> dpll asg clauses
+  | exception Conflict -> None
+
+let cnf_vars clauses =
+  List.fold_left
+    (fun acc c -> List.fold_left (fun acc l -> Smap.add l.var true acc) acc c)
+    Smap.empty clauses
+
+let solve clauses =
+  match dpll Smap.empty clauses with
+  | None -> None
+  | Some asg ->
+      (* Complete the assignment over all variables that occur. *)
+      let all = cnf_vars clauses in
+      let completed =
+        Smap.mapi
+          (fun v _ ->
+            match Smap.find_opt v asg with Some b -> b | None -> true)
+          all
+      in
+      Some (Smap.bindings completed)
+
+let satisfiable f = solve (tseitin f) <> None
+let valid f = not (satisfiable (Prop.Not f))
+let entails premises conclusion =
+  not (satisfiable (Prop.And (Prop.conj premises, Prop.Not conclusion)))
+
+let equivalent a b = valid (Prop.Iff (a, b))
+
+let models f =
+  match solve (tseitin f) with
+  | None -> None
+  | Some asg ->
+      let fvars = Prop.vars f in
+      Some
+        (List.map
+           (fun v ->
+             match List.assoc_opt v asg with
+             | Some b -> (v, b)
+             | None -> (v, true))
+           fvars)
+
+let count_models f =
+  let fvars = Prop.vars f in
+  let n = List.length fvars in
+  if n > 24 then invalid_arg "count_models: too many variables";
+  let arr = Array.of_list fvars in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let valuation v =
+      let rec idx i = if arr.(i) = v then i else idx (i + 1) in
+      let i = idx 0 in
+      mask land (1 lsl i) <> 0
+    in
+    if Prop.eval valuation f then incr count
+  done;
+  !count

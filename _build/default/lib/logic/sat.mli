@@ -1,0 +1,40 @@
+(** CNF conversion and a DPLL satisfiability solver.
+
+    This is the mechanical-verification back end: entailment and validity
+    queries over {!Prop.t} power the formal-fallacy detectors
+    (incompatible premises, premise/conclusion contradiction, begging the
+    question up to equivalence) and Rushby-style what-if probing. *)
+
+type literal = { var : string; sign : bool }
+type clause = literal list
+type cnf = clause list
+
+val cnf_of_prop : Prop.t -> cnf
+(** Direct conversion via NNF and distribution.  Semantics-preserving but
+    worst-case exponential; fine for the formula sizes arguments carry,
+    and used as the test oracle for {!tseitin}. *)
+
+val tseitin : Prop.t -> cnf
+(** Equisatisfiable linear-size conversion.  Introduces fresh variables
+    prefixed ["_ts"]; input formulas must not use that prefix. *)
+
+val solve : cnf -> (string * bool) list option
+(** DPLL with unit propagation and pure-literal elimination.  Returns a
+    satisfying assignment covering at least every variable that occurs,
+    or [None] when unsatisfiable. *)
+
+val satisfiable : Prop.t -> bool
+val valid : Prop.t -> bool
+val entails : Prop.t list -> Prop.t -> bool
+(** [entails premises conclusion]: every model of the premises satisfies
+    the conclusion. *)
+
+val equivalent : Prop.t -> Prop.t -> bool
+
+val models : Prop.t -> (string * bool) list option
+(** A model of the formula over exactly its own variables, or [None]. *)
+
+val count_models : Prop.t -> int
+(** Number of satisfying assignments over the formula's variables, by
+    exhaustive enumeration.  Intended for formulas with at most ~20
+    variables; used by tests and the confidence module. *)

@@ -1,0 +1,192 @@
+type form = A | E | I | O
+type proposition = { form : form; subject : string; predicate : string }
+
+type t = {
+  major : proposition;
+  minor : proposition;
+  conclusion : proposition;
+}
+
+type violation =
+  | Undistributed_middle
+  | Illicit_major
+  | Illicit_minor
+  | Exclusive_premises
+  | Affirmative_from_negative
+  | Negative_from_affirmatives
+  | Existential_from_universals
+  | Malformed of string
+
+let prop form subject predicate = { form; subject; predicate }
+let subject_distributed = function A | E -> true | I | O -> false
+let predicate_distributed = function E | O -> true | A | I -> false
+let is_negative = function E | O -> true | A | I -> false
+let is_universal = function A | E -> true | I | O -> false
+
+(* Position of a term in a proposition, or None. *)
+type position = Subject | Predicate
+
+let position_of term p =
+  if p.subject = term then Some Subject
+  else if p.predicate = term then Some Predicate
+  else None
+
+let distributed_at p = function
+  | Subject -> subject_distributed p.form
+  | Predicate -> predicate_distributed p.form
+
+let other_term p term =
+  if p.subject = term then Some p.predicate
+  else if p.predicate = term then Some p.subject
+  else None
+
+let structure t =
+  let s = t.conclusion.subject and p = t.conclusion.predicate in
+  if s = p then Error "conclusion relates a term to itself"
+  else
+    match (other_term t.major p, other_term t.minor s) with
+    | None, _ -> Error "major premise does not mention the major term"
+    | _, None -> Error "minor premise does not mention the minor term"
+    | Some m1, Some m2 ->
+        if m1 <> m2 then Error "premises do not share a middle term"
+        else if m1 = s || m1 = p then
+          Error "middle term coincides with an end term"
+        else Ok (s, p, m1)
+
+let middle_term t =
+  match structure t with Ok (_, _, m) -> Some m | Error _ -> None
+
+let figure t =
+  match structure t with
+  | Error _ -> None
+  | Ok (_, _, m) -> (
+      match (position_of m t.major, position_of m t.minor) with
+      | Some Subject, Some Predicate -> Some 1
+      | Some Predicate, Some Predicate -> Some 2
+      | Some Subject, Some Subject -> Some 3
+      | Some Predicate, Some Subject -> Some 4
+      | _ -> None)
+
+let mood t = (t.major.form, t.minor.form, t.conclusion.form)
+
+let violations t =
+  match structure t with
+  | Error msg -> [ Malformed msg ]
+  | Ok (s, p, m) ->
+      let out = ref [] in
+      let add v = out := v :: !out in
+      let dist_in prem term =
+        match position_of term prem with
+        | None -> false
+        | Some pos -> distributed_at prem pos
+      in
+      if not (dist_in t.major m || dist_in t.minor m) then
+        add Undistributed_middle;
+      if
+        distributed_at t.conclusion Predicate
+        && not (dist_in t.major p)
+      then add Illicit_major;
+      if distributed_at t.conclusion Subject && not (dist_in t.minor s) then
+        add Illicit_minor;
+      let neg_major = is_negative t.major.form
+      and neg_minor = is_negative t.minor.form
+      and neg_concl = is_negative t.conclusion.form in
+      if neg_major && neg_minor then add Exclusive_premises
+      else begin
+        if (neg_major || neg_minor) && not neg_concl then
+          add Affirmative_from_negative;
+        if neg_concl && not (neg_major || neg_minor) then
+          add Negative_from_affirmatives
+      end;
+      if
+        is_universal t.major.form
+        && is_universal t.minor.form
+        && not (is_universal t.conclusion.form)
+      then add Existential_from_universals;
+      List.rev !out
+
+let is_valid t = violations t = []
+
+let make_figure fig (maj, min_, concl) =
+  let s = "s" and p = "p" and m = "m" in
+  let major, minor =
+    match fig with
+    | 1 -> (prop maj m p, prop min_ s m)
+    | 2 -> (prop maj p m, prop min_ s m)
+    | 3 -> (prop maj m p, prop min_ m s)
+    | 4 -> (prop maj p m, prop min_ m s)
+    | _ -> invalid_arg "make_figure"
+  in
+  { major; minor; conclusion = prop concl s p }
+
+let all_forms = [ A; E; I; O ]
+
+let all_moods_figures () =
+  List.concat_map
+    (fun fig ->
+      List.concat_map
+        (fun maj ->
+          List.concat_map
+            (fun min_ ->
+              List.map (fun concl -> make_figure fig (maj, min_, concl)) all_forms)
+            all_forms)
+        all_forms)
+    [ 1; 2; 3; 4 ]
+
+let valid_form_names =
+  [
+    ("Barbara", (A, A, A), 1);
+    ("Celarent", (E, A, E), 1);
+    ("Darii", (A, I, I), 1);
+    ("Ferio", (E, I, O), 1);
+    ("Cesare", (E, A, E), 2);
+    ("Camestres", (A, E, E), 2);
+    ("Festino", (E, I, O), 2);
+    ("Baroco", (A, O, O), 2);
+    ("Disamis", (I, A, I), 3);
+    ("Datisi", (A, I, I), 3);
+    ("Bocardo", (O, A, O), 3);
+    ("Ferison", (E, I, O), 3);
+    ("Camenes", (A, E, E), 4);
+    ("Dimaris", (I, A, I), 4);
+    ("Fresison", (E, I, O), 4);
+  ]
+
+let name_of t =
+  match figure t with
+  | None -> None
+  | Some fig ->
+      let m = mood t in
+      List.find_map
+        (fun (name, mood', fig') ->
+          if mood' = m && fig' = fig then Some name else None)
+        valid_form_names
+
+let converse p = { p with subject = p.predicate; predicate = p.subject }
+let conversion_valid = function E | I -> true | A | O -> false
+
+let violation_to_string = function
+  | Undistributed_middle -> "undistributed middle term"
+  | Illicit_major -> "illicit distribution of the major term"
+  | Illicit_minor -> "illicit distribution of the minor term"
+  | Exclusive_premises -> "two negative premises"
+  | Affirmative_from_negative ->
+      "affirmative conclusion from a negative premise"
+  | Negative_from_affirmatives ->
+      "negative conclusion from affirmative premises"
+  | Existential_from_universals ->
+      "particular conclusion from universal premises"
+  | Malformed msg -> "malformed syllogism: " ^ msg
+
+let form_templates = function
+  | A -> format_of_string "All %s are %s"
+  | E -> format_of_string "No %s are %s"
+  | I -> format_of_string "Some %s are %s"
+  | O -> format_of_string "Some %s are not %s"
+
+let pp_proposition ppf p =
+  Format.fprintf ppf (form_templates p.form) p.subject p.predicate
+
+let pp ppf t =
+  Format.fprintf ppf "%a; %a; therefore %a" pp_proposition t.major
+    pp_proposition t.minor pp_proposition t.conclusion

@@ -1,0 +1,96 @@
+(** Categorical syllogisms with distribution analysis.
+
+    Four of the eight formal fallacies in Damer's list that the paper
+    cites (Section IV.A) are syllogistic: false conversion, undistributed
+    middle term, and illicit distribution of an end term (illicit
+    major/minor); the classical rules also cover exclusive premises and
+    the affirmative/negative mismatches.  This module decides validity of
+    an AEIO syllogism by those rules and names each violated rule, which
+    is exactly the diagnosis a formal argument checker can produce. *)
+
+(** The four categorical forms. *)
+type form =
+  | A  (** All S are P. *)
+  | E  (** No S are P. *)
+  | I  (** Some S are P. *)
+  | O  (** Some S are not P. *)
+
+type proposition = { form : form; subject : string; predicate : string }
+
+type t = {
+  major : proposition;
+  minor : proposition;
+  conclusion : proposition;
+}
+
+(** Violations of the classical rules. *)
+type violation =
+  | Undistributed_middle
+  | Illicit_major  (** Major term distributed in conclusion only. *)
+  | Illicit_minor
+  | Exclusive_premises  (** Two negative premises. *)
+  | Affirmative_from_negative
+      (** Negative premise but affirmative conclusion. *)
+  | Negative_from_affirmatives
+  | Existential_from_universals
+      (** Particular conclusion from two universal premises (invalid
+          without existential import, the modern reading). *)
+  | Malformed of string
+      (** Term structure broken: middle term missing, conclusion terms
+          not matching the premises, etc. *)
+
+val prop : form -> string -> string -> proposition
+
+val subject_distributed : form -> bool
+(** Distribution: the subject is distributed in A and E. *)
+
+val predicate_distributed : form -> bool
+(** The predicate is distributed in E and O. *)
+
+val is_negative : form -> bool
+(** E and O are negative. *)
+
+val is_universal : form -> bool
+(** A and E are universal. *)
+
+val middle_term : t -> string option
+(** The term occurring in both premises and not in the conclusion, when
+    the syllogism is well-formed. *)
+
+val figure : t -> int option
+(** Classical figure 1-4 from the middle term's positions. *)
+
+val mood : t -> form * form * form
+
+val violations : t -> violation list
+(** Empty iff the syllogism is valid (modern interpretation, no
+    existential import). *)
+
+val is_valid : t -> bool
+
+val all_moods_figures : unit -> t list
+(** All 256 mood/figure combinations over canonical term names — the
+    enumeration used to validate {!violations} against the classical
+    list of 15 unconditionally valid forms. *)
+
+val valid_form_names : (string * (form * form * form) * int) list
+(** The 15 unconditionally valid forms as (traditional name, mood,
+    figure): Barbara, Celarent, Darii, Ferio, Cesare, Camestres,
+    Festino, Baroco, Darapti is excluded (needs existential import),
+    Disamis, Datisi, Bocardo, Ferison, Camenes, Dimaris, Fresison. *)
+
+val name_of : t -> string option
+(** Traditional name when the syllogism is one of the valid forms. *)
+
+(** Conversion of a single proposition — the "false conversion" fallacy
+    is inferring the converse where conversion is invalid. *)
+
+val converse : proposition -> proposition
+(** Swaps subject and predicate, keeping the form. *)
+
+val conversion_valid : form -> bool
+(** Simple conversion is valid for E and I only. *)
+
+val violation_to_string : violation -> string
+val pp_proposition : Format.formatter -> proposition -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+type t = Var of string | App of string * t list
+
+let var v = Var v
+let const c = App (c, [])
+let app f args = App (f, args)
+let equal = Stdlib.( = )
+let compare = Stdlib.compare
+
+let vars t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go = function
+    | Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end
+    | App (_, args) -> List.iter go args
+  in
+  go t;
+  List.rev !out
+
+let rec is_ground = function
+  | Var _ -> false
+  | App (_, args) -> List.for_all is_ground args
+
+let rec size = function
+  | Var _ -> 1
+  | App (_, args) -> List.fold_left (fun acc a -> acc + size a) 1 args
+
+module Smap = Map.Make (String)
+
+let rec apply_map m = function
+  | Var v as t -> ( match Smap.find_opt v m with Some u -> u | None -> t)
+  | App (f, args) -> App (f, List.map (apply_map m) args)
+
+module Subst = struct
+  type nonrec t = t Smap.t
+
+  let empty = Smap.empty
+  let is_empty = Smap.is_empty
+  let bindings s = Smap.bindings s
+  let find v s = Smap.find_opt v s
+  let apply s t = apply_map s t
+
+  let bind v t s =
+    let single = Smap.singleton v t in
+    let s = Smap.map (fun u -> apply_map single u) s in
+    Smap.add v t s
+
+  let compose s2 s1 =
+    let s1' = Smap.map (fun t -> apply_map s2 t) s1 in
+    Smap.union (fun _ t1 _ -> Some t1) s1' s2
+end
+
+let rec occurs v = function
+  | Var u -> u = v
+  | App (_, args) -> List.exists (occurs v) args
+
+let unify_under s t1 t2 =
+  let rec go s t1 t2 =
+    match s with
+    | None -> None
+    | Some sub -> (
+        let t1 = Subst.apply sub t1 and t2 = Subst.apply sub t2 in
+        match (t1, t2) with
+        | Var v, Var u when v = u -> s
+        | Var v, t | t, Var v ->
+            if occurs v t then None else Some (Subst.bind v t sub)
+        | App (f, args1), App (g, args2) ->
+            if f <> g || List.length args1 <> List.length args2 then None
+            else List.fold_left2 go s args1 args2)
+  in
+  go (Some s) t1 t2
+
+let unify t1 t2 = unify_under Subst.empty t1 t2
+
+let rec rename ~suffix = function
+  | Var v -> Var (v ^ "_" ^ suffix)
+  | App (f, args) -> App (f, List.map (rename ~suffix) args)
+
+let rec pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | App (f, []) -> Format.pp_print_string ppf f
+  | App (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        args
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* --- Parser --- *)
+
+exception Parse_error of string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+type token = Ident of string | Lparen | Rparen | Comma
+
+let tokenise s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+let is_variable_name name =
+  String.length name > 0
+  && ((name.[0] >= 'A' && name.[0] <= 'Z') || name.[0] = '_')
+
+let parse_tokens toks =
+  let toks = ref toks in
+  let advance () =
+    match !toks with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+        toks := rest;
+        t
+  in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let rec p_term () =
+    match advance () with
+    | Ident name -> (
+        if is_variable_name name then Var name
+        else
+          match peek () with
+          | Some Lparen ->
+              ignore (advance ());
+              let args = p_args [] in
+              App (name, args)
+          | _ -> App (name, []))
+    | _ -> raise (Parse_error "expected a term")
+  and p_args acc =
+    let t = p_term () in
+    match advance () with
+    | Comma -> p_args (t :: acc)
+    | Rparen -> List.rev (t :: acc)
+    | _ -> raise (Parse_error "expected ',' or ')'")
+  in
+  let t = p_term () in
+  (match !toks with
+  | [] -> ()
+  | _ -> raise (Parse_error "trailing input after term"));
+  t
+
+let of_string s =
+  match parse_tokens (tokenise s) with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg

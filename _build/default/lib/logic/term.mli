@@ -1,0 +1,66 @@
+(** First-order terms and syntactic unification.
+
+    Shared by the resolution engine (Figure 1's Prolog example) and the
+    predicate-level fallacy lints.  Variables are capitalised in the
+    concrete syntax, Prolog-style; here they are just tagged strings. *)
+
+type t =
+  | Var of string
+  | App of string * t list
+      (** [App (f, [])] is a constant; [App (f, args)] a compound term.
+          Atoms/predicates are terms whose head is the predicate symbol. *)
+
+val var : string -> t
+val const : string -> t
+val app : string -> t list -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val vars : t -> string list
+(** Free variables in first-occurrence order, without duplicates. *)
+
+val is_ground : t -> bool
+val size : t -> int
+
+module Subst : sig
+  type term := t
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val bindings : t -> (string * term) list
+  val find : string -> t -> term option
+
+  val bind : string -> term -> t -> t
+  (** Adds a binding and normalises the range of existing bindings so the
+      substitution stays idempotent.  Assumes the occurs check passed. *)
+
+  val apply : t -> term -> term
+  (** Applies until fixpoint-free (substitutions are kept idempotent, so
+      one pass suffices). *)
+
+  val compose : t -> t -> t
+  (** [compose s2 s1] applies [s1] first: [apply (compose s2 s1) t =
+      apply s2 (apply s1 t)]. *)
+end
+
+val unify : t -> t -> Subst.t option
+(** Most general unifier with occurs check, or [None]. *)
+
+val unify_under : Subst.t -> t -> t -> Subst.t option
+(** Unify under an existing substitution (used by resolution). *)
+
+val rename : suffix:string -> t -> t
+(** Renames every variable [X] to [X_suffix]; used to freshen clauses
+    before resolution. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prolog-ish: [f(a, X, g(Y))]. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses the {!pp} syntax.  Tokens starting with an uppercase letter or
+    [_] are variables; everything else is a functor or constant.
+    Integers are allowed as constants. *)

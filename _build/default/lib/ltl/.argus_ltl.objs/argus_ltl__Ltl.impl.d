@@ -1,0 +1,1 @@
+lib/ltl/ltl.ml: Array Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ltl/ltl.mli: Format

@@ -1,0 +1,411 @@
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t
+  | Eventually of t
+  | Always of t
+
+let atom a = Atom a
+
+let atoms f =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go = function
+    | True | False -> ()
+    | Atom a ->
+        if not (Hashtbl.mem seen a) then begin
+          Hashtbl.add seen a ();
+          out := a :: !out
+        end
+    | Not g | Next g | Eventually g | Always g -> go g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Until (a, b) | Release (a, b) ->
+        go a;
+        go b
+  in
+  go f;
+  List.rev !out
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not g | Next g | Eventually g | Always g -> 1 + size g
+  | And (a, b) | Or (a, b) | Implies (a, b) | Until (a, b) | Release (a, b) ->
+      1 + size a + size b
+
+let equal = Stdlib.( = )
+
+module Trace = struct
+  type state = string list
+  type t = { prefix : state array; loop : state array }
+
+  let make ~prefix ~loop =
+    if loop = [] then invalid_arg "Ltl.Trace.make: empty loop";
+    { prefix = Array.of_list prefix; loop = Array.of_list loop }
+
+  let state t i =
+    let p = Array.length t.prefix and l = Array.length t.loop in
+    if i < 0 then invalid_arg "Ltl.Trace.state: negative position"
+    else if i < p then t.prefix.(i)
+    else t.loop.((i - p) mod l)
+
+  let length t = Array.length t.prefix + Array.length t.loop
+end
+
+(* Fixpoint labelling over the lasso.  Positions are 0..n-1 where
+   n = |prefix| + |loop|; the successor of the last position wraps to the
+   start of the loop. *)
+let label tr f =
+  let p = Array.length tr.Trace.prefix in
+  let n = Trace.length tr in
+  let succ i = if i = n - 1 then p else i + 1 in
+  let atom_true i a = List.mem a (Trace.state tr i) in
+  let rec go f =
+    match f with
+    | True -> Array.make n true
+    | False -> Array.make n false
+    | Atom a -> Array.init n (fun i -> atom_true i a)
+    | Not g -> Array.map not (go g)
+    | And (a, b) -> Array.map2 ( && ) (go a) (go b)
+    | Or (a, b) -> Array.map2 ( || ) (go a) (go b)
+    | Implies (a, b) -> Array.map2 (fun x y -> (not x) || y) (go a) (go b)
+    | Next g ->
+        let lg = go g in
+        Array.init n (fun i -> lg.(succ i))
+    | Eventually g -> go (Until (True, g))
+    | Always g -> go (Release (False, g))
+    | Until (a, b) ->
+        (* Least fixpoint of v(i) = b(i) or (a(i) and v(succ i)). *)
+        let la = go a and lb = go b in
+        let v = Array.make n false in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = n - 1 downto 0 do
+            let v' = lb.(i) || (la.(i) && v.(succ i)) in
+            if v' && not v.(i) then begin
+              v.(i) <- true;
+              changed := true
+            end
+          done
+        done;
+        v
+    | Release (a, b) ->
+        (* Greatest fixpoint of v(i) = b(i) and (a(i) or v(succ i)). *)
+        let la = go a and lb = go b in
+        let v = Array.make n true in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = n - 1 downto 0 do
+            let v' = lb.(i) && (la.(i) || v.(succ i)) in
+            if (not v') && v.(i) then begin
+              v.(i) <- false;
+              changed := true
+            end
+          done
+        done;
+        v
+  in
+  go f
+
+let holds_at tr i f =
+  if i < 0 then invalid_arg "Ltl.holds_at: negative position";
+  let p = Array.length tr.Trace.prefix and n = Trace.length tr in
+  let i = if i < n then i else p + ((i - p) mod (n - p)) in
+  (label tr f).(i)
+
+let holds tr f = (label tr f).(0)
+
+let holds_finite states f =
+  if states = [] then invalid_arg "Ltl.holds_finite: empty trace";
+  let arr = Array.of_list states in
+  let n = Array.length arr in
+  let rec at i f =
+    match f with
+    | True -> true
+    | False -> false
+    | Atom a -> List.mem a arr.(i)
+    | Not g -> not (at i g)
+    | And (a, b) -> at i a && at i b
+    | Or (a, b) -> at i a || at i b
+    | Implies (a, b) -> (not (at i a)) || at i b
+    | Next g -> i + 1 < n && at (i + 1) g
+    | Eventually g ->
+        let rec ex j = j < n && (at j g || ex (j + 1)) in
+        ex i
+    | Always g ->
+        let rec fa j = j >= n || (at j g && fa (j + 1)) in
+        fa i
+    | Until (a, b) ->
+        let rec un j = j < n && (at j b || (at j a && un (j + 1))) in
+        un i
+    | Release (a, b) -> not (at i (Until (Not a, Not b)))
+  in
+  at 0 f
+
+let rec nnf = function
+  | (True | False | Atom _) as f -> f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Implies (a, b) -> Or (nnf (Not a), nnf b)
+  | Next g -> Next (nnf g)
+  | Until (a, b) -> Until (nnf a, nnf b)
+  | Release (a, b) -> Release (nnf a, nnf b)
+  | Eventually g -> Until (True, nnf g)
+  | Always g -> Release (False, nnf g)
+  | Not f -> (
+      match f with
+      | True -> False
+      | False -> True
+      | Atom _ -> Not f
+      | Not g -> nnf g
+      | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+      | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+      | Implies (a, b) -> And (nnf a, nnf (Not b))
+      | Next g -> Next (nnf (Not g))
+      | Until (a, b) -> Release (nnf (Not a), nnf (Not b))
+      | Release (a, b) -> Until (nnf (Not a), nnf (Not b))
+      | Eventually g -> Release (False, nnf (Not g))
+      | Always g -> Until (True, nnf (Not g)))
+
+let rec rewrite f =
+  match f with
+  | Not True -> False
+  | Not False -> True
+  | Not (Not a) -> a
+  | And (True, a) | And (a, True) -> a
+  | And (False, _) | And (_, False) -> False
+  | And (a, b) when a = b -> a
+  | Or (False, a) | Or (a, False) -> a
+  | Or (True, _) | Or (_, True) -> True
+  | Or (a, b) when a = b -> a
+  | Implies (True, a) -> a
+  | Implies (False, _) -> True
+  | Implies (_, True) -> True
+  | Implies (a, False) -> rewrite (Not a)
+  | Implies (a, b) when a = b -> True
+  | Next True -> True
+  | Next False -> False
+  | Eventually (Eventually a) -> rewrite (Eventually a)
+  | Eventually True -> True
+  | Eventually False -> False
+  | Always (Always a) -> rewrite (Always a)
+  | Always True -> True
+  | Always False -> False
+  | Until (_, False) -> False
+  | Until (_, True) -> True
+  | Until (False, b) -> b
+  | Until (True, b) -> rewrite (Eventually b)
+  | Release (_, True) -> True
+  | Release (_, False) -> False
+  | Release (True, b) -> b
+  | Release (False, b) -> rewrite (Always b)
+  | f -> f
+
+let rec simplify f =
+  let f' =
+    match f with
+    | True | False | Atom _ -> f
+    | Not g -> rewrite (Not (simplify g))
+    | And (a, b) -> rewrite (And (simplify a, simplify b))
+    | Or (a, b) -> rewrite (Or (simplify a, simplify b))
+    | Implies (a, b) -> rewrite (Implies (simplify a, simplify b))
+    | Next g -> rewrite (Next (simplify g))
+    | Until (a, b) -> rewrite (Until (simplify a, simplify b))
+    | Release (a, b) -> rewrite (Release (simplify a, simplify b))
+    | Eventually g -> rewrite (Eventually (simplify g))
+    | Always g -> rewrite (Always (simplify g))
+  in
+  if f' = f then f else simplify f'
+
+(* Precedence: Implies 1, Or 2, And 3, Until/Release 4, unary 5. *)
+let rec pp_prec prec ppf f =
+  let paren p body =
+    if p < prec then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> Format.pp_print_string ppf a
+  | Not g -> paren 5 (fun ppf -> Format.fprintf ppf "~%a" (pp_prec 5) g)
+  | Next g -> paren 5 (fun ppf -> Format.fprintf ppf "X %a" (pp_prec 5) g)
+  | Eventually g ->
+      paren 5 (fun ppf -> Format.fprintf ppf "F %a" (pp_prec 5) g)
+  | Always g -> paren 5 (fun ppf -> Format.fprintf ppf "G %a" (pp_prec 5) g)
+  | Until (a, b) ->
+      paren 4 (fun ppf ->
+          Format.fprintf ppf "%a U %a" (pp_prec 5) a (pp_prec 4) b)
+  | Release (a, b) ->
+      paren 4 (fun ppf ->
+          Format.fprintf ppf "%a R %a" (pp_prec 5) a (pp_prec 4) b)
+  | And (a, b) ->
+      paren 3 (fun ppf ->
+          Format.fprintf ppf "%a & %a" (pp_prec 3) a (pp_prec 4) b)
+  | Or (a, b) ->
+      paren 2 (fun ppf ->
+          Format.fprintf ppf "%a | %a" (pp_prec 2) a (pp_prec 3) b)
+  | Implies (a, b) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "%a -> %a" (pp_prec 2) a (pp_prec 1) b)
+
+let pp ppf f = pp_prec 0 ppf f
+let to_string f = Format.asprintf "%a" pp f
+
+(* --- Parser --- *)
+
+type token =
+  | TAtom of string
+  | TTrue
+  | TFalse
+  | TNot
+  | TAnd
+  | TOr
+  | TImplies
+  | TG
+  | TF
+  | TX
+  | TU
+  | TR
+  | TLparen
+  | TRparen
+
+exception Parse_error of string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenise s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (TLparen :: acc)
+      | ')' -> go (i + 1) (TRparen :: acc)
+      | '~' | '!' -> go (i + 1) (TNot :: acc)
+      | '&' -> go (i + 1) (TAnd :: acc)
+      | '|' -> go (i + 1) (TOr :: acc)
+      | '-' when i + 1 < n && s.[i + 1] = '>' -> go (i + 2) (TImplies :: acc)
+      | '=' when i + 1 < n && s.[i + 1] = '>' -> go (i + 2) (TImplies :: acc)
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          let word = String.sub s i (!j - i) in
+          let tok =
+            match word with
+            | "G" -> TG
+            | "F" -> TF
+            | "X" -> TX
+            | "U" -> TU
+            | "R" -> TR
+            | "true" -> TTrue
+            | "false" -> TFalse
+            | "not" -> TNot
+            | "and" -> TAnd
+            | "or" -> TOr
+            | _ -> TAtom word
+          in
+          go !j (tok :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+let parse tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !toks with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+        toks := rest;
+        t
+  in
+  let rec p_imp () =
+    let lhs = p_or () in
+    match peek () with
+    | Some TImplies ->
+        ignore (advance ());
+        Implies (lhs, p_imp ())
+    | _ -> lhs
+  and p_or () =
+    let lhs = p_and () in
+    let rec loop acc =
+      match peek () with
+      | Some TOr ->
+          ignore (advance ());
+          loop (Or (acc, p_and ()))
+      | _ -> acc
+    in
+    loop lhs
+  and p_and () =
+    let lhs = p_until () in
+    let rec loop acc =
+      match peek () with
+      | Some TAnd ->
+          ignore (advance ());
+          loop (And (acc, p_until ()))
+      | _ -> acc
+    in
+    loop lhs
+  and p_until () =
+    let lhs = p_unary () in
+    match peek () with
+    | Some TU ->
+        ignore (advance ());
+        Until (lhs, p_until ())
+    | Some TR ->
+        ignore (advance ());
+        Release (lhs, p_until ())
+    | _ -> lhs
+  and p_unary () =
+    match peek () with
+    | Some TNot ->
+        ignore (advance ());
+        Not (p_unary ())
+    | Some TG ->
+        ignore (advance ());
+        Always (p_unary ())
+    | Some TF ->
+        ignore (advance ());
+        Eventually (p_unary ())
+    | Some TX ->
+        ignore (advance ());
+        Next (p_unary ())
+    | _ -> p_atom ()
+  and p_atom () =
+    match advance () with
+    | TAtom a -> Atom a
+    | TTrue -> True
+    | TFalse -> False
+    | TLparen ->
+        let f = p_imp () in
+        (match advance () with
+        | TRparen -> f
+        | _ -> raise (Parse_error "expected ')'"))
+    | _ -> raise (Parse_error "expected an atom or '('")
+  in
+  let f = p_imp () in
+  (match !toks with
+  | [] -> ()
+  | _ -> raise (Parse_error "trailing input"));
+  f
+
+let of_string s =
+  match parse (tokenise s) with
+  | f -> Ok f
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with Ok f -> f | Error msg -> failwith msg

@@ -1,0 +1,91 @@
+(** Linear temporal logic with lasso-trace semantics.
+
+    Brunel and Cazin formalise safety-argument claims in LTL — e.g. the
+    claim that the Detect-and-Avoid function is correct becomes
+    [G (d_obstacle < d_min -> (d_obstacle <> 0 U d_obstacle > d_min))].
+    Comparisons are propositional atoms here (["obstacle_close"], ...);
+    the temporal structure is what this module checks.
+
+    Semantics are over lasso traces (a finite prefix followed by a
+    repeated loop), which represent the ultimately-periodic behaviours a
+    bounded model checker explores, and over finite traces (LTLf-style,
+    with a strong Next) for checking recorded operational data. *)
+
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t  (** X *)
+  | Until of t * t  (** U (strong) *)
+  | Release of t * t  (** R, dual of U *)
+  | Eventually of t  (** F *)
+  | Always of t  (** G *)
+
+val atom : string -> t
+val atoms : t -> string list
+(** First-occurrence order, no duplicates. *)
+
+val size : t -> int
+val equal : t -> t -> bool
+
+module Trace : sig
+  type state = string list
+  (** Atoms true in the state; everything else is false. *)
+
+  type t = private { prefix : state array; loop : state array }
+  (** An infinite trace [prefix · loop^ω]; [loop] is non-empty. *)
+
+  val make : prefix:state list -> loop:state list -> t
+  (** @raise Invalid_argument if [loop] is empty. *)
+
+  val state : t -> int -> state
+  (** State at position [i >= 0], unrolling the loop. *)
+
+  val length : t -> int
+  (** [Array.length prefix + Array.length loop] — the number of distinct
+      positions. *)
+end
+
+val holds : Trace.t -> t -> bool
+(** Truth at position 0 of the infinite unrolling, computed by
+    fixpoint labelling over the lasso (least fixpoint for [Until],
+    greatest for [Release]). *)
+
+val holds_at : Trace.t -> int -> t -> bool
+(** Truth at an arbitrary position of the unrolling.
+    @raise Invalid_argument if the position is negative. *)
+
+val holds_finite : Trace.state list -> t -> bool
+(** LTLf semantics on a finite, non-looping trace: [Next] is strong
+    (false at the last position), [Always]/[Until] quantify over the
+    remaining positions only.  An empty trace satisfies only formulas
+    that are propositionally [True]-valued... in fact
+    @raise Invalid_argument on an empty trace, to avoid that edge case
+    silently meaning anything. *)
+
+val nnf : t -> t
+(** Negation normal form using the U/R and F/G dualities. *)
+
+val simplify : t -> t
+(** Semantics-preserving syntactic rewrites: idempotence ([FF a = F a],
+    [GG a = G a]), unit/absorption laws for the boolean connectives,
+    [X True = True], [F False = False], [a U False = False],
+    [True R a = G a], etc.  Applied bottom-up to a fixpoint. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering: [G p], [F p], [X p], [p U q], [p R q], plus the
+    propositional connectives as in {!Argus_logic.Prop.pp}. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parser for the {!pp} syntax.  [G]/[F]/[X]/[U]/[R] are keywords
+    (upper-case only, as standalone words); identifiers are atoms.
+    Precedence, loosest to tightest: [->], [|], [&], [U]/[R]
+    (right-associative), unary ([~], [G], [F], [X]). *)
+
+val of_string_exn : string -> t

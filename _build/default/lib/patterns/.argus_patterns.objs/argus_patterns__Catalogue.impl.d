@@ -1,0 +1,1 @@
+lib/patterns/catalogue.ml: Argus_core Argus_gsn List Pattern

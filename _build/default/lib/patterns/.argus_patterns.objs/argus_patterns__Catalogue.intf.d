@@ -1,0 +1,1 @@
+lib/patterns/catalogue.mli: Pattern

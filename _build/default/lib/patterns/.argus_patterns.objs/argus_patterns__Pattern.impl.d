@@ -1,0 +1,1 @@
+lib/patterns/pattern.ml: Argus_core Argus_gsn Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/patterns/pattern.mli: Argus_core Argus_gsn

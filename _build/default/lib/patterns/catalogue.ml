@@ -1,0 +1,173 @@
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+module Evidence = Argus_core.Evidence
+module Id = Argus_core.Id
+
+let ev id text = Evidence.make ~id:(Id.of_string id) ~kind:Evidence.Analysis text
+
+let hazard_avoidance =
+  Pattern.make ~name:"hazard-avoidance"
+    ~description:
+      "The system is acceptably safe because each identified hazard is \
+       acceptably managed (Kelly's classic catalogue entry)."
+    ~params:
+      [
+        { Pattern.pname = "system"; ptype = Pattern.Pstring };
+        { Pattern.pname = "hazards"; ptype = Pattern.Plist Pattern.Pstring };
+      ]
+    ~replicate:[ ("G_hazard", "hazards") ]
+    (Structure.of_nodes
+       ~links:
+         [
+           (Structure.Supported_by, "G_top", "S_hazards");
+           (Structure.Supported_by, "S_hazards", "G_hazard");
+           (Structure.Supported_by, "G_hazard", "Sn_hazard");
+           (Structure.In_context_of, "G_top", "C_defn");
+           (Structure.In_context_of, "S_hazards", "J_hazid");
+         ]
+       ~evidence:[ ev "E_hazard" "hazard mitigation evidence" ]
+       [
+         Node.goal "G_top" "{system} is acceptably safe to operate";
+         Node.strategy "S_hazards" "Argument over each identified hazard";
+         Node.goal "G_hazard" "Hazard {hazards} is acceptably managed";
+         Node.solution ~evidence:"E_hazard" "Sn_hazard"
+           "Mitigation evidence for {hazards}";
+         Node.context "C_defn" "Definition and operating context of {system}";
+         Node.justification "J_hazid"
+           "The hazard list is complete per the hazard identification study";
+       ])
+
+let functional_decomposition =
+  Pattern.make ~name:"functional-decomposition"
+    ~description:
+      "Safety argued over the functions the system provides; each \
+       function's contribution is shown acceptably safe."
+    ~params:
+      [
+        { Pattern.pname = "system"; ptype = Pattern.Pstring };
+        { Pattern.pname = "functions"; ptype = Pattern.Plist Pattern.Pstring };
+      ]
+    ~replicate:[ ("G_fn", "functions") ]
+    (Structure.of_nodes
+       ~links:
+         [
+           (Structure.Supported_by, "G_top", "S_fn");
+           (Structure.Supported_by, "S_fn", "G_fn");
+           (Structure.Supported_by, "G_fn", "Sn_fn");
+           (Structure.In_context_of, "S_fn", "A_indep");
+         ]
+       ~evidence:[ ev "E_fn" "per-function safety analysis" ]
+       [
+         Node.goal "G_top" "{system} is acceptably safe";
+         Node.strategy "S_fn" "Argument by decomposition over system functions";
+         Node.goal "G_fn" "Function '{functions}' is acceptably safe";
+         Node.solution ~evidence:"E_fn" "Sn_fn"
+           "Safety analysis of function '{functions}'";
+         Node.assumption "A_indep"
+           "Functions do not interact hazardously (interaction analysis holds)";
+       ])
+
+let alarp =
+  Pattern.make ~name:"alarp"
+    ~description:
+      "The ALARP pattern: intolerable risks are absent; remaining risks \
+       are reduced as low as reasonably practicable within the risk \
+       budget."
+    ~params:
+      [
+        { Pattern.pname = "system"; ptype = Pattern.Pstring };
+        {
+          Pattern.pname = "intolerable_hazards";
+          ptype = Pattern.Plist Pattern.Pstring;
+        };
+        {
+          Pattern.pname = "tolerable_hazards";
+          ptype = Pattern.Plist Pattern.Pstring;
+        };
+        {
+          Pattern.pname = "risk_budget";
+          ptype = Pattern.Pint { min = Some 1; max = Some 1000 };
+        };
+      ]
+    ~replicate:
+      [ ("G_intol", "intolerable_hazards"); ("G_tol", "tolerable_hazards") ]
+    (Structure.of_nodes
+       ~links:
+         [
+           (Structure.Supported_by, "G_top", "S_alarp");
+           (Structure.Supported_by, "S_alarp", "G_intol");
+           (Structure.Supported_by, "S_alarp", "G_tol");
+           (Structure.Supported_by, "G_intol", "Sn_intol");
+           (Structure.Supported_by, "G_tol", "Sn_tol");
+           (Structure.In_context_of, "G_top", "C_budget");
+         ]
+       ~evidence:
+         [
+           ev "E_intol" "elimination evidence";
+           ev "E_tol" "ALARP justification";
+         ]
+       [
+         Node.goal "G_top" "Residual risk of {system} is tolerable and ALARP";
+         Node.strategy "S_alarp"
+           "Argument over the intolerable and tolerable risk classes";
+         Node.goal "G_intol"
+           "Intolerable hazard {intolerable_hazards} has been eliminated";
+         Node.goal "G_tol"
+           "Risk from {tolerable_hazards} is reduced as low as reasonably \
+            practicable";
+         Node.solution ~evidence:"E_intol" "Sn_intol"
+           "Elimination evidence for {intolerable_hazards}";
+         Node.solution ~evidence:"E_tol" "Sn_tol"
+           "Cost-benefit justification for {tolerable_hazards}";
+         Node.context "C_budget"
+           "Risk budget: {risk_budget} events per 10^9 operating hours";
+       ])
+
+let diverse_evidence =
+  Pattern.make ~name:"diverse-evidence"
+    ~description:
+      "A claim supported by two diverse legs of evidence, reducing \
+       common-cause doubt in any single kind."
+    ~params:
+      [
+        { Pattern.pname = "claim"; ptype = Pattern.Pstring };
+        {
+          Pattern.pname = "primary_kind";
+          ptype = Pattern.Penum [ "analysis"; "test"; "field-experience" ];
+        };
+        { Pattern.pname = "secondary"; ptype = Pattern.Pstring };
+      ]
+    (Structure.of_nodes
+       ~links:
+         [
+           (Structure.Supported_by, "G_claim", "S_diverse");
+           (Structure.Supported_by, "S_diverse", "G_primary");
+           (Structure.Supported_by, "S_diverse", "G_secondary");
+           (Structure.Supported_by, "G_primary", "Sn_primary");
+           (Structure.Supported_by, "G_secondary", "Sn_secondary");
+           (Structure.In_context_of, "S_diverse", "J_diverse");
+         ]
+       ~evidence:
+         [ ev "E_primary" "primary leg"; ev "E_secondary" "secondary leg" ]
+       [
+         Node.goal "G_claim" "{claim} holds";
+         Node.strategy "S_diverse" "Argument by diverse evidence legs";
+         Node.goal "G_primary" "{claim} is shown by {primary_kind}";
+         Node.goal "G_secondary" "{claim} is corroborated by {secondary}";
+         Node.solution ~evidence:"E_primary" "Sn_primary"
+           "Primary {primary_kind} results";
+         Node.solution ~evidence:"E_secondary" "Sn_secondary"
+           "Corroborating results: {secondary}";
+         Node.justification "J_diverse"
+           "The legs have no shared mechanism of failure";
+       ])
+
+let all =
+  [
+    ("hazard-avoidance", hazard_avoidance);
+    ("functional-decomposition", functional_decomposition);
+    ("alarp", alarp);
+    ("diverse-evidence", diverse_evidence);
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,37 @@
+(** A catalogue of classic safety-case patterns.
+
+    The surveyed pattern papers (Denney & Pai; Matsuno & Taguchi)
+    motivate formalised patterns with the published catalogues that
+    practitioners instantiate — hazard avoidance, functional
+    decomposition, ALARP, diverse evidence.  This module provides those
+    staples as ready {!Pattern.t} values, each definition-checked
+    ({!Pattern.check_pattern} returns no errors) and instantiable
+    through the typed engine.
+
+    They also serve as the workload for the Section VI.D experiment and
+    the CLI demos: realistic patterns with list, enum and ranged-integer
+    parameters. *)
+
+val hazard_avoidance : Pattern.t
+(** Top claim argued hazard-by-hazard over a list parameter [hazards];
+    string parameter [system]. *)
+
+val functional_decomposition : Pattern.t
+(** Safety argued function-by-function over list parameter [functions];
+    string parameter [system]. *)
+
+val alarp : Pattern.t
+(** The ALARP pattern: intolerable risks absent, tolerable risks
+    reduced as low as reasonably practicable.  List parameters
+    [intolerable_hazards] and [tolerable_hazards]; integer parameter
+    [risk_budget] constrained to 1–1000 (events per 1e9 hours). *)
+
+val diverse_evidence : Pattern.t
+(** One claim supported by two diverse evidence legs; enum parameter
+    [primary_kind] over analysis/test/field-experience, string
+    parameters [claim] and [secondary]. *)
+
+val all : (string * Pattern.t) list
+(** Name-indexed catalogue. *)
+
+val find : string -> Pattern.t option

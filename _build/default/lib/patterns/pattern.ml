@@ -1,0 +1,314 @@
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Gsn = Argus_gsn
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+
+type param_type =
+  | Pint of { min : int option; max : int option }
+  | Pstring
+  | Penum of string list
+  | Plist of param_type
+
+type param_decl = { pname : string; ptype : param_type }
+
+type value =
+  | Vint of int
+  | Vstr of string
+  | Venum of string
+  | Vlist of value list
+
+type binding = (string * value) list
+
+type t = {
+  name : string;
+  description : string;
+  params : param_decl list;
+  structure : Structure.t;
+  replicate : (Id.t * string) list;
+}
+
+let make ~name ?(description = "") ~params ?(replicate = []) structure =
+  {
+    name;
+    description;
+    params;
+    structure;
+    replicate = List.map (fun (n, p) -> (Id.of_string n, p)) replicate;
+  }
+
+let placeholders text =
+  let n = String.length text in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if text.[i] = '{' then
+      match String.index_from_opt text i '}' with
+      | None -> List.rev acc
+      | Some j ->
+          let name = String.sub text (i + 1) (j - i - 1) in
+          go (j + 1) (name :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let rec value_type_ok ty v =
+  match (ty, v) with
+  | Pint { min; max }, Vint i ->
+      (match min with None -> true | Some lo -> i >= lo)
+      && (match max with None -> true | Some hi -> i <= hi)
+  | Pstring, Vstr _ -> true
+  | Penum members, Venum m -> List.mem m members
+  | Plist elem_ty, Vlist vs -> List.for_all (value_type_ok elem_ty) vs
+  | _, _ -> false
+
+let rec value_to_text = function
+  | Vint i -> string_of_int i
+  | Vstr s -> s
+  | Venum e -> e
+  | Vlist vs -> String.concat ", " (List.map value_to_text vs)
+
+let find_param t name = List.find_opt (fun d -> d.pname = name) t.params
+
+let all_placeholders t =
+  Structure.fold_nodes
+    (fun n acc -> placeholders n.Node.text @ acc)
+    t.structure []
+
+let check_pattern t =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let used = all_placeholders t in
+  List.iter
+    (fun ph ->
+      if find_param t ph = None then
+        add
+          (Diagnostic.errorf ~code:"pattern/undeclared-placeholder"
+             "placeholder {%s} has no parameter declaration" ph))
+    (List.sort_uniq String.compare used);
+  List.iter
+    (fun d ->
+      let driving = List.exists (fun (_, p) -> p = d.pname) t.replicate in
+      if (not (List.mem d.pname used)) && not driving then
+        add
+          (Diagnostic.warningf ~code:"pattern/unused-param"
+             "parameter %s is never used" d.pname))
+    t.params;
+  List.iter
+    (fun (node_id, pname) ->
+      (match find_param t pname with
+      | Some { ptype = Plist _; _ } -> ()
+      | Some _ ->
+          add
+            (Diagnostic.errorf ~code:"pattern/replicate-not-list"
+               "replication of %s is driven by non-list parameter %s"
+               (Id.to_string node_id) pname)
+      | None ->
+          add
+            (Diagnostic.errorf ~code:"pattern/replicate-not-list"
+               "replication of %s references undeclared parameter %s"
+               (Id.to_string node_id) pname));
+      if not (Structure.mem node_id t.structure) then
+        add
+          (Diagnostic.errorf ~code:"pattern/replicate-unknown-node"
+             "replicated node %s is not in the pattern" (Id.to_string node_id)))
+    t.replicate;
+  (* Nested replication is unsupported: a replicated node must not be in
+     the supported subtree of another. *)
+  List.iter
+    (fun (a, _) ->
+      List.iter
+        (fun (b, _) ->
+          if not (Id.equal a b) then
+            let sub = Structure.supported_subtree a t.structure in
+            if List.exists (Id.equal b) sub then
+              add
+                (Diagnostic.errorf ~code:"pattern/nested-replication"
+                   "replicated node %s lies inside replicated subtree of %s"
+                   (Id.to_string b) (Id.to_string a)))
+        t.replicate)
+    t.replicate;
+  Diagnostic.sort (List.rev !out)
+
+(* Substitute scalar placeholders in one text under a lookup. *)
+let subst_text lookup text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let rec go i =
+    if i >= n then ()
+    else if text.[i] = '{' then
+      match String.index_from_opt text i '}' with
+      | None ->
+          Buffer.add_substring buf text i (n - i)
+      | Some j ->
+          let name = String.sub text (i + 1) (j - i - 1) in
+          (match lookup name with
+          | Some v -> Buffer.add_string buf (value_to_text v)
+          | None -> Buffer.add_substring buf text i (j - i + 1));
+          go (j + 1)
+    else begin
+      Buffer.add_char buf text.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let validate_binding t binding =
+  let errs = ref [] in
+  let add d = errs := d :: !errs in
+  List.iter
+    (fun d ->
+      match List.assoc_opt d.pname binding with
+      | None ->
+          add
+            (Diagnostic.errorf ~code:"instantiate/missing-param"
+               "no value supplied for parameter %s" d.pname)
+      | Some v ->
+          if not (value_type_ok d.ptype v) then
+            let code, detail =
+              match (d.ptype, v) with
+              | Pint { min; max }, Vint i ->
+                  ( "instantiate/out-of-range",
+                    Printf.sprintf "%d is outside [%s, %s]" i
+                      (match min with Some lo -> string_of_int lo | None -> "-inf")
+                      (match max with Some hi -> string_of_int hi | None -> "+inf")
+                  )
+              | Penum members, Venum m ->
+                  ( "instantiate/not-a-member",
+                    Printf.sprintf "%s is not one of {%s}" m
+                      (String.concat ", " members) )
+              | _ ->
+                  ( "instantiate/type-mismatch",
+                    Printf.sprintf "value for %s has the wrong type" d.pname )
+            in
+            add (Diagnostic.errorf ~code "%s: %s" d.pname detail))
+    t.params;
+  List.iter
+    (fun (name, _) ->
+      if find_param t name = None then
+        add
+          (Diagnostic.errorf ~code:"instantiate/unknown-param"
+             "binding supplies unknown parameter %s" name))
+    binding;
+  List.rev !errs
+
+let suffix_id suffix id = Id.of_string (Id.to_string id ^ "_" ^ suffix)
+
+let instantiate t binding =
+  let errors = validate_binding t binding in
+  let errors =
+    errors
+    @ List.filter_map
+        (fun (node_id, pname) ->
+          match List.assoc_opt pname binding with
+          | Some (Vlist []) ->
+              Some
+                (Diagnostic.errorf ~code:"instantiate/empty-list"
+                   "replication parameter %s is an empty list" pname)
+          | Some _ | None -> ignore node_id; None)
+        t.replicate
+  in
+  if errors <> [] then Error errors
+  else begin
+    (* Phase 1: expand replications. *)
+    let structure = ref t.structure in
+    List.iter
+      (fun (rep_id, pname) ->
+        match List.assoc_opt pname binding with
+        | Some (Vlist elements) ->
+            let subtree_ids = Structure.supported_subtree rep_id !structure in
+            let subtree_set = Id.Set.of_list subtree_ids in
+            let ctx_ids =
+              List.concat_map
+                (fun id -> Structure.context_of id !structure)
+                subtree_ids
+            in
+            let all_ids = Id.Set.union subtree_set (Id.Set.of_list ctx_ids) in
+            let member id = Id.Set.mem id all_ids in
+            let subtree_nodes =
+              List.filter (fun n -> member n.Node.id) (Structure.nodes !structure)
+            in
+            let subtree_links =
+              List.filter
+                (fun (_, s, d) -> member s && member d)
+                (Structure.links !structure)
+            in
+            let entry_parents =
+              Structure.parents Structure.Supported_by rep_id !structure
+            in
+            (* Remove the template subtree. *)
+            structure :=
+              Id.Set.fold (fun id s -> Structure.remove_node id s) all_ids
+                !structure;
+            (* Add one copy per element. *)
+            List.iteri
+              (fun k element ->
+                let suffix = string_of_int (k + 1) in
+                let lookup name =
+                  if name = pname then Some element else None
+                in
+                List.iter
+                  (fun n ->
+                    let copy =
+                      {
+                        n with
+                        Node.id = suffix_id suffix n.Node.id;
+                        Node.text = subst_text lookup n.Node.text;
+                      }
+                    in
+                    structure := Structure.add_node copy !structure)
+                  subtree_nodes;
+                List.iter
+                  (fun (kind, s, d) ->
+                    structure :=
+                      Structure.connect kind ~src:(suffix_id suffix s)
+                        ~dst:(suffix_id suffix d) !structure)
+                  subtree_links;
+                List.iter
+                  (fun parent ->
+                    structure :=
+                      Structure.connect Structure.Supported_by ~src:parent
+                        ~dst:(suffix_id suffix rep_id) !structure)
+                  entry_parents)
+              elements
+        | Some _ | None -> ())
+      t.replicate;
+    (* Phase 2: substitute scalar parameters everywhere and clear
+       instantiation marks. *)
+    let scalar_lookup name =
+      match List.assoc_opt name binding with
+      | Some (Vlist _) -> None
+      | Some v -> Some v
+      | None -> None
+    in
+    let result =
+      Structure.map_nodes
+        (fun n ->
+          let text = subst_text scalar_lookup n.Node.text in
+          let status =
+            match n.Node.status with
+            | Node.Uninstantiated -> Node.Developed
+            | Node.Undeveloped_uninstantiated -> Node.Undeveloped
+            | s -> s
+          in
+          { n with Node.text; Node.status })
+        !structure
+    in
+    (* Phase 3: no placeholder survives. *)
+    let leftovers =
+      Structure.fold_nodes
+        (fun n acc ->
+          match placeholders n.Node.text with
+          | [] -> acc
+          | phs ->
+              List.map
+                (fun ph ->
+                  Diagnostic.errorf ~code:"instantiate/unresolved-placeholder"
+                    ~subjects:[ n.Node.id ]
+                    "placeholder {%s} was not resolved" ph)
+                phs
+              @ acc)
+        result []
+    in
+    if leftovers <> [] then Error leftovers else Ok result
+  end

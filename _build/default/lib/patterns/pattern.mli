@@ -1,0 +1,75 @@
+(** Parameterised GSN patterns with typed instantiation
+    (Matsuno & Taguchi; Denney & Pai).
+
+    A pattern is a GSN structure whose node texts contain [{param}]
+    placeholders, plus typed parameter declarations — integers with
+    optional ranges (the surveyed example restricts a claimed CPU
+    utilisation to 0–100), strings, enumerations, and list parameters
+    driving the standard's multiplicity extension: a node marked as
+    replicated over a list parameter is copied once per element, with
+    the subtree below it and the element bound inside each copy.
+
+    {!instantiate} performs the type checking the surveyed papers
+    advertise: a binding of ["Railway hazards"] to an integer-typed
+    placeholder, an out-of-range utilisation, or a missing binding are
+    all reported, and the output is guaranteed placeholder-free. *)
+
+type param_type =
+  | Pint of { min : int option; max : int option }
+  | Pstring
+  | Penum of string list
+  | Plist of param_type  (** Multiplicity driver. *)
+
+type param_decl = { pname : string; ptype : param_type }
+
+type value =
+  | Vint of int
+  | Vstr of string
+  | Venum of string
+  | Vlist of value list
+
+type binding = (string * value) list
+
+type t = {
+  name : string;
+  description : string;
+  params : param_decl list;
+  structure : Argus_gsn.Structure.t;
+      (** Node texts may contain [{param}]; node ids are the pattern's
+          role names. *)
+  replicate : (Argus_core.Id.t * string) list;
+      (** Node id to list-parameter name: the node and its supported
+          subtree are copied per element. *)
+}
+
+val make :
+  name:string ->
+  ?description:string ->
+  params:param_decl list ->
+  ?replicate:(string * string) list ->
+  Argus_gsn.Structure.t ->
+  t
+
+val placeholders : string -> string list
+(** [{x}] placeholder names appearing in a text, in order. *)
+
+val check_pattern : t -> Argus_core.Diagnostic.t list
+(** Pattern-definition lints, codes under ["pattern/"]:
+    ["pattern/undeclared-placeholder"] — node text references a
+    parameter that is not declared; ["pattern/unused-param"] (warning);
+    ["pattern/replicate-not-list"] — replication driven by a non-list
+    parameter; ["pattern/replicate-unknown-node"]. *)
+
+val value_type_ok : param_type -> value -> bool
+
+val instantiate :
+  t -> binding -> (Argus_gsn.Structure.t, Argus_core.Diagnostic.t list) result
+(** Type-checks the binding and substitutes.  Error codes:
+    ["instantiate/missing-param"], ["instantiate/unknown-param"],
+    ["instantiate/type-mismatch"], ["instantiate/out-of-range"],
+    ["instantiate/not-a-member"], ["instantiate/empty-list"].
+    On success every placeholder is replaced and each replicated node's
+    copies carry ids suffixed [_1], [_2], ... *)
+
+val value_to_text : value -> string
+(** How a value renders inside node text. *)

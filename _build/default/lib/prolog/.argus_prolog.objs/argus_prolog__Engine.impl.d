@@ -1,0 +1,1 @@
+lib/prolog/engine.ml: Argus_logic Format Hashtbl List Program Seq

@@ -1,0 +1,1 @@
+lib/prolog/engine.mli: Argus_logic Format Program Seq

@@ -1,0 +1,1 @@
+lib/prolog/program.ml: Argus_logic Format Hashtbl List Printf String

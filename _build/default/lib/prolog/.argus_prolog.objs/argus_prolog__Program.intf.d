@@ -1,0 +1,1 @@
+lib/prolog/program.mli: Argus_logic Format

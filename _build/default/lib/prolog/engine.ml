@@ -1,0 +1,100 @@
+module Term = Argus_logic.Term
+
+type derivation = {
+  goal : Term.t;
+  clause_index : int;
+  children : derivation list;
+}
+
+(* Freshen a clause's variables with a globally-unique suffix so that
+   resolution never confuses clause variables across uses. *)
+let freshen counter (c : Program.clause) =
+  incr counter;
+  let suffix = string_of_int !counter in
+  {
+    Program.head = Term.rename ~suffix c.Program.head;
+    body = List.map (Term.rename ~suffix) c.Program.body;
+  }
+
+let solve ?(max_depth = 64) program goals =
+  let counter = ref 0 in
+  let indexed = List.mapi (fun i c -> (i, c)) program in
+  (* Resolve [goals] left to right under [subst]; yields the extended
+     substitution and one derivation per goal. *)
+  let rec solve_goals subst goals depth :
+      (Term.Subst.t * derivation list) Seq.t =
+    match goals with
+    | [] -> Seq.return (subst, [])
+    | goal :: rest ->
+        if depth <= 0 then Seq.empty
+        else
+          let goal_now = Term.Subst.apply subst goal in
+          indexed |> List.to_seq
+          |> Seq.concat_map (fun (index, clause) ->
+                 let c = freshen counter clause in
+                 match Term.unify_under subst goal_now c.Program.head with
+                 | None -> Seq.empty
+                 | Some subst ->
+                     solve_goals subst c.Program.body (depth - 1)
+                     |> Seq.concat_map (fun (subst, body_derivs) ->
+                            solve_goals subst rest depth
+                            |> Seq.map (fun (subst, rest_derivs) ->
+                                   let deriv =
+                                     {
+                                       goal = Term.Subst.apply subst goal;
+                                       clause_index = index;
+                                       children = body_derivs;
+                                     }
+                                   in
+                                   (subst, deriv :: rest_derivs))))
+  in
+  solve_goals Term.Subst.empty goals max_depth
+
+let bindings_for goals subst =
+  let seen = Hashtbl.create 16 in
+  List.concat_map Term.vars goals
+  |> List.filter_map (fun v ->
+         if Hashtbl.mem seen v then None
+         else begin
+           Hashtbl.add seen v ();
+           Some (v, Term.Subst.apply subst (Term.Var v))
+         end)
+
+let solutions ?max_depth ?(limit = 10) program goal =
+  let rec take n seq =
+    if n <= 0 then []
+    else
+      match Seq.uncons seq with
+      | None -> []
+      | Some ((subst, _), rest) ->
+          bindings_for [ goal ] subst :: take (n - 1) rest
+  in
+  take limit (solve ?max_depth program [ goal ])
+
+let provable ?max_depth program goal =
+  not (Seq.is_empty (solve ?max_depth program [ goal ]))
+
+let prove ?max_depth program goal =
+  match Seq.uncons (solve ?max_depth program [ goal ]) with
+  | Some ((subst, [ deriv ]), _) ->
+      (* Resolve remaining variables in the recorded goals. *)
+      let rec finalise d =
+        {
+          d with
+          goal = Term.Subst.apply subst d.goal;
+          children = List.map finalise d.children;
+        }
+      in
+      Some (finalise deriv)
+  | Some ((_, _), _) | None -> None
+
+let rec derivation_size d =
+  1 + List.fold_left (fun acc c -> acc + derivation_size c) 0 d.children
+
+let pp_derivation ppf deriv =
+  let rec go indent d =
+    Format.fprintf ppf "%s%a   [clause %d]@." indent Term.pp d.goal
+      d.clause_index;
+    List.iter (go (indent ^ "  ")) d.children
+  in
+  go "" deriv

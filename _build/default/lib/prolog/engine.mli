@@ -1,0 +1,55 @@
+(** SLD resolution over Horn-clause programs.
+
+    Depth-first, leftmost-goal selection, clauses tried in program order
+    — the strategy of a textbook Prolog interpreter.  A depth bound
+    keeps recursive programs (like Figure 1's [adjacent/2] rule)
+    explorable without divergence; solutions stream lazily.
+
+    Every solution carries a {!derivation} tree recording which clause
+    resolved each goal — the raw material the proof-to-argument
+    generator (Basir/Denney pipeline) and the Figure 1 demonstration
+    render. *)
+
+type derivation = {
+  goal : Argus_logic.Term.t;  (** The resolved goal, fully instantiated. *)
+  clause_index : int;  (** Index of the program clause used (0-based). *)
+  children : derivation list;  (** One per body goal of that clause. *)
+}
+
+val solve :
+  ?max_depth:int ->
+  Program.t ->
+  Argus_logic.Term.t list ->
+  (Argus_logic.Term.Subst.t * derivation list) Seq.t
+(** [solve program goals] enumerates solutions of the conjunction of
+    [goals].  [max_depth] (default 64) bounds the resolution depth;
+    branches deeper than that are abandoned (so a looping program yields
+    finitely many of its solutions rather than diverging).  The
+    substitution covers the goals' variables (plus internal renamings —
+    use {!bindings_for} to restrict). *)
+
+val bindings_for :
+  Argus_logic.Term.t list ->
+  Argus_logic.Term.Subst.t ->
+  (string * Argus_logic.Term.t) list
+(** Restrict a solution substitution to the variables of the original
+    query, fully resolved. *)
+
+val solutions :
+  ?max_depth:int ->
+  ?limit:int ->
+  Program.t ->
+  Argus_logic.Term.t ->
+  (string * Argus_logic.Term.t) list list
+(** First [limit] (default 10) solutions of a single-goal query, as
+    variable bindings. *)
+
+val provable : ?max_depth:int -> Program.t -> Argus_logic.Term.t -> bool
+
+val prove :
+  ?max_depth:int -> Program.t -> Argus_logic.Term.t -> derivation option
+(** First derivation of the goal, if any — what Figure 1 prints. *)
+
+val derivation_size : derivation -> int
+val pp_derivation : Format.formatter -> derivation -> unit
+(** Indented tree: goal, then the clause used, then sub-derivations. *)

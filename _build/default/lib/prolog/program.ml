@@ -1,0 +1,157 @@
+module Term = Argus_logic.Term
+
+type clause = { head : Term.t; body : Term.t list }
+type t = clause list
+
+let fact head = { head; body = [] }
+let rule head body = { head; body }
+
+let clause_vars c =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add t =
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end)
+      (Term.vars t)
+  in
+  add c.head;
+  List.iter add c.body;
+  List.rev !out
+
+let predicates prog =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun c ->
+      match c.head with
+      | Term.App (f, args) ->
+          let key = (f, List.length args) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some key
+          end
+      | Term.Var _ -> None)
+    prog
+
+let pp_clause ppf c =
+  match c.body with
+  | [] -> Format.fprintf ppf "%a." Term.pp c.head
+  | body ->
+      Format.fprintf ppf "%a :- %a." Term.pp c.head
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Term.pp)
+        body
+
+let pp ppf prog =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    pp_clause ppf prog
+
+let to_string prog = Format.asprintf "%a" pp prog
+
+(* --- Parser --- *)
+
+exception Parse_error of string
+
+type token = Ident of string | Lparen | Rparen | Comma | Turnstile | Dot
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenise s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '%' ->
+          let j = ref i in
+          while !j < n && s.[!j] <> '\n' do
+            incr j
+          done;
+          go !j acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' -> go (i + 1) (Dot :: acc)
+      | ':' when i + 1 < n && s.[i + 1] = '-' -> go (i + 2) (Turnstile :: acc)
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+let is_variable_name name =
+  String.length name > 0
+  && ((name.[0] >= 'A' && name.[0] <= 'Z') || name.[0] = '_')
+
+let parse tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !toks with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+        toks := rest;
+        t
+  in
+  let rec p_term () =
+    match advance () with
+    | Ident name -> (
+        if is_variable_name name then Term.Var name
+        else
+          match peek () with
+          | Some Lparen ->
+              ignore (advance ());
+              Term.App (name, p_args [])
+          | _ -> Term.App (name, []))
+    | _ -> raise (Parse_error "expected a term")
+  and p_args acc =
+    let t = p_term () in
+    match advance () with
+    | Comma -> p_args (t :: acc)
+    | Rparen -> List.rev (t :: acc)
+    | _ -> raise (Parse_error "expected ',' or ')' in argument list")
+  in
+  let p_clause () =
+    let head = p_term () in
+    match advance () with
+    | Dot -> { head; body = [] }
+    | Turnstile ->
+        let rec p_body acc =
+          let t = p_term () in
+          match advance () with
+          | Comma -> p_body (t :: acc)
+          | Dot -> List.rev (t :: acc)
+          | _ -> raise (Parse_error "expected ',' or '.' in clause body")
+        in
+        { head; body = p_body [] }
+    | _ -> raise (Parse_error "expected '.' or ':-' after clause head")
+  in
+  let rec p_program acc =
+    match peek () with
+    | None -> List.rev acc
+    | Some _ -> p_program (p_clause () :: acc)
+  in
+  p_program []
+
+let of_string s =
+  match parse (tokenise s) with
+  | prog -> Ok prog
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error msg -> failwith msg

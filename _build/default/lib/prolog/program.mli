@@ -1,0 +1,33 @@
+(** Horn-clause programs.
+
+    The substrate for Figure 1 of the paper: a Prolog-style knowledge
+    base from which the flawed Desert Bank conclusion is formally
+    derivable.  Terms come from {!Argus_logic.Term}; this module adds
+    clauses, programs, and a parser for the conventional syntax
+    ([head :- body1, body2.] with [%] comments). *)
+
+type clause = { head : Argus_logic.Term.t; body : Argus_logic.Term.t list }
+
+type t = clause list
+(** Clause order is program order; resolution tries clauses in order. *)
+
+val fact : Argus_logic.Term.t -> clause
+val rule : Argus_logic.Term.t -> Argus_logic.Term.t list -> clause
+
+val clause_vars : clause -> string list
+(** Variables of head and body, first occurrence order. *)
+
+val predicates : t -> (string * int) list
+(** Distinct (name, arity) pairs of clause heads, in program order. *)
+
+val pp_clause : Format.formatter -> clause -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses a whole program.  Syntax: each clause ends with [.]; a rule
+    separates head and comma-separated body with [:-]; [%] starts a
+    comment to end of line.  Variables start with an upper-case letter
+    or [_]. *)
+
+val of_string_exn : string -> t

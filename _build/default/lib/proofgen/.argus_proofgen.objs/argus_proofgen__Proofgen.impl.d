@@ -1,0 +1,1 @@
+lib/proofgen/proofgen.ml: Argus_core Argus_gsn Argus_logic Array List Printf String

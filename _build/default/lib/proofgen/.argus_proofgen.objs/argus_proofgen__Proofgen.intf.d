@@ -1,0 +1,1 @@
+lib/proofgen/proofgen.mli: Argus_gsn Argus_logic

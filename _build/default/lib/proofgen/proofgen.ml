@@ -1,0 +1,136 @@
+module Id = Argus_core.Id
+module Evidence = Argus_core.Evidence
+module Prop = Argus_logic.Prop
+module Natded = Argus_logic.Natded
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+
+(* Steps that actually contribute to the conclusion: the citation cone
+   of the final step. *)
+let needed_steps proof =
+  let arr = Array.of_list proof in
+  let n = Array.length arr in
+  let needed = Array.make n false in
+  let rec visit k =
+    if not needed.(k) then begin
+      needed.(k) <- true;
+      List.iter
+        (fun i -> visit (i - 1))
+        (Natded.citations arr.(k).Natded.rule)
+    end
+  in
+  visit (n - 1);
+  needed
+
+let generate ?(prefix = "p") (checked : Natded.checked) =
+  let proof = checked.Natded.proof in
+  let arr = Array.of_list proof in
+  let needed = needed_steps proof in
+  let goal_id k = Id.of_string (Printf.sprintf "%s_G%d" prefix (k + 1)) in
+  let strat_id k = Id.of_string (Printf.sprintf "%s_S%d" prefix (k + 1)) in
+  let sol_id k = Id.of_string (Printf.sprintf "%s_Sn%d" prefix (k + 1)) in
+  let ev_id k = Id.of_string (Printf.sprintf "%s_E%d" prefix (k + 1)) in
+  let structure = ref Structure.empty in
+  Array.iteri
+    (fun k step ->
+      if needed.(k) then begin
+        let f = step.Natded.formula in
+        let goal =
+          Node.make ~id:(goal_id k) ~node_type:Node.Goal ~formal:f
+            (Prop.to_string f ^ " holds")
+        in
+        structure := Structure.add_node goal !structure;
+        match Natded.citations step.Natded.rule with
+        | [] ->
+            (* Premise or assumption: an asserted axiom, recorded as
+               expert-judgement evidence awaiting reviewer assent. *)
+            let ev =
+              Evidence.make ~id:(ev_id k) ~kind:Evidence.Expert_judgement
+                ~source:"formalisation"
+                ~strength:Evidence.Existential
+                (Printf.sprintf "Reviewer assent that %s may be assumed"
+                   (Prop.to_string f))
+            in
+            let sol =
+              Node.make ~id:(sol_id k) ~node_type:Node.Solution
+                ~evidence:(ev_id k)
+                "Asserted premise (reviewer assent required)"
+            in
+            structure := Structure.add_evidence ev !structure;
+            structure := Structure.add_node sol !structure;
+            structure :=
+              Structure.connect Structure.Supported_by ~src:(goal_id k)
+                ~dst:(sol_id k) !structure
+        | cites ->
+            let strat =
+              Node.make ~id:(strat_id k) ~node_type:Node.Strategy
+                (Printf.sprintf "Apply %s to step%s %s"
+                   (Natded.rule_name step.Natded.rule)
+                   (if List.length cites > 1 then "s" else "")
+                   (String.concat ", " (List.map string_of_int cites)))
+            in
+            structure := Structure.add_node strat !structure;
+            structure :=
+              Structure.connect Structure.Supported_by ~src:(goal_id k)
+                ~dst:(strat_id k) !structure;
+            List.iter
+              (fun i ->
+                structure :=
+                  Structure.connect Structure.Supported_by ~src:(strat_id k)
+                    ~dst:(goal_id (i - 1)) !structure)
+              cites
+      end)
+    arr;
+  !structure
+
+let node_count = Structure.size
+
+(* A splice candidate: goal [g] whose only supporter is strategy [st]
+   whose only child is goal [c] with children of its own; no contextual
+   links on [st] or [c].  Splicing gives [g] the children of [c] and
+   removes [st] and [c]. *)
+let find_splice s =
+  Structure.fold_nodes
+    (fun n acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          if n.Node.node_type <> Node.Goal then None
+          else
+            match Structure.children Structure.Supported_by n.Node.id s with
+            | [ st_id ] -> (
+                match Structure.find st_id s with
+                | Some { Node.node_type = Node.Strategy; _ } -> (
+                    match Structure.children Structure.Supported_by st_id s with
+                    | [ c_id ] -> (
+                        match Structure.find c_id s with
+                        | Some { Node.node_type = Node.Goal; _ }
+                          when Structure.children Structure.Supported_by c_id s
+                               <> []
+                               && Structure.context_of st_id s = []
+                               && Structure.context_of c_id s = []
+                               && List.length
+                                    (Structure.parents Structure.Supported_by
+                                       c_id s)
+                                  = 1 ->
+                            Some (n.Node.id, st_id, c_id)
+                        | _ -> None)
+                    | _ -> None)
+                | _ -> None)
+            | _ -> None))
+    s None
+
+let rec abstract s =
+  match find_splice s with
+  | None -> s
+  | Some (g, st, c) ->
+      let grandkids = Structure.children Structure.Supported_by c s in
+      let s = Structure.remove_node st s in
+      let s = Structure.remove_node c s in
+      let s =
+        List.fold_left
+          (fun s kid ->
+            Structure.connect Structure.Supported_by ~src:g ~dst:kid s)
+          s grandkids
+      in
+      abstract s

@@ -1,0 +1,33 @@
+(** Generating safety arguments from proofs (Basir, Denney & Fischer).
+
+    The surveyed 2009–2012 papers derive GSN arguments automatically
+    from natural-deduction proofs: each proof step becomes a goal, each
+    rule application a strategy supported by the cited steps' goals, and
+    each premise a leaf justified by an "asserted axiom" solution (the
+    reviewer-assent axiom of Rushby's scheme).
+
+    The authors themselves note that "the straightforward conversion of
+    proofs into safety cases is far from satisfactory as they typically
+    contain too many details" and call for abstraction; {!abstract} is
+    that pass — it splices out single-child bookkeeping chains.  The
+    bench harness measures the size reduction. *)
+
+val generate :
+  ?prefix:string -> Argus_logic.Natded.checked -> Argus_gsn.Structure.t
+(** [generate checked] builds a GSN structure rooted at the proof's
+    conclusion.  Every generated goal carries the step formula both as
+    text (["<formula> holds"]) and as its [formal] annotation; premise
+    goals are supported by solutions citing synthesised evidence items
+    (["asserted premise"]).  The output is well-formed GSN: in
+    particular, unlike the arguments the paper criticises, every goal's
+    text is a proposition. *)
+
+val abstract : Argus_gsn.Structure.t -> Argus_gsn.Structure.t
+(** Collapse chains: a goal whose only support is one strategy with a
+    single subgoal is spliced out (its parent adopts the subgoal).
+    Idempotent on its own output.  Preserves well-formedness and the
+    root. *)
+
+val node_count : Argus_gsn.Structure.t -> int
+(** Alias of {!Argus_gsn.Structure.size}, exported so callers measuring
+    the abstraction benefit need not depend on the structure API. *)

@@ -1,0 +1,1 @@
+lib/survey/paper.mli: Format

@@ -1,0 +1,1 @@
+lib/survey/queries.ml: List Paper

@@ -1,0 +1,1 @@
+lib/survey/report.ml: Format Hashtbl List Paper String

@@ -1,0 +1,1 @@
+lib/survey/report.mli: Format Paper

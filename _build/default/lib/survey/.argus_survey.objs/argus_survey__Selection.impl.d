@@ -1,0 +1,1 @@
+lib/survey/selection.ml: Format Int List Paper Printf Set

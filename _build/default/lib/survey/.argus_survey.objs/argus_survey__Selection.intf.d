@@ -1,0 +1,1 @@
+lib/survey/selection.mli: Format

@@ -1,0 +1,461 @@
+type artefact =
+  | Syntax
+  | Content_symbolic_deductive
+  | Content_nonmonotonic
+  | Argument_generated_from_proof
+  | Metadata_annotations
+  | Pattern_structure
+  | Pattern_parameters
+
+type relationship =
+  | Replaces_informal
+  | Augments_informal
+  | Generated_from_proof
+  | Informal_first_then_formalise
+  | Unclear
+
+type domain = Safety | Security | Privacy | Dependability
+type evidence_strength = No_evidence | Worked_example | Thin_case_study
+
+type proposal = {
+  key : string;
+  reference : int;
+  authors : string;
+  year : int;
+  title : string;
+  survey_group : string;
+  domain : domain;
+  artefacts : artefact list;
+  relationship : relationship;
+  mentions_mechanical_verification : bool;
+  implies_mechanical_benefit : bool;
+  claimed_benefits : string list;
+  evidence_of_benefit : evidence_strength;
+  drawbacks_noted : string list;
+  acknowledges_hypothesis : bool;
+}
+
+let selected =
+  [
+    {
+      key = "basir2009";
+      reference = 6;
+      authors = "Basir, Denney & Fischer";
+      year = 2009;
+      title = "Deriving safety cases from automatically constructed proofs";
+      survey_group = "Automatically-generated arguments";
+      domain = Safety;
+      artefacts = [ Argument_generated_from_proof ];
+      relationship = Generated_from_proof;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [
+          "generated argument makes proofs more readable";
+          "gives the information needed to trust the proof evidence";
+        ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted =
+        [ "straightforward conversion contains too many details" ];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "basir2010";
+      reference = 7;
+      authors = "Basir, Denney & Fischer";
+      year = 2010;
+      title =
+        "Deriving safety cases for hierarchical structure in model-based \
+         development";
+      survey_group = "Automatically-generated arguments";
+      domain = Safety;
+      artefacts = [ Argument_generated_from_proof ];
+      relationship = Generated_from_proof;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [ "generated argument makes proofs more readable" ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "bishop1995";
+      reference = 8;
+      authors = "Bishop & Bloomfield";
+      year = 1995;
+      title = "The SHIP safety case approach";
+      survey_group = "Deterministic arguments";
+      domain = Safety;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Replaces_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "brunel2012";
+      reference = 9;
+      authors = "Brunel & Cazin";
+      year = 2012;
+      title =
+        "Formal verification of a safety argumentation and application to a \
+         complex UAV system";
+      survey_group = "Arguments in LTL";
+      domain = Safety;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Informal_first_then_formalise;
+      mentions_mechanical_verification = true;
+      implies_mechanical_benefit = true;
+      claimed_benefits =
+        [
+          "automatic validation of the argumentation";
+          "tackles the problems of validity and completion";
+        ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted =
+        [
+          "presentation must convince a certification authority, not a \
+           temporal-logic specialist";
+        ];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "denney2012";
+      reference = 10;
+      authors = "Denney, Pai & Pohl";
+      year = 2012;
+      title =
+        "Heterogeneous aviation safety cases: integrating the formal and \
+         the non-formal";
+      survey_group = "Automatically-generated arguments";
+      domain = Safety;
+      artefacts = [ Argument_generated_from_proof ];
+      relationship = Generated_from_proof;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [
+          "automatic generation of argument from proof is feasible";
+          "manual argument writing becomes unmanageable during iteration";
+        ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "denney2013patterns";
+      reference = 11;
+      authors = "Denney & Pai";
+      year = 2013;
+      title = "A formal basis for safety case patterns";
+      survey_group = "Formally-specified syntax";
+      domain = Safety;
+      artefacts = [ Syntax; Pattern_structure ];
+      relationship = Augments_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = true;
+      claimed_benefits =
+        [
+          "automated instantiation, composition and transformation";
+          "reduction in safety case creation/management effort";
+          "improved assurance from well-formed instances";
+        ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "denney2013hicases";
+      reference = 12;
+      authors = "Denney, Pai & Whiteside";
+      year = 2013;
+      title = "Hierarchical safety cases";
+      survey_group = "Formally-specified syntax";
+      domain = Safety;
+      artefacts = [ Syntax ];
+      relationship = Augments_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [ "enables fold/unfold display and editing tools" ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "denney2014query";
+      reference = 13;
+      authors = "Denney, Naylor & Pai";
+      year = 2014;
+      title = "Querying safety cases";
+      survey_group = "Annotated informal arguments";
+      domain = Safety;
+      artefacts = [ Metadata_annotations ];
+      relationship = Augments_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [ "rich structured querying of argument contents" ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [ "cost of creating the necessary ontologies" ];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "forder1992";
+      reference = 14;
+      authors = "Forder";
+      year = 1992;
+      title = "A safety argument manager";
+      survey_group = "A safety argument manager";
+      domain = Safety;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Unclear;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [ "automatic detection of inconsistencies in models and arguments" ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "haley2006";
+      reference = 15;
+      authors = "Haley, Moffett, Laney & Nuseibeh";
+      year = 2006;
+      title = "A framework for security requirements engineering";
+      survey_group = "Security requirements satisfaction arguments";
+      domain = Security;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Replaces_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "haley2008";
+      reference = 16;
+      authors = "Haley, Laney, Moffett & Nuseibeh";
+      year = 2008;
+      title =
+        "Security requirements engineering: a framework for representation \
+         and analysis";
+      survey_group = "Security requirements satisfaction arguments";
+      domain = Security;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Replaces_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = true;
+      claimed_benefits =
+        [
+          "formal outer argument reveals which domain properties are \
+           critical for security";
+          "the more rigorous the process, the more confidence";
+        ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted =
+        [
+          "expressive logics cost tractability and decidability";
+          "industrial partners did not see the utility of formal outer \
+           arguments";
+        ];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "matsuno2011";
+      reference = 17;
+      authors = "Matsuno & Taguchi";
+      year = 2011;
+      title = "Parameterised argument structure in GSN patterns";
+      survey_group = "Formalised GSN patterns";
+      domain = Safety;
+      artefacts = [ Syntax; Pattern_structure; Pattern_parameters ];
+      relationship = Augments_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = true;
+      claimed_benefits =
+        [
+          "safeguard against misuses of patterns";
+          "automated checking of instantiation type consistency";
+        ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "matsuno2014";
+      reference = 18;
+      authors = "Matsuno";
+      year = 2014;
+      title = "A design and implementation of an assurance case language";
+      survey_group = "Formalised GSN patterns";
+      domain = Safety;
+      artefacts = [ Syntax; Pattern_structure; Pattern_parameters ];
+      relationship = Augments_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = true;
+      claimed_benefits =
+        [
+          "machine checking helps avoid misuses of parameterised \
+           expressions and detects errors early";
+        ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "rushby2010";
+      reference = 19;
+      authors = "Rushby";
+      year = 2010;
+      title = "Formalism in safety cases";
+      survey_group = "Partial formalisation into proofs";
+      domain = Safety;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Informal_first_then_formalise;
+      mentions_mechanical_verification = true;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [
+          "mechanised calculation preserves expert human review for the \
+           elements that truly require it";
+        ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted =
+        [ "worth depends on whether unsoundness is a significant hazard" ];
+      acknowledges_hypothesis = true;
+    };
+    {
+      key = "rushby2013";
+      reference = 20;
+      authors = "Rushby";
+      year = 2013;
+      title = "Logic and epistemology in safety cases";
+      survey_group = "Partial formalisation into proofs";
+      domain = Safety;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Unclear;
+      mentions_mechanical_verification = true;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [
+          "evaluation of large safety cases benefits from automated \
+           assistance";
+          "what-if exploration of assumptions";
+        ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [ "proposals are deliberately speculative" ];
+      acknowledges_hypothesis = true;
+    };
+    {
+      key = "tun2012";
+      reference = 22;
+      authors = "Tun, Bandara, Price, Yu, Haley, Omoronyia & Nuseibeh";
+      year = 2012;
+      title =
+        "Privacy arguments: analysing selective disclosure requirements for \
+         mobile applications";
+      survey_group = "Policy checking";
+      domain = Privacy;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Informal_first_then_formalise;
+      mentions_mechanical_verification = true;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [
+          "checking information availability, denial and explanation \
+           properties";
+        ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "tolchinsky2012";
+      reference = 23;
+      authors = "Tolchinsky, Modgil, Atkinson, McBurney & Cortes";
+      year = 2012;
+      title = "Deliberation dialogues for reasoning about safety critical \
+               actions";
+      survey_group = "Decision support";
+      domain = Safety;
+      artefacts = [ Content_nonmonotonic ];
+      relationship = Unclear;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [ "on-line decision support via dialogue games" ];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [ "limits of the non-monotonic logic tools" ];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "tun2010";
+      reference = 24;
+      authors = "Tun, Yu, Haley & Nuseibeh";
+      year = 2010;
+      title = "Model-based argument analysis for evolving security \
+               requirements";
+      survey_group = "Security requirements satisfaction arguments";
+      domain = Security;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Replaces_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits = [];
+      evidence_of_benefit = Worked_example;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "yu2011";
+      reference = 25;
+      authors = "Yu, Tun, Tedeschi, Franqueira & Nuseibeh";
+      year = 2011;
+      title =
+        "OpenArgue: supporting argumentation to evolve secure software \
+         systems";
+      survey_group = "Security requirements satisfaction arguments";
+      domain = Security;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Replaces_informal;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = false;
+      claimed_benefits =
+        [ "informal and formal arguments are helpful to domain experts" ];
+      evidence_of_benefit = Thin_case_study;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+    {
+      key = "sokolsky2011";
+      reference = 39;
+      authors = "Sokolsky, Lee & Heimdahl";
+      year = 2011;
+      title =
+        "Challenges in the regulatory approval of medical cyber-physical \
+         systems";
+      survey_group = "First-order logic";
+      domain = Safety;
+      artefacts = [ Content_symbolic_deductive ];
+      relationship = Unclear;
+      mentions_mechanical_verification = false;
+      implies_mechanical_benefit = true;
+      claimed_benefits =
+        [
+          "formalisation will be able to capture logical fallacies, which \
+           are common in assurance cases";
+        ];
+      evidence_of_benefit = No_evidence;
+      drawbacks_noted = [];
+      acknowledges_hypothesis = false;
+    };
+  ]
+
+let find key = List.find_opt (fun p -> p.key = key) selected
+
+let pp ppf p =
+  Format.fprintf ppf "[%d] %s (%d): %s" p.reference p.authors p.year p.title

@@ -1,0 +1,73 @@
+(** The twenty surveyed papers, encoded.
+
+    Section III of the paper characterises each selected paper against
+    five research questions: what is formalised and how it is used,
+    whether the formalism replaces or augments informal argument, how it
+    affects argument structure, what benefits are claimed and with what
+    evidence, and what drawbacks are noted.  This module encodes those
+    characterisations so that every quantified statement the paper makes
+    about its survey ("six of the twenty...", "eleven of the selected
+    papers...") is a computable query — see {!Queries}. *)
+
+(** What part of the argument the proposal formalises.  The distinctions
+    matter for the paper's counts: the Basir/Denney generated arguments
+    and Tolchinsky's non-monotonic dialogue games are {e not} among the
+    "eleven papers suggesting formalising argument content into
+    symbolic, deductive logic". *)
+type artefact =
+  | Syntax  (** Argument structure rules (Denney–Pai, Matsuno). *)
+  | Content_symbolic_deductive
+      (** Claims/premises in symbolic, deductive logic. *)
+  | Content_nonmonotonic
+      (** Non-monotonic logic for dialogue games (Tolchinsky). *)
+  | Argument_generated_from_proof
+      (** The argument is produced from an external proof (Basir et
+          al.); the argument itself is not the formalised object. *)
+  | Metadata_annotations  (** Denney–Naylor–Pai enrichment. *)
+  | Pattern_structure  (** Formalised pattern structure. *)
+  | Pattern_parameters  (** Typed placeholder instantiation. *)
+
+(** Relationship of the formal artefact to informal argument
+    (research question 2). *)
+type relationship =
+  | Replaces_informal
+  | Augments_informal
+  | Generated_from_proof
+  | Informal_first_then_formalise
+  | Unclear
+
+type domain = Safety | Security | Privacy | Dependability
+
+(** Strength of the evidence offered for claimed benefits.  No surveyed
+    paper offers more than a thin case study — the paper's headline
+    observation. *)
+type evidence_strength = No_evidence | Worked_example | Thin_case_study
+
+type proposal = {
+  key : string;  (** Citation key, e.g. ["basir2009"]. *)
+  reference : int;  (** The paper's bracketed reference number. *)
+  authors : string;
+  year : int;
+  title : string;
+  survey_group : string;  (** Which Section III subsection covers it. *)
+  domain : domain;
+  artefacts : artefact list;
+  relationship : relationship;
+  mentions_mechanical_verification : bool;
+      (** Explicitly proposes machine-checking the formalised content. *)
+  implies_mechanical_benefit : bool;
+      (** Makes or implies the claim that mechanical validation
+          justifies greater confidence (the "six of twenty"). *)
+  claimed_benefits : string list;
+  evidence_of_benefit : evidence_strength;
+  drawbacks_noted : string list;
+  acknowledges_hypothesis : bool;
+      (** Candidly states that benefit is an unvalidated hypothesis —
+          true only of Rushby, per the paper's conclusion. *)
+}
+
+val selected : proposal list
+(** The twenty selected papers, in reference order. *)
+
+val find : string -> proposal option
+val pp : Format.formatter -> proposal -> unit

@@ -1,0 +1,68 @@
+let selected = Paper.selected
+let total_selected () = List.length selected
+let where f = List.filter f selected
+
+let implying_mechanical_benefit () =
+  where (fun p -> p.Paper.implies_mechanical_benefit)
+
+let proposing_symbolic_deductive_content () =
+  where (fun p ->
+      List.mem Paper.Content_symbolic_deductive p.Paper.artefacts)
+
+let mentioning_mechanical_verification () =
+  where (fun p ->
+      List.mem Paper.Content_symbolic_deductive p.Paper.artefacts
+      && p.Paper.mentions_mechanical_verification)
+
+let informal_first_then_formalise () =
+  where (fun p -> p.Paper.relationship = Paper.Informal_first_then_formalise)
+
+let formalising_graphical_syntax () =
+  where (fun p -> List.mem Paper.Syntax p.Paper.artefacts)
+
+let formalising_pattern_structure () =
+  where (fun p -> List.mem Paper.Pattern_structure p.Paper.artefacts)
+
+let formalising_pattern_parameters () =
+  where (fun p -> List.mem Paper.Pattern_parameters p.Paper.artefacts)
+
+let with_substantial_evidence () =
+  where (fun p ->
+      match p.Paper.evidence_of_benefit with
+      | Paper.No_evidence | Paper.Worked_example | Paper.Thin_case_study ->
+          false)
+
+let acknowledging_hypothesis () =
+  where (fun p -> p.Paper.acknowledges_hypothesis)
+
+let report () =
+  [
+    ("papers selected in phase two", total_selected (), 20);
+    ( "make or imply a mechanical-validation confidence claim",
+      List.length (implying_mechanical_benefit ()),
+      6 );
+    ( "propose symbolic, deductive formalisation of argument content",
+      List.length (proposing_symbolic_deductive_content ()),
+      11 );
+    ( "of those, explicitly mention mechanical verification",
+      List.length (mentioning_mechanical_verification ()),
+      4 );
+    ( "propose informal-first construction, then formalisation",
+      List.length (informal_first_then_formalise ()),
+      3 );
+    ( "formalise the syntax of graphical argument notations",
+      List.length (formalising_graphical_syntax ()),
+      4 );
+    ( "formalise argument pattern structure",
+      List.length (formalising_pattern_structure ()),
+      3 );
+    ( "also formalise pattern parameters",
+      List.length (formalising_pattern_parameters ()),
+      2 );
+    ( "supply substantial empirical evidence of benefit",
+      List.length (with_substantial_evidence ()),
+      0 );
+    ( "candidly state that benefit is an unvalidated hypothesis",
+      List.length (acknowledging_hypothesis ()),
+      2 );
+  ]

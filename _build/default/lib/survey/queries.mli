@@ -1,0 +1,50 @@
+(** Queries over the encoded survey: every quantified claim the paper
+    makes about its twenty selected papers, as a function.
+
+    Each function's expected value (the number the paper reports) is in
+    its documentation; the bench harness prints computed-vs-reported and
+    EXPERIMENTS.md records them. *)
+
+val total_selected : unit -> int
+(** 20 — "Phase two yielded twenty selected papers". *)
+
+val implying_mechanical_benefit : unit -> Paper.proposal list
+(** 6 — "Six of the twenty papers make or imply claims that mechanical
+    validation will justify greater confidence" (Section IV). *)
+
+val proposing_symbolic_deductive_content : unit -> Paper.proposal list
+(** 11 — "Eleven of the selected papers suggest formalising all or part
+    of the content of arguments into symbolic, deductive logic"
+    (Section V.B). *)
+
+val mentioning_mechanical_verification : unit -> Paper.proposal list
+(** 4 — "Four of these explicitly mention mechanical verification of
+    the formalised argument" (Section V.B).  A subset of the eleven. *)
+
+val informal_first_then_formalise : unit -> Paper.proposal list
+(** 3 — "Three of our selected papers proposed constructing arguments
+    first in informal form and then formalising them" (Section VI.B). *)
+
+val formalising_graphical_syntax : unit -> Paper.proposal list
+(** 4 — "Four of the selected papers suggest formalising the syntax of
+    graphical arguments whose elements contain natural language text"
+    (Section V.A). *)
+
+val formalising_pattern_structure : unit -> Paper.proposal list
+(** 3 — "Three of our selected papers proposed formalising argument
+    pattern structure" (Section VI.D). *)
+
+val formalising_pattern_parameters : unit -> Paper.proposal list
+(** Within those, 2 — "Two also propose formalising pattern parameters"
+    (Section VI.D, citing Matsuno's two papers). *)
+
+val with_substantial_evidence : unit -> Paper.proposal list
+(** 0 — "none supplies substantial empirical evidence" (Section VII). *)
+
+val acknowledging_hypothesis : unit -> Paper.proposal list
+(** Rushby's 2 papers — "only Rushby correctly and candidly acknowledges
+    that any benefit ... is a hypothesis" (Section VII). *)
+
+val report : unit -> (string * int * int) list
+(** (description, computed, reported-by-paper) triples for every query
+    above — the bench harness prints this table. *)

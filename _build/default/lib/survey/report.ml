@@ -1,0 +1,76 @@
+let artefact_text = function
+  | Paper.Syntax -> "formalised argument syntax"
+  | Paper.Content_symbolic_deductive ->
+      "argument content in symbolic, deductive logic"
+  | Paper.Content_nonmonotonic -> "non-monotonic dialogue-game logic"
+  | Paper.Argument_generated_from_proof ->
+      "argument generated from an external proof"
+  | Paper.Metadata_annotations -> "typed metadata annotations"
+  | Paper.Pattern_structure -> "formalised pattern structure"
+  | Paper.Pattern_parameters -> "typed pattern parameters"
+
+let relationship_text = function
+  | Paper.Replaces_informal -> "replaces informal argumentation"
+  | Paper.Augments_informal -> "augments an informal argument"
+  | Paper.Generated_from_proof -> "generated from a proof"
+  | Paper.Informal_first_then_formalise ->
+      "informal argument first, then formalised"
+  | Paper.Unclear -> "relationship to informal argument unclear"
+
+let evidence_text = function
+  | Paper.No_evidence -> "no evidence offered"
+  | Paper.Worked_example -> "a worked example only"
+  | Paper.Thin_case_study -> "a case study reported without assessable detail"
+
+let pp_list ppf ~header items =
+  match items with
+  | [] -> ()
+  | items ->
+      Format.fprintf ppf "  %s:@." header;
+      List.iter (fun i -> Format.fprintf ppf "    - %s@." i) items
+
+let pp_paper ppf (p : Paper.proposal) =
+  Format.fprintf ppf "[%d] %s (%d)@." p.Paper.reference p.Paper.authors
+    p.Paper.year;
+  Format.fprintf ppf "  %s@." p.Paper.title;
+  Format.fprintf ppf "  formalises: %s@."
+    (String.concat "; " (List.map artefact_text p.Paper.artefacts));
+  Format.fprintf ppf "  %s@." (relationship_text p.Paper.relationship);
+  if p.Paper.mentions_mechanical_verification then
+    Format.fprintf ppf "  proposes mechanical verification of the formalism@.";
+  if p.Paper.implies_mechanical_benefit then
+    Format.fprintf ppf
+      "  implies mechanical validation justifies greater confidence@.";
+  pp_list ppf ~header:"claimed benefits" p.Paper.claimed_benefits;
+  Format.fprintf ppf "  evidence of benefit: %s@."
+    (evidence_text p.Paper.evidence_of_benefit);
+  pp_list ppf ~header:"drawbacks noted" p.Paper.drawbacks_noted;
+  if p.Paper.acknowledges_hypothesis then
+    Format.fprintf ppf
+      "  candidly acknowledges the benefit is an unvalidated hypothesis@."
+
+let groups () =
+  (* First-occurrence group order, members in reference order. *)
+  let order = ref [] in
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let g = p.Paper.survey_group in
+      if not (Hashtbl.mem members g) then begin
+        Hashtbl.add members g [];
+        order := g :: !order
+      end;
+      Hashtbl.replace members g (Hashtbl.find members g @ [ p ]))
+    Paper.selected;
+  List.rev_map (fun g -> (g, Hashtbl.find members g)) !order
+
+let pp_all ppf () =
+  List.iter
+    (fun (group, members) ->
+      Format.fprintf ppf "== %s ==@.@." group;
+      List.iter
+        (fun p ->
+          pp_paper ppf p;
+          Format.pp_print_newline ppf ())
+        members)
+    (groups ())

@@ -1,0 +1,13 @@
+(** Rendering the survey's per-paper characterisations.
+
+    Section III of the paper answers five research questions for each
+    selected paper; {!pp_paper} renders the encoded answers in that
+    style, grouped as the paper groups them ({!pp_all}).  This is what
+    [argus survey --papers] prints. *)
+
+val pp_paper : Format.formatter -> Paper.proposal -> unit
+
+val groups : unit -> (string * Paper.proposal list) list
+(** Papers grouped by survey subsection, in reference order. *)
+
+val pp_all : Format.formatter -> unit -> unit

@@ -1,0 +1,214 @@
+type library = IEEE_Xplore | ACM_DL | Springer_Link | Google_Scholar
+type search_term = Safety_term | Security_term
+
+type candidate = {
+  id : int;
+  title : string;
+  library : library;
+  found_by : search_term;
+  hints_assurance_argument : bool;
+  about_evidence_item_only : bool;
+  formal_in_other_sense : bool;
+  documents_claim_support : bool;
+  symbolic_or_deductive_linkage : bool;
+}
+
+let all_libraries = [ IEEE_Xplore; ACM_DL; Springer_Link; Google_Scholar ]
+
+let library_to_string = function
+  | IEEE_Xplore -> "IEEE Xplore"
+  | ACM_DL -> "ACM Digital Library"
+  | Springer_Link -> "Springer Link"
+  | Google_Scholar -> "Google Scholar"
+
+let phase1_selects c =
+  c.hints_assurance_argument
+  && (not c.about_evidence_item_only)
+  && not c.formal_in_other_sense
+
+let phase2_selects c =
+  c.documents_claim_support && c.symbolic_or_deductive_linkage
+
+(* --- The synthetic corpus ---
+
+   Identity layout:
+     ids 1..5    shared safety/security papers (the Haley cluster and the
+                 privacy-arguments paper, plausibly hit by both terms);
+     ids 6..20   the remaining surveyed papers (safety term);
+     ids 21..54  safety papers passing phase 1 but failing phase 2;
+     ids 55..72  security papers passing phase 1 but failing phase 2;
+     ids >= 100  phase-1 rejects (three per library and term, one for
+                 each exclusion criterion).
+
+   Phase-one occurrence plan (reproducing Table I):
+     safety:    IEEE ids 6..17 (12), ACM ids 18..34 (17),
+                Springer ids 1..4 and 35..54 (24), Scholar id 5 plus the
+                seven cross-library duplicates 6..12 (8); 61 occurrences
+                over 54 unique ids.
+     security:  IEEE ids 1..5 and 55..62 (13), ACM ids 63..69 (7),
+                Springer ids 70..71 (2), Scholar id 72 (1). *)
+
+let surveyed_titles =
+  (* id -> title of a real surveyed paper, for ids 1..20. *)
+  let security_ids =
+    [ "haley2006"; "haley2008"; "tun2010"; "yu2011"; "tun2012" ]
+  in
+  let safety_ids =
+    List.filter_map
+      (fun p ->
+        if List.mem p.Paper.key security_ids then None else Some p.Paper.key)
+      Paper.selected
+  in
+  let keys = security_ids @ safety_ids in
+  List.mapi
+    (fun i key ->
+      match Paper.find key with
+      | Some p -> (i + 1, p.Paper.title)
+      | None -> (i + 1, key))
+    keys
+
+let title_of_id id =
+  match List.assoc_opt id surveyed_titles with
+  | Some t -> t
+  | None -> Printf.sprintf "Candidate result %d" id
+
+let make ~id ~library ~found_by ~p2 () =
+  {
+    id;
+    title = title_of_id id;
+    library;
+    found_by;
+    hints_assurance_argument = true;
+    about_evidence_item_only = false;
+    formal_in_other_sense = false;
+    documents_claim_support = p2;
+    symbolic_or_deductive_linkage = p2;
+  }
+
+let reject ~id ~library ~found_by ~reason () =
+  {
+    id;
+    title = Printf.sprintf "Excluded result %d" id;
+    library;
+    found_by;
+    hints_assurance_argument = reason <> `No_hint;
+    about_evidence_item_only = reason = `Evidence_only;
+    formal_in_other_sense = reason = `Other_sense;
+    documents_claim_support = false;
+    symbolic_or_deductive_linkage = false;
+  }
+
+let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+let corpus =
+  let surveyed id = id <= 20 in
+  let safety lib ids =
+    List.map
+      (fun id ->
+        make ~id ~library:lib ~found_by:Safety_term ~p2:(surveyed id) ())
+      ids
+  in
+  let security lib ids =
+    List.map
+      (fun id ->
+        make ~id ~library:lib ~found_by:Security_term ~p2:(surveyed id) ())
+      ids
+  in
+  (* Safety search, phase-1 selections: 12 + 17 + 24 + 8 occurrences over
+     54 unique ids, with ids 6..12 found in both IEEE and Scholar. *)
+  safety IEEE_Xplore (range 6 17)
+  @ safety ACM_DL (range 18 34)
+  @ safety Springer_Link (range 1 4 @ range 35 54)
+  @ safety Google_Scholar (5 :: range 6 12)
+  (* Security search, phase-1 selections: 13 + 7 + 2 + 1 over 23 unique
+     ids, no cross-library duplicates. *)
+  @ security IEEE_Xplore (5 :: (range 1 4 @ range 55 62))
+  @ security ACM_DL (range 63 69)
+  @ security Springer_Link (range 70 71)
+  @ security Google_Scholar [ 72 ]
+  (* Phase-1 rejects: one per criterion, per library and term. *)
+  @ List.concat_map
+      (fun lib ->
+        List.concat_map
+          (fun term ->
+            let base =
+              100
+              + (10
+                 * (match lib with
+                   | IEEE_Xplore -> 0
+                   | ACM_DL -> 1
+                   | Springer_Link -> 2
+                   | Google_Scholar -> 3))
+              + (match term with Safety_term -> 0 | Security_term -> 5)
+            in
+            [
+              reject ~id:base ~library:lib ~found_by:term ~reason:`No_hint ();
+              reject ~id:(base + 1) ~library:lib ~found_by:term
+                ~reason:`Evidence_only ();
+              reject ~id:(base + 2) ~library:lib ~found_by:term
+                ~reason:`Other_sense ();
+            ])
+          [ Safety_term; Security_term ])
+      all_libraries
+
+let run_phase1 candidates = List.filter phase1_selects candidates
+let run_phase2 candidates = List.filter phase2_selects (run_phase1 candidates)
+
+type table1_row = { library : library; safety : int; security : int }
+
+type table1 = {
+  rows : table1_row list;
+  unique_total : int;
+  unique_safety : int;
+  unique_security : int;
+}
+
+module Iset = Set.Make (Int)
+
+let table1 candidates =
+  let selected = run_phase1 candidates in
+  let count lib term =
+    List.length
+      (List.filter
+         (fun (c : candidate) -> c.library = lib && c.found_by = term)
+         selected)
+  in
+  let rows =
+    List.map
+      (fun lib ->
+        {
+          library = lib;
+          safety = count lib Safety_term;
+          security = count lib Security_term;
+        })
+      all_libraries
+  in
+  let ids term =
+    List.filter (fun c -> c.found_by = term) selected
+    |> List.map (fun c -> c.id)
+    |> Iset.of_list
+  in
+  let s = ids Safety_term and sec = ids Security_term in
+  {
+    rows;
+    unique_total = Iset.cardinal (Iset.union s sec);
+    unique_safety = Iset.cardinal s;
+    unique_security = Iset.cardinal sec;
+  }
+
+let selected_after_phase2 candidates =
+  run_phase2 candidates
+  |> List.map (fun c -> c.id)
+  |> Iset.of_list
+  |> Iset.cardinal
+
+let pp_table1 ppf t =
+  Format.fprintf ppf "%-22s %8s %10s@." "Digital library" "Safety" "Security";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s %8d %10d@."
+        (library_to_string r.library)
+        r.safety r.security)
+    t.rows;
+  Format.fprintf ppf "Unique results (%d total): %d safety, %d security@."
+    t.unique_total t.unique_safety t.unique_security

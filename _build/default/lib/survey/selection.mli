@@ -1,0 +1,75 @@
+(** The Section III systematic-survey selection pipeline.
+
+    The paper searched four digital libraries with two terms, screened
+    titles and abstracts against three exclusion criteria (phase one),
+    then read full texts against two more (phase two).  The digital
+    libraries cannot be re-queried offline, so {!corpus} is a synthetic
+    bibliographic corpus calibrated such that running the {e real}
+    pipeline over it reproduces Table I: 12/13 (IEEE), 17/7 (ACM), 24/2
+    (Springer), 8/1 (Google Scholar) phase-one selections per
+    safety/security search, 72 unique results (54 safety, 23 security),
+    and twenty phase-two selections.
+
+    What is reproduced faithfully is the {e procedure}: criteria
+    filtering, cross-library de-duplication, cross-term overlap, and the
+    two-phase funnel.  Swap {!corpus} for live search exports and the
+    pipeline runs unchanged. *)
+
+type library = IEEE_Xplore | ACM_DL | Springer_Link | Google_Scholar
+type search_term = Safety_term | Security_term
+
+type candidate = {
+  id : int;  (** Identity across libraries: same id = same paper. *)
+  title : string;
+  library : library;
+  found_by : search_term;
+  (* Phase-one screening facts (title + abstract): *)
+  hints_assurance_argument : bool;
+  about_evidence_item_only : bool;
+  formal_in_other_sense : bool;
+  (* Phase-two screening facts (full text): *)
+  documents_claim_support : bool;
+  symbolic_or_deductive_linkage : bool;
+}
+
+val all_libraries : library list
+val library_to_string : library -> string
+
+val phase1_selects : candidate -> bool
+(** Title/abstract screening: keep iff it hints at an assurance
+    argument, is not merely about an evidence item, and does not use
+    'formal' in another sense. *)
+
+val phase2_selects : candidate -> bool
+(** Full-text screening: keep iff it documents support for a
+    dependability claim and discusses a symbolic/deductive linkage from
+    evidence to claim.  Implies nothing about phase 1; the pipeline
+    applies them in order. *)
+
+val corpus : candidate list
+(** The synthetic corpus (including phase-one rejects). *)
+
+val run_phase1 : candidate list -> candidate list
+val run_phase2 : candidate list -> candidate list
+
+type table1_row = {
+  library : library;
+  safety : int;  (** Phase-one selections from the safety search. *)
+  security : int;
+}
+
+type table1 = {
+  rows : table1_row list;
+  unique_total : int;  (** De-duplicated across libraries and terms. *)
+  unique_safety : int;  (** De-duplicated, found by the safety term. *)
+  unique_security : int;
+}
+
+val table1 : candidate list -> table1
+(** Phase-one counts per library and term, plus unique totals, computed
+    from the candidate list by the real pipeline. *)
+
+val selected_after_phase2 : candidate list -> int
+(** Number of unique papers surviving both phases. *)
+
+val pp_table1 : Format.formatter -> table1 -> unit

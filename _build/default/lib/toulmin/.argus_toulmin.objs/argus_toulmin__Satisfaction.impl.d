@@ -1,0 +1,1 @@
+lib/toulmin/satisfaction.ml: Argus_core Argus_logic List Toulmin

@@ -1,0 +1,1 @@
+lib/toulmin/satisfaction.mli: Argus_core Argus_logic Toulmin

@@ -1,0 +1,1 @@
+lib/toulmin/to_gsn.ml: Argus_core Argus_gsn List Toulmin

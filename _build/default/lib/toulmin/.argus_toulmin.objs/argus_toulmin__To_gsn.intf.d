@@ -1,0 +1,1 @@
+lib/toulmin/to_gsn.mli: Argus_gsn Toulmin

@@ -1,0 +1,1 @@
+lib/toulmin/toulmin.ml: Argus_core Buffer Format Hashtbl List Option Printf String

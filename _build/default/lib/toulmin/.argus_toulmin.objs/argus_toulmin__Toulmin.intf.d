@@ -1,0 +1,1 @@
+lib/toulmin/toulmin.mli: Argus_core Format

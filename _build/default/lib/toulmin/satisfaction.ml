@@ -1,0 +1,65 @@
+module Diagnostic = Argus_core.Diagnostic
+module Prop = Argus_logic.Prop
+module Natded = Argus_logic.Natded
+
+type t = {
+  requirement : Prop.t;
+  outer : Natded.t;
+  inner : (Prop.t * Toulmin.t) list;
+}
+
+let trust_assumptions t =
+  match Natded.check t.outer with
+  | Error _ -> []
+  | Ok checked -> checked.Natded.premises
+
+let check t =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (match Natded.check t.outer with
+  | Error ds ->
+      add
+        (Diagnostic.error ~code:"satisfaction/outer-invalid"
+           "the formal outer argument does not check");
+      List.iter add ds
+  | Ok checked ->
+      if not (Prop.equal checked.Natded.conclusion t.requirement) then
+        add
+          (Diagnostic.errorf ~code:"satisfaction/wrong-conclusion"
+             "outer argument concludes %s, but the requirement is %s"
+             (Prop.to_string checked.Natded.conclusion)
+             (Prop.to_string t.requirement));
+      let premises = checked.Natded.premises in
+      List.iter
+        (fun premise ->
+          match
+            List.find_opt (fun (p, _) -> Prop.equal p premise) t.inner
+          with
+          | None ->
+              add
+                (Diagnostic.errorf ~code:"satisfaction/unsupported-premise"
+                   "trust assumption %s has no inner argument"
+                   (Prop.to_string premise))
+          | Some (_, inner) ->
+              if inner.Toulmin.rebuttals <> [] then
+                add
+                  (Diagnostic.warningf
+                     ~code:"satisfaction/rebutted-assumption"
+                     "the inner argument for %s carries %d rebuttal(s)"
+                     (Prop.to_string premise)
+                     (List.length inner.Toulmin.rebuttals)))
+        premises;
+      List.iter
+        (fun (p, _) ->
+          if not (List.exists (Prop.equal p) premises) then
+            add
+              (Diagnostic.warningf ~code:"satisfaction/dangling-inner"
+                 "inner argument for %s, which is not an outer premise"
+                 (Prop.to_string p)))
+        t.inner);
+  List.iter
+    (fun (_, inner) -> List.iter add (Toulmin.check inner))
+    t.inner;
+  Diagnostic.sort (List.rev !out)
+
+let is_satisfied t = not (Diagnostic.has_errors (check t))

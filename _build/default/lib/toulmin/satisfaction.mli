@@ -1,0 +1,45 @@
+(** Security requirements satisfaction arguments (Haley et al.).
+
+    The framework the paper surveys in Section III.K: a {e formal outer
+    argument} — a natural-deduction proof that the system's behavioural
+    premises entail the security requirement — paired with {e informal
+    inner arguments} — extended-Toulmin arguments supporting each trust
+    assumption (premise) of the outer proof.
+
+    The checker enforces exactly the discipline Haley et al. describe:
+    the outer proof must check; every undischarged premise must have an
+    inner argument; and each inner argument's claim is what supports the
+    premise.  It also reports what formality cannot do (Section IV of
+    the paper): a premise can be formally fine but rest on a rebutted or
+    empty inner argument, which is surfaced as a warning, not proved
+    absent. *)
+
+type t = {
+  requirement : Argus_logic.Prop.t;
+      (** The security requirement the outer argument must conclude. *)
+  outer : Argus_logic.Natded.t;  (** The formal outer proof. *)
+  inner : (Argus_logic.Prop.t * Toulmin.t) list;
+      (** Trust assumptions: one informal argument per outer premise. *)
+}
+
+val check : t -> Argus_core.Diagnostic.t list
+(** Codes under ["satisfaction/"]:
+    - ["satisfaction/outer-invalid"] (error) — the proof fails to check
+      (the underlying natded diagnostics are included as well);
+    - ["satisfaction/wrong-conclusion"] (error) — the proof concludes
+      something other than the requirement;
+    - ["satisfaction/unsupported-premise"] (error) — an undischarged
+      premise with no inner argument;
+    - ["satisfaction/dangling-inner"] (warning) — an inner argument for
+      a formula that is not a premise of the outer proof;
+    - ["satisfaction/rebutted-assumption"] (warning) — an inner argument
+      carrying rebuttals (the trust assumption is contestable);
+    - ["satisfaction/inner-issue"] (as reported) — structural problems
+      inside an inner argument, from {!Toulmin.check}. *)
+
+val is_satisfied : t -> bool
+(** No errors (warnings allowed). *)
+
+val trust_assumptions : t -> Argus_logic.Prop.t list
+(** The undischarged premises of the outer proof — "the assumptions to
+    be tested in the inner arguments". *)

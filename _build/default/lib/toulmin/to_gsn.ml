@@ -1,0 +1,94 @@
+module Id = Argus_core.Id
+module Evidence = Argus_core.Evidence
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+
+type state = {
+  mutable structure : Structure.t;
+  mutable used : Id.Set.t;
+  gen : Id.Gen.t;
+}
+
+let fresh st base =
+  let candidate =
+    match Id.of_string_opt base with
+    | Some id when not (Id.Set.mem id st.used) -> id
+    | _ -> Id.Gen.fresh_avoiding st.gen st.used
+  in
+  st.used <- Id.Set.add candidate st.used;
+  candidate
+
+let add st node = st.structure <- Structure.add_node node st.structure
+
+let connect st kind src dst =
+  st.structure <- Structure.connect kind ~src ~dst st.structure
+
+let rec convert_argument st (arg : Toulmin.t) =
+  (* Returns the goal id for the argument's claim. *)
+  let claim_id = fresh st arg.Toulmin.claim.Toulmin.label in
+  add st
+    (Node.make ~id:claim_id ~node_type:Node.Goal
+       arg.Toulmin.claim.Toulmin.text);
+  let strategy_id = fresh st (Id.to_string claim_id ^ "_S") in
+  add st
+    (Node.make ~id:strategy_id ~node_type:Node.Strategy
+       "Inference from the stated grounds");
+  connect st Structure.Supported_by claim_id strategy_id;
+  (* Grounds. *)
+  List.iter
+    (fun ground ->
+      match ground with
+      | Toulmin.Ground_statement e ->
+          let gid = fresh st e.Toulmin.label in
+          let ev_id = fresh st (Id.to_string gid ^ "_E") in
+          let sol_id = fresh st (Id.to_string gid ^ "_Sn") in
+          add st
+            (Node.make ~id:gid ~node_type:Node.Goal
+               (e.Toulmin.text ^ " (holds)"));
+          st.structure <-
+            Structure.add_evidence
+              (Evidence.make ~id:ev_id ~kind:Evidence.Expert_judgement
+                 ~source:"Toulmin grounds" ~strength:Evidence.Existential
+                 e.Toulmin.text)
+              st.structure;
+          add st
+            (Node.make ~id:sol_id ~node_type:Node.Solution ~evidence:ev_id
+               ("Grounds: " ^ e.Toulmin.text));
+          connect st Structure.Supported_by strategy_id gid;
+          connect st Structure.Supported_by gid sol_id
+      | Toulmin.Ground_argument sub ->
+          let sub_claim = convert_argument st sub in
+          connect st Structure.Supported_by strategy_id sub_claim)
+    arg.Toulmin.grounds;
+  (* Warrant. *)
+  (match arg.Toulmin.warrant with
+  | None -> ()
+  | Some (Toulmin.Warrant_statement e) ->
+      let jid = fresh st e.Toulmin.label in
+      add st
+        (Node.make ~id:jid ~node_type:Node.Justification e.Toulmin.text);
+      connect st Structure.In_context_of strategy_id jid
+  | Some (Toulmin.Warrant_argument sub) ->
+      let sub_claim = convert_argument st sub in
+      connect st Structure.Supported_by strategy_id sub_claim);
+  (* Rebuttals. *)
+  List.iter
+    (fun (e : Toulmin.element) ->
+      let aid = fresh st e.Toulmin.label in
+      add st
+        (Node.make ~id:aid ~node_type:Node.Assumption
+           ("It is assumed the rebuttal does not apply: " ^ e.Toulmin.text));
+      connect st Structure.In_context_of claim_id aid)
+    arg.Toulmin.rebuttals;
+  claim_id
+
+let convert arg =
+  let st =
+    {
+      structure = Structure.empty;
+      used = Id.Set.empty;
+      gen = Id.Gen.create ~prefix:"t" ();
+    }
+  in
+  ignore (convert_argument st arg);
+  st.structure

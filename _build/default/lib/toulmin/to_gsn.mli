@@ -1,0 +1,16 @@
+(** Rendering Toulmin arguments as GSN fragments.
+
+    Inner arguments of the Haley framework live alongside GSN safety
+    cases; this conversion lets one toolchain display both.  Mapping:
+    the claim becomes a goal; the grounds become sub-goals supported by
+    solutions citing synthesised evidence items; a statement warrant
+    becomes a justification in context of the inference strategy; an
+    argument warrant becomes a nested fragment supporting the strategy;
+    rebuttals become assumptions in context of the claim (GSN has no
+    counter-argument element, so a rebuttal is recorded as an assumption
+    that it does not apply). *)
+
+val convert : Toulmin.t -> Argus_gsn.Structure.t
+(** The output is well-formed GSN (errors-free; text-heuristic warnings
+    may occur for user-supplied wording).  Node ids are derived from the
+    Toulmin labels, suffixed to stay unique. *)

@@ -1,0 +1,348 @@
+module Diagnostic = Argus_core.Diagnostic
+
+type element = { label : string; text : string }
+
+type t = {
+  grounds : ground list;
+  warrant : warrant option;
+  claim : element;
+  rebuttals : element list;
+}
+
+and ground = Ground_statement of element | Ground_argument of t
+and warrant = Warrant_statement of element | Warrant_argument of t
+
+let element label text = { label; text }
+
+let make ~grounds ?warrant ?(rebuttals = []) claim =
+  if grounds = [] then invalid_arg "Toulmin.make: no grounds";
+  { grounds; warrant; claim; rebuttals }
+
+let rec labels arg =
+  let ground_labels = function
+    | Ground_statement e -> [ e.label ]
+    | Ground_argument a -> labels a
+  in
+  let warrant_labels = function
+    | None -> []
+    | Some (Warrant_statement e) -> [ e.label ]
+    | Some (Warrant_argument a) -> labels a
+  in
+  List.concat_map ground_labels arg.grounds
+  @ warrant_labels arg.warrant
+  @ [ arg.claim.label ]
+  @ List.map (fun e -> e.label) arg.rebuttals
+
+let rec depth arg =
+  let ground_depth = function
+    | Ground_statement _ -> 0
+    | Ground_argument a -> depth a
+  in
+  let warrant_depth = function
+    | None | Some (Warrant_statement _) -> 0
+    | Some (Warrant_argument a) -> depth a
+  in
+  1
+  + List.fold_left
+      (fun acc g -> max acc (ground_depth g))
+      (warrant_depth arg.warrant)
+      arg.grounds
+
+let rec size arg =
+  let ground_size = function
+    | Ground_statement _ -> 1
+    | Ground_argument a -> size a
+  in
+  let warrant_size = function
+    | None -> 0
+    | Some (Warrant_statement _) -> 1
+    | Some (Warrant_argument a) -> size a
+  in
+  List.fold_left (fun acc g -> acc + ground_size g) 0 arg.grounds
+  + warrant_size arg.warrant
+  + 1
+  + List.length arg.rebuttals
+
+let rec claims arg =
+  let ground_claims = function
+    | Ground_statement _ -> []
+    | Ground_argument a -> claims a
+  in
+  let warrant_claims = function
+    | None | Some (Warrant_statement _) -> []
+    | Some (Warrant_argument a) -> claims a
+  in
+  (arg.claim :: List.concat_map ground_claims arg.grounds)
+  @ warrant_claims arg.warrant
+
+let check arg =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (* Duplicate labels. *)
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace tally l (1 + Option.value ~default:0 (Hashtbl.find_opt tally l)))
+    (labels arg);
+  Hashtbl.iter
+    (fun l n ->
+      if n > 1 then
+        add
+          (Diagnostic.errorf ~code:"toulmin/duplicate-label"
+             "label %s is used %d times" l n))
+    tally;
+  (* Empty texts, unwarranted multi-ground steps, circular support. *)
+  let rec walk ancestors_texts a =
+    let check_element e =
+      if String.trim e.text = "" then
+        add
+          (Diagnostic.errorf ~code:"toulmin/empty-text"
+             "element %s has no text" e.label)
+    in
+    List.iter
+      (function
+        | Ground_statement e -> check_element e
+        | Ground_argument _ -> ())
+      a.grounds;
+    (match a.warrant with
+    | Some (Warrant_statement e) -> check_element e
+    | Some (Warrant_argument _) | None -> ());
+    check_element a.claim;
+    List.iter check_element a.rebuttals;
+    if List.length a.grounds > 1 && a.warrant = None then
+      add
+        (Diagnostic.warningf ~code:"toulmin/unwarranted"
+           "claim %s rests on %d grounds with no warrant connecting them"
+           a.claim.label (List.length a.grounds));
+    let ground_texts =
+      List.filter_map
+        (function Ground_statement e -> Some e.text | Ground_argument _ -> None)
+        a.grounds
+    in
+    let ancestors' = ground_texts @ ancestors_texts in
+    let recurse sub =
+      if List.mem sub.claim.text ancestors' then
+        add
+          (Diagnostic.errorf ~code:"toulmin/self-support"
+             "nested claim %s restates a ground it is meant to support"
+             sub.claim.label);
+      walk ancestors' sub
+    in
+    List.iter
+      (function Ground_statement _ -> () | Ground_argument sub -> recurse sub)
+      a.grounds;
+    match a.warrant with
+    | Some (Warrant_argument sub) -> recurse sub
+    | Some (Warrant_statement _) | None -> ()
+  in
+  walk [] arg;
+  Diagnostic.sort (List.rev !out)
+
+(* --- Printer --- *)
+
+(* Quote a text, escaping only backslash and double quote — the two
+   characters the tokeniser's string scanner treats specially. *)
+let quote text =
+  let buf = Buffer.create (String.length text + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec pp ppf arg =
+  let pp_element ppf e = Format.fprintf ppf "%s: %s" e.label (quote e.text) in
+  let pp_ground ppf = function
+    | Ground_statement e -> pp_element ppf e
+    | Ground_argument a -> Format.fprintf ppf "(@[<v 2>@,%a@]@,)" pp a
+  in
+  let pp_sep ppf () = Format.fprintf ppf ",@ " in
+  Format.fprintf ppf "@[<v>given grounds @[<v>%a@]"
+    (Format.pp_print_list ~pp_sep pp_ground)
+    arg.grounds;
+  (match arg.warrant with
+  | None -> ()
+  | Some (Warrant_statement e) ->
+      Format.fprintf ppf "@,warranted by %a" pp_element e
+  | Some (Warrant_argument a) ->
+      Format.fprintf ppf "@,warranted by (@[<v 2>@,%a@]@,)" pp a);
+  Format.fprintf ppf "@,thus claim %a" pp_element arg.claim;
+  (match arg.rebuttals with
+  | [] -> ()
+  | rs ->
+      Format.fprintf ppf "@,rebutted by @[<v>%a@]"
+        (Format.pp_print_list ~pp_sep pp_element)
+        rs);
+  Format.fprintf ppf "@]"
+
+let to_string arg = Format.asprintf "%a" pp arg
+
+(* --- Parser --- *)
+
+exception Parse_error of string
+
+type token =
+  | Kw of string  (** given, grounds, warranted, by, thus, claim, rebutted *)
+  | Label of string
+  | Str of string
+  | TLparen
+  | TRparen
+  | TComma
+  | TColon
+
+let keywords =
+  [ "given"; "grounds"; "warranted"; "by"; "thus"; "claim"; "rebutted" ]
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-'
+
+let tokenise s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (TLparen :: acc)
+      | ')' -> go (i + 1) (TRparen :: acc)
+      | ',' -> go (i + 1) (TComma :: acc)
+      | ':' -> go (i + 1) (TColon :: acc)
+      | '"' ->
+          let buf = Buffer.create 32 in
+          let rec scan j =
+            if j >= n then raise (Parse_error "unterminated string")
+            else
+              match s.[j] with
+              | '"' -> j + 1
+              | '\\' when j + 1 < n ->
+                  Buffer.add_char buf s.[j + 1];
+                  scan (j + 2)
+              | c ->
+                  Buffer.add_char buf c;
+                  scan (j + 1)
+          in
+          let next = scan (i + 1) in
+          go next (Str (Buffer.contents buf) :: acc)
+      | c when is_label_char c ->
+          let j = ref i in
+          while !j < n && is_label_char s.[!j] do
+            incr j
+          done;
+          let word = String.sub s i (!j - i) in
+          let tok =
+            if List.mem (String.lowercase_ascii word) keywords then
+              Kw (String.lowercase_ascii word)
+            else Label word
+          in
+          go !j (tok :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+let parse tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !toks with
+    | [] -> raise (Parse_error "unexpected end of input")
+    | t :: rest ->
+        toks := rest;
+        t
+  in
+  let expect_kw k =
+    match advance () with
+    | Kw k' when k = k' -> ()
+    | _ -> raise (Parse_error (Printf.sprintf "expected keyword %S" k))
+  in
+  let p_element () =
+    match advance () with
+    | Label label -> (
+        (match advance () with
+        | TColon -> ()
+        | _ -> raise (Parse_error "expected ':' after label"));
+        match advance () with
+        | Str text -> { label; text }
+        | _ -> raise (Parse_error "expected a quoted string after ':'"))
+    | _ -> raise (Parse_error "expected a labelled element")
+  in
+  let rec p_argument () =
+    expect_kw "given";
+    expect_kw "grounds";
+    let grounds = p_ground_list [] in
+    let warrant =
+      match peek () with
+      | Some (Kw "warranted") ->
+          ignore (advance ());
+          expect_kw "by";
+          Some
+            (match peek () with
+            | Some TLparen ->
+                ignore (advance ());
+                let a = p_argument () in
+                (match advance () with
+                | TRparen -> ()
+                | _ -> raise (Parse_error "expected ')'"));
+                Warrant_argument a
+            | _ -> Warrant_statement (p_element ()))
+      | _ -> None
+    in
+    expect_kw "thus";
+    expect_kw "claim";
+    let claim = p_element () in
+    let rebuttals =
+      match peek () with
+      | Some (Kw "rebutted") ->
+          ignore (advance ());
+          expect_kw "by";
+          let rec loop acc =
+            let e = p_element () in
+            match peek () with
+            | Some TComma ->
+                ignore (advance ());
+                loop (e :: acc)
+            | _ -> List.rev (e :: acc)
+          in
+          loop []
+      | _ -> []
+    in
+    { grounds; warrant; claim; rebuttals }
+  and p_ground_list acc =
+    let g =
+      match peek () with
+      | Some TLparen ->
+          ignore (advance ());
+          let a = p_argument () in
+          (match advance () with
+          | TRparen -> ()
+          | _ -> raise (Parse_error "expected ')'"));
+          Ground_argument a
+      | _ -> Ground_statement (p_element ())
+    in
+    match peek () with
+    | Some TComma ->
+        ignore (advance ());
+        p_ground_list (g :: acc)
+    | _ -> List.rev (g :: acc)
+  in
+  let arg = p_argument () in
+  (match !toks with
+  | [] -> ()
+  | _ -> raise (Parse_error "trailing input after argument"));
+  arg
+
+let of_string s =
+  match parse (tokenise s) with
+  | arg -> Ok arg
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with Ok a -> a | Error msg -> failwith msg

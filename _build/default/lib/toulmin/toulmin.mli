@@ -1,0 +1,78 @@
+(** Toulmin-style structured informal arguments, in the extended textual
+    notation of Haley et al.
+
+    The paper's Section III.K reproduces an "inner argument" written as:
+
+    {v
+    given grounds G2: "Valid credentials are given only to HR members"
+    warranted by (
+      given grounds G3: "Credentials are given in person"
+      warranted by G4: "Credential administrators are honest and reliable"
+      thus claim C1: "Credential administration is correct")
+    thus claim P2: "HR credentials provided --> HR member"
+    rebutted by R1: "HR member is dishonest"
+    v}
+
+    This module gives that notation an AST, a parser, a printer that
+    round-trips, and structural checks. *)
+
+type element = { label : string; text : string }
+
+type t = {
+  grounds : ground list;  (** At least one. *)
+  warrant : warrant option;
+  claim : element;
+  rebuttals : element list;
+}
+
+and ground = Ground_statement of element | Ground_argument of t
+and warrant = Warrant_statement of element | Warrant_argument of t
+
+val element : string -> string -> element
+(** [element label text]. *)
+
+val make :
+  grounds:ground list ->
+  ?warrant:warrant ->
+  ?rebuttals:element list ->
+  element ->
+  t
+(** [make ~grounds claim].
+    @raise Invalid_argument when [grounds] is empty. *)
+
+val labels : t -> string list
+(** Every label in the argument, in document order (with duplicates, if
+    the argument erroneously repeats one). *)
+
+val depth : t -> int
+(** Nesting depth; a flat argument has depth 1. *)
+
+val size : t -> int
+(** Number of elements (grounds, warrants, claims, rebuttals) in the
+    whole tree. *)
+
+val claims : t -> element list
+(** All claims, outermost first. *)
+
+val check : t -> Argus_core.Diagnostic.t list
+(** Structural lints, codes under ["toulmin/"]:
+    - ["toulmin/duplicate-label"] (error) — a label used twice;
+    - ["toulmin/empty-text"] (error) — an element with blank text;
+    - ["toulmin/unwarranted"] (warning) — more than one ground but no
+      warrant connecting them to the claim;
+    - ["toulmin/self-support"] (error) — a nested argument whose claim
+      text equals the text of a ground above it (circularity). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the extended notation, indented; parses back with
+    {!of_string}. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parser for the extended notation.  Keywords: [given grounds],
+    [warranted by], [thus claim], [rebutted by]; elements are
+    [LABEL: "text"]; nested arguments are parenthesised; multiple
+    grounds or rebuttals are comma-separated. *)
+
+val of_string_exn : string -> t

@@ -1,0 +1,6 @@
+  $ argus export press.arg > press.json
+  $ head -6 press.json
+  $ argus import press.json
+  $ argus stats press.arg
+  $ echo '{"nodes": [{"id": "1bad", "type": "goal", "text": "t"}]}' > bad.json
+  $ argus import bad.json

@@ -1,0 +1,7 @@
+  $ argus check modular.arg
+  $ sed 's/away-goal(Powertrain)/away-goal(Gearbox)/' modular.arg > broken_modular.arg
+  $ argus check broken_modular.arg
+  $ argus format modular.arg > formatted.arg
+  $ argus format formatted.arg > formatted2.arg
+  $ diff formatted.arg formatted2.arg
+  $ argus equivocation desert_bank.pl

@@ -1,0 +1,7 @@
+  $ argus probe haley.nd
+  $ cat > bad.nd <<'EOF'
+  > 1. a -> b premise
+  > 2. b      premise
+  > 3. a      detach 1 2
+  > EOF
+  $ argus probe bad.nd

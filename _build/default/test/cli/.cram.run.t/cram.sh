@@ -1,0 +1,11 @@
+  $ argus check press.arg
+  $ argus check broken.arg
+  $ argus check broken.arg --ruleset denney-pai
+  $ argus query press.arg 'has hazard'
+  $ argus query press.arg 'hazard = "crush" | text ~ "restart"'
+  $ argus query press.arg --trace 'hazard = "crush"'
+  $ argus render press.arg --depth 0
+  $ argus prove desert_bank.pl 'adjacent(desert_bank, river)'
+  $ argus prove desert_bank.pl 'adjacent(river, desert_bank)'
+  $ argus cae press.arg
+  $ argus survey | head -9

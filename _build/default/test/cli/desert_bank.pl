@@ -1,0 +1,4 @@
+% Figure 1 of the paper.
+is_a(desert_bank, bank).
+adjacent(bank, river).
+adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).

@@ -1,0 +1,33 @@
+Exporting to JSON, re-importing, and measuring:
+
+  $ argus export press.arg > press.json
+  $ head -6 press.json
+  {
+    "nodes": [
+      {
+        "id": "G1",
+        "type": "goal",
+        "text": "The press is acceptably safe for operator use",
+
+  $ argus import press.json
+  [goal] G1: The press is acceptably safe for operator use
+    ~ [context] C1: Single-operator workshops
+    [strategy] S1: Argument over each identified hazard
+      [goal] G2: Hazard: crush injury is acceptably managed
+        [solution] Sn1: Interlock analysis results
+      [goal] G3: Hazard: unexpected restart is acceptably managed
+        [solution] Sn2: Two-hand control test results
+
+  $ argus stats press.arg
+  nodes 7 (goals 3, strategies 1, solutions 2, contextual 1, modular 0)
+  links 6, depth 4, max fan-out 2, undeveloped 0
+  evidence items 2 (test-results 1, analysis 1)
+  formalised nodes 0 (0%), 36 words, reading ease 16
+
+A corrupt JSON file is rejected:
+
+  $ echo '{"nodes": [{"id": "1bad", "type": "goal", "text": "t"}]}' > bad.json
+  $ argus import bad.json
+  error [interchange/bad-id] invalid identifier "1bad"
+  1 error(s), 0 warning(s), 0 info
+  [1]

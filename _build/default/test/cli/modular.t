@@ -1,0 +1,23 @@
+A multi-module file gets cross-module checking:
+
+  $ argus check modular.arg
+  0 error(s), 0 warning(s), 0 info
+
+Breaking the away-goal reference is caught:
+
+  $ sed 's/away-goal(Powertrain)/away-goal(Gearbox)/' modular.arg > broken_modular.arg
+  $ argus check broken_modular.arg
+  error [modular/unknown-module] [module Vehicle] away goal cites unknown module Gearbox (PG1, Gearbox)
+  1 error(s), 0 warning(s), 0 info
+  [1]
+
+Canonical formatting round-trips:
+
+  $ argus format modular.arg > formatted.arg
+  $ argus format formatted.arg > formatted2.arg
+  $ diff formatted.arg formatted2.arg
+
+Equivocation candidates over a Horn program:
+
+  $ argus equivocation desert_bank.pl
+  bank occupies multiple predicate roles; check it means one thing

@@ -1,0 +1,22 @@
+Checking a textual natural-deduction proof and probing its premises:
+
+  $ argus probe haley.nd
+  proof checks; it proves (c -> h) & (y -> v & c) & (d -> y) -> d -> h
+  
+  what-if exploration (retract each premise):
+    c -> h                         LOAD-BEARING; countermodel: y=true, v=true, c=true, d=true, h=false
+    y -> v & c                     LOAD-BEARING; countermodel: c=false, h=false, d=true, y=true
+    d -> y                         LOAD-BEARING; countermodel: c=false, h=false, y=false, v=true, d=true
+
+
+A broken proof is rejected with the offending step:
+
+  $ cat > bad.nd <<'EOF'
+  > 1. a -> b premise
+  > 2. b      premise
+  > 3. a      detach 1 2
+  > EOF
+  $ argus probe bad.nd
+  error [natded/rule-mismatch] step 3: Detach needs an implication and its antecedent, concluding the consequent
+  1 error(s), 0 warning(s), 0 info
+  [1]

@@ -1,0 +1,202 @@
+open Argus_dialectic
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+
+let set l = Id.Set.of_list (List.map Id.of_string l)
+
+(* --- Classic frameworks --- *)
+
+(* a <-> b mutual attack; c attacked by both. *)
+let mutual =
+  Af.of_lists ~arguments:[ "a"; "b"; "c" ]
+    ~attacks:[ ("a", "b"); ("b", "a"); ("a", "c"); ("b", "c") ]
+
+(* A chain a -> b -> c: a undefeated, b out, c reinstated. *)
+let chain =
+  Af.of_lists ~arguments:[ "a"; "b"; "c" ] ~attacks:[ ("a", "b"); ("b", "c") ]
+
+let test_grounded_chain () =
+  let g = Af.grounded chain in
+  Alcotest.(check bool) "a in" true (Id.Set.mem (Id.of_string "a") g);
+  Alcotest.(check bool) "b out" false (Id.Set.mem (Id.of_string "b") g);
+  Alcotest.(check bool) "c reinstated" true (Id.Set.mem (Id.of_string "c") g);
+  Alcotest.(check bool) "a accepted" true (Af.status chain (Id.of_string "a") = Af.Accepted);
+  Alcotest.(check bool) "b rejected" true (Af.status chain (Id.of_string "b") = Af.Rejected)
+
+let test_grounded_mutual_empty () =
+  (* Mutual attack: grounded extension is empty; everything undecided. *)
+  Alcotest.(check bool) "empty" true (Id.Set.is_empty (Af.grounded mutual));
+  Alcotest.(check bool) "a undecided" true
+    (Af.status mutual (Id.of_string "a") = Af.Undecided)
+
+let test_preferred_mutual () =
+  let prefs = Af.preferred mutual in
+  (* Two preferred extensions: {a} and {b} (c is attacked by both). *)
+  Alcotest.(check int) "two preferred" 2 (List.length prefs);
+  Alcotest.(check bool) "contains {a}" true
+    (List.exists (Id.Set.equal (set [ "a" ])) prefs);
+  Alcotest.(check bool) "contains {b}" true
+    (List.exists (Id.Set.equal (set [ "b" ])) prefs)
+
+let test_stable () =
+  let stables = Af.stable mutual in
+  Alcotest.(check int) "two stable" 2 (List.length stables);
+  (* Odd cycle has no stable extension. *)
+  let odd =
+    Af.of_lists ~arguments:[ "x"; "y"; "z" ]
+      ~attacks:[ ("x", "y"); ("y", "z"); ("z", "x") ]
+  in
+  Alcotest.(check int) "odd cycle: none" 0 (List.length (Af.stable odd))
+
+let test_self_attack () =
+  let self = Af.of_lists ~arguments:[ "a" ] ~attacks:[ ("a", "a") ] in
+  Alcotest.(check bool) "not in grounded" true
+    (Id.Set.is_empty (Af.grounded self));
+  Alcotest.(check bool) "undecided" true
+    (Af.status self (Id.of_string "a") = Af.Undecided)
+
+(* --- Properties --- *)
+
+let gen_af =
+  QCheck.Gen.(
+    let* n = int_range 1 7 in
+    let args = List.init n (fun i -> Printf.sprintf "a%d" i) in
+    let* attacks =
+      list_size (int_bound (n * 2))
+        (map2
+           (fun i j -> (Printf.sprintf "a%d" (i mod n), Printf.sprintf "a%d" (j mod n)))
+           (int_bound 20) (int_bound 20))
+    in
+    return (Af.of_lists ~arguments:args ~attacks))
+
+let arb_af = QCheck.make gen_af
+
+let grounded_is_admissible =
+  QCheck.Test.make ~name:"grounded extension is admissible" ~count:300 arb_af
+    (fun af -> Af.admissible af (Af.grounded af))
+
+let grounded_subset_of_all_preferred =
+  QCheck.Test.make ~name:"grounded is contained in every preferred" ~count:200
+    arb_af (fun af ->
+      let g = Af.grounded af in
+      List.for_all (fun p -> Id.Set.subset g p) (Af.preferred af))
+
+let stable_are_preferred =
+  QCheck.Test.make ~name:"every stable extension is preferred" ~count:200
+    arb_af (fun af ->
+      let prefs = Af.preferred af in
+      List.for_all
+        (fun s -> List.exists (Id.Set.equal s) prefs)
+        (Af.stable af))
+
+let preferred_nonempty =
+  QCheck.Test.make ~name:"at least one preferred extension" ~count:200 arb_af
+    (fun af -> Af.preferred af <> [])
+
+(* --- Dialogues --- *)
+
+(* The organ-transplant deliberation of the surveyed paper's domain. *)
+let transplant =
+  Dialogue.start ~id:"P" ~by:"transplant-unit"
+    "Transplant the donor organ into recipient R"
+  |> Dialogue.move ~id:"O1" ~by:"nephrologist"
+       ~kind:(Dialogue.Objection (Id.of_string "P"))
+       "Donor history suggests hepatitis risk"
+  |> Dialogue.move ~id:"R1" ~by:"virologist"
+       ~kind:(Dialogue.Rebuttal (Id.of_string "O1"))
+       "Serology rules out active infection"
+
+let test_dialogue_decision_flow () =
+  (* Proposal alone: accepted. *)
+  let p = Dialogue.start ~id:"P" ~by:"unit" "act" in
+  Alcotest.(check bool) "proceed" true (Dialogue.decision p = Dialogue.Proceed);
+  (* With an unanswered objection: rejected. *)
+  let objected =
+    Dialogue.move ~id:"O1" ~by:"other"
+      ~kind:(Dialogue.Objection (Id.of_string "P"))
+      "unsafe" p
+  in
+  Alcotest.(check bool) "do not proceed" true
+    (Dialogue.decision objected = Dialogue.Do_not_proceed);
+  (* Rebutted objection: reinstated (non-monotonic!). *)
+  Alcotest.(check bool) "reinstated" true
+    (Dialogue.decision transplant = Dialogue.Proceed)
+
+let test_dialogue_check_clean () =
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun d -> d.Diagnostic.code) (Dialogue.check transplant))
+
+let test_dialogue_check_errors () =
+  let bad =
+    Dialogue.start ~id:"P" ~by:"unit" "act"
+    |> Dialogue.move ~id:"O1" ~by:"x"
+         ~kind:(Dialogue.Objection (Id.of_string "Ghost"))
+         "targets nothing"
+    |> Dialogue.move ~id:"P" ~by:"unit" ~kind:Dialogue.Propose "again"
+  in
+  let codes = List.map (fun d -> d.Diagnostic.code) (Dialogue.check bad) in
+  Alcotest.(check bool) "dangling" true
+    (List.mem "dialogue/dangling-target" codes);
+  Alcotest.(check bool) "second proposal" true
+    (List.mem "dialogue/second-proposal" codes);
+  Alcotest.(check bool) "duplicate id" true
+    (List.mem "dialogue/duplicate-move" codes)
+
+let test_dialogue_self_attack_warned () =
+  let d =
+    Dialogue.start ~id:"P" ~by:"unit" "act"
+    |> Dialogue.move ~id:"O1" ~by:"unit"
+         ~kind:(Dialogue.Objection (Id.of_string "P"))
+         "second thoughts"
+  in
+  Alcotest.(check bool) "warned" true
+    (List.mem "dialogue/self-attack"
+       (List.map (fun d -> d.Diagnostic.code) (Dialogue.check d)))
+
+(* Non-monotonicity, as a property: appending an objection to the move
+   that currently carries the decision can only keep or flip it, and a
+   rebuttal of that objection restores it. *)
+let objection_then_rebuttal_restores =
+  QCheck.Test.make ~name:"objection flips, rebuttal restores" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun k ->
+      let d = Dialogue.start ~id:"P" ~by:"unit" (Printf.sprintf "act %d" k) in
+      let with_obj =
+        Dialogue.move ~id:"O" ~by:"critic"
+          ~kind:(Dialogue.Objection (Id.of_string "P"))
+          "unsafe" d
+      in
+      let with_rebut =
+        Dialogue.move ~id:"R" ~by:"expert"
+          ~kind:(Dialogue.Rebuttal (Id.of_string "O"))
+          "mitigated" with_obj
+      in
+      Dialogue.decision d = Dialogue.Proceed
+      && Dialogue.decision with_obj = Dialogue.Do_not_proceed
+      && Dialogue.decision with_rebut = Dialogue.Proceed)
+
+let () =
+  Alcotest.run "argus-dialectic"
+    [
+      ( "af",
+        [
+          Alcotest.test_case "grounded chain" `Quick test_grounded_chain;
+          Alcotest.test_case "grounded mutual" `Quick test_grounded_mutual_empty;
+          Alcotest.test_case "preferred" `Quick test_preferred_mutual;
+          Alcotest.test_case "stable" `Quick test_stable;
+          Alcotest.test_case "self attack" `Quick test_self_attack;
+          QCheck_alcotest.to_alcotest grounded_is_admissible;
+          QCheck_alcotest.to_alcotest grounded_subset_of_all_preferred;
+          QCheck_alcotest.to_alcotest stable_are_preferred;
+          QCheck_alcotest.to_alcotest preferred_nonempty;
+        ] );
+      ( "dialogue",
+        [
+          Alcotest.test_case "decision flow" `Quick test_dialogue_decision_flow;
+          Alcotest.test_case "clean check" `Quick test_dialogue_check_clean;
+          Alcotest.test_case "errors" `Quick test_dialogue_check_errors;
+          Alcotest.test_case "self attack warned" `Quick
+            test_dialogue_self_attack_warned;
+          QCheck_alcotest.to_alcotest objection_then_rebuttal_restores;
+        ] );
+    ]

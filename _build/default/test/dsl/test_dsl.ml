@@ -1,0 +1,350 @@
+open Argus_dsl.Dsl
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Evidence = Argus_core.Evidence
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+module Wellformed = Argus_gsn.Wellformed
+module Metadata = Argus_gsn.Metadata
+
+let sample_text =
+  {|
+// A small but complete case exercising every construct.
+case "Braking controller safety" {
+  enum severity { catastrophic hazardous major minor }
+  enum likelihood { frequent probable remote }
+  attr hazard (string, severity, likelihood)
+  attr sil (nat)
+
+  evidence E1 analysis "Worst-case timing analysis"
+    source "report T-42" strength statistical
+  evidence E2 test-results "HIL test campaign"
+
+  goal G1 "The controller is acceptably safe" {
+    formal "safe_ctrl"
+    in-context-of C1
+    supported-by S1
+  }
+  strategy S1 "Argue over each identified hazard" {
+    supported-by G2, G3
+    in-context-of J1
+  }
+  goal G2 "Hazard H1 is mitigated" {
+    meta "hazard \"H1\" catastrophic remote"
+    meta "sil 4"
+    supported-by Sn1
+  }
+  goal G3 "Hazard H2 is mitigated" { undeveloped }
+  solution Sn1 "Timing analysis results" { evidence E1 }
+  context C1 "Motorway driving only"
+  justification J1 "Hazard list reviewed by the safety board"
+}
+|}
+
+let sample = parse_exn sample_text
+
+let test_parse_sample () =
+  Alcotest.(check string) "title" "Braking controller safety" sample.title;
+  Alcotest.(check int) "nodes" 7 (Structure.size sample.structure);
+  Alcotest.(check int) "evidence" 2
+    (List.length (Structure.evidence sample.structure));
+  Alcotest.(check int) "enums" 2
+    (List.length sample.ontology.Metadata.enums);
+  Alcotest.(check int) "attrs" 2
+    (List.length sample.ontology.Metadata.attributes);
+  let g1 = Structure.find_exn (Id.of_string "G1") sample.structure in
+  Alcotest.(check bool) "formal parsed" true (g1.Node.formal <> None);
+  let g2 = Structure.find_exn (Id.of_string "G2") sample.structure in
+  Alcotest.(check int) "two annotations" 2 (List.length g2.Node.annotations);
+  Alcotest.(check (list string))
+    "S1 children" [ "G2"; "G3" ]
+    (List.map Id.to_string
+       (Structure.children Structure.Supported_by (Id.of_string "S1")
+          sample.structure))
+
+let test_sample_well_formed () =
+  Alcotest.(check (list string)) "well-formed" []
+    (List.map
+       (fun d -> d.Diagnostic.code)
+       (Wellformed.check sample.structure))
+
+let test_metadata_valid () =
+  Alcotest.(check (list string)) "metadata valid" []
+    (List.map (fun d -> d.Diagnostic.code) (validate_metadata sample))
+
+let test_roundtrip () =
+  let printed = print sample in
+  let reparsed = parse_exn printed in
+  Alcotest.(check string) "title" sample.title reparsed.title;
+  Alcotest.(check bool) "structure equal" true
+    (Structure.equal sample.structure reparsed.structure);
+  Alcotest.(check bool) "ontology equal" true
+    (sample.ontology = reparsed.ontology)
+
+let test_away_goal_syntax () =
+  let c =
+    parse_exn
+      {|case "modular" {
+          away-goal(PowertrainModule) AG1 "Powertrain is safe" { undeveloped }
+          module(PowertrainModule) M1 "Powertrain safety case"
+          contract(PowertrainModule) K1 "Interface contract"
+        }|}
+  in
+  let ag = Structure.find_exn (Id.of_string "AG1") c.structure in
+  (match ag.Node.node_type with
+  | Node.Away_goal m ->
+      Alcotest.(check string) "module ref" "PowertrainModule" (Id.to_string m)
+  | _ -> Alcotest.fail "expected away goal");
+  let printed = print c in
+  let reparsed = parse_exn printed in
+  Alcotest.(check bool) "round-trip" true
+    (Structure.equal c.structure reparsed.structure)
+
+let expect_error code text =
+  match parse text with
+  | Ok _ -> Alcotest.failf "expected %s for %s" code text
+  | Error ds ->
+      let cs = List.map (fun d -> d.Diagnostic.code) ds in
+      if not (List.mem code cs) then
+        Alcotest.failf "expected %s, got [%s]" code (String.concat "; " cs)
+
+let test_syntax_errors () =
+  List.iter (expect_error "dsl/syntax")
+    [
+      "";
+      "case {}";
+      {|case "x"|};
+      {|case "x" { goal }|};
+      {|case "x" { goal G1 }|};
+      {|case "x" { goal G1 "t" { supported-by } }|};
+      {|case "x" { widget W1 "t" }|};
+      {|case "x" { goal G1 "t" } trailing|};
+      {|case "x" { attr a (bogus) }|};
+    ]
+
+let test_semantic_errors () =
+  expect_error "dsl/duplicate-id"
+    {|case "x" { goal G1 "a is safe" { undeveloped } goal G1 "b is safe" { undeveloped } }|};
+  expect_error "dsl/bad-formula"
+    {|case "x" { goal G1 "t is safe" { undeveloped formal "a &" } }|};
+  expect_error "dsl/bad-annotation"
+    {|case "x" { goal G1 "t is safe" { undeveloped meta "" } }|};
+  expect_error "dsl/bad-evidence-kind"
+    {|case "x" { evidence E1 vibes "description" }|};
+  expect_error "dsl/bad-strength"
+    {|case "x" { evidence E1 analysis "d" strength maybe }|};
+  expect_error "dsl/duplicate-enum"
+    {|case "x" { enum a { b } enum a { c } }|}
+
+let test_error_location () =
+  match parse ~filename:"case.arg" "case \"x\" {\n  bogus\n}" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error [ d ] -> (
+      match d.Diagnostic.loc with
+      | Some loc ->
+          Alcotest.(check int) "line 2" 2 loc.Argus_core.Loc.start.Argus_core.Loc.line
+      | None -> Alcotest.fail "expected a location")
+  | Error _ -> Alcotest.fail "expected exactly one diagnostic"
+
+let test_comments_and_multiline_strings () =
+  let c =
+    parse_exn
+      "case \"x\" { // comment\n goal G1 \"spans\nlines and is safe\" { undeveloped } }"
+  in
+  let g = Structure.find_exn (Id.of_string "G1") c.structure in
+  Alcotest.(check bool) "newline preserved" true
+    (String.contains g.Node.text '\n')
+
+(* --- Multi-module collections --- *)
+
+let modular_text =
+  {|
+case Powertrain "Powertrain safety" {
+  evidence PE1 analysis "Torque path analysis"
+  goal PG1 "The powertrain is acceptably safe" { supported-by PSn1 }
+  solution PSn1 "Analysis results" { evidence PE1 }
+}
+
+case Vehicle "Vehicle safety" {
+  evidence VE1 review "Integration review"
+  goal VG1 "The vehicle is acceptably safe" { supported-by S1 }
+  strategy S1 "Argue over subsystems" { supported-by PG1, VG2 }
+  away-goal(Powertrain) PG1 "The powertrain is acceptably safe"
+  goal VG2 "The body is acceptably safe" { supported-by VSn1 }
+  solution VSn1 "Review results" { evidence VE1 }
+}
+|}
+
+let test_parse_collection () =
+  match parse_collection ~filename:"modular.arg" modular_text with
+  | Error ds -> Alcotest.failf "%s" (Format.asprintf "%a" Diagnostic.pp_report ds)
+  | Ok cases ->
+      Alcotest.(check int) "two cases" 2 (List.length cases);
+      let names =
+        List.filter_map
+          (fun c -> Option.map Id.to_string c.module_name)
+          cases
+      in
+      Alcotest.(check (list string)) "module names" [ "Powertrain"; "Vehicle" ]
+        names
+
+let test_collection_to_modular () =
+  let cases = Result.get_ok (parse_collection modular_text) in
+  match to_modular cases with
+  | Error ds -> Alcotest.failf "%s" (Format.asprintf "%a" Diagnostic.pp_report ds)
+  | Ok collection ->
+      Alcotest.(check (list string))
+        "modules" [ "Powertrain"; "Vehicle" ]
+        (List.map Id.to_string (Argus_gsn.Modular.module_names collection));
+      Alcotest.(check (list string)) "clean" []
+        (List.map
+           (fun d -> d.Diagnostic.code)
+           (Argus_gsn.Modular.check collection))
+
+let test_collection_detects_bad_away_goal () =
+  let broken =
+    {|case A "a" {
+        goal GA "A is acceptably safe" { supported-by GX }
+        away-goal(Missing) GX "cited from nowhere"
+      }|}
+  in
+  let cases = Result.get_ok (parse_collection broken) in
+  (* A single anonymous... this one is named?  No name: single case ->
+     module Main. *)
+  let collection = Result.get_ok (to_modular cases) in
+  Alcotest.(check bool) "unknown module reported" true
+    (List.mem "modular/unknown-module"
+       (List.map
+          (fun d -> d.Diagnostic.code)
+          (Argus_gsn.Modular.check collection)))
+
+let test_unnamed_module_rejected () =
+  let cases =
+    Result.get_ok
+      (parse_collection
+         {|case "first" { goal G1 "g is safe" { undeveloped } }
+           case Second "second" { goal G2 "h is safe" { undeveloped } }|})
+  in
+  match to_modular cases with
+  | Error ds ->
+      Alcotest.(check bool) "unnamed flagged" true
+        (List.exists (fun d -> d.Diagnostic.code = "dsl/unnamed-module") ds)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_duplicate_module_rejected () =
+  let cases =
+    Result.get_ok
+      (parse_collection
+         {|case M "first" { goal G1 "g is safe" { undeveloped } }
+           case M "second" { goal G2 "h is safe" { undeveloped } }|})
+  in
+  match to_modular cases with
+  | Error ds ->
+      Alcotest.(check bool) "duplicate flagged" true
+        (List.exists (fun d -> d.Diagnostic.code = "dsl/duplicate-module") ds)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_module_name_roundtrip () =
+  let cases = Result.get_ok (parse_collection modular_text) in
+  let first = List.hd cases in
+  let printed = print first in
+  let reparsed = parse_exn printed in
+  Alcotest.(check bool) "module name preserved" true
+    (reparsed.module_name = first.module_name);
+  Alcotest.(check bool) "structure preserved" true
+    (Structure.equal reparsed.structure first.structure)
+
+(* --- Round-trip property over generated cases --- *)
+
+let gen_case =
+  let open QCheck.Gen in
+  let* n_goals = int_range 1 6 in
+  let* with_formal = list_size (return n_goals) bool in
+  let* statuses =
+    list_size (return n_goals)
+      (oneofl [ Node.Developed; Node.Undeveloped; Node.Uninstantiated ])
+  in
+  let goals =
+    List.mapi
+      (fun i (formal, status) ->
+        let id = Printf.sprintf "G%d" i in
+        let base =
+          Node.make ~id:(Id.of_string id) ~node_type:Node.Goal ~status
+            ?formal:
+              (if formal then Some (Argus_logic.Prop.of_string_exn "a -> b")
+               else None)
+            (Printf.sprintf "Claim %d is acceptably safe" i)
+        in
+        base)
+      (List.combine with_formal statuses)
+  in
+  (* Chain them: G0 <- G1 <- ... so the structure is connected. *)
+  let links =
+    List.init (n_goals - 1) (fun i ->
+        (Structure.Supported_by,
+         Printf.sprintf "G%d" i,
+         Printf.sprintf "G%d" (i + 1)))
+  in
+  let structure =
+    Structure.of_nodes
+      ~links:
+        (List.map
+           (fun (k, a, b) -> (k, a, b))
+           links)
+      goals
+  in
+  return
+    {
+      module_name = None;
+      title = "generated";
+      ontology = Metadata.ontology [];
+      structure;
+    }
+
+let roundtrip_property =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:200
+    (QCheck.make ~print:print gen_case) (fun c ->
+      match parse (print c) with
+      | Ok c' ->
+          c.title = c'.title
+          && Structure.equal c.structure c'.structure
+          && c.ontology = c'.ontology
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "argus-dsl"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "sample case" `Quick test_parse_sample;
+          Alcotest.test_case "sample well-formed" `Quick test_sample_well_formed;
+          Alcotest.test_case "metadata valid" `Quick test_metadata_valid;
+          Alcotest.test_case "away goals and modules" `Quick
+            test_away_goal_syntax;
+          Alcotest.test_case "comments and multiline strings" `Quick
+            test_comments_and_multiline_strings;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+          Alcotest.test_case "semantic errors" `Quick test_semantic_errors;
+          Alcotest.test_case "error location" `Quick test_error_location;
+        ] );
+      ( "modular",
+        [
+          Alcotest.test_case "parse collection" `Quick test_parse_collection;
+          Alcotest.test_case "to modular" `Quick test_collection_to_modular;
+          Alcotest.test_case "bad away goal" `Quick
+            test_collection_detects_bad_away_goal;
+          Alcotest.test_case "unnamed module" `Quick test_unnamed_module_rejected;
+          Alcotest.test_case "duplicate module" `Quick
+            test_duplicate_module_rejected;
+          Alcotest.test_case "module name round-trip" `Quick
+            test_module_name_roundtrip;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "sample round-trip" `Quick test_roundtrip;
+          QCheck_alcotest.to_alcotest roundtrip_property;
+        ] );
+    ]

@@ -1,0 +1,187 @@
+open Argus_eventcalc
+module Term = Argus_logic.Term
+
+let t s = Result.get_ok (Term.of_string s)
+
+(* The surveyed paper's example, concretised: a user taps a subject's
+   icon; if they are friends (or on the same platform), a location query
+   happens and the subject's location becomes visible to the user. *)
+let tap = t "tap(alice, bob)"
+let friends = t "friends(alice, bob)"
+let location_visible = t "location_visible(alice, bob)"
+let unfriend = t "unfriend(alice, bob)"
+let befriended = t "befriend(alice, bob)"
+
+let axioms =
+  [
+    {
+      Eventcalc.event = tap;
+      conditions = [ friends ];
+      initiates = [ location_visible ];
+      terminates = [];
+    };
+    {
+      Eventcalc.event = unfriend;
+      conditions = [];
+      initiates = [];
+      terminates = [ friends; location_visible ];
+    };
+    {
+      Eventcalc.event = befriended;
+      conditions = [];
+      initiates = [ friends ];
+      terminates = [];
+    };
+  ]
+
+let friendly_run =
+  Eventcalc.make ~initially:[ friends ] ~axioms [ (1, tap); (4, unfriend) ]
+
+let stranger_run = Eventcalc.make ~initially:[] ~axioms [ (1, tap) ]
+
+let test_inertia () =
+  Alcotest.(check bool) "initial fluent persists" true
+    (Eventcalc.holds_at friendly_run 1 friends);
+  Alcotest.(check bool) "not visible before tap effect" false
+    (Eventcalc.holds_at friendly_run 1 location_visible);
+  Alcotest.(check bool) "visible after tap" true
+    (Eventcalc.holds_at friendly_run 2 location_visible);
+  Alcotest.(check bool) "still visible (inertia)" true
+    (Eventcalc.holds_at friendly_run 4 location_visible);
+  Alcotest.(check bool) "terminated by unfriend" false
+    (Eventcalc.holds_at friendly_run 5 location_visible);
+  Alcotest.(check bool) "friendship terminated too" false
+    (Eventcalc.holds_at friendly_run 5 friends)
+
+let test_conditions_gate_effects () =
+  (* A stranger's tap initiates nothing: the condition fails. *)
+  Alcotest.(check bool) "no disclosure to stranger" false
+    (Eventcalc.holds_at stranger_run 2 location_visible)
+
+let test_happens_at () =
+  Alcotest.(check int) "one event at t=1" 1
+    (List.length (Eventcalc.happens_at friendly_run 1));
+  Alcotest.(check int) "nothing at t=0" 0
+    (List.length (Eventcalc.happens_at friendly_run 0))
+
+let test_horizon () =
+  Alcotest.(check int) "horizon" 5 (Eventcalc.horizon friendly_run)
+
+let test_availability () =
+  (* Information availability: after every tap (by a friend), the
+     location is visible within one step. *)
+  Alcotest.(check bool) "available for friends" true
+    (Eventcalc.availability friendly_run ~after:tap location_visible);
+  Alcotest.(check bool) "not available for strangers" false
+    (Eventcalc.availability stranger_run ~after:tap location_visible)
+
+let test_denial () =
+  (* Denial: whenever the pair are not friends, the location is not
+     visible. *)
+  Alcotest.(check bool) "denial holds on the friendly run" true
+    (Eventcalc.denial friendly_run ~when_not:friends location_visible);
+  Alcotest.(check bool) "denial holds on the stranger run" true
+    (Eventcalc.denial stranger_run ~when_not:friends location_visible);
+  (* A policy-violating system: tap initiates visibility
+     unconditionally. *)
+  let leaky_axioms =
+    [
+      {
+        Eventcalc.event = tap;
+        conditions = [];
+        initiates = [ location_visible ];
+        terminates = [];
+      };
+    ]
+  in
+  let leaky = Eventcalc.make ~initially:[] ~axioms:leaky_axioms [ (1, tap) ] in
+  Alcotest.(check bool) "denial violated by the leaky system" false
+    (Eventcalc.denial leaky ~when_not:friends location_visible)
+
+let test_explanation () =
+  (* Explanation: why is the location visible at t=3? *)
+  (match Eventcalc.explanation friendly_run 3 location_visible with
+  | [ (1, e) ] ->
+      Alcotest.(check bool) "the tap explains it" true (Term.equal e tap)
+  | _ -> Alcotest.fail "expected the single tap occurrence");
+  Alcotest.(check int) "nothing to explain when it does not hold" 0
+    (List.length (Eventcalc.explanation friendly_run 0 location_visible))
+
+let test_initially_unexplained () =
+  Alcotest.(check int) "initial fluent has no event explanation" 0
+    (List.length (Eventcalc.explanation friendly_run 1 friends))
+
+(* --- Properties --- *)
+
+(* Inertia: with no terminating axioms, fluents only accumulate. *)
+let monotone_accumulation =
+  QCheck.Test.make ~name:"without termination, fluents accumulate" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 6) (QCheck.int_bound 5))
+    (fun times ->
+      let ax =
+        [
+          {
+            Eventcalc.event = t "ping";
+            conditions = [];
+            initiates = [ t "seen" ];
+            terminates = [];
+          };
+        ]
+      in
+      let sys =
+        Eventcalc.make ~axioms:ax (List.map (fun tm -> (tm, t "ping")) times)
+      in
+      let h = Eventcalc.horizon sys in
+      let rec monotone time held =
+        time > h + 1
+        ||
+        let now = Eventcalc.holds_at sys time (t "seen") in
+        ((not held) || now) && monotone (time + 1) now
+      in
+      monotone 0 false)
+
+(* Determinism: same narrative, same states. *)
+let deterministic =
+  QCheck.Test.make ~name:"state computation is deterministic" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 5) (QCheck.int_bound 6))
+    (fun times ->
+      let narrative = List.map (fun tm -> (tm, t "ping")) times in
+      let ax =
+        [
+          {
+            Eventcalc.event = t "ping";
+            conditions = [];
+            initiates = [ t "on" ];
+            terminates = [ t "off" ];
+          };
+        ]
+      in
+      let s1 = Eventcalc.make ~initially:[ t "off" ] ~axioms:ax narrative in
+      let s2 = Eventcalc.make ~initially:[ t "off" ] ~axioms:ax narrative in
+      List.for_all
+        (fun time ->
+          Eventcalc.state_at s1 time = Eventcalc.state_at s2 time)
+        (List.init (Eventcalc.horizon s1 + 1) Fun.id))
+
+let () =
+  Alcotest.run "argus-eventcalc"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "inertia" `Quick test_inertia;
+          Alcotest.test_case "conditions gate effects" `Quick
+            test_conditions_gate_effects;
+          Alcotest.test_case "happens_at" `Quick test_happens_at;
+          Alcotest.test_case "horizon" `Quick test_horizon;
+          QCheck_alcotest.to_alcotest monotone_accumulation;
+          QCheck_alcotest.to_alcotest deterministic;
+        ] );
+      ( "privacy-properties",
+        [
+          Alcotest.test_case "availability" `Quick test_availability;
+          Alcotest.test_case "denial" `Quick test_denial;
+          Alcotest.test_case "explanation" `Quick test_explanation;
+          Alcotest.test_case "initially unexplained" `Quick
+            test_initially_unexplained;
+        ] );
+    ]

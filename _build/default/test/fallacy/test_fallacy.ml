@@ -1,0 +1,343 @@
+open Argus_fallacy
+module Prop = Argus_logic.Prop
+module Syllogism = Argus_logic.Syllogism
+module Engine = Argus_prolog.Engine
+module Term = Argus_logic.Term
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+module Diagnostic = Argus_core.Diagnostic
+
+let p = Prop.of_string_exn
+
+(* --- Formal fallacies 1-5 (propositional) --- *)
+
+let test_begging_the_question () =
+  let arg = { Formal.premises = [ p "c"; p "a" ]; conclusion = p "c" } in
+  Alcotest.(check bool) "flagged" true
+    (List.mem Formal.Begging_the_question (Formal.check_propositional arg));
+  (* Equivalent-but-not-equal premise also counts. *)
+  let arg2 = { Formal.premises = [ p "~~c" ]; conclusion = p "c" } in
+  Alcotest.(check bool) "up to equivalence" true
+    (List.mem Formal.Begging_the_question (Formal.check_propositional arg2))
+
+let test_incompatible_premises () =
+  let arg =
+    { Formal.premises = [ p "a"; p "~a" ]; conclusion = p "q" }
+  in
+  Alcotest.(check bool) "flagged" true
+    (List.mem Formal.Incompatible_premises (Formal.check_propositional arg))
+
+let test_premise_conclusion_contradiction () =
+  let arg = { Formal.premises = [ p "a" ]; conclusion = p "~a" } in
+  Alcotest.(check bool) "flagged" true
+    (List.mem Formal.Premise_conclusion_contradiction
+       (Formal.check_propositional arg))
+
+let test_denying_antecedent () =
+  let arg =
+    { Formal.premises = [ p "a -> b"; p "~a" ]; conclusion = p "~b" }
+  in
+  Alcotest.(check bool) "flagged" true
+    (List.mem Formal.Denying_the_antecedent (Formal.check_propositional arg))
+
+let test_affirming_consequent () =
+  let arg = { Formal.premises = [ p "a -> b"; p "b" ]; conclusion = p "a" } in
+  Alcotest.(check bool) "flagged" true
+    (List.mem Formal.Affirming_the_consequent (Formal.check_propositional arg))
+
+let test_valid_conditional_not_flagged () =
+  (* With the converse also present the inference is valid, so no
+     conditional-shape fallacy should be reported. *)
+  let arg =
+    {
+      Formal.premises = [ p "a -> b"; p "b -> a"; p "b" ];
+      conclusion = p "a";
+    }
+  in
+  Alcotest.(check (list string)) "clean" []
+    (List.map Formal.finding_to_string (Formal.check_propositional arg))
+
+let test_modus_ponens_clean () =
+  let arg = { Formal.premises = [ p "a -> b"; p "a" ]; conclusion = p "b" } in
+  Alcotest.(check (list string)) "clean" []
+    (List.map Formal.finding_to_string (Formal.check_propositional arg));
+  Alcotest.(check bool) "valid" true (Formal.is_valid_propositional arg)
+
+(* --- Formal fallacies 6-8 (categorical) --- *)
+
+let test_false_conversion () =
+  let from = Syllogism.prop Syllogism.A "banks" "riverside_things" in
+  let conv = { Formal.from; to_ = Syllogism.converse from } in
+  Alcotest.(check bool) "A-conversion flagged" true
+    (List.mem Formal.False_conversion (Formal.check_conversion conv));
+  let from_e = Syllogism.prop Syllogism.E "fish" "mammals" in
+  let conv_e = { Formal.from = from_e; to_ = Syllogism.converse from_e } in
+  Alcotest.(check (list string)) "E-conversion clean" []
+    (List.map Formal.finding_to_string (Formal.check_conversion conv_e))
+
+let test_syllogistic_findings () =
+  let undistributed =
+    Syllogism.
+      {
+        major = prop A "dogs" "animals";
+        minor = prop A "cats" "animals";
+        conclusion = prop A "cats" "dogs";
+      }
+  in
+  Alcotest.(check bool) "undistributed middle" true
+    (List.mem Formal.Undistributed_middle (Formal.check_syllogism undistributed));
+  let illicit =
+    Syllogism.
+      {
+        major = prop A "m" "p";
+        minor = prop E "s" "m";
+        conclusion = prop E "s" "p";
+      }
+  in
+  Alcotest.(check bool) "illicit distribution" true
+    (List.mem Formal.Illicit_distribution (Formal.check_syllogism illicit));
+  let barbara =
+    Syllogism.
+      {
+        major = prop A "men" "mortal";
+        minor = prop A "socrates" "men";
+        conclusion = prop A "socrates" "mortal";
+      }
+  in
+  Alcotest.(check (list string)) "Barbara clean" []
+    (List.map Formal.finding_to_string (Formal.check_syllogism barbara))
+
+(* --- Greenwell corpus: the Section V.B reproduction --- *)
+
+let test_corpus_counts_match_paper () =
+  List.iter
+    (fun (kind, reported) ->
+      let computed = List.assoc kind Greenwell.corpus_counts in
+      if computed <> reported then
+        Alcotest.failf "%s: corpus has %d, paper reports %d"
+          (Greenwell.kind_to_string kind)
+          computed reported)
+    Greenwell.reported_counts;
+  Alcotest.(check int) "45 total" 45 (List.length Greenwell.corpus)
+
+let test_no_kind_is_strictly_formal () =
+  List.iter
+    (fun k ->
+      if Greenwell.is_strictly_formal k then
+        Alcotest.failf "%s claimed formal" (Greenwell.kind_to_string k))
+    Greenwell.all_kinds
+
+let test_formal_checker_blind_to_corpus () =
+  (* The paper's claim, executably: every Greenwell-style instance
+     passes formal validation. *)
+  List.iter
+    (fun (i : Greenwell.instance) ->
+      (match Formal.check_propositional i.Greenwell.argument with
+      | [] -> ()
+      | fs ->
+          Alcotest.failf "formal checker flagged %s (%s): %s"
+            i.Greenwell.system
+            (Greenwell.kind_to_string i.Greenwell.kind)
+            (String.concat ", " (List.map Formal.finding_to_string fs)));
+      if not (Formal.is_valid_propositional i.Greenwell.argument) then
+        Alcotest.failf "corpus argument for %s is not deductively valid"
+          i.Greenwell.system)
+    Greenwell.corpus
+
+let test_machine_help_nonempty () =
+  List.iter
+    (fun k ->
+      if String.length (Greenwell.machine_help k) < 20 then
+        Alcotest.failf "missing analysis for %s" (Greenwell.kind_to_string k))
+    Greenwell.all_kinds
+
+(* --- Figure 1: equivocation --- *)
+
+let test_desert_bank_proves_but_lint_flags () =
+  let goal = Result.get_ok (Term.of_string "adjacent(desert_bank, river)") in
+  Alcotest.(check bool) "formally derivable" true
+    (Engine.provable Informal.desert_bank goal);
+  Alcotest.(check (list string))
+    "equivocation candidate is exactly 'bank'" [ "bank" ]
+    (Informal.equivocation_candidates Informal.desert_bank)
+
+let test_equivocation_requires_two_roles () =
+  let clean =
+    Argus_prolog.Program.of_string_exn
+      "parent(tom, bob). parent(bob, ann). male(tom)."
+  in
+  (* tom occurs in parent/2 arg 0 and male/1 arg 0: two roles -> it IS a
+     candidate under the heuristic; use genuinely single-role constants. *)
+  let single =
+    Argus_prolog.Program.of_string_exn "edge(a, b). edge(b, c)."
+  in
+  Alcotest.(check (list string)) "b bridges two positions" [ "b" ]
+    (Informal.equivocation_candidates single);
+  Alcotest.(check bool) "tom flagged (two predicates)" true
+    (List.mem "tom" (Informal.equivocation_candidates clean))
+
+(* --- Structure lints --- *)
+
+let test_circular_support () =
+  let s =
+    Structure.of_nodes
+      ~links:
+        [
+          (Structure.Supported_by, "G1", "G2");
+          (Structure.Supported_by, "G2", "G3");
+        ]
+      [
+        Node.goal "G1" "The pump is acceptably safe";
+        Node.goal "G2" "Dosing errors are prevented";
+        { (Node.goal "G3" "The pump is acceptably safe") with
+          Node.status = Node.Undeveloped };
+      ]
+  in
+  let cs = List.map (fun d -> d.Diagnostic.code) (Informal.check_structure s) in
+  Alcotest.(check bool) "flagged" true
+    (List.mem "informal/circular-support" cs)
+
+let test_argument_from_ignorance () =
+  let s =
+    Structure.of_nodes
+      [
+        {
+          (Node.goal "G1"
+             "There is no evidence that the failure mode can occur")
+          with
+          Node.status = Node.Undeveloped;
+        };
+      ]
+  in
+  let cs = List.map (fun d -> d.Diagnostic.code) (Informal.check_structure s) in
+  Alcotest.(check bool) "flagged" true
+    (List.mem "informal/argument-from-ignorance" cs)
+
+let test_equivocation_candidate_in_structure () =
+  let s =
+    Structure.of_nodes
+      ~links:
+        [
+          (Structure.Supported_by, "G1", "G2");
+          (Structure.Supported_by, "G1", "G3");
+        ]
+      [
+        Node.goal "G1" "The site is acceptably safe";
+        {
+          (Node.goal "G2" "The bank holds customer deposits securely overnight")
+          with
+          Node.status = Node.Undeveloped;
+        };
+        {
+          (Node.goal "G3" "The bank slopes gently toward the river shoreline")
+          with
+          Node.status = Node.Undeveloped;
+        };
+      ]
+  in
+  let cs = List.map (fun d -> d.Diagnostic.code) (Informal.check_structure s) in
+  Alcotest.(check bool) "flagged" true
+    (List.mem "informal/equivocation-candidate" cs)
+
+let test_clean_structure_no_lints () =
+  let s =
+    Structure.of_nodes
+      ~links:[ (Structure.Supported_by, "G1", "G2") ]
+      [
+        Node.goal "G1" "The controller is acceptably safe";
+        {
+          (Node.goal "G2" "Hazard H1 is mitigated by interlock I3")
+          with
+          Node.status = Node.Undeveloped;
+        };
+      ]
+  in
+  Alcotest.(check (list string)) "clean" []
+    (List.map (fun d -> d.Diagnostic.code) (Informal.check_structure s))
+
+(* --- Properties --- *)
+
+(* Valid modus-ponens-style chains are never flagged by the formal
+   detector. *)
+let valid_chains_clean =
+  QCheck.Test.make ~name:"valid implication chains are clean" ~count:100
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let atom i = Prop.Var (Printf.sprintf "x%d" i) in
+      let rules =
+        List.init n (fun i -> Prop.Implies (atom i, atom (i + 1)))
+      in
+      let arg =
+        { Formal.premises = atom 0 :: rules; conclusion = atom n }
+      in
+      Formal.check_propositional arg = []
+      && Formal.is_valid_propositional arg)
+
+(* Syllogistic detector agrees with validity: a valid syllogism never
+   yields distribution findings. *)
+let valid_syllogisms_clean =
+  QCheck.Test.make ~name:"valid syllogisms yield no findings" ~count:1
+    QCheck.unit
+    (fun () ->
+      List.for_all
+        (fun s ->
+          if Syllogism.is_valid s then Formal.check_syllogism s = []
+          else true)
+        (Syllogism.all_moods_figures ()))
+
+let () =
+  Alcotest.run "argus-fallacy"
+    [
+      ( "formal-propositional",
+        [
+          Alcotest.test_case "begging the question" `Quick
+            test_begging_the_question;
+          Alcotest.test_case "incompatible premises" `Quick
+            test_incompatible_premises;
+          Alcotest.test_case "premise/conclusion contradiction" `Quick
+            test_premise_conclusion_contradiction;
+          Alcotest.test_case "denying the antecedent" `Quick
+            test_denying_antecedent;
+          Alcotest.test_case "affirming the consequent" `Quick
+            test_affirming_consequent;
+          Alcotest.test_case "valid conditional not flagged" `Quick
+            test_valid_conditional_not_flagged;
+          Alcotest.test_case "modus ponens clean" `Quick test_modus_ponens_clean;
+          QCheck_alcotest.to_alcotest valid_chains_clean;
+        ] );
+      ( "formal-categorical",
+        [
+          Alcotest.test_case "false conversion" `Quick test_false_conversion;
+          Alcotest.test_case "syllogistic findings" `Quick
+            test_syllogistic_findings;
+          QCheck_alcotest.to_alcotest valid_syllogisms_clean;
+        ] );
+      ( "greenwell",
+        [
+          Alcotest.test_case "counts match the paper" `Quick
+            test_corpus_counts_match_paper;
+          Alcotest.test_case "no kind is strictly formal" `Quick
+            test_no_kind_is_strictly_formal;
+          Alcotest.test_case "formal checker is blind to all 45" `Quick
+            test_formal_checker_blind_to_corpus;
+          Alcotest.test_case "analysis text present" `Quick
+            test_machine_help_nonempty;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "derivable yet equivocal" `Quick
+            test_desert_bank_proves_but_lint_flags;
+          Alcotest.test_case "role-based candidates" `Quick
+            test_equivocation_requires_two_roles;
+        ] );
+      ( "structure-lints",
+        [
+          Alcotest.test_case "circular support" `Quick test_circular_support;
+          Alcotest.test_case "argument from ignorance" `Quick
+            test_argument_from_ignorance;
+          Alcotest.test_case "equivocation candidate" `Quick
+            test_equivocation_candidate_in_structure;
+          Alcotest.test_case "clean structure" `Quick
+            test_clean_structure_no_lints;
+        ] );
+    ]

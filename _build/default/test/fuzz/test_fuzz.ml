@@ -1,0 +1,157 @@
+(* Robustness: every parser returns a result (never raises) on arbitrary
+   input, and every checker is total on arbitrary structures — the
+   failure-injection half of the test plan.  Inputs here are adversarial
+   by construction: random printable garbage, half-mutated valid
+   documents, and randomly-wired graphs with every node type. *)
+
+module Id = Argus_core.Id
+module Structure = Argus_gsn.Structure
+module Node = Argus_gsn.Node
+module Wellformed = Argus_gsn.Wellformed
+module Diagnostic = Argus_core.Diagnostic
+
+let printable_char = QCheck.Gen.(map Char.chr (int_range 32 126))
+
+let garbage = QCheck.Gen.(string_size ~gen:printable_char (int_bound 200))
+
+(* Mutate a valid document: splice garbage into the middle. *)
+let mutated base =
+  QCheck.Gen.(
+    let* splice = string_size ~gen:printable_char (int_bound 20) in
+    let* pos = int_bound (max 1 (String.length base - 1)) in
+    return
+      (String.sub base 0 pos ^ splice
+      ^ String.sub base pos (String.length base - pos)))
+
+let valid_case =
+  {|case "x" {
+     evidence E1 analysis "a"
+     goal G1 "g is safe" { supported-by Sn1 }
+     solution Sn1 "s" { evidence E1 }
+   }|}
+
+let total name f gen =
+  QCheck.Test.make ~name ~count:500 (QCheck.make gen) (fun input ->
+      match f input with _ -> true | exception _ -> false)
+
+let parser_totality =
+  [
+    total "Prop.of_string is total" Argus_logic.Prop.of_string garbage;
+    total "Term.of_string is total" Argus_logic.Term.of_string garbage;
+    total "Ltl.of_string is total" Argus_ltl.Ltl.of_string garbage;
+    total "Program.of_string is total" Argus_prolog.Program.of_string garbage;
+    total "Toulmin.of_string is total" Argus_toulmin.Toulmin.of_string garbage;
+    total "Dsl.parse is total on garbage" Argus_dsl.Dsl.parse garbage;
+    total "Dsl.parse is total on mutated cases" Argus_dsl.Dsl.parse
+      (mutated valid_case);
+    total "Dsl.parse_collection is total" Argus_dsl.Dsl.parse_collection
+      (mutated (valid_case ^ "\n" ^ valid_case));
+    total "Query.of_string is total" Argus_gsn.Query.of_string garbage;
+    total "Metadata.annotation_of_string is total"
+      Argus_gsn.Metadata.annotation_of_string garbage;
+    total "Proof_text.parse is total" Argus_logic.Proof_text.parse garbage;
+  ]
+
+(* Random structures wired arbitrarily: any node type, any link,
+   dangling endpoints, self-loops, cycles. *)
+let gen_chaotic_structure =
+  let open QCheck.Gen in
+  let* n_nodes = int_range 0 12 in
+  let* n_links = int_range 0 25 in
+  let node_type i =
+    match i mod 9 with
+    | 0 -> Node.Goal
+    | 1 -> Node.Strategy
+    | 2 -> Node.Solution
+    | 3 -> Node.Context
+    | 4 -> Node.Assumption
+    | 5 -> Node.Justification
+    | 6 -> Node.Away_goal (Id.of_string "M")
+    | 7 -> Node.Module_ref (Id.of_string "M")
+    | _ -> Node.Contract (Id.of_string "M")
+  in
+  let* type_seeds = list_size (return n_nodes) (int_bound 8) in
+  let* statuses =
+    list_size (return n_nodes)
+      (oneofl
+         [
+           Node.Developed; Node.Undeveloped; Node.Uninstantiated;
+           Node.Undeveloped_uninstantiated;
+         ])
+  in
+  let nodes =
+    List.mapi
+      (fun i (seed, status) ->
+        Node.make
+          ~id:(Id.of_string (Printf.sprintf "n%d" i))
+          ~node_type:(node_type seed) ~status
+          (if i mod 3 = 0 then "" else Printf.sprintf "node %d text {x}" i))
+      (List.combine type_seeds statuses)
+  in
+  let* link_pairs =
+    list_size (return n_links)
+      (triple (int_bound (max 1 n_nodes + 2)) (int_bound (max 1 n_nodes + 2)) bool)
+  in
+  let structure = List.fold_left (fun s n -> Structure.add_node n s) Structure.empty nodes in
+  let structure =
+    List.fold_left
+      (fun s (a, b, ctx) ->
+        Structure.connect
+          (if ctx then Structure.In_context_of else Structure.Supported_by)
+          ~src:(Id.of_string (Printf.sprintf "n%d" a))
+          ~dst:(Id.of_string (Printf.sprintf "n%d" b))
+          s)
+      structure link_pairs
+  in
+  return structure
+
+let checker_totality =
+  [
+    QCheck.Test.make ~name:"Wellformed.check is total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Wellformed.check s with _ -> true | exception _ -> false);
+    QCheck.Test.make ~name:"strict ruleset is total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Wellformed.check ~ruleset:Wellformed.Denney_pai_2013 s with
+        | _ -> true
+        | exception _ -> false);
+    QCheck.Test.make ~name:"informal lints are total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Argus_fallacy.Informal.check_structure s with
+        | _ -> true
+        | exception _ -> false);
+    QCheck.Test.make ~name:"CAE conversion+check total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Argus_cae.Cae.check (Argus_cae.Cae.of_gsn s) with
+        | _ -> true
+        | exception _ -> false);
+    QCheck.Test.make ~name:"has_cycle is total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Structure.has_cycle s with _ -> true | exception _ -> false);
+    QCheck.Test.make ~name:"outline printing is total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Format.asprintf "%a" Structure.pp_outline s with
+        | _ -> true
+        | exception _ -> false);
+    QCheck.Test.make ~name:"dot rendering is total on chaos" ~count:300
+      (QCheck.make gen_chaotic_structure) (fun s ->
+        match Structure.to_dot s with _ -> true | exception _ -> false);
+  ]
+
+(* Cross-check: a structure with an error diagnostic is never reported
+   well-formed, and vice versa. *)
+let wellformed_consistency =
+  QCheck.Test.make ~name:"is_well_formed agrees with check" ~count:300
+    (QCheck.make gen_chaotic_structure) (fun s ->
+      Bool.equal (Wellformed.is_well_formed s)
+        (not (Diagnostic.has_errors (Wellformed.check s))))
+
+let () =
+  Alcotest.run "argus-fuzz"
+    [
+      ("parser-totality", List.map QCheck_alcotest.to_alcotest parser_totality);
+      ( "checker-totality",
+        List.map QCheck_alcotest.to_alcotest checker_totality );
+      ( "consistency",
+        [ QCheck_alcotest.to_alcotest wellformed_consistency ] );
+    ]

@@ -1,0 +1,277 @@
+open Argus_ltl
+
+(* --- Generators --- *)
+
+let gen_formula =
+  let open QCheck.Gen in
+  let atom_gen = map (fun i -> Ltl.Atom (Printf.sprintf "a%d" i)) (int_bound 3) in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof [ return Ltl.True; return Ltl.False; atom_gen ]
+          else
+            frequency
+              [
+                (1, atom_gen);
+                (1, map (fun f -> Ltl.Not f) (self (n / 2)));
+                (1, map2 (fun a b -> Ltl.And (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun a b -> Ltl.Or (a, b)) (self (n / 2)) (self (n / 2)));
+                ( 1,
+                  map2
+                    (fun a b -> Ltl.Implies (a, b))
+                    (self (n / 2)) (self (n / 2)) );
+                (1, map (fun f -> Ltl.Next f) (self (n / 2)));
+                (1, map (fun f -> Ltl.Eventually f) (self (n / 2)));
+                (1, map (fun f -> Ltl.Always f) (self (n / 2)));
+                ( 1,
+                  map2 (fun a b -> Ltl.Until (a, b)) (self (n / 2)) (self (n / 2))
+                );
+                ( 1,
+                  map2
+                    (fun a b -> Ltl.Release (a, b))
+                    (self (n / 2)) (self (n / 2)) );
+              ])
+        (min n 8))
+
+let arb_formula = QCheck.make ~print:Ltl.to_string gen_formula
+
+let gen_state =
+  QCheck.Gen.(
+    map
+      (fun bits ->
+        List.filteri (fun i _ -> bits land (1 lsl i) <> 0) [ "a0"; "a1"; "a2"; "a3" ]
+        |> List.map (fun a -> a))
+      (int_bound 15))
+
+let gen_trace =
+  QCheck.Gen.(
+    let* prefix = list_size (int_bound 4) gen_state in
+    let* loop = list_size (int_range 1 4) gen_state in
+    return (Ltl.Trace.make ~prefix ~loop))
+
+let arb_formula_trace =
+  QCheck.make
+    ~print:(fun (f, _) -> Ltl.to_string f)
+    QCheck.Gen.(pair gen_formula gen_trace)
+
+(* Reference semantics: evaluate on a long unrolled finite prefix with a
+   recursive bounded evaluator that exploits the lasso for G/F/U/R by
+   checking positions up to prefix + 2*loop (sufficient because truth of
+   any subformula is periodic beyond the prefix with the loop's period). *)
+let naive_holds tr f =
+  let p = Array.length tr.Ltl.Trace.prefix in
+  let l = Array.length tr.Ltl.Trace.loop in
+  let horizon = p + (2 * l) in
+  let rec at i f =
+    let norm i = if i < p then i else p + ((i - p) mod l) in
+    match f with
+    | Ltl.True -> true
+    | Ltl.False -> false
+    | Ltl.Atom a -> List.mem a (Ltl.Trace.state tr i)
+    | Ltl.Not g -> not (at i g)
+    | Ltl.And (a, b) -> at i a && at i b
+    | Ltl.Or (a, b) -> at i a || at i b
+    | Ltl.Implies (a, b) -> (not (at i a)) || at i b
+    | Ltl.Next g -> at (norm (i + 1)) g
+    | Ltl.Eventually g ->
+        let rec ex j = j < i + horizon && (at (norm j) g || ex (j + 1)) in
+        ex i
+    | Ltl.Always g ->
+        let rec fa j = j >= i + horizon || (at (norm j) g && fa (j + 1)) in
+        fa i
+    | Ltl.Until (a, b) ->
+        let rec un j =
+          j < i + horizon && (at (norm j) b || (at (norm j) a && un (j + 1)))
+        in
+        un i
+    | Ltl.Release (a, b) -> not (at i (Ltl.Until (Ltl.Not a, Ltl.Not b)))
+  in
+  at 0 f
+
+(* --- Unit tests --- *)
+
+let t_make prefix loop = Ltl.Trace.make ~prefix ~loop
+
+let test_always_on_loop () =
+  let tr = t_make [ [ "p" ] ] [ [ "p" ]; [ "p" ] ] in
+  Alcotest.(check bool) "G p holds" true (Ltl.holds tr (Ltl.of_string_exn "G p"));
+  let tr2 = t_make [ [ "p" ] ] [ [ "p" ]; [] ] in
+  Alcotest.(check bool) "G p fails" false (Ltl.holds tr2 (Ltl.of_string_exn "G p"))
+
+let test_eventually () =
+  let tr = t_make [ []; [] ] [ [ "q" ]; [] ] in
+  Alcotest.(check bool) "F q holds" true (Ltl.holds tr (Ltl.of_string_exn "F q"));
+  let tr2 = t_make [ [ "q" ] ] [ [] ] in
+  Alcotest.(check bool)
+    "F q holds via prefix" true
+    (Ltl.holds tr2 (Ltl.of_string_exn "F q"));
+  Alcotest.(check bool)
+    "G F q fails when q only in prefix" false
+    (Ltl.holds tr2 (Ltl.of_string_exn "G F q"))
+
+let test_until () =
+  let tr = t_make [ [ "a" ]; [ "a" ]; [ "b" ] ] [ [] ] in
+  Alcotest.(check bool) "a U b" true (Ltl.holds tr (Ltl.of_string_exn "a U b"));
+  let tr2 = t_make [ [ "a" ] ] [ [ "a" ] ] in
+  Alcotest.(check bool)
+    "a U b fails when b never comes" false
+    (Ltl.holds tr2 (Ltl.of_string_exn "a U b"))
+
+let test_brunel_cazin_claim () =
+  (* G (obstacle_close -> (obstacle_present U obstacle_clear)): the
+     Detect-and-Avoid correctness claim shape from the paper. *)
+  let claim =
+    Ltl.of_string_exn "G (obstacle_close -> (obstacle_present U obstacle_clear))"
+  in
+  let good =
+    t_make
+      [ [ "obstacle_close"; "obstacle_present" ]; [ "obstacle_present" ] ]
+      [ [ "obstacle_clear" ] ]
+  in
+  Alcotest.(check bool) "correct DAA trace" true (Ltl.holds good claim);
+  let bad =
+    t_make [ [ "obstacle_close"; "obstacle_present" ] ] [ [] ]
+  in
+  Alcotest.(check bool) "broken DAA trace" false (Ltl.holds bad claim)
+
+let test_holds_at () =
+  let tr = t_make [ [ "p" ] ] [ [] ] in
+  Alcotest.(check bool) "p at 0" true (Ltl.holds_at tr 0 (Ltl.Atom "p"));
+  Alcotest.(check bool) "p at 1" false (Ltl.holds_at tr 1 (Ltl.Atom "p"));
+  Alcotest.(check bool) "deep position wraps" false
+    (Ltl.holds_at tr 1000 (Ltl.Atom "p"))
+
+let test_finite_semantics () =
+  let tr = [ [ "a" ]; [ "a" ]; [ "b" ] ] in
+  Alcotest.(check bool) "finite until" true
+    (Ltl.holds_finite tr (Ltl.of_string_exn "a U b"));
+  Alcotest.(check bool) "strong next at end" false
+    (Ltl.holds_finite [ [ "a" ] ] (Ltl.of_string_exn "X true"));
+  Alcotest.(check bool) "always on finite" true
+    (Ltl.holds_finite [ [ "a" ]; [ "a" ] ] (Ltl.of_string_exn "G a"));
+  Alcotest.check_raises "empty trace rejected"
+    (Invalid_argument "Ltl.holds_finite: empty trace") (fun () ->
+      ignore (Ltl.holds_finite [] Ltl.True))
+
+let test_empty_loop_rejected () =
+  Alcotest.check_raises "empty loop"
+    (Invalid_argument "Ltl.Trace.make: empty loop") (fun () ->
+      ignore (Ltl.Trace.make ~prefix:[ [] ] ~loop:[]))
+
+let test_parse_print () =
+  List.iter
+    (fun s ->
+      let f = Ltl.of_string_exn s in
+      let f' = Ltl.of_string_exn (Ltl.to_string f) in
+      if not (Ltl.equal f f') then Alcotest.failf "round-trip changed %S" s)
+    [
+      "G (a -> F b)";
+      "a U b U c";
+      "(a & b) U c";
+      "~X a | F (b R c)";
+      "G F heartbeat -> F G stable";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Ltl.of_string s with
+      | Ok _ -> Alcotest.failf "should not parse: %S" s
+      | Error _ -> ())
+    [ ""; "G"; "a U"; "(a"; "a b"; "a ? b" ]
+
+let test_simplify_examples () =
+  let cases =
+    [
+      ("F F a", "F a");
+      ("G G a", "G a");
+      ("a & a", "a");
+      ("true U b", "F b");
+      ("false R b", "G b");
+      ("X true", "true");
+      ("a -> false", "~a");
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      let got = Ltl.simplify (Ltl.of_string_exn input) in
+      let want = Ltl.of_string_exn expected in
+      if not (Ltl.equal got want) then
+        Alcotest.failf "simplify %S gave %s, wanted %s" input
+          (Ltl.to_string got) (Ltl.to_string want))
+    cases
+
+(* --- Property tests --- *)
+
+let label_agrees_with_naive =
+  QCheck.Test.make ~name:"fixpoint labelling agrees with bounded unrolling"
+    ~count:500 arb_formula_trace (fun (f, tr) ->
+      Bool.equal (Ltl.holds tr f) (naive_holds tr f))
+
+let nnf_preserves_semantics =
+  QCheck.Test.make ~name:"nnf preserves lasso semantics" ~count:300
+    arb_formula_trace (fun (f, tr) ->
+      Bool.equal (Ltl.holds tr f) (Ltl.holds tr (Ltl.nnf f)))
+
+let nnf_negations_on_atoms =
+  QCheck.Test.make ~name:"nnf pushes negation to atoms" ~count:300 arb_formula
+    (fun f ->
+      let rec ok = function
+        | Ltl.True | Ltl.False | Ltl.Atom _ -> true
+        | Ltl.Not (Ltl.Atom _) -> true
+        | Ltl.Not _ -> false
+        | Ltl.Implies _ | Ltl.Eventually _ | Ltl.Always _ -> false
+        | Ltl.And (a, b) | Ltl.Or (a, b) | Ltl.Until (a, b) | Ltl.Release (a, b)
+          ->
+            ok a && ok b
+        | Ltl.Next g -> ok g
+      in
+      ok (Ltl.nnf f))
+
+let simplify_preserves_semantics =
+  QCheck.Test.make ~name:"simplify preserves lasso semantics" ~count:300
+    arb_formula_trace (fun (f, tr) ->
+      Bool.equal (Ltl.holds tr f) (Ltl.holds tr (Ltl.simplify f)))
+
+let simplify_never_grows =
+  QCheck.Test.make ~name:"simplify never grows the formula" ~count:300
+    arb_formula (fun f -> Ltl.size (Ltl.simplify f) <= Ltl.size f)
+
+let print_parse_roundtrip =
+  QCheck.Test.make ~name:"pp/of_string round-trip" ~count:300 arb_formula
+    (fun f ->
+      match Ltl.of_string (Ltl.to_string f) with
+      | Ok f' -> Ltl.equal f f'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "argus-ltl"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "always on loop" `Quick test_always_on_loop;
+          Alcotest.test_case "eventually" `Quick test_eventually;
+          Alcotest.test_case "until" `Quick test_until;
+          Alcotest.test_case "Brunel-Cazin claim" `Quick test_brunel_cazin_claim;
+          Alcotest.test_case "holds_at" `Quick test_holds_at;
+          Alcotest.test_case "finite semantics" `Quick test_finite_semantics;
+          Alcotest.test_case "empty loop rejected" `Quick
+            test_empty_loop_rejected;
+          QCheck_alcotest.to_alcotest label_agrees_with_naive;
+        ] );
+      ( "transformations",
+        [
+          QCheck_alcotest.to_alcotest nnf_preserves_semantics;
+          QCheck_alcotest.to_alcotest nnf_negations_on_atoms;
+          QCheck_alcotest.to_alcotest simplify_preserves_semantics;
+          QCheck_alcotest.to_alcotest simplify_never_grows;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parse/print cases" `Quick test_parse_print;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "simplify examples" `Quick test_simplify_examples;
+          QCheck_alcotest.to_alcotest print_parse_roundtrip;
+        ] );
+    ]

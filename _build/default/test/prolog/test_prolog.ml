@@ -1,0 +1,250 @@
+open Argus_prolog
+module Term = Argus_logic.Term
+
+let term s = Result.get_ok (Term.of_string s)
+
+let desert_bank =
+  Program.of_string_exn
+    {|
+      % Figure 1 of the paper: premises that are individually true but
+      % equivocate on 'bank'.
+      is_a(desert_bank, bank).
+      adjacent(bank, river).
+      adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).
+    |}
+
+let family =
+  Program.of_string_exn
+    {|
+      parent(tom, bob).
+      parent(bob, ann).
+      parent(bob, pat).
+      ancestor(X, Y) :- parent(X, Y).
+      ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+    |}
+
+(* --- Parsing --- *)
+
+let test_parse_program () =
+  Alcotest.(check int) "clauses" 3 (List.length desert_bank);
+  Alcotest.(check int) "predicates" 2 (List.length (Program.predicates desert_bank));
+  let r = List.nth desert_bank 2 in
+  Alcotest.(check int) "rule body" 2 (List.length r.Program.body);
+  Alcotest.(check (list string))
+    "clause vars" [ "X"; "Y"; "Z" ]
+    (Program.clause_vars r)
+
+let test_parse_roundtrip () =
+  let text = Program.to_string family in
+  let family' = Program.of_string_exn text in
+  Alcotest.(check int) "same clause count" (List.length family)
+    (List.length family');
+  Alcotest.(check string) "stable text" text (Program.to_string family')
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Program.of_string s with
+      | Ok _ -> Alcotest.failf "should not parse: %S" s
+      | Error _ -> ())
+    [ "f(a)"; "f(a) :- ."; "f(a,)."; ":- g."; "f(a)) ." ]
+
+let test_comments_ignored () =
+  let p = Program.of_string_exn "% just a comment\nf(a). % trailing\n" in
+  Alcotest.(check int) "one clause" 1 (List.length p)
+
+(* --- Figure 1 --- *)
+
+let test_desert_bank_derivable () =
+  (* The paper's point: the flawed conclusion is formally derivable. *)
+  Alcotest.(check bool) "adjacent(desert_bank, river) 'proved'" true
+    (Engine.provable desert_bank (term "adjacent(desert_bank, river)"));
+  match Engine.prove desert_bank (term "adjacent(desert_bank, river)") with
+  | None -> Alcotest.fail "expected a derivation"
+  | Some d ->
+      Alcotest.(check int) "uses the recursive clause" 2 d.Engine.clause_index;
+      Alcotest.(check int) "two sub-goals" 2 (List.length d.Engine.children);
+      Alcotest.(check int) "derivation size" 3 (Engine.derivation_size d)
+
+let test_desert_bank_not_everything () =
+  Alcotest.(check bool) "unrelated goal fails" false
+    (Engine.provable desert_bank (term "adjacent(river, desert_bank)"))
+
+(* --- Resolution --- *)
+
+let test_facts () =
+  Alcotest.(check bool) "fact" true (Engine.provable family (term "parent(tom, bob)"));
+  Alcotest.(check bool) "non-fact" false
+    (Engine.provable family (term "parent(bob, tom)"))
+
+let test_recursive_rule () =
+  Alcotest.(check bool) "transitive" true
+    (Engine.provable family (term "ancestor(tom, pat)"))
+
+let test_solution_enumeration () =
+  let sols = Engine.solutions family (term "ancestor(tom, X)") in
+  let values =
+    List.map
+      (fun bindings ->
+        match bindings with
+        | [ ("X", t) ] -> Term.to_string t
+        | _ -> "?")
+      sols
+  in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected values) then
+        Alcotest.failf "missing solution %s (got: %s)" expected
+          (String.concat ", " values))
+    [ "bob"; "ann"; "pat" ];
+  Alcotest.(check int) "exactly three" 3 (List.length values)
+
+let test_conjunction () =
+  let sols =
+    Engine.solve family [ term "parent(tom, X)"; term "parent(X, Y)" ]
+  in
+  let first = Seq.uncons sols in
+  match first with
+  | Some ((subst, derivs), _) ->
+      Alcotest.(check int) "two derivations" 2 (List.length derivs);
+      let bindings =
+        Engine.bindings_for [ term "parent(tom, X)"; term "parent(X, Y)" ] subst
+      in
+      Alcotest.(check bool) "X=bob" true
+        (List.assoc "X" bindings = Term.const "bob")
+  | None -> Alcotest.fail "expected a solution"
+
+let test_depth_bound_terminates () =
+  (* A left-recursive looping program must not diverge. *)
+  let looping = Program.of_string_exn "p(X) :- p(X). p(a)." in
+  Alcotest.(check bool) "still finds the fact" true
+    (Engine.provable ~max_depth:16 looping (term "p(a)"));
+  let no_fact = Program.of_string_exn "p(X) :- p(X)." in
+  Alcotest.(check bool) "pure loop is unprovable" false
+    (Engine.provable ~max_depth:16 no_fact (term "p(a)"))
+
+let test_variable_query () =
+  let sols = Engine.solutions ~limit:5 family (term "parent(P, C)") in
+  Alcotest.(check int) "three parent facts" 3 (List.length sols)
+
+let test_freshening () =
+  (* Two uses of the same clause must not share variables: classic
+     grandparent query via one rule with variables X, Y. *)
+  let p =
+    Program.of_string_exn
+      "g(X, Y) :- parent(X, Z), parent(Z, Y). parent(a, b). parent(b, c)."
+  in
+  Alcotest.(check bool) "grandparent" true (Engine.provable p (term "g(a, c)"));
+  Alcotest.(check bool) "not reflexive" false (Engine.provable p (term "g(a, b)"))
+
+(* --- Properties --- *)
+
+(* Random ground-fact databases: provable iff the fact is in the
+   database. *)
+let fact_db_complete =
+  QCheck.Test.make ~name:"ground facts are provable iff present" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 15) (int_bound 9)) (int_bound 9))
+    (fun (facts, probe) ->
+      let program =
+        List.map
+          (fun i -> Program.fact (Term.app "f" [ Term.const (Printf.sprintf "c%d" i) ]))
+          facts
+      in
+      let goal = Term.app "f" [ Term.const (Printf.sprintf "c%d" probe) ] in
+      Bool.equal (Engine.provable program goal) (List.mem probe facts))
+
+(* Chain programs: edge facts c0->c1->...->cn plus transitive closure;
+   path(c0, ck) provable for every k in range. *)
+let chain_reachability =
+  QCheck.Test.make ~name:"transitive closure over chains" ~count:50
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let edges =
+        List.init n (fun i ->
+            Program.fact
+              (Term.app "edge"
+                 [
+                   Term.const (Printf.sprintf "c%d" i);
+                   Term.const (Printf.sprintf "c%d" (i + 1));
+                 ]))
+      in
+      let rules =
+        [
+          Program.rule
+            (Term.app "path" [ Term.var "X"; Term.var "Y" ])
+            [ Term.app "edge" [ Term.var "X"; Term.var "Y" ] ];
+          Program.rule
+            (Term.app "path" [ Term.var "X"; Term.var "Y" ])
+            [
+              Term.app "edge" [ Term.var "X"; Term.var "Z" ];
+              Term.app "path" [ Term.var "Z"; Term.var "Y" ];
+            ];
+        ]
+      in
+      let program = edges @ rules in
+      List.for_all
+        (fun k ->
+          Engine.provable program
+            (Term.app "path" [ Term.const "c0"; Term.const (Printf.sprintf "c%d" k) ]))
+        (List.init n (fun i -> i + 1))
+      && not
+           (Engine.provable program
+              (Term.app "path" [ Term.const "c1"; Term.const "c0" ])))
+
+(* Derivations are sound: replaying a derivation bottom-up, each node's
+   goal must unify with its clause's head under some instantiation. *)
+let derivations_replayable =
+  QCheck.Test.make ~name:"derivation nodes match their clauses" ~count:50
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let program =
+        List.init n (fun i ->
+            Program.fact (Term.app "q" [ Term.const (Printf.sprintf "k%d" i) ]))
+        @ [
+            Program.rule
+              (Term.app "all_q" [ Term.var "X" ])
+              [ Term.app "q" [ Term.var "X" ] ];
+          ]
+      in
+      match Engine.prove program (Term.app "all_q" [ Term.var "W" ]) with
+      | None -> false
+      | Some d ->
+          let rec sound d =
+            let clause = List.nth program d.Engine.clause_index in
+            Term.unify clause.Program.head d.Engine.goal <> None
+            && List.length d.Engine.children = List.length clause.Program.body
+            && List.for_all sound d.Engine.children
+          in
+          sound d)
+
+let () =
+  Alcotest.run "argus-prolog"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "program" `Quick test_parse_program;
+          Alcotest.test_case "round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_comments_ignored;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "desert bank derivable" `Quick
+            test_desert_bank_derivable;
+          Alcotest.test_case "engine is not trivial" `Quick
+            test_desert_bank_not_everything;
+        ] );
+      ( "resolution",
+        [
+          Alcotest.test_case "facts" `Quick test_facts;
+          Alcotest.test_case "recursive rules" `Quick test_recursive_rule;
+          Alcotest.test_case "enumeration" `Quick test_solution_enumeration;
+          Alcotest.test_case "conjunction" `Quick test_conjunction;
+          Alcotest.test_case "depth bound" `Quick test_depth_bound_terminates;
+          Alcotest.test_case "variable query" `Quick test_variable_query;
+          Alcotest.test_case "clause freshening" `Quick test_freshening;
+          QCheck_alcotest.to_alcotest fact_db_complete;
+          QCheck_alcotest.to_alcotest chain_reachability;
+          QCheck_alcotest.to_alcotest derivations_replayable;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+open Argus_survey
+
+(* --- The encoded papers --- *)
+
+let test_twenty_selected () =
+  Alcotest.(check int) "twenty papers" 20 (List.length Paper.selected)
+
+let test_keys_unique () =
+  let keys = List.map (fun p -> p.Paper.key) Paper.selected in
+  Alcotest.(check int) "unique keys" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys))
+
+let test_reference_numbers () =
+  (* References 6-20, 22-25 and 39 (Sokolsky), per the paper. *)
+  let refs =
+    List.sort compare (List.map (fun p -> p.Paper.reference) Paper.selected)
+  in
+  let expected =
+    List.sort compare
+      ([ 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16; 17; 18; 19; 20 ]
+      @ [ 22; 23; 24; 25; 39 ])
+  in
+  Alcotest.(check (list int)) "reference numbers" expected refs
+
+let test_find () =
+  Alcotest.(check bool) "finds rushby2010" true (Paper.find "rushby2010" <> None);
+  Alcotest.(check bool) "missing key" true (Paper.find "nobody1999" = None)
+
+(* --- The derived counts (Sections IV-VI) --- *)
+
+let test_all_reported_counts () =
+  List.iter
+    (fun (what, computed, reported) ->
+      if computed <> reported then
+        Alcotest.failf "%s: computed %d, paper reports %d" what computed
+          reported)
+    (Queries.report ())
+
+let test_subset_relation () =
+  (* The four mentioning mechanical verification are among the eleven. *)
+  let eleven = Queries.proposing_symbolic_deductive_content () in
+  List.iter
+    (fun p ->
+      if not (List.memq p eleven) then
+        Alcotest.failf "%s not in the eleven" p.Paper.key)
+    (Queries.mentioning_mechanical_verification ())
+
+let test_specific_memberships () =
+  let keys l = List.map (fun p -> p.Paper.key) l in
+  let mech = keys (Queries.implying_mechanical_benefit ()) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " implies benefit") true (List.mem k mech))
+    [ "brunel2012"; "denney2013patterns"; "haley2008"; "matsuno2011";
+      "matsuno2014"; "sokolsky2011" ];
+  let informal_first = keys (Queries.informal_first_then_formalise ()) in
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " informal-first") true
+        (List.mem k informal_first))
+    [ "brunel2012"; "rushby2010"; "tun2012" ];
+  let hyp = keys (Queries.acknowledging_hypothesis ()) in
+  Alcotest.(check bool) "only Rushby acknowledges" true
+    (List.sort compare hyp = [ "rushby2010"; "rushby2013" ])
+
+(* --- The selection pipeline (Table I) --- *)
+
+let table = Selection.table1 Selection.corpus
+
+let row lib =
+  List.find (fun r -> r.Selection.library = lib) table.Selection.rows
+
+let test_table1_per_library () =
+  let check lib safety security =
+    let r = row lib in
+    Alcotest.(check int)
+      (Selection.library_to_string lib ^ " safety")
+      safety r.Selection.safety;
+    Alcotest.(check int)
+      (Selection.library_to_string lib ^ " security")
+      security r.Selection.security
+  in
+  check Selection.IEEE_Xplore 12 13;
+  check Selection.ACM_DL 17 7;
+  check Selection.Springer_Link 24 2;
+  check Selection.Google_Scholar 8 1
+
+let test_table1_uniques () =
+  Alcotest.(check int) "72 unique" 72 table.Selection.unique_total;
+  Alcotest.(check int) "54 safety" 54 table.Selection.unique_safety;
+  Alcotest.(check int) "23 security" 23 table.Selection.unique_security
+
+let test_phase2_yields_twenty () =
+  Alcotest.(check int) "twenty" 20
+    (Selection.selected_after_phase2 Selection.corpus)
+
+let test_phase1_criteria () =
+  (* Every phase-1 reject violates exactly one criterion; the pipeline
+     honours each. *)
+  let rejected =
+    List.filter
+      (fun c -> not (Selection.phase1_selects c))
+      Selection.corpus
+  in
+  Alcotest.(check int) "24 rejects (3 per library and term)" 24
+    (List.length rejected);
+  List.iter
+    (fun c ->
+      let violations =
+        (if not c.Selection.hints_assurance_argument then 1 else 0)
+        + (if c.Selection.about_evidence_item_only then 1 else 0)
+        + if c.Selection.formal_in_other_sense then 1 else 0
+      in
+      Alcotest.(check int) "exactly one violation" 1 violations)
+    rejected
+
+let test_phase2_subset_of_phase1 () =
+  let p1 = Selection.run_phase1 Selection.corpus in
+  let p2 = Selection.run_phase2 Selection.corpus in
+  List.iter
+    (fun c ->
+      if not (List.memq c p1) then Alcotest.fail "phase2 not within phase1")
+    p2
+
+let test_surveyed_titles_appear () =
+  (* The twenty phase-2 survivors carry the titles of the encoded
+     surveyed papers. *)
+  let p2 = Selection.run_phase2 Selection.corpus in
+  let titles = List.map (fun c -> c.Selection.title) p2 in
+  List.iter
+    (fun p ->
+      if not (List.mem p.Paper.title titles) then
+        Alcotest.failf "surveyed paper missing from phase 2: %s" p.Paper.key)
+    Paper.selected
+
+(* --- Report --- *)
+
+let test_report_groups () =
+  let gs = Report.groups () in
+  (* 12 subsection groups; union covers all twenty papers. *)
+  Alcotest.(check int) "twelve groups" 12 (List.length gs);
+  Alcotest.(check int) "covers all twenty" 20
+    (List.fold_left (fun acc (_, ms) -> acc + List.length ms) 0 gs);
+  Alcotest.(check string) "first group"
+    "Automatically-generated arguments" (fst (List.hd gs))
+
+let test_report_renders_every_paper () =
+  let text = Format.asprintf "%a" Report.pp_all () in
+  List.iter
+    (fun p ->
+      let tag = Printf.sprintf "[%d]" p.Paper.reference in
+      let nh = String.length text and nn = String.length tag in
+      let rec go i =
+        if i + nn > nh then false
+        else String.sub text i nn = tag || go (i + 1)
+      in
+      if not (go 0) then
+        Alcotest.failf "report omits %s" p.Paper.key)
+    Paper.selected
+
+let test_pp_table1 () =
+  let s = Format.asprintf "%a" Selection.pp_table1 table in
+  Alcotest.(check bool) "mentions Springer" true
+    (let needle = "Springer" in
+     let nh = String.length s and nn = String.length needle in
+     let rec go i =
+       if i + nn > nh then false
+       else String.sub s i nn = needle || go (i + 1)
+     in
+     go 0)
+
+let () =
+  Alcotest.run "argus-survey"
+    [
+      ( "papers",
+        [
+          Alcotest.test_case "twenty selected" `Quick test_twenty_selected;
+          Alcotest.test_case "keys unique" `Quick test_keys_unique;
+          Alcotest.test_case "reference numbers" `Quick test_reference_numbers;
+          Alcotest.test_case "find" `Quick test_find;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "all counts match the paper" `Quick
+            test_all_reported_counts;
+          Alcotest.test_case "mechanical subset of symbolic" `Quick
+            test_subset_relation;
+          Alcotest.test_case "specific memberships" `Quick
+            test_specific_memberships;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "Table I per library" `Quick
+            test_table1_per_library;
+          Alcotest.test_case "Table I uniques" `Quick test_table1_uniques;
+          Alcotest.test_case "phase 2 yields twenty" `Quick
+            test_phase2_yields_twenty;
+          Alcotest.test_case "phase 1 criteria" `Quick test_phase1_criteria;
+          Alcotest.test_case "phase 2 within phase 1" `Quick
+            test_phase2_subset_of_phase1;
+          Alcotest.test_case "surveyed titles appear" `Quick
+            test_surveyed_titles_appear;
+          Alcotest.test_case "table rendering" `Quick test_pp_table1;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "groups" `Quick test_report_groups;
+          Alcotest.test_case "renders every paper" `Quick
+            test_report_renders_every_paper;
+        ] );
+    ]
