@@ -422,12 +422,45 @@ let run_benchmarks () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
+  let rows = List.sort compare rows in
+  List.filter_map
     (fun (name, ols_result) ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ ns ] -> Format.printf "%-32s %14.0f ns/run@." name ns
-      | _ -> Format.printf "%-32s %14s@." name "n/a")
-    (List.sort compare rows)
+      | Some [ ns ] ->
+          Format.printf "%-32s %14.0f ns/run@." name ns;
+          Some (name, ns)
+      | _ ->
+          Format.printf "%-32s %14s@." name "n/a";
+          None)
+    rows
+
+(* Persist the run for trajectory tracking: per-artefact timings plus
+   the engine counters the workloads accumulated (the counters run even
+   with tracing disabled, so this costs nothing extra). *)
+let write_results timings =
+  let module Json = Argus_core.Json in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "argus-bench/1");
+        ( "timings_ns_per_run",
+          Json.Obj (List.map (fun (n, ns) -> (n, Json.Num ns)) timings) );
+        ("metrics", Argus_obs.Metrics.to_json ());
+      ]
+  in
+  let path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then
+      Filename.concat "bench" "results.json"
+    else "results.json"
+  in
+  match open_out path with
+  | oc ->
+      output_string oc (Json.to_string ~indent:true json);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "@.wrote %s@." path
+  | exception Sys_error msg ->
+      Format.eprintf "@.could not write %s: %s@." path msg
 
 let () =
   table1 ();
@@ -436,5 +469,6 @@ let () =
   greenwell ();
   proofgen_sizes ();
   experiments ();
-  run_benchmarks ();
+  let timings = run_benchmarks () in
+  write_results timings;
   Format.printf "@.done.@."

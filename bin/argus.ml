@@ -14,7 +14,51 @@ module Program = Argus_prolog.Program
 module Engine = Argus_prolog.Engine
 module Lterm = Argus_logic.Term
 module Diagnostic = Argus_core.Diagnostic
+module Json = Argus_core.Json
+module Obs = Argus_obs.Obs
 open Cmdliner
+
+(* --- observability plumbing ---
+
+   Every subcommand accepts [--trace] (span tree + counters on stderr)
+   and [--trace-json FILE] (JSONL events); [ARGUS_TRACE] /
+   [ARGUS_TRACE_JSON] do the same from the environment.  The [query]
+   subcommand predates this and already uses [--trace] for its
+   traceability view, so it only takes [--trace-json].  Each command
+   runs under a root span [argus.<cmd>] and the report is emitted once,
+   after command evaluation, in [main]. *)
+
+let obs_setup trace trace_json =
+  Obs.configure_from_env ();
+  if trace then Obs.configure ~trace:true ();
+  match trace_json with
+  | Some path -> Obs.configure ~trace_json:path ()
+  | None -> ()
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL trace (spans, counters, histograms) to $(docv). \
+           Also enabled by ARGUS_TRACE_JSON.")
+
+let obs_t =
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Print a span tree and engine counters to stderr. Also enabled \
+             by ARGUS_TRACE=1.")
+  in
+  Term.(const obs_setup $ trace $ trace_json_arg)
+
+(* For [query], whose [--trace] means the traceability view. *)
+let obs_json_only_t = Term.(const (obs_setup false) $ trace_json_arg)
+
+let spanned name f = Argus_obs.Span.with_ ~name f
 
 let read_file path =
   let ic = open_in_bin path in
@@ -41,11 +85,22 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Case file.")
 
 let check_cmd =
-  let run ruleset with_lints path =
+  let run () ruleset with_lints format path =
+    spanned "argus.check" @@ fun () ->
+    let report ds =
+      match format with
+      | `Text -> Format.printf "%a" Diagnostic.pp_report ds
+      | `Json ->
+          print_endline (Json.to_string ~indent:true (Diagnostic.report_to_json ds))
+    in
+    let report_err ds =
+      (match format with
+      | `Text -> Format.eprintf "%a" Diagnostic.pp_report ds
+      | `Json -> report ds);
+      1
+    in
     match Dsl.parse_collection ~filename:path (read_file path) with
-    | Error ds ->
-        Format.eprintf "%a" Diagnostic.pp_report ds;
-        1
+    | Error ds -> report_err ds
     | Ok [ case ] when case.Dsl.module_name = None ->
         let ds =
           Wellformed.check ~ruleset case.Dsl.structure
@@ -53,13 +108,11 @@ let check_cmd =
           @ (if with_lints then Informal.check_structure case.Dsl.structure
              else [])
         in
-        Format.printf "%a" Diagnostic.pp_report ds;
+        report ds;
         exit_of_diags ds
     | Ok cases -> (
         match Dsl.to_modular cases with
-        | Error ds ->
-            Format.eprintf "%a" Diagnostic.pp_report ds;
-            1
+        | Error ds -> report_err ds
         | Ok collection ->
             let ds =
               Argus_gsn.Modular.check collection
@@ -71,7 +124,7 @@ let check_cmd =
                   cases
               else []
             in
-            Format.printf "%a" Diagnostic.pp_report ds;
+            report ds;
             exit_of_diags ds)
   in
   let ruleset =
@@ -81,14 +134,22 @@ let check_cmd =
   let lints =
     Arg.(value & flag & info [ "lints" ] ~doc:"Also run informal-fallacy lints.")
   in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ]
+          ~doc:"Output format: $(b,text) or $(b,json) (machine-readable).")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a case for well-formedness")
-    Term.(const run $ ruleset $ lints $ file_arg)
+    Term.(const run $ obs_t $ ruleset $ lints $ format $ file_arg)
 
 (* --- render --- *)
 
 let render_cmd =
-  let run dot depth path =
+  let run () dot depth path =
+    spanned "argus.render" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case ->
@@ -111,12 +172,13 @@ let render_cmd =
   in
   Cmd.v
     (Cmd.info "render" ~doc:"Render a case as an outline or Graphviz")
-    Term.(const run $ dot $ depth $ file_arg)
+    Term.(const run $ obs_t $ dot $ depth $ file_arg)
 
 (* --- query --- *)
 
 let query_cmd =
-  let run trace path query_text =
+  let run () trace path query_text =
+    spanned "argus.query" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case -> (
@@ -143,12 +205,13 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Query an annotated case (Denney-Naylor-Pai style)")
-    Term.(const run $ trace $ file_arg $ query_text)
+    Term.(const run $ obs_json_only_t $ trace $ file_arg $ query_text)
 
 (* --- fallacies --- *)
 
 let fallacies_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.fallacies" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case ->
@@ -158,12 +221,13 @@ let fallacies_cmd =
   in
   Cmd.v
     (Cmd.info "fallacies" ~doc:"Run the informal-fallacy lints over a case")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 (* --- prove --- *)
 
 let prove_cmd =
-  let run max_depth path goal_text =
+  let run () max_depth path goal_text =
+    spanned "argus.prove" @@ fun () ->
     match Program.of_string (read_file path) with
     | Error e ->
         Format.eprintf "program error: %s@." e;
@@ -190,12 +254,13 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Run SLD resolution over a Horn-clause program")
-    Term.(const run $ max_depth $ file_arg $ goal)
+    Term.(const run $ obs_t $ max_depth $ file_arg $ goal)
 
 (* --- cae --- *)
 
 let cae_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.cae" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case ->
@@ -205,12 +270,13 @@ let cae_cmd =
   in
   Cmd.v
     (Cmd.info "cae" ~doc:"Translate a GSN case to Claims-Argument-Evidence")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 (* --- export / stats --- *)
 
 let export_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.export" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case ->
@@ -220,10 +286,11 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export a case's structure as JSON")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 let import_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.import" @@ fun () ->
     match Argus_gsn.Interchange.import (read_file path) with
     | Error ds ->
         Format.eprintf "%a" Diagnostic.pp_report ds;
@@ -235,10 +302,11 @@ let import_cmd =
   Cmd.v
     (Cmd.info "import"
        ~doc:"Import a JSON structure, render it and check well-formedness")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 let stats_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.stats" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case ->
@@ -248,12 +316,13 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print descriptive metrics of a case")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 (* --- probe --- *)
 
 let probe_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.probe" @@ fun () ->
     let module Proof_text = Argus_logic.Proof_text in
     let module Natded = Argus_logic.Natded in
     let module Prop = Argus_logic.Prop in
@@ -293,12 +362,13 @@ let probe_cmd =
        ~doc:
          "Check a natural-deduction proof and run Rushby-style what-if \
           probing of its premises")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 (* --- format --- *)
 
 let format_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.format" @@ fun () ->
     match Dsl.parse_collection ~filename:path (read_file path) with
     | Error ds ->
         Format.eprintf "%a" Diagnostic.pp_report ds;
@@ -313,12 +383,13 @@ let format_cmd =
   in
   Cmd.v
     (Cmd.info "format" ~doc:"Reprint a case file in canonical form")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 (* --- equivocation --- *)
 
 let equivocation_cmd =
-  let run path =
+  let run () path =
+    spanned "argus.equivocation" @@ fun () ->
     match Program.of_string (read_file path) with
     | Error e ->
         Format.eprintf "program error: %s@." e;
@@ -341,12 +412,13 @@ let equivocation_cmd =
   Cmd.v
     (Cmd.info "equivocation"
        ~doc:"Flag equivocation candidates in a Horn-clause program")
-    Term.(const run $ file_arg)
+    Term.(const run $ obs_t $ file_arg)
 
 (* --- survey --- *)
 
 let survey_cmd =
-  let run papers =
+  let run () papers =
+    spanned "argus.survey" @@ fun () ->
     if papers then begin
       Format.printf "%a" Argus_survey.Report.pp_all ();
       0
@@ -374,13 +446,14 @@ let survey_cmd =
   in
   Cmd.v
     (Cmd.info "survey" ~doc:"Regenerate Table I and the survey counts")
-    Term.(const run $ papers)
+    Term.(const run $ obs_t $ papers)
 
 (* --- experiments --- *)
 
 let experiments_cmd =
   let open Argus_experiments in
-  let run which seed =
+  let run () which seed =
+    spanned "argus.experiments" @@ fun () ->
     let run_a () =
       Format.printf "%a@." Exp_a.pp
         (Exp_a.run { Exp_a.default_config with seed })
@@ -420,13 +493,13 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the Section VI experiment simulations")
-    Term.(const run $ which $ seed)
+    Term.(const run $ obs_t $ which $ seed)
 
 let () =
   let doc = "assurance-argument toolkit (Graydon, DSN 2015, reproduced)" in
   let info = Cmd.info "argus" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
+  let code =
+    Cmd.eval'
        (Cmd.group info
           [
             check_cmd;
@@ -443,4 +516,7 @@ let () =
             equivocation_cmd;
             survey_cmd;
             experiments_cmd;
-          ]))
+          ])
+  in
+  Obs.finish ();
+  exit code

@@ -45,6 +45,45 @@ let pp_severity ppf = function
   | Warning -> Format.pp_print_string ppf "warning"
   | Info -> Format.pp_print_string ppf "info"
 
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let loc_to_json (loc : Loc.t) =
+  let pos (p : Loc.pos) =
+    Json.Obj [ ("line", Json.int p.Loc.line); ("col", Json.int p.Loc.col) ]
+  in
+  Json.Obj
+    [
+      ("file", Json.Str loc.Loc.start.Loc.file);
+      ("start", pos loc.Loc.start);
+      ("stop", pos loc.Loc.stop);
+    ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.Str (severity_to_string d.severity));
+      ("code", Json.Str d.code);
+      ("message", Json.Str d.message);
+      ( "loc",
+        match d.loc with
+        | Some loc when not (Loc.is_dummy loc) -> loc_to_json loc
+        | Some _ | None -> Json.Null );
+      ("subjects", Json.List (List.map (fun s -> Json.Str (Id.to_string s)) d.subjects));
+    ]
+
+let report_to_json ds =
+  let ds = sort ds in
+  Json.Obj
+    [
+      ("diagnostics", Json.List (List.map to_json ds));
+      ("errors", Json.int (count Error ds));
+      ("warnings", Json.int (count Warning ds));
+      ("infos", Json.int (count Info ds));
+    ]
+
 let pp ppf d =
   (match d.loc with
   | Some loc when not (Loc.is_dummy loc) -> Format.fprintf ppf "%a: " Loc.pp loc

@@ -59,3 +59,14 @@ val pp_severity : Format.formatter -> severity -> unit
 val pp : Format.formatter -> t -> unit
 val pp_report : Format.formatter -> t list -> unit
 (** One diagnostic per line, sorted, followed by a summary count line. *)
+
+val severity_to_string : severity -> string
+
+val to_json : t -> Json.t
+(** [{"severity", "code", "message", "loc" (or null), "subjects"}] —
+    the machine-readable face of a finding, shared with the trace
+    output ([argus check --format json]). *)
+
+val report_to_json : t list -> Json.t
+(** Sorted diagnostics plus the severity tallies, mirroring
+    {!pp_report}. *)

@@ -63,13 +63,24 @@ let claims_universally text =
   in
   List.exists (fun w -> List.mem w universal_markers) words
 
+(* Checker counters (catalogue in DESIGN.md). *)
+let c_nodes_visited = Argus_obs.Counter.make "gsn.wf.nodes_visited"
+let c_links_checked = Argus_obs.Counter.make "gsn.wf.links_checked"
+let c_findings = Argus_obs.Counter.make "gsn.wf.findings"
+
 let check ?(ruleset = Standard) structure =
+  Argus_obs.Span.with_ ~name:"gsn.wellformed" @@ fun () ->
   let out = ref [] in
-  let add d = out := d :: !out in
+  let add d =
+    Argus_obs.Counter.incr c_findings;
+    out := d :: !out
+  in
   let node id = Structure.find id structure in
   (* Link rules. *)
+  Argus_obs.Span.with_ ~name:"gsn.wellformed.links" (fun () ->
   List.iter
     (fun (kind, src, dst) ->
+      Argus_obs.Counter.incr c_links_checked;
       match (node src, node dst) with
       | None, _ | _, None ->
           add
@@ -118,9 +129,10 @@ let check ?(ruleset = Standard) structure =
                        "%s cannot be in the context of %s"
                        (Node.type_to_string d.Node.node_type)
                        (Node.type_to_string s.Node.node_type))))
-    (Structure.links structure);
+    (Structure.links structure));
   (* Cycles. *)
-  (match Structure.has_cycle structure with
+  Argus_obs.Span.with_ ~name:"gsn.wellformed.cycles" (fun () ->
+  match Structure.has_cycle structure with
   | None -> ()
   | Some witness ->
       add
@@ -158,8 +170,10 @@ let check ?(ruleset = Standard) structure =
       Id.Set.empty roots
   in
   (* Per-node rules. *)
+  Argus_obs.Span.with_ ~name:"gsn.wellformed.nodes" (fun () ->
   List.iter
     (fun n ->
+      Argus_obs.Counter.incr c_nodes_visited;
       let id = n.Node.id in
       let support_children =
         Structure.children Structure.Supported_by id structure
@@ -252,7 +266,7 @@ let check ?(ruleset = Standard) structure =
         add
           (Diagnostic.warningf ~code:"gsn/unreachable" ~subjects:[ id ]
              "node is not reachable from any root"))
-    (Structure.nodes structure);
+    (Structure.nodes structure));
   Diagnostic.sort (List.rev !out)
 
 let is_well_formed ?ruleset structure =

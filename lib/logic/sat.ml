@@ -75,6 +75,14 @@ let tseitin f =
 
 (* --- DPLL --- *)
 
+(* Solver counters (catalogue in DESIGN.md). *)
+let c_clauses = Argus_obs.Counter.make "sat.clauses"
+let c_vars = Argus_obs.Counter.make "sat.vars"
+let c_decisions = Argus_obs.Counter.make "sat.decisions"
+let c_unit_props = Argus_obs.Counter.make "sat.unit_propagations"
+let c_pure = Argus_obs.Counter.make "sat.pure_eliminations"
+let c_conflicts = Argus_obs.Counter.make "sat.conflicts"
+
 module Smap = Map.Make (String)
 
 type assignment = bool Smap.t
@@ -135,16 +143,23 @@ let find_pure clauses =
 let rec dpll asg clauses =
   match clauses with
   | [] -> Some asg
-  | _ when List.exists (fun c -> c = []) clauses -> None
+  | _ when List.exists (fun c -> c = []) clauses ->
+      Argus_obs.Counter.incr c_conflicts;
+      None
   | _ -> (
       match find_unit clauses with
-      | Some l -> assign asg clauses l
+      | Some l ->
+          Argus_obs.Counter.incr c_unit_props;
+          assign asg clauses l
       | None -> (
           match find_pure clauses with
-          | Some l -> assign asg clauses l
+          | Some l ->
+              Argus_obs.Counter.incr c_pure;
+              assign asg clauses l
           | None -> (
               match clauses with
               | (l :: _) :: _ -> (
+                  Argus_obs.Counter.incr c_decisions;
                   match assign asg clauses l with
                   | Some _ as r -> r
                   | None -> assign asg clauses (neg_lit l))
@@ -154,7 +169,9 @@ and assign asg clauses l =
   let asg = Smap.add l.var l.sign asg in
   match simplify asg clauses with
   | clauses -> dpll asg clauses
-  | exception Conflict -> None
+  | exception Conflict ->
+      Argus_obs.Counter.incr c_conflicts;
+      None
 
 let cnf_vars clauses =
   List.fold_left
@@ -162,6 +179,9 @@ let cnf_vars clauses =
     Smap.empty clauses
 
 let solve clauses =
+  Argus_obs.Span.with_ ~name:"sat.solve" @@ fun () ->
+  Argus_obs.Counter.add c_clauses (List.length clauses);
+  Argus_obs.Counter.add c_vars (Smap.cardinal (cnf_vars clauses));
   match dpll Smap.empty clauses with
   | None -> None
   | Some asg ->

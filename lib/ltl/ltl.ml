@@ -57,6 +57,14 @@ module Trace = struct
   let length t = Array.length t.prefix + Array.length t.loop
 end
 
+(* Checker counters (catalogue in DESIGN.md): positions labelled per
+   subformula in the lasso fixpoint, fixpoint sweeps, and steps of
+   finite-trace evaluation. *)
+let c_positions = Argus_obs.Counter.make "ltl.positions_labelled"
+let c_sweeps = Argus_obs.Counter.make "ltl.fixpoint_sweeps"
+let c_finite_checks = Argus_obs.Counter.make "ltl.finite_checks"
+let c_finite_steps = Argus_obs.Counter.make "ltl.trace_steps"
+
 (* Fixpoint labelling over the lasso.  Positions are 0..n-1 where
    n = |prefix| + |loop|; the successor of the last position wraps to the
    start of the loop. *)
@@ -66,6 +74,7 @@ let label tr f =
   let succ i = if i = n - 1 then p else i + 1 in
   let atom_true i a = List.mem a (Trace.state tr i) in
   let rec go f =
+    Argus_obs.Counter.add c_positions n;
     match f with
     | True -> Array.make n true
     | False -> Array.make n false
@@ -85,6 +94,7 @@ let label tr f =
         let v = Array.make n false in
         let changed = ref true in
         while !changed do
+          Argus_obs.Counter.incr c_sweeps;
           changed := false;
           for i = n - 1 downto 0 do
             let v' = lb.(i) || (la.(i) && v.(succ i)) in
@@ -101,6 +111,7 @@ let label tr f =
         let v = Array.make n true in
         let changed = ref true in
         while !changed do
+          Argus_obs.Counter.incr c_sweeps;
           changed := false;
           for i = n - 1 downto 0 do
             let v' = lb.(i) && (la.(i) || v.(succ i)) in
@@ -112,7 +123,7 @@ let label tr f =
         done;
         v
   in
-  go f
+  Argus_obs.Span.with_ ~name:"ltl.label" (fun () -> go f)
 
 let holds_at tr i f =
   if i < 0 then invalid_arg "Ltl.holds_at: negative position";
@@ -126,6 +137,8 @@ let holds_finite states f =
   if states = [] then invalid_arg "Ltl.holds_finite: empty trace";
   let arr = Array.of_list states in
   let n = Array.length arr in
+  Argus_obs.Counter.incr c_finite_checks;
+  Argus_obs.Counter.add c_finite_steps n;
   let rec at i f =
     match f with
     | True -> true

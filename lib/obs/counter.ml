@@ -1,0 +1,3 @@
+(* Alias so callers write [Argus_obs.Counter] rather than
+   [Argus_obs.Metrics.Counter]. *)
+include Metrics.Counter

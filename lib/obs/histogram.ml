@@ -1,0 +1,3 @@
+(* Alias so callers write [Argus_obs.Histogram] rather than
+   [Argus_obs.Metrics.Histogram]. *)
+include Metrics.Histogram

@@ -1,0 +1,150 @@
+module Json = Argus_core.Json
+
+type counter = { cname : string; mutable n : int }
+
+(* Percentiles come from a bounded reservoir: the first [reservoir_size]
+   observations plus running count/sum/min/max over everything.  Spans
+   observe durations here, so an unbounded store would grow with trace
+   length. *)
+let reservoir_size = 1024
+
+type histogram = {
+  hname : string;
+  mutable obs_count : int;
+  mutable obs_sum : float;
+  mutable obs_min : float;
+  mutable obs_max : float;
+  buf : float array;
+  mutable buf_len : int;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    match Hashtbl.find_opt counters_tbl name with
+    | Some c -> c
+    | None ->
+        let c = { cname = name; n = 0 } in
+        Hashtbl.add counters_tbl name c;
+        c
+
+  let incr c = c.n <- c.n + 1
+  let add c k = c.n <- c.n + k
+  let value c = c.n
+  let name c = c.cname
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make name =
+    match Hashtbl.find_opt histograms_tbl name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            hname = name;
+            obs_count = 0;
+            obs_sum = 0.;
+            obs_min = infinity;
+            obs_max = neg_infinity;
+            buf = Array.make reservoir_size 0.;
+            buf_len = 0;
+          }
+        in
+        Hashtbl.add histograms_tbl name h;
+        h
+
+  let observe h v =
+    h.obs_count <- h.obs_count + 1;
+    h.obs_sum <- h.obs_sum +. v;
+    if v < h.obs_min then h.obs_min <- v;
+    if v > h.obs_max then h.obs_max <- v;
+    if h.buf_len < reservoir_size then begin
+      h.buf.(h.buf_len) <- v;
+      h.buf_len <- h.buf_len + 1
+    end
+
+  let count h = h.obs_count
+  let sum h = h.obs_sum
+  let name h = h.hname
+end
+
+type histogram_stats = {
+  hcount : int;
+  hsum : float;
+  hmin : float;
+  hmax : float;
+  hmean : float;
+  hp50 : float;
+  hp90 : float;
+}
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let i = int_of_float (q *. float_of_int (n - 1)) in
+    sorted.(i)
+
+let stats_of h =
+  let sorted = Array.sub h.buf 0 h.buf_len in
+  Array.sort Float.compare sorted;
+  {
+    hcount = h.obs_count;
+    hsum = h.obs_sum;
+    hmin = (if h.obs_count = 0 then 0. else h.obs_min);
+    hmax = (if h.obs_count = 0 then 0. else h.obs_max);
+    hmean = (if h.obs_count = 0 then 0. else h.obs_sum /. float_of_int h.obs_count);
+    hp50 = quantile sorted 0.5;
+    hp90 = quantile sorted 0.9;
+  }
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters_tbl []
+  |> List.sort compare
+
+let histograms () =
+  Hashtbl.fold
+    (fun name h acc ->
+      if h.obs_count = 0 then acc else (name, stats_of h) :: acc)
+    histograms_tbl []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      h.obs_count <- 0;
+      h.obs_sum <- 0.;
+      h.obs_min <- infinity;
+      h.obs_max <- neg_infinity;
+      h.buf_len <- 0)
+    histograms_tbl
+
+let to_json () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.int v)) (counters ())) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, s) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ("count", Json.int s.hcount);
+                     ("sum", Json.Num s.hsum);
+                     ("min", Json.Num s.hmin);
+                     ("max", Json.Num s.hmax);
+                     ("mean", Json.Num s.hmean);
+                     ("p50", Json.Num s.hp50);
+                     ("p90", Json.Num s.hp90);
+                   ] ))
+             (histograms ())) );
+    ]

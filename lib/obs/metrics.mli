@@ -1,0 +1,57 @@
+(** The global metrics registry: named counters and histograms.
+
+    Counters are always on — an increment is one mutable-field store, so
+    the engines keep their counters hot even when tracing output is
+    disabled; the bench harness snapshots them after a run.  Creation is
+    idempotent: [Counter.make name] returns the already-registered
+    counter when the name exists, so modules can create their counters
+    at load time without coordination.
+
+    Names are dotted paths, [subsystem.metric] (e.g.
+    ["prolog.unifications"]); the catalogue lives in DESIGN.md. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or fetch) the counter named [name]. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  (** Register (or fetch) the histogram named [name]. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val name : t -> string
+end
+
+type histogram_stats = {
+  hcount : int;
+  hsum : float;
+  hmin : float;
+  hmax : float;
+  hmean : float;
+  hp50 : float;  (** Median over a bounded reservoir of observations. *)
+  hp90 : float;
+}
+
+val counters : unit -> (string * int) list
+(** All registered counters, sorted by name. *)
+
+val histograms : unit -> (string * histogram_stats) list
+(** Registered histograms with at least one observation, sorted. *)
+
+val reset : unit -> unit
+(** Zero every counter and histogram (registrations survive). *)
+
+val to_json : unit -> Argus_core.Json.t
+(** [{"counters": {...}, "histograms": {...}}] snapshot. *)

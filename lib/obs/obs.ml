@@ -1,0 +1,46 @@
+let pretty = ref false
+let json_path : string option ref = ref None
+
+let configure ?trace ?trace_json () =
+  (match trace with
+  | Some true ->
+      pretty := true;
+      Span.set_enabled true
+  | Some false | None -> ());
+  match trace_json with
+  | Some path ->
+      json_path := Some path;
+      Span.set_enabled true
+  | None -> ()
+
+let configure_from_env () =
+  (match Sys.getenv_opt "ARGUS_TRACE" with
+  | Some ("" | "0" | "false") | None -> ()
+  | Some _ -> configure ~trace:true ());
+  match Sys.getenv_opt "ARGUS_TRACE_JSON" with
+  | Some path when path <> "" -> configure ~trace_json:path ()
+  | Some _ | None -> ()
+
+let active () = !pretty || !json_path <> None
+
+let finish () =
+  (if !pretty then Format.eprintf "%a" Trace.pp_report ());
+  match !json_path with
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            List.iter
+              (fun ev ->
+                output_string oc (Argus_core.Json.to_string ev);
+                output_char oc '\n')
+              (Trace.jsonl_events ()))
+      with Sys_error msg ->
+        Format.eprintf "argus: cannot write trace file %s: %s@." path msg)
+
+let reset () =
+  Span.reset ();
+  Metrics.reset ()

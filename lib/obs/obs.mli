@@ -1,0 +1,30 @@
+(** Toolkit-wide observability control.
+
+    The CLI (and any embedder) configures tracing here; the engines only
+    ever talk to {!Span} and {!Counter}/{!Histogram}.  Two outputs:
+
+    - pretty: a span tree and metrics table on stderr ([--trace] or
+      [ARGUS_TRACE=1]);
+    - JSONL: one event per line to a file ([--trace-json FILE] or
+      [ARGUS_TRACE_JSON=FILE]), parseable by [Argus_core.Json].
+
+    Enabling either turns span recording on.  Counters run regardless —
+    they are cheap and the bench harness reads them with tracing off. *)
+
+val configure : ?trace:bool -> ?trace_json:string -> unit -> unit
+(** Idempotent; flags accumulate ([configure ~trace:true ()] then
+    [configure ~trace_json:"t.jsonl" ()] yields both sinks). *)
+
+val configure_from_env : unit -> unit
+(** Read [ARGUS_TRACE] (any value but "", "0", "false" enables the
+    stderr report) and [ARGUS_TRACE_JSON] (a file path). *)
+
+val active : unit -> bool
+(** True when any sink is configured. *)
+
+val finish : unit -> unit
+(** Emit to the configured sinks.  Safe to call when inactive (does
+    nothing), and more than once (re-emits the current state). *)
+
+val reset : unit -> unit
+(** Clear recorded spans and zero all metrics; sinks stay configured. *)

@@ -1,0 +1,69 @@
+type t = { name : string; start_ns : int; dur_ns : int; children : t list }
+
+type node = {
+  nname : string;
+  nstart : int;
+  mutable ndur : int;
+  mutable nchildren : node list; (* newest first *)
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* Wall time in ns, relative to the first call so the ints stay small
+   and the JSONL output is stable-ish across runs. *)
+let epoch = ref None
+
+let now_ns () =
+  let t = Unix.gettimeofday () in
+  let e =
+    match !epoch with
+    | Some e -> e
+    | None ->
+        epoch := Some t;
+        t
+  in
+  int_of_float ((t -. e) *. 1e9)
+
+let stack : node list ref = ref []
+let completed : node list ref = ref [] (* newest first *)
+
+let rec freeze n =
+  {
+    name = n.nname;
+    start_ns = n.nstart;
+    dur_ns = n.ndur;
+    children = List.rev_map freeze n.nchildren;
+  }
+
+let roots () = List.rev_map freeze !completed
+
+let reset () =
+  stack := [];
+  completed := []
+
+let with_ ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let n = { nname = name; nstart = now_ns (); ndur = 0; nchildren = [] } in
+    stack := n :: !stack;
+    let finish () =
+      n.ndur <- now_ns () - n.nstart;
+      Metrics.Histogram.observe
+        (Metrics.Histogram.make ("span." ^ name))
+        (float_of_int n.ndur);
+      (* Pop up to and including [n]; anything above it was left open by
+         an escaping exception and is discarded with its parent intact. *)
+      let rec pop = function
+        | top :: rest when top == n -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      match !stack with
+      | parent :: _ -> parent.nchildren <- n :: parent.nchildren
+      | [] -> completed := n :: !completed
+    in
+    Fun.protect ~finally:finish f
+  end

@@ -1,0 +1,37 @@
+(** Hierarchical timed spans.
+
+    [with_ ~name f] runs [f] and, when tracing is enabled, records a
+    span covering the call.  Nesting is tracked with an explicit stack,
+    so spans opened inside [f] become children; the completed trees are
+    available from {!roots} in call order.  When tracing is disabled the
+    cost of [with_] is a single flag test — the engines keep their spans
+    in place unconditionally.
+
+    Each completed span also feeds the histogram ["span.<name>"] in
+    {!Metrics}, giving per-rule / per-phase duration aggregates for
+    free.
+
+    Timing uses the highest-resolution clock the sealed toolchain
+    offers ([Unix.gettimeofday], microsecond wall time); durations are
+    reported in nanoseconds so a true monotonic source can be dropped
+    in without changing the format. *)
+
+type t = {
+  name : string;
+  start_ns : int;  (** Relative to the first span of the process. *)
+  dur_ns : int;
+  children : t list;  (** In call order. *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Exception-safe: the span is closed (and recorded) even if [f]
+    raises. *)
+
+val roots : unit -> t list
+(** Completed top-level spans, oldest first. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans (any open spans are detached). *)

@@ -1,0 +1,90 @@
+module Json = Argus_core.Json
+
+let pp_span_tree ppf spans =
+  let rec go indent (s : Span.t) =
+    Format.fprintf ppf "%s%-*s %12.1f us@." indent
+      (max 1 (40 - String.length indent))
+      s.Span.name
+      (float_of_int s.Span.dur_ns /. 1e3);
+    List.iter (go (indent ^ "  ")) s.Span.children
+  in
+  List.iter (go "  ") spans
+
+let pp_report ppf () =
+  Format.fprintf ppf "== argus trace ==@.";
+  (match Span.roots () with
+  | [] -> ()
+  | spans ->
+      Format.fprintf ppf "spans:@.";
+      pp_span_tree ppf spans);
+  (match List.filter (fun (_, v) -> v <> 0) (Metrics.counters ()) with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "counters:@.";
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf "  %-40s %12d@." name v)
+        cs);
+  (match Metrics.histograms () with
+  | [] -> ()
+  | hs ->
+      Format.fprintf ppf "histograms (us):@.";
+      Format.fprintf ppf "  %-40s %8s %10s %10s %10s@." "name" "count"
+        "mean" "p90" "max";
+      List.iter
+        (fun (name, s) ->
+          Format.fprintf ppf "  %-40s %8d %10.1f %10.1f %10.1f@." name
+            s.Metrics.hcount (s.Metrics.hmean /. 1e3)
+            (s.Metrics.hp90 /. 1e3) (s.Metrics.hmax /. 1e3))
+        hs);
+  Format.fprintf ppf "== end trace ==@."
+
+let jsonl_events () =
+  let meta =
+    Json.Obj [ ("type", Json.Str "meta"); ("schema", Json.Str "argus-trace/1") ]
+  in
+  let span_events =
+    let rec go depth (s : Span.t) acc =
+      let ev =
+        Json.Obj
+          [
+            ("type", Json.Str "span");
+            ("name", Json.Str s.Span.name);
+            ("depth", Json.int depth);
+            ("start_ns", Json.int s.Span.start_ns);
+            ("dur_ns", Json.int s.Span.dur_ns);
+          ]
+      in
+      List.fold_left (fun acc c -> go (depth + 1) c acc) (ev :: acc)
+        s.Span.children
+    in
+    List.rev (List.fold_left (fun acc s -> go 0 s acc) [] (Span.roots ()))
+  in
+  let counter_events =
+    List.map
+      (fun (name, v) ->
+        Json.Obj
+          [
+            ("type", Json.Str "counter");
+            ("name", Json.Str name);
+            ("value", Json.int v);
+          ])
+      (Metrics.counters ())
+  in
+  let histogram_events =
+    List.map
+      (fun (name, s) ->
+        Json.Obj
+          [
+            ("type", Json.Str "histogram");
+            ("name", Json.Str name);
+            ("count", Json.int s.Metrics.hcount);
+            ("sum", Json.Num s.Metrics.hsum);
+            ("min", Json.Num s.Metrics.hmin);
+            ("max", Json.Num s.Metrics.hmax);
+            ("mean", Json.Num s.Metrics.hmean);
+            ("p50", Json.Num s.Metrics.hp50);
+            ("p90", Json.Num s.Metrics.hp90);
+          ])
+      (Metrics.histograms ())
+  in
+  (meta :: span_events) @ counter_events @ histogram_events

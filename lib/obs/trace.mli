@@ -1,0 +1,15 @@
+(** Sinks: render the recorded spans and metrics.
+
+    Two formats, matching the two consumers the experiments need — a
+    human skimming stderr, and the JSONL trace files that
+    [BENCH_*.json]-style trajectory tooling ingests. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Span tree (µs) followed by the nonzero counters and histogram
+    aggregates — the [--trace] stderr report. *)
+
+val jsonl_events : unit -> Argus_core.Json.t list
+(** One event per line: a [meta] header, every span in pre-order
+    (with [depth]), every registered counter, every histogram with
+    observations.  Each event round-trips through
+    [Argus_core.Json.of_string]. *)

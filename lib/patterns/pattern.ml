@@ -37,6 +37,11 @@ let make ~name ?(description = "") ~params ?(replicate = []) structure =
     replicate = List.map (fun (n, p) -> (Id.of_string n, p)) replicate;
   }
 
+(* Instantiation counters (catalogue in DESIGN.md). *)
+let c_instantiations = Argus_obs.Counter.make "pattern.instantiations"
+let c_nodes_emitted = Argus_obs.Counter.make "pattern.nodes_emitted"
+let c_substitutions = Argus_obs.Counter.make "pattern.substitutions"
+
 let placeholders text =
   let n = String.length text in
   let rec go i acc =
@@ -75,6 +80,7 @@ let all_placeholders t =
     t.structure []
 
 let check_pattern t =
+  Argus_obs.Span.with_ ~name:"pattern.check" @@ fun () ->
   let out = ref [] in
   let add d = out := d :: !out in
   let used = all_placeholders t in
@@ -131,6 +137,7 @@ let check_pattern t =
 
 (* Substitute scalar placeholders in one text under a lookup. *)
 let subst_text lookup text =
+  Argus_obs.Counter.incr c_substitutions;
   let buf = Buffer.create (String.length text) in
   let n = String.length text in
   let rec go i =
@@ -195,6 +202,8 @@ let validate_binding t binding =
 let suffix_id suffix id = Id.of_string (Id.to_string id ^ "_" ^ suffix)
 
 let instantiate t binding =
+  Argus_obs.Span.with_ ~name:"pattern.instantiate" @@ fun () ->
+  Argus_obs.Counter.incr c_instantiations;
   let errors = validate_binding t binding in
   let errors =
     errors
@@ -249,6 +258,7 @@ let instantiate t binding =
                 in
                 List.iter
                   (fun n ->
+                    Argus_obs.Counter.incr c_nodes_emitted;
                     let copy =
                       {
                         n with

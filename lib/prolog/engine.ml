@@ -6,6 +6,15 @@ type derivation = {
   children : derivation list;
 }
 
+(* Engine counters (see the catalogue in DESIGN.md).  A failed
+   unification is what sends SLD resolution to the next alternative, so
+   it doubles as the backtrack count. *)
+let c_clause_tries = Argus_obs.Counter.make "prolog.clause_tries"
+let c_unifications = Argus_obs.Counter.make "prolog.unifications"
+let c_backtracks = Argus_obs.Counter.make "prolog.backtracks"
+let c_depth_abandoned = Argus_obs.Counter.make "prolog.depth_abandonments"
+let c_solutions = Argus_obs.Counter.make "prolog.solutions"
+
 (* Freshen a clause's variables with a globally-unique suffix so that
    resolution never confuses clause variables across uses. *)
 let freshen counter (c : Program.clause) =
@@ -26,14 +35,21 @@ let solve ?(max_depth = 64) program goals =
     match goals with
     | [] -> Seq.return (subst, [])
     | goal :: rest ->
-        if depth <= 0 then Seq.empty
+        if depth <= 0 then begin
+          Argus_obs.Counter.incr c_depth_abandoned;
+          Seq.empty
+        end
         else
           let goal_now = Term.Subst.apply subst goal in
           indexed |> List.to_seq
           |> Seq.concat_map (fun (index, clause) ->
+                 Argus_obs.Counter.incr c_clause_tries;
                  let c = freshen counter clause in
+                 Argus_obs.Counter.incr c_unifications;
                  match Term.unify_under subst goal_now c.Program.head with
-                 | None -> Seq.empty
+                 | None ->
+                     Argus_obs.Counter.incr c_backtracks;
+                     Seq.empty
                  | Some subst ->
                      solve_goals subst c.Program.body (depth - 1)
                      |> Seq.concat_map (fun (subst, body_derivs) ->
@@ -49,6 +65,9 @@ let solve ?(max_depth = 64) program goals =
                                    (subst, deriv :: rest_derivs))))
   in
   solve_goals Term.Subst.empty goals max_depth
+  |> Seq.map (fun solution ->
+         Argus_obs.Counter.incr c_solutions;
+         solution)
 
 let bindings_for goals subst =
   let seen = Hashtbl.create 16 in
@@ -61,6 +80,7 @@ let bindings_for goals subst =
          end)
 
 let solutions ?max_depth ?(limit = 10) program goal =
+  Argus_obs.Span.with_ ~name:"prolog.solutions" @@ fun () ->
   let rec take n seq =
     if n <= 0 then []
     else
@@ -72,9 +92,11 @@ let solutions ?max_depth ?(limit = 10) program goal =
   take limit (solve ?max_depth program [ goal ])
 
 let provable ?max_depth program goal =
+  Argus_obs.Span.with_ ~name:"prolog.provable" @@ fun () ->
   not (Seq.is_empty (solve ?max_depth program [ goal ]))
 
 let prove ?max_depth program goal =
+  Argus_obs.Span.with_ ~name:"prolog.prove" @@ fun () ->
   match Seq.uncons (solve ?max_depth program [ goal ]) with
   | Some ((subst, [ deriv ]), _) ->
       (* Resolve remaining variables in the recorded goals. *)

@@ -1,0 +1,48 @@
+Tracing: ARGUS_TRACE=1 prints a span tree and engine counters on stderr
+while the command's normal output and exit code are untouched.
+
+  $ ARGUS_TRACE=1 argus check press.arg 2>trace.err
+  0 error(s), 0 warning(s), 0 info
+  $ grep -c "^  argus.check " trace.err
+  1
+  $ grep -c "gsn.wellformed.links" trace.err
+  2
+  $ grep "gsn.wf.nodes_visited" trace.err | awk '{print $1, $2}'
+  gsn.wf.nodes_visited 7
+  $ grep "gsn.wf.links_checked" trace.err | awk '{print $1, $2}'
+  gsn.wf.links_checked 6
+
+The --trace flag does the same without the environment variable:
+
+  $ argus check press.arg --trace 2>trace2.err
+  0 error(s), 0 warning(s), 0 info
+  $ grep -c "== argus trace ==" trace2.err
+  1
+
+--trace-json writes one JSON event per line; the resolution engine
+counters come out nonzero for a derivable goal:
+
+  $ argus prove desert_bank.pl 'adjacent(desert_bank, river)' --trace-json trace.jsonl
+  adjacent(desert_bank, river)   [clause 2]
+    is_a(desert_bank, bank)   [clause 0]
+    adjacent(bank, river)   [clause 1]
+  $ grep '"name":"prolog.unifications"' trace.jsonl
+  {"type":"counter","name":"prolog.unifications","value":6}
+  $ grep '"name":"prolog.backtracks"' trace.jsonl
+  {"type":"counter","name":"prolog.backtracks","value":3}
+  $ grep '"name":"prolog.solutions"' trace.jsonl
+  {"type":"counter","name":"prolog.solutions","value":1}
+  $ grep -c '"type":"span"' trace.jsonl
+  2
+
+Machine-readable diagnostics share the same JSON story:
+
+  $ argus check broken.arg --format json | head -8
+  {
+    "diagnostics": [
+      {
+        "severity": "error",
+        "code": "gsn/bad-support-link",
+        "message": "a goal cannot be supported by a context",
+        "loc": null,
+        "subjects": [

@@ -1,0 +1,193 @@
+module Obs = Argus_obs.Obs
+module Span = Argus_obs.Span
+module Counter = Argus_obs.Counter
+module Histogram = Argus_obs.Histogram
+module Metrics = Argus_obs.Metrics
+module Trace = Argus_obs.Trace
+module Json = Argus_core.Json
+
+(* Every test starts from a clean slate: spans recording, data empty. *)
+let fresh () =
+  Obs.reset ();
+  Span.set_enabled true
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  fresh ();
+  Span.with_ ~name:"outer" (fun () ->
+      Span.with_ ~name:"first" (fun () -> ());
+      Span.with_ ~name:"second" (fun () ->
+          Span.with_ ~name:"inner" (fun () -> ())));
+  Span.with_ ~name:"sibling" (fun () -> ());
+  match Span.roots () with
+  | [ outer; sibling ] ->
+      Alcotest.(check string) "root order" "outer" outer.Span.name;
+      Alcotest.(check string) "second root" "sibling" sibling.Span.name;
+      Alcotest.(check (list string))
+        "children in call order"
+        [ "first"; "second" ]
+        (List.map (fun s -> s.Span.name) outer.Span.children);
+      let second = List.nth outer.Span.children 1 in
+      Alcotest.(check (list string))
+        "grandchild" [ "inner" ]
+        (List.map (fun s -> s.Span.name) second.Span.children)
+  | roots ->
+      Alcotest.failf "expected 2 roots, got %d" (List.length roots)
+
+let test_span_duration_contains_children () =
+  fresh ();
+  Span.with_ ~name:"outer" (fun () ->
+      Span.with_ ~name:"inner" (fun () -> Unix.sleepf 0.002));
+  match Span.roots () with
+  | [ outer ] ->
+      let inner = List.hd outer.Span.children in
+      Alcotest.(check bool) "inner ran for some time" true (inner.Span.dur_ns > 0);
+      Alcotest.(check bool)
+        "outer covers inner" true
+        (outer.Span.dur_ns >= inner.Span.dur_ns)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_span_disabled_is_transparent () =
+  Obs.reset ();
+  Span.set_enabled false;
+  let r = Span.with_ ~name:"ghost" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.roots ()))
+
+let test_span_exception_safety () =
+  fresh ();
+  (try
+     Span.with_ ~name:"outer" (fun () ->
+         Span.with_ ~name:"boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (match Span.roots () with
+  | [ outer ] ->
+      Alcotest.(check string) "outer recorded" "outer" outer.Span.name;
+      Alcotest.(check (list string))
+        "failing child recorded" [ "boom" ]
+        (List.map (fun s -> s.Span.name) outer.Span.children)
+  | _ -> Alcotest.fail "expected one root");
+  (* The stack unwound: a new span is a fresh root, not a child. *)
+  Span.with_ ~name:"after" (fun () -> ());
+  Alcotest.(check int) "stack balanced" 2 (List.length (Span.roots ()))
+
+(* --- counters and histograms --- *)
+
+let test_counter_aggregation () =
+  fresh ();
+  let c = Counter.make "test.counter" in
+  let c' = Counter.make "test.counter" in
+  Counter.incr c;
+  Counter.add c' 4;
+  Alcotest.(check int) "same counter via name" 5 (Counter.value c);
+  Alcotest.(check (option int))
+    "visible in snapshot" (Some 5)
+    (List.assoc_opt "test.counter" (Metrics.counters ()))
+
+let test_histogram_aggregation () =
+  fresh ();
+  let h = Histogram.make "test.histogram" in
+  List.iter (Histogram.observe h) [ 4.0; 1.0; 3.0; 2.0 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  let stats = List.assoc "test.histogram" (Metrics.histograms ()) in
+  Alcotest.(check (float 1e-9)) "sum" 10.0 stats.Metrics.hsum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 stats.Metrics.hmin;
+  Alcotest.(check (float 1e-9)) "max" 4.0 stats.Metrics.hmax;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 stats.Metrics.hmean;
+  Alcotest.(check bool)
+    "median within range" true
+    (stats.Metrics.hp50 >= 1.0 && stats.Metrics.hp50 <= 4.0)
+
+let test_reset_between_runs () =
+  fresh ();
+  let c = Counter.make "test.reset" in
+  Counter.add c 7;
+  let h = Histogram.make "test.reset.h" in
+  Histogram.observe h 1.0;
+  Span.with_ ~name:"gone" (fun () -> ());
+  Obs.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Counter.value c);
+  Alcotest.(check int) "histogram emptied" 0 (Histogram.count h);
+  Alcotest.(check int) "spans dropped" 0 (List.length (Span.roots ()));
+  Alcotest.(check int)
+    "empty histograms hidden" 0
+    (List.length (Metrics.histograms ()))
+
+(* --- JSONL --- *)
+
+let test_jsonl_round_trip () =
+  fresh ();
+  Counter.add (Counter.make "test.jsonl.counter") 3;
+  Histogram.observe (Histogram.make "test.jsonl.h") 2.5;
+  Span.with_ ~name:"a" (fun () -> Span.with_ ~name:"b" (fun () -> ()));
+  let events = Trace.jsonl_events () in
+  Alcotest.(check bool) "has events" true (List.length events > 3);
+  List.iter
+    (fun ev ->
+      let line = Json.to_string ev in
+      match Json.of_string line with
+      | Ok parsed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trips: %s" line)
+            true (Json.equal ev parsed)
+      | Error e -> Alcotest.failf "unparseable line %s: %s" line e)
+    events;
+  (* The span events carry depths reflecting the tree. *)
+  let depth_of name =
+    List.find_map
+      (fun ev ->
+        match (Json.member "name" ev, Json.member "depth" ev) with
+        | Some (Json.Str n), Some (Json.Num d) when n = name ->
+            Some (int_of_float d)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check (option int)) "root depth" (Some 0) (depth_of "a");
+  Alcotest.(check (option int)) "child depth" (Some 1) (depth_of "b")
+
+let test_metrics_to_json_parses () =
+  fresh ();
+  Counter.incr (Counter.make "test.json.counter");
+  let s = Json.to_string ~indent:true (Metrics.to_json ()) in
+  match Json.of_string s with
+  | Ok (Json.Obj fields) ->
+      Alcotest.(check bool)
+        "has counters" true
+        (List.mem_assoc "counters" fields)
+  | Ok _ -> Alcotest.fail "expected an object"
+  | Error e -> Alcotest.failf "unparseable: %s" e
+
+let () =
+  (* Leave global state clean for any test that runs after us. *)
+  at_exit (fun () ->
+      Obs.reset ();
+      Span.set_enabled false);
+  Alcotest.run "argus-obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_span_nesting;
+          Alcotest.test_case "durations nest" `Quick
+            test_span_duration_contains_children;
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_span_disabled_is_transparent;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter aggregation" `Quick
+            test_counter_aggregation;
+          Alcotest.test_case "histogram aggregation" `Quick
+            test_histogram_aggregation;
+          Alcotest.test_case "reset between runs" `Quick
+            test_reset_between_runs;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "metrics json parses" `Quick
+            test_metrics_to_json_parses;
+        ] );
+    ]
