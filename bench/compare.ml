@@ -1,0 +1,88 @@
+(* Regression gate over two bench runs.
+
+   Usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]
+
+   Reads the "timings_ns_per_run" table of each argus-bench/1 results
+   file, prints a per-kernel delta table, and exits non-zero when any
+   kernel present in both runs is slower than baseline * (1 + PCT/100).
+   Default threshold: 25%.  Kernels present in only one file are
+   reported but never fail the gate (benchmarks come and go across
+   PRs); I/O or parse problems exit with status 2. *)
+
+module Json = Argus_core.Json
+
+let fail fmt =
+  Format.kasprintf
+    (fun s ->
+      prerr_endline s;
+      exit 2)
+    fmt
+
+let read_timings path =
+  let text =
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> fail "%s" msg
+  in
+  match Json.of_string text with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok json -> (
+      match Json.member "timings_ns_per_run" json with
+      | Some (Json.Obj kvs) ->
+          List.filter_map
+            (fun (k, v) ->
+              match v with Json.Num ns -> Some (k, ns) | _ -> None)
+            kvs
+      | _ -> fail "%s: no timings_ns_per_run object" path)
+
+let () =
+  let rec parse paths threshold = function
+    | [] -> (List.rev paths, threshold)
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t -> parse paths t rest
+        | None -> fail "--threshold expects a number, got %S" v)
+    | a :: rest -> parse (a :: paths) threshold rest
+  in
+  let paths, threshold =
+    parse [] 25.0 (List.tl (Array.to_list Sys.argv))
+  in
+  match paths with
+  | [ baseline_path; current_path ] ->
+      let baseline = read_timings baseline_path
+      and current = read_timings current_path in
+      Format.printf "%-34s %14s %14s %9s@." "kernel" "baseline ns"
+        "current ns" "delta";
+      let regressions = ref [] in
+      List.iter
+        (fun (name, cur) ->
+          match List.assoc_opt name baseline with
+          | None -> Format.printf "%-34s %14s %14.0f %9s@." name "-" cur "new"
+          | Some base ->
+              let pct = (cur -. base) /. base *. 100. in
+              let flag =
+                if pct > threshold then begin
+                  regressions := (name, pct) :: !regressions;
+                  "  << REGRESSED"
+                end
+                else ""
+              in
+              Format.printf "%-34s %14.0f %14.0f %+8.1f%%%s@." name base cur
+                pct flag)
+        current;
+      List.iter
+        (fun (name, base) ->
+          if not (List.mem_assoc name current) then
+            Format.printf "%-34s %14.0f %14s %9s@." name base "-" "gone")
+        baseline;
+      (match List.rev !regressions with
+      | [] ->
+          Format.printf "@.no kernel regressed more than %g%%@." threshold
+      | rs ->
+          Format.printf "@.%d kernel(s) regressed more than %g%%:@."
+            (List.length rs) threshold;
+          List.iter
+            (fun (name, pct) -> Format.printf "  %s (+%.1f%%)@." name pct)
+            rs;
+          exit 1)
+  | _ -> fail "usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]"

@@ -3,7 +3,12 @@
    experiment simulations, and times the machinery with Bechamel (one
    Test.make per reproduced artefact plus the core kernels).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+
+   Flags: [--smoke] skips the reproduction sections and runs a short
+   Bechamel quota (for the @bench-smoke regression gate, see
+   bench/compare.ml); [-o FILE] writes the results JSON to FILE instead
+   of bench/results.json. *)
 
 module Survey = Argus_survey.Selection
 module Queries = Argus_survey.Queries
@@ -407,13 +412,13 @@ let bench_subjects =
                 (Argus_gsn.Hicase.of_structure deep_case)))));
   ]
 
-let run_benchmarks () =
+let run_benchmarks ~quota () =
   section "Bechamel micro-benchmarks (ns per run)";
   let open Bechamel in
   let open Toolkit in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
   let test = Test.make_grouped ~name:"argus" ~fmt:"%s/%s" bench_subjects in
   let raw = Benchmark.all cfg instances test in
@@ -437,7 +442,7 @@ let run_benchmarks () =
 (* Persist the run for trajectory tracking: per-artefact timings plus
    the engine counters the workloads accumulated (the counters run even
    with tracing disabled, so this costs nothing extra). *)
-let write_results timings =
+let write_results ?path timings =
   let module Json = Argus_core.Json in
   let json =
     Json.Obj
@@ -449,9 +454,12 @@ let write_results timings =
       ]
   in
   let path =
-    if Sys.file_exists "bench" && Sys.is_directory "bench" then
-      Filename.concat "bench" "results.json"
-    else "results.json"
+    match path with
+    | Some p -> p
+    | None ->
+        if Sys.file_exists "bench" && Sys.is_directory "bench" then
+          Filename.concat "bench" "results.json"
+        else "results.json"
   in
   match open_out path with
   | oc ->
@@ -463,12 +471,21 @@ let write_results timings =
       Format.eprintf "@.could not write %s: %s@." path msg
 
 let () =
-  table1 ();
-  survey_counts ();
-  figure1 ();
-  greenwell ();
-  proofgen_sizes ();
-  experiments ();
-  let timings = run_benchmarks () in
-  write_results timings;
+  let argv = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" argv in
+  let rec out_path = function
+    | "-o" :: p :: _ -> Some p
+    | _ :: rest -> out_path rest
+    | [] -> None
+  in
+  if not smoke then begin
+    table1 ();
+    survey_counts ();
+    figure1 ();
+    greenwell ();
+    proofgen_sizes ();
+    experiments ()
+  end;
+  let timings = run_benchmarks ~quota:(if smoke then 0.05 else 0.25) () in
+  write_results ?path:(out_path argv) timings;
   Format.printf "@.done.@."

@@ -1,0 +1,35 @@
+(** Globally interned names.
+
+    A symbol is an [int] handle into a process-wide table mapping names
+    to handles and back.  Interning the functor names of first-order
+    terms makes equality, comparison and hashing O(1) int operations on
+    the resolution hot path, instead of byte-by-byte string work.
+
+    The table only ever grows; symbols are never freed.  Intern only
+    names drawn from a bounded vocabulary (functors, predicates,
+    constants) — never machine-generated fresh names (the resolution
+    engine's freshened variables stay plain strings for exactly this
+    reason). *)
+
+type t = private int
+(** The handle.  [private int] so the polymorphic comparison and
+    hashing used on containing structures (e.g. whole terms) remain
+    correct and cheap. *)
+
+val intern : string -> t
+(** Intern a name, returning its existing handle when already known. *)
+
+val name : t -> string
+(** The name a handle was interned from.  O(1). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by interning time, not alphabetically. *)
+
+val hash : t -> int
+
+val count : unit -> int
+(** Number of distinct names interned so far (for tests and metrics). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the name. *)

@@ -27,10 +27,11 @@ let constant_roles program =
   let scan_atom t =
     match t with
     | Term.App (pred, args) ->
+        let pred = Argus_core.Symbol.name pred in
         List.iteri
           (fun i arg ->
             match arg with
-            | Term.App (c, []) -> note c (pred, i)
+            | Term.App (c, []) -> note (Argus_core.Symbol.name c) (pred, i)
             | Term.App _ | Term.Var _ -> ())
           args
     | Term.Var _ -> ()

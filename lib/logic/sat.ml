@@ -83,117 +83,371 @@ let c_unit_props = Argus_obs.Counter.make "sat.unit_propagations"
 let c_pure = Argus_obs.Counter.make "sat.pure_eliminations"
 let c_conflicts = Argus_obs.Counter.make "sat.conflicts"
 
-module Smap = Map.Make (String)
+(* The solver works on interned variables and int-encoded literals:
+   variable [v] (0-based) is literal [2v] positive and [2v+1] negative,
+   so negation is [lxor 1] and the variable is [lsr 1].  The assignment
+   is one int array plus an undo trail; clause state never needs undo
+   because the two watched literals of each clause (kept in positions 0
+   and 1, MiniSat-style) satisfy the invariant "watched literals are
+   not false, or the clause is satisfied" at every decision level. *)
 
-type assignment = bool Smap.t
+exception Unsat
 
-let lit_value (asg : assignment) l =
-  match Smap.find_opt l.var asg with
-  | None -> None
-  | Some b -> Some (Bool.equal b l.sign)
+type solver = {
+  nvars : int;
+  names : string array;
+  value : int array;  (** per variable: 0 unknown, 1 true, -1 false *)
+  trail : int array;  (** literal codes, in assignment order *)
+  mutable trail_n : int;
+  mutable qhead : int;  (** propagation frontier into [trail] *)
+  clauses : int array array;  (** clauses with >= 2 literals *)
+  watches : int list array;  (** literal code -> watching clause indices *)
+}
 
-(* Simplify a clause under the assignment: [None] when satisfied,
-   [Some remaining] otherwise. *)
-let simplify_clause asg clause =
-  let rec go acc = function
-    | [] -> Some (List.rev acc)
-    | l :: rest -> (
-        match lit_value asg l with
-        | Some true -> None
-        | Some false -> go acc rest
-        | None -> go (l :: acc) rest)
-  in
-  go [] clause
+let lit_value s l =
+  let v = s.value.(l lsr 1) in
+  if v = 0 then 0 else if l land 1 = 0 then v else -v
 
-exception Conflict
+(* Record [l] as true.  Raises [Unsat] on contradiction with the
+   current assignment (only possible for top-level enqueues; during
+   search the callers check first). *)
+let assign s l =
+  match lit_value s l with
+  | 1 -> ()
+  | -1 -> raise Unsat
+  | _ ->
+      s.value.(l lsr 1) <- (if l land 1 = 0 then 1 else -1);
+      s.trail.(s.trail_n) <- l;
+      s.trail_n <- s.trail_n + 1
 
-let simplify asg clauses =
-  List.filter_map
-    (fun c ->
-      match simplify_clause asg c with
-      | None -> None
-      | Some [] -> raise Conflict
-      | Some c -> Some c)
-    clauses
+let undo_to s mark =
+  for i = mark to s.trail_n - 1 do
+    s.value.(s.trail.(i) lsr 1) <- 0
+  done;
+  s.trail_n <- mark;
+  s.qhead <- mark
 
-let find_unit clauses =
-  List.find_map (function [ l ] -> Some l | _ -> None) clauses
+(* Propagate everything queued on the trail; false on conflict. *)
+let propagate s =
+  let ok = ref true in
+  while !ok && s.qhead < s.trail_n do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let fl = l lxor 1 in
+    let ws = s.watches.(fl) in
+    s.watches.(fl) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest -> (
+          let c = s.clauses.(ci) in
+          (* Normalise so the falsified watch sits in position 1. *)
+          if c.(0) = fl then begin
+            c.(0) <- c.(1);
+            c.(1) <- fl
+          end;
+          if lit_value s c.(0) = 1 then begin
+            (* Clause already satisfied by the other watch. *)
+            s.watches.(fl) <- ci :: s.watches.(fl);
+            process rest
+          end
+          else
+            let len = Array.length c in
+            let k = ref 2 in
+            while !k < len && lit_value s c.(!k) = -1 do
+              incr k
+            done;
+            if !k < len then begin
+              (* Found a non-false literal: move the watch there. *)
+              c.(1) <- c.(!k);
+              c.(!k) <- fl;
+              s.watches.(c.(1)) <- ci :: s.watches.(c.(1));
+              process rest
+            end
+            else begin
+              s.watches.(fl) <- ci :: s.watches.(fl);
+              match lit_value s c.(0) with
+              | -1 ->
+                  (* All literals false: conflict.  Put the unvisited
+                     watchers back before bailing out. *)
+                  List.iter
+                    (fun cj -> s.watches.(fl) <- cj :: s.watches.(fl))
+                    rest;
+                  Argus_obs.Counter.incr c_conflicts;
+                  ok := false
+              | _ ->
+                  Argus_obs.Counter.incr c_unit_props;
+                  assign s c.(0);
+                  process rest
+            end)
+    in
+    process ws
+  done;
+  !ok
 
-let find_pure clauses =
-  let polarity = Hashtbl.create 16 in
-  List.iter
-    (fun c ->
-      List.iter
-        (fun l ->
-          match Hashtbl.find_opt polarity l.var with
-          | None -> Hashtbl.add polarity l.var (Some l.sign)
-          | Some (Some s) when Bool.equal s l.sign -> ()
-          | Some (Some _) -> Hashtbl.replace polarity l.var None
-          | Some None -> ())
-        c)
-    clauses;
-  Hashtbl.fold
-    (fun var pol acc ->
-      match (acc, pol) with
-      | Some _, _ -> acc
-      | None, Some sign -> Some (lit var sign)
-      | None, None -> acc)
-    polarity None
+let next_unassigned s =
+  let rec go v = if v >= s.nvars then None else if s.value.(v) = 0 then Some v else go (v + 1) in
+  go 0
 
-let rec dpll asg clauses =
-  match clauses with
-  | [] -> Some asg
-  | _ when List.exists (fun c -> c = []) clauses ->
-      Argus_obs.Counter.incr c_conflicts;
-      None
-  | _ -> (
-      match find_unit clauses with
-      | Some l ->
-          Argus_obs.Counter.incr c_unit_props;
-          assign asg clauses l
-      | None -> (
-          match find_pure clauses with
-          | Some l ->
-              Argus_obs.Counter.incr c_pure;
-              assign asg clauses l
-          | None -> (
-              match clauses with
-              | (l :: _) :: _ -> (
-                  Argus_obs.Counter.incr c_decisions;
-                  match assign asg clauses l with
-                  | Some _ as r -> r
-                  | None -> assign asg clauses (neg_lit l))
-              | _ -> assert false)))
+let rec search s =
+  if not (propagate s) then false
+  else
+    match next_unassigned s with
+    | None -> true
+    | Some v ->
+        Argus_obs.Counter.incr c_decisions;
+        let mark = s.trail_n in
+        assign s (2 * v);
+        if search s then true
+        else begin
+          undo_to s mark;
+          assign s ((2 * v) + 1);
+          if search s then true
+          else begin
+            undo_to s mark;
+            false
+          end
+        end
 
-and assign asg clauses l =
-  let asg = Smap.add l.var l.sign asg in
-  match simplify asg clauses with
-  | clauses -> dpll asg clauses
-  | exception Conflict ->
-      Argus_obs.Counter.incr c_conflicts;
-      None
-
-let cnf_vars clauses =
-  List.fold_left
-    (fun acc c -> List.fold_left (fun acc l -> Smap.add l.var true acc) acc c)
-    Smap.empty clauses
-
-let solve clauses =
+let solve input_clauses =
   Argus_obs.Span.with_ ~name:"sat.solve" @@ fun () ->
-  Argus_obs.Counter.add c_clauses (List.length clauses);
-  Argus_obs.Counter.add c_vars (Smap.cardinal (cnf_vars clauses));
-  match dpll Smap.empty clauses with
-  | None -> None
-  | Some asg ->
-      (* Complete the assignment over all variables that occur. *)
-      let all = cnf_vars clauses in
-      let completed =
-        Smap.mapi
-          (fun v _ ->
-            match Smap.find_opt v asg with Some b -> b | None -> true)
-          all
-      in
-      Some (Smap.bindings completed)
+  Argus_obs.Counter.add c_clauses (List.length input_clauses);
+  (* Intern the variables of this CNF into 0..nvars-1, assigning ids as
+     literals are first encountered (one pass — hashing the variable
+     strings is the bulk of preprocessing, so each occurrence is hashed
+     exactly once).  Encode: sort + dedupe each clause, drop
+     tautologies, split off units.  An empty clause is immediately
+     unsatisfiable. *)
+  let ids = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  let nvars = ref 0 in
+  let code l =
+    let v =
+      match Hashtbl.find_opt ids l.var with
+      | Some v -> v
+      | None ->
+          let v = !nvars in
+          Hashtbl.add ids l.var v;
+          rev_names := l.var :: !rev_names;
+          incr nvars;
+          v
+    in
+    (2 * v) + if l.sign then 0 else 1
+  in
+  (* Dedup and tautology detection without sorting (the watch scheme
+     does not care about literal order): stamp each literal code with
+     the clause number as the clause is scanned — a repeated stamp is a
+     duplicate, a stamp on the negation makes the clause tautological.
+     A tautological clause is dropped but its remaining variables are
+     still interned, so the model covers every variable of the input. *)
+  let stamps = ref (Array.make 64 (-1)) in
+  let ensure l =
+    if l >= Array.length !stamps then begin
+      let bigger = Array.make (2 * (l + 1)) (-1) in
+      Array.blit !stamps 0 bigger 0 (Array.length !stamps);
+      stamps := bigger
+    end
+  in
+  let clause_no = ref 0 in
+  let encoded =
+    List.filter_map
+      (fun c ->
+        let ci = !clause_no in
+        incr clause_no;
+        let rec scan lits kept n taut =
+          match lits with
+          | [] -> if taut then None else Some (kept, n)
+          | l0 :: rest ->
+              let l = code l0 in
+              if taut then scan rest kept n true
+              else begin
+                ensure (l lor 1);
+                let st = !stamps in
+                if st.(l lxor 1) = ci then scan rest kept n true
+                else if st.(l) = ci then scan rest kept n false
+                else begin
+                  st.(l) <- ci;
+                  scan rest (l :: kept) (n + 1) false
+                end
+              end
+        in
+        match scan c [] 0 false with
+        | None -> None
+        | Some (kept, n) ->
+            let arr = Array.make n 0 in
+            List.iteri (fun i l -> arr.(i) <- l) kept;
+            Some arr)
+      input_clauses
+  in
+  let nvars = !nvars in
+  Argus_obs.Counter.add c_vars nvars;
+  let names = Array.make nvars "" in
+  List.iteri (fun i v -> names.(nvars - 1 - i) <- v) !rev_names;
+  let s =
+    {
+      nvars;
+      names;
+      value = Array.make nvars 0;
+      trail = Array.make (max nvars 1) 0;
+      trail_n = 0;
+      qhead = 0;
+      clauses =
+        Array.of_list (List.filter (fun c -> Array.length c >= 2) encoded);
+      watches = Array.make (2 * max nvars 1) [];
+    }
+  in
+  match
+    if List.exists (fun c -> Array.length c = 0) encoded then begin
+      Argus_obs.Counter.incr c_conflicts;
+      raise Unsat
+    end;
+    (* Top-level unit clauses are facts. *)
+    List.iter
+      (fun c ->
+        if Array.length c = 1 then begin
+          Argus_obs.Counter.incr c_unit_props;
+          assign s c.(0)
+        end)
+      encoded;
+    Array.iteri
+      (fun ci c ->
+        s.watches.(c.(0)) <- ci :: s.watches.(c.(0));
+        s.watches.(c.(1)) <- ci :: s.watches.(c.(1)))
+      s.clauses;
+    (* Pure-literal preprocessing: a variable with a single polarity
+       across the CNF can be assigned that polarity up front. *)
+    let occurs_pos = Array.make (max nvars 1) false in
+    let occurs_neg = Array.make (max nvars 1) false in
+    Array.iter
+      (Array.iter (fun l ->
+           if l land 1 = 0 then occurs_pos.(l lsr 1) <- true
+           else occurs_neg.(l lsr 1) <- true))
+      s.clauses;
+    for v = 0 to nvars - 1 do
+      if s.value.(v) = 0 && occurs_pos.(v) <> occurs_neg.(v) then begin
+        Argus_obs.Counter.incr c_pure;
+        assign s (if occurs_pos.(v) then 2 * v else (2 * v) + 1)
+      end
+    done;
+    search s
+  with
+  | true ->
+      let model = ref [] in
+      for v = nvars - 1 downto 0 do
+        model := (s.names.(v), s.value.(v) = 1) :: !model
+      done;
+      Some (List.sort (fun (a, _) (b, _) -> String.compare a b) !model)
+  | false -> None
+  | exception Unsat -> None
+
+(* --- The PR-1 solver, retained as a differential-testing oracle ---
+
+   Persistent-map assignments and clause-list rebuilding at every
+   decision: simple, obviously correct, and what the array solver above
+   is property-tested against.  It does not touch the engine
+   counters. *)
+module Naive = struct
+  module Smap = Map.Make (String)
+
+  type assignment = bool Smap.t
+
+  let lit_value (asg : assignment) l =
+    match Smap.find_opt l.var asg with
+    | None -> None
+    | Some b -> Some (Bool.equal b l.sign)
+
+  (* Simplify a clause under the assignment: [None] when satisfied,
+     [Some remaining] otherwise. *)
+  let simplify_clause asg clause =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | l :: rest -> (
+          match lit_value asg l with
+          | Some true -> None
+          | Some false -> go acc rest
+          | None -> go (l :: acc) rest)
+    in
+    go [] clause
+
+  exception Conflict
+
+  let simplify asg clauses =
+    List.filter_map
+      (fun c ->
+        match simplify_clause asg c with
+        | None -> None
+        | Some [] -> raise Conflict
+        | Some c -> Some c)
+      clauses
+
+  let find_unit clauses =
+    List.find_map (function [ l ] -> Some l | _ -> None) clauses
+
+  let find_pure clauses =
+    let polarity = Hashtbl.create 16 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun l ->
+            match Hashtbl.find_opt polarity l.var with
+            | None -> Hashtbl.add polarity l.var (Some l.sign)
+            | Some (Some s) when Bool.equal s l.sign -> ()
+            | Some (Some _) -> Hashtbl.replace polarity l.var None
+            | Some None -> ())
+          c)
+      clauses;
+    Hashtbl.fold
+      (fun var pol acc ->
+        match (acc, pol) with
+        | Some _, _ -> acc
+        | None, Some sign -> Some (lit var sign)
+        | None, None -> acc)
+      polarity None
+
+  let rec dpll asg clauses =
+    match clauses with
+    | [] -> Some asg
+    | _ when List.exists (fun c -> c = []) clauses -> None
+    | _ -> (
+        match find_unit clauses with
+        | Some l -> assign asg clauses l
+        | None -> (
+            match find_pure clauses with
+            | Some l -> assign asg clauses l
+            | None -> (
+                match clauses with
+                | (l :: _) :: _ -> (
+                    match assign asg clauses l with
+                    | Some _ as r -> r
+                    | None -> assign asg clauses (neg_lit l))
+                | _ -> assert false)))
+
+  and assign asg clauses l =
+    let asg = Smap.add l.var l.sign asg in
+    match simplify asg clauses with
+    | clauses -> dpll asg clauses
+    | exception Conflict -> None
+
+  let cnf_vars clauses =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun acc l -> Smap.add l.var true acc) acc c)
+      Smap.empty clauses
+
+  let solve clauses =
+    (* One variable scan serves both the completion step and (in the
+       instrumented solver) the counter. *)
+    let all = cnf_vars clauses in
+    match dpll Smap.empty clauses with
+    | None -> None
+    | Some asg ->
+        (* Complete the assignment over all variables that occur. *)
+        let completed =
+          Smap.mapi
+            (fun v _ ->
+              match Smap.find_opt v asg with Some b -> b | None -> true)
+            all
+        in
+        Some (Smap.bindings completed)
+end
 
 let satisfiable f = solve (tseitin f) <> None
 let valid f = not (satisfiable (Prop.Not f))
@@ -219,14 +473,13 @@ let count_models f =
   let fvars = Prop.vars f in
   let n = List.length fvars in
   if n > 24 then invalid_arg "count_models: too many variables";
-  let arr = Array.of_list fvars in
+  (* var -> bit index, precomputed instead of an O(n) scan per variable
+     per valuation. *)
+  let bit = Hashtbl.create (2 * n) in
+  List.iteri (fun i v -> Hashtbl.replace bit v i) fvars;
   let count = ref 0 in
   for mask = 0 to (1 lsl n) - 1 do
-    let valuation v =
-      let rec idx i = if arr.(i) = v then i else idx (i + 1) in
-      let i = idx 0 in
-      mask land (1 lsl i) <> 0
-    in
+    let valuation v = mask land (1 lsl Hashtbl.find bit v) <> 0 in
     if Prop.eval valuation f then incr count
   done;
   !count

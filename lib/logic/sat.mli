@@ -3,7 +3,13 @@
     This is the mechanical-verification back end: entailment and validity
     queries over {!Prop.t} power the formal-fallacy detectors
     (incompatible premises, premise/conclusion contradiction, begging the
-    question up to equivalence) and Rushby-style what-if probing. *)
+    question up to equivalence) and Rushby-style what-if probing.
+
+    The solver runs on int-encoded literals over variables interned per
+    call, with an array assignment, an undo trail, and two-watched-literal
+    unit propagation — no persistent maps or clause-list rebuilding on
+    the search path.  {!Naive} retains the original persistent-map DPLL
+    as a differential-testing oracle. *)
 
 type literal = { var : string; sign : bool }
 type clause = literal list
@@ -19,9 +25,10 @@ val tseitin : Prop.t -> cnf
     prefixed ["_ts"]; input formulas must not use that prefix. *)
 
 val solve : cnf -> (string * bool) list option
-(** DPLL with unit propagation and pure-literal elimination.  Returns a
-    satisfying assignment covering at least every variable that occurs,
-    or [None] when unsatisfiable. *)
+(** DPLL with two-watched-literal unit propagation and pure-literal
+    preprocessing.  Returns a satisfying assignment covering every
+    variable that occurs (sorted by name), or [None] when
+    unsatisfiable. *)
 
 val satisfiable : Prop.t -> bool
 val valid : Prop.t -> bool
@@ -38,3 +45,11 @@ val count_models : Prop.t -> int
 (** Number of satisfying assignments over the formula's variables, by
     exhaustive enumeration.  Intended for formulas with at most ~20
     variables; used by tests and the confidence module. *)
+
+module Naive : sig
+  val solve : cnf -> (string * bool) list option
+  (** The PR-1 persistent-map DPLL (unit propagation + pure-literal
+      elimination, clause lists rebuilt per decision).  Equivalent to
+      {!Sat.solve} on satisfiability; retained as the property-test
+      oracle.  Does not touch the engine counters. *)
+end

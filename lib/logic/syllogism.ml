@@ -69,7 +69,7 @@ let figure t =
 
 let mood t = (t.major.form, t.minor.form, t.conclusion.form)
 
-let violations t =
+let violations_uncached t =
   match structure t with
   | Error msg -> [ Malformed msg ]
   | Ok (s, p, m) ->
@@ -105,7 +105,7 @@ let violations t =
       then add Existential_from_universals;
       List.rev !out
 
-let is_valid t = violations t = []
+let form_index = function A -> 0 | E -> 1 | I -> 2 | O -> 3
 
 let make_figure fig (maj, min_, concl) =
   let s = "s" and p = "p" and m = "m" in
@@ -119,19 +119,81 @@ let make_figure fig (maj, min_, concl) =
   in
   { major; minor; conclusion = prop concl s p }
 
+(* For a well-formed syllogism the rule verdict depends only on the
+   mood and the figure, so all 4 x 4^3 = 256 cases are computed once
+   (on canonical terms, via the rule logic above) and looked up
+   thereafter.  Malformed inputs fall through to the direct path, which
+   carries the specific diagnosis message. *)
+let violation_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let forms = [| A; E; I; O |] in
+         let fig = (i / 64) + 1 in
+         let maj = forms.((i / 16) mod 4)
+         and min_ = forms.((i / 4) mod 4)
+         and concl = forms.(i mod 4) in
+         violations_uncached (make_figure fig (maj, min_, concl))))
+
+(* A single pass fused from [structure] and [figure]: locating the
+   middle term in each premise pins down both well-formedness and the
+   figure, so the verdict is one table index away.  The diagnosis
+   messages must match [structure]'s exactly. *)
+let violations t =
+  let s = t.conclusion.subject and p = t.conclusion.predicate in
+  if s = p then [ Malformed "conclusion relates a term to itself" ]
+  else
+    let in_major =
+      if t.major.subject = p then Some (Predicate, t.major.predicate)
+      else if t.major.predicate = p then Some (Subject, t.major.subject)
+      else None
+    and in_minor =
+      if t.minor.subject = s then Some (Predicate, t.minor.predicate)
+      else if t.minor.predicate = s then Some (Subject, t.minor.subject)
+      else None
+    in
+    match (in_major, in_minor) with
+    | None, _ -> [ Malformed "major premise does not mention the major term" ]
+    | _, None -> [ Malformed "minor premise does not mention the minor term" ]
+    | Some (maj_pos, m1), Some (min_pos, m2) ->
+        if m1 <> m2 then [ Malformed "premises do not share a middle term" ]
+        else if m1 = s || m1 = p then
+          [ Malformed "middle term coincides with an end term" ]
+        else
+          let fig =
+            match (maj_pos, min_pos) with
+            | Subject, Predicate -> 1
+            | Predicate, Predicate -> 2
+            | Subject, Subject -> 3
+            | Predicate, Subject -> 4
+          in
+          (Lazy.force violation_table).(((fig - 1) * 64)
+                                        + (form_index t.major.form * 16)
+                                        + (form_index t.minor.form * 4)
+                                        + form_index t.conclusion.form)
+
+let is_valid t = violations t = []
+
 let all_forms = [ A; E; I; O ]
 
-let all_moods_figures () =
-  List.concat_map
-    (fun fig ->
-      List.concat_map
-        (fun maj ->
-          List.concat_map
-            (fun min_ ->
-              List.map (fun concl -> make_figure fig (maj, min_, concl)) all_forms)
-            all_forms)
-        all_forms)
-    [ 1; 2; 3; 4 ]
+(* The enumeration is immutable and queried per call by benchmarks and
+   tests, so it is built once. *)
+let all_moods_figures =
+  let all =
+    lazy
+      (List.concat_map
+         (fun fig ->
+           List.concat_map
+             (fun maj ->
+               List.concat_map
+                 (fun min_ ->
+                   List.map
+                     (fun concl -> make_figure fig (maj, min_, concl))
+                     all_forms)
+                 all_forms)
+             all_forms)
+         [ 1; 2; 3; 4 ])
+  in
+  fun () -> Lazy.force all
 
 let valid_form_names =
   [

@@ -1,9 +1,19 @@
-type t = Var of string | App of string * t list
+module Symbol = Argus_core.Symbol
+
+type t = Var of string | App of Symbol.t * t list
 
 let var v = Var v
-let const c = App (c, [])
-let app f args = App (f, args)
-let equal = Stdlib.( = )
+let const c = App (Symbol.intern c, [])
+let app f args = App (Symbol.intern f, args)
+let app_sym f args = App (f, args)
+
+let rec equal t1 t2 =
+  match (t1, t2) with
+  | Var v, Var u -> String.equal v u
+  | App (f, args1), App (g, args2) ->
+      Symbol.equal f g && List.equal equal args1 args2
+  | Var _, App _ | App _, Var _ -> false
+
 let compare = Stdlib.compare
 
 let vars t =
@@ -28,62 +38,115 @@ let rec size = function
   | Var _ -> 1
   | App (_, args) -> List.fold_left (fun acc a -> acc + size a) 1 args
 
-module Smap = Map.Make (String)
+(* Substitutions are newest-first association lists: resolution binds a
+   handful of variables per clause use, and at those sizes a scan with
+   [String.equal] beats a balanced map's allocation and rebalancing.
+   Keys are unique — [bind] only ever adds an unbound variable, and a
+   repeated [bind] shadows (newest first) rather than corrupting. *)
+let rec assoc_find v = function
+  | [] -> None
+  | (u, t) :: rest -> if String.equal u v then Some t else assoc_find v rest
 
-let rec apply_map m = function
-  | Var v as t -> ( match Smap.find_opt v m with Some u -> u | None -> t)
-  | App (f, args) -> App (f, List.map (apply_map m) args)
-
-module Subst = struct
-  type nonrec t = t Smap.t
-
-  let empty = Smap.empty
-  let is_empty = Smap.is_empty
-  let bindings s = Smap.bindings s
-  let find v s = Smap.find_opt v s
-  let apply s t = apply_map s t
-
-  let bind v t s =
-    let single = Smap.singleton v t in
-    let s = Smap.map (fun u -> apply_map single u) s in
-    Smap.add v t s
-
-  let compose s2 s1 =
-    let s1' = Smap.map (fun t -> apply_map s2 t) s1 in
-    Smap.union (fun _ t1 _ -> Some t1) s1' s2
-end
+(* Applies [m] once, sharing unchanged subterms so substitution on
+   mostly-ground terms allocates nothing. *)
+let rec apply_map m t =
+  match t with
+  | Var v -> ( match assoc_find v m with Some u -> u | None -> t)
+  | App (f, args) ->
+      let changed = ref false in
+      let args' =
+        List.map
+          (fun a ->
+            let a' = apply_map m a in
+            if a' != a then changed := true;
+            a')
+          args
+      in
+      if !changed then App (f, args') else t
 
 let rec occurs v = function
   | Var u -> u = v
   | App (_, args) -> List.exists (occurs v) args
 
+module Subst = struct
+  type nonrec t = (string * t) list
+
+  let empty = []
+  let is_empty s = s = []
+
+  let bindings s =
+    (* Key-sorted, newest binding winning on (never-expected) shadowed
+       keys — the contract the map representation used to provide. *)
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) s
+
+  let find v s = assoc_find v s
+  let apply s t = match s with [] -> t | _ -> apply_map s t
+
+  let bind v t s =
+    (* Keep the substitution idempotent.  Rewriting is the rare case —
+       most binds introduce a variable no range term mentions — so scan
+       (allocation-free) before rebuilding. *)
+    let s =
+      if List.exists (fun (_, u) -> occurs v u) s then
+        let single = [ (v, t) ] in
+        List.map (fun (u, w) -> (u, apply_map single w)) s
+      else s
+    in
+    (v, t) :: s
+
+  let compose s2 s1 =
+    let s1' = List.map (fun (v, t) -> (v, apply_map s2 t)) s1 in
+    s1'
+    @ List.filter (fun (v, _) -> assoc_find v s1 = None) s2
+end
+
+(* Unification dereferences variables lazily instead of applying the
+   whole substitution to both terms at every step: because [Subst.bind]
+   keeps the substitution idempotent (no range term mentions a bound
+   variable), a single lookup fully resolves a variable, and App nodes
+   are traversed in place rather than rebuilt. *)
 let unify_under s t1 t2 =
+  let resolve sub t =
+    match t with
+    | Var v -> ( match assoc_find v sub with Some u -> u | None -> t)
+    | App _ -> t
+  in
   let rec go s t1 t2 =
     match s with
     | None -> None
     | Some sub -> (
-        let t1 = Subst.apply sub t1 and t2 = Subst.apply sub t2 in
+        let t1 = resolve sub t1 and t2 = resolve sub t2 in
         match (t1, t2) with
-        | Var v, Var u when v = u -> s
+        | Var v, Var u when String.equal v u -> s
         | Var v, t | t, Var v ->
+            (* [t]'s root is unbound but its arguments may mention bound
+               variables; resolve them now so the invariant holds. *)
+            let t = Subst.apply sub t in
             if occurs v t then None else Some (Subst.bind v t sub)
         | App (f, args1), App (g, args2) ->
-            if f <> g || List.length args1 <> List.length args2 then None
+            if
+              (not (Symbol.equal f g))
+              || List.compare_lengths args1 args2 <> 0
+            then None
             else List.fold_left2 go s args1 args2)
   in
   go (Some s) t1 t2
 
 let unify t1 t2 = unify_under Subst.empty t1 t2
 
-let rec rename ~suffix = function
-  | Var v -> Var (v ^ "_" ^ suffix)
-  | App (f, args) -> App (f, List.map (rename ~suffix) args)
+let rename ~suffix t =
+  let suffix = "_" ^ suffix in
+  let rec go = function
+    | Var v -> Var (v ^ suffix)
+    | App (f, args) -> App (f, List.map go args)
+  in
+  go t
 
 let rec pp ppf = function
   | Var v -> Format.pp_print_string ppf v
-  | App (f, []) -> Format.pp_print_string ppf f
+  | App (f, []) -> Symbol.pp ppf f
   | App (f, args) ->
-      Format.fprintf ppf "%s(%a)" f
+      Format.fprintf ppf "%a(%a)" Symbol.pp f
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
            pp)
@@ -146,8 +209,8 @@ let parse_tokens toks =
           | Some Lparen ->
               ignore (advance ());
               let args = p_args [] in
-              App (name, args)
-          | _ -> App (name, []))
+              app name args
+          | _ -> const name)
     | _ -> raise (Parse_error "expected a term")
   and p_args acc =
     let t = p_term () in

@@ -2,17 +2,28 @@
 
     Shared by the resolution engine (Figure 1's Prolog example) and the
     predicate-level fallacy lints.  Variables are capitalised in the
-    concrete syntax, Prolog-style; here they are just tagged strings. *)
+    concrete syntax, Prolog-style; here they are just tagged strings.
+
+    Functor and constant names are interned ({!Argus_core.Symbol}) so
+    unification compares ints, not strings.  The string-based
+    constructors ({!app}, {!const}, the parser) intern on the way in;
+    match sites that need the text back go through [Symbol.name].
+    Variable names are deliberately {e not} interned: the resolution
+    engine freshens clause variables with an unbounded counter, and the
+    intern table never shrinks. *)
 
 type t =
   | Var of string
-  | App of string * t list
+  | App of Argus_core.Symbol.t * t list
       (** [App (f, [])] is a constant; [App (f, args)] a compound term.
           Atoms/predicates are terms whose head is the predicate symbol. *)
 
 val var : string -> t
 val const : string -> t
 val app : string -> t list -> t
+
+val app_sym : Argus_core.Symbol.t -> t list -> t
+(** Like {!app} for an already-interned head (hot paths). *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
@@ -38,7 +49,7 @@ module Subst : sig
 
   val apply : t -> term -> term
   (** Applies until fixpoint-free (substitutions are kept idempotent, so
-      one pass suffices). *)
+      one pass suffices).  Shares unchanged subterms. *)
 
   val compose : t -> t -> t
   (** [compose s2 s1] applies [s1] first: [apply (compose s2 s1) t =
@@ -49,7 +60,9 @@ val unify : t -> t -> Subst.t option
 (** Most general unifier with occurs check, or [None]. *)
 
 val unify_under : Subst.t -> t -> t -> Subst.t option
-(** Unify under an existing substitution (used by resolution). *)
+(** Unify under an existing substitution (used by resolution).
+    Dereferences variables lazily against the substitution rather than
+    instantiating both terms up front. *)
 
 val rename : suffix:string -> t -> t
 (** Renames every variable [X] to [X_suffix]; used to freshen clauses

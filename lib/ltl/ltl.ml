@@ -62,18 +62,80 @@ end
    finite-trace evaluation. *)
 let c_positions = Argus_obs.Counter.make "ltl.positions_labelled"
 let c_sweeps = Argus_obs.Counter.make "ltl.fixpoint_sweeps"
+let c_memo_hits = Argus_obs.Counter.make "ltl.memo_hits"
 let c_finite_checks = Argus_obs.Counter.make "ltl.finite_checks"
 let c_finite_steps = Argus_obs.Counter.make "ltl.trace_steps"
 
 (* Fixpoint labelling over the lasso.  Positions are 0..n-1 where
    n = |prefix| + |loop|; the successor of the last position wraps to the
-   start of the loop. *)
+   start of the loop.  For formulas past a size threshold, each
+   structurally distinct subformula is labelled once per call: repeated
+   subterms (common after [nnf]) hit a memo table instead of re-running
+   their fixpoints.  Small formulas — the overwhelmingly common case in
+   goal models — skip the table: hashing a five-node formula costs more
+   than relabelling it. *)
+let memo_threshold = 16
+
 let label tr f =
   let p = Array.length tr.Trace.prefix in
   let n = Trace.length tr in
   let succ i = if i = n - 1 then p else i + 1 in
   let atom_true i a = List.mem a (Trace.state tr i) in
-  let rec go f =
+  let memo : (t, bool array) Hashtbl.t Lazy.t =
+    lazy (Hashtbl.create 32)
+  in
+  let rec go_direct f = compute go_direct f
+  and go_memo f =
+    let memo = Lazy.force memo in
+    match Hashtbl.find_opt memo f with
+    | Some v ->
+        Argus_obs.Counter.incr c_memo_hits;
+        v
+    | None ->
+        let v = compute go_memo f in
+        Hashtbl.add memo f v;
+        v
+  (* Least fixpoint of v(i) = base(i) or (hold(i) and v(succ i)); when
+     [hold] is [None] it is constantly true (the U-expansion of F,
+     evaluated directly so F never materialises an [Until (True, _)]
+     node just to label an all-true array). *)
+  and lfp ?hold base =
+    let v = Array.make n false in
+    let holds i = match hold with None -> true | Some h -> h.(i) in
+    let changed = ref true in
+    while !changed do
+      Argus_obs.Counter.incr c_sweeps;
+      changed := false;
+      for i = n - 1 downto 0 do
+        let v' = base.(i) || (holds i && v.(succ i)) in
+        if v' && not v.(i) then begin
+          v.(i) <- true;
+          changed := true
+        end
+      done
+    done;
+    v
+  (* Greatest fixpoint of v(i) = base(i) and (release(i) or v(succ i));
+     [release] [None] means constantly false (the R-expansion of G). *)
+  and gfp ?release base =
+    let v = Array.make n true in
+    let releases i =
+      match release with None -> false | Some r -> r.(i)
+    in
+    let changed = ref true in
+    while !changed do
+      Argus_obs.Counter.incr c_sweeps;
+      changed := false;
+      for i = n - 1 downto 0 do
+        let v' = base.(i) && (releases i || v.(succ i)) in
+        if (not v') && v.(i) then begin
+          v.(i) <- false;
+          changed := true
+        end
+      done
+    done;
+    v
+  and compute go f =
     Argus_obs.Counter.add c_positions n;
     match f with
     | True -> Array.make n true
@@ -86,43 +148,12 @@ let label tr f =
     | Next g ->
         let lg = go g in
         Array.init n (fun i -> lg.(succ i))
-    | Eventually g -> go (Until (True, g))
-    | Always g -> go (Release (False, g))
-    | Until (a, b) ->
-        (* Least fixpoint of v(i) = b(i) or (a(i) and v(succ i)). *)
-        let la = go a and lb = go b in
-        let v = Array.make n false in
-        let changed = ref true in
-        while !changed do
-          Argus_obs.Counter.incr c_sweeps;
-          changed := false;
-          for i = n - 1 downto 0 do
-            let v' = lb.(i) || (la.(i) && v.(succ i)) in
-            if v' && not v.(i) then begin
-              v.(i) <- true;
-              changed := true
-            end
-          done
-        done;
-        v
-    | Release (a, b) ->
-        (* Greatest fixpoint of v(i) = b(i) and (a(i) or v(succ i)). *)
-        let la = go a and lb = go b in
-        let v = Array.make n true in
-        let changed = ref true in
-        while !changed do
-          Argus_obs.Counter.incr c_sweeps;
-          changed := false;
-          for i = n - 1 downto 0 do
-            let v' = lb.(i) && (la.(i) || v.(succ i)) in
-            if (not v') && v.(i) then begin
-              v.(i) <- false;
-              changed := true
-            end
-          done
-        done;
-        v
+    | Eventually g -> lfp (go g)
+    | Always g -> gfp (go g)
+    | Until (a, b) -> lfp ~hold:(go a) (go b)
+    | Release (a, b) -> gfp ~release:(go a) (go b)
   in
+  let go = if size f <= memo_threshold then go_direct else go_memo in
   Argus_obs.Span.with_ ~name:"ltl.label" (fun () -> go f)
 
 let holds_at tr i f =

@@ -5,6 +5,15 @@
     keeps recursive programs (like Figure 1's [adjacent/2] rule)
     explorable without divergence; solutions stream lazily.
 
+    The engine resolves against a {!compiled} dispatch table rather
+    than scanning the clause list: clauses are keyed by predicate
+    symbol and arity, discriminated on the principal functor of the
+    head's first argument, and freshened lazily — only after the index
+    admits them (ground clauses are never freshened at all).  The
+    [prolog.index_hits]/[prolog.index_misses] counters record the
+    index's selectivity; clause order, and therefore the solution
+    order, is exactly that of the naive engine.
+
     Every solution carries a {!derivation} tree recording which clause
     resolved each goal — the raw material the proof-to-argument
     generator (Basir/Denney pipeline) and the Figure 1 demonstration
@@ -16,6 +25,19 @@ type derivation = {
   children : derivation list;  (** One per body goal of that clause. *)
 }
 
+type compiled
+(** A program compiled to a predicate/arity-keyed dispatch table with
+    first-argument discrimination.  Compile once, query many times. *)
+
+val compile : Program.t -> compiled
+
+val solve_compiled :
+  ?max_depth:int ->
+  compiled ->
+  Argus_logic.Term.t list ->
+  (Argus_logic.Term.Subst.t * derivation list) Seq.t
+(** Like {!solve} against a pre-compiled program. *)
+
 val solve :
   ?max_depth:int ->
   Program.t ->
@@ -26,7 +48,18 @@ val solve :
     branches deeper than that are abandoned (so a looping program yields
     finitely many of its solutions rather than diverging).  The
     substitution covers the goals' variables (plus internal renamings —
-    use {!bindings_for} to restrict). *)
+    use {!bindings_for} to restrict).  Compiles the program first; call
+    {!solve_compiled} to amortise that over repeated queries. *)
+
+val solve_naive :
+  ?max_depth:int ->
+  Program.t ->
+  Argus_logic.Term.t list ->
+  (Argus_logic.Term.Subst.t * derivation list) Seq.t
+(** The textbook engine: linear clause scan, eager freshening, no
+    index.  Solution-for-solution equivalent to {!solve}; retained as
+    the differential-testing oracle (and it leaves the engine counters
+    untouched). *)
 
 val bindings_for :
   Argus_logic.Term.t list ->

@@ -28,7 +28,7 @@ let predicates prog =
     (fun c ->
       match c.head with
       | Term.App (f, args) ->
-          let key = (f, List.length args) in
+          let key = (Argus_core.Symbol.name f, List.length args) in
           if Hashtbl.mem seen key then None
           else begin
             Hashtbl.add seen key ();
@@ -116,8 +116,8 @@ let parse tokens =
           match peek () with
           | Some Lparen ->
               ignore (advance ());
-              Term.App (name, p_args [])
-          | _ -> Term.App (name, []))
+              Term.app name (p_args [])
+          | _ -> Term.const name)
     | _ -> raise (Parse_error "expected a term")
   and p_args acc =
     let t = p_term () in

@@ -27,11 +27,24 @@ counters come out nonzero for a derivable goal:
     is_a(desert_bank, bank)   [clause 0]
     adjacent(bank, river)   [clause 1]
   $ grep '"name":"prolog.unifications"' trace.jsonl
-  {"type":"counter","name":"prolog.unifications","value":6}
+  {"type":"counter","name":"prolog.unifications","value":3}
   $ grep '"name":"prolog.backtracks"' trace.jsonl
-  {"type":"counter","name":"prolog.backtracks","value":3}
+  {"type":"counter","name":"prolog.backtracks","value":0}
   $ grep '"name":"prolog.solutions"' trace.jsonl
   {"type":"counter","name":"prolog.solutions","value":1}
+
+The dispatch index rules clauses out before they are freshened or
+unified.  Three index lookups over the three-clause program account
+for every clause: hits + misses = 9, and only 4 of 9 candidates
+survive the predicate and first-argument filters (of which 3 are
+actually tried — the answer stream is lazy):
+
+  $ grep '"name":"prolog.index_hits"' trace.jsonl
+  {"type":"counter","name":"prolog.index_hits","value":4}
+  $ grep '"name":"prolog.index_misses"' trace.jsonl
+  {"type":"counter","name":"prolog.index_misses","value":5}
+  $ grep '"name":"prolog.clause_tries"' trace.jsonl
+  {"type":"counter","name":"prolog.clause_tries","value":3}
   $ grep -c '"type":"span"' trace.jsonl
   2
 

@@ -307,6 +307,38 @@ let json_roundtrip_indented =
       | Ok j' -> Json.equal j j'
       | Error _ -> false)
 
+(* --- Symbol --- *)
+
+let test_symbol_roundtrip () =
+  let s = Symbol.intern "desert_bank" in
+  Alcotest.(check string) "name round-trips" "desert_bank" (Symbol.name s);
+  Alcotest.(check bool)
+    "re-interning returns the same handle" true
+    (Symbol.equal s (Symbol.intern "desert_bank"));
+  Alcotest.(check int)
+    "equal handles compare equal" 0
+    (Symbol.compare s (Symbol.intern "desert_bank"))
+
+let test_symbol_distinct () =
+  let a = Symbol.intern "alpha_sym_test" in
+  let b = Symbol.intern "beta_sym_test" in
+  Alcotest.(check bool) "distinct names differ" false (Symbol.equal a b);
+  Alcotest.(check bool)
+    "interning order gives the order" true
+    (Symbol.compare a b < 0);
+  Alcotest.(check string) "pp prints the name" "alpha_sym_test"
+    (Format.asprintf "%a" Symbol.pp a)
+
+let test_symbol_count () =
+  let before = Symbol.count () in
+  ignore (Symbol.intern "sym_count_probe_1");
+  ignore (Symbol.intern "sym_count_probe_1");
+  Alcotest.(check int) "re-interning does not grow" (before + 1)
+    (Symbol.count ());
+  ignore (Symbol.intern "sym_count_probe_2");
+  Alcotest.(check int) "fresh name grows by one" (before + 2)
+    (Symbol.count ())
+
 let () =
   Alcotest.run "argus-core"
     [
@@ -357,6 +389,12 @@ let () =
           QCheck_alcotest.to_alcotest levenshtein_symmetry;
           QCheck_alcotest.to_alcotest levenshtein_triangle;
           Alcotest.test_case "symbolic detection" `Quick test_symbolic_detection;
+        ] );
+      ( "symbol",
+        [
+          Alcotest.test_case "intern round-trip" `Quick test_symbol_roundtrip;
+          Alcotest.test_case "distinct names" `Quick test_symbol_distinct;
+          Alcotest.test_case "count" `Quick test_symbol_count;
         ] );
       ( "json",
         [

@@ -175,6 +175,38 @@ let test_entails_basic () =
     "incompatible premises entail anything" true
     (Sat.entails [ p "a"; p "~a" ] (p "q"))
 
+(* The array solver must agree with the retained naive reference on
+   both CNF conversions, and its models must actually satisfy the
+   clauses it was given. *)
+let array_dpll_agrees_with_naive_tseitin =
+  QCheck.Test.make ~name:"array DPLL agrees with naive DPLL (Tseitin CNF)"
+    ~count:300 arb_prop (fun f ->
+      let cnf = Sat.tseitin f in
+      Bool.equal (Sat.solve cnf <> None) (Sat.Naive.solve cnf <> None))
+
+let array_dpll_agrees_with_naive_direct =
+  QCheck.Test.make ~name:"array DPLL agrees with naive DPLL (direct CNF)"
+    ~count:300 arb_prop (fun f ->
+      let cnf = Sat.cnf_of_prop f in
+      Bool.equal (Sat.solve cnf <> None) (Sat.Naive.solve cnf <> None))
+
+let array_dpll_model_satisfies_cnf =
+  QCheck.Test.make ~name:"array DPLL models satisfy the CNF" ~count:300
+    arb_prop (fun f ->
+      let cnf = Sat.cnf_of_prop f in
+      match Sat.solve cnf with
+      | None -> true
+      | Some asg ->
+          List.for_all
+            (fun c ->
+              List.exists
+                (fun l ->
+                  match List.assoc_opt l.Sat.var asg with
+                  | Some b -> Bool.equal b l.Sat.sign
+                  | None -> false)
+                c)
+            cnf)
+
 let test_count_models () =
   let p = Prop.of_string_exn in
   Alcotest.(check int) "a | b" 3 (Sat.count_models (p "a | b"));
@@ -200,7 +232,7 @@ let gen_term =
                 (1, map (fun i -> Term.Var (Printf.sprintf "X%d" i)) (int_bound 3));
                 ( 3,
                   map2
-                    (fun f args -> Term.App (Printf.sprintf "f%d" f, args))
+                    (fun f args -> Term.app (Printf.sprintf "f%d" f) args)
                     (int_bound 2)
                     (list_size (int_range 1 3) (self (n / 2))) );
               ])
@@ -252,10 +284,11 @@ let test_occurs_check () =
 
 let test_term_parse () =
   (match Term.of_string "adjacent(desert_bank, river)" with
-  | Ok (Term.App ("adjacent", [ Term.App ("desert_bank", []); Term.App ("river", []) ]))
-    ->
-      ()
-  | _ -> Alcotest.fail "parse shape");
+  | Ok t ->
+      Alcotest.(check bool) "parse shape" true
+        (Term.equal t
+           (Term.app "adjacent" [ Term.const "desert_bank"; Term.const "river" ]))
+  | Error e -> Alcotest.fail e);
   (match Term.of_string "f(X, g(Y, c))" with
   | Ok t ->
       Alcotest.(check (list string)) "vars" [ "X"; "Y" ] (Term.vars t)
@@ -735,6 +768,9 @@ let () =
           QCheck_alcotest.to_alcotest dpll_agrees_with_bruteforce;
           QCheck_alcotest.to_alcotest validity_agrees_with_bruteforce;
           QCheck_alcotest.to_alcotest direct_cnf_equisatisfiable;
+          QCheck_alcotest.to_alcotest array_dpll_agrees_with_naive_tseitin;
+          QCheck_alcotest.to_alcotest array_dpll_agrees_with_naive_direct;
+          QCheck_alcotest.to_alcotest array_dpll_model_satisfies_cnf;
           QCheck_alcotest.to_alcotest model_satisfies;
           QCheck_alcotest.to_alcotest entailment_reflexive;
           QCheck_alcotest.to_alcotest entailment_monotone;

@@ -191,6 +191,164 @@ let chain_reachability =
            (Engine.provable program
               (Term.app "path" [ Term.const "c1"; Term.const "c0" ])))
 
+(* --- Indexed engine vs. the naive reference --- *)
+
+(* The indexed engine only skips clauses whose head unification was
+   guaranteed to fail, so its solution stream must equal the naive
+   engine's — same bindings, same order — up to the names of freshened
+   variables. *)
+let rec term_similar t1 t2 =
+  match (t1, t2) with
+  | Term.Var _, Term.Var _ -> true
+  | Term.App (f, a1), Term.App (g, a2) ->
+      Argus_core.Symbol.equal f g
+      && List.compare_lengths a1 a2 = 0
+      && List.for_all2 term_similar a1 a2
+  | _ -> false
+
+let bindings_similar b1 b2 =
+  List.compare_lengths b1 b2 = 0
+  && List.for_all2
+       (fun (v1, t1) (v2, t2) -> String.equal v1 v2 && term_similar t1 t2)
+       b1 b2
+
+let take_bindings goal limit seq =
+  let rec go n seq =
+    if n <= 0 then []
+    else
+      match Seq.uncons seq with
+      | None -> []
+      | Some ((subst, _), rest) ->
+          Engine.bindings_for [ goal ] subst :: go (n - 1) rest
+  in
+  go limit seq
+
+(* Random databases mixing predicates, arities, compound and constant
+   first arguments — the shapes first-argument indexing discriminates
+   on — plus optional variable-bodied rules, probed with goals whose
+   arguments may be variables. *)
+let gen_program_and_goal =
+  let open QCheck.Gen in
+  let const i = Term.const (Printf.sprintf "c%d" i) in
+  let atom =
+    oneof
+      [
+        map const (int_range 0 3);
+        map (fun i -> Term.app "s" [ const i ]) (int_range 0 2);
+      ]
+  in
+  let fact =
+    map2
+      (fun name args -> Program.fact (Term.app name args))
+      (oneofl [ "p"; "q"; "r" ])
+      (list_size (int_range 1 2) atom)
+  in
+  let rule_pool =
+    [
+      Program.rule
+        (Term.app "t" [ Term.var "X" ])
+        [ Term.app "p" [ Term.var "X" ] ];
+      Program.rule
+        (Term.app "t" [ Term.var "X" ])
+        [ Term.app "q" [ Term.var "X"; Term.var "Y" ] ];
+      Program.rule
+        (Term.app "t" [ Term.var "X" ])
+        [ Term.app "p" [ Term.var "X" ]; Term.app "r" [ Term.var "X" ] ];
+    ]
+  in
+  let goal_arg = oneof [ atom; map Term.var (oneofl [ "G"; "H" ]) ] in
+  pair
+    (pair (list_size (int_range 2 12) fact) bool)
+    (pair (oneofl [ "p"; "q"; "r"; "t" ]) (list_size (int_range 1 2) goal_arg))
+  |> map (fun ((facts, use_rules), (gname, gargs)) ->
+         ((if use_rules then facts @ rule_pool else facts),
+          Term.app gname gargs))
+
+let indexed_agrees_with_naive =
+  QCheck.Test.make ~name:"indexed engine = naive engine (solutions, in order)"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (p, g) ->
+         Program.to_string p ^ " ?- " ^ Term.to_string g)
+       gen_program_and_goal)
+    (fun (program, goal) ->
+      let idx =
+        take_bindings goal 12 (Engine.solve ~max_depth:24 program [ goal ])
+      in
+      let naive =
+        take_bindings goal 12
+          (Engine.solve_naive ~max_depth:24 program [ goal ])
+      in
+      List.compare_lengths idx naive = 0
+      && List.for_all2 bindings_similar idx naive)
+
+let chain_program n =
+  List.init n (fun i ->
+      Program.fact
+        (Term.app "edge"
+           [
+             Term.const (Printf.sprintf "c%d" i);
+             Term.const (Printf.sprintf "c%d" (i + 1));
+           ]))
+  @ [
+      Program.rule
+        (Term.app "path" [ Term.var "X"; Term.var "Y" ])
+        [ Term.app "edge" [ Term.var "X"; Term.var "Y" ] ];
+      Program.rule
+        (Term.app "path" [ Term.var "X"; Term.var "Y" ])
+        [
+          Term.app "edge" [ Term.var "X"; Term.var "Z" ];
+          Term.app "path" [ Term.var "Z"; Term.var "Y" ];
+        ];
+    ]
+
+let indexed_agrees_on_recursion =
+  QCheck.Test.make
+    ~name:"indexed engine = naive engine (recursive provability)" ~count:80
+    QCheck.(pair (int_range 1 6) (pair (int_bound 7) (int_bound 7)))
+    (fun (n, (a, b)) ->
+      let program = chain_program n in
+      let goal =
+        Term.app "path"
+          [
+            Term.const (Printf.sprintf "c%d" a);
+            Term.const (Printf.sprintf "c%d" b);
+          ]
+      in
+      Bool.equal
+        (not (Seq.is_empty (Engine.solve ~max_depth:32 program [ goal ])))
+        (not
+           (Seq.is_empty (Engine.solve_naive ~max_depth:32 program [ goal ]))))
+
+(* Counter invariants on the Figure 1 workload (the same query the
+   test/cli/trace.t cram test pins exact values for): every index
+   lookup accounts for the whole program as hits + misses, lazy answer
+   streams can only try admitted clauses, and each try is exactly one
+   unification. *)
+let test_index_counter_invariants () =
+  let hits = Argus_obs.Counter.make "prolog.index_hits"
+  and misses = Argus_obs.Counter.make "prolog.index_misses"
+  and tries = Argus_obs.Counter.make "prolog.clause_tries"
+  and unifs = Argus_obs.Counter.make "prolog.unifications" in
+  let snap () =
+    ( Argus_obs.Counter.value hits,
+      Argus_obs.Counter.value misses,
+      Argus_obs.Counter.value tries,
+      Argus_obs.Counter.value unifs )
+  in
+  let h0, m0, t0, u0 = snap () in
+  let goal = term "adjacent(desert_bank, river)" in
+  let n = Seq.length (Engine.solve desert_bank [ goal ]) in
+  Alcotest.(check int) "one solution" 1 n;
+  let h1, m1, t1, u1 = snap () in
+  let dh = h1 - h0 and dm = m1 - m0 and dt = t1 - t0 and du = u1 - u0 in
+  Alcotest.(check int) "hits + misses cover the program at every lookup" 0
+    ((dh + dm) mod List.length desert_bank);
+  Alcotest.(check bool) "tries never exceed admitted candidates" true
+    (dt <= dh);
+  Alcotest.(check int) "each try is exactly one unification" dt du;
+  Alcotest.(check bool) "the index pruned something" true (dm > 0)
+
 (* Derivations are sound: replaying a derivation bottom-up, each node's
    goal must unify with its clause's head under some instantiation. *)
 let derivations_replayable =
@@ -246,5 +404,12 @@ let () =
           QCheck_alcotest.to_alcotest fact_db_complete;
           QCheck_alcotest.to_alcotest chain_reachability;
           QCheck_alcotest.to_alcotest derivations_replayable;
+        ] );
+      ( "indexing",
+        [
+          QCheck_alcotest.to_alcotest indexed_agrees_with_naive;
+          QCheck_alcotest.to_alcotest indexed_agrees_on_recursion;
+          Alcotest.test_case "counter invariants" `Quick
+            test_index_counter_invariants;
         ] );
     ]
