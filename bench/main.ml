@@ -25,6 +25,8 @@ module Structure = Argus_gsn.Structure
 module Wellformed = Argus_gsn.Wellformed
 module Pattern = Argus_patterns.Pattern
 module Proofgen = Argus_proofgen.Proofgen
+module Modular = Argus_gsn.Modular
+module Pool = Argus_par.Pool
 open Argus_experiments
 
 let section title =
@@ -268,6 +270,84 @@ let deep_case =
       ]
     nodes
 
+(* A 16-module collection: each module is a small self-contained case,
+   chained by away goals (module i cites module i+1's root), so both
+   the per-module well-formedness fan-out and the cross-module rules
+   have work to do. *)
+let bench_modular =
+  let module Node = Argus_gsn.Node in
+  let id = Argus_core.Id.of_string in
+  let n_modules = 16 in
+  let mk i =
+    let g = Printf.sprintf "M%d_G" i in
+    let s = Printf.sprintf "M%d_S" i in
+    let sn = Printf.sprintf "M%d_Sn" i in
+    let ev = Printf.sprintf "M%d_E" i in
+    let nodes =
+      [
+        Node.goal g (Printf.sprintf "module %d obligations are met" i);
+        Node.strategy s "argue over obligations";
+        Node.solution ~evidence:ev sn "analysis results";
+      ]
+      @
+      if i = n_modules - 1 then []
+      else
+        let away = Printf.sprintf "M%d_G" (i + 1) in
+        [
+          Node.make ~id:(id away)
+            ~node_type:(Node.Away_goal (id (Printf.sprintf "M%d" (i + 1))))
+            "cited module's obligations are met";
+        ]
+    in
+    let links =
+      [
+        (Structure.Supported_by, g, s);
+        (Structure.Supported_by, s, sn);
+      ]
+      @
+      if i = n_modules - 1 then []
+      else
+        [ (Structure.Supported_by, s, Printf.sprintf "M%d_G" (i + 1)) ]
+    in
+    Structure.of_nodes ~links
+      ~evidence:
+        [
+          Argus_core.Evidence.make ~id:(id ev)
+            ~kind:Argus_core.Evidence.Analysis "analysis";
+        ]
+      nodes
+  in
+  List.fold_left
+    (fun acc i ->
+      Modular.add_module ~name:(id (Printf.sprintf "M%d" i)) (mk i) acc)
+    Modular.empty
+    (List.init n_modules Fun.id)
+
+(* A par-* kernel owns its pool only for the duration of its own
+   measurement (Bechamel's [uniq] resource): parked worker domains are
+   not free — while any live, every minor collection is a multi-domain
+   stop-the-world handshake, which benches allocation-heavy sequential
+   kernels ~2x slower.  Scoping the pool to the kernel keeps the
+   sequential timings honest. *)
+let par_kernel ~name ~jobs f =
+  let open Bechamel in
+  Test.make_with_resource ~name Test.uniq
+    ~allocate:(fun () -> Pool.create ~jobs ())
+    ~free:Pool.shutdown (Staged.stage f)
+
+(* A combined refutation query in the Argus_kaos style — a conjunction
+   of small goal formulas over shared atoms — sized past the labeller's
+   memo gate, so [ltl.memo_hits] moves under bench (test/ltl pins the
+   gate itself). *)
+let bench_ltl_combined =
+  let ltl = Argus_ltl.Ltl.of_string_exn in
+  ( ltl
+      "(G (close -> F clear)) & ((G (close -> tracked)) & ((G (tracked -> F \
+       clear)) & !(G (close -> F clear))))",
+    Argus_ltl.Ltl.Trace.make
+      ~prefix:[ [ "close" ] ]
+      ~loop:[ [ "close"; "tracked" ]; [ "clear" ]; [] ] )
+
 let bench_subjects =
   let open Bechamel in
   let goal = term_exn "adjacent(desert_bank, river)" in
@@ -353,6 +433,17 @@ let bench_subjects =
   in
   let small_exp_a = { Exp_a.default_config with Exp_a.subjects_per_arm = 5 } in
   let small_exp_d = { Exp_d.default_config with Exp_d.trials_per_arm = 20 } in
+  let greenwell_args =
+    List.map (fun i -> i.Greenwell.argument) Greenwell.corpus
+  in
+  (* Direct CNF in which [p] and [q] appear with a single polarity, so
+     DPLL's pure-literal elimination fires (Tseitin-encoded queries
+     structurally never contain pure literals — DESIGN.md section 7). *)
+  let pure_cnf =
+    Sat.cnf_of_prop
+      (Prop.of_string_exn
+         "(p | a) & (p | ~a) & (q | a) & (q | ~b) & (b | ~a) & (a | b)")
+  in
   [
     Test.make ~name:"table1-pipeline" (Staged.stage (fun () ->
         ignore (Survey.table1 Survey.corpus)));
@@ -410,6 +501,36 @@ let bench_subjects =
           (Argus_gsn.Hicase.visible
              (Argus_gsn.Hicase.collapse_to_depth 1
                 (Argus_gsn.Hicase.of_structure deep_case)))));
+    Test.make ~name:"dpll-pure-literal" (Staged.stage (fun () ->
+        ignore (Sat.solve pure_cnf)));
+    Test.make ~name:"ltl-label-combined" (Staged.stage (fun () ->
+        let f, tr = bench_ltl_combined in
+        ignore (Argus_ltl.Ltl.holds tr f)));
+    Test.make ~name:"modular-wf-16" (Staged.stage (fun () ->
+        ignore (Modular.check bench_modular)));
+    (* Parallel-runtime kernels (argus.par): same workloads as their
+       sequential counterparts above, fanned out over a pool.  Results
+       are bit-identical to sequential by the pool's determinism
+       contract, so these time only the runtime. *)
+    par_kernel ~name:"par-exp-a-small" ~jobs:4 (fun pool ->
+        ignore (Exp_a.run ~pool small_exp_a));
+    par_kernel ~name:"par-exp-b" ~jobs:4 (fun pool ->
+        ignore (Exp_b.run ~pool Exp_b.default_config));
+    par_kernel ~name:"par-exp-e" ~jobs:4 (fun pool ->
+        ignore (Exp_e.run ~pool Exp_e.default_config));
+    par_kernel ~name:"par-greenwell-corpus-check" ~jobs:4 (fun pool ->
+        ignore (Formal.check_many ~pool greenwell_args));
+    par_kernel ~name:"par-modular-wf-16" ~jobs:4 (fun pool ->
+        ignore (Modular.check ~pool bench_modular));
+    (* Jobs scaling: the same kernel at 1, 2 and 4 workers.  On a
+       single-core host jobs=1 wins and the curve is flat — that is
+       the point of recording it. *)
+    par_kernel ~name:"par-exp-e-jobs1" ~jobs:1 (fun pool ->
+        ignore (Exp_e.run ~pool Exp_e.default_config));
+    par_kernel ~name:"par-exp-e-jobs2" ~jobs:2 (fun pool ->
+        ignore (Exp_e.run ~pool Exp_e.default_config));
+    par_kernel ~name:"par-exp-e-jobs4" ~jobs:4 (fun pool ->
+        ignore (Exp_e.run ~pool Exp_e.default_config));
   ]
 
 let run_benchmarks ~quota () =
@@ -486,6 +607,8 @@ let () =
     proofgen_sizes ();
     experiments ()
   end;
-  let timings = run_benchmarks ~quota:(if smoke then 0.05 else 0.25) () in
+  (* The sub-microsecond kernels need the longer quota: at 0.25s their
+     run-to-run spread on a shared VM exceeds the bench-smoke gate. *)
+  let timings = run_benchmarks ~quota:(if smoke then 0.05 else 1.0) () in
   write_results ?path:(out_path argv) timings;
   Format.printf "@.done.@."

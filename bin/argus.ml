@@ -85,47 +85,72 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Case file.")
 
 let check_cmd =
-  let run () ruleset with_lints format path =
+  let run () ruleset with_lints format jobs paths =
     spanned "argus.check" @@ fun () ->
-    let report ds =
+    let render_report ds =
       match format with
-      | `Text -> Format.printf "%a" Diagnostic.pp_report ds
+      | `Text -> Format.asprintf "%a" Diagnostic.pp_report ds
       | `Json ->
-          print_endline (Json.to_string ~indent:true (Diagnostic.report_to_json ds))
+          Json.to_string ~indent:true (Diagnostic.report_to_json ds) ^ "\n"
     in
-    let report_err ds =
-      (match format with
-      | `Text -> Format.eprintf "%a" Diagnostic.pp_report ds
-      | `Json -> report ds);
-      1
+    (* One file's whole check, fully buffered as (stdout, stderr, exit
+       code) so batch mode can run files on worker domains and still
+       print byte-identical output in input order. *)
+    let check_file ?pool path =
+      let report ds = (render_report ds, "", exit_of_diags ds) in
+      let report_err ds =
+        match format with
+        | `Text -> ("", Format.asprintf "%a" Diagnostic.pp_report ds, 1)
+        | `Json -> (render_report ds, "", 1)
+      in
+      match Dsl.parse_collection ~filename:path (read_file path) with
+      | Error ds -> report_err ds
+      | Ok [ case ] when case.Dsl.module_name = None ->
+          let ds =
+            Wellformed.check ~ruleset case.Dsl.structure
+            @ Dsl.validate_metadata case
+            @ (if with_lints then Informal.check_structure case.Dsl.structure
+               else [])
+          in
+          report ds
+      | Ok cases -> (
+          match Dsl.to_modular cases with
+          | Error ds -> report_err ds
+          | Ok collection ->
+              let ds =
+                Argus_gsn.Modular.check ?pool collection
+                @ List.concat_map Dsl.validate_metadata cases
+                @
+                if with_lints then
+                  List.concat_map
+                    (fun c -> Informal.check_structure c.Dsl.structure)
+                    cases
+                else []
+              in
+              report ds)
     in
-    match Dsl.parse_collection ~filename:path (read_file path) with
-    | Error ds -> report_err ds
-    | Ok [ case ] when case.Dsl.module_name = None ->
-        let ds =
-          Wellformed.check ~ruleset case.Dsl.structure
-          @ Dsl.validate_metadata case
-          @ (if with_lints then Informal.check_structure case.Dsl.structure
-             else [])
-        in
-        report ds;
-        exit_of_diags ds
-    | Ok cases -> (
-        match Dsl.to_modular cases with
-        | Error ds -> report_err ds
-        | Ok collection ->
-            let ds =
-              Argus_gsn.Modular.check collection
-              @ List.concat_map Dsl.validate_metadata cases
-              @
-              if with_lints then
-                List.concat_map
-                  (fun c -> Informal.check_structure c.Dsl.structure)
-                  cases
-              else []
-            in
-            report ds;
-            exit_of_diags ds)
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Argus_par.Pool.default_jobs ()
+    in
+    let results =
+      if jobs <= 1 then List.map (fun p -> check_file p) paths
+      else
+        Argus_par.Pool.with_pool ~jobs (fun pool ->
+            match paths with
+            | [ p ] ->
+                (* A single file still uses the pool inside the
+                   modular-collection check. *)
+                [ check_file ~pool p ]
+            | _ -> Argus_par.Pool.map_list ~pool (fun p -> check_file p) paths)
+    in
+    List.fold_left
+      (fun code (out, err, c) ->
+        if out <> "" then print_string out;
+        if err <> "" then prerr_string err;
+        max code c)
+      0 results
   in
   let ruleset =
     Arg.(value & opt ruleset_conv Wellformed.Standard
@@ -141,9 +166,24 @@ let check_cmd =
       & info [ "format" ]
           ~doc:"Output format: $(b,text) or $(b,json) (machine-readable).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Check files across $(docv) worker domains (default: \
+             ARGUS_JOBS, else the machine's recommended domain count). \
+             Diagnostics are printed in input order whatever $(docv) is.")
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Case file(s).")
+  in
   Cmd.v
-    (Cmd.info "check" ~doc:"Check a case for well-formedness")
-    Term.(const run $ obs_t $ ruleset $ lints $ format $ file_arg)
+    (Cmd.info "check" ~doc:"Check one or more cases for well-formedness")
+    Term.(const run $ obs_t $ ruleset $ lints $ format $ jobs $ files_arg)
 
 (* --- render --- *)
 
@@ -452,23 +492,35 @@ let survey_cmd =
 
 let experiments_cmd =
   let open Argus_experiments in
-  let run () which seed =
+  let run () which seed jobs =
     spanned "argus.experiments" @@ fun () ->
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Argus_par.Pool.default_jobs ()
+    in
+    let with_pool f =
+      (* Results are pool-independent by construction (per-trial PRNG
+         streams); the pool only changes who runs the trials. *)
+      if jobs <= 1 then f None
+      else Argus_par.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+    in
+    with_pool @@ fun pool ->
     let run_a () =
       Format.printf "%a@." Exp_a.pp
-        (Exp_a.run { Exp_a.default_config with seed })
+        (Exp_a.run ?pool { Exp_a.default_config with seed })
     and run_b () =
       Format.printf "%a@." Exp_b.pp
-        (Exp_b.run { Exp_b.default_config with seed })
+        (Exp_b.run ?pool { Exp_b.default_config with seed })
     and run_c () =
       Format.printf "%a@." Exp_c.pp
-        (Exp_c.run { Exp_c.default_config with seed })
+        (Exp_c.run ?pool { Exp_c.default_config with seed })
     and run_d () =
       Format.printf "%a@." Exp_d.pp
-        (Exp_d.run { Exp_d.default_config with seed })
+        (Exp_d.run ?pool { Exp_d.default_config with seed })
     and run_e () =
       Format.printf "%a@." Exp_e.pp
-        (Exp_e.run { Exp_e.default_config with seed })
+        (Exp_e.run ?pool { Exp_e.default_config with seed })
     in
     (match which with
     | "a" -> run_a ()
@@ -491,9 +543,19 @@ let experiments_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Split simulation trials across $(docv) worker domains \
+             (default: ARGUS_JOBS, else the machine's recommended domain \
+             count).  Results are bit-identical for any $(docv).")
+  in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run the Section VI experiment simulations")
-    Term.(const run $ obs_t $ which $ seed)
+    Term.(const run $ obs_t $ which $ seed $ jobs)
 
 let () =
   let doc = "assurance-argument toolkit (Graydon, DSN 2015, reproduced)" in

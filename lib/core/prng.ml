@@ -1,4 +1,7 @@
-type t = { mutable state : int64 }
+(* [spare] holds the unused half of a Box-Muller pair (see [gaussian]);
+   it is part of the generator state so copies and streams stay
+   deterministic. *)
+type t = { mutable state : int64; mutable spare : float; mutable has_spare : bool }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -9,14 +12,25 @@ let mix z =
       0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = mix (Int64.of_int seed) }
-let copy t = { state = t.state }
+let of_state state = { state; spare = 0.0; has_spare = false }
+
+let create seed = of_state (mix (Int64.of_int seed))
+let copy t = { state = t.state; spare = t.spare; has_spare = t.has_spare }
 
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t = { state = mix (next_int64 t) }
+let split t = of_state (mix (next_int64 t))
+
+let stream t k =
+  if k < 0 then invalid_arg "Prng.stream: index must be non-negative";
+  (* Independent per-index generator derived from [t]'s current state
+     without advancing it: jump the state k+1 gammas ahead and mix, so
+     distinct indices land on well-separated states and parallel trials
+     draw the same numbers whatever order (or domain) they run in. *)
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (k + 1))) in
+  of_state (mix z)
 
 let float t =
   (* 53 high bits to a double in [0,1). *)
@@ -32,9 +46,25 @@ let bernoulli t p =
   float t < p
 
 let gaussian t ~mean ~sd =
-  let u1 = Float.max 1e-300 (float t) in
-  let u2 = float t in
-  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  (* Box-Muller yields a pair per (log, sqrt, cos/sin) evaluation; the
+     sine half is banked in [t.spare] so every other call costs only a
+     multiply-add.  The simulations draw normals in the hundreds of
+     thousands, making this the single hottest code path. *)
+  let z =
+    if t.has_spare then begin
+      t.has_spare <- false;
+      t.spare
+    end
+    else begin
+      let u1 = Float.max 1e-300 (float t) in
+      let u2 = float t in
+      let r = sqrt (-2.0 *. log u1) in
+      let a = 2.0 *. Float.pi *. u2 in
+      t.spare <- r *. sin a;
+      t.has_spare <- true;
+      r *. cos a
+    end
+  in
   mean +. (sd *. z)
 
 let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~sd:sigma)

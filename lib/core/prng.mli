@@ -15,6 +15,13 @@ val split : t -> t
 (** A statistically independent generator derived from [t] (advances
     [t]). *)
 
+val stream : t -> int -> t
+(** [stream t k] is an independent generator for trial index [k],
+    derived from [t]'s current state {e without} advancing [t].  The
+    mapping is pure — same [t] state and [k] give the same stream — so
+    per-trial draws are identical whether trials run sequentially or
+    split across domains.  @raise Invalid_argument if [k < 0]. *)
+
 val next_int64 : t -> int64
 val float : t -> float
 (** Uniform in [0, 1). *)

@@ -1,6 +1,7 @@
 module Prop = Argus_logic.Prop
 module Formal = Argus_fallacy.Formal
 module Greenwell = Argus_fallacy.Greenwell
+module Pool = Argus_par.Pool
 
 type config = {
   seed : int;
@@ -142,10 +143,14 @@ let seeded_counts corpus =
         (f, i) argument)
     (0, 0) corpus
 
-let run_arm cfg rng duty corpus =
+let run_arm ?pool cfg rng duty corpus =
+  (* Each subject reviews with their own PRNG stream, indexed by
+     subject number, so splitting subjects across domains draws the
+     same numbers as the sequential loop. *)
   let runs =
-    List.init cfg.subjects_per_arm (fun _ ->
-        review_subject cfg rng duty corpus)
+    Pool.init ?pool cfg.subjects_per_arm (fun i ->
+        review_subject cfg (Prng.stream rng i) duty corpus)
+    |> Array.to_list
   in
   let minutes = List.map (fun (m, _, _) -> m) runs in
   let formal_seeded, informal_seeded = seeded_counts corpus in
@@ -181,34 +186,39 @@ let reviewer_overlap cfg rng =
     { first_only = 0; second_only = 0; both = 0; neither = 0 }
     Greenwell.corpus
 
-let run cfg =
+let run ?pool cfg =
   let rng = Prng.create cfg.seed in
   let corpus = build_corpus cfg (Prng.split rng) in
-  let arm_i, minutes_i = run_arm cfg (Prng.split rng) Informal_only corpus in
-  let arm_b, minutes_b = run_arm cfg (Prng.split rng) Both corpus in
+  let arm_i, minutes_i =
+    run_arm ?pool cfg (Prng.split rng) Informal_only corpus
+  in
+  let arm_b, minutes_b = run_arm ?pool cfg (Prng.split rng) Both corpus in
   let overlap = reviewer_overlap cfg (Prng.split rng) in
-  (* The tool arm: run the real detector over every seeded step. *)
-  let tool_formal_found = ref 0 and tool_formal_seeded = ref 0 in
-  let tool_false_positives = ref 0 in
-  List.iter
-    (List.iter (fun step ->
-         match step with
-         | Sound -> ()
-         | Formal_fallacy arg ->
-             incr tool_formal_seeded;
-             if Formal.check_propositional arg <> [] then
-               incr tool_formal_found
-         | Informal_fallacy inst ->
-             if Formal.check_propositional inst.Greenwell.argument <> [] then
-               incr tool_false_positives))
-    corpus;
+  (* The tool arm: run the real detector over every seeded step — pure
+     per-step checks, merged by summing in step order. *)
+  let steps = Array.of_list (List.concat corpus) in
+  let seeded, found, fps =
+    Pool.map_reduce ?pool
+      ~map:(fun step ->
+        match step with
+        | Sound -> (0, 0, 0)
+        | Formal_fallacy arg ->
+            (1, (if Formal.check_propositional arg <> [] then 1 else 0), 0)
+        | Informal_fallacy inst ->
+            ( 0,
+              0,
+              if Formal.check_propositional inst.Greenwell.argument <> [] then 1
+              else 0 ))
+      ~combine:(fun (a, b, c) (a', b', c') -> (a + a', b + b', c + c'))
+      ~init:(0, 0, 0) steps
+  in
   {
     config = cfg;
     informal_only = arm_i;
     both_duties = arm_b;
-    tool_formal_found = !tool_formal_found;
-    tool_formal_seeded = !tool_formal_seeded;
-    tool_false_positives = !tool_false_positives;
+    tool_formal_found = found;
+    tool_formal_seeded = seeded;
+    tool_false_positives = fps;
     time_test = Stats.welch_t minutes_b minutes_i;
     overlap;
   }

@@ -63,5 +63,9 @@ type result = {
           fallacies that the other flagged". *)
 }
 
-val run : config -> result
+val run : ?pool:Argus_par.Pool.t -> config -> result
+(** Results are identical for any [?pool] (or none): subjects and
+    tool-arm steps use per-index PRNG streams and pure checks, merged
+    in index order. *)
+
 val pp : Format.formatter -> result -> unit

@@ -138,65 +138,74 @@ let checker_catches defect binding =
   | Error _ -> true
   | Ok _ -> false
 
-let run cfg =
+let run ?pool cfg =
   let rng = Prng.create cfg.seed in
   let schedule = defect_schedule cfg (Prng.split rng) in
   let manual_rng = Prng.split rng and tool_rng = Prng.split rng in
-  (* Manual arm. *)
-  let manual_minutes = ref [] in
-  let m_injected = ref 0 and m_caught = ref 0 and m_residual = ref 0 in
-  List.iter
-    (fun defect ->
-      let t =
-        Prng.lognormal manual_rng ~mu:(log cfg.minutes_manual) ~sigma:0.3
-        +. Prng.lognormal manual_rng ~mu:(log cfg.minutes_review) ~sigma:0.3
-      in
-      manual_minutes := t :: !manual_minutes;
-      match defect with
-      | None -> ()
-      | Some d ->
-          incr m_injected;
-          let p =
-            match d with
-            | Semantically_wrong_value -> cfg.p_review_catch_semantic
-            | _ -> cfg.p_review_catch
-          in
-          if Prng.bernoulli manual_rng p then incr m_caught
-          else incr m_residual)
-    schedule;
-  (* Tool arm: same schedule, and the checker is real. *)
-  let tool_minutes = ref [] in
-  let t_injected = ref 0 and t_caught = ref 0 and t_residual = ref 0 in
-  let checker_agreed = ref true in
-  List.iteri
-    (fun k defect ->
-      let base = Prng.lognormal tool_rng ~mu:(log cfg.minutes_tool) ~sigma:0.3 in
-      let binding = correct_binding k in
-      let extra =
+  let schedule_arr = Array.of_list schedule in
+  (* Both arms draw trial [k]'s numbers from stream [k] of the arm's
+     generator and merge counts in trial order, so the results are
+     identical whether trials run sequentially or across domains. *)
+  let manual_trials =
+    Argus_par.Pool.mapi_array ?pool
+      (fun k defect ->
+        let rng = Prng.stream manual_rng k in
+        let t =
+          Prng.lognormal rng ~mu:(log cfg.minutes_manual) ~sigma:0.3
+          +. Prng.lognormal rng ~mu:(log cfg.minutes_review) ~sigma:0.3
+        in
         match defect with
-        | None -> 0.0
+        | None -> (t, 0, 0, 0)
+        | Some d ->
+            let p =
+              match d with
+              | Semantically_wrong_value -> cfg.p_review_catch_semantic
+              | _ -> cfg.p_review_catch
+            in
+            if Prng.bernoulli rng p then (t, 1, 1, 0) else (t, 1, 0, 1))
+      schedule_arr
+  in
+  let manual_minutes =
+    Array.to_list (Array.map (fun (t, _, _, _) -> t) manual_trials)
+  in
+  let sum4 f = Array.fold_left (fun acc x -> acc + f x) 0 manual_trials in
+  let m_injected = sum4 (fun (_, i, _, _) -> i) in
+  let m_caught = sum4 (fun (_, _, c, _) -> c) in
+  let m_residual = sum4 (fun (_, _, _, r) -> r) in
+  (* Tool arm: same schedule, and the checker is real. *)
+  let tool_trials =
+    Argus_par.Pool.mapi_array ?pool
+      (fun k defect ->
+        let rng = Prng.stream tool_rng k in
+        let base = Prng.lognormal rng ~mu:(log cfg.minutes_tool) ~sigma:0.3 in
+        let binding = correct_binding k in
+        match defect with
+        | None -> (base, 0, 0, 0, true)
         | Some Inconsistent_replacement ->
             (* The tool substitutes mechanically: the mistake cannot be
                committed in the first place. *)
-            incr t_injected;
-            incr t_caught;
-            0.0
+            (base, 1, 1, 0, true)
         | Some d ->
-            incr t_injected;
             let caught = checker_catches d binding in
-            let expected_caught = d <> Semantically_wrong_value in
-            if caught <> expected_caught then checker_agreed := false;
-            if caught then begin
-              incr t_caught;
-              Prng.lognormal tool_rng ~mu:(log cfg.minutes_rework) ~sigma:0.3
-            end
-            else begin
-              incr t_residual;
-              0.0
-            end
-      in
-      tool_minutes := (base +. extra) :: !tool_minutes)
-    schedule;
+            let agreed = caught = (d <> Semantically_wrong_value) in
+            if caught then
+              let rework =
+                Prng.lognormal rng ~mu:(log cfg.minutes_rework) ~sigma:0.3
+              in
+              (base +. rework, 1, 1, 0, agreed)
+            else (base, 1, 0, 1, agreed))
+      schedule_arr
+  in
+  let tool_minutes =
+    Array.to_list (Array.map (fun (t, _, _, _, _) -> t) tool_trials)
+  in
+  let sum5 f = Array.fold_left (fun acc x -> acc + f x) 0 tool_trials in
+  let t_injected = sum5 (fun (_, i, _, _, _) -> i) in
+  let t_caught = sum5 (fun (_, _, c, _, _) -> c) in
+  let t_residual = sum5 (fun (_, _, _, r, _) -> r) in
+  let checker_agreed =
+    Array.for_all (fun (_, _, _, _, a) -> a) tool_trials
+  in
   let arm trials injected caught residual minutes =
     {
       trials;
@@ -207,21 +216,21 @@ let run cfg =
     }
   in
   let manual =
-    arm cfg.trials_per_arm !m_injected !m_caught !m_residual !manual_minutes
+    arm cfg.trials_per_arm m_injected m_caught m_residual manual_minutes
   in
   let tool =
-    arm cfg.trials_per_arm !t_injected !t_caught !t_residual !tool_minutes
+    arm cfg.trials_per_arm t_injected t_caught t_residual tool_minutes
   in
   {
     config = cfg;
     manual;
     tool;
-    tool_checker_agreed = !checker_agreed;
+    tool_checker_agreed = checker_agreed;
     residual_rate_manual =
       float_of_int manual.residual_defects /. float_of_int manual.trials;
     residual_rate_tool =
       float_of_int tool.residual_defects /. float_of_int tool.trials;
-    time_test = Stats.welch_t !tool_minutes !manual_minutes;
+    time_test = Stats.welch_t tool_minutes manual_minutes;
   }
 
 let pp_arm ppf name a =

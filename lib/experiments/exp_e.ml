@@ -133,22 +133,40 @@ let ground_truth () =
 
 let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
 
-let run cfg =
+let run ?pool cfg =
   let rng = Prng.create cfg.seed in
   let truth = ground_truth () in
   let baseline = Confidence.root_confidence ~trust specimen in
   let relative (eid, s) = (eid, if baseline > 0.0 then s /. baseline else s) in
   let truth_rel = List.map relative truth in
+  (* The traced-node count and the probe verdict for an evidence item
+     do not depend on the assessor, so run the Confidence kernels once
+     per item instead of once per assessor per item. *)
+  let traced_lengths =
+    List.map
+      (fun (eid, _) ->
+        List.length (Confidence.impact_by_tracing specimen (Id.of_string eid)))
+      truth_rel
+  in
+  let probe_verdicts =
+    List.map
+      (fun (eid, _) ->
+        let premise = evidence_premise eid in
+        let is_premise =
+          List.exists (Prop.equal premise)
+            formal_counterpart.Natded.premises
+        in
+        if is_premise then Confidence.probe_premise formal_counterpart premise
+        else true)
+      truth_rel
+  in
   (* One assessor's judgments for each evidence item, under a
      procedure.  Returns (minutes, perceived) per item. *)
   let tracing_assessor rng =
-    List.map
-      (fun (eid, true_rel) ->
-        let traced =
-          Confidence.impact_by_tracing specimen (Id.of_string eid)
-        in
+    List.map2
+      (fun (_, true_rel) n_traced ->
         let minutes =
-          float_of_int (List.length traced)
+          float_of_int n_traced
           *. Prng.lognormal rng ~mu:(log cfg.minutes_per_traced_node)
                ~sigma:0.3
         in
@@ -157,20 +175,11 @@ let run cfg =
             (Prng.gaussian rng ~mean:true_rel ~sd:cfg.tracing_noise_sd)
         in
         (minutes, perceived))
-      truth_rel
+      truth_rel traced_lengths
   in
   let probing_assessor rng =
-    List.map
-      (fun (eid, _) ->
-        let premise = evidence_premise eid in
-        let is_premise =
-          List.exists (Prop.equal premise)
-            formal_counterpart.Natded.premises
-        in
-        let still_follows =
-          if is_premise then Confidence.probe_premise formal_counterpart premise
-          else true
-        in
+    List.map2
+      (fun (_, _) still_follows ->
         let minutes =
           cfg.probe_setup_minutes /. float_of_int (List.length evidence_ids)
           +. Prng.lognormal rng ~mu:(log cfg.minutes_per_probe) ~sigma:0.3
@@ -183,10 +192,18 @@ let run cfg =
           clamp01 (Prng.gaussian rng ~mean ~sd:cfg.probing_noise_sd)
         in
         (minutes, perceived))
-      truth_rel
+      truth_rel probe_verdicts
   in
   let run_procedure assessor =
-    let all = List.init cfg.n_assessors (fun _ -> assessor (Prng.split rng)) in
+    (* Assessor [i] draws from stream [i] of the procedure's generator,
+       so judgments are identical whether assessors run sequentially or
+       split across domains. *)
+    let proc_rng = Prng.split rng in
+    let all =
+      Argus_par.Pool.init ?pool cfg.n_assessors (fun i ->
+          assessor (Prng.stream proc_rng i))
+      |> Array.to_list
+    in
     let minutes =
       List.concat_map (fun judgments -> List.map fst judgments) all
     in

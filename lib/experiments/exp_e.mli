@@ -52,5 +52,8 @@ type result = {
 }
 
 val categorise : float -> category
-val run : config -> result
+val run : ?pool:Argus_par.Pool.t -> config -> result
+(** Deterministic for any [?pool]: each assessor draws from a per-index
+    PRNG stream of the procedure's generator. *)
+
 val pp : Format.formatter -> result -> unit

@@ -85,6 +85,11 @@ let check_propositional ({ premises; conclusion } as arg) =
       premises;
   List.rev !out
 
+let check_many ?pool args =
+  (* Each argument's check is pure and independent; results come back
+     in input order, so the scan is identical for any worker count. *)
+  Argus_par.Pool.map_list ?pool check_propositional args
+
 let check_syllogism syll =
   List.filter_map
     (fun v ->

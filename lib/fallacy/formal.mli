@@ -49,6 +49,12 @@ val check_propositional : propositional -> finding list
 val is_valid_propositional : propositional -> bool
 (** Premises entail the conclusion. *)
 
+val check_many :
+  ?pool:Argus_par.Pool.t -> propositional list -> finding list list
+(** [check_propositional] over every argument — across the pool's
+    domains when [?pool] is given — with findings in input order,
+    identical to the sequential map for any worker count. *)
+
 val check_syllogism : Argus_logic.Syllogism.t -> finding list
 (** Fallacies 7 and 8 (plus nothing else; the non-distribution
     syllogistic rules are reported by {!Argus_logic.Syllogism.violations}

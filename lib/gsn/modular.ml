@@ -67,26 +67,30 @@ let dependency_cycle t =
           r)
     None t.order
 
-let check t =
+let check ?pool t =
   let out = ref [] in
   let add d = out := d :: !out in
-  (* Per-module well-formedness, with module-qualified messages. *)
-  List.iter
-    (fun name ->
-      match Id.Map.find_opt name t.modules with
-      | None -> ()
-      | Some e ->
-          List.iter
-            (fun d ->
-              add
+  (* Per-module well-formedness, with module-qualified messages.  Each
+     module's check is independent, so the collection fans out across
+     the pool; diagnostics come back in module order either way. *)
+  let per_module =
+    Argus_par.Pool.map_list ?pool
+      (fun name ->
+        match Id.Map.find_opt name t.modules with
+        | None -> []
+        | Some e ->
+            List.map
+              (fun d ->
                 {
                   d with
                   Diagnostic.message =
                     Printf.sprintf "[module %s] %s" (Id.to_string name)
                       d.Diagnostic.message;
                 })
-            (Wellformed.check e.structure))
-    t.order;
+              (Wellformed.check e.structure))
+      t.order
+  in
+  List.iter (List.iter add) per_module;
   (* Cross-module rules. *)
   List.iter
     (fun name ->

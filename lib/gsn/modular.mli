@@ -37,10 +37,11 @@ val dependencies : Argus_core.Id.t -> t -> Argus_core.Id.t list
 (** Modules this module cites via away goals, module references or
     contracts, without duplicates. *)
 
-val check : t -> Argus_core.Diagnostic.t list
-(** Runs {!Wellformed.check} on each module (diagnostics prefixed with
-    the module name in the message), plus the cross-module rules, codes
-    under ["modular/"]:
+val check : ?pool:Argus_par.Pool.t -> t -> Argus_core.Diagnostic.t list
+(** Runs {!Wellformed.check} on each module — across the pool's domains
+    when [?pool] is given, with identical diagnostics in either mode —
+    (diagnostics prefixed with the module name in the message), plus
+    the cross-module rules, codes under ["modular/"]:
     - ["modular/unknown-module"] — an away goal, module reference or
       contract names a module not in the collection;
     - ["modular/away-goal-target"] — the cited module has no goal with

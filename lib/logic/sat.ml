@@ -449,7 +449,54 @@ module Naive = struct
         Some (Smap.bindings completed)
 end
 
-let satisfiable f = solve (tseitin f) <> None
+(* Four cheap deterministic valuations tried before building the
+   Tseitin CNF.  Most queries on the fallacy-scan paths are satisfiable
+   (consistent premise sets, non-equivalent formula pairs), and a
+   single [Prop.eval] witness settles those without allocating clauses
+   or running DPLL; unsatisfiable queries pay four linear evals and
+   fall through.  The answer is unchanged: a witness valuation is a
+   model. *)
+let c_quick = Argus_obs.Counter.make "sat.quick_wins"
+let hash_parity v = Hashtbl.hash (v : string) land 1 = 1
+
+let quick_witness f =
+  Prop.eval (fun _ -> true) f
+  || Prop.eval (fun _ -> false) f
+  || Prop.eval hash_parity f
+  || Prop.eval (fun v -> not (hash_parity v)) f
+
+(* Corpus scans and the fallacy checker ask [satisfiable] about the
+   same formulas over and over (every pass over the 45 Greenwell
+   instances re-poses structurally identical queries), so the answer is
+   memoized.  The table is domain-local — each domain of a parallel
+   scan keeps its own, so no locking and, the function being pure,
+   identical results on any domain — and is reset once it reaches
+   [memo_limit] entries to bound memory. *)
+let c_memo = Argus_obs.Counter.make "sat.memo_hits"
+let memo_limit = 4096
+
+let memo_key : (Prop.t, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let satisfiable_uncached f =
+  if quick_witness f then begin
+    Argus_obs.Counter.incr c_quick;
+    true
+  end
+  else solve (tseitin f) <> None
+
+let satisfiable f =
+  let memo = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt memo f with
+  | Some r ->
+      Argus_obs.Counter.incr c_memo;
+      r
+  | None ->
+      let r = satisfiable_uncached f in
+      if Hashtbl.length memo >= memo_limit then Hashtbl.reset memo;
+      Hashtbl.add memo f r;
+      r
+
 let valid f = not (satisfiable (Prop.Not f))
 let entails premises conclusion =
   not (satisfiable (Prop.And (Prop.conj premises, Prop.Not conclusion)))

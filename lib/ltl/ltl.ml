@@ -73,8 +73,10 @@ let c_finite_steps = Argus_obs.Counter.make "ltl.trace_steps"
    subterms (common after [nnf]) hit a memo table instead of re-running
    their fixpoints.  Small formulas — the overwhelmingly common case in
    goal models — skip the table: hashing a five-node formula costs more
-   than relabelling it. *)
-let memo_threshold = 16
+   than relabelling it.  The gate sits at 8 so that combined refutation
+   queries (a conjunction of goal formulas, as {!Argus_kaos} builds)
+   land on the memo side and their repeated atoms actually hit. *)
+let memo_threshold = 8
 
 let label tr f =
   let p = Array.length tr.Trace.prefix in
@@ -84,12 +86,17 @@ let label tr f =
   let memo : (t, bool array) Hashtbl.t Lazy.t =
     lazy (Hashtbl.create 32)
   in
+  (* Counter traffic is batched into locals and flushed once per
+     [label] call: a sharded increment costs ~10x a plain one, and the
+     fixpoint loops would otherwise pay it per sweep (measurably so on
+     trace-heavy callers like Argus_kaos). *)
+  let labelled = ref 0 and sweeps = ref 0 and memo_hits = ref 0 in
   let rec go_direct f = compute go_direct f
   and go_memo f =
     let memo = Lazy.force memo in
     match Hashtbl.find_opt memo f with
     | Some v ->
-        Argus_obs.Counter.incr c_memo_hits;
+        incr memo_hits;
         v
     | None ->
         let v = compute go_memo f in
@@ -104,7 +111,7 @@ let label tr f =
     let holds i = match hold with None -> true | Some h -> h.(i) in
     let changed = ref true in
     while !changed do
-      Argus_obs.Counter.incr c_sweeps;
+      incr sweeps;
       changed := false;
       for i = n - 1 downto 0 do
         let v' = base.(i) || (holds i && v.(succ i)) in
@@ -124,7 +131,7 @@ let label tr f =
     in
     let changed = ref true in
     while !changed do
-      Argus_obs.Counter.incr c_sweeps;
+      incr sweeps;
       changed := false;
       for i = n - 1 downto 0 do
         let v' = base.(i) && (releases i || v.(succ i)) in
@@ -136,7 +143,7 @@ let label tr f =
     done;
     v
   and compute go f =
-    Argus_obs.Counter.add c_positions n;
+    incr labelled;
     match f with
     | True -> Array.make n true
     | False -> Array.make n false
@@ -154,7 +161,14 @@ let label tr f =
     | Release (a, b) -> gfp ~release:(go a) (go b)
   in
   let go = if size f <= memo_threshold then go_direct else go_memo in
-  Argus_obs.Span.with_ ~name:"ltl.label" (fun () -> go f)
+  Argus_obs.Span.with_ ~name:"ltl.label" (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          let s = Argus_obs.Counter.current_shard () in
+          Argus_obs.Counter.shard_add s c_positions (!labelled * n);
+          Argus_obs.Counter.shard_add s c_sweeps !sweeps;
+          Argus_obs.Counter.shard_add s c_memo_hits !memo_hits)
+        (fun () -> go f))
 
 let holds_at tr i f =
   if i < 0 then invalid_arg "Ltl.holds_at: negative position";

@@ -1,15 +1,25 @@
 module Json = Argus_core.Json
 
-type counter = { cname : string; mutable n : int }
+(* Domain-safe registry.  A counter or histogram is a name plus a dense
+   id; the actual cells live in per-domain shards reached through
+   [Domain.DLS], so the hot-path increment is a plain store into the
+   current domain's own arrays — no locks, no contention.  Readers merge
+   every shard under the registry mutex.  Shards are registered globally
+   and outlive their domain, so totals accumulated inside a worker pool
+   survive the workers' join and are exact once the domains have been
+   joined (a concurrent read may miss in-flight increments, which is
+   fine for monitoring). *)
 
 (* Percentiles come from a bounded reservoir: the first [reservoir_size]
-   observations plus running count/sum/min/max over everything.  Spans
-   observe durations here, so an unbounded store would grow with trace
-   length. *)
+   observations per shard plus running count/sum/min/max over
+   everything.  Spans observe durations here, so an unbounded store
+   would grow with trace length. *)
 let reservoir_size = 1024
 
-type histogram = {
-  hname : string;
+type counter = { cname : string; cid : int }
+type histogram = { hname : string; hid : int }
+
+type hcell = {
   mutable obs_count : int;
   mutable obs_sum : float;
   mutable obs_min : float;
@@ -18,59 +28,142 @@ type histogram = {
   mutable buf_len : int;
 }
 
-let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
-let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 32
+type shard = {
+  mutable ccells : int array; (* indexed by counter id *)
+  mutable hcells : hcell option array; (* indexed by histogram id *)
+}
+
+let registry_mu = Mutex.create ()
+let locked f = Mutex.protect registry_mu f
+let counters_by_name : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms_by_name : (string, histogram) Hashtbl.t = Hashtbl.create 32
+let n_counters = ref 0
+let n_histograms = ref 0
+
+(* Newest first; readers reverse so merge order is registration order
+   (the main domain's shard first), keeping single-domain behaviour
+   bit-identical to the pre-shard implementation. *)
+let shards : shard list ref = ref []
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { ccells = [||]; hcells = [||] } in
+      locked (fun () -> shards := s :: !shards);
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let grown_length have need = max need ((2 * have) + 8)
+
+let ensure_ccells s n =
+  let have = Array.length s.ccells in
+  if have < n then begin
+    let a = Array.make (grown_length have n) 0 in
+    Array.blit s.ccells 0 a 0 have;
+    s.ccells <- a
+  end
+
+let ensure_hcells s n =
+  let have = Array.length s.hcells in
+  if have < n then begin
+    let a = Array.make (grown_length have n) None in
+    Array.blit s.hcells 0 a 0 have;
+    s.hcells <- a
+  end
 
 module Counter = struct
   type t = counter
 
   let make name =
-    match Hashtbl.find_opt counters_tbl name with
-    | Some c -> c
-    | None ->
-        let c = { cname = name; n = 0 } in
-        Hashtbl.add counters_tbl name c;
-        c
+    locked (fun () ->
+        match Hashtbl.find_opt counters_by_name name with
+        | Some c -> c
+        | None ->
+            let c = { cname = name; cid = !n_counters } in
+            Stdlib.incr n_counters;
+            Hashtbl.add counters_by_name name c;
+            c)
 
-  let incr c = c.n <- c.n + 1
-  let add c k = c.n <- c.n + k
-  let value c = c.n
+  type shard' = shard
+  type shard = shard'
+
+  let current_shard () = my_shard ()
+
+  let shard_add s c k =
+    ensure_ccells s (c.cid + 1);
+    s.ccells.(c.cid) <- s.ccells.(c.cid) + k
+
+  let add c k = shard_add (my_shard ()) c k
+  let incr c = add c 1
+
+  (* Callers hold the registry mutex. *)
+  let total_unlocked cid =
+    List.fold_left
+      (fun acc s ->
+        if cid < Array.length s.ccells then acc + s.ccells.(cid) else acc)
+      0 !shards
+
+  let value c = locked (fun () -> total_unlocked c.cid)
   let name c = c.cname
 end
+
+let fresh_hcell () =
+  {
+    obs_count = 0;
+    obs_sum = 0.;
+    obs_min = infinity;
+    obs_max = neg_infinity;
+    buf = Array.make reservoir_size 0.;
+    buf_len = 0;
+  }
 
 module Histogram = struct
   type t = histogram
 
   let make name =
-    match Hashtbl.find_opt histograms_tbl name with
-    | Some h -> h
+    locked (fun () ->
+        match Hashtbl.find_opt histograms_by_name name with
+        | Some h -> h
+        | None ->
+            let h = { hname = name; hid = !n_histograms } in
+            Stdlib.incr n_histograms;
+            Hashtbl.add histograms_by_name name h;
+            h)
+
+  let cell_of s h =
+    ensure_hcells s (h.hid + 1);
+    match s.hcells.(h.hid) with
+    | Some c -> c
     | None ->
-        let h =
-          {
-            hname = name;
-            obs_count = 0;
-            obs_sum = 0.;
-            obs_min = infinity;
-            obs_max = neg_infinity;
-            buf = Array.make reservoir_size 0.;
-            buf_len = 0;
-          }
-        in
-        Hashtbl.add histograms_tbl name h;
-        h
+        let c = fresh_hcell () in
+        s.hcells.(h.hid) <- Some c;
+        c
 
   let observe h v =
-    h.obs_count <- h.obs_count + 1;
-    h.obs_sum <- h.obs_sum +. v;
-    if v < h.obs_min then h.obs_min <- v;
-    if v > h.obs_max then h.obs_max <- v;
-    if h.buf_len < reservoir_size then begin
-      h.buf.(h.buf_len) <- v;
-      h.buf_len <- h.buf_len + 1
+    let c = cell_of (my_shard ()) h in
+    c.obs_count <- c.obs_count + 1;
+    c.obs_sum <- c.obs_sum +. v;
+    if v < c.obs_min then c.obs_min <- v;
+    if v > c.obs_max then c.obs_max <- v;
+    if c.buf_len < reservoir_size then begin
+      c.buf.(c.buf_len) <- v;
+      c.buf_len <- c.buf_len + 1
     end
 
-  let count h = h.obs_count
-  let sum h = h.obs_sum
+  (* Callers hold the registry mutex. *)
+  let cells_unlocked hid =
+    List.rev !shards
+    |> List.filter_map (fun s ->
+           if hid < Array.length s.hcells then s.hcells.(hid) else None)
+
+  let count h =
+    locked (fun () ->
+        List.fold_left (fun acc c -> acc + c.obs_count) 0 (cells_unlocked h.hid))
+
+  let sum h =
+    locked (fun () ->
+        List.fold_left (fun acc c -> acc +. c.obs_sum) 0. (cells_unlocked h.hid))
+
   let name h = h.hname
 end
 
@@ -91,40 +184,67 @@ let quantile sorted q =
     let i = int_of_float (q *. float_of_int (n - 1)) in
     sorted.(i)
 
-let stats_of h =
-  let sorted = Array.sub h.buf 0 h.buf_len in
+(* Merge the per-shard cells for histogram [hid]; the reservoir is the
+   shards' reservoirs concatenated in registration order, truncated to
+   [reservoir_size].  Caller holds the registry mutex. *)
+let stats_of_unlocked hid =
+  let cells = Histogram.cells_unlocked hid in
+  let count = List.fold_left (fun acc c -> acc + c.obs_count) 0 cells in
+  let sum = List.fold_left (fun acc c -> acc +. c.obs_sum) 0. cells in
+  let mn = List.fold_left (fun acc c -> min acc c.obs_min) infinity cells in
+  let mx = List.fold_left (fun acc c -> max acc c.obs_max) neg_infinity cells in
+  let total_buf = min reservoir_size (List.fold_left (fun acc c -> acc + c.buf_len) 0 cells) in
+  let sorted = Array.make total_buf 0. in
+  let filled = ref 0 in
+  List.iter
+    (fun c ->
+      let take = min c.buf_len (total_buf - !filled) in
+      Array.blit c.buf 0 sorted !filled take;
+      filled := !filled + take)
+    cells;
   Array.sort Float.compare sorted;
   {
-    hcount = h.obs_count;
-    hsum = h.obs_sum;
-    hmin = (if h.obs_count = 0 then 0. else h.obs_min);
-    hmax = (if h.obs_count = 0 then 0. else h.obs_max);
-    hmean = (if h.obs_count = 0 then 0. else h.obs_sum /. float_of_int h.obs_count);
+    hcount = count;
+    hsum = sum;
+    hmin = (if count = 0 then 0. else mn);
+    hmax = (if count = 0 then 0. else mx);
+    hmean = (if count = 0 then 0. else sum /. float_of_int count);
     hp50 = quantile sorted 0.5;
     hp90 = quantile sorted 0.9;
   }
 
 let counters () =
-  Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters_tbl []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> (name, Counter.total_unlocked c.cid) :: acc)
+        counters_by_name [])
   |> List.sort compare
 
 let histograms () =
-  Hashtbl.fold
-    (fun name h acc ->
-      if h.obs_count = 0 then acc else (name, stats_of h) :: acc)
-    histograms_tbl []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name h acc ->
+          let s = stats_of_unlocked h.hid in
+          if s.hcount = 0 then acc else (name, s) :: acc)
+        histograms_by_name [])
   |> List.sort compare
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.n <- 0) counters_tbl;
-  Hashtbl.iter
-    (fun _ h ->
-      h.obs_count <- 0;
-      h.obs_sum <- 0.;
-      h.obs_min <- infinity;
-      h.obs_max <- neg_infinity;
-      h.buf_len <- 0)
-    histograms_tbl
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          Array.fill s.ccells 0 (Array.length s.ccells) 0;
+          Array.iter
+            (function
+              | None -> ()
+              | Some c ->
+                  c.obs_count <- 0;
+                  c.obs_sum <- 0.;
+                  c.obs_min <- infinity;
+                  c.obs_max <- neg_infinity;
+                  c.buf_len <- 0)
+            s.hcells)
+        !shards)
 
 let to_json () =
   Json.Obj

@@ -1,11 +1,18 @@
 (** The global metrics registry: named counters and histograms.
 
-    Counters are always on — an increment is one mutable-field store, so
-    the engines keep their counters hot even when tracing output is
-    disabled; the bench harness snapshots them after a run.  Creation is
-    idempotent: [Counter.make name] returns the already-registered
-    counter when the name exists, so modules can create their counters
-    at load time without coordination.
+    Counters are always on — an increment is one store into the current
+    domain's shard, so the engines keep their counters hot even when
+    tracing output is disabled; the bench harness snapshots them after a
+    run.  Creation is idempotent: [Counter.make name] returns the
+    already-registered counter when the name exists, so modules can
+    create their counters at load time without coordination.
+
+    The registry is domain-safe: each domain increments its own
+    [Domain.DLS] shard (no locks on the hot path) and readers merge all
+    shards.  Shards outlive their domain, so totals accumulated inside
+    an {!Argus_par} pool are exact once the workers have been joined; a
+    read concurrent with running workers may miss in-flight
+    increments.
 
     Names are dotted paths, [subsystem.metric] (e.g.
     ["prolog.unifications"]); the catalogue lives in DESIGN.md. *)
@@ -20,6 +27,16 @@ module Counter : sig
   val add : t -> int -> unit
   val value : t -> int
   val name : t -> string
+
+  type shard
+  (** A handle on the calling domain's private cells.  Batch flushes
+      (one lookup, several adds) use it to pay the domain-local lookup
+      once instead of per counter.  A shard belongs to the domain that
+      fetched it: never store one across a spawn or send it to another
+      domain. *)
+
+  val current_shard : unit -> shard
+  val shard_add : shard -> t -> int -> unit
 end
 
 module Histogram : sig

@@ -7,27 +7,38 @@ type node = {
   mutable nchildren : node list; (* newest first *)
 }
 
+(* Written by the main domain before any workers run; workers only
+   read, so a plain ref is safe. *)
 let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
-(* Wall time in ns, relative to the first call so the ints stay small
-   and the JSONL output is stable-ish across runs. *)
-let epoch = ref None
+(* Wall time in ns, relative to module load so the ints stay small, the
+   JSONL output is stable-ish across runs, and there is no racy
+   first-call initialisation across domains. *)
+let epoch = Unix.gettimeofday ()
+let now_ns () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
 
-let now_ns () =
-  let t = Unix.gettimeofday () in
-  let e =
-    match !epoch with
-    | Some e -> e
-    | None ->
-        epoch := Some t;
-        t
-  in
-  int_of_float ((t -. e) *. 1e9)
+(* Each domain keeps its own span stack and completed list, so workers
+   record spans without locks or interleaving; [roots] merges the
+   per-domain buffers (main domain's spans first) after the fact — in
+   practice once a pool's workers have been joined.  Buffers outlive
+   their domain. *)
+type dshard = {
+  mutable stack : node list;
+  mutable completed : node list; (* newest first *)
+}
 
-let stack : node list ref = ref []
-let completed : node list ref = ref [] (* newest first *)
+let shards_mu = Mutex.create ()
+let shards : dshard list ref = ref [] (* newest first *)
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { stack = []; completed = [] } in
+      Mutex.protect shards_mu (fun () -> shards := s :: !shards);
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
 
 let rec freeze n =
   {
@@ -37,17 +48,24 @@ let rec freeze n =
     children = List.rev_map freeze n.nchildren;
   }
 
-let roots () = List.rev_map freeze !completed
+let roots () =
+  Mutex.protect shards_mu (fun () -> List.rev !shards)
+  |> List.concat_map (fun s -> List.rev_map freeze s.completed)
 
 let reset () =
-  stack := [];
-  completed := []
+  Mutex.protect shards_mu (fun () ->
+      List.iter
+        (fun s ->
+          s.stack <- [];
+          s.completed <- [])
+        !shards)
 
 let with_ ~name f =
   if not !enabled_flag then f ()
   else begin
+    let sh = my_shard () in
     let n = { nname = name; nstart = now_ns (); ndur = 0; nchildren = [] } in
-    stack := n :: !stack;
+    sh.stack <- n :: sh.stack;
     let finish () =
       n.ndur <- now_ns () - n.nstart;
       Metrics.Histogram.observe
@@ -60,10 +78,10 @@ let with_ ~name f =
         | _ :: rest -> pop rest
         | [] -> []
       in
-      stack := pop !stack;
-      match !stack with
+      sh.stack <- pop sh.stack;
+      match sh.stack with
       | parent :: _ -> parent.nchildren <- n :: parent.nchildren
-      | [] -> completed := n :: !completed
+      | [] -> sh.completed <- n :: sh.completed
     in
     Fun.protect ~finally:finish f
   end

@@ -14,7 +14,12 @@
     Timing uses the highest-resolution clock the sealed toolchain
     offers ([Unix.gettimeofday], microsecond wall time); durations are
     reported in nanoseconds so a true monotonic source can be dropped
-    in without changing the format. *)
+    in without changing the format.
+
+    Spans are domain-safe: each domain records into its own stack and
+    completed buffer ([Domain.DLS]), so worker domains never interleave
+    with the main thread; {!roots} merges the buffers, main domain
+    first, and the trace sinks emit only after workers have joined. *)
 
 type t = {
   name : string;
@@ -31,7 +36,8 @@ val with_ : name:string -> (unit -> 'a) -> 'a
     raises. *)
 
 val roots : unit -> t list
-(** Completed top-level spans, oldest first. *)
+(** Completed top-level spans, oldest first — per recording domain, the
+    main domain's spans before any worker's. *)
 
 val reset : unit -> unit
 (** Drop all recorded spans (any open spans are detached). *)

@@ -1,0 +1,179 @@
+module Metrics = Argus_obs.Metrics
+module Span = Argus_obs.Span
+
+let c_tasks = Metrics.Counter.make "par.tasks"
+let c_chunks = Metrics.Counter.make "par.chunks"
+let c_steals = Metrics.Counter.make "par.steals"
+
+(* One fork-join operation.  Chunks are handed out through [next]; a
+   participant that drains the cursor past [total] is done.  [active]
+   counts participants currently inside {!drain}; the op is complete
+   when the cursor is exhausted and [active] is back to 0. *)
+type op = {
+  total : int;
+  chunk : int;
+  body : int -> int -> unit; (* [lo, hi) index range *)
+  next : int Atomic.t;
+  active : int Atomic.t;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  work_cv : Condition.t; (* new op published, or shutdown *)
+  done_cv : Condition.t; (* a participant left the current op *)
+  mutable closed : bool;
+  mutable current : op option;
+  mutable seq : int; (* bumped per op so workers spot new work *)
+  mutable domains : unit Domain.t array;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "ARGUS_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* Pull chunks until the cursor is exhausted.  On an exception the
+   first failure is kept, the cursor is slammed shut so other
+   participants stop early, and the caller re-raises after the join. *)
+let drain t op ~stealing =
+  Atomic.incr op.active;
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       let lo = Atomic.fetch_and_add op.next op.chunk in
+       if lo >= op.total then continue_ := false
+       else begin
+         Metrics.Counter.incr c_chunks;
+         if stealing then Metrics.Counter.incr c_steals;
+         op.body lo (min op.total (lo + op.chunk))
+       end
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.protect t.mu (fun () ->
+         if op.failed = None then op.failed <- Some (e, bt));
+     Atomic.set op.next op.total);
+  ignore (Atomic.fetch_and_add op.active (-1));
+  Mutex.protect t.mu (fun () -> Condition.broadcast t.done_cv)
+
+let worker t =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    let job =
+      Mutex.protect t.mu (fun () ->
+          while (not t.closed) && t.seq = !last do
+            Condition.wait t.work_cv t.mu
+          done;
+          if t.closed then None
+          else begin
+            last := t.seq;
+            t.current
+          end)
+    in
+    match job with
+    | None -> if t.closed then running := false
+    | Some op -> drain t op ~stealing:true
+  done
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      jobs;
+      mu = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      closed = false;
+      current = None;
+      seq = 0;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  let ds =
+    Mutex.protect t.mu (fun () ->
+        if t.closed then [||]
+        else begin
+          t.closed <- true;
+          Condition.broadcast t.work_cv;
+          let ds = t.domains in
+          t.domains <- [||];
+          ds
+        end)
+  in
+  Array.iter Domain.join ds
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body] over [0, total) in chunks across the pool; the calling
+   domain participates, then waits for every worker to leave the op. *)
+let run t ~total ~body =
+  if total > 0 then
+    Span.with_ ~name:"par.map" (fun () ->
+        Metrics.Counter.add c_tasks total;
+        let chunk = max 1 ((total + (4 * t.jobs) - 1) / (4 * t.jobs)) in
+        let op =
+          {
+            total;
+            chunk;
+            body;
+            next = Atomic.make 0;
+            active = Atomic.make 0;
+            failed = None;
+          }
+        in
+        Mutex.protect t.mu (fun () ->
+            t.current <- Some op;
+            t.seq <- t.seq + 1;
+            Condition.broadcast t.work_cv);
+        drain t op ~stealing:false;
+        Mutex.protect t.mu (fun () ->
+            while not (Atomic.get op.next >= total && Atomic.get op.active = 0) do
+              Condition.wait t.done_cv t.mu
+            done;
+            t.current <- None);
+        match op.failed with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+
+let mapi_array ?pool f arr =
+  let n = Array.length arr in
+  match pool with
+  | None -> Array.mapi f arr
+  | Some t when t.jobs <= 1 || n <= 1 -> Array.mapi f arr
+  | Some t ->
+      (* Slot 0 is computed up front by the caller — it seeds the
+         output array without an unsafe placeholder — and the pool
+         covers indices [1, n). *)
+      let out = Array.make n (f 0 arr.(0)) in
+      run t ~total:(n - 1) ~body:(fun lo hi ->
+          for j = lo to hi - 1 do
+            out.(j + 1) <- f (j + 1) arr.(j + 1)
+          done);
+      out
+
+let map_array ?pool f arr = mapi_array ?pool (fun _ x -> f x) arr
+let init ?pool n f = mapi_array ?pool (fun i () -> f i) (Array.make n ())
+
+let map_list ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some t when t.jobs <= 1 -> List.map f xs
+  | Some _ -> Array.to_list (map_array ?pool f (Array.of_list xs))
+
+let map_reduce ?pool ~map ~combine ~init:z arr =
+  let mapped = map_array ?pool map arr in
+  Array.fold_left combine z mapped

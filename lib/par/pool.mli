@@ -1,0 +1,54 @@
+(** Domain-based fork-join pool with chunked map / map-reduce.
+
+    A pool owns [jobs - 1] persistent worker domains; each parallel
+    operation is split into index chunks handed out through an atomic
+    cursor, and the calling domain participates, so [jobs = 1] degrades
+    to the plain sequential loop.  Results are written into
+    index-addressed slots and reductions combine per-index results left
+    to right, so every operation returns **bit-identical results
+    regardless of the worker count** — the determinism contract the
+    experiment harnesses and the batch checker rely on (DESIGN.md §9).
+
+    Passing [?pool:None] (the default) to the mapping functions runs
+    the plain sequential code with no domain machinery at all.
+
+    Observability: each parallel operation runs under a ["par.map"]
+    span on the calling domain and feeds the [par.tasks] (items),
+    [par.chunks] (chunks handed out) and [par.steals] (chunks executed
+    by a worker rather than the caller) counters. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [$ARGUS_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers (default {!default_jobs}; values
+    below 1 are clamped to 1, which spawns no domains). *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool must not be
+    used afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+val mapi_array : ?pool:t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val init : ?pool:t -> int -> (int -> 'a) -> 'a array
+val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_reduce :
+  ?pool:t ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
+(** [combine] is applied to the mapped results left to right in index
+    order starting from [init] — identical to
+    [Array.fold_left (fun acc x -> combine acc (map x)) init], whatever
+    the worker count. *)

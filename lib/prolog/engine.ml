@@ -131,32 +131,33 @@ let compile (program : Program.t) =
    dispatch, then first-argument discrimination.  Returns candidates in
    program order; counts hits and misses against the full program so
    the index's selectivity is visible in traces. *)
+let admitted_candidates compiled goal =
+  match goal with
+  | Term.Var _ -> compiled.all
+  | Term.App (f, args) -> (
+      let bucket =
+        match
+          Key_tbl.find_opt compiled.buckets ((f :> int), List.length args)
+        with
+        | Some es -> es
+        | None -> compiled.var_heads
+      in
+      match args with
+      | [] -> bucket
+      | first :: _ -> (
+          match first with
+          | Term.Var _ -> bucket
+          | Term.App (g, gargs) ->
+              let k = List.length gargs in
+              List.filter
+                (fun e ->
+                  match e.first_arg with
+                  | FAny -> true
+                  | FSym (h, n) -> Symbol.equal g h && n = k)
+                bucket))
+
 let candidates compiled goal =
-  let admitted =
-    match goal with
-    | Term.Var _ -> compiled.all
-    | Term.App (f, args) -> (
-        let bucket =
-          match
-            Key_tbl.find_opt compiled.buckets ((f :> int), List.length args)
-          with
-          | Some es -> es
-          | None -> compiled.var_heads
-        in
-        match args with
-        | [] -> bucket
-        | first :: _ -> (
-            match first with
-            | Term.Var _ -> bucket
-            | Term.App (g, gargs) ->
-                let k = List.length gargs in
-                List.filter
-                  (fun e ->
-                    match e.first_arg with
-                    | FAny -> true
-                    | FSym (h, n) -> Symbol.equal g h && n = k)
-                  bucket))
-  in
+  let admitted = admitted_candidates compiled goal in
   let n = List.length admitted in
   Argus_obs.Counter.add c_index_hits n;
   Argus_obs.Counter.add c_index_misses (compiled.total - n);
@@ -280,12 +281,21 @@ let provable ?(max_depth = 64) program goal =
   Argus_obs.Span.with_ ~name:"prolog.provable" @@ fun () ->
   let compiled = compile program in
   let counter = ref 0 in
+  (* Counter traffic is batched into locals and flushed once per call:
+     a sharded increment costs ~10x a plain one, and the search loop
+     below performs tens of them per query. *)
+  let tries = ref 0
+  and unifs = ref 0
+  and backs = ref 0
+  and abandoned = ref 0
+  and hits = ref 0
+  and misses = ref 0 in
   let rec sat subst goals depth k =
     match goals with
     | [] -> k subst
     | goal :: rest ->
         if depth <= 0 then begin
-          Argus_obs.Counter.incr c_depth_abandoned;
+          incr abandoned;
           false
         end
         else
@@ -293,28 +303,42 @@ let provable ?(max_depth = 64) program goal =
           let rec try_candidates = function
             | [] -> false
             | entry :: more ->
-                Argus_obs.Counter.incr c_clause_tries;
+                incr tries;
                 let c =
                   if entry.ground then entry.clause
                   else freshen counter entry.clause
                 in
-                Argus_obs.Counter.incr c_unifications;
+                incr unifs;
                 (match Term.unify_under subst goal_now c.Program.head with
                 | None ->
-                    Argus_obs.Counter.incr c_backtracks;
+                    incr backs;
                     try_candidates more
                 | Some subst ->
                     sat subst c.Program.body (depth - 1) (fun subst ->
                         sat subst rest depth k)
                     || try_candidates more)
           in
-          try_candidates (candidates compiled goal_now)
+          let admitted = admitted_candidates compiled goal_now in
+          let n = List.length admitted in
+          hits := !hits + n;
+          misses := !misses + (compiled.total - n);
+          try_candidates admitted
   in
-  if sat Term.Subst.empty [ goal ] max_depth (fun _ -> true) then begin
-    Argus_obs.Counter.incr c_solutions;
-    true
-  end
-  else false
+  Fun.protect
+    ~finally:(fun () ->
+      let s = Argus_obs.Counter.current_shard () in
+      Argus_obs.Counter.shard_add s c_clause_tries !tries;
+      Argus_obs.Counter.shard_add s c_unifications !unifs;
+      Argus_obs.Counter.shard_add s c_backtracks !backs;
+      Argus_obs.Counter.shard_add s c_depth_abandoned !abandoned;
+      Argus_obs.Counter.shard_add s c_index_hits !hits;
+      Argus_obs.Counter.shard_add s c_index_misses !misses)
+    (fun () ->
+      if sat Term.Subst.empty [ goal ] max_depth (fun _ -> true) then begin
+        Argus_obs.Counter.incr c_solutions;
+        true
+      end
+      else false)
 
 let prove ?max_depth program goal =
   Argus_obs.Span.with_ ~name:"prolog.prove" @@ fun () ->

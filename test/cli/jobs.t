@@ -1,0 +1,39 @@
+Batch checking fans files out across domains with --jobs; stdout,
+stderr and the exit code must be byte-identical to a sequential run,
+with per-file reports in input order.
+
+  $ argus check press.arg modular.arg > seq.out 2> seq.err
+  $ argus check --jobs 2 press.arg modular.arg > par.out 2> par.err
+  $ diff seq.out par.out
+  $ diff seq.err par.err
+  $ cat par.out
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+
+A failing file fails the batch in either mode, and its diagnostics
+stay attached to its slot in the input order:
+
+  $ argus check press.arg broken.arg modular.arg > seq.out 2> seq.err; echo "exit $?"
+  exit 1
+  $ argus check --jobs 2 press.arg broken.arg modular.arg > par.out 2> par.err; echo "exit $?"
+  exit 1
+  $ diff seq.out par.out
+  $ diff seq.err par.err
+
+ARGUS_JOBS sets the default worker count; an explicit --jobs wins:
+
+  $ ARGUS_JOBS=2 argus check press.arg modular.arg
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  $ ARGUS_JOBS=not-a-number argus check --jobs 1 modular.arg
+  0 error(s), 0 warning(s), 0 info
+
+JSON output is unaffected by the worker count:
+
+  $ argus check --format json --jobs 4 modular.arg
+  {
+    "diagnostics": [],
+    "errors": 0,
+    "warnings": 0,
+    "infos": 0
+  }

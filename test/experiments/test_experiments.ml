@@ -51,6 +51,46 @@ let test_prng_split_independent () =
   Alcotest.(check bool) "split streams differ" false
     (Prng.next_int64 a = Prng.next_int64 b)
 
+let test_prng_stream () =
+  (* [stream] is pure: it derives a per-index generator without
+     advancing the parent, so trial k draws the same numbers whether the
+     trials run in order, out of order, or on different domains. *)
+  let rng = Prng.create 7 in
+  let before = Prng.copy rng in
+  let s0 = Prng.stream rng 0 and s1 = Prng.stream rng 1 in
+  Alcotest.(check bool)
+    "parent not advanced" true
+    (Prng.next_int64 before = Prng.next_int64 rng);
+  Alcotest.(check bool)
+    "distinct indices differ" false
+    (Prng.next_int64 s0 = Prng.next_int64 s1);
+  let draws t = List.init 5 (fun _ -> Prng.float t) in
+  Alcotest.(check bool)
+    "same index replays the same draws" true
+    (draws (Prng.stream before 3) = draws (Prng.stream before 3));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.stream: index must be non-negative") (fun () ->
+      ignore (Prng.stream rng (-1)))
+
+let test_prng_gaussian_spare_stream_isolated () =
+  (* The banked Box-Muller half is per-generator state: a stream must
+     not inherit or disturb its parent's spare. *)
+  let rng = Prng.create 8 in
+  ignore (Prng.gaussian rng ~mean:0.0 ~sd:1.0);
+  (* parent now holds a spare *)
+  let replay = Prng.copy rng in
+  let s = Prng.stream rng 0 in
+  let xs = List.init 3 (fun _ -> Prng.gaussian s ~mean:0.0 ~sd:1.0) in
+  let ys =
+    let s' = Prng.stream replay 0 in
+    List.init 3 (fun _ -> Prng.gaussian s' ~mean:0.0 ~sd:1.0)
+  in
+  Alcotest.(check bool) "stream draws reproducible" true (xs = ys);
+  Alcotest.(check bool)
+    "parent's banked half intact" true
+    (Prng.gaussian rng ~mean:0.0 ~sd:1.0
+    = Prng.gaussian replay ~mean:0.0 ~sd:1.0)
+
 let test_prng_shuffle_permutes () =
   let rng = Prng.create 6 in
   let arr = Array.init 10 Fun.id in
@@ -321,6 +361,9 @@ let () =
           Alcotest.test_case "split independence" `Quick
             test_prng_split_independent;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "stream is pure" `Quick test_prng_stream;
+          Alcotest.test_case "stream isolates gaussian spare" `Quick
+            test_prng_gaussian_spare_stream_isolated;
         ] );
       ( "stats",
         [

@@ -144,6 +144,49 @@ let direct_cnf_equisatisfiable =
     (fun f ->
       Bool.equal (Sat.solve (Sat.cnf_of_prop f) <> None) (Sat.satisfiable f))
 
+let sat_counter name =
+  match List.assoc_opt name (Argus_obs.Metrics.counters ()) with
+  | Some n -> n
+  | None -> 0
+
+let test_pure_literal_elimination () =
+  (* [p] and [q] appear only positively in this direct CNF, so DPLL
+     must assign them by pure-literal elimination rather than
+     branching.  (Tseitin-encoded queries never reach this code: the
+     definitional clauses mention every introduced variable in both
+     polarities — see DESIGN.md.) *)
+  Argus_obs.Obs.reset ();
+  let cnf =
+    Sat.cnf_of_prop
+      (Prop.of_string_exn "(p | a) & (p | ~a) & (q | a) & (q | ~b) & (b | ~a)")
+  in
+  Alcotest.(check bool) "satisfiable" true (Sat.solve cnf <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "pure literals eliminated (got %d)"
+       (sat_counter "sat.pure_eliminations"))
+    true
+    (sat_counter "sat.pure_eliminations" > 0)
+
+let test_quick_witness_and_memo () =
+  Argus_obs.Obs.reset ();
+  let f = Prop.of_string_exn "(a -> b) & (b -> c) & a" in
+  (* All-true satisfies [f]: the witness prefilter answers without
+     touching DPLL. *)
+  Alcotest.(check bool) "satisfiable" true (Sat.satisfiable f);
+  Alcotest.(check int) "witness prefilter fired" 1
+    (sat_counter "sat.quick_wins");
+  Alcotest.(check int) "first ask is not a memo hit" 0
+    (sat_counter "sat.memo_hits");
+  (* Asking again about a structurally equal formula hits the memo and
+     runs neither the prefilter nor DPLL. *)
+  Alcotest.(check bool)
+    "same answer" true
+    (Sat.satisfiable (Prop.of_string_exn "(a -> b) & (b -> c) & a"));
+  Alcotest.(check int) "second ask hits the memo" 1
+    (sat_counter "sat.memo_hits");
+  Alcotest.(check int) "prefilter not re-run" 1
+    (sat_counter "sat.quick_wins")
+
 let model_satisfies =
   QCheck.Test.make ~name:"returned model satisfies the formula" ~count:300
     arb_prop (fun f ->
@@ -765,6 +808,10 @@ let () =
         [
           Alcotest.test_case "basic entailment" `Quick test_entails_basic;
           Alcotest.test_case "model counting" `Quick test_count_models;
+          Alcotest.test_case "pure-literal elimination" `Quick
+            test_pure_literal_elimination;
+          Alcotest.test_case "witness prefilter and memo" `Quick
+            test_quick_witness_and_memo;
           QCheck_alcotest.to_alcotest dpll_agrees_with_bruteforce;
           QCheck_alcotest.to_alcotest validity_agrees_with_bruteforce;
           QCheck_alcotest.to_alcotest direct_cnf_equisatisfiable;

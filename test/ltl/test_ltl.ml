@@ -245,6 +245,34 @@ let print_parse_roundtrip =
       | Ok f' -> Ltl.equal f f'
       | Error _ -> false)
 
+(* --- memoized labelling (the [memo_threshold] gate) --- *)
+
+let memo_hits () =
+  match
+    List.assoc_opt "ltl.memo_hits" (Argus_obs.Metrics.counters ())
+  with
+  | Some n -> n
+  | None -> 0
+
+let test_memo_gate () =
+  let tr = t_make [ [ "close" ] ] [ [ "close"; "clear" ]; [] ] in
+  (* A combined refutation query in the Argus_kaos style: a conjunction
+     of goal formulas sharing atoms.  Size is past the gate and [close]
+     / [F clear] recur, so the memo must register hits. *)
+  let big =
+    Ltl.of_string_exn
+      "(G (close -> F clear)) & ((G (close -> tracked)) & !(G (tracked -> F clear)))"
+  in
+  Argus_obs.Obs.reset ();
+  ignore (Ltl.holds tr big);
+  Alcotest.(check bool)
+    (Printf.sprintf "repeated subterms hit the memo (got %d)" (memo_hits ()))
+    true (memo_hits () > 0);
+  (* A small formula stays on the direct path: no table, no hits. *)
+  Argus_obs.Obs.reset ();
+  ignore (Ltl.holds tr (Ltl.of_string_exn "G (close -> F clear)"));
+  Alcotest.(check int) "small formulas skip the memo" 0 (memo_hits ())
+
 let () =
   Alcotest.run "argus-ltl"
     [
@@ -274,4 +302,6 @@ let () =
           Alcotest.test_case "simplify examples" `Quick test_simplify_examples;
           QCheck_alcotest.to_alcotest print_parse_roundtrip;
         ] );
+      ( "memo",
+        [ Alcotest.test_case "threshold gate" `Quick test_memo_gate ] );
     ]

@@ -114,6 +114,76 @@ let test_reset_between_runs () =
     "empty histograms hidden" 0
     (List.length (Metrics.histograms ()))
 
+(* --- domain safety: counters, histograms and spans written from
+   worker domains must merge exactly --- *)
+
+let test_counter_concurrent_merge () =
+  fresh ();
+  let c = Counter.make "test.domains.counter" in
+  let n_domains = 4 and per_domain = 50_000 in
+  let workers =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Counter.incr c
+            done))
+  in
+  Counter.add c 3;
+  List.iter Domain.join workers;
+  Alcotest.(check int)
+    "no lost increments"
+    ((n_domains * per_domain) + 3)
+    (Counter.value c)
+
+let test_histogram_concurrent_merge () =
+  fresh ();
+  let h = Histogram.make "test.domains.histogram" in
+  let n_domains = 4 and per_domain = 10_000 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Histogram.observe h (float_of_int ((d * per_domain) + i))
+            done))
+  in
+  List.iter Domain.join workers;
+  let stats = List.assoc "test.domains.histogram" (Metrics.histograms ()) in
+  let n = n_domains * per_domain in
+  Alcotest.(check int) "count merged" n (Histogram.count h);
+  Alcotest.(check (float 1e-3))
+    "sum merged"
+    (float_of_int (n * (n + 1)) /. 2.0)
+    stats.Metrics.hsum;
+  Alcotest.(check (float 1e-9)) "min across domains" 1.0 stats.Metrics.hmin;
+  Alcotest.(check (float 1e-9))
+    "max across domains" (float_of_int n) stats.Metrics.hmax
+
+let test_spans_from_worker_domains () =
+  fresh ();
+  Span.with_ ~name:"main" (fun () -> ());
+  let workers =
+    List.init 2 (fun d ->
+        Domain.spawn (fun () ->
+            Span.with_
+              ~name:(Printf.sprintf "worker%d" d)
+              (fun () -> Span.with_ ~name:"child" (fun () -> ()))))
+  in
+  List.iter Domain.join workers;
+  let roots = Span.roots () in
+  let names = List.map (fun s -> s.Span.name) roots in
+  Alcotest.(check int) "three roots survive the join" 3 (List.length roots);
+  Alcotest.(check string) "main domain's span first" "main" (List.hd names);
+  Alcotest.(check bool)
+    "worker spans present" true
+    (List.mem "worker0" names && List.mem "worker1" names);
+  List.iter
+    (fun s ->
+      if s.Span.name <> "main" then
+        Alcotest.(check (list string))
+          "worker span keeps its children" [ "child" ]
+          (List.map (fun c -> c.Span.name) s.Span.children))
+    roots
+
 (* --- JSONL --- *)
 
 let test_jsonl_round_trip () =
@@ -183,6 +253,15 @@ let () =
             test_histogram_aggregation;
           Alcotest.test_case "reset between runs" `Quick
             test_reset_between_runs;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "counter merge is exact" `Quick
+            test_counter_concurrent_merge;
+          Alcotest.test_case "histogram merge is exact" `Quick
+            test_histogram_concurrent_merge;
+          Alcotest.test_case "worker spans survive join" `Quick
+            test_spans_from_worker_domains;
         ] );
       ( "trace",
         [
