@@ -531,6 +531,18 @@ let bench_subjects =
         ignore (Exp_e.run ~pool Exp_e.default_config));
     par_kernel ~name:"par-exp-e-jobs4" ~jobs:4 (fun pool ->
         ignore (Exp_e.run ~pool Exp_e.default_config));
+    (* Budget overhead: the same workloads as [figure1-resolution] and
+       [dpll-sat] but threaded through a limited budget generous enough
+       never to exhaust — what the probe points cost when armed.  The
+       compare gate holds these (like everything else) within 25% of
+       the recorded baseline; the unbudgeted kernels above pin the
+       disarmed cost. *)
+    Test.make ~name:"rt-budget-overhead-prolog" (Staged.stage (fun () ->
+        let b = Argus_rt.Budget.make ~fuel:max_int () in
+        ignore (Engine.provable ~budget:b Informal.desert_bank goal)));
+    Test.make ~name:"rt-budget-overhead-dpll" (Staged.stage (fun () ->
+        let b = Argus_rt.Budget.make ~fuel:max_int () in
+        ignore (Sat.satisfiable ~budget:b prop_formula)));
   ]
 
 let run_benchmarks ~quota () =

@@ -16,6 +16,8 @@ module Lterm = Argus_logic.Term
 module Diagnostic = Argus_core.Diagnostic
 module Json = Argus_core.Json
 module Obs = Argus_obs.Obs
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
 open Cmdliner
 
 (* --- observability plumbing ---
@@ -75,6 +77,58 @@ let load_case path =
 
 let exit_of_diags ds = if Diagnostic.has_errors ds then 1 else 0
 
+(* --- resource budgets ---
+
+   Subcommands that run engines accept [--deadline MS] and [--fuel N]
+   (env: ARGUS_DEADLINE_MS / ARGUS_FUEL; flags win).  Each unit of work
+   gets a fresh budget built from the spec; exhaustion surfaces as an
+   [rt/budget-exhausted] warning on that unit's report, never as a hang
+   or a crash.  Exit codes follow the taxonomy: 0 clean, 1 findings
+   (including budget truncations), 2 internal error (see DESIGN.md
+   §10). *)
+
+let budget_spec_t =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Soft wall-clock limit per checked unit, in milliseconds. On \
+             expiry the engines stop and report a partial result with an \
+             rt/budget-exhausted warning. Also set by ARGUS_DEADLINE_MS.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Engine step limit per checked unit. Also set by ARGUS_FUEL.")
+  in
+  let combine deadline_ms fuel =
+    let env = Budget.spec_of_env () in
+    {
+      Budget.deadline_ms =
+        (match deadline_ms with Some _ -> deadline_ms | None -> env.Budget.deadline_ms);
+      fuel = (match fuel with Some _ -> fuel | None -> env.Budget.fuel);
+      max_depth = None;
+      max_solutions = None;
+    }
+  in
+  Term.(const combine $ deadline $ fuel)
+
+(* [Some budget] when the spec actually limits something, [None]
+   otherwise — engines that keep an internal default cap (the informal
+   lints) must see [None], not an unlimited budget that would disable
+   it. *)
+let budget_of_spec spec =
+  if Budget.spec_is_unlimited spec then None else Some (Budget.of_spec spec)
+
+let budget_diags = function
+  | None -> []
+  | Some b -> Budget.diagnostics b
+
 (* --- check --- *)
 
 let ruleset_conv =
@@ -85,7 +139,7 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Case file.")
 
 let check_cmd =
-  let run () ruleset with_lints format jobs paths =
+  let run () ruleset with_lints format jobs spec paths =
     spanned "argus.check" @@ fun () ->
     let render_report ds =
       match format with
@@ -95,13 +149,24 @@ let check_cmd =
     in
     (* One file's whole check, fully buffered as (stdout, stderr, exit
        code) so batch mode can run files on worker domains and still
-       print byte-identical output in input order. *)
+       print byte-identical output in input order.  Each file gets a
+       fresh budget from the spec, and the ["check.file"] fault probe
+       (keyed by basename) fires before any work so tests can kill one
+       file of a batch deterministically. *)
     let check_file ?pool path =
-      let report ds = (render_report ds, "", exit_of_diags ds) in
+      Fault.point ~key:(Filename.basename path) "check.file";
+      let budget = budget_of_spec spec in
+      let report ds =
+        let ds = ds @ budget_diags budget in
+        (render_report ds, "", exit_of_diags ds)
+      in
       let report_err ds =
         match format with
         | `Text -> ("", Format.asprintf "%a" Diagnostic.pp_report ds, 1)
         | `Json -> (render_report ds, "", 1)
+      in
+      let lint structure =
+        if with_lints then Informal.check_structure ?budget structure else []
       in
       match Dsl.parse_collection ~filename:path (read_file path) with
       | Error ds -> report_err ds
@@ -109,8 +174,7 @@ let check_cmd =
           let ds =
             Wellformed.check ~ruleset case.Dsl.structure
             @ Dsl.validate_metadata case
-            @ (if with_lints then Informal.check_structure case.Dsl.structure
-               else [])
+            @ lint case.Dsl.structure
           in
           report ds
       | Ok cases -> (
@@ -120,12 +184,7 @@ let check_cmd =
               let ds =
                 Argus_gsn.Modular.check ?pool collection
                 @ List.concat_map Dsl.validate_metadata cases
-                @
-                if with_lints then
-                  List.concat_map
-                    (fun c -> Informal.check_structure c.Dsl.structure)
-                    cases
-                else []
+                @ List.concat_map (fun c -> lint c.Dsl.structure) cases
               in
               report ds)
     in
@@ -134,23 +193,52 @@ let check_cmd =
       | Some n -> max 1 n
       | None -> Argus_par.Pool.default_jobs ()
     in
+    (* Fault isolation: one file crashing (a bug, or an injected fault)
+       becomes that file's own internal-error report with exit code 2;
+       every other file in the batch is still checked and printed, in
+       input order. *)
+    let capture f =
+      try Ok (f ())
+      with e ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        Error { Argus_par.Pool.exn = e; backtrace }
+    in
     let results =
-      if jobs <= 1 then List.map (fun p -> check_file p) paths
+      if jobs <= 1 then
+        List.map (fun p -> capture (fun () -> check_file p)) paths
       else
         Argus_par.Pool.with_pool ~jobs (fun pool ->
             match paths with
             | [ p ] ->
                 (* A single file still uses the pool inside the
                    modular-collection check. *)
-                [ check_file ~pool p ]
-            | _ -> Argus_par.Pool.map_list ~pool (fun p -> check_file p) paths)
+                [ capture (fun () -> check_file ~pool p) ]
+            | _ -> Argus_par.Pool.map_list_result ~pool check_file paths)
     in
-    List.fold_left
-      (fun code (out, err, c) ->
-        if out <> "" then print_string out;
-        if err <> "" then prerr_string err;
+    let internal_error path (f : Argus_par.Pool.failure) =
+      let d =
+        Diagnostic.errorf ~code:"rt/internal-error"
+          "internal error checking %s: %s" path (Printexc.to_string f.exn)
+      in
+      match format with
+      | `Text -> ("", Format.asprintf "%a" Diagnostic.pp_report [ d ], 2)
+      | `Json -> (render_report [ d ], "", 2)
+    in
+    List.fold_left2
+      (fun code path result ->
+        let out, err, c =
+          match result with Ok r -> r | Error f -> internal_error path f
+        in
+        if out <> "" then begin
+          print_string out;
+          flush stdout
+        end;
+        if err <> "" then begin
+          prerr_string err;
+          flush stderr
+        end;
         max code c)
-      0 results
+      0 paths results
   in
   let ruleset =
     Arg.(value & opt ruleset_conv Wellformed.Standard
@@ -183,7 +271,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check one or more cases for well-formedness")
-    Term.(const run $ obs_t $ ruleset $ lints $ format $ jobs $ files_arg)
+    Term.(
+      const run $ obs_t $ ruleset $ lints $ format $ jobs $ budget_spec_t
+      $ files_arg)
 
 (* --- render --- *)
 
@@ -250,23 +340,27 @@ let query_cmd =
 (* --- fallacies --- *)
 
 let fallacies_cmd =
-  let run () path =
+  let run () spec path =
     spanned "argus.fallacies" @@ fun () ->
     match load_case path with
     | Error () -> 1
     | Ok case ->
-        let ds = Informal.check_structure case.Dsl.structure in
+        let budget = budget_of_spec spec in
+        let ds =
+          Informal.check_structure ?budget case.Dsl.structure
+          @ budget_diags budget
+        in
         Format.printf "%a" Diagnostic.pp_report ds;
         0
   in
   Cmd.v
     (Cmd.info "fallacies" ~doc:"Run the informal-fallacy lints over a case")
-    Term.(const run $ obs_t $ file_arg)
+    Term.(const run $ obs_t $ budget_spec_t $ file_arg)
 
 (* --- prove --- *)
 
 let prove_cmd =
-  let run () max_depth path goal_text =
+  let run () max_depth spec path goal_text =
     spanned "argus.prove" @@ fun () ->
     match Program.of_string (read_file path) with
     | Error e ->
@@ -277,13 +371,26 @@ let prove_cmd =
         | Error e ->
             Format.eprintf "goal error: %s@." e;
             1
-        | Ok goal -> (
-            match Engine.prove ~max_depth program goal with
+        | Ok goal ->
+            let budget = budget_of_spec spec in
+            let result =
+              match budget with
+              | None -> Engine.prove ~max_depth program goal
+              | Some b -> Engine.prove ~max_depth ~budget:b program goal
+            in
+            let warn () =
+              match budget_diags budget with
+              | [] -> ()
+              | ds -> Format.eprintf "%a" Diagnostic.pp_report ds
+            in
+            (match result with
             | Some derivation ->
                 Format.printf "%a" Engine.pp_derivation derivation;
+                warn ();
                 0
             | None ->
                 Format.printf "not derivable@.";
+                warn ();
                 1))
   in
   let max_depth =
@@ -294,7 +401,7 @@ let prove_cmd =
   in
   Cmd.v
     (Cmd.info "prove" ~doc:"Run SLD resolution over a Horn-clause program")
-    Term.(const run $ obs_t $ max_depth $ file_arg $ goal)
+    Term.(const run $ obs_t $ max_depth $ budget_spec_t $ file_arg $ goal)
 
 (* --- cae --- *)
 
@@ -361,7 +468,7 @@ let stats_cmd =
 (* --- probe --- *)
 
 let probe_cmd =
-  let run () path =
+  let run () spec path =
     spanned "argus.probe" @@ fun () ->
     let module Proof_text = Argus_logic.Proof_text in
     let module Natded = Argus_logic.Natded in
@@ -377,12 +484,15 @@ let probe_cmd =
             Format.eprintf "%a" Diagnostic.pp_report ds;
             1
         | Ok checked ->
+            let budget = budget_of_spec spec in
             Format.printf "proof checks; it proves %s@.@."
               (Prop.to_string (Natded.theorem checked));
             Format.printf "what-if exploration (retract each premise):@.";
             List.iter
               (fun premise ->
-                match Confidence.probe_counterexample checked premise with
+                match
+                  Confidence.probe_counterexample ?budget checked premise
+                with
                 | None ->
                     Format.printf "  %-30s conclusion survives@."
                       (Prop.to_string premise)
@@ -395,14 +505,18 @@ let probe_cmd =
                               Printf.sprintf "%s=%b" v b)
                             model)))
               checked.Natded.premises;
-            0)
+            (match budget_diags budget with
+            | [] -> 0
+            | ds ->
+                Format.eprintf "%a" Diagnostic.pp_report ds;
+                1))
   in
   Cmd.v
     (Cmd.info "probe"
        ~doc:
          "Check a natural-deduction proof and run Rushby-style what-if \
           probing of its premises")
-    Term.(const run $ obs_t $ file_arg)
+    Term.(const run $ obs_t $ budget_spec_t $ file_arg)
 
 (* --- format --- *)
 
@@ -558,27 +672,34 @@ let experiments_cmd =
     Term.(const run $ obs_t $ which $ seed $ jobs)
 
 let () =
+  Fault.configure_from_env ();
   let doc = "assurance-argument toolkit (Graydon, DSN 2015, reproduced)" in
   let info = Cmd.info "argus" ~version:"1.0.0" ~doc in
+  (* [~catch:false] so unexpected exceptions reach our handler: users get
+     a one-line message and exit code 2, never a raw backtrace. *)
   let code =
-    Cmd.eval'
-       (Cmd.group info
-          [
-            check_cmd;
-            render_cmd;
-            query_cmd;
-            fallacies_cmd;
-            prove_cmd;
-            cae_cmd;
-            probe_cmd;
-            export_cmd;
-            import_cmd;
-            stats_cmd;
-            format_cmd;
-            equivocation_cmd;
-            survey_cmd;
-            experiments_cmd;
-          ])
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group info
+           [
+             check_cmd;
+             render_cmd;
+             query_cmd;
+             fallacies_cmd;
+             prove_cmd;
+             cae_cmd;
+             probe_cmd;
+             export_cmd;
+             import_cmd;
+             stats_cmd;
+             format_cmd;
+             equivocation_cmd;
+             survey_cmd;
+             experiments_cmd;
+           ])
+    with e ->
+      Format.eprintf "argus: internal error: %s@." (Printexc.to_string e);
+      2
   in
   Obs.finish ();
   exit code

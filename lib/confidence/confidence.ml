@@ -95,26 +95,26 @@ let sensitivity ~trust structure evidence_id =
   in
   baseline -. root_confidence ~trust:trust' structure
 
-let probe_premise checked premise =
+let probe_premise ?budget checked premise =
   let remaining =
     List.filter
       (fun p -> not (Prop.equal p premise))
       checked.Natded.premises
   in
-  Sat.entails remaining checked.Natded.conclusion
+  Sat.entails ?budget remaining checked.Natded.conclusion
 
-let load_bearing_premises checked =
+let load_bearing_premises ?budget checked =
   List.filter
-    (fun p -> not (probe_premise checked p))
+    (fun p -> not (probe_premise ?budget checked p))
     checked.Natded.premises
 
-let probe_counterexample checked premise =
-  if probe_premise checked premise then None
+let probe_counterexample ?budget checked premise =
+  if probe_premise ?budget checked premise then None
   else
     let remaining =
       List.filter
         (fun p -> not (Prop.equal p premise))
         checked.Natded.premises
     in
-    Sat.models
+    Sat.models ?budget
       (Prop.And (Prop.conj remaining, Prop.Not checked.Natded.conclusion))

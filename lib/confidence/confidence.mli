@@ -48,16 +48,24 @@ val sensitivity :
     forced to zero — a numeric evidence-sufficiency measure. *)
 
 val probe_premise :
-  Argus_logic.Natded.checked -> Argus_logic.Prop.t -> bool
+  ?budget:Argus_rt.Budget.t ->
+  Argus_logic.Natded.checked ->
+  Argus_logic.Prop.t ->
+  bool
 (** Rushby's what-if: [probe_premise checked p] is whether the checked
     conclusion still follows (by SAT entailment) from the premises with
-    [p] removed.  [false] means the premise is load-bearing. *)
+    [p] removed.  [false] means the premise is load-bearing.  The
+    budget (default unlimited) governs the SAT queries; on exhaustion
+    treat the answer as unknown (check {!Argus_rt.Budget.exhausted}). *)
 
 val load_bearing_premises :
-  Argus_logic.Natded.checked -> Argus_logic.Prop.t list
+  ?budget:Argus_rt.Budget.t ->
+  Argus_logic.Natded.checked ->
+  Argus_logic.Prop.t list
 (** Premises whose removal breaks the conclusion. *)
 
 val probe_counterexample :
+  ?budget:Argus_rt.Budget.t ->
   Argus_logic.Natded.checked ->
   Argus_logic.Prop.t ->
   (string * bool) list option

@@ -1,4 +1,6 @@
 module Id = Argus_core.Id
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
 
 type t = {
   args : Id.t list;  (** Insertion order, no duplicates. *)
@@ -52,31 +54,50 @@ let defends t s a =
 let admissible t s =
   conflict_free t s && Id.Set.for_all (fun a -> defends t s a) s
 
-let grounded t =
-  (* Least fixpoint of F(S) = arguments defended by S. *)
+let grounded ?(budget = Budget.unlimited) t =
+  (* Least fixpoint of F(S) = arguments defended by S.  At most |args|
+     sweeps are needed; a budget cut returns the under-approximation
+     reached so far (the fixpoint only grows), with the budget
+     marked. *)
   let rec iterate s =
-    let s' =
-      List.filter (fun a -> defends t s a) t.args |> Id.Set.of_list
-    in
-    if Id.Set.equal s s' then s else iterate s'
+    if not (Budget.ticks budget ~engine:"af" (List.length t.args)) then s
+    else
+      let s' =
+        List.filter (fun a -> defends t s a) t.args |> Id.Set.of_list
+      in
+      if Id.Set.equal s s' then s else iterate s'
   in
   iterate Id.Set.empty
 
-let all_subsets args =
-  (* Subsets in increasing-size-friendly order (bit enumeration). *)
+(* Subsets as a lazy sequence (bit enumeration) so a budgeted search
+   never materialises all 2^n of them. *)
+let subsets args =
   let arr = Array.of_list args in
   let n = Array.length arr in
-  List.init (1 lsl n) (fun mask ->
+  Seq.init (1 lsl n) (fun mask ->
       let s = ref Id.Set.empty in
       for i = 0 to n - 1 do
         if mask land (1 lsl i) <> 0 then s := Id.Set.add arr.(i) !s
       done;
       !s)
 
-let preferred t =
+(* Candidates surviving [keep], ticking once per subset examined; stops
+   (marking the budget) when the budget runs out. *)
+let filter_subsets budget t keep =
+  let rec go acc seq =
+    match seq () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons (s, rest) ->
+        if not (Budget.tick budget ~engine:"af") then List.rev acc
+        else go (if keep s then s :: acc else acc) rest
+  in
+  go [] (subsets t.args)
+
+let preferred ?(budget = Budget.unlimited) t =
+  Fault.point "af.search";
   if size t > 16 then
     invalid_arg "Af.preferred: framework too large for subset search";
-  let admissibles = List.filter (admissible t) (all_subsets t.args) in
+  let admissibles = filter_subsets budget t (admissible t) in
   List.filter
     (fun s ->
       not
@@ -85,21 +106,18 @@ let preferred t =
            admissibles))
     admissibles
 
-let stable t =
+let stable ?(budget = Budget.unlimited) t =
+  Fault.point "af.search";
   if size t > 16 then
     invalid_arg "Af.stable: framework too large for subset search";
-  List.filter
-    (fun s ->
+  filter_subsets budget t (fun s ->
       conflict_free t s
-      && List.for_all
-           (fun a -> Id.Set.mem a s || set_attacks t s a)
-           t.args)
-    (all_subsets t.args)
+      && List.for_all (fun a -> Id.Set.mem a s || set_attacks t s a) t.args)
 
 type status = Accepted | Rejected | Undecided
 
-let status t a =
-  let g = grounded t in
+let status ?budget t a =
+  let g = grounded ?budget t in
   if Id.Set.mem a g then Accepted
   else if set_attacks t g a then Rejected
   else Undecided

@@ -11,7 +11,16 @@
     {!grounded} is the least fixpoint of the characteristic function;
     {!preferred} and {!stable} by maximal-admissible search (the
     frameworks a dialogue builds are small, so exponential search is
-    fine and is bounded by the argument count). *)
+    fine and is bounded by the argument count).
+
+    Resource governance: the searching entry points take an optional
+    [?budget] ({!Argus_rt.Budget.t}, default unlimited), ticked per
+    candidate subset examined (and per fixpoint sweep for
+    {!grounded}).  On exhaustion the search returns the extensions
+    found so far — callers that passed a budget must check
+    {!Argus_rt.Budget.exhausted} and treat the list as possibly
+    incomplete.  The ["af.search"] fault probe fires on entry to
+    {!preferred}/{!stable} (DESIGN.md §10). *)
 
 type t
 
@@ -36,19 +45,20 @@ val defends : t -> Argus_core.Id.Set.t -> Argus_core.Id.t -> bool
     of [s]. *)
 
 val admissible : t -> Argus_core.Id.Set.t -> bool
-val grounded : t -> Argus_core.Id.Set.t
+
+val grounded : ?budget:Argus_rt.Budget.t -> t -> Argus_core.Id.Set.t
 (** The (unique) grounded extension. *)
 
-val preferred : t -> Argus_core.Id.Set.t list
+val preferred : ?budget:Argus_rt.Budget.t -> t -> Argus_core.Id.Set.t list
 (** All maximal admissible sets; at least one (possibly empty). *)
 
-val stable : t -> Argus_core.Id.Set.t list
+val stable : ?budget:Argus_rt.Budget.t -> t -> Argus_core.Id.Set.t list
 (** Conflict-free sets attacking every outside argument; may be none. *)
 
 (** Acceptability status of one argument under grounded semantics. *)
 type status = Accepted | Rejected | Undecided
 
-val status : t -> Argus_core.Id.t -> status
+val status : ?budget:Argus_rt.Budget.t -> t -> Argus_core.Id.t -> status
 (** [Accepted] if in the grounded extension, [Rejected] if attacked by
     it, [Undecided] otherwise. *)
 

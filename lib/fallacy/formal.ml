@@ -42,20 +42,21 @@ let finding_to_string = function
   | Undistributed_middle -> "undistributed middle term"
   | Illicit_distribution -> "illicit distribution of an end term"
 
-let is_valid_propositional { premises; conclusion } =
-  Sat.entails premises conclusion
+let is_valid_propositional ?budget { premises; conclusion } =
+  Sat.entails ?budget premises conclusion
 
-let check_propositional ({ premises; conclusion } as arg) =
+let check_propositional ?budget ({ premises; conclusion } as arg) =
   let out = ref [] in
   let add f = if not (List.mem f !out) then out := f :: !out in
   (* 1. Begging the question: a premise equivalent to the conclusion.
      Only meaningful when the premises are consistent (otherwise
      everything is "equivalent" in the empty model set). *)
-  let premises_consistent = Sat.satisfiable (Prop.conj premises) in
+  let premises_consistent = Sat.satisfiable ?budget (Prop.conj premises) in
   if
     premises_consistent
     && List.exists
-         (fun p -> Prop.equal p conclusion || Sat.equivalent p conclusion)
+         (fun p ->
+           Prop.equal p conclusion || Sat.equivalent ?budget p conclusion)
          premises
   then add Begging_the_question;
   (* 2. Incompatible premises. *)
@@ -66,11 +67,11 @@ let check_propositional ({ premises; conclusion } as arg) =
   if
     premises_consistent
     && List.exists
-         (fun p -> not (Sat.satisfiable (Prop.And (p, conclusion))))
+         (fun p -> not (Sat.satisfiable ?budget (Prop.And (p, conclusion))))
          premises
   then add Premise_conclusion_contradiction;
   (* 4/5. Conditional-shape fallacies, only when not actually valid. *)
-  if not (is_valid_propositional arg) then
+  if not (is_valid_propositional ?budget arg) then
     List.iter
       (fun p ->
         match p with
@@ -85,10 +86,15 @@ let check_propositional ({ premises; conclusion } as arg) =
       premises;
   List.rev !out
 
-let check_many ?pool args =
+let check_many ?budget ?pool args =
   (* Each argument's check is pure and independent; results come back
-     in input order, so the scan is identical for any worker count. *)
-  Argus_par.Pool.map_list ?pool check_propositional args
+     in input order, so the scan is identical for any worker count.
+     A budget is a single mutable accumulator, so a budgeted scan runs
+     sequentially rather than sharing it across domains. *)
+  match budget with
+  | Some b when Argus_rt.Budget.is_limited b ->
+      List.map (check_propositional ~budget:b) args
+  | _ -> Argus_par.Pool.map_list ?pool check_propositional args
 
 let check_syllogism syll =
   List.filter_map

@@ -40,20 +40,30 @@ type conversion = {
   to_ : Argus_logic.Syllogism.proposition;
 }
 
-val check_propositional : propositional -> finding list
+val check_propositional :
+  ?budget:Argus_rt.Budget.t -> propositional -> finding list
 (** Fallacies 1–5.  The conditional-shape fallacies (4, 5) are only
     reported when the argument is {e not} valid — [A -> B, B, B -> A
     |- A] affirms nothing.  Begging the question is reported when the
-    conclusion is syntactically equal or SAT-equivalent to a premise. *)
+    conclusion is syntactically equal or SAT-equivalent to a premise.
+    The budget (default unlimited) governs the underlying SAT queries;
+    when it is exhausted the findings may be incomplete (check
+    {!Argus_rt.Budget.exhausted}). *)
 
-val is_valid_propositional : propositional -> bool
+val is_valid_propositional :
+  ?budget:Argus_rt.Budget.t -> propositional -> bool
 (** Premises entail the conclusion. *)
 
 val check_many :
-  ?pool:Argus_par.Pool.t -> propositional list -> finding list list
+  ?budget:Argus_rt.Budget.t ->
+  ?pool:Argus_par.Pool.t ->
+  propositional list ->
+  finding list list
 (** [check_propositional] over every argument — across the pool's
     domains when [?pool] is given — with findings in input order,
-    identical to the sequential map for any worker count. *)
+    identical to the sequential map for any worker count.  A limited
+    budget forces the sequential path (a budget is one mutable
+    accumulator and is not shared across domains). *)
 
 val check_syllogism : Argus_logic.Syllogism.t -> finding list
 (** Fallacies 7 and 8 (plus nothing else; the non-distribution

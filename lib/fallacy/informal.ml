@@ -5,6 +5,7 @@ module Term = Argus_logic.Term
 module Program = Argus_prolog.Program
 module Structure = Argus_gsn.Structure
 module Node = Argus_gsn.Node
+module Budget = Argus_rt.Budget
 
 let desert_bank_program =
   {|% Figure 1: a flawed argument that passes formal validation.
@@ -72,19 +73,28 @@ let contains_ci hay needle =
     in
     go 0
 
-let check_structure structure =
+(* Path enumeration on a dense DAG is exponential and a lint need not
+   be exhaustive, so the circular-support walk always runs under a
+   budget: the caller's if one was passed, otherwise an internal
+   10k-step one whose truncation this module reports itself (the
+   caller cannot see a budget it never created). *)
+let default_walk_fuel = 10_000
+
+let check_structure ?budget structure =
+  let budget, internal =
+    match budget with
+    | Some b -> (b, false)
+    | None -> (Budget.make ~fuel:default_walk_fuel (), true)
+  in
   let out = ref [] in
   let add d = out := d :: !out in
   (* Circular support: descendant goal restating an ancestor goal.  The
      walk carries the path (for the restatement check) and cuts cycles
      so it terminates on arbitrary graphs. *)
   let norm text = String.concat " " (Textutil.content_words text) in
-  (* Heuristic work budget: path enumeration on a dense DAG is
-     exponential, and a lint need not be exhaustive. *)
-  let budget = ref 10_000 in
   let rec walk ancestors on_path id =
-    decr budget;
-    if Id.Set.mem id on_path || !budget <= 0 then ()
+    if Id.Set.mem id on_path || not (Budget.tick budget ~engine:"informal")
+    then ()
     else
       match Structure.find id structure with
       | None -> ()
@@ -112,6 +122,7 @@ let check_structure structure =
             (Structure.children Structure.Supported_by id structure)
   in
   List.iter (walk [] Id.Set.empty) (Structure.roots structure);
+  if internal then List.iter add (Budget.diagnostics budget);
   (* Argument from ignorance. *)
   List.iter
     (fun n ->

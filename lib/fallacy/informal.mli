@@ -24,7 +24,9 @@ val equivocation_candidates : Argus_prolog.Program.t -> string list
     exactly [["bank"]]. *)
 
 val check_structure :
-  Argus_gsn.Structure.t -> Argus_core.Diagnostic.t list
+  ?budget:Argus_rt.Budget.t ->
+  Argus_gsn.Structure.t ->
+  Argus_core.Diagnostic.t list
 (** GSN-level informal-fallacy lints, warning codes under ["informal/"]:
     - ["informal/circular-support"] — a descendant goal restates an
       ancestor goal's text (normalised);
@@ -33,4 +35,9 @@ val check_structure :
       observed", "not been shown");
     - ["informal/equivocation-candidate"] — a content word that appears
       in several sibling goals with otherwise-disjoint vocabulary,
-      suggesting the word may be doing double duty. *)
+      suggesting the word may be doing double duty.
+
+    The circular-support walk always runs under a budget: the caller's
+    when [?budget] is given (the caller then owns reporting its
+    exhaustion), otherwise an internal 10k-step one whose truncation is
+    reported here as an ["rt/budget-exhausted"] warning. *)

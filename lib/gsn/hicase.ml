@@ -1,4 +1,6 @@
 module Id = Argus_core.Id
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
 
 type t = { structure : Structure.t; collapsed : Id.Set.t }
 
@@ -22,9 +24,12 @@ let toggle id t =
 (* Nodes hidden by the fold state: strict supported-descendants of a
    collapsed node, not re-rooted elsewhere...  visibility is defined by
    traversal from the roots that stops below collapsed nodes. *)
-let visible_ids t =
+let visible_ids ?(budget = Budget.unlimited) t =
   let rec go visited id =
-    if Id.Set.mem id visited then visited
+    (* On exhaustion the traversal stops where it stands — the view is
+       a partial (but well-formed) fragment and the budget is marked. *)
+    if Id.Set.mem id visited || not (Budget.tick budget ~engine:"hicase")
+    then visited
     else
       let visited = Id.Set.add id visited in
       let visited =
@@ -42,8 +47,9 @@ let visible_ids t =
 
 let is_visible id t = Id.Set.mem id (visible_ids t)
 
-let visible t =
-  let keep = visible_ids t in
+let visible ?budget t =
+  Fault.point "hicase.visible";
+  let keep = visible_ids ?budget t in
   let restricted = Structure.restrict keep t.structure in
   Structure.map_nodes
     (fun n ->

@@ -34,10 +34,14 @@ val is_visible : Argus_core.Id.t -> t -> bool
     inside some collapsed subtree).  A collapsed node is itself
     visible; its supportees are not. *)
 
-val visible : t -> Structure.t
+val visible : ?budget:Argus_rt.Budget.t -> t -> Structure.t
 (** The view: hidden nodes and their links removed; collapsed nodes
     re-marked {!Node.Undeveloped} so the view remains a well-formed
-    argument fragment. *)
+    argument fragment.  The budget (default unlimited) is ticked once
+    per node visited; on exhaustion the traversal stops and the view is
+    a partial fragment with the budget marked (check
+    {!Argus_rt.Budget.exhausted}).  The ["hicase.visible"] fault probe
+    fires at entry (DESIGN.md §10). *)
 
 val visible_count : t -> int
 

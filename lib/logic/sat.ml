@@ -1,3 +1,6 @@
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
+
 type literal = { var : string; sign : bool }
 type clause = literal list
 type cnf = clause list
@@ -93,6 +96,13 @@ let c_conflicts = Argus_obs.Counter.make "sat.conflicts"
 
 exception Unsat
 
+(* Raised (and caught inside [solve]) when the budget runs out
+   mid-search: the search stops where it stands and [solve] answers
+   [None] with the budget marked exhausted — callers that passed a
+   budget must treat the answer as unknown once
+   [Budget.exhausted] is set. *)
+exception Stopped
+
 type solver = {
   nvars : int;
   names : string array;
@@ -128,9 +138,10 @@ let undo_to s mark =
   s.qhead <- mark
 
 (* Propagate everything queued on the trail; false on conflict. *)
-let propagate s =
+let propagate budget s =
   let ok = ref true in
   while !ok && s.qhead < s.trail_n do
+    if not (Budget.tick budget ~engine:"sat") then raise Stopped;
     let l = s.trail.(s.qhead) in
     s.qhead <- s.qhead + 1;
     let fl = l lxor 1 in
@@ -188,27 +199,29 @@ let next_unassigned s =
   let rec go v = if v >= s.nvars then None else if s.value.(v) = 0 then Some v else go (v + 1) in
   go 0
 
-let rec search s =
-  if not (propagate s) then false
+let rec search budget s =
+  if not (propagate budget s) then false
   else
     match next_unassigned s with
     | None -> true
     | Some v ->
+        Fault.point "sat.decide";
+        if not (Budget.tick budget ~engine:"sat") then raise Stopped;
         Argus_obs.Counter.incr c_decisions;
         let mark = s.trail_n in
         assign s (2 * v);
-        if search s then true
+        if search budget s then true
         else begin
           undo_to s mark;
           assign s ((2 * v) + 1);
-          if search s then true
+          if search budget s then true
           else begin
             undo_to s mark;
             false
           end
         end
 
-let solve input_clauses =
+let solve ?(budget = Budget.unlimited) input_clauses =
   Argus_obs.Span.with_ ~name:"sat.solve" @@ fun () ->
   Argus_obs.Counter.add c_clauses (List.length input_clauses);
   (* Intern the variables of this CNF into 0..nvars-1, assigning ids as
@@ -328,7 +341,7 @@ let solve input_clauses =
         assign s (if occurs_pos.(v) then 2 * v else (2 * v) + 1)
       end
     done;
-    search s
+    search budget s
   with
   | true ->
       let model = ref [] in
@@ -338,6 +351,7 @@ let solve input_clauses =
       Some (List.sort (fun (a, _) (b, _) -> String.compare a b) !model)
   | false -> None
   | exception Unsat -> None
+  | exception Stopped -> None
 
 (* --- The PR-1 solver, retained as a differential-testing oracle ---
 
@@ -478,33 +492,39 @@ let memo_limit = 4096
 let memo_key : (Prop.t, bool) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
-let satisfiable_uncached f =
+let satisfiable_uncached ?budget f =
   if quick_witness f then begin
     Argus_obs.Counter.incr c_quick;
     true
   end
-  else solve (tseitin f) <> None
+  else solve ?budget (tseitin f) <> None
 
-let satisfiable f =
-  let memo = Domain.DLS.get memo_key in
-  match Hashtbl.find_opt memo f with
-  | Some r ->
-      Argus_obs.Counter.incr c_memo;
-      r
-  | None ->
-      let r = satisfiable_uncached f in
-      if Hashtbl.length memo >= memo_limit then Hashtbl.reset memo;
-      Hashtbl.add memo f r;
-      r
+let satisfiable ?(budget = Budget.unlimited) f =
+  if Budget.is_limited budget then
+    (* A budgeted answer may be a truncation artefact; keep it out of
+       the memo so unbudgeted callers never inherit it. *)
+    satisfiable_uncached ~budget f
+  else
+    let memo = Domain.DLS.get memo_key in
+    match Hashtbl.find_opt memo f with
+    | Some r ->
+        Argus_obs.Counter.incr c_memo;
+        r
+    | None ->
+        let r = satisfiable_uncached f in
+        if Hashtbl.length memo >= memo_limit then Hashtbl.reset memo;
+        Hashtbl.add memo f r;
+        r
 
-let valid f = not (satisfiable (Prop.Not f))
-let entails premises conclusion =
-  not (satisfiable (Prop.And (Prop.conj premises, Prop.Not conclusion)))
+let valid ?budget f = not (satisfiable ?budget (Prop.Not f))
 
-let equivalent a b = valid (Prop.Iff (a, b))
+let entails ?budget premises conclusion =
+  not (satisfiable ?budget (Prop.And (Prop.conj premises, Prop.Not conclusion)))
 
-let models f =
-  match solve (tseitin f) with
+let equivalent ?budget a b = valid ?budget (Prop.Iff (a, b))
+
+let models ?budget f =
+  match solve ?budget (tseitin f) with
   | None -> None
   | Some asg ->
       let fvars = Prop.vars f in
@@ -516,7 +536,9 @@ let models f =
              | None -> (v, true))
            fvars)
 
-let count_models f =
+type count = Exact of int | At_least of int
+
+let count_models ?(budget = Budget.unlimited) f =
   let fvars = Prop.vars f in
   let n = List.length fvars in
   if n > 24 then invalid_arg "count_models: too many variables";
@@ -525,8 +547,23 @@ let count_models f =
   let bit = Hashtbl.create (2 * n) in
   List.iteri (fun i v -> Hashtbl.replace bit v i) fvars;
   let count = ref 0 in
-  for mask = 0 to (1 lsl n) - 1 do
-    let valuation v = mask land (1 lsl Hashtbl.find bit v) <> 0 in
-    if Prop.eval valuation f then incr count
+  (* A budget cut mid-enumeration means the remaining valuations were
+     never evaluated, so the tally is a lower bound — reported as such
+     rather than passed off as the exact count. *)
+  let truncated = ref false in
+  let mask = ref 0 in
+  let last = (1 lsl n) - 1 in
+  while (not !truncated) && !mask <= last do
+    if not (Budget.tick budget ~engine:"sat") then truncated := true
+    else begin
+      let m = !mask in
+      let valuation v = m land (1 lsl Hashtbl.find bit v) <> 0 in
+      if Prop.eval valuation f then begin
+        incr count;
+        if not (Budget.note_solution budget ~engine:"sat") then
+          truncated := true
+      end;
+      incr mask
+    end
   done;
-  !count
+  if !truncated then At_least !count else Exact !count

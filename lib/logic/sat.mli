@@ -9,7 +9,17 @@
     call, with an array assignment, an undo trail, and two-watched-literal
     unit propagation — no persistent maps or clause-list rebuilding on
     the search path.  {!Naive} retains the original persistent-map DPLL
-    as a differential-testing oracle. *)
+    as a differential-testing oracle.
+
+    Resource governance: the solving entry points take an optional
+    [?budget] ({!Argus_rt.Budget.t}, default unlimited), ticked once
+    per decision and once per propagated literal.  On exhaustion the
+    search stops and the query answers as if unsatisfiable — callers
+    that passed a budget must check {!Argus_rt.Budget.exhausted} and
+    treat the answer as unknown when it is set.  Budgeted
+    {!satisfiable} queries bypass the memo table so truncated answers
+    are never cached.  The ["sat.decide"] fault probe fires at every
+    decision (DESIGN.md §10). *)
 
 type literal = { var : string; sign : bool }
 type clause = literal list
@@ -24,27 +34,39 @@ val tseitin : Prop.t -> cnf
 (** Equisatisfiable linear-size conversion.  Introduces fresh variables
     prefixed ["_ts"]; input formulas must not use that prefix. *)
 
-val solve : cnf -> (string * bool) list option
+val solve :
+  ?budget:Argus_rt.Budget.t -> cnf -> (string * bool) list option
 (** DPLL with two-watched-literal unit propagation and pure-literal
     preprocessing.  Returns a satisfying assignment covering every
     variable that occurs (sorted by name), or [None] when
-    unsatisfiable. *)
+    unsatisfiable (or when the budget ran out mid-search — check
+    [Budget.exhausted]). *)
 
-val satisfiable : Prop.t -> bool
-val valid : Prop.t -> bool
-val entails : Prop.t list -> Prop.t -> bool
+val satisfiable : ?budget:Argus_rt.Budget.t -> Prop.t -> bool
+val valid : ?budget:Argus_rt.Budget.t -> Prop.t -> bool
+
+val entails : ?budget:Argus_rt.Budget.t -> Prop.t list -> Prop.t -> bool
 (** [entails premises conclusion]: every model of the premises satisfies
     the conclusion. *)
 
-val equivalent : Prop.t -> Prop.t -> bool
+val equivalent : ?budget:Argus_rt.Budget.t -> Prop.t -> Prop.t -> bool
 
-val models : Prop.t -> (string * bool) list option
+val models :
+  ?budget:Argus_rt.Budget.t -> Prop.t -> (string * bool) list option
 (** A model of the formula over exactly its own variables, or [None]. *)
 
-val count_models : Prop.t -> int
+type count =
+  | Exact of int  (** every valuation was enumerated *)
+  | At_least of int
+      (** the budget cut the enumeration short; the true count is at
+          least this *)
+
+val count_models : ?budget:Argus_rt.Budget.t -> Prop.t -> count
 (** Number of satisfying assignments over the formula's variables, by
     exhaustive enumeration.  Intended for formulas with at most ~20
-    variables; used by tests and the confidence module. *)
+    variables; used by tests and the confidence module.  The budget is
+    ticked per valuation and its solution cap counts satisfying ones; a
+    cut-off is reported as {!At_least}, never as an exact count. *)
 
 module Naive : sig
   val solve : cnf -> (string * bool) list option

@@ -1,3 +1,6 @@
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
+
 type t =
   | True
   | False
@@ -78,7 +81,13 @@ let c_finite_steps = Argus_obs.Counter.make "ltl.trace_steps"
    land on the memo side and their repeated atoms actually hit. *)
 let memo_threshold = 8
 
-let label tr f =
+(* Raised (and caught at the [label]/[holds_finite] top level) when the
+   budget runs out mid-labelling; the caller gets an all-false result
+   with the budget marked exhausted, and must treat it as unknown. *)
+exception Stopped
+
+let label ?(budget = Budget.unlimited) tr f =
+  Fault.point "ltl.label";
   let p = Array.length tr.Trace.prefix in
   let n = Trace.length tr in
   let succ i = if i = n - 1 then p else i + 1 in
@@ -111,6 +120,7 @@ let label tr f =
     let holds i = match hold with None -> true | Some h -> h.(i) in
     let changed = ref true in
     while !changed do
+      if not (Budget.ticks budget ~engine:"ltl" n) then raise Stopped;
       incr sweeps;
       changed := false;
       for i = n - 1 downto 0 do
@@ -131,6 +141,7 @@ let label tr f =
     in
     let changed = ref true in
     while !changed do
+      if not (Budget.ticks budget ~engine:"ltl" n) then raise Stopped;
       incr sweeps;
       changed := false;
       for i = n - 1 downto 0 do
@@ -143,6 +154,7 @@ let label tr f =
     done;
     v
   and compute go f =
+    if not (Budget.ticks budget ~engine:"ltl" n) then raise Stopped;
     incr labelled;
     match f with
     | True -> Array.make n true
@@ -168,23 +180,24 @@ let label tr f =
           Argus_obs.Counter.shard_add s c_positions (!labelled * n);
           Argus_obs.Counter.shard_add s c_sweeps !sweeps;
           Argus_obs.Counter.shard_add s c_memo_hits !memo_hits)
-        (fun () -> go f))
+        (fun () -> try go f with Stopped -> Array.make n false))
 
-let holds_at tr i f =
+let holds_at ?budget tr i f =
   if i < 0 then invalid_arg "Ltl.holds_at: negative position";
   let p = Array.length tr.Trace.prefix and n = Trace.length tr in
   let i = if i < n then i else p + ((i - p) mod (n - p)) in
-  (label tr f).(i)
+  (label ?budget tr f).(i)
 
-let holds tr f = (label tr f).(0)
+let holds ?budget tr f = (label ?budget tr f).(0)
 
-let holds_finite states f =
+let holds_finite ?(budget = Budget.unlimited) states f =
   if states = [] then invalid_arg "Ltl.holds_finite: empty trace";
   let arr = Array.of_list states in
   let n = Array.length arr in
   Argus_obs.Counter.incr c_finite_checks;
   Argus_obs.Counter.add c_finite_steps n;
   let rec at i f =
+    if not (Budget.tick budget ~engine:"ltl") then raise Stopped;
     match f with
     | True -> true
     | False -> false
@@ -205,7 +218,7 @@ let holds_finite states f =
         un i
     | Release (a, b) -> not (at i (Until (Not a, Not b)))
   in
-  at 0 f
+  try at 0 f with Stopped -> false
 
 let rec nnf = function
   | (True | False | Atom _) as f -> f

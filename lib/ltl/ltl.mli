@@ -9,7 +9,15 @@
     Semantics are over lasso traces (a finite prefix followed by a
     repeated loop), which represent the ultimately-periodic behaviours a
     bounded model checker explores, and over finite traces (LTLf-style,
-    with a strong Next) for checking recorded operational data. *)
+    with a strong Next) for checking recorded operational data.
+
+    Resource governance: the checking entry points take an optional
+    [?budget] ({!Argus_rt.Budget.t}, default unlimited), ticked per
+    position labelled and per fixpoint sweep.  On exhaustion the check
+    answers [false] — callers that passed a budget must check
+    {!Argus_rt.Budget.exhausted} and treat the answer as unknown when
+    set.  The ["ltl.label"] fault probe fires at each labelling
+    (DESIGN.md §10). *)
 
 type t =
   | True
@@ -50,16 +58,17 @@ module Trace : sig
       positions. *)
 end
 
-val holds : Trace.t -> t -> bool
+val holds : ?budget:Argus_rt.Budget.t -> Trace.t -> t -> bool
 (** Truth at position 0 of the infinite unrolling, computed by
     fixpoint labelling over the lasso (least fixpoint for [Until],
     greatest for [Release]). *)
 
-val holds_at : Trace.t -> int -> t -> bool
+val holds_at : ?budget:Argus_rt.Budget.t -> Trace.t -> int -> t -> bool
 (** Truth at an arbitrary position of the unrolling.
     @raise Invalid_argument if the position is negative. *)
 
-val holds_finite : Trace.state list -> t -> bool
+val holds_finite :
+  ?budget:Argus_rt.Budget.t -> Trace.state list -> t -> bool
 (** LTLf semantics on a finite, non-looping trace: [Next] is strong
     (false at the last position), [Always]/[Until] quantify over the
     remaining positions only.  An empty trace satisfies only formulas

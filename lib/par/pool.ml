@@ -1,9 +1,15 @@
 module Metrics = Argus_obs.Metrics
 module Span = Argus_obs.Span
+module Fault = Argus_rt.Fault
 
 let c_tasks = Metrics.Counter.make "par.tasks"
 let c_chunks = Metrics.Counter.make "par.chunks"
 let c_steals = Metrics.Counter.make "par.steals"
+let c_tasks_failed = Metrics.Counter.make "rt.tasks_failed"
+
+type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Abandoned
 
 (* One fork-join operation.  Chunks are handed out through [next]; a
    participant that drains the cursor past [total] is done.  [active]
@@ -15,7 +21,7 @@ type op = {
   body : int -> int -> unit; (* [lo, hi) index range *)
   next : int Atomic.t;
   active : int Atomic.t;
-  mutable failed : (exn * Printexc.raw_backtrace) option;
+  mutable failed : failure option;
 }
 
 type t = {
@@ -39,27 +45,32 @@ let default_jobs () =
 
 let jobs t = t.jobs
 
-(* Pull chunks until the cursor is exhausted.  On an exception the
-   first failure is kept, the cursor is slammed shut so other
-   participants stop early, and the caller re-raises after the join. *)
+(* Pull chunks until the cursor is exhausted.  A chunk that raises is
+   captured (first failure wins) and the participant moves on to the
+   next chunk — one bad task must not abandon the rest of the batch —
+   and the caller decides after the join whether to re-raise.  The
+   ["pool.chunk"] fault probe, keyed by the chunk's start index, sits
+   in front of the body so tests can prove exactly that isolation. *)
 let drain t op ~stealing =
   Atomic.incr op.active;
-  (try
-     let continue_ = ref true in
-     while !continue_ do
-       let lo = Atomic.fetch_and_add op.next op.chunk in
-       if lo >= op.total then continue_ := false
-       else begin
-         Metrics.Counter.incr c_chunks;
-         if stealing then Metrics.Counter.incr c_steals;
-         op.body lo (min op.total (lo + op.chunk))
-       end
-     done
-   with e ->
-     let bt = Printexc.get_raw_backtrace () in
-     Mutex.protect t.mu (fun () ->
-         if op.failed = None then op.failed <- Some (e, bt));
-     Atomic.set op.next op.total);
+  let continue_ = ref true in
+  while !continue_ do
+    let lo = Atomic.fetch_and_add op.next op.chunk in
+    if lo >= op.total then continue_ := false
+    else begin
+      Metrics.Counter.incr c_chunks;
+      if stealing then Metrics.Counter.incr c_steals;
+      try
+        Fault.point ~key:(string_of_int lo) "pool.chunk";
+        op.body lo (min op.total (lo + op.chunk))
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Metrics.Counter.incr c_tasks_failed;
+        Mutex.protect t.mu (fun () ->
+            if op.failed = None then
+              op.failed <- Some { exn = e; backtrace = bt })
+    end
+  done;
   ignore (Atomic.fetch_and_add op.active (-1));
   Mutex.protect t.mu (fun () -> Condition.broadcast t.done_cv)
 
@@ -119,9 +130,12 @@ let with_pool ?jobs f =
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Run [body] over [0, total) in chunks across the pool; the calling
-   domain participates, then waits for every worker to leave the op. *)
-let run t ~total ~body =
-  if total > 0 then
+   domain participates, then waits for every worker to leave the op.
+   Every chunk runs even when some fail; the first failure (if any) is
+   returned for the caller to re-raise or record. *)
+let run_capture t ~total ~body =
+  if total <= 0 then None
+  else
     Span.with_ ~name:"par.map" (fun () ->
         Metrics.Counter.add c_tasks total;
         let chunk = max 1 ((total + (4 * t.jobs) - 1) / (4 * t.jobs)) in
@@ -145,9 +159,12 @@ let run t ~total ~body =
               Condition.wait t.done_cv t.mu
             done;
             t.current <- None);
-        match op.failed with
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
+        op.failed)
+
+let run t ~total ~body =
+  match run_capture t ~total ~body with
+  | Some { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
+  | None -> ()
 
 let mapi_array ?pool f arr =
   let n = Array.length arr in
@@ -177,3 +194,48 @@ let map_list ?pool f xs =
 let map_reduce ?pool ~map ~combine ~init:z arr =
   let mapped = map_array ?pool map arr in
   Array.fold_left combine z mapped
+
+(* --- Fault-isolating maps --- *)
+
+let abandoned = { exn = Abandoned; backtrace = Printexc.get_callstack 0 }
+
+let mapi_result ?pool f arr =
+  let wrap i x =
+    try
+      Fault.point ~key:(string_of_int i) "pool.task";
+      Ok (f i x)
+    with e ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      Metrics.Counter.incr c_tasks_failed;
+      Error { exn = e; backtrace }
+  in
+  let n = Array.length arr in
+  match pool with
+  | None -> Array.mapi wrap arr
+  | Some t when t.jobs <= 1 || n <= 1 -> Array.mapi wrap arr
+  | Some t ->
+      (* Slots start out [Error Abandoned] so a chunk the pool itself
+         loses (captured by [run_capture], e.g. a ["pool.chunk"] fault)
+         surfaces as per-item failures rather than vanishing; slots of
+         chunks that ran are overwritten with the per-item outcome. *)
+      let out = Array.make n (Error abandoned) in
+      let failed =
+        run_capture t ~total:n ~body:(fun lo hi ->
+            for i = lo to hi - 1 do
+              out.(i) <- wrap i arr.(i)
+            done)
+      in
+      (match failed with
+      | Some f ->
+          Array.iteri
+            (fun i -> function
+              | Error a when a == abandoned -> out.(i) <- Error f
+              | _ -> ())
+            out
+      | None -> ());
+      out
+
+let map_result ?pool f arr = mapi_result ?pool (fun _ x -> f x) arr
+
+let map_list_result ?pool f xs =
+  Array.to_list (map_result ?pool f (Array.of_list xs))

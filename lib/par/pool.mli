@@ -12,12 +12,28 @@
     Passing [?pool:None] (the default) to the mapping functions runs
     the plain sequential code with no domain machinery at all.
 
+    Fault isolation: a chunk that raises never abandons the rest of the
+    operation — every remaining chunk still runs, the first failure is
+    re-raised after the join ({!map_array} family) or captured per item
+    ({!map_result} family), and the [rt.tasks_failed] counter records
+    each capture.  The ["pool.chunk"] (keyed by chunk start index) and
+    ["pool.task"] (keyed by item index) fault probes of
+    {!Argus_rt.Fault} let tests inject failures deterministically
+    (DESIGN.md §10).
+
     Observability: each parallel operation runs under a ["par.map"]
     span on the calling domain and feeds the [par.tasks] (items),
     [par.chunks] (chunks handed out) and [par.steals] (chunks executed
     by a worker rather than the caller) counters. *)
 
 type t
+
+type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Abandoned
+(** Placeholder failure for items whose chunk was lost to a
+    pool-internal fault before any of its items ran; only ever seen
+    inside {!map_result} [Error] payloads. *)
 
 val default_jobs : unit -> int
 (** [$ARGUS_JOBS] when set to a positive integer, otherwise
@@ -40,6 +56,19 @@ val map_array : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
 val mapi_array : ?pool:t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val init : ?pool:t -> int -> (int -> 'a) -> 'a array
 val map_list : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_result : ?pool:t -> ('a -> 'b) -> 'a array -> ('b, failure) result array
+(** Like {!map_array} but one item's exception (with its backtrace)
+    becomes that item's [Error] instead of failing the whole map — the
+    batch checker's isolation primitive.  Results stay in input order;
+    items of a chunk lost to a pool-internal failure carry that
+    failure (or {!Abandoned}). *)
+
+val mapi_result :
+  ?pool:t -> (int -> 'a -> 'b) -> 'a array -> ('b, failure) result array
+
+val map_list_result :
+  ?pool:t -> ('a -> 'b) -> 'a list -> ('b, failure) result list
 
 val map_reduce :
   ?pool:t ->

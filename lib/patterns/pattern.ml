@@ -3,6 +3,8 @@ module Diagnostic = Argus_core.Diagnostic
 module Gsn = Argus_gsn
 module Structure = Argus_gsn.Structure
 module Node = Argus_gsn.Node
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
 
 type param_type =
   | Pint of { min : int option; max : int option }
@@ -201,8 +203,15 @@ let validate_binding t binding =
 
 let suffix_id suffix id = Id.of_string (Id.to_string id ^ "_" ^ suffix)
 
-let instantiate t binding =
+(* Raised when the budget runs out mid-expansion; caught at the
+   [instantiate] top level, which reports the truncation through its
+   [Error] channel (a half-expanded structure must never look like a
+   successful instantiation). *)
+exception Stopped
+
+let instantiate ?(budget = Budget.unlimited) t binding =
   Argus_obs.Span.with_ ~name:"pattern.instantiate" @@ fun () ->
+  Fault.point "pattern.instantiate";
   Argus_obs.Counter.incr c_instantiations;
   let errors = validate_binding t binding in
   let errors =
@@ -219,6 +228,7 @@ let instantiate t binding =
   in
   if errors <> [] then Error errors
   else begin
+    try
     (* Phase 1: expand replications. *)
     let structure = ref t.structure in
     List.iter
@@ -258,6 +268,8 @@ let instantiate t binding =
                 in
                 List.iter
                   (fun n ->
+                    if not (Budget.tick budget ~engine:"pattern") then
+                      raise Stopped;
                     Argus_obs.Counter.incr c_nodes_emitted;
                     let copy =
                       {
@@ -294,6 +306,7 @@ let instantiate t binding =
     let result =
       Structure.map_nodes
         (fun n ->
+          if not (Budget.tick budget ~engine:"pattern") then raise Stopped;
           let text = subst_text scalar_lookup n.Node.text in
           let status =
             match n.Node.status with
@@ -321,4 +334,5 @@ let instantiate t binding =
         result []
     in
     if leftovers <> [] then Error leftovers else Ok result
+    with Stopped -> Error (Budget.diagnostics budget)
   end

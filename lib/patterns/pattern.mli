@@ -63,13 +63,23 @@ val check_pattern : t -> Argus_core.Diagnostic.t list
 val value_type_ok : param_type -> value -> bool
 
 val instantiate :
-  t -> binding -> (Argus_gsn.Structure.t, Argus_core.Diagnostic.t list) result
+  ?budget:Argus_rt.Budget.t ->
+  t ->
+  binding ->
+  (Argus_gsn.Structure.t, Argus_core.Diagnostic.t list) result
 (** Type-checks the binding and substitutes.  Error codes:
     ["instantiate/missing-param"], ["instantiate/unknown-param"],
     ["instantiate/type-mismatch"], ["instantiate/out-of-range"],
     ["instantiate/not-a-member"], ["instantiate/empty-list"].
     On success every placeholder is replaced and each replicated node's
-    copies carry ids suffixed [_1], [_2], ... *)
+    copies carry ids suffixed [_1], [_2], ...
+
+    The budget (default unlimited) is ticked once per node expanded or
+    substituted.  Exhaustion aborts the expansion and returns [Error]
+    carrying the budget's own ["rt/budget-exhausted"] diagnostics — a
+    half-expanded structure is never returned as [Ok].  The
+    ["pattern.instantiate"] fault probe fires at entry
+    (DESIGN.md §10). *)
 
 val value_to_text : value -> string
 (** How a value renders inside node text. *)

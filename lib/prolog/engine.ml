@@ -1,5 +1,7 @@
 module Term = Argus_logic.Term
 module Symbol = Argus_core.Symbol
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
 
 type derivation = {
   goal : Term.t;
@@ -163,8 +165,16 @@ let candidates compiled goal =
   Argus_obs.Counter.add c_index_misses (compiled.total - n);
   admitted
 
-let solve_compiled ?(max_depth = 64) compiled goals =
+let solve_compiled ?(max_depth = 64) ?(budget = Budget.unlimited) compiled
+    goals =
+  Fault.point "prolog.solve";
   let counter = ref 0 in
+  (* The budget's depth cap clamps (subsumes) the engine's own bound;
+     pruning at a budget-imposed cap is recorded so the caller can
+     report incompleteness, while pruning at the engine default stays
+     silent, as it always was. *)
+  let budget_caps_depth = Budget.depth_cap budget <= max_depth in
+  let max_depth = min max_depth (Budget.depth_cap budget) in
   (* Resolve [goals] left to right under [subst]; yields the extended
      substitution and one derivation per goal. *)
   let rec solve_goals subst goals depth :
@@ -174,6 +184,7 @@ let solve_compiled ?(max_depth = 64) compiled goals =
     | goal :: rest ->
         if depth <= 0 then begin
           Argus_obs.Counter.incr c_depth_abandoned;
+          if budget_caps_depth then Budget.note_depth budget ~engine:"prolog";
           Seq.empty
         end
         else
@@ -181,6 +192,8 @@ let solve_compiled ?(max_depth = 64) compiled goals =
           candidates compiled goal_now
           |> List.to_seq
           |> Seq.concat_map (fun entry ->
+                 if not (Budget.tick budget ~engine:"prolog") then Seq.empty
+                 else begin
                  Argus_obs.Counter.incr c_clause_tries;
                  (* Freshening is lazy: only clauses the index admitted
                     pay for it, and ground clauses never do. *)
@@ -205,15 +218,25 @@ let solve_compiled ?(max_depth = 64) compiled goals =
                                        children = body_derivs;
                                      }
                                    in
-                                   (subst, deriv :: rest_derivs))))
+                                   (subst, deriv :: rest_derivs)))
+                 end)
   in
-  solve_goals Term.Subst.empty goals max_depth
-  |> Seq.map (fun solution ->
-         Argus_obs.Counter.incr c_solutions;
-         solution)
+  (* Stream solutions through the budget's solution cap: after the cap
+     is reached the tail is cut and the budget records the
+     truncation. *)
+  let rec capped seq () =
+    match seq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (solution, rest) ->
+        Argus_obs.Counter.incr c_solutions;
+        if Budget.note_solution budget ~engine:"prolog" then
+          Seq.Cons (solution, capped rest)
+        else Seq.Cons (solution, Seq.empty)
+  in
+  capped (solve_goals Term.Subst.empty goals max_depth)
 
-let solve ?max_depth program goals =
-  solve_compiled ?max_depth (compile program) goals
+let solve ?max_depth ?budget program goals =
+  solve_compiled ?max_depth ?budget (compile program) goals
 
 (* The textbook engine PR 2 replaced: linear scan over all clauses,
    each freshened eagerly before unification can fail.  Retained as the
@@ -260,7 +283,7 @@ let bindings_for goals subst =
            Some (v, Term.Subst.apply subst (Term.Var v))
          end)
 
-let solutions ?max_depth ?(limit = 10) program goal =
+let solutions ?max_depth ?budget ?(limit = 10) program goal =
   Argus_obs.Span.with_ ~name:"prolog.solutions" @@ fun () ->
   let rec take n seq =
     if n <= 0 then []
@@ -270,17 +293,20 @@ let solutions ?max_depth ?(limit = 10) program goal =
       | Some ((subst, _), rest) ->
           bindings_for [ goal ] subst :: take (n - 1) rest
   in
-  take limit (solve ?max_depth program [ goal ])
+  take limit (solve ?max_depth ?budget program [ goal ])
 
 (* Provability needs no bindings and no derivations, so it skips the
    [Seq] machinery of [solve_compiled] for a direct backtracking
    search.  Structure, candidate order, depth accounting and counters
    mirror [solve_goals] exactly — only the success representation
    differs — so [provable] agrees with [solve] on every program. *)
-let provable ?(max_depth = 64) program goal =
+let provable ?(max_depth = 64) ?(budget = Budget.unlimited) program goal =
   Argus_obs.Span.with_ ~name:"prolog.provable" @@ fun () ->
+  Fault.point "prolog.provable";
   let compiled = compile program in
   let counter = ref 0 in
+  let budget_caps_depth = Budget.depth_cap budget <= max_depth in
+  let max_depth = min max_depth (Budget.depth_cap budget) in
   (* Counter traffic is batched into locals and flushed once per call:
      a sharded increment costs ~10x a plain one, and the search loop
      below performs tens of them per query. *)
@@ -296,6 +322,7 @@ let provable ?(max_depth = 64) program goal =
     | goal :: rest ->
         if depth <= 0 then begin
           incr abandoned;
+          if budget_caps_depth then Budget.note_depth budget ~engine:"prolog";
           false
         end
         else
@@ -303,6 +330,8 @@ let provable ?(max_depth = 64) program goal =
           let rec try_candidates = function
             | [] -> false
             | entry :: more ->
+                if not (Budget.tick budget ~engine:"prolog") then false
+                else begin
                 incr tries;
                 let c =
                   if entry.ground then entry.clause
@@ -317,6 +346,7 @@ let provable ?(max_depth = 64) program goal =
                     sat subst c.Program.body (depth - 1) (fun subst ->
                         sat subst rest depth k)
                     || try_candidates more)
+                end
           in
           let admitted = admitted_candidates compiled goal_now in
           let n = List.length admitted in
@@ -340,9 +370,9 @@ let provable ?(max_depth = 64) program goal =
       end
       else false)
 
-let prove ?max_depth program goal =
+let prove ?max_depth ?budget program goal =
   Argus_obs.Span.with_ ~name:"prolog.prove" @@ fun () ->
-  match Seq.uncons (solve ?max_depth program [ goal ]) with
+  match Seq.uncons (solve ?max_depth ?budget program [ goal ]) with
   | Some ((subst, [ deriv ]), _) ->
       (* Resolve remaining variables in the recorded goals. *)
       let rec finalise d =

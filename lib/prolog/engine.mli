@@ -17,7 +17,18 @@
     Every solution carries a {!derivation} tree recording which clause
     resolved each goal — the raw material the proof-to-argument
     generator (Basir/Denney pipeline) and the Figure 1 demonstration
-    render. *)
+    render.
+
+    Resource governance: every entry point takes an optional
+    [?budget] ({!Argus_rt.Budget.t}, default unlimited).  The budget is
+    ticked once per clause candidate tried, its depth cap clamps
+    [max_depth] (with pruning at a budget-imposed cap recorded via
+    [note_depth]), and its solution cap truncates the answer stream.
+    On exhaustion the engine stops and returns what it has — a partial
+    [Seq], or [false] from {!provable} — and the caller reads
+    {!Argus_rt.Budget.exhausted} / [diagnostics] to report
+    incompleteness.  Fault probes ["prolog.solve"] and
+    ["prolog.provable"] fire at entry (DESIGN.md §10). *)
 
 type derivation = {
   goal : Argus_logic.Term.t;  (** The resolved goal, fully instantiated. *)
@@ -33,6 +44,7 @@ val compile : Program.t -> compiled
 
 val solve_compiled :
   ?max_depth:int ->
+  ?budget:Argus_rt.Budget.t ->
   compiled ->
   Argus_logic.Term.t list ->
   (Argus_logic.Term.Subst.t * derivation list) Seq.t
@@ -40,6 +52,7 @@ val solve_compiled :
 
 val solve :
   ?max_depth:int ->
+  ?budget:Argus_rt.Budget.t ->
   Program.t ->
   Argus_logic.Term.t list ->
   (Argus_logic.Term.Subst.t * derivation list) Seq.t
@@ -70,6 +83,7 @@ val bindings_for :
 
 val solutions :
   ?max_depth:int ->
+  ?budget:Argus_rt.Budget.t ->
   ?limit:int ->
   Program.t ->
   Argus_logic.Term.t ->
@@ -77,10 +91,19 @@ val solutions :
 (** First [limit] (default 10) solutions of a single-goal query, as
     variable bindings. *)
 
-val provable : ?max_depth:int -> Program.t -> Argus_logic.Term.t -> bool
+val provable :
+  ?max_depth:int ->
+  ?budget:Argus_rt.Budget.t ->
+  Program.t ->
+  Argus_logic.Term.t ->
+  bool
 
 val prove :
-  ?max_depth:int -> Program.t -> Argus_logic.Term.t -> derivation option
+  ?max_depth:int ->
+  ?budget:Argus_rt.Budget.t ->
+  Program.t ->
+  Argus_logic.Term.t ->
+  derivation option
 (** First derivation of the goal, if any — what Figure 1 prints. *)
 
 val derivation_size : derivation -> int

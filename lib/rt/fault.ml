@@ -1,0 +1,100 @@
+module Prng = Argus_core.Prng
+
+type spec = { probe : string; key : string option; rate : float; seed : int }
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected probe ->
+        Some (Printf.sprintf "injected fault at probe %s" probe)
+    | _ -> None)
+
+let c_injected = Argus_obs.Counter.make "rt.faults_injected"
+
+(* A plain ref, not an atomic: it is written at process start (or by
+   [with_spec] before a test spawns its pool) and only read afterwards;
+   domain spawn establishes the necessary happens-before. *)
+let active : spec option ref = ref None
+
+(* Invocation counter for unkeyed probes; atomic so parallel callers
+   consume distinct draw indices. *)
+let calls = Atomic.make 0
+
+let set s =
+  active := s;
+  Atomic.set calls 0
+
+let current () = !active
+
+let parse_spec s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "malformed fault spec %S (expected probe[@key]:rate[:seed])" s)
+  in
+  match String.split_on_char ':' s with
+  | [] | [ _ ] -> fail ()
+  | probe_part :: rate_part :: rest -> (
+      let seed_ok, seed =
+        match rest with
+        | [] -> (true, 0)
+        | [ seed_part ] -> (
+            match int_of_string_opt (String.trim seed_part) with
+            | Some n -> (true, n)
+            | None -> (false, 0))
+        | _ -> (false, 0)
+      in
+      let probe, key =
+        match String.index_opt probe_part '@' with
+        | None -> (probe_part, None)
+        | Some i ->
+            ( String.sub probe_part 0 i,
+              Some
+                (String.sub probe_part (i + 1)
+                   (String.length probe_part - i - 1)) )
+      in
+      match float_of_string_opt (String.trim rate_part) with
+      | Some rate when seed_ok && probe <> "" && rate >= 0. ->
+          Ok { probe; key; rate; seed }
+      | _ -> fail ())
+
+let configure_from_env () =
+  match Sys.getenv_opt "ARGUS_FAULT" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match parse_spec s with
+      | Ok spec -> set (Some spec)
+      | Error msg -> Printf.eprintf "argus: ignoring ARGUS_FAULT: %s\n%!" msg)
+
+let with_spec spec f =
+  let previous = !active in
+  set (Some spec);
+  Fun.protect ~finally:(fun () -> set previous) f
+
+(* The draw for a given index is a pure function of the seed and the
+   probe identity — scheduling cannot perturb it. *)
+let draw spec ~salt =
+  spec.rate >= 1.0
+  ||
+  let g = Prng.create (spec.seed lxor Hashtbl.hash (spec.probe, salt)) in
+  Prng.float g < spec.rate
+
+let point ?key probe =
+  match !active with
+  | None -> ()
+  | Some spec ->
+      if
+        String.equal spec.probe probe
+        && (match spec.key with
+           | None -> true
+           | Some k -> (
+               match key with Some k' -> String.equal k k' | None -> false))
+        &&
+        match key with
+        | Some k -> draw spec ~salt:(`Key k)
+        | None -> draw spec ~salt:(`Call (Atomic.fetch_and_add calls 1))
+      then begin
+        Argus_obs.Counter.incr c_injected;
+        raise (Injected probe)
+      end

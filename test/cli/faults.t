@@ -1,0 +1,86 @@
+Fault isolation and resource budgets at the CLI (DESIGN.md section 10).
+
+Eight well-formed case files:
+
+  $ for i in 1 2 3 4 5 6 7 8; do
+  >   printf 'case "g%s" {\n  evidence E1 analysis "a"\n  goal G1 "claim %s holds" { supported-by Sn1 }\n  solution Sn1 "s" { evidence E1 }\n}\n' $i $i > g$i.arg
+  > done
+
+A deterministic fault injected into the check of g3.arg (keyed by file
+basename, so the draw is independent of --jobs) is confined to that
+file: the other seven files are still checked, results stay in input
+order, and the batch exits 2 (internal error) rather than crashing:
+
+  $ ARGUS_FAULT='check.file@g3.arg:1:42' argus check --jobs 4 \
+  >   g1.arg g2.arg g3.arg g4.arg g5.arg g6.arg g7.arg g8.arg
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  error [rt/internal-error] internal error checking g3.arg: injected fault at probe check.file
+  1 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  [2]
+
+The same batch sequentially — identical outcome:
+
+  $ ARGUS_FAULT='check.file@g3.arg:1:42' argus check \
+  >   g1.arg g2.arg g3.arg g4.arg g5.arg g6.arg g7.arg g8.arg
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  error [rt/internal-error] internal error checking g3.arg: injected fault at probe check.file
+  1 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  [2]
+
+Without the fault the batch is clean:
+
+  $ argus check --jobs 4 g1.arg g2.arg g3.arg g4.arg g5.arg g6.arg g7.arg g8.arg
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+  0 error(s), 0 warning(s), 0 info
+
+A malformed ARGUS_FAULT spec is reported and ignored, not fatal:
+
+  $ ARGUS_FAULT='not-a-spec' argus check g1.arg
+  argus: ignoring ARGUS_FAULT: malformed fault spec "not-a-spec" (expected probe[@key]:rate[:seed])
+  0 error(s), 0 warning(s), 0 info
+
+Resource budgets: this program loops forever under SLD resolution
+(exponential search below the depth bound), so an unbudgeted prove
+would hang.  A fuel budget stops it deterministically:
+
+  $ printf 'p :- p, p.\np :- p.\n' > loop.pl
+  $ argus prove --fuel 1000 loop.pl p
+  not derivable
+  warning [rt/budget-exhausted] budget-exhausted: prolog after 1001 steps (fuel); result may be incomplete
+  0 error(s), 1 warning(s), 0 info
+  [1]
+
+A wall-clock deadline also stops it; the step count at which the
+deadline fires varies run to run, so it is normalised here:
+
+  $ argus prove --deadline 1 loop.pl p 2>&1 \
+  >   | sed 's/after [0-9][0-9]* steps/after N steps/'
+  not derivable
+  warning [rt/budget-exhausted] budget-exhausted: prolog after N steps (deadline); result may be incomplete
+  0 error(s), 1 warning(s), 0 info
+
+The budget flags read their defaults from the environment:
+
+  $ ARGUS_FUEL=1000 argus prove loop.pl p
+  not derivable
+  warning [rt/budget-exhausted] budget-exhausted: prolog after 1001 steps (fuel); result may be incomplete
+  0 error(s), 1 warning(s), 0 info
+  [1]

@@ -138,6 +138,161 @@ let checker_totality =
         match Structure.to_dot s with _ -> true | exception _ -> false);
   ]
 
+(* --- Budget soundness ---
+
+   For any budget, a budgeted engine call must either (a) finish within
+   the budget and return a result identical to the unbudgeted run, or
+   (b) record exhaustion and produce a non-empty diagnostic — and in no
+   case raise.  A wrong answer without an exhaustion mark is the bug
+   these properties hunt. *)
+
+module Budget = Argus_rt.Budget
+module Prop = Argus_logic.Prop
+module Sat = Argus_logic.Sat
+
+let gen_prop =
+  let open QCheck.Gen in
+  let var = map (fun i -> Prop.Var (Printf.sprintf "v%d" i)) (int_bound 6) in
+  fix
+    (fun self depth ->
+      if depth = 0 then var
+      else
+        frequency
+          [
+            (2, var);
+            (1, return Prop.Top);
+            (1, return Prop.Bot);
+            (2, map (fun p -> Prop.Not p) (self (depth - 1)));
+            ( 3,
+              map2 (fun a b -> Prop.And (a, b)) (self (depth - 1))
+                (self (depth - 1)) );
+            ( 3,
+              map2 (fun a b -> Prop.Or (a, b)) (self (depth - 1))
+                (self (depth - 1)) );
+            ( 2,
+              map2
+                (fun a b -> Prop.Implies (a, b))
+                (self (depth - 1))
+                (self (depth - 1)) );
+          ])
+    5
+
+let gen_fuel = QCheck.Gen.int_range 1 2000
+
+(* Complete-or-marked: the shared shape of every property below. *)
+let complete_or_marked b ~same =
+  match Budget.exhausted b with
+  | None -> same () && not (Budget.depth_pruned b)
+  | Some _ -> Budget.diagnostics b <> []
+
+let budget_sat =
+  QCheck.Test.make ~name:"budgeted SAT: complete or marked" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_prop gen_fuel))
+    (fun (f, fuel) ->
+      let b = Budget.make ~fuel () in
+      match Sat.satisfiable ~budget:b f with
+      | r -> complete_or_marked b ~same:(fun () -> r = Sat.satisfiable f)
+      | exception _ -> false)
+
+let budget_count_models =
+  QCheck.Test.make ~name:"budgeted count_models: exact or truncated"
+    ~count:300
+    (QCheck.make QCheck.Gen.(triple gen_prop gen_fuel (int_range 1 10)))
+    (fun (f, fuel, cap) ->
+      let b = Budget.make ~fuel ~max_solutions:cap () in
+      match Sat.count_models ~budget:b f with
+      | exception _ -> false
+      | Sat.At_least n ->
+          (* A truncated count is always a sound lower bound and is
+             always marked. *)
+          Budget.exhausted b <> None
+          && Budget.diagnostics b <> []
+          && (match Sat.count_models f with
+             | Sat.Exact m -> n <= m
+             | Sat.At_least _ -> false)
+      | Sat.Exact n -> (
+          Budget.exhausted b = None
+          && match Sat.count_models f with Sat.Exact m -> n = m | _ -> false))
+
+let prolog_program =
+  match
+    Argus_prolog.Program.of_string
+      {|edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        blocked(X) :- blocked(X), blocked(X).
+        blocked(X) :- blocked(X).|}
+  with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let budget_prolog =
+  let goals =
+    [| "path(a, d)"; "path(d, a)"; "path(a, X)"; "blocked(q)"; "path(X, X)" |]
+  in
+  QCheck.Test.make ~name:"budgeted provable: complete or marked" ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair (int_bound (Array.length goals - 1)) gen_fuel))
+    (fun (gi, fuel) ->
+      let goal =
+        match Argus_logic.Term.of_string goals.(gi) with
+        | Ok t -> t
+        | Error e -> failwith e
+      in
+      let b = Budget.make ~fuel () in
+      match Argus_prolog.Engine.provable ~budget:b prolog_program goal with
+      | r ->
+          complete_or_marked b ~same:(fun () ->
+              r = Argus_prolog.Engine.provable prolog_program goal)
+      | exception _ -> false)
+
+let gen_ltl =
+  let open QCheck.Gen in
+  let module L = Argus_ltl.Ltl in
+  let var = map (fun i -> L.Atom (Printf.sprintf "a%d" i)) (int_bound 3) in
+  fix
+    (fun self depth ->
+      if depth = 0 then var
+      else
+        frequency
+          [
+            (2, var);
+            (2, map (fun p -> L.Not p) (self (depth - 1)));
+            ( 2,
+              map2 (fun a b -> L.And (a, b)) (self (depth - 1))
+                (self (depth - 1)) );
+            ( 2,
+              map2 (fun a b -> L.Or (a, b)) (self (depth - 1))
+                (self (depth - 1)) );
+            (2, map (fun p -> L.Next p) (self (depth - 1)));
+            ( 2,
+              map2 (fun a b -> L.Until (a, b)) (self (depth - 1))
+                (self (depth - 1)) );
+            (2, map (fun p -> L.Eventually p) (self (depth - 1)));
+            (2, map (fun p -> L.Always p) (self (depth - 1)));
+          ])
+    4
+
+let gen_trace =
+  let open QCheck.Gen in
+  let state = list_size (int_bound 3) (map (Printf.sprintf "a%d") (int_bound 3)) in
+  let* prefix = list_size (int_bound 4) state in
+  let* loop = list_size (int_range 1 4) state in
+  return (Argus_ltl.Ltl.Trace.make ~prefix ~loop)
+
+let budget_ltl =
+  QCheck.Test.make ~name:"budgeted LTL holds: complete or marked" ~count:500
+    (QCheck.make QCheck.Gen.(triple gen_ltl gen_trace gen_fuel))
+    (fun (f, tr, fuel) ->
+      let b = Budget.make ~fuel () in
+      match Argus_ltl.Ltl.holds ~budget:b tr f with
+      | r ->
+          complete_or_marked b ~same:(fun () -> r = Argus_ltl.Ltl.holds tr f)
+      | exception _ -> false)
+
+let budget_soundness =
+  [ budget_sat; budget_count_models; budget_prolog; budget_ltl ]
+
 (* Cross-check: a structure with an error diagnostic is never reported
    well-formed, and vice versa. *)
 let wellformed_consistency =
@@ -152,6 +307,8 @@ let () =
       ("parser-totality", List.map QCheck_alcotest.to_alcotest parser_totality);
       ( "checker-totality",
         List.map QCheck_alcotest.to_alcotest checker_totality );
+      ( "budget-soundness",
+        List.map QCheck_alcotest.to_alcotest budget_soundness );
       ( "consistency",
         [ QCheck_alcotest.to_alcotest wellformed_consistency ] );
     ]

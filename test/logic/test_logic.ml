@@ -250,11 +250,26 @@ let array_dpll_model_satisfies_cnf =
                 c)
             cnf)
 
+let exact_count f =
+  match Sat.count_models f with
+  | Sat.Exact n -> n
+  | Sat.At_least n ->
+      Alcotest.failf "count_models truncated at %d without a budget" n
+
 let test_count_models () =
   let p = Prop.of_string_exn in
-  Alcotest.(check int) "a | b" 3 (Sat.count_models (p "a | b"));
-  Alcotest.(check int) "a & ~a" 0 (Sat.count_models (p "a & ~a"));
-  Alcotest.(check int) "xor" 2 (Sat.count_models (p "a <-> ~b"))
+  Alcotest.(check int) "a | b" 3 (exact_count (p "a | b"));
+  Alcotest.(check int) "a & ~a" 0 (exact_count (p "a & ~a"));
+  Alcotest.(check int) "xor" 2 (exact_count (p "a <-> ~b"));
+  (* A budget's solution cap turns the count into a lower bound, never
+     a silently-wrong exact answer. *)
+  let b = Argus_rt.Budget.make ~max_solutions:2 () in
+  (match Sat.count_models ~budget:b (p "a | b | c") with
+  | Sat.At_least n -> Alcotest.(check int) "capped lower bound" 2 n
+  | Sat.Exact n -> Alcotest.failf "cap hit reported as exact %d" n);
+  Alcotest.(check bool)
+    "capped budget is exhausted" true
+    (Argus_rt.Budget.exhausted b <> None)
 
 (* --- Term --- *)
 

@@ -92,6 +92,143 @@ let test_exception_propagates () =
         (Array.init 50 succ)
         (Pool.map_array ~pool succ (Array.init 50 Fun.id)))
 
+let test_no_chunk_abandonment () =
+  (* Regression: a failing chunk must not abandon the chunks still
+     queued — at most the failing chunk's own tail is lost, every other
+     chunk runs to completion.  The counter is atomic because workers
+     bump it from several domains. *)
+  List.iter
+    (fun jobs ->
+      let processed = Atomic.make 0 in
+      let n = 500 in
+      let chunk = max 1 ((n + (4 * jobs) - 1) / (4 * jobs)) in
+      (try
+         Pool.with_pool ~jobs (fun pool ->
+             ignore
+               (Pool.map_array ~pool
+                  (fun x ->
+                    if x = 100 then failwith "boom"
+                    else begin
+                      Atomic.incr processed;
+                      x
+                    end)
+                  (Array.init n Fun.id)))
+       with Failure _ -> ());
+      let got = Atomic.get processed in
+      Alcotest.(check bool)
+        (Printf.sprintf "only the failing chunk's tail lost jobs=%d (got %d)"
+           jobs got)
+        true
+        (got >= n - chunk && got < n))
+    [ 2; 8 ]
+
+let test_map_result_isolates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let n = 200 in
+          let results =
+            Pool.map_result ~pool
+              (fun x -> if x mod 50 = 17 then failwith "boom" else x * 2)
+              (Array.init n Fun.id)
+          in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok y ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "slot %d jobs=%d" i jobs)
+                    (i * 2) y
+              | Error f ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "failure only where raised jobs=%d" jobs)
+                    true
+                    (i mod 50 = 17 && f.Pool.exn = Failure "boom"))
+            results;
+          Alcotest.(check int)
+            (Printf.sprintf "failure count jobs=%d" jobs)
+            4
+            (Array.fold_left
+               (fun acc r -> match r with Error _ -> acc + 1 | Ok _ -> acc)
+               0 results)))
+    [ 1; 2; 8 ]
+
+let test_map_result_injected_fault () =
+  (* A fault injected at the per-item probe lands in exactly the keyed
+     slot, whatever the worker count. *)
+  let module Fault = Argus_rt.Fault in
+  List.iter
+    (fun jobs ->
+      let spec =
+        { Fault.probe = "pool.task"; key = Some "17"; rate = 1.0; seed = 0 }
+      in
+      Fault.with_spec spec (fun () ->
+          Pool.with_pool ~jobs (fun pool ->
+              let results = Pool.map_result ~pool succ (Array.init 64 Fun.id) in
+              Array.iteri
+                (fun i r ->
+                  match (i, r) with
+                  | 17, Error { Pool.exn = Fault.Injected "pool.task"; _ } -> ()
+                  | 17, _ ->
+                      Alcotest.failf "slot 17 not faulted (jobs=%d)" jobs
+                  | _, Ok y -> Alcotest.(check int) "value" (i + 1) y
+                  | _, Error _ ->
+                      Alcotest.failf "stray failure at %d (jobs=%d)" i jobs)
+                results)))
+    [ 1; 2; 8 ];
+  (* rate 0: no slot fails; rate 1 unkeyed: every slot fails. *)
+  let all rate =
+    { Fault.probe = "pool.task"; key = None; rate; seed = 9 }
+  in
+  Fault.with_spec (all 0.0) (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Array.iter
+            (function
+              | Ok _ -> ()
+              | Error _ -> Alcotest.fail "rate 0 must never fire")
+            (Pool.map_result ~pool succ (Array.init 64 Fun.id))));
+  Fault.with_spec (all 1.0) (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Array.iter
+            (function
+              | Error _ -> ()
+              | Ok _ -> Alcotest.fail "rate 1 must always fire")
+            (Pool.map_result ~pool succ (Array.init 64 Fun.id))))
+
+let test_pool_chunk_fault_isolated () =
+  (* A fault at the chunk hand-out probe loses (at most) that chunk;
+     map_result still returns, in order, with other items Ok. *)
+  let module Fault = Argus_rt.Fault in
+  List.iter
+    (fun jobs ->
+      let spec =
+        { Fault.probe = "pool.chunk"; key = Some "0"; rate = 1.0; seed = 3 }
+      in
+      Fault.with_spec spec (fun () ->
+          Pool.with_pool ~jobs (fun pool ->
+              let n = 300 in
+              let results = Pool.map_result ~pool succ (Array.init n Fun.id) in
+              Alcotest.(check int)
+                (Printf.sprintf "length jobs=%d" jobs)
+                n (Array.length results);
+              let ok = ref 0 and failed = ref 0 in
+              Array.iteri
+                (fun i r ->
+                  match r with
+                  | Ok y ->
+                      incr ok;
+                      Alcotest.(check int) "in order" (i + 1) y
+                  | Error _ -> incr failed)
+                results;
+              Alcotest.(check bool)
+                (Printf.sprintf "first chunk lost jobs=%d" jobs)
+                true (!failed > 0);
+              Alcotest.(check bool)
+                (Printf.sprintf "rest survives jobs=%d" jobs)
+                true
+                (!ok >= n - 64))))
+    [ 2; 8 ]
+
 let test_no_pool_is_sequential () =
   let arr = Array.init 100 Fun.id in
   Alcotest.(check (array int))
@@ -249,6 +386,14 @@ let () =
           test_map_reduce_property ();
           Alcotest.test_case "map_reduce order" `Quick test_map_reduce_order;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "no chunk abandonment" `Quick
+            test_no_chunk_abandonment;
+          Alcotest.test_case "map_result isolates" `Quick
+            test_map_result_isolates;
+          Alcotest.test_case "map_result injected fault" `Quick
+            test_map_result_injected_fault;
+          Alcotest.test_case "chunk fault isolated" `Quick
+            test_pool_chunk_fault_isolated;
           Alcotest.test_case "no pool" `Quick test_no_pool_is_sequential;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_env;
           Alcotest.test_case "counters" `Quick test_counters_flow;
