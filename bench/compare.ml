@@ -7,7 +7,14 @@
    kernel present in both runs is slower than baseline * (1 + PCT/100).
    Default threshold: 25%.  Kernels present in only one file are
    reported but never fail the gate (benchmarks come and go across
-   PRs); I/O or parse problems exit with status 2. *)
+   PRs); I/O or parse problems exit with status 2.
+
+   Kernels whose name contains "svc-" are advisory: they time a
+   request round-trip over a real Unix socket, so they measure
+   cross-domain scheduling latency, not CPU work — far too
+   wall-clock-bound for the smoke quota to gate on.  Their deltas are
+   printed (and the baseline records them for trajectory tracking) but
+   they never fail the gate. *)
 
 module Json = Argus_core.Json
 
@@ -59,9 +66,19 @@ let () =
           match List.assoc_opt name baseline with
           | None -> Format.printf "%-34s %14s %14.0f %9s@." name "-" cur "new"
           | Some base ->
+              let advisory =
+                (* e.g. "argus/svc-roundtrip" *)
+                let sub = "svc-" in
+                let n = String.length name and m = String.length sub in
+                let rec at i =
+                  i + m <= n && (String.sub name i m = sub || at (i + 1))
+                in
+                at 0
+              in
               let pct = (cur -. base) /. base *. 100. in
               let flag =
-                if pct > threshold then begin
+                if pct > threshold && advisory then "  (advisory)"
+                else if pct > threshold then begin
                   regressions := (name, pct) :: !regressions;
                   "  << REGRESSED"
                 end

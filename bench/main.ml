@@ -335,6 +335,48 @@ let par_kernel ~name ~jobs f =
     ~allocate:(fun () -> Pool.create ~jobs ())
     ~free:Pool.shutdown (Staged.stage f)
 
+(* A svc-* kernel owns a running [argus serve] instance on a loopback
+   Unix socket plus one persistent client connection; each run is one
+   request/response round-trip through the real wire protocol.  Like
+   the par-* pools, the server is scoped to the kernel's own
+   measurement so its worker domain does not tax the others. *)
+let svc_kernel ~name ~queue_capacity req_line =
+  let open Bechamel in
+  Test.make_with_resource ~name Test.uniq
+    ~allocate:(fun () ->
+      let path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "argus-bench-%d-%s.sock" (Unix.getpid ()) name)
+      in
+      let cfg =
+        {
+          (Argus_svc.Server.default_config ~socket_path:path) with
+          Argus_svc.Server.jobs = 1;
+          queue_capacity;
+        }
+      in
+      let h = Argus_svc.Server.spawn cfg in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (h, path, fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd))
+    ~free:(fun (h, path, fd, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore (Argus_svc.Server.stop h);
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (Staged.stage (fun (_, _, _, ic, oc) ->
+         output_string oc req_line;
+         flush oc;
+         ignore (input_line ic)))
+
+let svc_check_request_line =
+  let req =
+    Argus_svc.Protocol.request ~id:"bench"
+      ~source:{|case "b" { goal G1 "b holds" { undeveloped } }|}
+      ~filename:"bench.arg" Argus_svc.Protocol.Check
+  in
+  Argus_core.Json.to_string (Argus_svc.Protocol.request_to_json req) ^ "\n"
+
 (* A combined refutation query in the Argus_kaos style — a conjunction
    of small goal formulas over shared atoms — sized past the labeller's
    memo gate, so [ltl.memo_hits] moves under bench (test/ltl pins the
@@ -543,6 +585,15 @@ let bench_subjects =
     Test.make ~name:"rt-budget-overhead-dpll" (Staged.stage (fun () ->
         let b = Argus_rt.Budget.make ~fuel:max_int () in
         ignore (Sat.satisfiable ~budget:b prop_formula)));
+
+    (* Service layer (DESIGN.md §11): a full request round-trip through
+       the wire protocol, and the overload path — a zero-capacity queue
+       answers svc/overloaded from the acceptor without touching a
+       worker, so shedding must stay much cheaper than serving. *)
+    svc_kernel ~name:"svc-roundtrip" ~queue_capacity:64
+      svc_check_request_line;
+    svc_kernel ~name:"svc-shed-overload" ~queue_capacity:0
+      svc_check_request_line;
   ]
 
 let run_benchmarks ~quota () =

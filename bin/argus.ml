@@ -18,7 +18,38 @@ module Json = Argus_core.Json
 module Obs = Argus_obs.Obs
 module Budget = Argus_rt.Budget
 module Fault = Argus_rt.Fault
+module Retry = Argus_rt.Retry
+module Protocol = Argus_svc.Protocol
+module Server = Argus_svc.Server
 open Cmdliner
+
+(* Flag validation: resource knobs must be positive — a zero or
+   negative value is a user error the CLI reports, never a crash (or a
+   silently ignored limit) deep in the pool or the budget. *)
+let positive_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive integer" what))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int_conv what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | _ ->
+        Error (`Msg (Printf.sprintf "%s must be a non-negative integer" what))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "%s must be positive" what))
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 (* --- observability plumbing ---
 
@@ -91,7 +122,7 @@ let budget_spec_t =
   let deadline =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (positive_float_conv "--deadline")) None
       & info [ "deadline" ] ~docv:"MS"
           ~doc:
             "Soft wall-clock limit per checked unit, in milliseconds. On \
@@ -101,7 +132,7 @@ let budget_spec_t =
   let fuel =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (positive_int_conv "--fuel")) None
       & info [ "fuel" ] ~docv:"N"
           ~doc:
             "Engine step limit per checked unit. Also set by ARGUS_FUEL.")
@@ -257,7 +288,7 @@ let check_cmd =
   let jobs =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (positive_int_conv "--jobs")) None
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
             "Check files across $(docv) worker domains (default: \
@@ -660,7 +691,7 @@ let experiments_cmd =
   let jobs =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some (positive_int_conv "--jobs")) None
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
             "Split simulation trials across $(docv) worker domains \
@@ -671,7 +702,284 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Run the Section VI experiment simulations")
     Term.(const run $ obs_t $ which $ seed $ jobs)
 
+(* --- serve / call ---
+
+   [argus serve] runs the supervised always-on service (DESIGN.md §11);
+   [argus call] is its line-protocol client — it retries the connect
+   with deterministic backoff so scripts can start the daemon and call
+   it immediately. *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix domain socket path the server listens on.")
+
+let serve_cmd =
+  let run () socket jobs queue_cap deadline max_deadline max_fuel drain_ms
+      breaker_failures breaker_cooldown =
+    spanned "argus.serve" @@ fun () ->
+    let jobs =
+      match jobs with Some n -> n | None -> Argus_par.Pool.default_jobs ()
+    in
+    let env_spec = Budget.spec_of_env () in
+    let cfg =
+      {
+        (Server.default_config ~socket_path:socket) with
+        Server.jobs;
+        queue_capacity = queue_cap;
+        default_deadline_ms =
+          (match deadline with
+          | Some _ -> deadline
+          | None -> env_spec.Budget.deadline_ms);
+        max_deadline_ms = max_deadline;
+        max_fuel;
+        drain_ms;
+        breaker_failures;
+        breaker_cooldown_ms = breaker_cooldown;
+      }
+    in
+    Server.run cfg
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--jobs")) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving requests (default: ARGUS_JOBS, else \
+             the machine's recommended domain count).")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (nonneg_int_conv "--queue-cap") 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission queue high-water mark: past $(docv) queued \
+             requests, new ones are shed with an immediate \
+             svc/overloaded response.  0 sheds everything.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some (positive_float_conv "--deadline")) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline in milliseconds, applied when \
+             the client sends none (clock starts at admission). Also set \
+             by ARGUS_DEADLINE_MS.")
+  in
+  let max_deadline =
+    Arg.(
+      value
+      & opt (some (positive_float_conv "--max-deadline")) None
+      & info [ "max-deadline" ] ~docv:"MS"
+          ~doc:"Upper clamp on client-requested deadlines.")
+  in
+  let max_fuel =
+    Arg.(
+      value
+      & opt (some (positive_int_conv "--max-fuel")) None
+      & info [ "max-fuel" ] ~docv:"N"
+          ~doc:"Upper clamp on client-requested fuel.")
+  in
+  let drain_ms =
+    Arg.(
+      value
+      & opt (positive_float_conv "--drain-ms") 5000.
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT, stop accepting and let in-flight work \
+             finish for up to $(docv) milliseconds; exit 0 on a clean \
+             drain, 1 if work had to be abandoned.")
+  in
+  let breaker_failures =
+    Arg.(
+      value
+      & opt (nonneg_int_conv "--breaker-failures") 5
+      & info [ "breaker-failures" ] ~docv:"N"
+          ~doc:
+            "Consecutive crashes of one request kind that open its \
+             circuit breaker (0 disables the breakers).")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value
+      & opt (positive_float_conv "--breaker-cooldown") 1000.
+      & info [ "breaker-cooldown" ] ~docv:"MS"
+          ~doc:
+            "Milliseconds an open breaker waits before letting a \
+             half-open trial request through.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the supervised always-on checking service on a Unix socket")
+    Term.(
+      const run $ obs_t $ socket_arg $ jobs $ queue_cap $ deadline
+      $ max_deadline $ max_fuel $ drain_ms $ breaker_failures
+      $ breaker_cooldown)
+
+let call_cmd =
+  let run () socket id op file goal ruleset lints spec raw =
+    spanned "argus.call" @@ fun () ->
+    let line =
+      match raw with
+      | Some json -> json
+      | None ->
+          let source, filename =
+            match file with
+            | Some path -> (read_file path, Filename.basename path)
+            | None -> ("", "<request>")
+          in
+          let req =
+            Protocol.request ?id ~source ~filename ?goal
+              ~ruleset:
+                (match ruleset with
+                | Wellformed.Denney_pai_2013 -> "denney-pai"
+                | Wellformed.Standard -> "standard")
+              ~lints
+              ?deadline_ms:spec.Budget.deadline_ms ?fuel:spec.Budget.fuel op
+          in
+          Json.to_string (Protocol.request_to_json req)
+    in
+    (* The server may still be binding its socket (scripts start it in
+       the background and call straight away): retry the connect with
+       deterministic backoff. *)
+    let c_retried = Argus_obs.Counter.make "svc.retried" in
+    let connect () =
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    let retryable = function
+      | Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _) ->
+          true
+      | _ -> false
+    in
+    let policy =
+      {
+        Retry.default_policy with
+        Retry.max_attempts = 12;
+        base_delay_ms = 25.;
+        max_delay_ms = 400.;
+      }
+    in
+    match
+      Retry.run ~policy ~retryable
+        ~on_retry:(fun ~attempt:_ _ -> Argus_obs.Counter.incr c_retried)
+        ~key:socket connect
+    with
+    | Error e ->
+        Format.eprintf "argus call: cannot connect to %s: %s@." socket
+          (Printexc.to_string e);
+        2
+    | Ok fd -> (
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc (line ^ "\n");
+        flush oc;
+        match input_line ic with
+        | exception End_of_file ->
+            close_in_noerr ic;
+            Format.eprintf "argus call: server closed the connection@.";
+            2
+        | resp_line -> (
+            close_in_noerr ic;
+            match Protocol.response_of_line resp_line with
+            | Error e ->
+                Format.eprintf "argus call: bad response: %s@." e;
+                2
+            | Ok resp ->
+                print_string
+                  (Json.to_string ~indent:true
+                     (Protocol.response_to_json resp));
+                print_newline ();
+                Protocol.exit_code_of_response resp))
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Request id (correlates the response; the server assigns one \
+             when absent).")
+  in
+  let op =
+    let ops =
+      [
+        ("check", Protocol.Check);
+        ("prove", Protocol.Prove);
+        ("fallacies", Protocol.Fallacies);
+        ("probe", Protocol.Probe);
+        ("health", Protocol.Health);
+      ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum ops)) None
+      & info [] ~docv:"OP" ~doc:"check, prove, fallacies, probe or health.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Document to send as the request source.")
+  in
+  let goal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "goal" ] ~docv:"GOAL" ~doc:"Goal term (prove requests).")
+  in
+  let ruleset =
+    Arg.(
+      value & opt ruleset_conv Wellformed.Standard
+      & info [ "ruleset" ] ~doc:"Rule set: $(b,standard) or $(b,denney-pai).")
+  in
+  let lints =
+    Arg.(
+      value & flag
+      & info [ "lints" ] ~doc:"Also run informal-fallacy lints (check).")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON"
+          ~doc:"Send $(docv) verbatim as the request line instead.")
+  in
+  Cmd.v
+    (Cmd.info "call" ~doc:"Send one request to a running argus serve")
+    Term.(
+      const run $ obs_t $ socket_arg $ id $ op $ file $ goal $ ruleset
+      $ lints $ budget_spec_t $ raw)
+
+(* A consumer that stopped reading (argus check ... | head) must end
+   the process quietly, not as a SIGPIPE kill or an "internal error":
+   SIGPIPE is ignored, so the write surfaces as EPIPE, which we map to
+   a clean exit. *)
+let is_broken_pipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      (* Stdlib channels wrap EPIPE as Sys_error with strerror text. *)
+      let needle = "roken pipe" in
+      let rec find i =
+        i + String.length needle <= String.length msg
+        && (String.sub msg i (String.length needle) = needle || find (i + 1))
+      in
+      find 0
+  | _ -> false
+
 let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Fault.configure_from_env ();
   let doc = "assurance-argument toolkit (Graydon, DSN 2015, reproduced)" in
   let info = Cmd.info "argus" ~version:"1.0.0" ~doc in
@@ -696,10 +1004,14 @@ let () =
              equivocation_cmd;
              survey_cmd;
              experiments_cmd;
+             serve_cmd;
+             call_cmd;
            ])
-    with e ->
-      Format.eprintf "argus: internal error: %s@." (Printexc.to_string e);
-      2
+    with
+    | e when is_broken_pipe e -> 0
+    | e ->
+        Format.eprintf "argus: internal error: %s@." (Printexc.to_string e);
+        2
   in
-  Obs.finish ();
+  (try Obs.finish () with e when is_broken_pipe e -> ());
   exit code

@@ -30,6 +30,15 @@ type token = { kind : token_kind; loc : Loc.t }
 
 exception Syntax_error of string * Loc.t
 
+(* Hardening caps: pathological input — multi-megabyte files, or
+   nesting deep enough to overflow the recursive-descent formula
+   parser — must come back as a syntax diagnostic (exit 1), never a
+   stack overflow or unbounded allocation.  The limits are far above
+   anything a legitimate case file reaches. *)
+let max_input_bytes = 8 * 1024 * 1024
+let max_nesting = 256
+let max_formula_nesting = 512
+
 let is_word_char c =
   (c >= 'a' && c <= 'z')
   || (c >= 'A' && c <= 'Z')
@@ -40,6 +49,16 @@ let tokenise ~filename s =
   let n = String.length s in
   let line = ref 1 and bol = ref 0 in
   let pos i = Loc.pos ~file:filename ~line:!line ~col:(i - !bol) () in
+  let depth = ref 0 in
+  let enter i =
+    incr depth;
+    if !depth > max_nesting then
+      raise
+        (Syntax_error
+           ( Printf.sprintf "nesting exceeds %d levels" max_nesting,
+             Loc.point (pos i) ))
+  in
+  let leave () = if !depth > 0 then decr depth in
   let rec go i acc =
     if i >= n then List.rev acc
     else
@@ -55,10 +74,18 @@ let tokenise ~filename s =
             incr j
           done;
           go !j acc
-      | '{' -> go (i + 1) ({ kind = TLbrace; loc = Loc.point (pos i) } :: acc)
-      | '}' -> go (i + 1) ({ kind = TRbrace; loc = Loc.point (pos i) } :: acc)
-      | '(' -> go (i + 1) ({ kind = TLparen; loc = Loc.point (pos i) } :: acc)
-      | ')' -> go (i + 1) ({ kind = TRparen; loc = Loc.point (pos i) } :: acc)
+      | '{' ->
+          enter i;
+          go (i + 1) ({ kind = TLbrace; loc = Loc.point (pos i) } :: acc)
+      | '}' ->
+          leave ();
+          go (i + 1) ({ kind = TRbrace; loc = Loc.point (pos i) } :: acc)
+      | '(' ->
+          enter i;
+          go (i + 1) ({ kind = TLparen; loc = Loc.point (pos i) } :: acc)
+      | ')' ->
+          leave ();
+          go (i + 1) ({ kind = TRparen; loc = Loc.point (pos i) } :: acc)
       | ',' -> go (i + 1) ({ kind = TComma; loc = Loc.point (pos i) } :: acc)
       | '"' ->
           let start = pos i in
@@ -267,6 +294,29 @@ let p_node_body st =
             ignore (advance st);
             let loc = st.last_loc in
             let text = p_string st "formula" in
+            (* [Prop.of_string] is recursive-descent: bound the paren
+               depth before handing it a formula, or a hostile one
+               overflows the stack instead of producing a
+               diagnostic. *)
+            let fdepth =
+              let d = ref 0 and m = ref 0 in
+              String.iter
+                (fun c ->
+                  if c = '(' then begin
+                    incr d;
+                    if !d > !m then m := !d
+                  end
+                  else if c = ')' then decr d)
+                text;
+              !m
+            in
+            if fdepth > max_formula_nesting then begin
+              semantic st
+                (Diagnostic.errorf ~code:"dsl/bad-formula" ~loc
+                   "formula nesting exceeds %d levels" max_formula_nesting);
+              loop ()
+            end
+            else begin
             (match Prop.of_string text with
             | Ok f -> props.formal <- Some f
             | Error e ->
@@ -274,6 +324,7 @@ let p_node_body st =
                   (Diagnostic.errorf ~code:"dsl/bad-formula" ~loc
                      "cannot parse formula %S: %s" text e));
             loop ()
+            end
         | Some (Word "meta") ->
             ignore (advance st);
             let loc = st.last_loc in
@@ -453,6 +504,15 @@ let p_case st =
 
 (* Shared parse driver: tokenise, run [body], collect diagnostics. *)
 let run_parser ~filename text body =
+  if String.length text > max_input_bytes then
+    Error
+      [
+        Diagnostic.errorf ~code:"dsl/syntax"
+          ~loc:(Loc.point (Loc.pos ~file:filename ~line:1 ~col:0 ()))
+          "input is %d bytes; the limit is %d" (String.length text)
+          max_input_bytes;
+      ]
+  else
   match tokenise ~filename text with
   | exception Syntax_error (msg, loc) ->
       Error [ Diagnostic.error ~code:"dsl/syntax" ~loc msg ]

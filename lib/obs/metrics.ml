@@ -167,6 +167,41 @@ module Histogram = struct
   let name h = h.hname
 end
 
+(* Gauges are point-in-time values (queue depth, worker count), not
+   accumulators, so sharding them per domain would be meaningless: a
+   gauge is one atomic cell plus a high-watermark, set by whoever owns
+   the measured quantity. *)
+type gauge = { gname : string; gcell : int Atomic.t; gmax : int Atomic.t }
+
+let gauges_by_name : (string, gauge) Hashtbl.t = Hashtbl.create 8
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    locked (fun () ->
+        match Hashtbl.find_opt gauges_by_name name with
+        | Some g -> g
+        | None ->
+            let g =
+              { gname = name; gcell = Atomic.make 0; gmax = Atomic.make 0 }
+            in
+            Hashtbl.add gauges_by_name name g;
+            g)
+
+  let set g v =
+    Atomic.set g.gcell v;
+    let rec bump () =
+      let m = Atomic.get g.gmax in
+      if v > m && not (Atomic.compare_and_set g.gmax m v) then bump ()
+    in
+    bump ()
+
+  let value g = Atomic.get g.gcell
+  let max_value g = Atomic.get g.gmax
+  let name g = g.gname
+end
+
 type histogram_stats = {
   hcount : int;
   hsum : float;
@@ -229,8 +264,21 @@ let histograms () =
         histograms_by_name [])
   |> List.sort compare
 
+let gauges () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name g acc ->
+          ((name, (Gauge.value g, Gauge.max_value g)) :: acc))
+        gauges_by_name [])
+  |> List.sort compare
+
 let reset () =
   locked (fun () ->
+      Hashtbl.iter
+        (fun _ g ->
+          Atomic.set g.gcell 0;
+          Atomic.set g.gmax 0)
+        gauges_by_name;
       List.iter
         (fun s ->
           Array.fill s.ccells 0 (Array.length s.ccells) 0;
@@ -251,6 +299,12 @@ let to_json () =
     [
       ( "counters",
         Json.Obj (List.map (fun (n, v) -> (n, Json.int v)) (counters ())) );
+      ( "gauges",
+        Json.Obj
+          (List.map
+             (fun (n, (v, m)) ->
+               (n, Json.Obj [ ("value", Json.int v); ("max", Json.int m) ]))
+             (gauges ())) );
       ( "histograms",
         Json.Obj
           (List.map

@@ -39,6 +39,23 @@ module Counter : sig
   val shard_add : shard -> t -> int -> unit
 end
 
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** Register (or fetch) the gauge named [name].  Unlike counters,
+      gauges are point-in-time values (queue depth, live workers) set
+      by the single owner of the measured quantity; they are not
+      sharded — one atomic cell plus a high-watermark. *)
+
+  val set : t -> int -> unit
+  val value : t -> int
+  val max_value : t -> int
+  (** Highest value ever {!set} (since the last {!reset}). *)
+
+  val name : t -> string
+end
+
 module Histogram : sig
   type t
 
@@ -66,6 +83,9 @@ val counters : unit -> (string * int) list
 
 val histograms : unit -> (string * histogram_stats) list
 (** Registered histograms with at least one observation, sorted. *)
+
+val gauges : unit -> (string * (int * int)) list
+(** Registered gauges as [(name, (value, max))], sorted by name. *)
 
 val reset : unit -> unit
 (** Zero every counter and histogram (registrations survive). *)

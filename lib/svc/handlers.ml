@@ -1,0 +1,160 @@
+module Json = Argus_core.Json
+module Diagnostic = Argus_core.Diagnostic
+module Budget = Argus_rt.Budget
+module Dsl = Argus_dsl.Dsl
+module Wellformed = Argus_gsn.Wellformed
+module Modular = Argus_gsn.Modular
+module Informal = Argus_fallacy.Informal
+module Program = Argus_prolog.Program
+module Engine = Argus_prolog.Engine
+module Lterm = Argus_logic.Term
+module Proof_text = Argus_logic.Proof_text
+module Natded = Argus_logic.Natded
+module Prop = Argus_logic.Prop
+module Confidence = Argus_confidence.Confidence
+
+let budget_diags = function None -> [] | Some b -> Budget.diagnostics b
+
+let report_payload ds = [ ("report", Diagnostic.report_to_json ds) ]
+
+let report_response ~id ds =
+  Protocol.ok ~id
+    ~exit_code:(if Diagnostic.has_errors ds then 1 else 0)
+    (report_payload ds)
+
+(* A user-input failure that is not a structured diagnostic (program
+   or goal parse errors): exit 1 with a message payload. *)
+let input_error ~id fmt =
+  Printf.ksprintf
+    (fun msg -> Protocol.ok ~id ~exit_code:1 [ ("message", Json.Str msg) ])
+    fmt
+
+let check (req : Protocol.request) ~budget =
+  let id = req.Protocol.id in
+  let ruleset =
+    match req.Protocol.ruleset with
+    | "denney-pai" -> Wellformed.Denney_pai_2013
+    | _ -> Wellformed.Standard
+  in
+  let lint structure =
+    if req.Protocol.lints then Informal.check_structure ?budget structure
+    else []
+  in
+  match
+    Dsl.parse_collection ~filename:req.Protocol.filename req.Protocol.source
+  with
+  | Error ds -> report_response ~id ds
+  | Ok [ case ] when case.Dsl.module_name = None ->
+      let ds =
+        Wellformed.check ~ruleset case.Dsl.structure
+        @ Dsl.validate_metadata case
+        @ lint case.Dsl.structure
+        @ budget_diags budget
+      in
+      report_response ~id ds
+  | Ok cases -> (
+      match Dsl.to_modular cases with
+      | Error ds -> report_response ~id ds
+      | Ok collection ->
+          let ds =
+            Modular.check collection
+            @ List.concat_map Dsl.validate_metadata cases
+            @ List.concat_map (fun c -> lint c.Dsl.structure) cases
+            @ budget_diags budget
+          in
+          report_response ~id ds)
+
+let fallacies (req : Protocol.request) ~budget =
+  let id = req.Protocol.id in
+  match Dsl.parse ~filename:req.Protocol.filename req.Protocol.source with
+  | Error ds -> report_response ~id ds
+  | Ok case ->
+      let ds =
+        Informal.check_structure ?budget case.Dsl.structure
+        @ budget_diags budget
+      in
+      report_response ~id ds
+
+let prove (req : Protocol.request) ~budget =
+  let id = req.Protocol.id in
+  match Program.of_string req.Protocol.source with
+  | Error e -> input_error ~id "program error: %s" e
+  | Ok program -> (
+      match req.Protocol.goal with
+      | None -> input_error ~id "prove needs a \"goal\" field"
+      | Some goal_text -> (
+          match Lterm.of_string goal_text with
+          | Error e -> input_error ~id "goal error: %s" e
+          | Ok goal ->
+              let derivation =
+                match budget with
+                | None -> Engine.prove program goal
+                | Some b -> Engine.prove ~budget:b program goal
+              in
+              let warnings = budget_diags budget in
+              let payload =
+                [
+                  ("derivable", Json.Bool (derivation <> None));
+                  ( "derivation",
+                    match derivation with
+                    | None -> Json.Null
+                    | Some d ->
+                        Json.Str
+                          (Format.asprintf "%a" Engine.pp_derivation d) );
+                ]
+                @
+                if warnings = [] then []
+                else report_payload warnings
+              in
+              Protocol.ok ~id
+                ~exit_code:
+                  (if derivation = None || warnings <> [] then 1 else 0)
+                payload))
+
+let probe (req : Protocol.request) ~budget =
+  let id = req.Protocol.id in
+  match Proof_text.parse req.Protocol.source with
+  | Error e -> input_error ~id "proof error: %s" e
+  | Ok proof -> (
+      match Natded.check proof with
+      | Error ds -> report_response ~id ds
+      | Ok checked ->
+          let probes =
+            List.map
+              (fun premise ->
+                let countermodel =
+                  Confidence.probe_counterexample ?budget checked premise
+                in
+                Json.Obj
+                  [
+                    ("premise", Json.Str (Prop.to_string premise));
+                    ("load_bearing", Json.Bool (countermodel <> None));
+                    ( "countermodel",
+                      match countermodel with
+                      | None -> Json.Null
+                      | Some model ->
+                          Json.Obj
+                            (List.map (fun (v, b) -> (v, Json.Bool b)) model)
+                    );
+                  ])
+              checked.Natded.premises
+          in
+          let warnings = budget_diags budget in
+          Protocol.ok ~id
+            ~exit_code:(if warnings = [] then 0 else 1)
+            ([
+               ( "theorem",
+                 Json.Str (Prop.to_string (Natded.theorem checked)) );
+               ("probes", Json.List probes);
+             ]
+            @ if warnings = [] then [] else report_payload warnings))
+
+let handle (req : Protocol.request) ~budget =
+  match req.Protocol.op with
+  | Protocol.Check -> check req ~budget
+  | Protocol.Fallacies -> fallacies req ~budget
+  | Protocol.Prove -> prove req ~budget
+  | Protocol.Probe -> probe req ~budget
+  | Protocol.Health ->
+      Protocol.error ~id:req.Protocol.id ~code:"svc/bad-request"
+        "health is answered by the server, not a worker"

@@ -1,0 +1,18 @@
+(** The standard request handlers: one service request in, one
+    response out, running the same engines as the CLI subcommands.
+
+    [handle] never writes to channels and never raises on bad {e
+    input} — malformed sources come back as an [Ok] response with exit
+    1 and a diagnostics payload, mirroring the CLI exit taxonomy.  A
+    genuine crash (a bug, or an injected fault) escapes to the
+    supervisor, which is the whole point: the supervisor owns the
+    crash protocol.
+
+    Budget ownership: the supervisor mints the budget, so [handle]
+    appends the budget's diagnostics to its report but the exhaustion
+    state is recorded on the supervisor's value. *)
+
+val handle :
+  Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response
+(** [Health] requests are answered by the server before the queue and
+    are a [svc/bad-request] error here. *)

@@ -1,0 +1,170 @@
+module Json = Argus_core.Json
+
+type op = Check | Prove | Fallacies | Probe | Health
+
+type request = {
+  id : string;
+  op : op;
+  source : string;
+  filename : string;
+  goal : string option;
+  ruleset : string;
+  lints : bool;
+  deadline_ms : float option;
+  fuel : int option;
+}
+
+type response = {
+  rid : string;
+  outcome : (int * (string * Json.t) list, string * string) result;
+}
+
+let op_to_string = function
+  | Check -> "check"
+  | Prove -> "prove"
+  | Fallacies -> "fallacies"
+  | Probe -> "probe"
+  | Health -> "health"
+
+let op_of_string = function
+  | "check" -> Some Check
+  | "prove" -> Some Prove
+  | "fallacies" -> Some Fallacies
+  | "probe" -> Some Probe
+  | "health" -> Some Health
+  | _ -> None
+
+let request ?(id = "") ?(source = "") ?(filename = "<request>") ?goal
+    ?(ruleset = "standard") ?(lints = false) ?deadline_ms ?fuel op =
+  { id; op; source; filename; goal; ruleset; lints; deadline_ms; fuel }
+
+let request_to_json r =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Json.Obj
+    ((if r.id = "" then [] else [ ("id", Json.Str r.id) ])
+    @ [ ("op", Json.Str (op_to_string r.op)) ]
+    @ (if r.source = "" then [] else [ ("source", Json.Str r.source) ])
+    @ (if r.filename = "<request>" then []
+       else [ ("filename", Json.Str r.filename) ])
+    @ opt "goal" (fun g -> Json.Str g) r.goal
+    @ (if r.ruleset = "standard" then []
+       else [ ("ruleset", Json.Str r.ruleset) ])
+    @ (if r.lints then [ ("lints", Json.Bool true) ] else [])
+    @ opt "deadline_ms" (fun d -> Json.Num d) r.deadline_ms
+    @ opt "fuel" (fun f -> Json.int f) r.fuel)
+
+let str_field name json =
+  match Json.member name json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let num_field name json =
+  match Json.member name json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Num n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+
+let bool_field name json =
+  match Json.member name json with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let ( let* ) = Result.bind
+
+let request_of_json json =
+  match json with
+  | Json.Obj _ ->
+      let* op_str = str_field "op" json in
+      let* op =
+        match op_str with
+        | None -> Error "missing \"op\" field"
+        | Some s -> (
+            match op_of_string s with
+            | Some op -> Ok op
+            | None -> Error (Printf.sprintf "unknown op %S" s))
+      in
+      let* id = str_field "id" json in
+      let* source = str_field "source" json in
+      let* filename = str_field "filename" json in
+      let* goal = str_field "goal" json in
+      let* ruleset = str_field "ruleset" json in
+      let* lints = bool_field "lints" json in
+      let* deadline_ms = num_field "deadline_ms" json in
+      let* fuel = num_field "fuel" json in
+      Ok
+        {
+          id = Option.value id ~default:"";
+          op;
+          source = Option.value source ~default:"";
+          filename = Option.value filename ~default:"<request>";
+          goal;
+          ruleset = Option.value ruleset ~default:"standard";
+          lints = Option.value lints ~default:false;
+          deadline_ms;
+          fuel = Option.map int_of_float fuel;
+        }
+  | _ -> Error "request must be a JSON object"
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok json -> request_of_json json
+
+let ok ~id ~exit_code payload = { rid = id; outcome = Ok (exit_code, payload) }
+let error ~id ~code message = { rid = id; outcome = Error (code, message) }
+
+let response_to_json r =
+  match r.outcome with
+  | Ok (exit_code, payload) ->
+      Json.Obj
+        (("id", Json.Str r.rid)
+        :: ("status", Json.Str "ok")
+        :: ("exit", Json.int exit_code)
+        :: payload)
+  | Error (code, message) ->
+      Json.Obj
+        [
+          ("id", Json.Str r.rid);
+          ("status", Json.Str "error");
+          ("code", Json.Str code);
+          ("message", Json.Str message);
+        ]
+
+let response_to_line r = Json.to_string (response_to_json r) ^ "\n"
+
+let response_of_line line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
+  | Ok json -> (
+      let* id = str_field "id" json in
+      let id = Option.value id ~default:"" in
+      let* status = str_field "status" json in
+      match status with
+      | Some "ok" -> (
+          match Json.member "exit" json with
+          | Some (Json.Num n) ->
+              let payload =
+                match json with
+                | Json.Obj kvs ->
+                    List.filter
+                      (fun (k, _) ->
+                        k <> "id" && k <> "status" && k <> "exit")
+                      kvs
+                | _ -> []
+              in
+              Ok (ok ~id ~exit_code:(int_of_float n) payload)
+          | _ -> Error "ok response needs a numeric \"exit\"")
+      | Some "error" ->
+          let* code = str_field "code" json in
+          let* message = str_field "message" json in
+          Ok
+            (error ~id
+               ~code:(Option.value code ~default:"svc/unknown")
+               (Option.value message ~default:""))
+      | Some s -> Error (Printf.sprintf "unknown status %S" s)
+      | None -> Error "missing \"status\" field")
+
+let exit_code_of_response r =
+  match r.outcome with Ok (code, _) -> code | Error _ -> 2

@@ -1,0 +1,72 @@
+(** The serve wire protocol: line-delimited JSON over a local socket.
+
+    One request per line, one response line per request, in completion
+    order (the [id] field correlates them).  The grammar is documented
+    in DESIGN.md §11; this module is the single codec both the server
+    and the [argus call] client use, so the two cannot drift.
+
+    Requests:
+    {v
+    {"id": "r1", "op": "check", "source": "case \"t\" { ... }",
+     "filename": "t.arg", "ruleset": "standard", "lints": false,
+     "deadline_ms": 500, "fuel": 100000}
+    v}
+    [op] is one of [check], [prove] (needs ["goal"]), [fallacies],
+    [probe], [health].  Everything but [op] is optional: a missing [id]
+    is assigned by the server, [source] defaults to empty.
+
+    Responses: [{"id", "status": "ok", "exit": 0|1, ...payload}] or
+    [{"id", "status": "error", "code", "message"}].  Error codes:
+    [svc/bad-request], [svc/overloaded], [svc/breaker-open],
+    [svc/draining], [rt/internal-error]. *)
+
+type op = Check | Prove | Fallacies | Probe | Health
+
+type request = {
+  id : string;
+  op : op;
+  source : string;
+  filename : string;  (** Label used in diagnostics; default ["<request>"]. *)
+  goal : string option;  (** [prove] only. *)
+  ruleset : string;  (** [check] only: ["standard"] or ["denney-pai"]. *)
+  lints : bool;  (** [check] only. *)
+  deadline_ms : float option;  (** Client deadline; the server clamps it. *)
+  fuel : int option;
+}
+
+type response = {
+  rid : string;
+  outcome : (int * (string * Argus_core.Json.t) list, string * string) result;
+      (** [Ok (exit_code, payload)] or [Error (code, message)]. *)
+}
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+val request : ?id:string -> ?source:string -> ?filename:string ->
+  ?goal:string -> ?ruleset:string -> ?lints:bool -> ?deadline_ms:float ->
+  ?fuel:int -> op -> request
+
+val request_to_json : request -> Argus_core.Json.t
+
+val request_of_json : Argus_core.Json.t -> (request, string) result
+(** Rejects unknown [op], non-object payloads and ill-typed fields.  A
+    missing [id] becomes [""] (the server assigns one). *)
+
+val request_of_line : string -> (request, string) result
+
+val ok : id:string -> exit_code:int ->
+  (string * Argus_core.Json.t) list -> response
+
+val error : id:string -> code:string -> string -> response
+
+val response_to_json : response -> Argus_core.Json.t
+val response_to_line : response -> string
+(** Compact JSON plus the trailing newline. *)
+
+val response_of_line : string -> (response, string) result
+(** The client-side decoder. *)
+
+val exit_code_of_response : response -> int
+(** The CLI taxonomy: an [Ok] response carries its own 0/1; any
+    [Error] response is 2. *)

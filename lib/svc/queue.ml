@@ -1,0 +1,55 @@
+let g_depth = Argus_obs.Metrics.Gauge.make "svc.queue_depth"
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Stdlib.Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Stdlib.Queue.create ();
+    capacity = max 0 capacity;
+    closed = false;
+  }
+
+let capacity t = t.capacity
+
+let depth t = Mutex.protect t.mu (fun () -> Stdlib.Queue.length t.items)
+
+let push t x =
+  Mutex.protect t.mu (fun () ->
+      if t.closed || Stdlib.Queue.length t.items >= t.capacity then `Shed
+      else begin
+        Stdlib.Queue.add x t.items;
+        Argus_obs.Metrics.Gauge.set g_depth (Stdlib.Queue.length t.items);
+        Condition.signal t.nonempty;
+        `Accepted
+      end)
+
+let pop t =
+  Mutex.protect t.mu (fun () ->
+      let rec wait () =
+        if not (Stdlib.Queue.is_empty t.items) then begin
+          let x = Stdlib.Queue.take t.items in
+          Argus_obs.Metrics.Gauge.set g_depth (Stdlib.Queue.length t.items);
+          Some x
+        end
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let is_closed t = Mutex.protect t.mu (fun () -> t.closed)

@@ -1,0 +1,36 @@
+(** Bounded admission queue with load shedding.
+
+    The acceptor thread pushes, worker domains pop.  Admission is
+    strict: at or past the high-water mark [capacity], {!push} refuses
+    immediately ([`Shed]) instead of blocking or growing without bound
+    — the caller answers the client with [svc/overloaded] and the
+    process's memory stays proportional to [capacity], not to the
+    request arrival rate.  [capacity = 0] sheds everything (useful to
+    pin the shed path in benches and cram tests).
+
+    {!close} starts a drain: further pushes shed, pops keep returning
+    queued items until the queue is empty and then return [None],
+    telling each worker to exit its loop.
+
+    Gauge: [svc.queue_depth] (current depth; its max is the observed
+    high-water mark). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Negative capacities are treated as 0. *)
+
+val capacity : 'a t -> int
+val depth : 'a t -> int
+
+val push : 'a t -> 'a -> [ `Accepted | `Shed ]
+(** Never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item arrives or the queue is closed and empty;
+    [None] only after close-and-drain. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes every blocked {!pop}. *)
+
+val is_closed : 'a t -> bool

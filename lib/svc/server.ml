@@ -1,0 +1,257 @@
+module Json = Argus_core.Json
+module Metrics = Argus_obs.Metrics
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_capacity : int;
+  default_deadline_ms : float option;
+  max_deadline_ms : float option;
+  max_fuel : int option;
+  drain_ms : float;
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
+  max_line_bytes : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = Argus_par.Pool.default_jobs ();
+    queue_capacity = 64;
+    default_deadline_ms = None;
+    max_deadline_ms = None;
+    max_fuel = None;
+    drain_ms = 5000.;
+    breaker_failures = 5;
+    breaker_cooldown_ms = 1000.;
+    max_line_bytes = 8 * 1024 * 1024;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  wmu : Mutex.t;
+  mutable alive : bool;
+}
+
+(* Workers and the acceptor both write responses; each goes through the
+   connection's write lock.  A dead peer (EPIPE — SIGPIPE is ignored)
+   just marks the connection for reaping. *)
+let write_line conn s =
+  Mutex.protect conn.wmu (fun () ->
+      if conn.alive then
+        let b = Bytes.of_string s in
+        let n = Bytes.length b in
+        let rec go off =
+          if off < n then
+            match Unix.write conn.fd b off (n - off) with
+            | written -> go (off + written)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+            | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
+        in
+        go 0)
+
+type t = {
+  cfg : config;
+  sup : Supervisor.t;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  mutable conns : conn list;
+  mutable next_id : int;
+}
+
+let health_json t =
+  let workers =
+    Supervisor.worker_states t.sup |> Array.to_list
+    |> List.map (fun (st, consecutive) ->
+           Json.Obj
+             [
+               ("state", Json.Str (Supervisor.worker_state_to_string st));
+               ("consecutive_restarts", Json.int consecutive);
+             ])
+  in
+  let breakers =
+    Supervisor.breaker_states t.sup
+    |> List.map (fun (op, st) ->
+           (op, Json.Str (Argus_rt.Breaker.state_to_string st)))
+  in
+  [
+    ("ready", Json.Bool (Supervisor.accepting t.sup));
+    ("queue_depth", Json.int (Supervisor.queue_depth t.sup));
+    ("queue_capacity", Json.int t.cfg.queue_capacity);
+    ("jobs", Json.int t.cfg.jobs);
+    ("restarts", Json.int (Supervisor.restarts t.sup));
+    ("workers", Json.List workers);
+    ("breakers", Json.Obj breakers);
+    ("metrics", Metrics.to_json ());
+  ]
+
+let handle_line t conn line =
+  match Protocol.request_of_line line with
+  | Error e ->
+      write_line conn
+        (Protocol.response_to_line
+           (Protocol.error ~id:"" ~code:"svc/bad-request" e))
+  | Ok req ->
+      let req =
+        if req.Protocol.id <> "" then req
+        else begin
+          t.next_id <- t.next_id + 1;
+          { req with Protocol.id = Printf.sprintf "r%d" t.next_id }
+        end
+      in
+      if req.Protocol.op = Protocol.Health then
+        write_line conn
+          (Protocol.response_to_line
+             (Protocol.ok ~id:req.Protocol.id ~exit_code:0 (health_json t)))
+      else
+        Supervisor.submit t.sup req ~reply:(fun resp ->
+            write_line conn (Protocol.response_to_line resp))
+
+(* Split off every complete line in the connection's read buffer. *)
+let drain_lines t conn =
+  let data = Buffer.contents conn.rbuf in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < n do
+       match String.index_from data !start '\n' with
+       | exception Not_found -> raise Exit
+       | nl ->
+           let line = String.sub data !start (nl - !start) in
+           start := nl + 1;
+           if String.trim line <> "" then handle_line t conn line
+     done
+   with Exit -> ());
+  Buffer.clear conn.rbuf;
+  Buffer.add_substring conn.rbuf data !start (n - !start);
+  if Buffer.length conn.rbuf > t.cfg.max_line_bytes then begin
+    write_line conn
+      (Protocol.response_to_line
+         (Protocol.error ~id:"" ~code:"svc/bad-request"
+            (Printf.sprintf "request line exceeds %d bytes"
+               t.cfg.max_line_bytes)));
+    conn.alive <- false
+  end
+
+let read_chunk_size = 65536
+
+let service_conn t conn =
+  let buf = Bytes.create read_chunk_size in
+  match Unix.read conn.fd buf 0 read_chunk_size with
+  | 0 -> conn.alive <- false
+  | n ->
+      Buffer.add_subbytes conn.rbuf buf 0 n;
+      drain_lines t conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
+
+let accept_conn t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, _ ->
+      t.conns <-
+        { fd; rbuf = Buffer.create 256; wmu = Mutex.create (); alive = true }
+        :: t.conns
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+
+let reap t =
+  let dead, live = List.partition (fun c -> not c.alive) t.conns in
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) dead;
+  t.conns <- live
+
+let bind_listen cfg =
+  (* A stale socket file from a crashed predecessor would make bind
+     fail; remove it if it is a socket (never clobber a regular file). *)
+  (match Unix.lstat cfg.socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink cfg.socket_path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen fd 64;
+  fd
+
+let serve_loop t =
+  let code =
+    try
+      while not (Atomic.get t.stop) do
+        let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+        match Unix.select fds [] [] 0.1 with
+        | readable, _, _ ->
+            List.iter
+              (fun fd ->
+                if fd = t.listen_fd then accept_conn t
+                else
+                  match List.find_opt (fun c -> c.fd = fd) t.conns with
+                  | Some conn -> service_conn t conn
+                  | None -> ())
+              readable;
+            reap t
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* Drain: close the door, let the workers finish what is queued
+         and in flight, under the drain deadline. *)
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink t.cfg.socket_path
+       with Unix.Unix_error _ -> ());
+      let drained = Supervisor.drain t.sup ~deadline_ms:t.cfg.drain_ms in
+      List.iter (fun c -> c.alive <- false) t.conns;
+      reap t;
+      if drained then 0 else 1
+    with e ->
+      Printf.eprintf "argus serve: internal error: %s\n%!"
+        (Printexc.to_string e);
+      2
+  in
+  (* Flush counters/spans to whatever sinks are configured. *)
+  Argus_obs.Obs.finish ();
+  code
+
+let make ?(handler = Handlers.handle) cfg =
+  let listen_fd = bind_listen cfg in
+  let sup_config =
+    {
+      Supervisor.default_config with
+      Supervisor.jobs = cfg.jobs;
+      queue_capacity = cfg.queue_capacity;
+      breaker_failures = cfg.breaker_failures;
+      breaker_cooldown_ms = cfg.breaker_cooldown_ms;
+      budget =
+        {
+          Supervisor.default_deadline_ms = cfg.default_deadline_ms;
+          max_deadline_ms = cfg.max_deadline_ms;
+          max_fuel = cfg.max_fuel;
+        };
+    }
+  in
+  let sup = Supervisor.create ~config:sup_config ~handler () in
+  {
+    cfg;
+    sup;
+    listen_fd;
+    stop = Atomic.make false;
+    conns = [];
+    next_id = 0;
+  }
+
+let run ?handler cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t = make ?handler cfg in
+  let request_stop _ = Atomic.set t.stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Printf.eprintf "argus serve: listening on %s (jobs=%d, queue=%d)\n%!"
+    cfg.socket_path cfg.jobs cfg.queue_capacity;
+  serve_loop t
+
+type handle = { t : t; domain : int Domain.t }
+
+let spawn ?handler cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t = make ?handler cfg in
+  { t; domain = Domain.spawn (fun () -> serve_loop t) }
+
+let stop h =
+  Atomic.set h.t.stop true;
+  Domain.join h.domain

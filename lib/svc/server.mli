@@ -1,0 +1,61 @@
+(** The [argus serve] daemon: a Unix-domain-socket server speaking the
+    line-delimited JSON {!Protocol}, dispatching to a supervised
+    {!Supervisor} pool.
+
+    The acceptor runs single-threaded over [select]: it owns admission
+    (shedding, breaker refusals and [health] are answered without
+    touching a worker), workers write their responses back through the
+    originating connection's write lock, in completion order.
+
+    Graceful drain: SIGTERM or SIGINT (or {!stop}) makes the server
+    stop accepting — the listening socket is closed and unlinked — then
+    drain queued and in-flight work under [drain_ms], flush the
+    {!Argus_obs} counters, and exit by the 0/1/2 taxonomy: 0 clean
+    drain, 1 drain deadline expired with work abandoned, 2 internal
+    error.  SIGPIPE is ignored: a client that hangs up mid-response
+    costs exactly its own connection. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_capacity : int;
+  default_deadline_ms : float option;
+  max_deadline_ms : float option;
+  max_fuel : int option;
+  drain_ms : float;  (** Drain deadline on shutdown. *)
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
+  max_line_bytes : int;
+      (** A connection sending a longer request line is answered
+          [svc/bad-request] and closed — bounded buffering, like the
+          queue. *)
+}
+
+val default_config : socket_path:string -> config
+(** jobs {!Argus_par.Pool.default_jobs}, capacity 64, no deadline
+    defaults, 5 s drain, breaker 5 failures / 1 s cooldown, 8 MiB
+    lines. *)
+
+val run :
+  ?handler:
+    (Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response) ->
+  config ->
+  int
+(** Bind, serve until SIGTERM/SIGINT, drain, return the exit code.
+    The default handler is {!Handlers.handle}. *)
+
+type handle
+(** A server running in a background domain — the bench and test
+    harness entry point ({!run} installs signal handlers, which are
+    process-wide; [spawn] does not). *)
+
+val spawn :
+  ?handler:
+    (Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response) ->
+  config ->
+  handle
+(** The socket is bound and listening when [spawn] returns: a client
+    may connect immediately. *)
+
+val stop : handle -> int
+(** Request drain, join the server domain, return its exit code. *)

@@ -1,0 +1,305 @@
+module Budget = Argus_rt.Budget
+module Breaker = Argus_rt.Breaker
+module Retry = Argus_rt.Retry
+module Fault = Argus_rt.Fault
+module Counter = Argus_obs.Counter
+module Histogram = Argus_obs.Metrics.Histogram
+
+let c_accepted = Counter.make "svc.accepted"
+let c_shed = Counter.make "svc.shed"
+let c_breaker_open = Counter.make "svc.breaker_open"
+let c_restarts = Counter.make "svc.restarts"
+
+(* Registered here so the name exists in the registry even before the
+   first retrying call site (the [argus call] connect loop) runs. *)
+let c_retried = Counter.make "svc.retried"
+let _ = c_retried
+
+let h_latency = Histogram.make "svc.request_latency_ms"
+
+type worker_state = Idle | Busy | Restarting
+
+let worker_state_to_string = function
+  | Idle -> "idle"
+  | Busy -> "busy"
+  | Restarting -> "restarting"
+
+type budget_policy = {
+  default_deadline_ms : float option;
+  max_deadline_ms : float option;
+  max_fuel : int option;
+}
+
+type config = {
+  jobs : int;
+  queue_capacity : int;
+  restart_policy : Retry.policy;
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
+  budget : budget_policy;
+  now_ms : unit -> float;
+  sleep_ms : float -> unit;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_capacity = 64;
+    restart_policy = Retry.default_policy;
+    breaker_failures = 5;
+    breaker_cooldown_ms = 1000.;
+    budget =
+      { default_deadline_ms = None; max_deadline_ms = None; max_fuel = None };
+    now_ms = (fun () -> Unix.gettimeofday () *. 1000.);
+    sleep_ms = (fun ms -> if ms > 0. then Unix.sleepf (ms /. 1000.));
+  }
+
+type job = {
+  req : Protocol.request;
+  budget : Budget.t option;
+  reply : Protocol.response -> unit;
+  admitted_ms : float;
+}
+
+type slot = {
+  mutable state : worker_state;
+  mutable consecutive : int;
+  mutable exited : bool;
+}
+
+type t = {
+  cfg : config;
+  handler :
+    Protocol.request -> budget:Budget.t option -> Protocol.response;
+  q : job Queue.t;
+  slots : slot array;
+  mutable domains : unit Domain.t array;
+  mu : Mutex.t;
+  idle : Condition.t;  (** Signalled when [inflight] drops or a worker exits. *)
+  mutable inflight : int;  (** Admitted jobs not yet replied to. *)
+  mutable is_accepting : bool;
+  mutable total_restarts : int;
+  mutable drained : bool;
+  breakers : (string, Breaker.t) Hashtbl.t;  (** Guarded by [mu]. *)
+}
+
+let breaker_of t op =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.breakers op with
+      | Some b -> b
+      | None ->
+          let b =
+            Breaker.make ~failures:t.cfg.breaker_failures
+              ~cooldown_ms:t.cfg.breaker_cooldown_ms ~now_ms:t.cfg.now_ms
+              ~name:op ()
+          in
+          Hashtbl.add t.breakers op b;
+          b)
+
+(* The request's effective budget: server default deadline, client
+   override clamped by the server max, fuel clamped likewise.  Minted
+   at admission so queue wait counts against the deadline. *)
+let mint_budget policy (req : Protocol.request) =
+  let clamp upper v =
+    match upper with None -> v | Some u -> Float.min u v
+  in
+  let deadline_ms =
+    match req.Protocol.deadline_ms with
+    | Some d when d > 0. -> Some (clamp policy.max_deadline_ms d)
+    | Some _ | None -> (
+        match policy.default_deadline_ms with
+        | Some d -> Some d
+        | None ->
+            (* Even without a default, an explicit server max caps
+               deadline-less requests. *)
+            policy.max_deadline_ms)
+  in
+  let fuel =
+    match (req.Protocol.fuel, policy.max_fuel) with
+    | Some f, Some m -> Some (min f m)
+    | Some f, None -> Some f
+    | None, _ -> None
+  in
+  let spec =
+    { Budget.deadline_ms; fuel; max_depth = None; max_solutions = None }
+  in
+  if Budget.spec_is_unlimited spec then None else Some (Budget.of_spec spec)
+
+let finish t (job : job) resp =
+  (* A reply callback that raises (client hung up mid-write) must not
+     count as a worker crash — the request itself succeeded. *)
+  (try job.reply resp with _ -> ());
+  Histogram.observe h_latency (t.cfg.now_ms () -. job.admitted_ms);
+  Mutex.protect t.mu (fun () ->
+      t.inflight <- t.inflight - 1;
+      Condition.broadcast t.idle)
+
+let set_state t i st =
+  Mutex.protect t.mu (fun () -> t.slots.(i).state <- st)
+
+let worker t i =
+  let slot = t.slots.(i) in
+  let rec loop () =
+    match Queue.pop t.q with
+    | None ->
+        Mutex.protect t.mu (fun () ->
+            slot.exited <- true;
+            Condition.broadcast t.idle)
+    | Some job -> (
+        set_state t i Busy;
+        let op = Protocol.op_to_string job.req.Protocol.op in
+        let breaker = breaker_of t op in
+        match
+          Fault.point ~key:job.req.Protocol.id "svc.request";
+          t.handler job.req ~budget:job.budget
+        with
+        | resp ->
+            Breaker.success breaker;
+            finish t job resp;
+            Mutex.protect t.mu (fun () ->
+                slot.consecutive <- 0;
+                slot.state <- Idle);
+            loop ()
+        | exception e ->
+            (* Let it crash: the victim request gets a typed error, the
+               breaker hears about it, and this worker restarts after a
+               capped deterministic backoff.  Queued jobs are untouched.
+               Restart bookkeeping happens before the reply: once the
+               victim's answer is out (and [await_idle] can return),
+               the restart is already on the books. *)
+            Breaker.failure breaker;
+            Counter.incr c_restarts;
+            let attempt =
+              Mutex.protect t.mu (fun () ->
+                  slot.consecutive <- slot.consecutive + 1;
+                  slot.state <- Restarting;
+                  t.total_restarts <- t.total_restarts + 1;
+                  slot.consecutive)
+            in
+            finish t job
+              (Protocol.error ~id:job.req.Protocol.id ~code:"rt/internal-error"
+                 (Printexc.to_string e));
+            t.cfg.sleep_ms
+              (Retry.delay_ms t.cfg.restart_policy
+                 ~key:(Printf.sprintf "svc.worker-%d" i)
+                 ~attempt);
+            set_state t i Idle;
+            loop ())
+  in
+  loop ()
+
+let create ?(config = default_config) ~handler () =
+  let jobs = max 1 config.jobs in
+  let t =
+    {
+      cfg = { config with jobs };
+      handler;
+      q = Queue.create ~capacity:config.queue_capacity;
+      slots =
+        Array.init jobs (fun _ ->
+            { state = Idle; consecutive = 0; exited = false });
+      domains = [||];
+      mu = Mutex.create ();
+      idle = Condition.create ();
+      inflight = 0;
+      is_accepting = true;
+      total_restarts = 0;
+      drained = false;
+      breakers = Hashtbl.create 8;
+    }
+  in
+  t.domains <- Array.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let submit t req ~reply =
+  let accepting = Mutex.protect t.mu (fun () -> t.is_accepting) in
+  if not accepting then
+    reply
+      (Protocol.error ~id:req.Protocol.id ~code:"svc/draining"
+         "server is draining; not accepting new requests")
+  else
+    let op = Protocol.op_to_string req.Protocol.op in
+    let breaker = breaker_of t op in
+    if not (Breaker.admit breaker) then begin
+      Counter.incr c_breaker_open;
+      reply
+        (Protocol.error ~id:req.Protocol.id ~code:"svc/breaker-open"
+           (Printf.sprintf
+              "circuit breaker for %S is open (recent %s requests crashed)"
+              op op))
+    end
+    else begin
+      let job =
+        {
+          req;
+          budget = mint_budget t.cfg.budget req;
+          reply;
+          admitted_ms = t.cfg.now_ms ();
+        }
+      in
+      Mutex.protect t.mu (fun () -> t.inflight <- t.inflight + 1);
+      match Queue.push t.q job with
+      | `Accepted -> Counter.incr c_accepted
+      | `Shed ->
+          Mutex.protect t.mu (fun () ->
+              t.inflight <- t.inflight - 1;
+              Condition.broadcast t.idle);
+          (* Give back the half-open trial this job may have taken. *)
+          Breaker.cancel breaker;
+          Counter.incr c_shed;
+          reply
+            (Protocol.error ~id:req.Protocol.id ~code:"svc/overloaded"
+               (Printf.sprintf "queue full (%d waiting); request shed"
+                  (Queue.depth t.q)))
+    end
+
+let queue_depth t = Queue.depth t.q
+
+let worker_states t =
+  Mutex.protect t.mu (fun () ->
+      Array.map (fun s -> (s.state, s.consecutive)) t.slots)
+
+let restarts t = Mutex.protect t.mu (fun () -> t.total_restarts)
+
+let breaker_states t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold (fun op b acc -> (op, Breaker.state b) :: acc) t.breakers [])
+  |> List.sort compare
+
+let accepting t = Mutex.protect t.mu (fun () -> t.is_accepting)
+
+let await_idle t =
+  Mutex.protect t.mu (fun () ->
+      while t.inflight > 0 do
+        Condition.wait t.idle t.mu
+      done)
+
+let drain t ~deadline_ms =
+  let already = Mutex.protect t.mu (fun () ->
+      let d = t.drained in
+      t.is_accepting <- false;
+      t.drained <- true;
+      d)
+  in
+  if already then true
+  else begin
+    Queue.close t.q;
+    let deadline = t.cfg.now_ms () +. deadline_ms in
+    let rec wait () =
+      let all_exited =
+        Mutex.protect t.mu (fun () ->
+            Array.for_all (fun s -> s.exited) t.slots)
+      in
+      if all_exited then begin
+        Array.iter Domain.join t.domains;
+        t.domains <- [||];
+        true
+      end
+      else if t.cfg.now_ms () >= deadline then false
+      else begin
+        t.cfg.sleep_ms 2.;
+        wait ()
+      end
+    in
+    wait ()
+  end

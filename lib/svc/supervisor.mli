@@ -1,0 +1,98 @@
+(** Supervised worker pool: the "let it crash" core of [argus serve].
+
+    A supervisor owns [jobs] long-lived worker domains pulling requests
+    off a bounded {!Queue}.  The robustness contract (DESIGN.md §11):
+
+    - a worker whose handler raises (a bug, or an {!Argus_rt.Fault}
+      injection at the ["svc.request"] probe, keyed by request id)
+      answers its in-flight request with a typed [rt/internal-error]
+      response, then restarts — re-entering its pull loop after a
+      capped, seeded-jitter backoff ({!Argus_rt.Retry.delay_ms}).  The
+      rest of the queue is untouched;
+    - admission refuses instead of blocking: past the queue's high-water
+      mark a request is answered [svc/overloaded] immediately;
+    - each request kind has an {!Argus_rt.Breaker}: after
+      [breaker_failures] consecutive crashes of that kind, further
+      requests of the kind are answered [svc/breaker-open] without
+      touching a worker, until a cooldown admits a half-open trial;
+    - each admitted request gets a fresh {!Argus_rt.Budget} minted from
+      the server-side default, the client's override and the server
+      max (the deadline clock starts at admission, so time spent
+      queued counts against it).
+
+    The clock and the backoff sleep are injectable, so unit tests
+    replay restart and breaker schedules deterministically; replies are
+    delivered on worker domains via the [reply] callback passed to
+    {!submit} (the server's callback writes the response line under the
+    connection's write lock).
+
+    Counters: [svc.accepted], [svc.shed], [svc.breaker_open],
+    [svc.restarts]; histogram [svc.request_latency_ms]; gauge
+    [svc.queue_depth]. *)
+
+type worker_state = Idle | Busy | Restarting
+
+type budget_policy = {
+  default_deadline_ms : float option;
+      (** Deadline applied when the client sends none. *)
+  max_deadline_ms : float option;
+      (** Upper clamp on client-requested deadlines. *)
+  max_fuel : int option;  (** Upper clamp on client-requested fuel. *)
+}
+
+type config = {
+  jobs : int;  (** Worker domains (min 1). *)
+  queue_capacity : int;
+  restart_policy : Argus_rt.Retry.policy;
+      (** Backoff between a worker crash and its restart;
+          [max_attempts] is ignored — workers always restart. *)
+  breaker_failures : int;  (** [<= 0] disables the breakers. *)
+  breaker_cooldown_ms : float;
+  budget : budget_policy;
+  now_ms : unit -> float;
+  sleep_ms : float -> unit;
+}
+
+val default_config : config
+(** jobs 1, capacity 64, {!Argus_rt.Retry.default_policy} restarts,
+    breaker 5 failures / 1 s cooldown, no budget limits, real clock and
+    sleep. *)
+
+type t
+
+val create :
+  ?config:config ->
+  handler:
+    (Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response) ->
+  unit ->
+  t
+
+val submit :
+  t -> Protocol.request -> reply:(Protocol.response -> unit) -> unit
+(** Never blocks.  Exactly one [reply] per submission, from a worker
+    domain on success/crash or synchronously from the caller on
+    shedding, breaker refusal or drain ([svc/draining]). *)
+
+val queue_depth : t -> int
+val worker_states : t -> (worker_state * int) array
+(** Per worker: state and consecutive-restart count. *)
+
+val restarts : t -> int
+(** Total worker restarts since creation. *)
+
+val breaker_states : t -> (string * Argus_rt.Breaker.state) list
+(** One entry per request kind seen so far, sorted by kind. *)
+
+val accepting : t -> bool
+
+val await_idle : t -> unit
+(** Block until no request is queued or in flight.  (Test and bench
+    synchronisation point; the server uses {!drain}.) *)
+
+val drain : t -> deadline_ms:float -> bool
+(** Stop accepting, let queued and in-flight work finish, join the
+    workers.  [false] when the deadline expired with workers still
+    busy (their domains are then left to die with the process).
+    Idempotent. *)
+
+val worker_state_to_string : worker_state -> string

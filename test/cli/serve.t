@@ -1,0 +1,84 @@
+The supervised always-on service (DESIGN.md section 11): request
+round-trip, worker crash isolation with restart, overload shedding and
+graceful drain.
+
+A well-formed case file:
+
+  $ printf 'case "t" {\n  evidence E1 analysis "a"\n  goal G1 "t holds" { supported-by Sn1 }\n  solution Sn1 "s" { evidence E1 }\n}\n' > ok.arg
+
+Unix socket paths are length-limited; keep them short:
+
+  $ S=${TMPDIR:-/tmp}/argus-$$.sock
+
+Start a one-worker server with a deterministic fault armed for the
+request id "boom" (the svc.request probe is keyed by id, so only that
+request is hit, whatever the parallelism).  The client retries its
+connect with backoff, so no readiness polling is needed:
+
+  $ ARGUS_FAULT='svc.request@boom:1:42' argus serve --socket "$S" --jobs 1 2>/dev/null &
+  $ SERVE_PID=$!
+
+A normal request round-trips:
+
+  $ argus call --socket "$S" --id r1 check ok.arg
+  {
+    "id": "r1",
+    "status": "ok",
+    "exit": 0,
+    "report": {
+      "diagnostics": [],
+      "errors": 0,
+      "warnings": 0,
+      "infos": 0
+    }
+  }
+
+The "boom" request crashes its worker mid-handling.  The victim gets a
+typed internal error (exit 2), not a hung connection:
+
+  $ argus call --socket "$S" --id boom check ok.arg
+  {
+    "id": "boom",
+    "status": "error",
+    "code": "rt/internal-error",
+    "message": "injected fault at probe svc.request"
+  }
+  [2]
+
+The supervisor restarted the worker with backoff; the very next
+request succeeds:
+
+  $ argus call --socket "$S" --id r2 check ok.arg > /dev/null
+
+health reports the restart and that the server is still ready:
+
+  $ argus call --socket "$S" health | grep -E '"(ready|restarts)"'
+    "ready": true,
+    "restarts": 1,
+
+SIGTERM stops admission, drains in-flight work and exits 0:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+
+Overload: a zero-capacity queue sheds every request immediately with a
+typed svc/overloaded answer, and the server still drains cleanly:
+
+  $ argus serve --socket "$S" --jobs 1 --queue-cap 0 2>/dev/null &
+  $ SHED_PID=$!
+  $ argus call --socket "$S" --id r1 check ok.arg
+  {
+    "id": "r1",
+    "status": "error",
+    "code": "svc/overloaded",
+    "message": "queue full (0 waiting); request shed"
+  }
+  [2]
+  $ kill -TERM $SHED_PID
+  $ wait $SHED_PID
+
+Flag validation is strict — a zero worker count is a usage error, not
+a hung server:
+
+  $ argus serve --socket "$S" --jobs 0 2>&1 | head -1
+  argus: option '--jobs': --jobs must be a positive integer

@@ -122,6 +122,23 @@ let test_syntax_errors () =
       {|case "x" { attr a (bogus) }|};
     ]
 
+(* Hardening: pathological input must produce a diagnostic, never a
+   stack overflow or unbounded allocation. *)
+let test_pathological_input () =
+  let deep = 100_000 in
+  (* 100k-deep nested braces after a valid case header. *)
+  expect_error "dsl/syntax"
+    ({|case "x" { goal G1 "t" |} ^ String.make deep '{');
+  (* 100k-deep parenthesised formula: must be rejected before it
+     reaches the recursive-descent formula parser. *)
+  expect_error "dsl/bad-formula"
+    (Printf.sprintf {|case "x" { goal G1 "t is safe" { formal "%sa%s" } }|}
+       (String.make deep '(') (String.make deep ')'));
+  (* Oversized input: a multi-MB file is refused up front. *)
+  expect_error "dsl/syntax"
+    ({|case "x" { goal G1 "t" { undeveloped } } // |}
+    ^ String.make (9 * 1024 * 1024) 'x')
+
 let test_semantic_errors () =
   expect_error "dsl/duplicate-id"
     {|case "x" { goal G1 "a is safe" { undeveloped } goal G1 "b is safe" { undeveloped } }|};
@@ -327,6 +344,8 @@ let () =
       ( "errors",
         [
           Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+          Alcotest.test_case "pathological input" `Quick
+            test_pathological_input;
           Alcotest.test_case "semantic errors" `Quick test_semantic_errors;
           Alcotest.test_case "error location" `Quick test_error_location;
         ] );

@@ -1,0 +1,521 @@
+module Json = Argus_core.Json
+module Budget = Argus_rt.Budget
+module Fault = Argus_rt.Fault
+module Retry = Argus_rt.Retry
+module Breaker = Argus_rt.Breaker
+module Queue = Argus_svc.Queue
+module Protocol = Argus_svc.Protocol
+module Supervisor = Argus_svc.Supervisor
+
+(* --- Queue --- *)
+
+let test_queue_basic () =
+  let q = Queue.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Queue.capacity q);
+  Alcotest.(check bool) "push a" true (Queue.push q "a" = `Accepted);
+  Alcotest.(check bool) "push b" true (Queue.push q "b" = `Accepted);
+  Alcotest.(check bool) "push c shed at high-water" true
+    (Queue.push q "c" = `Shed);
+  Alcotest.(check (option string)) "fifo" (Some "a") (Queue.pop q);
+  Alcotest.(check bool) "room again" true (Queue.push q "c" = `Accepted);
+  Queue.close q;
+  Alcotest.(check bool) "push after close sheds" true
+    (Queue.push q "d" = `Shed);
+  Alcotest.(check (option string)) "drains b" (Some "b") (Queue.pop q);
+  Alcotest.(check (option string)) "drains c" (Some "c") (Queue.pop q);
+  Alcotest.(check (option string)) "then empty" None (Queue.pop q);
+  Alcotest.(check bool) "closed" true (Queue.is_closed q)
+
+let test_queue_zero_capacity () =
+  let q = Queue.create ~capacity:0 in
+  Alcotest.(check bool) "sheds everything" true (Queue.push q 1 = `Shed);
+  let q' = Queue.create ~capacity:(-3) in
+  Alcotest.(check int) "negative clamps to 0" 0 (Queue.capacity q');
+  Alcotest.(check bool) "negative sheds too" true (Queue.push q' 1 = `Shed)
+
+(* --- Retry --- *)
+
+let test_retry_delay_deterministic () =
+  let p = { Retry.default_policy with seed = 11 } in
+  for attempt = 1 to 8 do
+    let d1 = Retry.delay_ms p ~key:"k" ~attempt in
+    let d2 = Retry.delay_ms p ~key:"k" ~attempt in
+    Alcotest.(check (float 0.)) "pure in (policy, key, attempt)" d1 d2;
+    Alcotest.(check bool) "within cap" true (d1 <= p.Retry.max_delay_ms);
+    Alcotest.(check bool) "positive" true (d1 > 0.)
+  done;
+  let near = Retry.delay_ms p ~key:"k" ~attempt:1 in
+  let far = Retry.delay_ms p ~key:"other" ~attempt:1 in
+  (* Different keys draw different jitter (with these constants). *)
+  Alcotest.(check bool) "keyed jitter" true (near <> far)
+
+let test_retry_run_recovers () =
+  let p =
+    { Retry.max_attempts = 5; base_delay_ms = 10.; max_delay_ms = 1000.;
+      multiplier = 2.0; jitter = 0.5; seed = 3 }
+  in
+  let sleeps = ref [] in
+  let sleep_ms d = sleeps := d :: !sleeps in
+  let calls = ref 0 in
+  let r =
+    Retry.run ~policy:p ~sleep_ms ~key:"connect" (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "transient";
+        "up")
+  in
+  Alcotest.(check bool) "succeeds" true (r = Ok "up");
+  Alcotest.(check int) "third attempt" 3 !calls;
+  let expected =
+    [ Retry.delay_ms p ~key:"connect" ~attempt:1;
+      Retry.delay_ms p ~key:"connect" ~attempt:2 ]
+  in
+  Alcotest.(check (list (float 0.))) "slept the schedule" expected
+    (List.rev !sleeps)
+
+let test_retry_run_gives_up () =
+  let p = { Retry.default_policy with max_attempts = 3 } in
+  let calls = ref 0 in
+  let r =
+    Retry.run ~policy:p ~sleep_ms:ignore ~key:"k" (fun () ->
+        incr calls;
+        failwith "down")
+  in
+  (match r with
+  | Error (Failure _) -> ()
+  | _ -> Alcotest.fail "expected the last exception");
+  Alcotest.(check int) "all attempts used" 3 !calls
+
+let test_retry_non_retryable () =
+  let calls = ref 0 in
+  let r =
+    Retry.run ~sleep_ms:ignore
+      ~retryable:(function Failure _ -> false | _ -> true)
+      ~key:"k"
+      (fun () ->
+        incr calls;
+        failwith "fatal")
+  in
+  Alcotest.(check bool) "aborted" true (Result.is_error r);
+  Alcotest.(check int) "single attempt" 1 !calls
+
+(* --- Breaker --- *)
+
+let test_breaker_transitions () =
+  let clock = ref 0. in
+  let b =
+    Breaker.make ~failures:2 ~cooldown_ms:100. ~now_ms:(fun () -> !clock)
+      ~name:"check" ()
+  in
+  Alcotest.(check bool) "closed admits" true (Breaker.admit b);
+  Breaker.failure b;
+  Alcotest.(check bool) "one failure still closed" true
+    (Breaker.state b = Breaker.Closed);
+  Breaker.failure b;
+  Alcotest.(check bool) "threshold opens" true (Breaker.state b = Breaker.Open);
+  Alcotest.(check bool) "open refuses" false (Breaker.admit b);
+  clock := 99.;
+  Alcotest.(check bool) "cooldown not elapsed" false (Breaker.admit b);
+  clock := 101.;
+  Alcotest.(check bool) "half-open admits one trial" true (Breaker.admit b);
+  Alcotest.(check bool) "trial in flight refuses" false (Breaker.admit b);
+  Breaker.success b;
+  Alcotest.(check bool) "trial success closes" true
+    (Breaker.state b = Breaker.Closed);
+  (* Success reset the consecutive count: two more failures to re-open. *)
+  Breaker.failure b;
+  Breaker.failure b;
+  Alcotest.(check bool) "re-opens" true (Breaker.state b = Breaker.Open);
+  clock := 250.;
+  Alcotest.(check bool) "half-open again" true (Breaker.admit b);
+  Breaker.failure b;
+  Alcotest.(check bool) "trial failure re-opens" true
+    (Breaker.state b = Breaker.Open);
+  clock := 400.;
+  Alcotest.(check bool) "trial granted" true (Breaker.admit b);
+  Breaker.cancel b;
+  Alcotest.(check bool) "cancelled trial grantable again" true
+    (Breaker.admit b);
+  Breaker.success b;
+  Alcotest.(check bool) "closed at the end" true
+    (Breaker.state b = Breaker.Closed)
+
+let test_breaker_disabled () =
+  let b = Breaker.make ~failures:0 ~name:"any" () in
+  for _ = 1 to 100 do
+    Breaker.failure b
+  done;
+  Alcotest.(check bool) "never opens" true (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "always admits" true (Breaker.admit b)
+
+(* --- Protocol --- *)
+
+let test_protocol_roundtrip () =
+  let req =
+    Protocol.request ~id:"r7" ~source:{|case "t" {}|} ~filename:"t.arg"
+      ~goal:"safe" ~ruleset:"denney-pai" ~lints:true ~deadline_ms:250.
+      ~fuel:9000 Protocol.Prove
+  in
+  let line = Json.to_string (Protocol.request_to_json req) in
+  (match Protocol.request_of_line line with
+  | Ok req' -> Alcotest.(check bool) "request round-trips" true (req = req')
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  let minimal = Protocol.request Protocol.Health in
+  (match
+     Protocol.request_of_line
+       (Json.to_string (Protocol.request_to_json minimal))
+   with
+  | Ok m ->
+      Alcotest.(check string) "default filename" "<request>"
+        m.Protocol.filename;
+      Alcotest.(check string) "default ruleset" "standard" m.Protocol.ruleset
+  | Error e -> Alcotest.failf "minimal decode failed: %s" e);
+  let ok = Protocol.ok ~id:"r7" ~exit_code:1 [ ("n", Json.int 3) ] in
+  (match Protocol.response_of_line (Protocol.response_to_line ok) with
+  | Ok r ->
+      Alcotest.(check bool) "ok response round-trips" true (r = ok);
+      Alcotest.(check int) "exit from payload" 1
+        (Protocol.exit_code_of_response r)
+  | Error e -> Alcotest.failf "response decode failed: %s" e);
+  let err = Protocol.error ~id:"r8" ~code:"svc/overloaded" "queue full" in
+  (match Protocol.response_of_line (Protocol.response_to_line err) with
+  | Ok r ->
+      Alcotest.(check bool) "error response round-trips" true (r = err);
+      Alcotest.(check int) "errors exit 2" 2 (Protocol.exit_code_of_response r)
+  | Error e -> Alcotest.failf "error decode failed: %s" e)
+
+let test_protocol_rejects () =
+  let bad s =
+    match Protocol.request_of_line s with
+    | Ok _ -> Alcotest.failf "accepted %s" s
+    | Error _ -> ()
+  in
+  bad "not json";
+  bad {|["op", "check"]|};
+  bad {|{"id": "r1"}|};
+  bad {|{"op": "frobnicate"}|};
+  bad {|{"op": "check", "deadline_ms": "soon"}|}
+
+(* --- Supervisor --- *)
+
+(* Replies arrive on worker domains; collect them under a lock. *)
+let make_sink () =
+  let mu = Mutex.create () in
+  let acc = ref [] in
+  let reply r = Mutex.protect mu (fun () -> acc := r :: !acc) in
+  let all () = Mutex.protect mu (fun () -> List.rev !acc) in
+  (reply, all)
+
+let echo_handler (req : Protocol.request) ~budget:_ =
+  Protocol.ok ~id:req.Protocol.id ~exit_code:0 []
+
+let req_check id = Protocol.request ~id ~source:"" Protocol.Check
+
+let is_internal_error (r : Protocol.response) =
+  match r.Protocol.outcome with
+  | Error ("rt/internal-error", _) -> true
+  | _ -> false
+
+let config ~jobs ?(queue_capacity = 64) ?(breaker_failures = 5)
+    ?(breaker_cooldown_ms = 1000.) ?budget () =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        { Supervisor.default_deadline_ms = None; max_deadline_ms = None;
+          max_fuel = None }
+  in
+  { Supervisor.default_config with
+    Supervisor.jobs; queue_capacity; breaker_failures; breaker_cooldown_ms;
+    budget }
+
+let test_supervisor_echo () =
+  List.iter
+    (fun jobs ->
+      let sup =
+        Supervisor.create ~config:(config ~jobs ()) ~handler:echo_handler ()
+      in
+      let reply, all = make_sink () in
+      for i = 1 to 20 do
+        Supervisor.submit sup (req_check (Printf.sprintf "r%d" i)) ~reply
+      done;
+      Supervisor.await_idle sup;
+      let rs = all () in
+      Alcotest.(check int)
+        (Printf.sprintf "all replied at jobs=%d" jobs)
+        20 (List.length rs);
+      List.iter
+        (fun r ->
+          Alcotest.(check int) "ok" 0 (Protocol.exit_code_of_response r))
+        rs;
+      Alcotest.(check int) "no restarts" 0 (Supervisor.restarts sup);
+      Alcotest.(check bool) "clean drain" true
+        (Supervisor.drain sup ~deadline_ms:60_000.))
+    [ 1; 2; 8 ]
+
+(* The acceptance scenario: a fault injected at the [svc.request] probe,
+   keyed by request id, kills the worker handling the victim.  The
+   victim gets a typed error, every other queued request completes, the
+   restart counter records exactly one restart — at any parallelism. *)
+let test_supervisor_crash_victim () =
+  List.iter
+    (fun jobs ->
+      Fault.with_spec
+        { Fault.probe = "svc.request"; key = Some "boom"; rate = 1.; seed = 42 }
+        (fun () ->
+          let sup =
+            Supervisor.create ~config:(config ~jobs ()) ~handler:echo_handler ()
+          in
+          let reply, all = make_sink () in
+          for i = 1 to 5 do
+            Supervisor.submit sup (req_check (Printf.sprintf "r%d" i)) ~reply
+          done;
+          Supervisor.submit sup (req_check "boom") ~reply;
+          for i = 6 to 10 do
+            Supervisor.submit sup (req_check (Printf.sprintf "r%d" i)) ~reply
+          done;
+          Supervisor.await_idle sup;
+          let rs = all () in
+          Alcotest.(check int)
+            (Printf.sprintf "all replied at jobs=%d" jobs)
+            11 (List.length rs);
+          let victims, survivors =
+            List.partition is_internal_error rs
+          in
+          Alcotest.(check int) "one victim" 1 (List.length victims);
+          Alcotest.(check string) "the keyed request" "boom"
+            (List.hd victims).Protocol.rid;
+          List.iter
+            (fun r ->
+              Alcotest.(check int) "survivor ok" 0
+                (Protocol.exit_code_of_response r))
+            survivors;
+          Alcotest.(check int) "exactly one restart" 1
+            (Supervisor.restarts sup);
+          Alcotest.(check bool) "drains after the crash" true
+            (Supervisor.drain sup ~deadline_ms:60_000.)))
+    [ 1; 2; 8 ]
+
+(* Rate-based injection draws purely from (seed, probe, request id): the
+   set of victims — and so the restart count — is identical whatever the
+   parallelism.  Breakers are disabled so a run of consecutive victims
+   cannot turn into refusals. *)
+let test_supervisor_fault_schedule_deterministic () =
+  let ids = List.init 20 (fun i -> Printf.sprintf "req-%02d" i) in
+  let run jobs =
+    Fault.with_spec
+      { Fault.probe = "svc.request"; key = None; rate = 0.5; seed = 7 }
+      (fun () ->
+        let sup =
+          Supervisor.create
+            ~config:(config ~jobs ~breaker_failures:0 ())
+            ~handler:echo_handler ()
+        in
+        let reply, all = make_sink () in
+        List.iter (fun id -> Supervisor.submit sup (req_check id) ~reply) ids;
+        Supervisor.await_idle sup;
+        let victims =
+          all () |> List.filter is_internal_error
+          |> List.map (fun r -> r.Protocol.rid)
+          |> List.sort compare
+        in
+        let restarts = Supervisor.restarts sup in
+        ignore (Supervisor.drain sup ~deadline_ms:60_000.);
+        (victims, restarts))
+  in
+  let victims1, restarts1 = run 1 in
+  Alcotest.(check bool) "schedule fires somewhere" true (victims1 <> []);
+  Alcotest.(check bool) "and spares somewhere" true
+    (List.length victims1 < List.length ids);
+  Alcotest.(check int) "restarts = victims" (List.length victims1) restarts1;
+  List.iter
+    (fun jobs ->
+      let victims, restarts = run jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "same victims at jobs=%d" jobs)
+        victims1 victims;
+      Alcotest.(check int)
+        (Printf.sprintf "same restarts at jobs=%d" jobs)
+        restarts1 restarts)
+    [ 2; 8 ]
+
+let test_supervisor_sheds () =
+  let sup =
+    Supervisor.create
+      ~config:(config ~jobs:2 ~queue_capacity:0 ())
+      ~handler:echo_handler ()
+  in
+  let reply, all = make_sink () in
+  for i = 1 to 4 do
+    Supervisor.submit sup (req_check (Printf.sprintf "r%d" i)) ~reply
+  done;
+  (* Shedding replies synchronously: no need to wait. *)
+  let rs = all () in
+  Alcotest.(check int) "all shed" 4 (List.length rs);
+  List.iter
+    (fun (r : Protocol.response) ->
+      match r.Protocol.outcome with
+      | Error ("svc/overloaded", _) -> ()
+      | _ -> Alcotest.fail "expected svc/overloaded")
+    rs;
+  Alcotest.(check bool) "drains" true (Supervisor.drain sup ~deadline_ms:60_000.)
+
+let test_supervisor_breaker () =
+  Fault.with_spec
+    { Fault.probe = "svc.request"; key = Some "bad"; rate = 1.; seed = 1 }
+    (fun () ->
+      let clock = Atomic.make 0. in
+      let cfg =
+        { Supervisor.default_config with
+          Supervisor.jobs = 1; queue_capacity = 16; breaker_failures = 2;
+          breaker_cooldown_ms = 100.;
+          now_ms = (fun () -> Atomic.get clock);
+          (* Sleeping (worker backoff) does not advance the clock here:
+             the cooldown is driven explicitly below. *)
+          sleep_ms = (fun _ -> ()) }
+      in
+      let sup = Supervisor.create ~config:cfg ~handler:echo_handler () in
+      let reply, all = make_sink () in
+      let submit_and_wait id =
+        Supervisor.submit sup (req_check id) ~reply;
+        Supervisor.await_idle sup
+      in
+      submit_and_wait "bad";
+      submit_and_wait "bad";
+      Alcotest.(check bool) "breaker opened for check" true
+        (List.mem_assoc "check" (Supervisor.breaker_states sup)
+        && List.assoc "check" (Supervisor.breaker_states sup) = Breaker.Open);
+      submit_and_wait "fine";
+      (match all () with
+      | [ _; _; r3 ] -> (
+          match r3.Protocol.outcome with
+          | Error ("svc/breaker-open", _) -> ()
+          | _ -> Alcotest.fail "expected svc/breaker-open while open")
+      | rs -> Alcotest.failf "expected 3 replies, got %d" (List.length rs));
+      Atomic.set clock 150.;
+      submit_and_wait "fine2";
+      submit_and_wait "fine3";
+      (match List.rev (all ()) with
+      | r5 :: r4 :: _ ->
+          Alcotest.(check int) "half-open trial succeeded" 0
+            (Protocol.exit_code_of_response r4);
+          Alcotest.(check int) "breaker closed again" 0
+            (Protocol.exit_code_of_response r5)
+      | _ -> Alcotest.fail "missing replies");
+      Alcotest.(check bool) "closed in health" true
+        (List.assoc "check" (Supervisor.breaker_states sup) = Breaker.Closed);
+      ignore (Supervisor.drain sup ~deadline_ms:60_000.))
+
+(* Server-side fuel clamp: the handler sees a budget already clamped to
+   the policy maximum, however much the client asked for. *)
+let test_supervisor_budget_clamp () =
+  let ticks_handler (req : Protocol.request) ~budget =
+    let n = ref 0 in
+    (match budget with
+    | None -> n := -1
+    | Some b ->
+        while Budget.tick b ~engine:"svc-test" && !n < 10_000 do
+          incr n
+        done);
+    Protocol.ok ~id:req.Protocol.id ~exit_code:0 [ ("ticks", Json.int !n) ]
+  in
+  let budget =
+    { Supervisor.default_deadline_ms = None; max_deadline_ms = None;
+      max_fuel = Some 100 }
+  in
+  let sup =
+    Supervisor.create ~config:(config ~jobs:1 ~budget ()) ~handler:ticks_handler
+      ()
+  in
+  let reply, all = make_sink () in
+  let ticks_of (r : Protocol.response) =
+    match r.Protocol.outcome with
+    | Ok (_, payload) -> (
+        match List.assoc_opt "ticks" payload with
+        | Some (Json.Num n) -> int_of_float n
+        | _ -> Alcotest.fail "no ticks in payload")
+    | Error _ -> Alcotest.fail "unexpected error"
+  in
+  Supervisor.submit sup
+    (Protocol.request ~id:"greedy" ~fuel:1_000_000 Protocol.Check)
+    ~reply;
+  Supervisor.await_idle sup;
+  Supervisor.submit sup
+    (Protocol.request ~id:"modest" ~fuel:50 Protocol.Check)
+    ~reply;
+  Supervisor.await_idle sup;
+  Supervisor.submit sup (Protocol.request ~id:"none" Protocol.Check) ~reply;
+  Supervisor.await_idle sup;
+  (match all () with
+  | [ greedy; modest; none ] ->
+      Alcotest.(check int) "client fuel clamped by server max" 100
+        (ticks_of greedy);
+      Alcotest.(check int) "smaller client fuel honoured" 50 (ticks_of modest);
+      Alcotest.(check int) "no fuel, no budget" (-1) (ticks_of none)
+  | rs -> Alcotest.failf "expected 3 replies, got %d" (List.length rs));
+  ignore (Supervisor.drain sup ~deadline_ms:60_000.)
+
+let test_supervisor_drain () =
+  let sup =
+    Supervisor.create ~config:(config ~jobs:2 ()) ~handler:echo_handler ()
+  in
+  let reply, all = make_sink () in
+  for i = 1 to 8 do
+    Supervisor.submit sup (req_check (Printf.sprintf "r%d" i)) ~reply
+  done;
+  Alcotest.(check bool) "drain completes" true
+    (Supervisor.drain sup ~deadline_ms:60_000.);
+  Alcotest.(check int) "queued work finished before exit" 8
+    (List.length (all ()));
+  Alcotest.(check bool) "no longer accepting" false (Supervisor.accepting sup);
+  Supervisor.submit sup (req_check "late") ~reply;
+  (match List.rev (all ()) with
+  | last :: _ -> (
+      match last.Protocol.outcome with
+      | Error ("svc/draining", _) -> ()
+      | _ -> Alcotest.fail "expected svc/draining after drain")
+  | [] -> Alcotest.fail "no replies");
+  Alcotest.(check bool) "drain idempotent" true
+    (Supervisor.drain sup ~deadline_ms:60_000.)
+
+let () =
+  Alcotest.run "argus-svc"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "bounded fifo" `Quick test_queue_basic;
+          Alcotest.test_case "zero capacity" `Quick test_queue_zero_capacity;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "deterministic delays" `Quick
+            test_retry_delay_deterministic;
+          Alcotest.test_case "recovers" `Quick test_retry_run_recovers;
+          Alcotest.test_case "gives up" `Quick test_retry_run_gives_up;
+          Alcotest.test_case "non-retryable" `Quick test_retry_non_retryable;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "transitions" `Quick test_breaker_transitions;
+          Alcotest.test_case "disabled" `Quick test_breaker_disabled;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "rejects bad requests" `Quick
+            test_protocol_rejects;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "echo at jobs 1/2/8" `Quick test_supervisor_echo;
+          Alcotest.test_case "crash victim gets typed error" `Quick
+            test_supervisor_crash_victim;
+          Alcotest.test_case "fault schedule deterministic" `Quick
+            test_supervisor_fault_schedule_deterministic;
+          Alcotest.test_case "load shedding" `Quick test_supervisor_sheds;
+          Alcotest.test_case "breaker open/half-open/close" `Quick
+            test_supervisor_breaker;
+          Alcotest.test_case "budget clamping" `Quick
+            test_supervisor_budget_clamp;
+          Alcotest.test_case "graceful drain" `Quick test_supervisor_drain;
+        ] );
+    ]
