@@ -92,7 +92,25 @@ let request_of_json json =
       let* ruleset = str_field "ruleset" json in
       let* lints = bool_field "lints" json in
       let* deadline_ms = num_field "deadline_ms" json in
+      let* deadline_ms =
+        match deadline_ms with
+        | Some d when not (Float.is_finite d && d >= 0.) ->
+            Error "field \"deadline_ms\" must be a finite non-negative number"
+        | d -> Ok d
+      in
       let* fuel = num_field "fuel" json in
+      (* [int_of_float] is unspecified for NaN and out-of-range floats,
+         so validate before converting: client-supplied garbage becomes
+         svc/bad-request, never a bogus budget. *)
+      let* fuel =
+        match fuel with
+        | None -> Ok None
+        | Some f when Float.is_integer f && f >= 0. && f <= 1e15 ->
+            Ok (Some (int_of_float f))
+        | Some _ ->
+            Error
+              "field \"fuel\" must be a non-negative integer (at most 1e15)"
+      in
       Ok
         {
           id = Option.value id ~default:"";
@@ -103,7 +121,7 @@ let request_of_json json =
           ruleset = Option.value ruleset ~default:"standard";
           lints = Option.value lints ~default:false;
           deadline_ms;
-          fuel = Option.map int_of_float fuel;
+          fuel;
         }
   | _ -> Error "request must be a JSON object"
 

@@ -50,7 +50,9 @@ val request : ?id:string -> ?source:string -> ?filename:string ->
 val request_to_json : request -> Argus_core.Json.t
 
 val request_of_json : Argus_core.Json.t -> (request, string) result
-(** Rejects unknown [op], non-object payloads and ill-typed fields.  A
+(** Rejects unknown [op], non-object payloads and ill-typed fields —
+    including a [fuel] that is not a non-negative integral number in
+    range, or a [deadline_ms] that is negative or not finite.  A
     missing [id] becomes [""] (the server assigns one). *)
 
 val request_of_line : string -> (request, string) result

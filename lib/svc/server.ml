@@ -12,6 +12,8 @@ type config = {
   breaker_failures : int;
   breaker_cooldown_ms : float;
   max_line_bytes : int;
+  max_conns : int;
+  write_timeout_ms : float;
 }
 
 let default_config ~socket_path =
@@ -26,31 +28,55 @@ let default_config ~socket_path =
     breaker_failures = 5;
     breaker_cooldown_ms = 1000.;
     max_line_bytes = 8 * 1024 * 1024;
+    max_conns = 512;
+    write_timeout_ms = 5000.;
   }
 
 type conn = {
   fd : Unix.file_descr;
   rbuf : Buffer.t;
   wmu : Mutex.t;
-  mutable alive : bool;
+      (** Serialises every write to [fd], every mutation of [alive] and
+          [inflight], and — crucially — the final [Unix.close]: a worker
+          domain mid-reply can never race the acceptor closing (and the
+          kernel recycling) the descriptor. *)
+  mutable alive : bool;  (** Write side usable; guarded by [wmu]. *)
+  mutable eof : bool;
+      (** Client half-closed its write side (read returned 0).  Set and
+          read by the acceptor only. *)
+  mutable inflight : int;
+      (** Requests admitted on this connection and not yet replied to;
+          guarded by [wmu].  Incremented by the acceptor, decremented by
+          whichever thread delivers the reply. *)
 }
 
 (* Workers and the acceptor both write responses; each goes through the
    connection's write lock.  A dead peer (EPIPE — SIGPIPE is ignored)
-   just marks the connection for reaping. *)
-let write_line conn s =
+   just marks the connection for reaping; so does a peer that stops
+   reading, once SO_SNDTIMEO expires a write with EAGAIN — the reply is
+   forfeit, but the worker is back in the pool in bounded time. *)
+let write_locked conn s =
+  if conn.alive then
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write conn.fd b off (n - off) with
+        | written -> go (off + written)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
+    in
+    go 0
+
+let write_line conn s = Mutex.protect conn.wmu (fun () -> write_locked conn s)
+
+(* Deliver a worker's reply: flush and retire the in-flight slot in one
+   critical section, so the reap below can never observe "no requests
+   pending" while the response bytes are still unwritten. *)
+let write_reply conn s =
   Mutex.protect conn.wmu (fun () ->
-      if conn.alive then
-        let b = Bytes.of_string s in
-        let n = Bytes.length b in
-        let rec go off =
-          if off < n then
-            match Unix.write conn.fd b off (n - off) with
-            | written -> go (off + written)
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-            | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
-        in
-        go 0)
+      write_locked conn s;
+      conn.inflight <- conn.inflight - 1)
 
 type t = {
   cfg : config;
@@ -105,9 +131,11 @@ let handle_line t conn line =
         write_line conn
           (Protocol.response_to_line
              (Protocol.ok ~id:req.Protocol.id ~exit_code:0 (health_json t)))
-      else
+      else begin
+        Mutex.protect conn.wmu (fun () -> conn.inflight <- conn.inflight + 1);
         Supervisor.submit t.sup req ~reply:(fun resp ->
-            write_line conn (Protocol.response_to_line resp))
+            write_reply conn (Protocol.response_to_line resp))
+      end
 
 (* Split off every complete line in the connection's read buffer. *)
 let drain_lines t conn =
@@ -126,39 +154,78 @@ let drain_lines t conn =
    with Exit -> ());
   Buffer.clear conn.rbuf;
   Buffer.add_substring conn.rbuf data !start (n - !start);
-  if Buffer.length conn.rbuf > t.cfg.max_line_bytes then begin
-    write_line conn
-      (Protocol.response_to_line
-         (Protocol.error ~id:"" ~code:"svc/bad-request"
-            (Printf.sprintf "request line exceeds %d bytes"
-               t.cfg.max_line_bytes)));
-    conn.alive <- false
-  end
+  if Buffer.length conn.rbuf > t.cfg.max_line_bytes then
+    Mutex.protect conn.wmu (fun () ->
+        write_locked conn
+          (Protocol.response_to_line
+             (Protocol.error ~id:"" ~code:"svc/bad-request"
+                (Printf.sprintf "request line exceeds %d bytes"
+                   t.cfg.max_line_bytes)));
+        conn.alive <- false)
 
 let read_chunk_size = 65536
 
 let service_conn t conn =
   let buf = Bytes.create read_chunk_size in
   match Unix.read conn.fd buf 0 read_chunk_size with
-  | 0 -> conn.alive <- false
+  | 0 ->
+      (* Half-close, not hang-up: a client may shutdown(SHUT_WR) after
+         its last request and still be reading.  Stop polling the fd
+         but keep it open until every in-flight reply is delivered;
+         [reap] does the close. *)
+      conn.eof <- true
   | n ->
       Buffer.add_subbytes conn.rbuf buf 0 n;
       drain_lines t conn
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  | exception Unix.Unix_error (_, _, _) -> conn.alive <- false
+  | exception Unix.Unix_error (_, _, _) ->
+      Mutex.protect conn.wmu (fun () -> conn.alive <- false)
 
 let accept_conn t =
   match Unix.accept ~cloexec:true t.listen_fd with
   | fd, _ ->
+      (* Bound every reply write: a client that stops reading gets its
+         connection forfeited after the send timeout instead of wedging
+         a worker domain on a full socket buffer.  (<= 0 disables.) *)
+      if t.cfg.write_timeout_ms > 0. then
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO
+               (t.cfg.write_timeout_ms /. 1000.)
+         with Unix.Unix_error _ -> ());
       t.conns <-
-        { fd; rbuf = Buffer.create 256; wmu = Mutex.create (); alive = true }
+        {
+          fd;
+          rbuf = Buffer.create 256;
+          wmu = Mutex.create ();
+          alive = true;
+          eof = false;
+          inflight = 0;
+        }
         :: t.conns
   | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
 
+(* A connection is finished when its write side is forfeit ([alive]
+   false) or the client half-closed and every admitted request has been
+   answered.  Both conditions are stable once observed from the
+   acceptor: [eof] only it sets, and [inflight] can only grow through
+   [handle_line], which it also runs.  The close happens under [wmu] so
+   it cannot race a worker mid-write (the kernel could recycle the fd
+   number for a fresh accept, cross-wiring responses); [try_lock] keeps
+   a slow flush — bounded by SO_SNDTIMEO — from stalling the accept
+   loop: an unlucky connection is simply reaped on a later tick. *)
 let reap t =
-  let dead, live = List.partition (fun c -> not c.alive) t.conns in
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) dead;
-  t.conns <- live
+  t.conns <-
+    List.filter
+      (fun c ->
+        let finished = (not c.alive) || (c.eof && c.inflight = 0) in
+        if not finished then true
+        else if Mutex.try_lock c.wmu then begin
+          c.alive <- false;
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          Mutex.unlock c.wmu;
+          false
+        end
+        else true)
+      t.conns
 
 let bind_listen cfg =
   (* A stale socket file from a crashed predecessor would make bind
@@ -176,7 +243,21 @@ let serve_loop t =
   let code =
     try
       while not (Atomic.get t.stop) do
-        let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+        (* Only live, still-sending connections are polled (a half-
+           closed fd would report readable-at-EOF forever).  Past
+           [max_conns] the listener drops out of the set too: further
+           clients wait in the listen backlog instead of pushing an fd
+           past FD_SETSIZE, where [select] would raise and take the
+           whole service down. *)
+        let fds =
+          List.filter_map
+            (fun c -> if c.alive && not c.eof then Some c.fd else None)
+            t.conns
+        in
+        let fds =
+          if List.length t.conns < t.cfg.max_conns then t.listen_fd :: fds
+          else fds
+        in
         match Unix.select fds [] [] 0.1 with
         | readable, _, _ ->
             List.iter
@@ -196,8 +277,17 @@ let serve_loop t =
       (try Unix.unlink t.cfg.socket_path
        with Unix.Unix_error _ -> ());
       let drained = Supervisor.drain t.sup ~deadline_ms:t.cfg.drain_ms in
-      List.iter (fun c -> c.alive <- false) t.conns;
-      reap t;
+      (* Every reply is out (or abandoned with its worker past the
+         deadline); close what is left under each connection's write
+         lock so a straggling writer finds [alive] false rather than a
+         recycled descriptor. *)
+      List.iter
+        (fun c ->
+          Mutex.protect c.wmu (fun () ->
+              c.alive <- false;
+              try Unix.close c.fd with Unix.Unix_error _ -> ()))
+        t.conns;
+      t.conns <- [];
       if drained then 0 else 1
     with e ->
       Printf.eprintf "argus serve: internal error: %s\n%!"

@@ -5,7 +5,13 @@
     The acceptor runs single-threaded over [select]: it owns admission
     (shedding, breaker refusals and [health] are answered without
     touching a worker), workers write their responses back through the
-    originating connection's write lock, in completion order.
+    originating connection's write lock, in completion order.  That
+    lock also guards the connection's lifecycle: a descriptor is only
+    closed under it, so a worker mid-reply can never write into a
+    recycled fd.  A client that half-closes its write side
+    ([shutdown(SHUT_WR)]) after sending still receives every pending
+    response — the connection is reaped only once nothing remains in
+    flight on it.
 
     Graceful drain: SIGTERM or SIGINT (or {!stop}) makes the server
     stop accepting — the listening socket is closed and unlinked — then
@@ -29,12 +35,22 @@ type config = {
       (** A connection sending a longer request line is answered
           [svc/bad-request] and closed — bounded buffering, like the
           queue. *)
+  max_conns : int;
+      (** Simultaneous-connection cap: at the cap the listener leaves
+          the [select] set, so further clients wait in the listen
+          backlog instead of pushing a descriptor past [FD_SETSIZE]
+          (where [select] raises and would take the service down). *)
+  write_timeout_ms : float;
+      (** [SO_SNDTIMEO] on accepted sockets: a client that stops
+          reading forfeits its connection once a reply write blocks
+          this long, instead of wedging a worker domain forever on a
+          full socket buffer.  [<= 0.] disables the bound. *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs {!Argus_par.Pool.default_jobs}, capacity 64, no deadline
     defaults, 5 s drain, breaker 5 failures / 1 s cooldown, 8 MiB
-    lines. *)
+    lines, 512 connections, 5 s write timeout. *)
 
 val run :
   ?handler:

@@ -193,7 +193,14 @@ let test_protocol_rejects () =
   bad {|["op", "check"]|};
   bad {|{"id": "r1"}|};
   bad {|{"op": "frobnicate"}|};
-  bad {|{"op": "check", "deadline_ms": "soon"}|}
+  bad {|{"op": "check", "deadline_ms": "soon"}|};
+  bad {|{"op": "check", "deadline_ms": -5}|};
+  (* fuel must be a non-negative integral number in range:
+     int_of_float on anything else would mint a bogus budget. *)
+  bad {|{"op": "check", "fuel": "lots"}|};
+  bad {|{"op": "check", "fuel": -3}|};
+  bad {|{"op": "check", "fuel": 1.5}|};
+  bad {|{"op": "check", "fuel": 1e300}|}
 
 (* --- Supervisor --- *)
 
@@ -477,6 +484,64 @@ let test_supervisor_drain () =
   Alcotest.(check bool) "drain idempotent" true
     (Supervisor.drain sup ~deadline_ms:60_000.)
 
+(* --- Server --- *)
+
+module Server = Argus_svc.Server
+
+(* Regression for the half-close path: a client that shuts down its
+   write side after sending (shutdown(SHUT_WR)) must still receive a
+   response for every request it got in.  The server treats EOF as
+   no-more-requests — the fd stays open until nothing is in flight on
+   that connection, then the acceptor closes it (which is what ends the
+   read loop below). *)
+let test_server_half_close () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "argus-svc-hc-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg =
+    { (Server.default_config ~socket_path:path) with Server.jobs = 1 }
+  in
+  let h = Server.spawn ~handler:echo_handler cfg in
+  Fun.protect ~finally:(fun () -> ignore (Server.stop h)) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let send r =
+    let s = Json.to_string (Protocol.request_to_json r) ^ "\n" in
+    ignore (Unix.write_substring fd s 0 (String.length s))
+  in
+  send (req_check "hc1");
+  send (req_check "hc2");
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        read_all ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "timed out waiting for replies after half-close"
+  in
+  read_all ();
+  let ids =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match Protocol.response_of_line l with
+           | Ok r -> r.Protocol.rid
+           | Error e -> Alcotest.failf "bad response line %S: %s" l e)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "both replies delivered, then EOF"
+    [ "hc1"; "hc2" ] ids
+
 let () =
   Alcotest.run "argus-svc"
     [
@@ -517,5 +582,10 @@ let () =
           Alcotest.test_case "budget clamping" `Quick
             test_supervisor_budget_clamp;
           Alcotest.test_case "graceful drain" `Quick test_supervisor_drain;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "half-close still gets replies" `Quick
+            test_server_half_close;
         ] );
     ]
