@@ -1,6 +1,7 @@
 (* Regression gate over two bench runs.
 
    Usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]
+          compare.exe --summary RESULTS.json
 
    Reads the "timings_ns_per_run" table of each argus-bench/1 results
    file, prints a per-kernel delta table, and exits non-zero when any
@@ -14,7 +15,13 @@
    cross-domain scheduling latency, not CPU work — far too
    wall-clock-bound for the smoke quota to gate on.  Their deltas are
    printed (and the baseline records them for trajectory tracking) but
-   they never fail the gate. *)
+   they never fail the gate.
+
+   The service round-trip latency quantiles recorded by the bench's
+   [bench.svc-*] histograms are printed as a second advisory section,
+   including the traced-vs-untraced overhead of arming request-scoped
+   telemetry; [--summary] prints just that section for one results
+   file (the CI job log echo). *)
 
 module Json = Argus_core.Json
 
@@ -42,18 +49,98 @@ let read_timings path =
             kvs
       | _ -> fail "%s: no timings_ns_per_run object" path)
 
+(* The [bench.svc-*] histograms of a results file: client-observed
+   round-trip milliseconds per service kernel. *)
+let read_service_histograms path =
+  let text =
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> fail "%s" msg
+  in
+  match Json.of_string text with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok json -> (
+      match
+        Option.bind
+          (Json.member "metrics" json)
+          (Json.member "histograms")
+      with
+      | Some (Json.Obj kvs) ->
+          List.filter
+            (fun (name, _) -> String.starts_with ~prefix:"bench.svc-" name)
+            kvs
+      | _ -> [])
+
+let hfield stats k =
+  match Json.member k stats with Some (Json.Num n) -> Some n | _ -> None
+
+let print_service_quantiles path =
+  match read_service_histograms path with
+  | [] -> ()
+  | hs ->
+      Format.printf "@.service round-trip latency (ms, client-observed):@.";
+      Format.printf "%-34s %8s %9s %9s %9s %9s@." "kernel" "count" "p50"
+        "p90" "p99" "max";
+      List.iter
+        (fun (name, stats) ->
+          let f k = Option.value (hfield stats k) ~default:0. in
+          Format.printf "%-34s %8.0f %9.3f %9.3f %9.3f %9.3f@." name
+            (f "count") (f "p50") (f "p90") (f "p99") (f "max"))
+        hs;
+      (match
+         ( List.assoc_opt "bench.svc-roundtrip" hs,
+           List.assoc_opt "bench.svc-roundtrip-traced" hs )
+       with
+      | Some plain, Some traced -> (
+          match (hfield plain "mean", hfield traced "mean") with
+          | Some p, Some t when p > 0. ->
+              let pct = (t -. p) /. p *. 100. in
+              Format.printf
+                "opt-in wire tracing cost: %+.1f%% mean round-trip (full \
+                 span capture + tree on the wire)@."
+                pct
+          | _ -> ())
+      | _ -> ())
+
+(* The ISSUE acceptance target for always-on telemetry: the plain
+   [svc-roundtrip] kernel — which runs with histograms, flight
+   recorder and trace_id minting armed — must not be more than 10%
+   slower than the committed baseline.  Advisory like all svc-*
+   numbers. *)
+let print_armed_overhead baseline current =
+  let find timings =
+    List.find_opt
+      (fun (name, _) -> String.ends_with ~suffix:"svc-roundtrip" name)
+      timings
+  in
+  match (find baseline, find current) with
+  | Some (_, base), Some (_, cur) when base > 0. ->
+      Format.printf
+        "armed telemetry on svc-roundtrip: %+.1f%% vs baseline (advisory \
+         target < 10%%)@."
+        ((cur -. base) /. base *. 100.)
+  | _ -> ()
+
 let () =
-  let rec parse paths threshold = function
-    | [] -> (List.rev paths, threshold)
+  let rec parse paths threshold summary = function
+    | [] -> (List.rev paths, threshold, summary)
     | "--threshold" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some t -> parse paths t rest
+        | Some t -> parse paths t summary rest
         | None -> fail "--threshold expects a number, got %S" v)
-    | a :: rest -> parse (a :: paths) threshold rest
+    | "--summary" :: rest -> parse paths threshold true rest
+    | a :: rest -> parse (a :: paths) threshold summary rest
   in
-  let paths, threshold =
-    parse [] 25.0 (List.tl (Array.to_list Sys.argv))
+  let paths, threshold, summary =
+    parse [] 25.0 false (List.tl (Array.to_list Sys.argv))
   in
+  if summary then begin
+    match paths with
+    | [ path ] ->
+        print_service_quantiles path;
+        exit 0
+    | _ -> fail "usage: compare.exe --summary RESULTS.json"
+  end;
   match paths with
   | [ baseline_path; current_path ] ->
       let baseline = read_timings baseline_path
@@ -92,6 +179,8 @@ let () =
           if not (List.mem_assoc name current) then
             Format.printf "%-34s %14.0f %14s %9s@." name base "-" "gone")
         baseline;
+      print_service_quantiles current_path;
+      print_armed_overhead baseline current;
       (match List.rev !regressions with
       | [] ->
           Format.printf "@.no kernel regressed more than %g%%@." threshold

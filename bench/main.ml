@@ -342,6 +342,11 @@ let par_kernel ~name ~jobs f =
    measurement so its worker domain does not tax the others. *)
 let svc_kernel ~name ~queue_capacity req_line =
   let open Bechamel in
+  (* Client-side round-trip latency, observed per run into the
+     registry: Bechamel's OLS slope gives the mean, the histogram
+     carries the p50/p99 that end up in results.json and the README's
+     service numbers. *)
+  let h_rtt = Argus_obs.Metrics.Histogram.make ("bench." ^ name) in
   Test.make_with_resource ~name Test.uniq
     ~allocate:(fun () ->
       let path =
@@ -365,17 +370,22 @@ let svc_kernel ~name ~queue_capacity req_line =
       ignore (Argus_svc.Server.stop h);
       try Unix.unlink path with Unix.Unix_error _ -> ())
     (Staged.stage (fun (_, _, _, ic, oc) ->
+         let t0 = Unix.gettimeofday () in
          output_string oc req_line;
          flush oc;
-         ignore (input_line ic)))
+         ignore (input_line ic);
+         Argus_obs.Metrics.Histogram.observe h_rtt
+           ((Unix.gettimeofday () -. t0) *. 1000.)))
 
-let svc_check_request_line =
+let svc_request_line ?(trace = false) () =
   let req =
     Argus_svc.Protocol.request ~id:"bench"
       ~source:{|case "b" { goal G1 "b holds" { undeveloped } }|}
-      ~filename:"bench.arg" Argus_svc.Protocol.Check
+      ~filename:"bench.arg" ~trace Argus_svc.Protocol.Check
   in
   Argus_core.Json.to_string (Argus_svc.Protocol.request_to_json req) ^ "\n"
+
+let svc_check_request_line = svc_request_line ()
 
 (* A combined refutation query in the Argus_kaos style — a conjunction
    of small goal formulas over shared atoms — sized past the labeller's
@@ -594,6 +604,12 @@ let bench_subjects =
       svc_check_request_line;
     svc_kernel ~name:"svc-shed-overload" ~queue_capacity:0
       svc_check_request_line;
+    (* The same round-trip with request-scoped tracing armed: the
+       telemetry acceptance gate — capture plus span serialisation must
+       stay a small fraction of the untraced round-trip (compare.exe
+       prints the ratio in its advisory section). *)
+    svc_kernel ~name:"svc-roundtrip-traced" ~queue_capacity:64
+      (svc_request_line ~trace:true ());
   ]
 
 let run_benchmarks ~quota () =

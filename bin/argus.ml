@@ -718,7 +718,7 @@ let socket_arg =
 
 let serve_cmd =
   let run () socket jobs queue_cap deadline max_deadline max_fuel drain_ms
-      breaker_failures breaker_cooldown =
+      breaker_failures breaker_cooldown slow_ms =
     spanned "argus.serve" @@ fun () ->
     let jobs =
       match jobs with Some n -> n | None -> Argus_par.Pool.default_jobs ()
@@ -738,6 +738,7 @@ let serve_cmd =
         drain_ms;
         breaker_failures;
         breaker_cooldown_ms = breaker_cooldown;
+        slow_ms;
       }
     in
     Server.run cfg
@@ -813,6 +814,15 @@ let serve_cmd =
             "Milliseconds an open breaker waits before letting a \
              half-open trial request through.")
   in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some (positive_float_conv "--slow-ms")) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Record requests slower than $(docv) milliseconds (admission \
+             to reply) in the flight recorder.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -820,10 +830,63 @@ let serve_cmd =
     Term.(
       const run $ obs_t $ socket_arg $ jobs $ queue_cap $ deadline
       $ max_deadline $ max_fuel $ drain_ms $ breaker_failures
-      $ breaker_cooldown)
+      $ breaker_cooldown $ slow_ms)
+
+(* The server may still be binding its socket (scripts start it in the
+   background and call straight away): retry the connect with
+   deterministic backoff.  Shared by [call] and [top]. *)
+let connect_retrying socket =
+  let c_retried = Argus_obs.Counter.make "svc.retried" in
+  let connect () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  let retryable = function
+    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      ->
+        true
+    | _ -> false
+  in
+  let policy =
+    {
+      Retry.default_policy with
+      Retry.max_attempts = 12;
+      base_delay_ms = 25.;
+      max_delay_ms = 400.;
+    }
+  in
+  Retry.run ~policy ~retryable
+    ~on_retry:(fun ~attempt:_ _ -> Argus_obs.Counter.incr c_retried)
+    ~key:socket connect
+
+(* One request line, one response line, over a fresh connection. *)
+let roundtrip socket line =
+  match connect_retrying socket with
+  | Error e ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket
+           (Printexc.to_string e))
+  | Ok fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc (line ^ "\n");
+      flush oc;
+      match input_line ic with
+      | exception End_of_file ->
+          close_in_noerr ic;
+          Error "server closed the connection"
+      | resp_line -> (
+          close_in_noerr ic;
+          match Protocol.response_of_line resp_line with
+          | Error e -> Error (Printf.sprintf "bad response: %s" e)
+          | Ok resp -> Ok resp))
 
 let call_cmd =
-  let run () socket id op file goal ruleset lints spec raw =
+  let run () socket id op file goal ruleset lints spec raw trace wire_format =
     spanned "argus.call" @@ fun () ->
     let line =
       match raw with
@@ -841,67 +904,55 @@ let call_cmd =
                 | Wellformed.Denney_pai_2013 -> "denney-pai"
                 | Wellformed.Standard -> "standard")
               ~lints
-              ?deadline_ms:spec.Budget.deadline_ms ?fuel:spec.Budget.fuel op
+              ?deadline_ms:spec.Budget.deadline_ms ?fuel:spec.Budget.fuel
+              ~trace ?format:wire_format op
           in
           Json.to_string (Protocol.request_to_json req)
     in
-    (* The server may still be binding its socket (scripts start it in
-       the background and call straight away): retry the connect with
-       deterministic backoff. *)
-    let c_retried = Argus_obs.Counter.make "svc.retried" in
-    let connect () =
-      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match Unix.connect fd (Unix.ADDR_UNIX socket) with
-      | () -> fd
-      | exception e ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          raise e
-    in
-    let retryable = function
-      | Unix.Unix_error
-          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _) ->
-          true
-      | _ -> false
-    in
-    let policy =
-      {
-        Retry.default_policy with
-        Retry.max_attempts = 12;
-        base_delay_ms = 25.;
-        max_delay_ms = 400.;
-      }
-    in
-    match
-      Retry.run ~policy ~retryable
-        ~on_retry:(fun ~attempt:_ _ -> Argus_obs.Counter.incr c_retried)
-        ~key:socket connect
-    with
-    | Error e ->
-        Format.eprintf "argus call: cannot connect to %s: %s@." socket
-          (Printexc.to_string e);
+    match roundtrip socket line with
+    | Error msg ->
+        Format.eprintf "argus call: %s@." msg;
         2
-    | Ok fd -> (
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        output_string oc (line ^ "\n");
-        flush oc;
-        match input_line ic with
-        | exception End_of_file ->
-            close_in_noerr ic;
-            Format.eprintf "argus call: server closed the connection@.";
-            2
-        | resp_line -> (
-            close_in_noerr ic;
-            match Protocol.response_of_line resp_line with
-            | Error e ->
-                Format.eprintf "argus call: bad response: %s@." e;
-                2
-            | Ok resp ->
-                print_string
-                  (Json.to_string ~indent:true
-                     (Protocol.response_to_json resp));
-                print_newline ();
-                Protocol.exit_code_of_response resp))
+    | Ok resp -> (
+        match resp.Protocol.outcome with
+        | Ok (_, payload)
+          when wire_format = Some "prometheus"
+               && List.mem_assoc "body" payload -> (
+            (* Prometheus exposition: print the text page raw, not
+               wrapped in JSON. *)
+            match List.assoc "body" payload with
+            | Json.Str body ->
+                print_string body;
+                Protocol.exit_code_of_response resp
+            | _ ->
+                Format.eprintf "argus call: malformed stats body@.";
+                2)
+        | _ ->
+            (* A returned span tree renders as an indented table on
+               stderr; the machine-readable response stays on stdout
+               without it (use --raw to see the wire form). *)
+            let resp =
+              match resp.Protocol.outcome with
+              | Ok (code, payload) when List.mem_assoc "trace" payload ->
+                  (match
+                     Argus_obs.Trace.span_of_json (List.assoc "trace" payload)
+                   with
+                  | Some tree ->
+                      Format.eprintf "== server trace (%s) ==@.%a"
+                        (Option.value resp.Protocol.rtrace_id ~default:"?")
+                        Argus_obs.Trace.pp_span_tree [ tree ]
+                  | None -> ());
+                  {
+                    resp with
+                    Protocol.outcome =
+                      Ok (code, List.remove_assoc "trace" payload);
+                  }
+              | _ -> resp
+            in
+            print_string
+              (Json.to_string ~indent:true (Protocol.response_to_json resp));
+            print_newline ();
+            Protocol.exit_code_of_response resp)
   in
   let id =
     Arg.(
@@ -920,12 +971,14 @@ let call_cmd =
         ("fallacies", Protocol.Fallacies);
         ("probe", Protocol.Probe);
         ("health", Protocol.Health);
+        ("stats", Protocol.Stats);
       ]
     in
     Arg.(
       required
       & pos 0 (some (enum ops)) None
-      & info [] ~docv:"OP" ~doc:"check, prove, fallacies, probe or health.")
+      & info [] ~docv:"OP"
+          ~doc:"check, prove, fallacies, probe, health or stats.")
   in
   let file =
     Arg.(
@@ -956,11 +1009,176 @@ let call_cmd =
       & info [ "raw" ] ~docv:"JSON"
           ~doc:"Send $(docv) verbatim as the request line instead.")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Ask the server to capture this request's span tree and \
+             render it on stderr (the tree is recorded on the worker \
+             that ran the request).")
+  in
+  let wire_format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "stats only: $(b,json) (default) or $(b,prometheus) (text \
+             exposition, printed raw).")
+  in
   Cmd.v
     (Cmd.info "call" ~doc:"Send one request to a running argus serve")
     Term.(
-      const run $ obs_t $ socket_arg $ id $ op $ file $ goal $ ruleset
-      $ lints $ budget_spec_t $ raw)
+      const run $ obs_json_only_t $ socket_arg $ id $ op $ file $ goal
+      $ ruleset $ lints $ budget_spec_t $ raw $ trace $ wire_format)
+
+(* --- top ---
+
+   A polling one-screen view over the daemon's queue-bypassing [stats]
+   op: request rate (from the server's own counter deltas and clock, so
+   client skew cannot distort it), queue depth, restarts, per-kind
+   latency quantiles, breaker and worker states. *)
+
+let top_cmd =
+  let run () socket interval_ms once =
+    spanned "argus.top" @@ fun () ->
+    let stats_line =
+      Json.to_string
+        (Protocol.request_to_json (Protocol.request Protocol.Stats))
+    in
+    let prev = ref None in
+    let render payload =
+      let member k = List.assoc_opt k payload in
+      let num k = match member k with Some (Json.Num n) -> Some n | _ -> None in
+      let obj k = match member k with Some (Json.Obj kvs) -> kvs | _ -> [] in
+      let counters = obj "counters" in
+      let counter k =
+        match List.assoc_opt k counters with
+        | Some (Json.Num n) -> n
+        | _ -> 0.
+      in
+      let int_of k d =
+        match num k with Some n -> int_of_float n | None -> d
+      in
+      let now_ms = Option.value (num "now_ms") ~default:0. in
+      let accepted = counter "svc.accepted" in
+      let rate =
+        match !prev with
+        | Some (t0, a0) when now_ms > t0 ->
+            Printf.sprintf "%.1f"
+              ((accepted -. a0) /. ((now_ms -. t0) /. 1000.))
+        | _ -> "-"
+      in
+      prev := Some (now_ms, accepted);
+      let ready =
+        match member "ready" with Some (Json.Bool b) -> b | _ -> false
+      in
+      Format.printf "argus top — %s@." socket;
+      Format.printf
+        "ready %b   queue %d/%d   jobs %d   restarts %d   req/s %s@."
+        ready (int_of "queue_depth" 0)
+        (int_of "queue_capacity" 0)
+        (int_of "jobs" 0) (int_of "restarts" 0) rate;
+      Format.printf
+        "accepted %.0f   shed %.0f   breaker-open %.0f   flight events %d@."
+        accepted (counter "svc.shed")
+        (counter "svc.breaker_open")
+        (int_of "flight_recorded" 0);
+      let latency = obj "latency_ms" in
+      if latency <> [] then begin
+        Format.printf "@.%-12s %8s %9s %9s %9s %9s@." "latency (ms)" "count"
+          "p50" "p90" "p99" "max";
+        let q j k =
+          match j with
+          | Json.Obj kvs -> (
+              match List.assoc_opt k kvs with
+              | Some (Json.Num n) -> n
+              | _ -> 0.)
+          | _ -> 0.
+        in
+        (* The aggregate row leads; kinds follow alphabetically. *)
+        let rows =
+          List.sort
+            (fun (a, _) (b, _) ->
+              match (a, b) with
+              | "all", "all" -> 0
+              | "all", _ -> -1
+              | _, "all" -> 1
+              | _ -> compare a b)
+            latency
+        in
+        List.iter
+          (fun (name, j) ->
+            Format.printf "%-12s %8.0f %9.2f %9.2f %9.2f %9.2f@." name
+              (q j "count") (q j "p50") (q j "p90") (q j "p99") (q j "max"))
+          rows
+      end;
+      let breakers = obj "breakers" in
+      if breakers <> [] then begin
+        Format.printf "@.breakers:";
+        List.iter
+          (fun (op, st) ->
+            match st with
+            | Json.Str s -> Format.printf " %s=%s" op s
+            | _ -> ())
+          breakers;
+        Format.printf "@."
+      end;
+      (match member "workers" with
+      | Some (Json.List ws) ->
+          Format.printf "workers:";
+          List.iter
+            (fun w ->
+              match w with
+              | Json.Obj kvs -> (
+                  match List.assoc_opt "state" kvs with
+                  | Some (Json.Str s) -> Format.printf " %s" s
+                  | _ -> ())
+              | _ -> ())
+            ws;
+          Format.printf "@."
+      | _ -> ());
+      Format.print_flush ()
+    in
+    let rec loop () =
+      match roundtrip socket stats_line with
+      | Error msg ->
+          Format.eprintf "argus top: %s@." msg;
+          2
+      | Ok resp -> (
+          match resp.Protocol.outcome with
+          | Error (code, msg) ->
+              Format.eprintf "argus top: %s: %s@." code msg;
+              2
+          | Ok (_, payload) ->
+              if not once then print_string "\027[2J\027[H";
+              render payload;
+              if once then 0
+              else begin
+                Unix.sleepf (Float.max 0.05 (interval_ms /. 1000.));
+                loop ()
+              end)
+    in
+    loop ()
+  in
+  let interval =
+    Arg.(
+      value
+      & opt (positive_float_conv "--interval") 1000.
+      & info [ "interval" ] ~docv:"MS"
+          ~doc:"Milliseconds between polls (default 1000).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single snapshot and exit (no screen clearing).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live one-screen telemetry view of a running argus serve")
+    Term.(const run $ obs_json_only_t $ socket_arg $ interval $ once)
 
 (* A consumer that stopped reading (argus check ... | head) must end
    the process quietly, not as a SIGPIPE kill or an "internal error":
@@ -1006,6 +1224,7 @@ let () =
              experiments_cmd;
              serve_cmd;
              call_cmd;
+             top_cmd;
            ])
     with
     | e when is_broken_pipe e -> 0
@@ -1014,4 +1233,21 @@ let () =
         2
   in
   (try Obs.finish () with e when is_broken_pipe e -> ());
-  exit code
+  (* [exit] reruns the stdlib's at_exit flush of stdout; if the
+     consumer is gone (| head) that flush re-raises from a buffer that
+     can never drain, and the process would die loudly ("Fatal error")
+     after we already mapped the pipe error to a clean status.  Flush
+     here, and when the pipe is confirmed broken skip the at_exit
+     machinery entirely. *)
+  let flushed =
+    try
+      Format.pp_print_flush Format.std_formatter ();
+      flush stdout;
+      true
+    with e when is_broken_pipe e -> false
+  in
+  if flushed then exit code
+  else begin
+    (try flush stderr with _ -> ());
+    Unix._exit code
+  end

@@ -10,11 +10,33 @@ module Json = Argus_core.Json
    joined (a concurrent read may miss in-flight increments, which is
    fine for monitoring). *)
 
-(* Percentiles come from a bounded reservoir: the first [reservoir_size]
-   observations per shard plus running count/sum/min/max over
-   everything.  Spans observe durations here, so an unbounded store
-   would grow with trace length. *)
-let reservoir_size = 1024
+(* Percentiles come from fixed log-spaced buckets: every histogram
+   shares one bounds table (factor-2 steps from 1e-3 up past 1e12, wide
+   enough for span nanoseconds and service milliseconds alike), so a
+   cell is a constant-size count array whatever the observation volume —
+   spans observe durations here, so an unbounded store would grow with
+   trace length.  Quantiles interpolate within the covering bucket and
+   are clamped to the observed [min, max]; the relative error is bounded
+   by the factor-2 bucket width. *)
+let bucket_base = 1e-3
+let n_bounds = 51
+
+let bounds =
+  Array.init n_bounds (fun i -> bucket_base *. Float.of_int (1 lsl i))
+
+let bucket_bounds () = Array.copy bounds
+
+(* Smallest i with v <= bounds.(i); [n_bounds] is the overflow bucket. *)
+let bucket_index v =
+  if Float.is_nan v || v > bounds.(n_bounds - 1) then n_bounds
+  else begin
+    let lo = ref 0 and hi = ref (n_bounds - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
 
 type counter = { cname : string; cid : int }
 type histogram = { hname : string; hid : int }
@@ -24,8 +46,7 @@ type hcell = {
   mutable obs_sum : float;
   mutable obs_min : float;
   mutable obs_max : float;
-  buf : float array;
-  mutable buf_len : int;
+  buckets : int array; (* length [n_bounds + 1]; last is overflow *)
 }
 
 type shard = {
@@ -113,8 +134,7 @@ let fresh_hcell () =
     obs_sum = 0.;
     obs_min = infinity;
     obs_max = neg_infinity;
-    buf = Array.make reservoir_size 0.;
-    buf_len = 0;
+    buckets = Array.make (n_bounds + 1) 0;
   }
 
 module Histogram = struct
@@ -145,10 +165,8 @@ module Histogram = struct
     c.obs_sum <- c.obs_sum +. v;
     if v < c.obs_min then c.obs_min <- v;
     if v > c.obs_max then c.obs_max <- v;
-    if c.buf_len < reservoir_size then begin
-      c.buf.(c.buf_len) <- v;
-      c.buf_len <- c.buf_len + 1
-    end
+    let b = bucket_index v in
+    c.buckets.(b) <- c.buckets.(b) + 1
 
   (* Callers hold the registry mutex. *)
   let cells_unlocked hid =
@@ -210,42 +228,62 @@ type histogram_stats = {
   hmean : float;
   hp50 : float;
   hp90 : float;
+  hp99 : float;
+  hbuckets : int array;
 }
 
-let quantile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else
-    let i = int_of_float (q *. float_of_int (n - 1)) in
-    sorted.(i)
+(* Estimate the [q]-quantile from merged bucket counts: find the bucket
+   holding the target rank, interpolate linearly within it, clamp to the
+   exact observed range (a single spike never reads past the true
+   max). *)
+let quantile_of_buckets ~count ~mn ~mx buckets q =
+  if count = 0 then 0.
+  else begin
+    let rank =
+      max 1 (min count (int_of_float (Float.ceil (q *. float_of_int count))))
+    in
+    let i = ref 0 and cum = ref 0 in
+    while !cum + buckets.(!i) < rank && !i < n_bounds do
+      cum := !cum + buckets.(!i);
+      Stdlib.incr i
+    done;
+    let lower = if !i = 0 then 0. else bounds.(!i - 1) in
+    let upper = if !i >= n_bounds then mx else bounds.(!i) in
+    let in_bucket = buckets.(!i) in
+    let est =
+      if in_bucket = 0 then upper
+      else
+        lower
+        +. (upper -. lower)
+           *. (float_of_int (rank - !cum) /. float_of_int in_bucket)
+    in
+    Float.max mn (Float.min mx est)
+  end
 
-(* Merge the per-shard cells for histogram [hid]; the reservoir is the
-   shards' reservoirs concatenated in registration order, truncated to
-   [reservoir_size].  Caller holds the registry mutex. *)
+(* Merge the per-shard cells for histogram [hid] — bucket counts add
+   across shards.  Caller holds the registry mutex. *)
 let stats_of_unlocked hid =
   let cells = Histogram.cells_unlocked hid in
   let count = List.fold_left (fun acc c -> acc + c.obs_count) 0 cells in
   let sum = List.fold_left (fun acc c -> acc +. c.obs_sum) 0. cells in
   let mn = List.fold_left (fun acc c -> min acc c.obs_min) infinity cells in
   let mx = List.fold_left (fun acc c -> max acc c.obs_max) neg_infinity cells in
-  let total_buf = min reservoir_size (List.fold_left (fun acc c -> acc + c.buf_len) 0 cells) in
-  let sorted = Array.make total_buf 0. in
-  let filled = ref 0 in
+  let buckets = Array.make (n_bounds + 1) 0 in
   List.iter
     (fun c ->
-      let take = min c.buf_len (total_buf - !filled) in
-      Array.blit c.buf 0 sorted !filled take;
-      filled := !filled + take)
+      Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n) c.buckets)
     cells;
-  Array.sort Float.compare sorted;
+  let q = quantile_of_buckets ~count ~mn ~mx buckets in
   {
     hcount = count;
     hsum = sum;
     hmin = (if count = 0 then 0. else mn);
     hmax = (if count = 0 then 0. else mx);
     hmean = (if count = 0 then 0. else sum /. float_of_int count);
-    hp50 = quantile sorted 0.5;
-    hp90 = quantile sorted 0.9;
+    hp50 = q 0.5;
+    hp90 = q 0.9;
+    hp99 = q 0.99;
+    hbuckets = buckets;
   }
 
 let counters () =
@@ -290,7 +328,7 @@ let reset () =
                   c.obs_sum <- 0.;
                   c.obs_min <- infinity;
                   c.obs_max <- neg_infinity;
-                  c.buf_len <- 0)
+                  Array.fill c.buckets 0 (Array.length c.buckets) 0)
             s.hcells)
         !shards)
 
@@ -319,6 +357,7 @@ let to_json () =
                      ("mean", Json.Num s.hmean);
                      ("p50", Json.Num s.hp50);
                      ("p90", Json.Num s.hp90);
+                     ("p99", Json.Num s.hp99);
                    ] ))
              (histograms ())) );
     ]

@@ -74,9 +74,23 @@ type histogram_stats = {
   hmin : float;
   hmax : float;
   hmean : float;
-  hp50 : float;  (** Median over a bounded reservoir of observations. *)
+  hp50 : float;
+      (** Quantiles are estimated from the log-spaced buckets (linear
+          interpolation within the covering bucket, clamped to the
+          observed range); relative error is bounded by the factor-2
+          bucket width. *)
   hp90 : float;
+  hp99 : float;
+  hbuckets : int array;
+      (** Per-bucket observation counts, merged across shards; entry
+          [i] counts observations [<= bucket_bounds().(i)], the last
+          entry is the overflow bucket. *)
 }
+
+val bucket_bounds : unit -> float array
+(** The shared log-spaced upper bucket bounds (factor-2 steps from 1e-3
+    past 1e12) every histogram records into — exposition formats
+    (Prometheus) publish these so scrapers can aggregate. *)
 
 val counters : unit -> (string * int) list
 (** All registered counters, sorted by name. *)
@@ -88,7 +102,8 @@ val gauges : unit -> (string * (int * int)) list
 (** Registered gauges as [(name, (value, max))], sorted by name. *)
 
 val reset : unit -> unit
-(** Zero every counter and histogram (registrations survive). *)
+(** Zero every counter, histogram bucket, and gauge — including the
+    gauges' high-watermarks (registrations survive). *)
 
 val to_json : unit -> Argus_core.Json.t
 (** [{"counters": {...}, "histograms": {...}}] snapshot. *)

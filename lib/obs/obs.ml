@@ -43,4 +43,5 @@ let finish () =
 
 let reset () =
   Span.reset ();
-  Metrics.reset ()
+  Metrics.reset ();
+  Ring.reset_all ()

@@ -27,4 +27,6 @@ val finish : unit -> unit
     nothing), and more than once (re-emits the current state). *)
 
 val reset : unit -> unit
-(** Clear recorded spans and zero all metrics; sinks stay configured. *)
+(** Clear recorded spans, zero all metrics (gauges and their
+    high-watermarks included) and empty every flight-recorder ring;
+    sinks and registrations stay configured. *)

@@ -1,0 +1,66 @@
+(* Prometheus text exposition (version 0.0.4) of the metrics registry.
+
+   Dotted registry names become legal Prometheus names under an
+   [argus_] prefix (dots and other separators map to underscores):
+   counters expose one sample, gauges two (value and high-watermark),
+   histograms the standard cumulative [_bucket{le=...}] series over the
+   shared log-spaced bounds plus [_sum] and [_count] — quantiles are
+   left to the scraper, which can aggregate buckets across instances;
+   the JSON stats exposition carries the point-estimated p50/p90/p99
+   for humans and [argus top]. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let metric_name name = "argus_" ^ sanitize name
+
+(* %h prints floats compactly but exactly enough to round-trip the
+   bucket bounds; plain integers print without an exponent. *)
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let render_counters buf =
+  List.iter
+    (fun (name, v) ->
+      let m = metric_name name in
+      Printf.bprintf buf "# TYPE %s counter\n%s %d\n" m m v)
+    (Metrics.counters ())
+
+let render_gauges buf =
+  List.iter
+    (fun (name, (v, mx)) ->
+      let m = metric_name name in
+      Printf.bprintf buf "# TYPE %s gauge\n%s %d\n" m m v;
+      Printf.bprintf buf "# TYPE %s_max gauge\n%s_max %d\n" m m mx)
+    (Metrics.gauges ())
+
+let render_histograms buf =
+  let bounds = Metrics.bucket_bounds () in
+  List.iter
+    (fun (name, s) ->
+      let m = metric_name name in
+      Printf.bprintf buf "# TYPE %s histogram\n" m;
+      let cum = ref 0 in
+      Array.iteri
+        (fun i le ->
+          cum := !cum + s.Metrics.hbuckets.(i);
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" m (num le) !cum)
+        bounds;
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" m s.Metrics.hcount;
+      Printf.bprintf buf "%s_sum %s\n" m (num s.Metrics.hsum);
+      Printf.bprintf buf "%s_count %d\n" m s.Metrics.hcount)
+    (Metrics.histograms ())
+
+let render () =
+  let buf = Buffer.create 4096 in
+  render_counters buf;
+  render_gauges buf;
+  render_histograms buf;
+  Buffer.contents buf

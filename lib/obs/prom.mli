@@ -1,0 +1,14 @@
+(** Prometheus text exposition (format 0.0.4) of the metrics registry.
+
+    Dotted registry names become [argus_]-prefixed Prometheus names
+    (non-alphanumeric characters map to underscores).  Counters expose
+    one sample; gauges expose the value and a [_max] high-watermark
+    series; histograms expose the standard cumulative
+    [_bucket{le="..."}] series over {!Metrics.bucket_bounds} plus
+    [_sum] and [_count]. *)
+
+val metric_name : string -> string
+(** [metric_name "svc.accepted"] is ["argus_svc_accepted"]. *)
+
+val render : unit -> string
+(** The full exposition page for the current registry contents. *)

@@ -1,0 +1,52 @@
+(** Flight recorder: a fixed-size, domain-safe ring buffer of
+    structured events.
+
+    The service layer records control-plane facts here as they happen —
+    admissions, sheds, breaker transitions, worker restarts, slow
+    requests, drain — so the moments just before an incident can be
+    dumped as JSONL after the fact, with no tracing enabled in
+    advance.  The ring is always on and strictly bounded: past
+    [capacity] events the oldest are overwritten.
+
+    Rings are registered globally by name (creation is idempotent, like
+    counters) and {!Obs.reset} clears them via {!reset_all}. *)
+
+type event = {
+  ts_ms : float;  (** Wall-clock milliseconds since the epoch. *)
+  kind : string;  (** e.g. ["shed"], ["breaker"], ["restart"]. *)
+  fields : (string * Argus_core.Json.t) list;
+}
+
+type t
+
+val make : name:string -> capacity:int -> t
+(** Register (or fetch) the ring named [name].  [capacity] applies on
+    first creation only and is clamped to at least 1. *)
+
+val name : t -> string
+val capacity : t -> int
+
+val record :
+  ?ts_ms:float -> t -> kind:string -> (string * Argus_core.Json.t) list -> unit
+(** Append an event (thread- and domain-safe); [ts_ms] defaults to the
+    current wall clock. *)
+
+val events : t -> event list
+(** The retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded (exceeds [capacity] once wrapped). *)
+
+val clear : t -> unit
+
+val reset_all : unit -> unit
+(** Clear every registered ring (registrations survive). *)
+
+val event_to_json : event -> Argus_core.Json.t
+(** [{"type":"flight","ts_ms":...,"kind":...,...fields}] — one JSONL
+    line per event. *)
+
+val to_jsonl : t -> Argus_core.Json.t list
+
+val dump : out_channel -> t -> unit
+(** Write the retained events as JSONL and flush. *)

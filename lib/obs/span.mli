@@ -25,6 +25,7 @@ type t = {
   name : string;
   start_ns : int;  (** Relative to the first span of the process. *)
   dur_ns : int;
+  domain : int;  (** The domain that recorded the span. *)
   children : t list;  (** In call order. *)
 }
 
@@ -34,6 +35,16 @@ val enabled : unit -> bool
 val with_ : name:string -> (unit -> 'a) -> 'a
 (** Exception-safe: the span is closed (and recorded) even if [f]
     raises. *)
+
+val capture : name:string -> (unit -> 'a) -> 'a * t
+(** Request-scoped tracing: run [f] under a span named [name] recording
+    into a private buffer on the calling domain, and return the
+    completed tree alongside [f]'s result — independently of
+    {!enabled}, without touching {!roots}.  The span sites inside [f]
+    need no changes; any {!with_} they run on this domain lands in the
+    captured tree.  When no capture (and no global trace) is armed,
+    {!with_} still costs only two loads, so idle services keep the
+    disabled-tracing fast path. *)
 
 val roots : unit -> t list
 (** Completed top-level spans, oldest first — per recording domain, the

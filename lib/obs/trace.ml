@@ -38,6 +38,45 @@ let pp_report ppf () =
         hs);
   Format.fprintf ppf "== end trace ==@."
 
+(* Nested form for the service wire: one JSON value per tree, so a
+   captured request trace travels inside a single response payload. *)
+let rec span_to_json (s : Span.t) =
+  Json.Obj
+    [
+      ("name", Json.Str s.Span.name);
+      ("start_ns", Json.int s.Span.start_ns);
+      ("dur_ns", Json.int s.Span.dur_ns);
+      ("domain", Json.int s.Span.domain);
+      ("children", Json.List (List.map span_to_json s.Span.children));
+    ]
+
+let rec span_of_json j =
+  match j with
+  | Json.Obj _ -> (
+      let str k = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None in
+      let num k =
+        match Json.member k j with
+        | Some (Json.Num n) -> Some (int_of_float n)
+        | _ -> None
+      in
+      match str "name" with
+      | None -> None
+      | Some name ->
+          let children =
+            match Json.member "children" j with
+            | Some (Json.List cs) -> List.filter_map span_of_json cs
+            | _ -> []
+          in
+          Some
+            {
+              Span.name;
+              start_ns = Option.value ~default:0 (num "start_ns");
+              dur_ns = Option.value ~default:0 (num "dur_ns");
+              domain = Option.value ~default:0 (num "domain");
+              children;
+            })
+  | _ -> None
+
 let jsonl_events () =
   let meta =
     Json.Obj [ ("type", Json.Str "meta"); ("schema", Json.Str "argus-trace/1") ]
@@ -52,6 +91,7 @@ let jsonl_events () =
             ("depth", Json.int depth);
             ("start_ns", Json.int s.Span.start_ns);
             ("dur_ns", Json.int s.Span.dur_ns);
+            ("domain", Json.int s.Span.domain);
           ]
       in
       List.fold_left (fun acc c -> go (depth + 1) c acc) (ev :: acc)

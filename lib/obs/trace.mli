@@ -10,6 +10,18 @@ val pp_report : Format.formatter -> unit -> unit
 
 val jsonl_events : unit -> Argus_core.Json.t list
 (** One event per line: a [meta] header, every span in pre-order
-    (with [depth]), every registered counter, every histogram with
-    observations.  Each event round-trips through
-    [Argus_core.Json.of_string]. *)
+    (with [depth] and the recording [domain]), every registered
+    counter, every histogram with observations.  Each event round-trips
+    through [Argus_core.Json.of_string]. *)
+
+val pp_span_tree : Format.formatter -> Span.t list -> unit
+(** The indented name/duration rendering used by [pp_report] — also
+    what [argus call --trace] prints for a server-captured tree. *)
+
+val span_to_json : Span.t -> Argus_core.Json.t
+(** Nested single-value form ([children] as an array) for carrying a
+    captured tree inside a service response payload. *)
+
+val span_of_json : Argus_core.Json.t -> Span.t option
+(** Inverse of {!span_to_json}; tolerant of missing numeric fields,
+    [None] if [name] is absent. *)

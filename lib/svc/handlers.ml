@@ -155,6 +155,7 @@ let handle (req : Protocol.request) ~budget =
   | Protocol.Fallacies -> fallacies req ~budget
   | Protocol.Prove -> prove req ~budget
   | Protocol.Probe -> probe req ~budget
-  | Protocol.Health ->
+  | Protocol.Health | Protocol.Stats ->
       Protocol.error ~id:req.Protocol.id ~code:"svc/bad-request"
-        "health is answered by the server, not a worker"
+        (Printf.sprintf "%s is answered by the server, not a worker"
+           (Protocol.op_to_string req.Protocol.op))

@@ -1,6 +1,6 @@
 module Json = Argus_core.Json
 
-type op = Check | Prove | Fallacies | Probe | Health
+type op = Check | Prove | Fallacies | Probe | Health | Stats
 
 type request = {
   id : string;
@@ -12,11 +12,15 @@ type request = {
   lints : bool;
   deadline_ms : float option;
   fuel : int option;
+  trace : bool;
+  trace_id : string option;
+  format : string option;
 }
 
 type response = {
   rid : string;
   outcome : (int * (string * Json.t) list, string * string) result;
+  rtrace_id : string option;
 }
 
 let op_to_string = function
@@ -25,6 +29,7 @@ let op_to_string = function
   | Fallacies -> "fallacies"
   | Probe -> "probe"
   | Health -> "health"
+  | Stats -> "stats"
 
 let op_of_string = function
   | "check" -> Some Check
@@ -32,11 +37,26 @@ let op_of_string = function
   | "fallacies" -> Some Fallacies
   | "probe" -> Some Probe
   | "health" -> Some Health
+  | "stats" -> Some Stats
   | _ -> None
 
 let request ?(id = "") ?(source = "") ?(filename = "<request>") ?goal
-    ?(ruleset = "standard") ?(lints = false) ?deadline_ms ?fuel op =
-  { id; op; source; filename; goal; ruleset; lints; deadline_ms; fuel }
+    ?(ruleset = "standard") ?(lints = false) ?deadline_ms ?fuel
+    ?(trace = false) ?trace_id ?format op =
+  {
+    id;
+    op;
+    source;
+    filename;
+    goal;
+    ruleset;
+    lints;
+    deadline_ms;
+    fuel;
+    trace;
+    trace_id;
+    format;
+  }
 
 let request_to_json r =
   let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
@@ -51,7 +71,10 @@ let request_to_json r =
        else [ ("ruleset", Json.Str r.ruleset) ])
     @ (if r.lints then [ ("lints", Json.Bool true) ] else [])
     @ opt "deadline_ms" (fun d -> Json.Num d) r.deadline_ms
-    @ opt "fuel" (fun f -> Json.int f) r.fuel)
+    @ opt "fuel" (fun f -> Json.int f) r.fuel
+    @ (if r.trace then [ ("trace", Json.Bool true) ] else [])
+    @ opt "trace_id" (fun t -> Json.Str t) r.trace_id
+    @ opt "format" (fun f -> Json.Str f) r.format)
 
 let str_field name json =
   match Json.member name json with
@@ -111,6 +134,9 @@ let request_of_json json =
             Error
               "field \"fuel\" must be a non-negative integer (at most 1e15)"
       in
+      let* trace = bool_field "trace" json in
+      let* trace_id = str_field "trace_id" json in
+      let* format = str_field "format" json in
       Ok
         {
           id = Option.value id ~default:"";
@@ -122,6 +148,9 @@ let request_of_json json =
           lints = Option.value lints ~default:false;
           deadline_ms;
           fuel;
+          trace = Option.value trace ~default:false;
+          trace_id;
+          format;
         }
   | _ -> Error "request must be a JSON object"
 
@@ -130,25 +159,37 @@ let request_of_line line =
   | Error e -> Error (Printf.sprintf "bad JSON: %s" e)
   | Ok json -> request_of_json json
 
-let ok ~id ~exit_code payload = { rid = id; outcome = Ok (exit_code, payload) }
-let error ~id ~code message = { rid = id; outcome = Error (code, message) }
+let ok ?trace_id ~id ~exit_code payload =
+  { rid = id; outcome = Ok (exit_code, payload); rtrace_id = trace_id }
+
+let error ?trace_id ~id ~code message =
+  { rid = id; outcome = Error (code, message); rtrace_id = trace_id }
+
+let with_trace_id trace_id r = { r with rtrace_id = trace_id }
 
 let response_to_json r =
+  (* The trace id rides right after [id] in every response, success or
+     failure, so a client can correlate even a shed request. *)
+  let tid =
+    match r.rtrace_id with
+    | None -> []
+    | Some t -> [ ("trace_id", Json.Str t) ]
+  in
   match r.outcome with
   | Ok (exit_code, payload) ->
       Json.Obj
-        (("id", Json.Str r.rid)
-        :: ("status", Json.Str "ok")
-        :: ("exit", Json.int exit_code)
-        :: payload)
+        ((("id", Json.Str r.rid) :: tid)
+        @ ("status", Json.Str "ok")
+          :: ("exit", Json.int exit_code)
+          :: payload)
   | Error (code, message) ->
       Json.Obj
-        [
-          ("id", Json.Str r.rid);
-          ("status", Json.Str "error");
-          ("code", Json.Str code);
-          ("message", Json.Str message);
-        ]
+        ((("id", Json.Str r.rid) :: tid)
+        @ [
+            ("status", Json.Str "error");
+            ("code", Json.Str code);
+            ("message", Json.Str message);
+          ])
 
 let response_to_line r = Json.to_string (response_to_json r) ^ "\n"
 
@@ -158,6 +199,7 @@ let response_of_line line =
   | Ok json -> (
       let* id = str_field "id" json in
       let id = Option.value id ~default:"" in
+      let* trace_id = str_field "trace_id" json in
       let* status = str_field "status" json in
       match status with
       | Some "ok" -> (
@@ -168,17 +210,18 @@ let response_of_line line =
                 | Json.Obj kvs ->
                     List.filter
                       (fun (k, _) ->
-                        k <> "id" && k <> "status" && k <> "exit")
+                        k <> "id" && k <> "status" && k <> "exit"
+                        && k <> "trace_id")
                       kvs
                 | _ -> []
               in
-              Ok (ok ~id ~exit_code:(int_of_float n) payload)
+              Ok (ok ?trace_id ~id ~exit_code:(int_of_float n) payload)
           | _ -> Error "ok response needs a numeric \"exit\"")
       | Some "error" ->
           let* code = str_field "code" json in
           let* message = str_field "message" json in
           Ok
-            (error ~id
+            (error ?trace_id ~id
                ~code:(Option.value code ~default:"svc/unknown")
                (Option.value message ~default:""))
       | Some s -> Error (Printf.sprintf "unknown status %S" s)

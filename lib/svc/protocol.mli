@@ -12,15 +12,23 @@
      "deadline_ms": 500, "fuel": 100000}
     v}
     [op] is one of [check], [prove] (needs ["goal"]), [fallacies],
-    [probe], [health].  Everything but [op] is optional: a missing [id]
-    is assigned by the server, [source] defaults to empty.
+    [probe], [health], [stats].  Everything but [op] is optional: a
+    missing [id] is assigned by the server, [source] defaults to empty.
+    ["trace": true] asks the server to capture the request's span tree
+    and return it in the payload; ["trace_id"] names the request for
+    correlation (minted by the server when absent and echoed in the
+    response); ["format"] selects the [stats] exposition (["json"],
+    the default, or ["prometheus"]).
 
-    Responses: [{"id", "status": "ok", "exit": 0|1, ...payload}] or
-    [{"id", "status": "error", "code", "message"}].  Error codes:
-    [svc/bad-request], [svc/overloaded], [svc/breaker-open],
-    [svc/draining], [rt/internal-error]. *)
+    Responses: [{"id", "trace_id"?, "status": "ok", "exit": 0|1,
+    ...payload}] or [{"id", "trace_id"?, "status": "error", "code",
+    "message"}].  Error codes: [svc/bad-request], [svc/overloaded],
+    [svc/breaker-open], [svc/draining], [rt/internal-error].
 
-type op = Check | Prove | Fallacies | Probe | Health
+    Both decoders ignore unknown fields, so either end can grow the
+    schema without breaking the other. *)
+
+type op = Check | Prove | Fallacies | Probe | Health | Stats
 
 type request = {
   id : string;
@@ -32,12 +40,17 @@ type request = {
   lints : bool;  (** [check] only. *)
   deadline_ms : float option;  (** Client deadline; the server clamps it. *)
   fuel : int option;
+  trace : bool;  (** Capture and return this request's span tree. *)
+  trace_id : string option;  (** Correlation id; server-minted if absent. *)
+  format : string option;  (** [stats] only: ["json"] or ["prometheus"]. *)
 }
 
 type response = {
   rid : string;
   outcome : (int * (string * Argus_core.Json.t) list, string * string) result;
       (** [Ok (exit_code, payload)] or [Error (code, message)]. *)
+  rtrace_id : string option;
+      (** Echo of the request's (possibly server-minted) trace id. *)
 }
 
 val op_to_string : op -> string
@@ -45,7 +58,8 @@ val op_of_string : string -> op option
 
 val request : ?id:string -> ?source:string -> ?filename:string ->
   ?goal:string -> ?ruleset:string -> ?lints:bool -> ?deadline_ms:float ->
-  ?fuel:int -> op -> request
+  ?fuel:int -> ?trace:bool -> ?trace_id:string -> ?format:string ->
+  op -> request
 
 val request_to_json : request -> Argus_core.Json.t
 
@@ -57,10 +71,14 @@ val request_of_json : Argus_core.Json.t -> (request, string) result
 
 val request_of_line : string -> (request, string) result
 
-val ok : id:string -> exit_code:int ->
+val ok : ?trace_id:string -> id:string -> exit_code:int ->
   (string * Argus_core.Json.t) list -> response
 
-val error : id:string -> code:string -> string -> response
+val error : ?trace_id:string -> id:string -> code:string -> string -> response
+
+val with_trace_id : string option -> response -> response
+(** Stamp (or clear) the echoed trace id — the server applies this to
+    every response on its way out, wherever it was built. *)
 
 val response_to_json : response -> Argus_core.Json.t
 val response_to_line : response -> string

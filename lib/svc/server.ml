@@ -1,5 +1,6 @@
 module Json = Argus_core.Json
 module Metrics = Argus_obs.Metrics
+module Ring = Argus_obs.Ring
 
 type config = {
   socket_path : string;
@@ -14,6 +15,7 @@ type config = {
   max_line_bytes : int;
   max_conns : int;
   write_timeout_ms : float;
+  slow_ms : float option;
 }
 
 let default_config ~socket_path =
@@ -30,6 +32,7 @@ let default_config ~socket_path =
     max_line_bytes = 8 * 1024 * 1024;
     max_conns = 512;
     write_timeout_ms = 5000.;
+    slow_ms = None;
   }
 
 type conn = {
@@ -85,33 +88,108 @@ type t = {
   stop : bool Atomic.t;
   mutable conns : conn list;
   mutable next_id : int;
+  mutable next_trace : int;
+  flight_dump : bool ref;
+      (** Dump the flight recorder to stderr on drain and on worker
+          crashes.  Only [run] arms it — the embedded [spawn] servers
+          used by tests and the bench stay quiet. *)
+  dump_requested : bool Atomic.t;  (** Set by the SIGUSR1 handler. *)
 }
 
+let dump_flight () = Ring.dump stderr Supervisor.flight
+
+let workers_json t =
+  Supervisor.worker_states t.sup |> Array.to_list
+  |> List.map (fun (st, consecutive) ->
+         Json.Obj
+           [
+             ("state", Json.Str (Supervisor.worker_state_to_string st));
+             ("consecutive_restarts", Json.int consecutive);
+           ])
+
+let breakers_json t =
+  Supervisor.breaker_states t.sup
+  |> List.map (fun (op, st) ->
+         (op, Json.Str (Argus_rt.Breaker.state_to_string st)))
+
 let health_json t =
-  let workers =
-    Supervisor.worker_states t.sup |> Array.to_list
-    |> List.map (fun (st, consecutive) ->
-           Json.Obj
-             [
-               ("state", Json.Str (Supervisor.worker_state_to_string st));
-               ("consecutive_restarts", Json.int consecutive);
-             ])
-  in
-  let breakers =
-    Supervisor.breaker_states t.sup
-    |> List.map (fun (op, st) ->
-           (op, Json.Str (Argus_rt.Breaker.state_to_string st)))
-  in
   [
     ("ready", Json.Bool (Supervisor.accepting t.sup));
     ("queue_depth", Json.int (Supervisor.queue_depth t.sup));
     ("queue_capacity", Json.int t.cfg.queue_capacity);
     ("jobs", Json.int t.cfg.jobs);
     ("restarts", Json.int (Supervisor.restarts t.sup));
-    ("workers", Json.List workers);
-    ("breakers", Json.Obj breakers);
+    ("workers", Json.List (workers_json t));
+    ("breakers", Json.Obj (breakers_json t));
     ("metrics", Metrics.to_json ());
   ]
+
+(* The [stats] payload: health facts plus the full registry with
+   bucket-estimated latency quantiles, and a server timestamp so a
+   polling client ([argus top]) can turn counter deltas into rates
+   without trusting its own clock skew. *)
+let latency_prefix = "svc.request_latency_ms"
+
+let stats_json t =
+  let quantiles (s : Metrics.histogram_stats) =
+    Json.Obj
+      [
+        ("count", Json.int s.Metrics.hcount);
+        ("mean", Json.Num s.Metrics.hmean);
+        ("p50", Json.Num s.Metrics.hp50);
+        ("p90", Json.Num s.Metrics.hp90);
+        ("p99", Json.Num s.Metrics.hp99);
+        ("max", Json.Num s.Metrics.hmax);
+      ]
+  in
+  let latency =
+    Metrics.histograms ()
+    |> List.filter_map (fun (name, s) ->
+           if name = latency_prefix then Some ("all", quantiles s)
+           else
+             let pfx = latency_prefix ^ "." in
+             if String.starts_with ~prefix:pfx name then
+               let klen = String.length pfx in
+               Some (String.sub name klen (String.length name - klen),
+                     quantiles s)
+             else None)
+  in
+  [
+    ("now_ms", Json.Num (Unix.gettimeofday () *. 1000.));
+    ("ready", Json.Bool (Supervisor.accepting t.sup));
+    ("queue_depth", Json.int (Supervisor.queue_depth t.sup));
+    ("queue_capacity", Json.int t.cfg.queue_capacity);
+    ("jobs", Json.int t.cfg.jobs);
+    ("restarts", Json.int (Supervisor.restarts t.sup));
+    ("workers", Json.List (workers_json t));
+    ("breakers", Json.Obj (breakers_json t));
+    ( "counters",
+      Json.Obj
+        (List.map (fun (n, v) -> (n, Json.int v)) (Metrics.counters ())) );
+    ( "gauges",
+      Json.Obj
+        (List.map
+           (fun (n, (v, m)) ->
+             (n, Json.Obj [ ("value", Json.int v); ("max", Json.int m) ]))
+           (Metrics.gauges ())) );
+    ("latency_ms", Json.Obj latency);
+    ("flight_recorded", Json.int (Ring.recorded Supervisor.flight));
+  ]
+
+let stats_response t (req : Protocol.request) =
+  let id = req.Protocol.id in
+  match req.Protocol.format with
+  | Some "prometheus" ->
+      Protocol.ok ~id ~exit_code:0
+        [
+          ("content_type", Json.Str "text/plain; version=0.0.4");
+          ("body", Json.Str (Argus_obs.Prom.render ()));
+        ]
+  | None | Some "json" -> Protocol.ok ~id ~exit_code:0 (stats_json t)
+  | Some other ->
+      Protocol.error ~id ~code:"svc/bad-request"
+        (Printf.sprintf "unknown stats format %S (try json or prometheus)"
+           other)
 
 let handle_line t conn line =
   match Protocol.request_of_line line with
@@ -127,15 +205,35 @@ let handle_line t conn line =
           { req with Protocol.id = Printf.sprintf "r%d" t.next_id }
         end
       in
-      if req.Protocol.op = Protocol.Health then
-        write_line conn
-          (Protocol.response_to_line
-             (Protocol.ok ~id:req.Protocol.id ~exit_code:0 (health_json t)))
-      else begin
-        Mutex.protect conn.wmu (fun () -> conn.inflight <- conn.inflight + 1);
-        Supervisor.submit t.sup req ~reply:(fun resp ->
-            write_reply conn (Protocol.response_to_line resp))
-      end
+      (* Every parsed request gets a trace id — the client's when it
+         sent one, server-minted otherwise — echoed in its response
+         whatever the outcome, so even a shed request correlates. *)
+      let trace_id =
+        match req.Protocol.trace_id with
+        | Some tid -> tid
+        | None ->
+            t.next_trace <- t.next_trace + 1;
+            Printf.sprintf "t%d" t.next_trace
+      in
+      let req = { req with Protocol.trace_id = Some trace_id } in
+      let stamp = Protocol.with_trace_id (Some trace_id) in
+      (match req.Protocol.op with
+      | Protocol.Health ->
+          write_line conn
+            (Protocol.response_to_line
+               (stamp
+                  (Protocol.ok ~id:req.Protocol.id ~exit_code:0
+                     (health_json t))))
+      | Protocol.Stats ->
+          (* Answered on the acceptor like health: monitoring must keep
+             working when the queue is saturated or the workers hung. *)
+          write_line conn
+            (Protocol.response_to_line (stamp (stats_response t req)))
+      | _ ->
+          Mutex.protect conn.wmu (fun () ->
+              conn.inflight <- conn.inflight + 1);
+          Supervisor.submit t.sup req ~reply:(fun resp ->
+              write_reply conn (Protocol.response_to_line (stamp resp))))
 
 (* Split off every complete line in the connection's read buffer. *)
 let drain_lines t conn =
@@ -270,6 +368,13 @@ let serve_loop t =
               readable;
             reap t
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      ; (* SIGUSR1 lands as an EINTR out of select; the handler only
+           sets a flag and the dump happens here, on the acceptor,
+           outside signal context. *)
+        if Atomic.get t.dump_requested then begin
+          Atomic.set t.dump_requested false;
+          dump_flight ()
+        end
       done;
       (* Drain: close the door, let the workers finish what is queued
          and in flight, under the drain deadline. *)
@@ -288,6 +393,7 @@ let serve_loop t =
               try Unix.close c.fd with Unix.Unix_error _ -> ()))
         t.conns;
       t.conns <- [];
+      if !(t.flight_dump) then dump_flight ();
       if drained then 0 else 1
     with e ->
       Printf.eprintf "argus serve: internal error: %s\n%!"
@@ -300,6 +406,7 @@ let serve_loop t =
 
 let make ?(handler = Handlers.handle) cfg =
   let listen_fd = bind_listen cfg in
+  let flight_dump = ref false in
   let sup_config =
     {
       Supervisor.default_config with
@@ -313,6 +420,8 @@ let make ?(handler = Handlers.handle) cfg =
           max_deadline_ms = cfg.max_deadline_ms;
           max_fuel = cfg.max_fuel;
         };
+      slow_ms = cfg.slow_ms;
+      on_crash = (fun () -> if !flight_dump then dump_flight ());
     }
   in
   let sup = Supervisor.create ~config:sup_config ~handler () in
@@ -323,14 +432,20 @@ let make ?(handler = Handlers.handle) cfg =
     stop = Atomic.make false;
     conns = [];
     next_id = 0;
+    next_trace = 0;
+    flight_dump;
+    dump_requested = Atomic.make false;
   }
 
 let run ?handler cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let t = make ?handler cfg in
+  t.flight_dump := true;
   let request_stop _ = Atomic.set t.stop true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> Atomic.set t.dump_requested true));
   Printf.eprintf "argus serve: listening on %s (jobs=%d, queue=%d)\n%!"
     cfg.socket_path cfg.jobs cfg.queue_capacity;
   serve_loop t

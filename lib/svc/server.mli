@@ -3,9 +3,13 @@
     {!Supervisor} pool.
 
     The acceptor runs single-threaded over [select]: it owns admission
-    (shedding, breaker refusals and [health] are answered without
-    touching a worker), workers write their responses back through the
-    originating connection's write lock, in completion order.  That
+    (shedding, breaker refusals, [health] and [stats] are answered
+    without touching a worker — monitoring keeps working when the queue
+    is full), workers write their responses back through the
+    originating connection's write lock, in completion order.  Every
+    parsed request gets a trace id (client-sent or server-minted)
+    echoed in its response; [trace: true] requests return their
+    server-side span tree in the payload.  That
     lock also guards the connection's lifecycle: a descriptor is only
     closed under it, so a worker mid-reply can never write into a
     recycled fd.  A client that half-closes its write side
@@ -19,7 +23,11 @@
     {!Argus_obs} counters, and exit by the 0/1/2 taxonomy: 0 clean
     drain, 1 drain deadline expired with work abandoned, 2 internal
     error.  SIGPIPE is ignored: a client that hangs up mid-response
-    costs exactly its own connection. *)
+    costs exactly its own connection.
+
+    Flight recorder: {!run} servers dump {!Supervisor.flight} as JSONL
+    to stderr on SIGUSR1, on drain, and after a worker crash;
+    {!spawn} servers (tests, bench) never dump. *)
 
 type config = {
   socket_path : string;
@@ -45,12 +53,15 @@ type config = {
           reading forfeits its connection once a reply write blocks
           this long, instead of wedging a worker domain forever on a
           full socket buffer.  [<= 0.] disables the bound. *)
+  slow_ms : float option;
+      (** Flight-record requests slower than this many milliseconds
+          (admission to reply); [None] disables. *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs {!Argus_par.Pool.default_jobs}, capacity 64, no deadline
     defaults, 5 s drain, breaker 5 failures / 1 s cooldown, 8 MiB
-    lines, 512 connections, 5 s write timeout. *)
+    lines, 512 connections, 5 s write timeout, no slow threshold. *)
 
 val run :
   ?handler:

@@ -1,9 +1,13 @@
+module Json = Argus_core.Json
 module Budget = Argus_rt.Budget
 module Breaker = Argus_rt.Breaker
 module Retry = Argus_rt.Retry
 module Fault = Argus_rt.Fault
 module Counter = Argus_obs.Counter
 module Histogram = Argus_obs.Metrics.Histogram
+module Ring = Argus_obs.Ring
+module Span = Argus_obs.Span
+module Trace = Argus_obs.Trace
 
 let c_accepted = Counter.make "svc.accepted"
 let c_shed = Counter.make "svc.shed"
@@ -16,6 +20,50 @@ let c_retried = Counter.make "svc.retried"
 let _ = c_retried
 
 let h_latency = Histogram.make "svc.request_latency_ms"
+
+(* Per-kind latency: one histogram per op, so [stats] can answer
+   "p99 of prove" separately from the probe traffic diluting it.
+   [Histogram.make] is idempotent and the op set is closed, so looking
+   up by name at completion time is safe from any worker domain. *)
+let h_latency_op op = Histogram.make ("svc.request_latency_ms." ^ op)
+
+(* The flight recorder: every control-plane decision the service makes
+   lands here, so the moments before an incident can be dumped after
+   the fact (SIGUSR1, drain, worker crash) with no tracing armed in
+   advance. *)
+let flight = Ring.make ~name:"svc.flight" ~capacity:512
+
+let record_transition op before after =
+  if before <> after then
+    Ring.record flight ~kind:"breaker"
+      [
+        ("op", Json.Str op);
+        ("from", Json.Str (Breaker.state_to_string before));
+        ("to", Json.Str (Breaker.state_to_string after));
+      ]
+
+(* Breaker calls wrapped to catch state edges for the flight recorder —
+   the breaker itself stays oblivious. *)
+let breaker_admit b op =
+  let s0 = Breaker.state b in
+  let admitted = Breaker.admit b in
+  record_transition op s0 (Breaker.state b);
+  admitted
+
+let breaker_success b op =
+  let s0 = Breaker.state b in
+  Breaker.success b;
+  record_transition op s0 (Breaker.state b)
+
+let breaker_failure b op =
+  let s0 = Breaker.state b in
+  Breaker.failure b;
+  record_transition op s0 (Breaker.state b)
+
+let breaker_cancel b op =
+  let s0 = Breaker.state b in
+  Breaker.cancel b;
+  record_transition op s0 (Breaker.state b)
 
 type worker_state = Idle | Busy | Restarting
 
@@ -37,6 +85,8 @@ type config = {
   breaker_failures : int;
   breaker_cooldown_ms : float;
   budget : budget_policy;
+  slow_ms : float option;
+  on_crash : unit -> unit;
   now_ms : unit -> float;
   sleep_ms : float -> unit;
 }
@@ -50,6 +100,8 @@ let default_config =
     breaker_cooldown_ms = 1000.;
     budget =
       { default_deadline_ms = None; max_deadline_ms = None; max_fuel = None };
+    slow_ms = None;
+    on_crash = ignore;
     now_ms = (fun () -> Unix.gettimeofday () *. 1000.);
     sleep_ms = (fun ms -> if ms > 0. then Unix.sleepf (ms /. 1000.));
   }
@@ -129,13 +181,48 @@ let finish t (job : job) resp =
   (* A reply callback that raises (client hung up mid-write) must not
      count as a worker crash — the request itself succeeded. *)
   (try job.reply resp with _ -> ());
-  Histogram.observe h_latency (t.cfg.now_ms () -. job.admitted_ms);
+  let ms = t.cfg.now_ms () -. job.admitted_ms in
+  let op = Protocol.op_to_string job.req.Protocol.op in
+  Histogram.observe h_latency ms;
+  Histogram.observe (h_latency_op op) ms;
+  (match t.cfg.slow_ms with
+  | Some threshold when ms > threshold ->
+      Ring.record flight ~kind:"slow"
+        [
+          ("id", Json.Str job.req.Protocol.id);
+          ("op", Json.Str op);
+          ("ms", Json.Num ms);
+          ("threshold_ms", Json.Num threshold);
+        ]
+  | _ -> ());
   Mutex.protect t.mu (fun () ->
       t.inflight <- t.inflight - 1;
       Condition.broadcast t.idle)
 
 let set_state t i st =
   Mutex.protect t.mu (fun () -> t.slots.(i).state <- st)
+
+(* Run the handler; when the request asked for a trace, capture its
+   span tree on this worker domain and splice it into a successful
+   payload.  An untraced request never touches the capture machinery
+   (the span fast path stays two loads). *)
+let run_handler t (job : job) op =
+  if not job.req.Protocol.trace then t.handler job.req ~budget:job.budget
+  else begin
+    let resp, tree =
+      Span.capture
+        ~name:("svc." ^ op)
+        (fun () -> t.handler job.req ~budget:job.budget)
+    in
+    match resp.Protocol.outcome with
+    | Ok (code, payload) ->
+        {
+          resp with
+          Protocol.outcome =
+            Ok (code, payload @ [ ("trace", Trace.span_to_json tree) ]);
+        }
+    | Error _ -> resp
+  end
 
 let worker t i =
   let slot = t.slots.(i) in
@@ -151,10 +238,10 @@ let worker t i =
         let breaker = breaker_of t op in
         match
           Fault.point ~key:job.req.Protocol.id "svc.request";
-          t.handler job.req ~budget:job.budget
+          run_handler t job op
         with
         | resp ->
-            Breaker.success breaker;
+            breaker_success breaker op;
             finish t job resp;
             Mutex.protect t.mu (fun () ->
                 slot.consecutive <- 0;
@@ -167,7 +254,7 @@ let worker t i =
                Restart bookkeeping happens before the reply: once the
                victim's answer is out (and [await_idle] can return),
                the restart is already on the books. *)
-            Breaker.failure breaker;
+            breaker_failure breaker op;
             Counter.incr c_restarts;
             let attempt =
               Mutex.protect t.mu (fun () ->
@@ -176,9 +263,20 @@ let worker t i =
                   t.total_restarts <- t.total_restarts + 1;
                   slot.consecutive)
             in
+            Ring.record flight ~kind:"restart"
+              [
+                ("worker", Json.int i);
+                ("attempt", Json.int attempt);
+                ("id", Json.Str job.req.Protocol.id);
+                ("op", Json.Str op);
+                ("error", Json.Str (Printexc.to_string e));
+              ];
             finish t job
               (Protocol.error ~id:job.req.Protocol.id ~code:"rt/internal-error"
                  (Printexc.to_string e));
+            (* The crash hook runs after the victim's reply is out, so a
+               flight dump already shows the restart it reports. *)
+            (try t.cfg.on_crash () with _ -> ());
             t.cfg.sleep_ms
               (Retry.delay_ms t.cfg.restart_policy
                  ~key:(Printf.sprintf "svc.worker-%d" i)
@@ -220,7 +318,7 @@ let submit t req ~reply =
   else
     let op = Protocol.op_to_string req.Protocol.op in
     let breaker = breaker_of t op in
-    if not (Breaker.admit breaker) then begin
+    if not (breaker_admit breaker op) then begin
       Counter.incr c_breaker_open;
       reply
         (Protocol.error ~id:req.Protocol.id ~code:"svc/breaker-open"
@@ -238,15 +336,32 @@ let submit t req ~reply =
         }
       in
       Mutex.protect t.mu (fun () -> t.inflight <- t.inflight + 1);
+      (* Stamp admission before the push: a worker can pop and even
+         finish the job before this domain gets to record the event,
+         so the default now-clock would misorder admit after slow. *)
+      let admit_wall_ms = Unix.gettimeofday () *. 1000. in
       match Queue.push t.q job with
-      | `Accepted -> Counter.incr c_accepted
+      | `Accepted ->
+          Counter.incr c_accepted;
+          Ring.record ~ts_ms:admit_wall_ms flight ~kind:"admit"
+            [
+              ("id", Json.Str req.Protocol.id);
+              ("op", Json.Str op);
+              ("depth", Json.int (Queue.depth t.q));
+            ]
       | `Shed ->
           Mutex.protect t.mu (fun () ->
               t.inflight <- t.inflight - 1;
               Condition.broadcast t.idle);
           (* Give back the half-open trial this job may have taken. *)
-          Breaker.cancel breaker;
+          breaker_cancel breaker op;
           Counter.incr c_shed;
+          Ring.record flight ~kind:"shed"
+            [
+              ("id", Json.Str req.Protocol.id);
+              ("op", Json.Str op);
+              ("depth", Json.int (Queue.depth t.q));
+            ];
           reply
             (Protocol.error ~id:req.Protocol.id ~code:"svc/overloaded"
                (Printf.sprintf "queue full (%d waiting); request shed"
@@ -283,6 +398,8 @@ let drain t ~deadline_ms =
   in
   if already then true
   else begin
+    Ring.record flight ~kind:"drain"
+      [ ("queue_depth", Json.int (Queue.depth t.q)) ];
     Queue.close t.q;
     let deadline = t.cfg.now_ms () +. deadline_ms in
     let rec wait () =

@@ -27,8 +27,15 @@
     connection's write lock).
 
     Counters: [svc.accepted], [svc.shed], [svc.breaker_open],
-    [svc.restarts]; histogram [svc.request_latency_ms]; gauge
-    [svc.queue_depth]. *)
+    [svc.restarts]; histograms [svc.request_latency_ms] (aggregate) and
+    [svc.request_latency_ms.<op>] (per request kind); gauge
+    [svc.queue_depth].
+
+    Telemetry: every admission, shed, breaker transition, worker
+    restart, drain and over-threshold slow request is also recorded in
+    the {!flight} ring; a request with [trace = true] has its handler
+    run under {!Argus_obs.Span.capture} and the resulting span tree
+    spliced into the successful payload as ["trace"]. *)
 
 type worker_state = Idle | Busy | Restarting
 
@@ -49,14 +56,24 @@ type config = {
   breaker_failures : int;  (** [<= 0] disables the breakers. *)
   breaker_cooldown_ms : float;
   budget : budget_policy;
+  slow_ms : float option;
+      (** Requests slower than this (admission to reply, ms) get a
+          ["slow"] flight-recorder event; [None] disables. *)
+  on_crash : unit -> unit;
+      (** Called on a worker domain after a crash's typed reply is out
+          and the restart is booked — the server hooks a flight-recorder
+          dump here.  Exceptions are swallowed. *)
   now_ms : unit -> float;
   sleep_ms : float -> unit;
 }
 
 val default_config : config
 (** jobs 1, capacity 64, {!Argus_rt.Retry.default_policy} restarts,
-    breaker 5 failures / 1 s cooldown, no budget limits, real clock and
-    sleep. *)
+    breaker 5 failures / 1 s cooldown, no budget limits, no slow
+    threshold, no crash hook, real clock and sleep. *)
+
+val flight : Argus_obs.Ring.t
+(** The service flight recorder (ring ["svc.flight"], capacity 512). *)
 
 type t
 

@@ -23,6 +23,7 @@ A normal request round-trips:
   $ argus call --socket "$S" --id r1 check ok.arg
   {
     "id": "r1",
+    "trace_id": "t1",
     "status": "ok",
     "exit": 0,
     "report": {
@@ -39,6 +40,7 @@ typed internal error (exit 2), not a hung connection:
   $ argus call --socket "$S" --id boom check ok.arg
   {
     "id": "boom",
+    "trace_id": "t2",
     "status": "error",
     "code": "rt/internal-error",
     "message": "injected fault at probe svc.request"
@@ -69,6 +71,7 @@ typed svc/overloaded answer, and the server still drains cleanly:
   $ argus call --socket "$S" --id r1 check ok.arg
   {
     "id": "r1",
+    "trace_id": "t1",
     "status": "error",
     "code": "svc/overloaded",
     "message": "queue full (0 waiting); request shed"

@@ -1,0 +1,85 @@
+Service telemetry (DESIGN.md section 12): request-scoped traces over
+the wire, the flight recorder, and the one-screen top view.
+
+A well-formed case file and a short socket path:
+
+  $ printf 'case "t" {\n  evidence E1 analysis "a"\n  goal G1 "t holds" { supported-by Sn1 }\n  solution Sn1 "s" { evidence E1 }\n}\n' > ok.arg
+  $ S=${TMPDIR:-/tmp}/argus-tm-$$.sock
+
+A server with a very low slow-request threshold, so the flight
+recorder sees every request as slow:
+
+  $ argus serve --socket "$S" --jobs 1 --slow-ms 0.0001 2>flight.log &
+  $ SERVE_PID=$!
+
+--trace asks the server to capture the request's span tree and ship it
+back in the response; the client renders it to stderr.  Timings vary
+run to run, so strip them:
+
+  $ argus call --socket "$S" --id r1 --trace check ok.arg > /dev/null 2> trace.err
+  $ sed -E 's/ +[0-9.]+ (ns|us|ms|s)$//' trace.err
+  == server trace (t1) ==
+    svc.check
+      gsn.wellformed
+        gsn.wellformed.links
+        gsn.wellformed.cycles
+        gsn.wellformed.nodes
+
+SIGUSR1 dumps the flight recorder as JSONL on stderr without
+disturbing the server; the follow-up health round-trip proves it is
+still serving and gives the acceptor a loop turn to write the dump:
+
+  $ kill -USR1 $SERVE_PID
+  $ argus call --socket "$S" health > /dev/null
+  $ sleep 0.3
+  $ grep -o '"type":"flight"' flight.log | sort -u
+  "type":"flight"
+  $ grep -o '"kind":"admit","id":"r1","op":"check"' flight.log | sort -u
+  "kind":"admit","id":"r1","op":"check"
+  $ grep -o '"kind":"slow","id":"r1","op":"check"' flight.log | sort -u
+  "kind":"slow","id":"r1","op":"check"
+
+argus top renders a one-screen snapshot from the queue-bypassing stats
+op.  The numbers vary; the shape does not:
+
+  $ argus top --once --socket "$S" > top.out
+  $ grep -c '^argus top' top.out
+  1
+  $ grep -o 'ready true' top.out
+  ready true
+  $ awk '$1 == "all" || $1 == "check" { print $1 }' top.out
+  all
+  check
+  $ grep -o 'breakers: check=closed' top.out
+  breakers: check=closed
+
+Drain dumps the recorder one last time, with the drain event as the
+final entry:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ grep -o '"kind":"drain"' flight.log | sort -u
+  "kind":"drain"
+
+A crashed worker leaves a restart event behind (the deterministic
+"boom" fault crashes the worker mid-request, as in serve.t):
+
+  $ ARGUS_FAULT='svc.request@boom:1:42' argus serve --socket "$S" --jobs 1 2>crash.log &
+  $ CRASH_PID=$!
+  $ argus call --socket "$S" --id boom check ok.arg > /dev/null 2>&1
+  [2]
+  $ kill -TERM $CRASH_PID
+  $ wait $CRASH_PID
+  $ grep -o '"kind":"restart","worker":0,"attempt":1,"id":"boom"' crash.log | sort -u
+  "kind":"restart","worker":0,"attempt":1,"id":"boom"
+
+And shed requests (zero-capacity queue) are recorded too:
+
+  $ argus serve --socket "$S" --jobs 1 --queue-cap 0 2>shed.log &
+  $ SHED_PID=$!
+  $ argus call --socket "$S" --id r9 check ok.arg > /dev/null 2>&1
+  [2]
+  $ kill -TERM $SHED_PID
+  $ wait $SHED_PID
+  $ grep -o '"kind":"shed","id":"r9","op":"check"' shed.log | sort -u
+  "kind":"shed","id":"r9","op":"check"

@@ -202,6 +202,70 @@ let test_protocol_rejects () =
   bad {|{"op": "check", "fuel": 1.5}|};
   bad {|{"op": "check", "fuel": 1e300}|}
 
+let test_protocol_telemetry_fields () =
+  (* trace / trace_id / format survive the wire. *)
+  let req =
+    Protocol.request ~id:"t1" ~source:"" ~trace:true ~trace_id:"abc"
+      ~format:"json" Protocol.Stats
+  in
+  (match
+     Protocol.request_of_line (Json.to_string (Protocol.request_to_json req))
+   with
+  | Ok r ->
+      Alcotest.(check bool) "trace flag" true r.Protocol.trace;
+      Alcotest.(check (option string))
+        "trace_id" (Some "abc") r.Protocol.trace_id;
+      Alcotest.(check (option string)) "format" (Some "json") r.Protocol.format
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (* Omitted fields default: no trace, no id, no format — and the
+     request line does not mention them at all. *)
+  let minimal = Protocol.request ~source:"" Protocol.Check in
+  let line = Json.to_string (Protocol.request_to_json minimal) in
+  (match Protocol.request_of_line line with
+  | Ok r ->
+      Alcotest.(check bool) "no trace by default" false r.Protocol.trace;
+      Alcotest.(check (option string)) "no trace_id" None r.Protocol.trace_id
+  | Error e -> Alcotest.failf "minimal decode failed: %s" e);
+  (match Json.of_string line with
+  | Ok j ->
+      Alcotest.(check bool) "quiet when off" true
+        (Json.member "trace" j = None && Json.member "trace_id" j = None)
+  | Error e -> Alcotest.failf "unparseable line: %s" e);
+  (* Unknown fields are tolerated — an older server must accept
+     requests from a newer client. *)
+  (match
+     Protocol.request_of_line
+       {|{"op": "check", "trace_id": "z9", "hologram": true, "shards": [3]}|}
+   with
+  | Ok r ->
+      Alcotest.(check (option string))
+        "known fields still parse" (Some "z9") r.Protocol.trace_id
+  | Error e -> Alcotest.failf "unknown fields rejected: %s" e);
+  (* Responses: the echoed trace id round-trips and stays out of the
+     payload proper. *)
+  let ok = Protocol.ok ~trace_id:"t7" ~id:"r1" ~exit_code:0 [ ("n", Json.int 1) ] in
+  (match Protocol.response_of_line (Protocol.response_to_line ok) with
+  | Ok r ->
+      Alcotest.(check (option string))
+        "ok trace id echoed" (Some "t7") r.Protocol.rtrace_id;
+      (match r.Protocol.outcome with
+      | Ok (_, payload) ->
+          Alcotest.(check bool) "trace_id not in payload" false
+            (List.mem_assoc "trace_id" payload);
+          Alcotest.(check bool) "payload intact" true
+            (List.assoc_opt "n" payload = Some (Json.int 1))
+      | Error _ -> Alcotest.fail "expected ok outcome")
+  | Error e -> Alcotest.failf "response decode failed: %s" e);
+  let err =
+    Protocol.with_trace_id (Some "t8")
+      (Protocol.error ~id:"r2" ~code:"svc/overloaded" "busy")
+  in
+  (match Protocol.response_of_line (Protocol.response_to_line err) with
+  | Ok r ->
+      Alcotest.(check (option string))
+        "error trace id stamped" (Some "t8") r.Protocol.rtrace_id
+  | Error e -> Alcotest.failf "error decode failed: %s" e)
+
 (* --- Supervisor --- *)
 
 (* Replies arrive on worker domains; collect them under a lock. *)
@@ -542,6 +606,128 @@ let test_server_half_close () =
   Alcotest.(check (list string)) "both replies delivered, then EOF"
     [ "hc1"; "hc2" ] ids
 
+(* A tiny line-oriented client against a spawned server: send request
+   values, read one response line per request. *)
+let with_server ?(jobs = 1) f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "argus-svc-tm-%d-%d.sock" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1000.) mod 100000))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg = { (Server.default_config ~socket_path:path) with Server.jobs } in
+  let h = Server.spawn ~handler:echo_handler cfg in
+  Fun.protect ~finally:(fun () -> ignore (Server.stop h)) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let ic = Unix.in_channel_of_descr fd in
+  let roundtrip req =
+    let s = Json.to_string (Protocol.request_to_json req) ^ "\n" in
+    ignore (Unix.write_substring fd s 0 (String.length s));
+    match input_line ic with
+    | line -> (
+        match Protocol.response_of_line line with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "bad response line %S: %s" line e)
+    | exception End_of_file -> Alcotest.fail "server closed early"
+  in
+  f roundtrip
+
+let test_server_trace_ids () =
+  with_server @@ fun roundtrip ->
+  (* Without a client id the server mints a deterministic sequence... *)
+  let r1 = roundtrip (req_check "a") in
+  let r2 = roundtrip (Protocol.request Protocol.Health) in
+  Alcotest.(check (option string)) "minted t1" (Some "t1") r1.Protocol.rtrace_id;
+  Alcotest.(check (option string))
+    "health gets one too" (Some "t2") r2.Protocol.rtrace_id;
+  (* ...and a client-supplied id is echoed untouched. *)
+  let r3 =
+    roundtrip (Protocol.request ~id:"c" ~source:"" ~trace_id:"corr-42"
+                 Protocol.Check)
+  in
+  Alcotest.(check (option string))
+    "client id echoed" (Some "corr-42") r3.Protocol.rtrace_id
+
+let test_server_stats_schema () =
+  with_server @@ fun roundtrip ->
+  ignore (roundtrip (req_check "warm"));
+  let r = roundtrip (Protocol.request Protocol.Stats) in
+  (match r.Protocol.outcome with
+  | Error (code, msg) -> Alcotest.failf "stats failed: %s %s" code msg
+  | Ok (_, payload) ->
+      let has k = List.mem_assoc k payload in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (Printf.sprintf "payload has %s" k) true
+            (has k))
+        [ "ready"; "queue_depth"; "queue_capacity"; "jobs"; "restarts";
+          "workers"; "breakers"; "counters"; "gauges"; "latency_ms";
+          "flight_recorded"; "now_ms" ];
+      (match List.assoc "latency_ms" payload with
+      | Json.Obj by_op ->
+          (* The warm-up check was observed under both the aggregate
+             and its per-op key. *)
+          List.iter
+            (fun key ->
+              match List.assoc_opt key by_op with
+              | Some (Json.Obj stats) ->
+                  List.iter
+                    (fun f ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s has %s" key f)
+                        true (List.mem_assoc f stats))
+                    [ "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+              | _ -> Alcotest.failf "latency_ms missing %s" key)
+            [ "all"; "check" ]
+      | _ -> Alcotest.fail "latency_ms is not an object");
+      (* The whole payload survives a JSON round-trip. *)
+      let j = Json.Obj payload in
+      (match Json.of_string (Json.to_string j) with
+      | Ok j' ->
+          Alcotest.(check bool) "stats json round-trips" true (Json.equal j j')
+      | Error e -> Alcotest.failf "stats json unparseable: %s" e));
+  (* Prometheus format: raw exposition text in the payload body. *)
+  let rp = roundtrip (Protocol.request ~format:"prometheus" Protocol.Stats) in
+  (match rp.Protocol.outcome with
+  | Ok (_, payload) -> (
+      match List.assoc_opt "body" payload with
+      | Some (Json.Str body) ->
+          Alcotest.(check bool) "exposition text" true
+            (String.length body > 0 && String.sub body 0 6 = "# TYPE")
+      | _ -> Alcotest.fail "prometheus body missing")
+  | Error (code, msg) -> Alcotest.failf "prometheus failed: %s %s" code msg);
+  (* An unknown format is a typed client error, not a crash. *)
+  let rb = roundtrip (Protocol.request ~format:"xml" Protocol.Stats) in
+  match rb.Protocol.outcome with
+  | Error ("svc/bad-request", _) -> ()
+  | _ -> Alcotest.fail "unknown format should be svc/bad-request"
+
+let test_server_traced_request () =
+  with_server @@ fun roundtrip ->
+  let r = roundtrip (Protocol.request ~id:"tr" ~source:"" ~trace:true
+                       Protocol.Check)
+  in
+  match r.Protocol.outcome with
+  | Error (code, msg) -> Alcotest.failf "traced check failed: %s %s" code msg
+  | Ok (_, payload) -> (
+      match List.assoc_opt "trace" payload with
+      | None -> Alcotest.fail "traced request carries no trace"
+      | Some tj -> (
+          match Argus_obs.Trace.span_of_json tj with
+          | None -> Alcotest.fail "trace does not parse as a span tree"
+          | Some span ->
+              Alcotest.(check string)
+                "root span is the op" "svc.check"
+                span.Argus_obs.Span.name;
+              Alcotest.(check bool)
+                "span has a duration" true
+                (span.Argus_obs.Span.dur_ns >= 0)))
+
 let () =
   Alcotest.run "argus-svc"
     [
@@ -568,6 +754,8 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_protocol_roundtrip;
           Alcotest.test_case "rejects bad requests" `Quick
             test_protocol_rejects;
+          Alcotest.test_case "telemetry fields" `Quick
+            test_protocol_telemetry_fields;
         ] );
       ( "supervisor",
         [
@@ -587,5 +775,11 @@ let () =
         [
           Alcotest.test_case "half-close still gets replies" `Quick
             test_server_half_close;
+          Alcotest.test_case "trace ids minted and echoed" `Quick
+            test_server_trace_ids;
+          Alcotest.test_case "stats schema round-trips" `Quick
+            test_server_stats_schema;
+          Alcotest.test_case "traced request returns span tree" `Quick
+            test_server_traced_request;
         ] );
     ]
