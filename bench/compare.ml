@@ -1,7 +1,14 @@
 (* Regression gate over two bench runs.
 
    Usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]
+                      [--require-improved KERNEL]...
           compare.exe --summary RESULTS.json
+
+   [--require-improved KERNEL] (repeatable) inverts the gate for that
+   kernel: the run fails unless KERNEL is present in both files and
+   strictly faster than baseline.  This pins a PR's headline
+   optimisation — a later change that quietly gives the win back fails
+   CI even though it would pass the regression threshold.
 
    Reads the "timings_ns_per_run" table of each argus-bench/1 results
    file, prints a per-kernel delta table, and exits non-zero when any
@@ -10,12 +17,13 @@
    reported but never fail the gate (benchmarks come and go across
    PRs); I/O or parse problems exit with status 2.
 
-   Kernels whose name contains "svc-" are advisory: they time a
-   request round-trip over a real Unix socket, so they measure
-   cross-domain scheduling latency, not CPU work — far too
-   wall-clock-bound for the smoke quota to gate on.  Their deltas are
-   printed (and the baseline records them for trajectory tracking) but
-   they never fail the gate.
+   Kernels whose name contains "svc-" or "par-" are advisory: the
+   former time a request round-trip over a real Unix socket, the
+   latter fan work across OCaml domains, so both measure cross-domain
+   scheduling latency, not CPU work — far too wall-clock-bound to gate
+   on (on shared hardware the par- scaling kernels swing ±30% run to
+   run).  Their deltas are printed (and the baseline records them for
+   trajectory tracking) but they never fail the gate.
 
    The service round-trip latency quantiles recorded by the bench's
    [bench.svc-*] histograms are printed as a second advisory section,
@@ -122,17 +130,19 @@ let print_armed_overhead baseline current =
   | _ -> ()
 
 let () =
-  let rec parse paths threshold summary = function
-    | [] -> (List.rev paths, threshold, summary)
+  let rec parse paths threshold summary required = function
+    | [] -> (List.rev paths, threshold, summary, List.rev required)
     | "--threshold" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some t -> parse paths t summary rest
+        | Some t -> parse paths t summary required rest
         | None -> fail "--threshold expects a number, got %S" v)
-    | "--summary" :: rest -> parse paths threshold true rest
-    | a :: rest -> parse (a :: paths) threshold summary rest
+    | "--summary" :: rest -> parse paths threshold true required rest
+    | "--require-improved" :: name :: rest ->
+        parse paths threshold summary (name :: required) rest
+    | a :: rest -> parse (a :: paths) threshold summary required rest
   in
-  let paths, threshold, summary =
-    parse [] 25.0 false (List.tl (Array.to_list Sys.argv))
+  let paths, threshold, summary, required =
+    parse [] 25.0 false [] (List.tl (Array.to_list Sys.argv))
   in
   if summary then begin
     match paths with
@@ -154,13 +164,15 @@ let () =
           | None -> Format.printf "%-34s %14s %14.0f %9s@." name "-" cur "new"
           | Some base ->
               let advisory =
-                (* e.g. "argus/svc-roundtrip" *)
-                let sub = "svc-" in
-                let n = String.length name and m = String.length sub in
-                let rec at i =
-                  i + m <= n && (String.sub name i m = sub || at (i + 1))
+                (* e.g. "argus/svc-roundtrip", "argus/par-exp-b" *)
+                let contains sub =
+                  let n = String.length name and m = String.length sub in
+                  let rec at i =
+                    i + m <= n && (String.sub name i m = sub || at (i + 1))
+                  in
+                  at 0
                 in
-                at 0
+                contains "svc-" || contains "par-"
               in
               let pct = (cur -. base) /. base *. 100. in
               let flag =
@@ -181,6 +193,25 @@ let () =
         baseline;
       print_service_quantiles current_path;
       print_armed_overhead baseline current;
+      let unimproved =
+        List.filter_map
+          (fun name ->
+            match
+              (List.assoc_opt name baseline, List.assoc_opt name current)
+            with
+            | Some base, Some cur when cur < base ->
+                Format.printf
+                  "required improvement held: %s (%.0f -> %.0f ns, %.1fx)@."
+                  name base cur (base /. cur);
+                None
+            | Some base, Some cur ->
+                Some
+                  (Format.asprintf "%s did not improve (%.0f -> %.0f ns)" name
+                     base cur)
+            | _ -> Some (name ^ " missing from baseline or current run"))
+          required
+      in
+      let failed = ref false in
       (match List.rev !regressions with
       | [] ->
           Format.printf "@.no kernel regressed more than %g%%@." threshold
@@ -190,5 +221,16 @@ let () =
           List.iter
             (fun (name, pct) -> Format.printf "  %s (+%.1f%%)@." name pct)
             rs;
-          exit 1)
-  | _ -> fail "usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]"
+          failed := true);
+      (match unimproved with
+      | [] -> ()
+      | msgs ->
+          Format.printf "@.%d required improvement(s) not held:@."
+            (List.length msgs);
+          List.iter (fun m -> Format.printf "  %s@." m) msgs;
+          failed := true);
+      if !failed then exit 1
+  | _ ->
+      fail
+        "usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT] \
+         [--require-improved KERNEL]..."

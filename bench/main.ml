@@ -16,6 +16,10 @@ module Informal = Argus_fallacy.Informal
 module Formal = Argus_fallacy.Formal
 module Greenwell = Argus_fallacy.Greenwell
 module Engine = Argus_prolog.Engine
+module Compile = Argus_prolog.Compile
+module Exec = Argus_prolog.Exec
+module Caseir = Argus_ir.Caseir
+module Fused = Argus_ir.Fused
 module Term = Argus_logic.Term
 module Prop = Argus_logic.Prop
 module Natded = Argus_logic.Natded
@@ -488,6 +492,14 @@ let bench_subjects =
   let greenwell_args =
     List.map (fun i -> i.Greenwell.argument) Greenwell.corpus
   in
+  (* Compiled kernels (DESIGN.md §13): program and query compiled once,
+     case interned once — the amortised steady state a service or a
+     corpus sweep runs in.  The *-vs-interpreted / intern-cost kernels
+     keep the un-amortised costs visible next to them. *)
+  let fig1_cp = Compile.program Informal.desert_bank in
+  let fig1_q = Compile.query [ goal ] in
+  let sample_ir = Caseir.intern sample_case in
+  let deep_ir = Caseir.intern deep_case in
   (* Direct CNF in which [p] and [q] appear with a single polarity, so
      DPLL's pure-literal elimination fires (Tseitin-encoded queries
      structurally never contain pure literals — DESIGN.md section 7). *)
@@ -502,7 +514,14 @@ let bench_subjects =
     Test.make ~name:"survey-counts" (Staged.stage (fun () ->
         ignore (Queries.report ())));
     Test.make ~name:"figure1-resolution" (Staged.stage (fun () ->
+        ignore (Exec.provable fig1_cp fig1_q)));
+    Test.make ~name:"prolog-compiled-vs-interpreted" (Staged.stage (fun () ->
         ignore (Engine.provable Informal.desert_bank goal)));
+    Test.make ~name:"ir-intern-cost" (Staged.stage (fun () ->
+        ignore (Caseir.intern deep_case)));
+    Test.make ~name:"fused-corpus-check" (Staged.stage (fun () ->
+        ignore (Fused.check sample_ir);
+        ignore (Fused.check deep_ir)));
     Test.make ~name:"greenwell-corpus-check" (Staged.stage (fun () ->
         List.iter
           (fun i -> ignore (Formal.check_propositional i.Greenwell.argument))

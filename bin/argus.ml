@@ -12,6 +12,9 @@ module Cae = Argus_cae.Cae
 module Informal = Argus_fallacy.Informal
 module Program = Argus_prolog.Program
 module Engine = Argus_prolog.Engine
+module Exec = Argus_prolog.Exec
+module Caseir = Argus_ir.Caseir
+module Fused = Argus_ir.Fused
 module Lterm = Argus_logic.Term
 module Diagnostic = Argus_core.Diagnostic
 module Json = Argus_core.Json
@@ -197,15 +200,20 @@ let check_cmd =
         | `Json -> (render_report ds, "", 1)
       in
       let lint structure =
-        if with_lints then Informal.check_structure ?budget structure else []
+        if with_lints then Fused.lint ?budget (Caseir.intern structure)
+        else []
       in
       match Dsl.parse_collection ~filename:path (read_file path) with
       | Error ds -> report_err ds
       | Ok [ case ] when case.Dsl.module_name = None ->
+          (* The single-case fast path: intern once, run well-formedness
+             and the lints as one fused pass over the IR. *)
+          let fused =
+            Fused.check ~ruleset ?budget ~lints:with_lints
+              (Caseir.intern case.Dsl.structure)
+          in
           let ds =
-            Wellformed.check ~ruleset case.Dsl.structure
-            @ Dsl.validate_metadata case
-            @ lint case.Dsl.structure
+            fused.Fused.wf @ Dsl.validate_metadata case @ fused.Fused.informal
           in
           report ds
       | Ok cases -> (
@@ -378,7 +386,7 @@ let fallacies_cmd =
     | Ok case ->
         let budget = budget_of_spec spec in
         let ds =
-          Informal.check_structure ?budget case.Dsl.structure
+          Fused.lint ?budget (Caseir.intern case.Dsl.structure)
           @ budget_diags budget
         in
         Format.printf "%a" Diagnostic.pp_report ds;
@@ -406,8 +414,8 @@ let prove_cmd =
             let budget = budget_of_spec spec in
             let result =
               match budget with
-              | None -> Engine.prove ~max_depth program goal
-              | Some b -> Engine.prove ~max_depth ~budget:b program goal
+              | None -> Exec.prove_term ~max_depth program goal
+              | Some b -> Exec.prove_term ~max_depth ~budget:b program goal
             in
             let warn () =
               match budget_diags budget with
@@ -444,7 +452,7 @@ let cae_cmd =
     | Ok case ->
         let cae = Cae.of_gsn case.Dsl.structure in
         Format.printf "%a" Cae.pp_outline cae;
-        exit_of_diags (Cae.check cae)
+        exit_of_diags (Fused.check_cae (Fused.intern_cae cae))
   in
   Cmd.v
     (Cmd.info "cae" ~doc:"Translate a GSN case to Claims-Argument-Evidence")
@@ -475,7 +483,8 @@ let import_cmd =
         1
     | Ok structure ->
         Format.printf "%a" Structure.pp_outline structure;
-        exit_of_diags (Wellformed.check structure)
+        exit_of_diags
+          (Fused.check ~lints:false (Caseir.intern structure)).Fused.wf
   in
   Cmd.v
     (Cmd.info "import"

@@ -54,6 +54,7 @@ let supporters id t =
     t.links
 
 let size t = Id.Map.cardinal t.node_map
+let links t = t.links
 
 let has_cycle t =
   let rec visit path visited id =

@@ -38,6 +38,10 @@ val find : Argus_core.Id.t -> t -> node option
 val supporters : Argus_core.Id.t -> t -> Argus_core.Id.t list
 val size : t -> int
 
+val links : t -> (Argus_core.Id.t * Argus_core.Id.t) list
+(** All [(supported, supporter)] pairs in insertion order — the raw
+    relation {!check} walks, exposed for the fused array-IR checker. *)
+
 val check : t -> Argus_core.Diagnostic.t list
 (** Codes under ["cae/"]: ["cae/dangling-link"],
     ["cae/claim-without-argument"], ["cae/multiple-arguments"],

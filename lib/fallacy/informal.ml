@@ -73,6 +73,9 @@ let contains_ci hay needle =
     in
     go 0
 
+let argues_from_ignorance text =
+  List.exists (contains_ci text) ignorance_phrases
+
 (* Path enumeration on a dense DAG is exponential and a lint need not
    be exhaustive, so the circular-support walk always runs under a
    budget: the caller's if one was passed, otherwise an internal
@@ -126,7 +129,7 @@ let check_structure ?budget structure =
   (* Argument from ignorance. *)
   List.iter
     (fun n ->
-      if List.exists (contains_ci n.Node.text) ignorance_phrases then
+      if argues_from_ignorance n.Node.text then
         add
           (Diagnostic.warningf ~code:"informal/argument-from-ignorance"
              ~subjects:[ n.Node.id ]

@@ -23,6 +23,15 @@ val equivocation_candidates : Argus_prolog.Program.t -> string list
     different things in different clauses.  For {!desert_bank} this is
     exactly [["bank"]]. *)
 
+val argues_from_ignorance : string -> bool
+(** The text-level predicate behind ["informal/argument-from-ignorance"]
+    (case-insensitive phrase scan), exposed so the fused array-IR
+    checker ({!Argus_ir.Fused}) shares it. *)
+
+val default_walk_fuel : int
+(** Fuel of the internal budget the circular-support walk runs under
+    when the caller passes none (10,000 steps). *)
+
 val check_structure :
   ?budget:Argus_rt.Budget.t ->
   Argus_gsn.Structure.t ->

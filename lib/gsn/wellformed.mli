@@ -39,3 +39,22 @@ val is_well_formed : ?ruleset:ruleset -> Structure.t -> bool
 val error_codes : string list
 (** All error codes the checker can emit, for the experiment harness's
     defect classification. *)
+
+(** {2 Rule predicates}
+
+    The pure per-link / per-node predicates behind the checker, exposed
+    so the fused array-IR checker ({!Argus_ir.Fused}) applies literally
+    the same rules rather than a re-transcription of them. *)
+
+val support_target_ok : Node.node_type -> Node.node_type -> bool
+(** [support_target_ok src dst]: may [src] be supported by [dst]? *)
+
+val context_source_ok : Node.node_type -> bool
+val context_target_ok : Node.node_type -> bool
+
+val has_placeholder : string -> bool
+(** Text still contains a [{placeholder}]. *)
+
+val claims_universally : string -> bool
+(** Text contains a universal marker ("all", "always", "never",
+    "every", "any") — the paper's wcet example hinges on one. *)

@@ -1,0 +1,59 @@
+(** Array-backed interning of a GSN structure.
+
+    {!Argus_gsn.Structure.t} is a persistent, edit-friendly
+    representation; every traversal query scans its link list.  The
+    fused checker ({!Fused}) instead runs over this flat form: an
+    entity table mapping every id the structure mentions — nodes first,
+    in insertion order, then dangling link endpoints in link-scan order
+    — to a dense integer index, CSR-style adjacency arrays over those
+    indices, and per-node caches of the text derivations the checkers
+    recompute on every legacy run.
+
+    Dangling endpoints are first-class entities because the legacy
+    traversals propagate through them: a missing node's own outgoing
+    links still feed reachability and the cycle search.  An entity
+    index [i] names a real node iff [i < n_nodes].
+
+    Intern once, check many times: the structure and its texts are
+    immutable, so everything here — roots, reachability, content words
+    — is computed a single time and amortised over every subsequent
+    {!Fused.check}.  [ir.interned] counts interning passes. *)
+
+type t = {
+  structure : Argus_gsn.Structure.t;  (** The source, for evidence lookups. *)
+  n_nodes : int;  (** Entities [0 .. n_nodes-1] are real nodes. *)
+  n_entities : int;  (** Nodes plus dangling link endpoints. *)
+  ids : Argus_core.Id.t array;  (** Entity index to id. *)
+  nodes : Argus_gsn.Node.t array;  (** Length [n_nodes], insertion order. *)
+  link_kind : Argus_gsn.Structure.link array;  (** Insertion order. *)
+  link_src : int array;
+  link_dst : int array;
+  sup_out_off : int array;  (** CSR offsets, length [n_entities + 1]. *)
+  sup_out : int array;  (** SupportedBy targets, link order per entity. *)
+  sup_in_off : int array;
+  sup_in : int array;  (** SupportedBy sources, link order per entity. *)
+  ctx_out_off : int array;
+  ctx_out : int array;  (** InContextOf targets, link order per entity. *)
+  roots : int list;  (** As {!Argus_gsn.Structure.roots}, node order. *)
+  reachable : bool array;
+      (** {!Argus_gsn.Wellformed}'s reachability: the SupportedBy
+          closure of the roots plus one InContextOf hop from it. *)
+  goal_like : bool array;  (** Per node: {!Argus_gsn.Node.is_goal_like}. *)
+  norm : string array;  (** Per node: normalised content-word text. *)
+  content : string list array;
+      (** Per node: {!Argus_core.Textutil.content_words}. *)
+  ignorance : bool array;
+      (** Per node: {!Argus_fallacy.Informal.argues_from_ignorance}. *)
+  universal : bool array;
+      (** Per goal-like node:
+          {!Argus_gsn.Wellformed.claims_universally}. *)
+  propositional : bool array;
+      (** Per [Goal] node: {!Argus_gsn.Node.looks_propositional}. *)
+}
+(** Treat all fields as read-only; the checkers index them freely. *)
+
+val intern : Argus_gsn.Structure.t -> t
+
+val has_cycle : t -> Argus_core.Id.t list option
+(** {!Argus_gsn.Structure.has_cycle} over the interned adjacency — the
+    same entry order and DFS, so the same witness. *)

@@ -1,0 +1,524 @@
+(* The fused checker: GSN well-formedness, the informal-fallacy lints
+   and the CAE rules, each run as index walks over an interned case
+   instead of three independent tree traversals over [Structure.t].
+
+   This is a reimplementation, not a refactor: {!Argus_gsn.Wellformed},
+   {!Argus_fallacy.Informal} and {!Argus_cae.Cae} keep their list-walk
+   code and serve as the differential oracle (test/ir holds the two to
+   byte-identical diagnostic lists, the same pattern the compiled
+   Prolog engine uses against the interpreter).  Everything observable
+   is preserved: diagnostics and their order after {!Diagnostic.sort}
+   (the per-code emission orders below match the legacy per-code orders,
+   and the sort is stable), the [gsn.wf.*] counters, the
+   [gsn.wellformed*] spans, and the circular-support walk's budget
+   ticks — one per visit, skipped for on-path ids, charged even for
+   dangling endpoints, exactly as the legacy walk's short-circuit
+   evaluates.  [ir.fused_passes] counts passes. *)
+
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Evidence = Argus_core.Evidence
+module Node = Argus_gsn.Node
+module Structure = Argus_gsn.Structure
+module Wellformed = Argus_gsn.Wellformed
+module Informal = Argus_fallacy.Informal
+module Cae = Argus_cae.Cae
+module Budget = Argus_rt.Budget
+module Span = Argus_obs.Span
+module Counter = Argus_obs.Counter
+
+type result = { wf : Diagnostic.t list; informal : Diagnostic.t list }
+
+let c_fused = Counter.make "ir.fused_passes"
+
+(* The same counters [Wellformed] registers — [Counter.make] interns by
+   name, so both checkers feed one catalogue entry. *)
+let c_nodes_visited = Counter.make "gsn.wf.nodes_visited"
+let c_links_checked = Counter.make "gsn.wf.links_checked"
+let c_findings = Counter.make "gsn.wf.findings"
+
+(* The per-node lints (argument-from-ignorance, equivocation among
+   sibling goals) for node [i] — legacy runs these as two whole-node
+   scans; here they ride the well-formedness node loop.  The stable
+   {!Diagnostic.sort} groups findings back by code, so the interleaved
+   emission sorts identically to the legacy scan-by-scan order. *)
+let node_lints (ir : Caseir.t) i inf_add =
+  let ids = ir.Caseir.ids in
+  let n_nodes = ir.Caseir.n_nodes in
+  let sup_out_off = ir.Caseir.sup_out_off and sup_out = ir.Caseir.sup_out in
+  if ir.Caseir.ignorance.(i) then
+    inf_add
+      (Diagnostic.warningf ~code:"informal/argument-from-ignorance"
+         ~subjects:[ ids.(i) ]
+         "claim argued from absence of evidence; confirm the search \
+          procedure was adequate");
+  let goal_children = ref [] in
+  for k = sup_out_off.(i + 1) - 1 downto sup_out_off.(i) do
+    let j = sup_out.(k) in
+    if j < n_nodes && ir.Caseir.goal_like.(j) then
+      goal_children := j :: !goal_children
+  done;
+  match !goal_children with
+  | _ :: _ :: _ as siblings ->
+      let word_sets =
+        List.map (fun j -> (j, ir.Caseir.content.(j))) siblings
+      in
+      let rec pairs = function
+        | [] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.iter
+        (fun ((j1, ws1), (j2, ws2)) ->
+          let shared = List.filter (fun w -> List.mem w ws2) ws1 in
+          let only1 = List.filter (fun w -> not (List.mem w ws2)) ws1 in
+          let only2 = List.filter (fun w -> not (List.mem w ws1)) ws2 in
+          match shared with
+          | [ word ] when List.length only1 >= 3 && List.length only2 >= 3 ->
+              inf_add
+                (Diagnostic.warningf ~code:"informal/equivocation-candidate"
+                   ~subjects:[ ids.(j1); ids.(j2) ]
+                   "the word %S links otherwise-unrelated sibling goals; \
+                    check it means the same thing in both"
+                   word)
+          | _ -> ())
+        (pairs word_sets)
+  | _ -> ()
+
+(* The circular-support walk — the one lint that is a path traversal
+   rather than a node scan, so it keeps its own (budgeted) walk.  Tick
+   accounting matches the legacy walk exactly: one tick per visit,
+   skipped for on-path ids (the [||] short-circuit), charged even for
+   dangling endpoints. *)
+let circular_walk ?budget (ir : Caseir.t) inf_add =
+  let walk_budget, internal =
+    match budget with
+    | Some b -> (b, false)
+    | None -> (Budget.make ~fuel:Informal.default_walk_fuel (), true)
+  in
+  let n_nodes = ir.Caseir.n_nodes in
+  let sup_out_off = ir.Caseir.sup_out_off and sup_out = ir.Caseir.sup_out in
+  let on_path = Array.make (max 1 ir.Caseir.n_entities) false in
+  let rec walk ancestors i =
+    if on_path.(i) || not (Budget.tick walk_budget ~engine:"informal") then ()
+    else if i >= n_nodes then ()
+    else begin
+      let here = ir.Caseir.norm.(i) in
+      let gl = ir.Caseir.goal_like.(i) in
+      if
+        gl && here <> ""
+        && List.exists (fun (ai, atext) -> ai <> i && atext = here) ancestors
+      then
+        inf_add
+          (Diagnostic.warningf ~code:"informal/circular-support"
+             ~subjects:[ ir.Caseir.ids.(i) ]
+             "goal restates an ancestor goal's claim");
+      let ancestors' = if gl then (i, here) :: ancestors else ancestors in
+      on_path.(i) <- true;
+      for k = sup_out_off.(i) to sup_out_off.(i + 1) - 1 do
+        walk ancestors' sup_out.(k)
+      done;
+      on_path.(i) <- false
+    end
+  in
+  List.iter (walk []) ir.Caseir.roots;
+  if internal then List.iter inf_add (Budget.diagnostics walk_budget)
+
+let check ?(ruleset = Wellformed.Standard) ?budget ?(lints = true)
+    (ir : Caseir.t) =
+  Counter.incr c_fused;
+  let wf_out = ref [] in
+  let wf_add d =
+    Counter.incr c_findings;
+    wf_out := d :: !wf_out
+  in
+  let inf_out = ref [] in
+  let inf_add d = inf_out := d :: !inf_out in
+  let n_nodes = ir.Caseir.n_nodes in
+  let ids = ir.Caseir.ids in
+  let nodes = ir.Caseir.nodes in
+  let sup_out_off = ir.Caseir.sup_out_off in
+  Span.with_ ~name:"gsn.wellformed" (fun () ->
+      (* Link rules. *)
+      Span.with_ ~name:"gsn.wellformed.links" (fun () ->
+          for k = 0 to Array.length ir.Caseir.link_kind - 1 do
+            Counter.incr c_links_checked;
+            let si = ir.Caseir.link_src.(k)
+            and di = ir.Caseir.link_dst.(k) in
+            let src = ids.(si) and dst = ids.(di) in
+            if si >= n_nodes || di >= n_nodes then
+              wf_add
+                (Diagnostic.errorf ~code:"gsn/dangling-link"
+                   ~subjects:[ src; dst ] "link references a missing node")
+            else
+              let s = nodes.(si) and d = nodes.(di) in
+              match ir.Caseir.link_kind.(k) with
+              | Structure.Supported_by ->
+                  if
+                    not
+                      (Wellformed.support_target_ok s.Node.node_type
+                         d.Node.node_type)
+                  then
+                    wf_add
+                      (Diagnostic.errorf ~code:"gsn/bad-support-link"
+                         ~subjects:[ src; dst ]
+                         "a %s cannot be supported by a %s"
+                         (Node.type_to_string s.Node.node_type)
+                         (Node.type_to_string d.Node.node_type))
+                  else if
+                    ruleset = Wellformed.Denney_pai_2013
+                    && s.Node.node_type = Node.Goal
+                    && d.Node.node_type = Node.Goal
+                  then
+                    wf_add
+                      (Diagnostic.errorf ~code:"gsn/dp-goal-under-goal"
+                         ~subjects:[ src; dst ]
+                         "goal directly supports a goal (forbidden by the \
+                          Denney-Pai 2013 formalisation, though the GSN \
+                          standard allows it)")
+              | Structure.In_context_of ->
+                  let bad_src =
+                    not (Wellformed.context_source_ok s.Node.node_type)
+                  in
+                  let bad_dst =
+                    not (Wellformed.context_target_ok d.Node.node_type)
+                  in
+                  if bad_src || bad_dst then
+                    if
+                      (match s.Node.node_type with
+                      | Node.Away_goal _ -> true
+                      | _ -> false)
+                      && d.Node.node_type = Node.Solution
+                    then
+                      wf_add
+                        (Diagnostic.errorf
+                           ~code:"gsn/solution-in-context-of-away-goal"
+                           ~subjects:[ src; dst ]
+                           "a solution cannot be in the context of an away \
+                            goal")
+                    else
+                      wf_add
+                        (Diagnostic.errorf ~code:"gsn/bad-context-link"
+                           ~subjects:[ src; dst ]
+                           "%s cannot be in the context of %s"
+                           (Node.type_to_string d.Node.node_type)
+                           (Node.type_to_string s.Node.node_type))
+          done);
+      (* Cycles. *)
+      Span.with_ ~name:"gsn.wellformed.cycles" (fun () ->
+          match Caseir.has_cycle ir with
+          | None -> ()
+          | Some witness ->
+              wf_add
+                (Diagnostic.errorf ~code:"gsn/cycle" ~subjects:witness
+                   "the SupportedBy relation is cyclic"));
+      (* Roots. *)
+      let roots = ir.Caseir.roots in
+      (if n_nodes > 0 then
+         match roots with
+         | [] ->
+             wf_add
+               (Diagnostic.error ~code:"gsn/no-root"
+                  "no root element (every non-contextual node is supported)")
+         | [ root ] ->
+             let n = nodes.(root) in
+             if n.Node.node_type <> Node.Goal then
+               wf_add
+                 (Diagnostic.warningf ~code:"gsn/root-not-goal"
+                    ~subjects:[ ids.(root) ]
+                    "the root element is a %s, not a goal"
+                    (Node.type_to_string n.Node.node_type))
+         | _ :: _ :: _ ->
+             wf_add
+               (Diagnostic.warningf ~code:"gsn/multiple-roots"
+                  ~subjects:(List.map (fun i -> ids.(i)) roots)
+                  "%d root elements (a connected argument has one)"
+                  (List.length roots)));
+      (* Per-node rules, with the per-node lints fused in. *)
+      Span.with_ ~name:"gsn.wellformed.nodes" (fun () ->
+          for i = 0 to n_nodes - 1 do
+            Counter.incr c_nodes_visited;
+            let n = nodes.(i) in
+            let id = ids.(i) in
+            let unsupported = sup_out_off.(i + 1) = sup_out_off.(i) in
+            if String.trim n.Node.text = "" then
+              wf_add
+                (Diagnostic.errorf ~code:"gsn/empty-text" ~subjects:[ id ]
+                   "node has no text");
+            (match n.Node.status with
+            | Node.Developed ->
+                if Wellformed.has_placeholder n.Node.text then
+                  wf_add
+                    (Diagnostic.errorf ~code:"gsn/placeholder-text"
+                       ~subjects:[ id ]
+                       "developed node still contains a {placeholder}")
+            | Node.Uninstantiated | Node.Undeveloped_uninstantiated ->
+                wf_add
+                  (Diagnostic.warningf ~code:"gsn/uninstantiated"
+                     ~subjects:[ id ] "node awaits instantiation")
+            | Node.Undeveloped ->
+                if not unsupported then
+                  wf_add
+                    (Diagnostic.warningf ~code:"gsn/undeveloped-with-support"
+                       ~subjects:[ id ]
+                       "node is marked undeveloped yet has supporting \
+                        elements"));
+            (match n.Node.node_type with
+            | Node.Goal ->
+                if
+                  unsupported
+                  && (n.Node.status = Node.Developed
+                     || n.Node.status = Node.Uninstantiated)
+                then
+                  wf_add
+                    (Diagnostic.errorf ~code:"gsn/unsupported-goal"
+                       ~subjects:[ id ]
+                       "goal is neither supported nor marked undeveloped");
+                if not ir.Caseir.propositional.(i) then
+                  wf_add
+                    (Diagnostic.warningf ~code:"gsn/non-propositional-goal"
+                       ~subjects:[ id ]
+                       "goal text does not read as a proposition")
+            | Node.Strategy ->
+                if
+                  unsupported
+                  && (n.Node.status = Node.Developed
+                     || n.Node.status = Node.Uninstantiated)
+                then
+                  wf_add
+                    (Diagnostic.errorf ~code:"gsn/undeveloped-strategy"
+                       ~subjects:[ id ]
+                       "strategy has no supporting goals and is not marked \
+                        undeveloped")
+            | Node.Solution -> (
+                match n.Node.evidence with
+                | None ->
+                    wf_add
+                      (Diagnostic.warningf
+                         ~code:"gsn/solution-without-evidence" ~subjects:[ id ]
+                         "solution cites no evidence item")
+                | Some ev_id -> (
+                    match
+                      Structure.find_evidence ev_id ir.Caseir.structure
+                    with
+                    | None ->
+                        wf_add
+                          (Diagnostic.errorf ~code:"gsn/unknown-evidence"
+                             ~subjects:[ id; ev_id ]
+                             "solution cites an unregistered evidence item")
+                    | Some ev ->
+                        for k = ir.Caseir.sup_in_off.(i)
+                            to ir.Caseir.sup_in_off.(i + 1) - 1 do
+                          let pi = ir.Caseir.sup_in.(k) in
+                          if
+                            pi < n_nodes
+                            && ir.Caseir.goal_like.(pi)
+                            && ir.Caseir.universal.(pi)
+                            && not
+                                 (Evidence.supports_kind ev.Evidence.kind
+                                    Evidence.Universal)
+                          then
+                            wf_add
+                              (Diagnostic.warningf ~code:"gsn/weak-evidence"
+                                 ~subjects:[ ids.(pi); id ]
+                                 "universal claim rests on %s evidence"
+                                 (Evidence.kind_to_string ev.Evidence.kind))
+                        done))
+            | Node.Context | Node.Assumption | Node.Justification
+            | Node.Away_goal _ | Node.Module_ref _ | Node.Contract _ ->
+                ());
+            if (not ir.Caseir.reachable.(i)) && ir.Caseir.roots <> [] then
+              wf_add
+                (Diagnostic.warningf ~code:"gsn/unreachable" ~subjects:[ id ]
+                   "node is not reachable from any root");
+            if lints then node_lints ir i inf_add
+          done));
+  if lints then circular_walk ?budget ir inf_add;
+  {
+    wf = Diagnostic.sort (List.rev !wf_out);
+    informal = Diagnostic.sort (List.rev !inf_out);
+  }
+
+(* Lints alone, for callers that would have invoked only
+   {!Argus_fallacy.Informal.check_structure} — no [gsn.wf.*] counters,
+   no [gsn.wellformed*] spans, just the informal findings. *)
+let lint ?budget (ir : Caseir.t) =
+  Counter.incr c_fused;
+  let inf_out = ref [] in
+  let inf_add d = inf_out := d :: !inf_out in
+  for i = 0 to ir.Caseir.n_nodes - 1 do
+    node_lints ir i inf_add
+  done;
+  circular_walk ?budget ir inf_add;
+  Diagnostic.sort (List.rev !inf_out)
+
+(* --- CAE --- *)
+
+type cae_ir = {
+  n_cae_nodes : int;
+  n_cae_entities : int;
+  cae_ids : Id.t array;
+  cae_nodes : Cae.node array;
+  cae_src : int array;  (** Per link: the supported entity. *)
+  cae_dst : int array;  (** Per link: the supporting entity. *)
+  supp_off : int array;  (** CSR: supporters per entity, link order. *)
+  supp : int array;
+  is_supporter : bool array;  (** Entity appears as some link's dst. *)
+}
+
+let intern_cae cae =
+  let nodes = Array.of_list (Cae.nodes cae) in
+  let n_nodes = Array.length nodes in
+  let links = Array.of_list (Cae.links cae) in
+  let n_links = Array.length links in
+  let index = Hashtbl.create (2 * (n_nodes + 1)) in
+  Array.iteri
+    (fun i n -> Hashtbl.replace index (Id.to_string n.Cae.id) i)
+    nodes;
+  let extra = ref [] in
+  let next = ref n_nodes in
+  let entity id =
+    let key = Id.to_string id in
+    match Hashtbl.find_opt index key with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add index key i;
+        extra := id :: !extra;
+        i
+  in
+  let cae_src = Array.make n_links 0 in
+  let cae_dst = Array.make n_links 0 in
+  Array.iteri
+    (fun k (src, dst) ->
+      cae_src.(k) <- entity src;
+      cae_dst.(k) <- entity dst)
+    links;
+  let n_entities = !next in
+  let cae_ids = Array.make (max 1 n_entities) (Id.of_string "x") in
+  Array.iteri (fun i n -> cae_ids.(i) <- n.Cae.id) nodes;
+  List.iteri (fun j id -> cae_ids.(n_entities - 1 - j) <- id) !extra;
+  let count = Array.make n_entities 0 in
+  Array.iter (fun s -> count.(s) <- count.(s) + 1) cae_src;
+  let supp_off = Array.make (n_entities + 1) 0 in
+  for i = 0 to n_entities - 1 do
+    supp_off.(i + 1) <- supp_off.(i) + count.(i)
+  done;
+  let supp = Array.make supp_off.(n_entities) 0 in
+  let cursor = Array.copy supp_off in
+  for k = 0 to n_links - 1 do
+    let s = cae_src.(k) in
+    supp.(cursor.(s)) <- cae_dst.(k);
+    cursor.(s) <- cursor.(s) + 1
+  done;
+  let is_supporter = Array.make (max 1 n_entities) false in
+  Array.iter (fun d -> is_supporter.(d) <- true) cae_dst;
+  {
+    n_cae_nodes = n_nodes;
+    n_cae_entities = n_entities;
+    cae_ids;
+    cae_nodes = nodes;
+    cae_src;
+    cae_dst;
+    supp_off;
+    supp;
+    is_supporter;
+  }
+
+let cae_type_string = function
+  | Cae.Claim -> "claim"
+  | Cae.Argument -> "argument"
+  | Cae.Evidence_ref -> "evidence"
+
+let check_cae ir =
+  Counter.incr c_fused;
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let n_nodes = ir.n_cae_nodes in
+  let ids = ir.cae_ids in
+  for k = 0 to Array.length ir.cae_src - 1 do
+    let si = ir.cae_src.(k) and di = ir.cae_dst.(k) in
+    let src = ids.(si) and dst = ids.(di) in
+    if si >= n_nodes || di >= n_nodes then
+      add
+        (Diagnostic.errorf ~code:"cae/dangling-link" ~subjects:[ src; dst ]
+           "support link references a missing node")
+    else
+      let s = ir.cae_nodes.(si) and d = ir.cae_nodes.(di) in
+      match (s.Cae.node_type, d.Cae.node_type) with
+      | Cae.Claim, Cae.Argument
+      | Cae.Argument, (Cae.Claim | Cae.Evidence_ref) ->
+          ()
+      | Cae.Claim, Cae.Evidence_ref ->
+          add
+            (Diagnostic.errorf ~code:"cae/bad-support" ~subjects:[ src; dst ]
+               "evidence must support a claim via an argument node")
+      | _ ->
+          add
+            (Diagnostic.errorf ~code:"cae/bad-support" ~subjects:[ src; dst ]
+               "a %s cannot be supported by a %s"
+               (cae_type_string s.Cae.node_type)
+               (cae_type_string d.Cae.node_type))
+  done;
+  (* The legacy cycle test: path-only DFS from every node entity. *)
+  let has_cycle =
+    let rec visit path i =
+      List.mem i path
+      ||
+      let path = i :: path in
+      let rec go k =
+        k < ir.supp_off.(i + 1) && (visit path ir.supp.(k) || go (k + 1))
+      in
+      go ir.supp_off.(i)
+    in
+    let rec entries i = i < n_nodes && (visit [] i || entries (i + 1)) in
+    entries 0
+  in
+  if has_cycle then
+    add (Diagnostic.error ~code:"cae/cycle" "the support relation is cyclic");
+  let root_claims = ref false in
+  for i = 0 to n_nodes - 1 do
+    if ir.cae_nodes.(i).Cae.node_type = Cae.Claim && not ir.is_supporter.(i)
+    then root_claims := true
+  done;
+  if n_nodes > 0 && not !root_claims then
+    add (Diagnostic.error ~code:"cae/no-root" "no top-level claim");
+  for i = 0 to n_nodes - 1 do
+    let n = ir.cae_nodes.(i) in
+    if String.trim n.Cae.text = "" then
+      add
+        (Diagnostic.errorf ~code:"cae/empty-text" ~subjects:[ ids.(i) ]
+           "node has no text");
+    let n_sup = ir.supp_off.(i + 1) - ir.supp_off.(i) in
+    match n.Cae.node_type with
+    | Cae.Claim ->
+        let args = ref 0 in
+        for k = ir.supp_off.(i) to ir.supp_off.(i + 1) - 1 do
+          let j = ir.supp.(k) in
+          if j < n_nodes && ir.cae_nodes.(j).Cae.node_type = Cae.Argument
+          then incr args
+        done;
+        if (not n.Cae.premise) && !args = 0 then
+          add
+            (Diagnostic.errorf ~code:"cae/claim-without-argument"
+               ~subjects:[ ids.(i) ]
+               "claim is not a premise and has no supporting argument");
+        if !args > 1 then
+          add
+            (Diagnostic.warningf ~code:"cae/multiple-arguments"
+               ~subjects:[ ids.(i) ]
+               "claim has %d argument nodes (the methodology expects one)"
+               !args)
+    | Cae.Argument ->
+        if n_sup = 0 then
+          add
+            (Diagnostic.errorf ~code:"cae/empty-argument"
+               ~subjects:[ ids.(i) ]
+               "argument node cites no evidence or subclaims")
+    | Cae.Evidence_ref ->
+        if n_sup > 0 then
+          add
+            (Diagnostic.errorf ~code:"cae/evidence-not-leaf"
+               ~subjects:[ ids.(i) ] "evidence must be a leaf")
+  done;
+  Diagnostic.sort (List.rev !out)

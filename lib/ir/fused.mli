@@ -1,0 +1,49 @@
+(** The fused checker: well-formedness and the informal-fallacy lints
+    in one pass over an interned case ({!Caseir}), and the CAE rules
+    over an interned CAE graph.
+
+    A reimplementation with the legacy checkers as differential oracle:
+    {!check} produces byte-identical diagnostic lists to
+    {!Argus_gsn.Wellformed.check} and
+    {!Argus_fallacy.Informal.check_structure} on the same structure —
+    same findings, same order, same budget tick accounting for the
+    circular-support walk — and {!check_cae} likewise matches
+    {!Argus_cae.Cae.check} (test/ir holds them to it).  The
+    [gsn.wf.*] counters and [gsn.wellformed*] spans fire exactly as
+    the legacy checker's do; [ir.fused_passes] counts fused passes. *)
+
+type result = {
+  wf : Argus_core.Diagnostic.t list;
+      (** As {!Argus_gsn.Wellformed.check}. *)
+  informal : Argus_core.Diagnostic.t list;
+      (** As {!Argus_fallacy.Informal.check_structure}; [[]] when the
+          pass ran with [~lints:false]. *)
+}
+
+val check :
+  ?ruleset:Argus_gsn.Wellformed.ruleset ->
+  ?budget:Argus_rt.Budget.t ->
+  ?lints:bool ->
+  Caseir.t ->
+  result
+(** [budget] governs only the circular-support walk, exactly as in
+    {!Argus_fallacy.Informal.check_structure}: when absent the walk
+    runs under an internal {!Argus_fallacy.Informal.default_walk_fuel}
+    budget whose exhaustion is reported in [informal].  [lints]
+    (default [true]) set to [false] skips the lints — and hence never
+    touches the budget, matching a caller that never invoked the
+    legacy lint entry point. *)
+
+val lint :
+  ?budget:Argus_rt.Budget.t -> Caseir.t -> Argus_core.Diagnostic.t list
+(** The informal lints alone — byte-identical to
+    {!Argus_fallacy.Informal.check_structure}, without firing any
+    [gsn.wf.*] counters or [gsn.wellformed*] spans, for callers that
+    only lint. *)
+
+type cae_ir
+
+val intern_cae : Argus_cae.Cae.t -> cae_ir
+
+val check_cae : cae_ir -> Argus_core.Diagnostic.t list
+(** Byte-identical to {!Argus_cae.Cae.check}. *)

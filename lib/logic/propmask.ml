@@ -1,0 +1,94 @@
+(* Bit-parallel truth tables for small formulas.  A formula set over
+   [n <= 5] variables has at most 32 distinct valuations, so a whole
+   truth table fits in one native int: bit [r] is the formula's value
+   under valuation [r] (variable [i] true iff bit [i] of [r] is set).
+   Every connective is then a single word operation across all
+   valuations at once, and satisfiability / equivalence / entailment
+   become mask comparisons — no search, no allocation on the query
+   path.
+
+   The table is always 32 rows wide regardless of how many of the five
+   variable slots are in use: unused variables just duplicate rows,
+   which no supported query can observe (they all compare masks built
+   over the same universe).  That keeps the variable columns compile-
+   time constants and the environment build allocation-light — it
+   matters, because {!Argus_fallacy.Formal} builds one per argument.
+
+   This is the fast path the formal-fallacy detectors take for
+   Greenwell-scale arguments (two or three atoms each); formulas with
+   more variables, or budgeted queries (whose tick accounting the DPLL
+   path owns), fall back to {!Sat}.  The answers are exact — a truth
+   table is the semantics — so the fallback boundary never changes a
+   verdict, which the differential tests in test/fallacy hold us to. *)
+
+let max_vars = 5
+let universe = 0xFFFFFFFF
+
+(* Column [i]: the 32 rows where variable [i] is true. *)
+let cols = [| 0xAAAAAAAA; 0xCCCCCCCC; 0xF0F0F0F0; 0xFF00FF00; 0xFFFF0000 |]
+
+type env = {
+  n : int;  (** Variable slots in use. *)
+  names : string array;  (** Length {!max_vars}; slots [>= n] unused. *)
+}
+
+let c_envs = Argus_obs.Counter.make "logic.mask_envs"
+
+exception Overflow
+
+let rec scan names n p =
+  match p with
+  | Prop.Top | Prop.Bot -> ()
+  | Prop.Var v ->
+      let k = !n in
+      let rec find i =
+        if i >= k then
+          if k >= max_vars then raise Overflow
+          else begin
+            names.(k) <- v;
+            n := k + 1
+          end
+        else if String.equal names.(i) v then ()
+        else find (i + 1)
+      in
+      find 0
+  | Prop.Not a -> scan names n a
+  | Prop.And (a, b) | Prop.Or (a, b) | Prop.Implies (a, b) | Prop.Iff (a, b) ->
+      scan names n a;
+      scan names n b
+
+let env props =
+  let names = Array.make max_vars "" in
+  let n = ref 0 in
+  match List.iter (fun p -> scan names n p) props with
+  | () ->
+      Argus_obs.Counter.incr c_envs;
+      Some { n = !n; names }
+  | exception Overflow -> None
+
+let var_col e v =
+  let rec find i =
+    if i >= e.n then invalid_arg ("Propmask.mask: unknown variable " ^ v)
+    else if String.equal (Array.unsafe_get e.names i) v then
+      Array.unsafe_get cols i
+    else find (i + 1)
+  in
+  find 0
+
+let rec mask e = function
+  | Prop.Top -> universe
+  | Prop.Bot -> 0
+  | Prop.Var v -> var_col e v
+  | Prop.Not a -> universe land lnot (mask e a)
+  | Prop.And (a, b) -> mask e a land mask e b
+  | Prop.Or (a, b) -> mask e a lor mask e b
+  | Prop.Implies (a, b) -> (universe land lnot (mask e a)) lor mask e b
+  | Prop.Iff (a, b) -> universe land lnot (mask e a lxor mask e b)
+
+let satisfiable e f = mask e f <> 0
+let valid e f = mask e f = universe
+let equivalent e a b = mask e a = mask e b
+
+let entails e premises conclusion =
+  let p = List.fold_left (fun acc f -> acc land mask e f) universe premises in
+  p land lnot (mask e conclusion) land universe = 0

@@ -1,0 +1,33 @@
+(** Bit-parallel truth tables for formulas over at most {!max_vars}
+    variables: the whole table lives in one native int (bit [r] = value
+    under valuation [r], always 32 rows — unused variable slots
+    duplicate rows, which mask comparisons cannot observe), connectives
+    are word operations, and the decision procedures are mask
+    comparisons.
+
+    Exact — a truth table {e is} the propositional semantics — so
+    answers agree with {!Sat} wherever both apply.  Intended as the
+    small-formula fast path for the formal-fallacy detectors
+    ({!Argus_fallacy.Formal}); budgeted queries stay on the DPLL path,
+    which owns tick accounting.  [logic.mask_envs] counts environments
+    built. *)
+
+val max_vars : int
+(** 5: 32 valuation rows, comfortably inside a native int. *)
+
+type env
+(** An interning of a variable set (≤ {!max_vars}) to truth-table
+    columns.  Build once per argument, query many times. *)
+
+val env : Prop.t list -> env option
+(** [None] when the formulas mention more than {!max_vars} distinct
+    variables (first-occurrence order, as {!Prop.vars}). *)
+
+val mask : env -> Prop.t -> int
+(** The formula's truth table.  @raise Invalid_argument on a variable
+    the environment was not built over. *)
+
+val satisfiable : env -> Prop.t -> bool
+val valid : env -> Prop.t -> bool
+val equivalent : env -> Prop.t -> Prop.t -> bool
+val entails : env -> Prop.t list -> Prop.t -> bool

@@ -115,18 +115,38 @@ let compile_uncached (program : Program.t) =
   { total = List.length entries; buckets; var_heads; all = entries }
 
 (* Programs are immutable lists, so the dispatch table for a given list
-   value never changes: a one-entry physical-identity cache makes
-   repeated [solve]/[provable] calls on the same program (the common
-   pattern in the CLI and benchmarks) reuse the compiled index instead
-   of rebuilding it per query. *)
-let compile_cache : (Program.t * compiled) option ref = ref None
+   value never changes: a physical-identity cache makes repeated
+   [solve]/[provable] calls on the same program (the common pattern in
+   the CLI and benchmarks) reuse the compiled index instead of
+   rebuilding it per query.  The cache holds several programs per
+   domain (the original one-entry slot thrashed as soon as two programs
+   alternated, e.g. a corpus scan interleaving cases) and lives in
+   [Domain.DLS] so pool workers never contend.  [prolog.compilations]
+   counts actual builds — the regression test for the thrash asserts it
+   stays flat under alternation. *)
+let c_compilations = Argus_obs.Counter.make "prolog.compilations"
+let cache_capacity = 8
+
+let compile_cache : (Program.t * compiled) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let compile (program : Program.t) =
-  match !compile_cache with
-  | Some (p, c) when p == program -> c
-  | _ ->
+  let cache = Domain.DLS.get compile_cache in
+  let rec find = function
+    | [] -> None
+    | (p, c) :: _ when p == program -> Some c
+    | _ :: rest -> find rest
+  in
+  match find !cache with
+  | Some c -> c
+  | None ->
+      Argus_obs.Counter.incr c_compilations;
       let c = compile_uncached program in
-      compile_cache := Some (program, c);
+      let entries = (program, c) :: !cache in
+      cache :=
+        (if List.length entries > cache_capacity then
+           List.filteri (fun i _ -> i < cache_capacity) entries
+         else entries);
       c
 
 (* Candidates for a goal, cheapest filter first: predicate/arity

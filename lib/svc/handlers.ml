@@ -7,6 +7,9 @@ module Modular = Argus_gsn.Modular
 module Informal = Argus_fallacy.Informal
 module Program = Argus_prolog.Program
 module Engine = Argus_prolog.Engine
+module Exec = Argus_prolog.Exec
+module Caseir = Argus_ir.Caseir
+module Fused = Argus_ir.Fused
 module Lterm = Argus_logic.Term
 module Proof_text = Argus_logic.Proof_text
 module Natded = Argus_logic.Natded
@@ -37,7 +40,7 @@ let check (req : Protocol.request) ~budget =
     | _ -> Wellformed.Standard
   in
   let lint structure =
-    if req.Protocol.lints then Informal.check_structure ?budget structure
+    if req.Protocol.lints then Fused.lint ?budget (Caseir.intern structure)
     else []
   in
   match
@@ -45,10 +48,13 @@ let check (req : Protocol.request) ~budget =
   with
   | Error ds -> report_response ~id ds
   | Ok [ case ] when case.Dsl.module_name = None ->
+      (* Single-case fast path: one interning, one fused pass. *)
+      let fused =
+        Fused.check ~ruleset ?budget ~lints:req.Protocol.lints
+          (Caseir.intern case.Dsl.structure)
+      in
       let ds =
-        Wellformed.check ~ruleset case.Dsl.structure
-        @ Dsl.validate_metadata case
-        @ lint case.Dsl.structure
+        fused.Fused.wf @ Dsl.validate_metadata case @ fused.Fused.informal
         @ budget_diags budget
       in
       report_response ~id ds
@@ -70,7 +76,7 @@ let fallacies (req : Protocol.request) ~budget =
   | Error ds -> report_response ~id ds
   | Ok case ->
       let ds =
-        Informal.check_structure ?budget case.Dsl.structure
+        Fused.lint ?budget (Caseir.intern case.Dsl.structure)
         @ budget_diags budget
       in
       report_response ~id ds
@@ -88,8 +94,8 @@ let prove (req : Protocol.request) ~budget =
           | Ok goal ->
               let derivation =
                 match budget with
-                | None -> Engine.prove program goal
-                | Some b -> Engine.prove ~budget:b program goal
+                | None -> Exec.prove_term program goal
+                | Some b -> Exec.prove_term ~budget:b program goal
               in
               let warnings = budget_diags budget in
               let payload =

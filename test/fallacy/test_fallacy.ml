@@ -285,6 +285,92 @@ let valid_syllogisms_clean =
           else true)
         (Syllogism.all_moods_figures ()))
 
+(* --- Truth-table masks vs. DPLL --- *)
+
+module Propmask = Argus_logic.Propmask
+module Sat = Argus_logic.Sat
+module Budget = Argus_rt.Budget
+
+(* Random formulas over at most Propmask.max_vars variables, so the
+   mask environment always builds. *)
+let gen_prop =
+  let open QCheck.Gen in
+  let var = map (fun i -> Prop.Var (Printf.sprintf "v%d" i)) (int_range 0 4) in
+  let leaf = oneof [ var; return Prop.Top; return Prop.Bot ] in
+  sized_size (int_range 0 12)
+    (fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               leaf;
+               map Prop.neg (self (n - 1));
+               map2 (fun a b -> Prop.And (a, b)) sub sub;
+               map2 (fun a b -> Prop.Or (a, b)) sub sub;
+               map2 (fun a b -> Prop.Implies (a, b)) sub sub;
+               map2 (fun a b -> Prop.Iff (a, b)) sub sub;
+             ]))
+
+(* A truth table IS the propositional semantics, so every mask decision
+   procedure must agree with the SAT solver wherever both apply. *)
+let propmask_agrees_with_sat =
+  QCheck.Test.make ~name:"truth-table masks agree with DPLL" ~count:500
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Prop.to_string a ^ "  /  " ^ Prop.to_string b)
+       QCheck.Gen.(pair gen_prop gen_prop))
+    (fun (a, b) ->
+      match Propmask.env [ a; b ] with
+      | None -> false (* ≤ 5 variables by construction *)
+      | Some env ->
+          Bool.equal (Propmask.satisfiable env a) (Sat.satisfiable a)
+          && Bool.equal (Propmask.valid env a) (Sat.valid a)
+          && Bool.equal (Propmask.equivalent env a b) (Sat.equivalent a b)
+          && Bool.equal
+               (Propmask.entails env [ a ] b)
+               (Sat.entails [ a ] b))
+
+(* The formal-fallacy detector answers identically whether its SAT
+   queries run on the mask fast path (unbudgeted) or the DPLL path (any
+   limited budget forces it; a generous fuel never exhausts, so the
+   findings must coincide exactly). *)
+let formal_findings_path_independent =
+  QCheck.Test.make ~name:"formal findings agree between mask and DPLL paths"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (ps, c) ->
+         String.concat ", " (List.map Prop.to_string ps)
+         ^ " |- " ^ Prop.to_string c)
+       QCheck.Gen.(pair (list_size (int_range 1 3) gen_prop) gen_prop))
+    (fun (premises, conclusion) ->
+      let arg = { Formal.premises; conclusion } in
+      let unbudgeted = Formal.check_propositional arg in
+      let b = Budget.make ~fuel:(max_int - 1) () in
+      let budgeted = Formal.check_propositional ~budget:b arg in
+      unbudgeted = budgeted
+      && Bool.equal
+           (Formal.is_valid_propositional arg)
+           (Formal.is_valid_propositional
+              ~budget:(Budget.make ~fuel:(max_int - 1) ())
+              arg))
+
+(* The whole Greenwell corpus, both paths: the corpus sweep is the
+   greenwell-corpus-check bench kernel's workload, so the mask fast
+   path must answer it exactly as the DPLL path does. *)
+let test_corpus_path_independent () =
+  List.iter
+    (fun (i : Greenwell.instance) ->
+      let unbudgeted = Formal.check_propositional i.Greenwell.argument in
+      let budgeted =
+        Formal.check_propositional
+          ~budget:(Budget.make ~fuel:(max_int - 1) ())
+          i.Greenwell.argument
+      in
+      if unbudgeted <> budgeted then
+        Alcotest.failf "%s: mask and DPLL paths disagree" i.Greenwell.system)
+    Greenwell.corpus
+
 let () =
   Alcotest.run "argus-fallacy"
     [
@@ -339,5 +425,12 @@ let () =
             test_equivocation_candidate_in_structure;
           Alcotest.test_case "clean structure" `Quick
             test_clean_structure_no_lints;
+        ] );
+      ( "propmask",
+        [
+          QCheck_alcotest.to_alcotest propmask_agrees_with_sat;
+          QCheck_alcotest.to_alcotest formal_findings_path_independent;
+          Alcotest.test_case "greenwell corpus path-independent" `Quick
+            test_corpus_path_independent;
         ] );
     ]

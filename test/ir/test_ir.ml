@@ -1,0 +1,365 @@
+(* The fused array-IR checker against its legacy oracles: for every
+   structure, Fused.check must render byte-identically to
+   Wellformed.check + Informal.check_structure (same findings, same
+   order, same budget ticks), and Fused.check_cae to Cae.check. *)
+
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Evidence = Argus_core.Evidence
+module Budget = Argus_rt.Budget
+module Node = Argus_gsn.Node
+module Structure = Argus_gsn.Structure
+module Wellformed = Argus_gsn.Wellformed
+module Informal = Argus_fallacy.Informal
+module Cae = Argus_cae.Cae
+module Caseir = Argus_ir.Caseir
+module Fused = Argus_ir.Fused
+
+let render ds = Format.asprintf "%a" Diagnostic.pp_report ds
+let rulesets = [ Wellformed.Standard; Wellformed.Denney_pai_2013 ]
+let fuels = [ 1; 2; 3; 5; 100 ]
+
+(* --- The adversarial case battery --- *)
+
+let battery : (string * Structure.t) list =
+  [
+    ( "clean",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "S1");
+            (Structure.Supported_by, "S1", "G2");
+            (Structure.Supported_by, "G2", "Sn1");
+            (Structure.In_context_of, "G1", "C1");
+          ]
+        ~evidence:
+          [
+            Evidence.make ~id:(Id.of_string "E1") ~kind:Evidence.Test_results
+              "tests";
+          ]
+        [
+          Node.goal "G1" "The system is acceptably safe";
+          Node.strategy "S1" "Argue over hazards";
+          Node.goal "G2" "Hazard H1 is mitigated";
+          Node.solution ~evidence:"E1" "Sn1" "Test report";
+          Node.context "C1" "Operating context";
+        ] );
+    ( "dangling",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "Gmissing");
+            (Structure.Supported_by, "Gmissing", "Gmissing2");
+            (Structure.Supported_by, "Gzz", "G1");
+            (Structure.In_context_of, "Cnope", "G1");
+          ]
+        [ Node.goal "G1" "Claim one holds" ] );
+    ( "cycle",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "G2");
+            (Structure.Supported_by, "G2", "G3");
+            (Structure.Supported_by, "G3", "G1");
+          ]
+        [
+          Node.goal "G1" "A holds";
+          Node.goal "G2" "B holds";
+          Node.goal "G3" "C holds";
+        ] );
+    ( "cycle-dangling",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "Gx");
+            (Structure.Supported_by, "Gx", "G1");
+          ]
+        [ Node.goal "G1" "A holds" ] );
+    ( "badlinks",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "C1", "G1");
+            (Structure.Supported_by, "Sn1", "G1");
+            (Structure.Supported_by, "S1", "Sn1");
+            (Structure.In_context_of, "AG1", "Sn1");
+            (Structure.In_context_of, "Sn1", "C1");
+            (Structure.In_context_of, "G1", "G2");
+          ]
+        [
+          Node.goal "G1" "All inputs are validated always";
+          Node.goal "G2" "Another goal is here";
+          Node.strategy "S1" "Argue by cases";
+          Node.solution "Sn1" "Evidence doc";
+          Node.context "C1" "Some context";
+          Node.make ~id:(Id.of_string "AG1")
+            ~node_type:(Node.Away_goal (Id.of_string "M1"))
+            "Away goal claim text";
+        ] );
+    ( "statuses",
+      Structure.of_nodes
+        ~links:[ (Structure.Supported_by, "G1", "G2") ]
+        [
+          Node.make ~id:(Id.of_string "G1") ~node_type:Node.Goal
+            ~status:Node.Undeveloped "Top claim {TBD} is safe";
+          Node.make ~id:(Id.of_string "G2") ~node_type:Node.Goal
+            ~status:Node.Uninstantiated "Formal proof of Quat4::quat";
+          Node.make ~id:(Id.of_string "G3") ~node_type:Node.Goal
+            ~status:Node.Undeveloped_uninstantiated "";
+          Node.strategy "S1" "   ";
+        ] );
+    ( "weak-evidence",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "Sn1");
+            (Structure.Supported_by, "G2", "Sn1");
+            (Structure.Supported_by, "G1", "G2");
+          ]
+        ~evidence:
+          [
+            Evidence.make ~id:(Id.of_string "E1") ~kind:Evidence.Test_results
+              "a test";
+          ]
+        [
+          Node.goal "G1" "The system never deadlocks";
+          Node.goal "G2" "Deadlock is impossible in every mode";
+          Node.solution ~evidence:"E1" "Sn1" "Test log";
+        ] );
+    ( "evidence-refs",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "Sn1");
+            (Structure.Supported_by, "G1", "Sn2");
+          ]
+        [
+          Node.goal "G1" "Claims are supported";
+          Node.solution ~evidence:"Enope" "Sn1" "Missing evidence";
+          Node.solution "Sn2" "No evidence cited";
+        ] );
+    ( "informal",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "S1");
+            (Structure.Supported_by, "S1", "G2");
+            (Structure.Supported_by, "S1", "G3");
+            (Structure.Supported_by, "G2", "G4");
+            (Structure.Supported_by, "G1", "G5");
+            (Structure.Supported_by, "G5", "G6");
+          ]
+        [
+          Node.goal "G1" "The system is acceptably safe to operate";
+          Node.strategy "S1" "Argue over banks";
+          Node.goal "G2" "The river bank erosion control scheme performs well";
+          Node.goal "G3" "The bank branch office ledger computation is audited";
+          Node.goal "G4" "There is no evidence that failures occur";
+          Node.goal "G5" "Intermediate claim stands firmly";
+          Node.goal "G6" "The system is acceptably safe to operate";
+        ] );
+    ( "multi-root",
+      Structure.of_nodes [ Node.goal "G1" "A is true"; Node.goal "G2" "B is true" ]
+    );
+    ( "root-not-goal",
+      Structure.of_nodes
+        ~links:[ (Structure.Supported_by, "S1", "G1") ]
+        [ Node.strategy "S1" "Argue somehow"; Node.goal "G1" "A claim is made" ]
+    );
+    ( "no-root",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "G2");
+            (Structure.Supported_by, "G2", "G1");
+          ]
+        [ Node.goal "G1" "A holds"; Node.goal "G2" "B holds" ] );
+    ("empty", Structure.of_nodes []);
+    ( "unreachable",
+      Structure.of_nodes
+        ~links:
+          [
+            (Structure.Supported_by, "G1", "G2");
+            (Structure.Supported_by, "G3", "G3b");
+            (Structure.Supported_by, "G3b", "G3");
+            (Structure.In_context_of, "G2", "C1");
+          ]
+        [
+          Node.goal "G1" "Root claim is here";
+          Node.goal "G2" "Child claim is here";
+          Node.goal "G3" "Island claim floats";
+          Node.goal "G3b" "Island partner floats";
+          Node.context "C1" "Reachable context";
+        ] );
+  ]
+
+(* Full parity on one structure: wf and informal for both rulesets,
+   budgeted informal with identical step accounting, and CAE.  Returns
+   an error description, or None when everything matches. *)
+let parity_failure name s =
+  let fail = ref None in
+  let record fmt = Printf.ksprintf (fun m -> if !fail = None then fail := Some m) fmt in
+  List.iter
+    (fun ruleset ->
+      let legacy_wf = Wellformed.check ~ruleset s in
+      let fused = Fused.check ~ruleset (Caseir.intern s) in
+      if render legacy_wf <> render fused.Fused.wf then
+        record "%s: wf mismatch\n--- legacy:\n%s--- fused:\n%s" name
+          (render legacy_wf) (render fused.Fused.wf);
+      let legacy_inf = Informal.check_structure s in
+      if render legacy_inf <> render fused.Fused.informal then
+        record "%s: informal mismatch\n--- legacy:\n%s--- fused:\n%s" name
+          (render legacy_inf) (render fused.Fused.informal);
+      List.iter
+        (fun fuel ->
+          let b1 = Budget.make ~fuel () in
+          let b2 = Budget.make ~fuel () in
+          let legacy_b = Informal.check_structure ~budget:b1 s in
+          let fused_b = Fused.check ~ruleset ~budget:b2 (Caseir.intern s) in
+          if render legacy_b <> render fused_b.Fused.informal then
+            record "%s: budgeted informal mismatch at fuel %d" name fuel;
+          if Budget.steps b1 <> Budget.steps b2 then
+            record "%s: step mismatch at fuel %d (legacy %d, fused %d)" name
+              fuel (Budget.steps b1) (Budget.steps b2))
+        fuels)
+    rulesets;
+  let cae = Cae.of_gsn s in
+  let legacy_cae = Cae.check cae in
+  let fused_cae = Fused.check_cae (Fused.intern_cae cae) in
+  if render legacy_cae <> render fused_cae then
+    record "%s: CAE mismatch\n--- legacy:\n%s--- fused:\n%s" name
+      (render legacy_cae) (render fused_cae);
+  let lint = Fused.lint (Caseir.intern s) in
+  if render (Informal.check_structure s) <> render lint then
+    record "%s: Fused.lint mismatch" name;
+  !fail
+
+let test_battery () =
+  List.iter
+    (fun (name, s) ->
+      match parity_failure name s with
+      | None -> ()
+      | Some msg -> Alcotest.fail msg)
+    battery
+
+(* ~lints:false must skip the lints entirely — and hence never touch
+   the budget, matching a caller that never invoked the legacy lint
+   entry point. *)
+let test_lints_off_leaves_budget_untouched () =
+  let s = List.assoc "informal" battery in
+  let b = Budget.make ~fuel:50 () in
+  let r = Fused.check ~budget:b ~lints:false (Caseir.intern s) in
+  Alcotest.(check int) "no informal findings" 0 (List.length r.Fused.informal);
+  Alcotest.(check int) "no budget ticks" 0 (Budget.steps b);
+  Alcotest.(check string) "wf unchanged" (render (Wellformed.check s))
+    (render r.Fused.wf)
+
+let test_ir_counters_advance () =
+  let interned = Argus_obs.Counter.make "ir.interned"
+  and passes = Argus_obs.Counter.make "ir.fused_passes" in
+  let i0 = Argus_obs.Counter.value interned
+  and p0 = Argus_obs.Counter.value passes in
+  let s = List.assoc "clean" battery in
+  let ir = Caseir.intern s in
+  ignore (Fused.check ir);
+  ignore (Fused.lint ir);
+  Alcotest.(check bool) "ir.interned advanced" true
+    (Argus_obs.Counter.value interned > i0);
+  Alcotest.(check bool) "ir.fused_passes counted both passes" true
+    (Argus_obs.Counter.value passes >= p0 + 2)
+
+(* --- Random structures --- *)
+
+(* Texts chosen to tickle every lint: ignorance phrases, shared-word
+   equivocation among goal siblings, universal claims, placeholders,
+   blanks, non-propositional goal text. *)
+let texts =
+  [|
+    "The system is acceptably safe";
+    "There is no evidence that failures occur";
+    "The river bank erosion control scheme performs well";
+    "The bank branch office ledger computation is audited";
+    "All inputs are always validated";
+    "Deadlock is impossible in every mode";
+    "";
+    "Claim {TBD} is pending";
+    "Formal proof of Quat4::quat";
+    "Argue over hazards";
+    "Test report";
+  |]
+
+let gen_structure =
+  let open QCheck.Gen in
+  let node i =
+    map2
+      (fun (tcode, scode) text ->
+        let node_type =
+          match tcode with
+          | 0 | 1 -> Node.Goal
+          | 2 -> Node.Strategy
+          | 3 -> Node.Solution
+          | 4 -> Node.Context
+          | 5 -> Node.Assumption
+          | _ -> Node.Away_goal (Id.of_string "M1")
+        in
+        let status =
+          match scode with
+          | 0 | 1 -> Node.Developed
+          | 2 -> Node.Undeveloped
+          | 3 -> Node.Uninstantiated
+          | _ -> Node.Undeveloped_uninstantiated
+        in
+        Node.make
+          ~id:(Id.of_string (Printf.sprintf "N%d" i))
+          ~node_type ~status
+          texts.(text mod Array.length texts))
+      (pair (int_bound 6) (int_bound 4))
+      (int_bound (Array.length texts - 1))
+  in
+  let link n =
+    map2
+      (fun (kind, dangle) (a, b) ->
+        let name j = Printf.sprintf "N%d" j in
+        let src = if dangle = 0 then "Nowhere" else name (a mod n) in
+        let dst = if dangle = 1 then "Nada" else name (b mod n) in
+        ((if kind then Structure.Supported_by else Structure.In_context_of),
+         src, dst))
+      (pair bool (int_bound 11))
+      (pair (int_bound (n - 1)) (int_bound (n - 1)))
+  in
+  int_range 1 8 >>= fun n ->
+  pair
+    (flatten_l (List.init n node))
+    (list_size (int_range 0 12) (link n))
+  |> map (fun (nodes, links) -> Structure.of_nodes ~links nodes)
+
+let print_structure s =
+  String.concat "; "
+    (List.map
+       (fun (n : Node.t) ->
+         Printf.sprintf "%s %s %S" (Id.to_string n.Node.id)
+           (Node.type_to_string n.Node.node_type)
+           n.Node.text)
+       (Structure.nodes s))
+
+let fused_matches_legacy_on_random_structures =
+  QCheck.Test.make ~name:"fused checker = legacy checkers (random structures)"
+    ~count:300
+    (QCheck.make ~print:print_structure gen_structure)
+    (fun s ->
+      match parity_failure "random" s with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
+let () =
+  Alcotest.run "argus-ir"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "adversarial battery" `Quick test_battery;
+          Alcotest.test_case "lints off leaves budget untouched" `Quick
+            test_lints_off_leaves_budget_untouched;
+          Alcotest.test_case "counters advance" `Quick test_ir_counters_advance;
+          QCheck_alcotest.to_alcotest fused_matches_legacy_on_random_structures;
+        ] );
+    ]

@@ -375,6 +375,99 @@ let derivations_replayable =
           in
           sound d)
 
+(* --- Compiled executor vs. the interpreter --- *)
+
+module Exec = Argus_prolog.Exec
+module Budget = Argus_rt.Budget
+
+(* The compiled executor performs exactly the interpreter's search, so
+   the solution streams must agree — same bindings, same order — up to
+   the names of variables a solution leaves unbound (the executor reads
+   those back as fresh [_G<n>] names). *)
+let compiled_agrees_with_interpreter =
+  QCheck.Test.make ~name:"compiled executor = interpreter (solutions, in order)"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (p, g) -> Program.to_string p ^ " ?- " ^ Term.to_string g)
+       gen_program_and_goal)
+    (fun (program, goal) ->
+      let interp =
+        take_bindings goal 12 (Engine.solve ~max_depth:24 program [ goal ])
+      in
+      let compiled =
+        Exec.solutions_term ~max_depth:24 ~limit:12 program goal
+      in
+      List.compare_lengths interp compiled = 0
+      && List.for_all2 bindings_similar interp compiled)
+
+let compiled_agrees_on_recursion =
+  QCheck.Test.make
+    ~name:"compiled executor = interpreter (recursive provability)" ~count:80
+    QCheck.(pair (int_range 1 6) (pair (int_bound 7) (int_bound 7)))
+    (fun (n, (a, b)) ->
+      let program = chain_program n in
+      let goal =
+        Term.app "path"
+          [
+            Term.const (Printf.sprintf "c%d" a);
+            Term.const (Printf.sprintf "c%d" b);
+          ]
+      in
+      Bool.equal
+        (Engine.provable ~max_depth:32 program goal)
+        (Exec.provable_term ~max_depth:32 program goal))
+
+(* Both engines tick the budget once per clause candidate tried and
+   truncate at the same solution cap, so under the same fuel they must
+   stop at the same step count with the same partial answer list. *)
+let compiled_budget_parity =
+  QCheck.Test.make
+    ~name:"compiled executor ticks the budget like the interpreter" ~count:150
+    (QCheck.make
+       ~print:(fun ((p, g), fuel) ->
+         Printf.sprintf "%s ?- %s  (fuel %d)" (Program.to_string p)
+           (Term.to_string g) fuel)
+       QCheck.Gen.(pair gen_program_and_goal (int_range 1 40)))
+    (fun ((program, goal), fuel) ->
+      let b1 = Budget.make ~fuel () in
+      let b2 = Budget.make ~fuel () in
+      let interp =
+        Engine.solutions ~max_depth:24 ~budget:b1 ~limit:8 program goal
+      in
+      let compiled =
+        Exec.solutions_term ~max_depth:24 ~budget:b2 ~limit:8 program goal
+      in
+      List.compare_lengths interp compiled = 0
+      && List.for_all2 bindings_similar interp compiled
+      && Budget.steps b1 = Budget.steps b2
+      && Bool.equal (Budget.exhausted b1 <> None) (Budget.exhausted b2 <> None))
+
+(* Regression for the one-entry compile cache: alternating between two
+   programs must not recompile on every call (the original cache held a
+   single entry, so A/B/A/B thrashed it). *)
+let test_compile_cache_holds_alternating_programs () =
+  let compilations = Argus_obs.Counter.make "prolog.compilations" in
+  let g_bank = term "adjacent(desert_bank, river)" in
+  let g_family = term "parent(tom, X)" in
+  (* Warm both cache entries. *)
+  ignore (Exec.provable_term desert_bank g_bank);
+  ignore (Exec.provable_term family g_family);
+  let c0 = Argus_obs.Counter.value compilations in
+  for _ = 1 to 10 do
+    ignore (Exec.provable_term desert_bank g_bank);
+    ignore (Exec.provable_term family g_family)
+  done;
+  Alcotest.(check int) "alternating programs never recompile" 0
+    (Argus_obs.Counter.value compilations - c0)
+
+(* The compiled-calls counter attributes work to the executor. *)
+let test_compiled_calls_counted () =
+  let calls = Argus_obs.Counter.make "prolog.compiled_calls" in
+  let c0 = Argus_obs.Counter.value calls in
+  ignore (Exec.provable_term desert_bank (term "adjacent(desert_bank, river)"));
+  Alcotest.(check bool) "prolog.compiled_calls advanced" true
+    (Argus_obs.Counter.value calls > c0)
+
 let () =
   Alcotest.run "argus-prolog"
     [
@@ -411,5 +504,15 @@ let () =
           QCheck_alcotest.to_alcotest indexed_agrees_on_recursion;
           Alcotest.test_case "counter invariants" `Quick
             test_index_counter_invariants;
+        ] );
+      ( "compiled",
+        [
+          QCheck_alcotest.to_alcotest compiled_agrees_with_interpreter;
+          QCheck_alcotest.to_alcotest compiled_agrees_on_recursion;
+          QCheck_alcotest.to_alcotest compiled_budget_parity;
+          Alcotest.test_case "cache holds alternating programs" `Quick
+            test_compile_cache_holds_alternating_programs;
+          Alcotest.test_case "compiled calls counted" `Quick
+            test_compiled_calls_counted;
         ] );
     ]
