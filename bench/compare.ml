@@ -2,6 +2,7 @@
 
    Usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]
                       [--require-improved KERNEL]...
+                      [--require-speedup SLOW:FAST:RATIO]...
           compare.exe --summary RESULTS.json
 
    [--require-improved KERNEL] (repeatable) inverts the gate for that
@@ -9,6 +10,15 @@
    strictly faster than baseline.  This pins a PR's headline
    optimisation — a later change that quietly gives the win back fails
    CI even though it would pass the regression threshold.
+
+   [--require-speedup SLOW:FAST:RATIO] (repeatable) gates a ratio
+   WITHIN the current run: the run fails unless both kernels are
+   present in CURRENT.json and SLOW is at least RATIO times slower
+   than FAST.  Where --require-improved pins a win against history,
+   this pins a structural invariant of one run — e.g. that an
+   incremental store edit stays two orders of magnitude under the full
+   re-check it replaces — so it holds even when the baseline predates
+   the kernels or the host changes speed.
 
    Reads the "timings_ns_per_run" table of each argus-bench/1 results
    file, prints a per-kernel delta table, and exits non-zero when any
@@ -130,19 +140,30 @@ let print_armed_overhead baseline current =
   | _ -> ()
 
 let () =
-  let rec parse paths threshold summary required = function
-    | [] -> (List.rev paths, threshold, summary, List.rev required)
+  let rec parse paths threshold summary required speedups = function
+    | [] -> (List.rev paths, threshold, summary, List.rev required,
+             List.rev speedups)
     | "--threshold" :: v :: rest -> (
         match float_of_string_opt v with
-        | Some t -> parse paths t summary required rest
+        | Some t -> parse paths t summary required speedups rest
         | None -> fail "--threshold expects a number, got %S" v)
-    | "--summary" :: rest -> parse paths threshold true required rest
+    | "--summary" :: rest -> parse paths threshold true required speedups rest
     | "--require-improved" :: name :: rest ->
-        parse paths threshold summary (name :: required) rest
-    | a :: rest -> parse (a :: paths) threshold summary required rest
+        parse paths threshold summary (name :: required) speedups rest
+    | "--require-speedup" :: spec :: rest -> (
+        match String.split_on_char ':' spec with
+        | [ slow; fast; ratio ] -> (
+            match float_of_string_opt ratio with
+            | Some r when r > 0. ->
+                parse paths threshold summary required
+                  ((slow, fast, r) :: speedups)
+                  rest
+            | _ -> fail "--require-speedup: bad ratio in %S" spec)
+        | _ -> fail "--require-speedup expects SLOW:FAST:RATIO, got %S" spec)
+    | a :: rest -> parse (a :: paths) threshold summary required speedups rest
   in
-  let paths, threshold, summary, required =
-    parse [] 25.0 false [] (List.tl (Array.to_list Sys.argv))
+  let paths, threshold, summary, required, speedups =
+    parse [] 25.0 false [] [] (List.tl (Array.to_list Sys.argv))
   in
   if summary then begin
     match paths with
@@ -211,6 +232,32 @@ let () =
             | _ -> Some (name ^ " missing from baseline or current run"))
           required
       in
+      let unheld_speedups =
+        List.filter_map
+          (fun (slow, fast, ratio) ->
+            match
+              (List.assoc_opt slow current, List.assoc_opt fast current)
+            with
+            | Some s, Some f when f > 0. ->
+                let got = s /. f in
+                if got >= ratio then begin
+                  Format.printf
+                    "required speedup held: %s runs %.0fx under %s (need \
+                     %.0fx)@."
+                    fast got slow ratio;
+                  None
+                end
+                else
+                  Some
+                    (Format.asprintf
+                       "%s is only %.1fx faster than %s (need %.0fx)" fast got
+                       slow ratio)
+            | _ ->
+                Some
+                  (Format.asprintf "%s or %s missing from current run" slow
+                     fast))
+          speedups
+      in
       let failed = ref false in
       (match List.rev !regressions with
       | [] ->
@@ -229,8 +276,15 @@ let () =
             (List.length msgs);
           List.iter (fun m -> Format.printf "  %s@." m) msgs;
           failed := true);
+      (match unheld_speedups with
+      | [] -> ()
+      | msgs ->
+          Format.printf "@.%d required speedup(s) not held:@."
+            (List.length msgs);
+          List.iter (fun m -> Format.printf "  %s@." m) msgs;
+          failed := true);
       if !failed then exit 1
   | _ ->
       fail
         "usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT] \
-         [--require-improved KERNEL]..."
+         [--require-improved KERNEL]... [--require-speedup SLOW:FAST:RATIO]..."

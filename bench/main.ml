@@ -31,6 +31,7 @@ module Pattern = Argus_patterns.Pattern
 module Proofgen = Argus_proofgen.Proofgen
 module Modular = Argus_gsn.Modular
 module Pool = Argus_par.Pool
+module Store = Argus_store.Store
 open Argus_experiments
 
 let section title =
@@ -327,6 +328,61 @@ let bench_modular =
     Modular.empty
     (List.init n_modules Fun.id)
 
+(* A bushy-and-shallow case for the incremental-store kernels: one
+   root goal fanned over [strategies] strategies of [leaves] undeveloped
+   leaf goals each.  Shallow keeps the Merkle ancestor cone of any leaf
+   at three nodes; bushy keeps the node count high.  Sibling leaf texts
+   share most of their content words, so the equivocation pair scan
+   runs but stays quiet — the store's dirty-cone cost, not a diagnostic
+   flood, is what these kernels time. *)
+let bench_store_case ~strategies ~leaves =
+  let module Node = Argus_gsn.Node in
+  let id = Argus_core.Id.of_string in
+  let root = Node.goal "G0" "the system is acceptably safe in every mode" in
+  let nodes =
+    root
+    :: List.concat_map
+         (fun i ->
+           Node.strategy
+             (Printf.sprintf "S%d" i)
+             (Printf.sprintf "argue over the modes of operating region %d" i)
+           :: List.init leaves (fun j ->
+                  Node.make
+                    ~id:(id (Printf.sprintf "G%d_%d" i j))
+                    ~node_type:Node.Goal ~status:Node.Undeveloped
+                    (Printf.sprintf
+                       "operating region %d mode %d remains safe during \
+                        sustained operation"
+                       i j)))
+         (List.init strategies Fun.id)
+  in
+  let links =
+    List.concat_map
+      (fun i ->
+        (Structure.Supported_by, "G0", Printf.sprintf "S%d" i)
+        :: List.init leaves (fun j ->
+               ( Structure.Supported_by,
+                 Printf.sprintf "S%d" i,
+                 Printf.sprintf "G%d_%d" i j )))
+      (List.init strategies Fun.id)
+  in
+  Structure.of_nodes ~links nodes
+
+(* ~110k nodes for the headline edit-one-node kernels, ~11k for the
+   churn kernel that rebuilds shape against a warm verdict memo.  Built
+   inside each kernel's Bechamel resource, never at top level: a live
+   100k-node heap makes every minor collection scan it, which was
+   measured to tax the unrelated sub-microsecond kernels several-fold.
+   Scoping the case to the kernel keeps the other timings honest. *)
+let store_case_100k () = bench_store_case ~strategies:10_000 ~leaves:10
+let store_case_10k () = bench_store_case ~strategies:1_000 ~leaves:10
+
+let store_edit_texts =
+  [|
+    "operating region 42 mode 7 remains safe during sustained operation";
+    "operating region 42 mode 7 remains safe after the controller rework";
+  |]
+
 (* A par-* kernel owns its pool only for the duration of its own
    measurement (Bechamel's [uniq] resource): parked worker domains are
    not free — while any live, every minor collection is a multi-domain
@@ -578,7 +634,81 @@ let bench_subjects =
         let f, tr = bench_ltl_combined in
         ignore (Argus_ltl.Ltl.holds tr f)));
     Test.make ~name:"modular-wf-16" (Staged.stage (fun () ->
-        ignore (Modular.check bench_modular)));
+        ignore (Fused.check_modular bench_modular)));
+    (* Incremental store (DESIGN.md §14).  The pair to read together:
+       [store-full-recheck-100k] is what every edit used to cost —
+       re-intern the whole case and run the fused checker — and
+       [store-edit-1-of-100k] is what the store makes it cost: patch
+       one leaf's text by digest, then fetch a full verdict assembled
+       from memoized per-node findings.  compare.exe --require-speedup
+       gates the ratio at 50x. *)
+    Test.make_with_resource ~name:"store-full-recheck-100k" Test.uniq
+      ~allocate:store_case_100k
+      ~free:(fun _ -> ())
+      (Staged.stage (fun case ->
+           ignore (Fused.check ~lints:true (Caseir.intern case))));
+    (let flip = ref 0 in
+     Test.make_with_resource ~name:"store-edit-1-of-100k" Test.uniq
+       ~allocate:(fun () ->
+         let st = Store.create () in
+         let d = ref (Store.put st (store_case_100k ())) in
+         (* Prime the one-off costs a long-lived store has already
+            paid — first verdict assembly and the root-confidence memo
+            — so the kernel times the steady per-edit state. *)
+         ignore (Store.verdict st ~digest:!d);
+         (st, d))
+       ~free:(fun _ -> ())
+       (Staged.stage (fun (st, d) ->
+            incr flip;
+            let text = store_edit_texts.(!flip land 1) in
+            (match
+               Store.patch st ~digest:!d
+                 [ Store.Set_text (Argus_core.Id.of_string "G42_7", text) ]
+             with
+            | Ok d' -> d := d'
+            | Error e -> failwith (Store.error_message e));
+            match Store.verdict st ~digest:!d with
+            | Ok v -> ignore v.Store.result
+            | Error e -> failwith (Store.error_message e))));
+    (* Cold put: intern, digest and verdict 100k nodes into a fresh
+       store — the store's worst case, for honest amortisation
+       arithmetic next to the edit kernel. *)
+    Test.make_with_resource ~name:"store-put-100k" Test.uniq
+      ~allocate:store_case_100k
+      ~free:(fun _ -> ())
+      (Staged.stage (fun case ->
+           let st = Store.create () in
+           ignore (Store.put st case)));
+    (* Shape churn: a mixed batch (text edit plus unlink/relink) forces
+       the full-rebuild path, but against a warm arena and verdict
+       memo, so it times rebuild-with-reuse rather than from-scratch
+       checking. *)
+    (let flip = ref 0 in
+     Test.make_with_resource ~name:"store-patch-churn" Test.uniq
+       ~allocate:(fun () ->
+         let st = Store.create () in
+         let d = ref (Store.put st (store_case_10k ())) in
+         ignore (Store.verdict st ~digest:!d);
+         (st, d))
+       ~free:(fun _ -> ())
+       (Staged.stage (fun (st, d) ->
+            incr flip;
+            let text = store_edit_texts.(!flip land 1) in
+            let id = Argus_core.Id.of_string in
+            (match
+               Store.patch st ~digest:!d
+                 [
+                   Store.Set_text (id "G42_7", text);
+                   Store.Unlink
+                     (Structure.Supported_by, id "S999", id "G999_9");
+                   Store.Link (Structure.Supported_by, id "S999", id "G999_9");
+                 ]
+             with
+            | Ok d' -> d := d'
+            | Error e -> failwith (Store.error_message e));
+            match Store.verdict st ~digest:!d with
+            | Ok v -> ignore v.Store.result
+            | Error e -> failwith (Store.error_message e))));
     (* Parallel-runtime kernels (argus.par): same workloads as their
        sequential counterparts above, fanned out over a pool.  Results
        are bit-identical to sequential by the pool's determinism
@@ -592,7 +722,7 @@ let bench_subjects =
     par_kernel ~name:"par-greenwell-corpus-check" ~jobs:4 (fun pool ->
         ignore (Formal.check_many ~pool greenwell_args));
     par_kernel ~name:"par-modular-wf-16" ~jobs:4 (fun pool ->
-        ignore (Modular.check ~pool bench_modular));
+        ignore (Fused.check_modular ~pool bench_modular));
     (* Jobs scaling: the same kernel at 1, 2 and 4 workers.  On a
        single-core host jobs=1 wins and the curve is flat — that is
        the point of recording it. *)

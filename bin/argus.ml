@@ -24,6 +24,8 @@ module Fault = Argus_rt.Fault
 module Retry = Argus_rt.Retry
 module Protocol = Argus_svc.Protocol
 module Server = Argus_svc.Server
+module Handlers = Argus_svc.Handlers
+module Store = Argus_store.Store
 open Cmdliner
 
 (* Flag validation: resource knobs must be positive — a zero or
@@ -726,8 +728,8 @@ let socket_arg =
         ~doc:"Unix domain socket path the server listens on.")
 
 let serve_cmd =
-  let run () socket jobs queue_cap deadline max_deadline max_fuel drain_ms
-      breaker_failures breaker_cooldown slow_ms =
+  let run () socket store jobs queue_cap deadline max_deadline max_fuel
+      drain_ms breaker_failures breaker_cooldown slow_ms =
     spanned "argus.serve" @@ fun () ->
     let jobs =
       match jobs with Some n -> n | None -> Argus_par.Pool.default_jobs ()
@@ -750,7 +752,18 @@ let serve_cmd =
         slow_ms;
       }
     in
-    Server.run cfg
+    if store then
+      Server.run ~handler:(Handlers.with_store (Store.create ())) cfg
+    else Server.run cfg
+  in
+  let store =
+    Arg.(
+      value & flag
+      & info [ "store" ]
+          ~doc:
+            "Serve the stateful store ops (put, patch, verdict) from an \
+             in-memory incremental case store shared by all workers.  \
+             Without this flag those ops answer svc/bad-request.")
   in
   let jobs =
     Arg.(
@@ -837,7 +850,7 @@ let serve_cmd =
        ~doc:
          "Run the supervised always-on checking service on a Unix socket")
     Term.(
-      const run $ obs_t $ socket_arg $ jobs $ queue_cap $ deadline
+      const run $ obs_t $ socket_arg $ store $ jobs $ queue_cap $ deadline
       $ max_deadline $ max_fuel $ drain_ms $ breaker_failures
       $ breaker_cooldown $ slow_ms)
 
@@ -894,8 +907,94 @@ let roundtrip socket line =
           | Error e -> Error (Printf.sprintf "bad response: %s" e)
           | Ok resp -> Ok resp))
 
+(* The --edit mini-grammar, one edit per occurrence:
+   set-text:ID=TEXT | add-node:TYPE:ID=TEXT | remove-node:ID |
+   link:KIND:SRC:DST | unlink:KIND:SRC:DST with KIND one of
+   supported-by, in-context-of. *)
+let edit_conv =
+  let split_eq s =
+    match String.index_opt s '=' with
+    | None -> None
+    | Some i ->
+        Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let id_of s what =
+    match Argus_core.Id.of_string_opt s with
+    | Some id -> Ok id
+    | None -> Error (`Msg (Printf.sprintf "--edit: bad %s id %S" what s))
+  in
+  let link_of ctor rest =
+    match String.split_on_char ':' rest with
+    | [ kind; src; dst ] -> (
+        let kind =
+          match kind with
+          | "supported-by" -> Some Structure.Supported_by
+          | "in-context-of" -> Some Structure.In_context_of
+          | _ -> None
+        in
+        match kind with
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "--edit: link kind must be supported-by or \
+                     in-context-of, not %S"
+                    rest))
+        | Some kind -> (
+            match (id_of src "source", id_of dst "destination") with
+            | Ok src, Ok dst -> Ok (ctor kind src dst)
+            | (Error _ as e), _ | _, (Error _ as e) -> e))
+    | _ -> Error (`Msg "--edit: expected link:KIND:SRC:DST")
+  in
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "--edit: no operation in %S" s))
+    | Some i -> (
+        let op = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match op with
+        | "set-text" -> (
+            match split_eq rest with
+            | None -> Error (`Msg "--edit: expected set-text:ID=TEXT")
+            | Some (id, text) ->
+                Result.map (fun id -> Store.Set_text (id, text))
+                  (id_of id "node"))
+        | "add-node" -> (
+            match split_eq rest with
+            | None -> Error (`Msg "--edit: expected add-node:TYPE:ID=TEXT")
+            | Some (head, text) -> (
+                match String.index_opt head ':' with
+                | None -> Error (`Msg "--edit: expected add-node:TYPE:ID=TEXT")
+                | Some j -> (
+                    let ty = String.sub head 0 j in
+                    let id =
+                      String.sub head (j + 1) (String.length head - j - 1)
+                    in
+                    match Argus_gsn.Node.type_of_string ty with
+                    | None ->
+                        Error
+                          (`Msg
+                             (Printf.sprintf "--edit: unknown node type %S" ty))
+                    | Some node_type ->
+                        Result.map
+                          (fun id ->
+                            Store.Add_node
+                              (Argus_gsn.Node.make ~id ~node_type text))
+                          (id_of id "node"))))
+        | "remove-node" ->
+            Result.map (fun id -> Store.Remove_node id) (id_of rest "node")
+        | "link" -> link_of (fun k s d -> Store.Link (k, s, d)) rest
+        | "unlink" -> link_of (fun k s d -> Store.Unlink (k, s, d)) rest
+        | _ -> Error (`Msg (Printf.sprintf "--edit: unknown operation %S" op)))
+  in
+  let pp ppf e =
+    Format.pp_print_string ppf (Json.to_string (Protocol.edit_to_json e))
+  in
+  Arg.conv (parse, pp)
+
 let call_cmd =
-  let run () socket id op file goal ruleset lints spec raw trace wire_format =
+  let run () socket id op file goal ruleset lints spec raw trace wire_format
+      digest edits =
     spanned "argus.call" @@ fun () ->
     let line =
       match raw with
@@ -914,7 +1013,7 @@ let call_cmd =
                 | Wellformed.Standard -> "standard")
               ~lints
               ?deadline_ms:spec.Budget.deadline_ms ?fuel:spec.Budget.fuel
-              ~trace ?format:wire_format op
+              ~trace ?format:wire_format ?digest ~edits op
           in
           Json.to_string (Protocol.request_to_json req)
     in
@@ -981,13 +1080,18 @@ let call_cmd =
         ("probe", Protocol.Probe);
         ("health", Protocol.Health);
         ("stats", Protocol.Stats);
+        ("put", Protocol.Put);
+        ("patch", Protocol.Patch);
+        ("verdict", Protocol.Verdict);
       ]
     in
     Arg.(
       required
       & pos 0 (some (enum ops)) None
       & info [] ~docv:"OP"
-          ~doc:"check, prove, fallacies, probe, health or stats.")
+          ~doc:
+            "check, prove, fallacies, probe, health, stats, put, patch or \
+             verdict (the last three need $(b,argus serve --store)).")
   in
   let file =
     Arg.(
@@ -1036,11 +1140,30 @@ let call_cmd =
             "stats only: $(b,json) (default) or $(b,prometheus) (text \
              exposition, printed raw).")
   in
+  let digest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "digest" ] ~docv:"DIGEST"
+          ~doc:"Case address for patch and verdict requests.")
+  in
+  let edits =
+    Arg.(
+      value
+      & opt_all edit_conv []
+      & info [ "edit" ] ~docv:"EDIT"
+          ~doc:
+            "Repeatable patch edit: $(b,set-text:ID=TEXT), \
+             $(b,add-node:TYPE:ID=TEXT), $(b,remove-node:ID), \
+             $(b,link:KIND:SRC:DST) or $(b,unlink:KIND:SRC:DST) with KIND \
+             $(b,supported-by) or $(b,in-context-of).")
+  in
   Cmd.v
     (Cmd.info "call" ~doc:"Send one request to a running argus serve")
     Term.(
       const run $ obs_json_only_t $ socket_arg $ id $ op $ file $ goal
-      $ ruleset $ lints $ budget_spec_t $ raw $ trace $ wire_format)
+      $ ruleset $ lints $ budget_spec_t $ raw $ trace $ wire_format $ digest
+      $ edits)
 
 (* --- top ---
 
@@ -1123,6 +1246,31 @@ let top_cmd =
               (q j "count") (q j "p50") (q j "p90") (q j "p99") (q j "max"))
           rows
       end;
+      (* The store line appears once the server has served a store op:
+         live nodes (gauge) plus the reuse counters that tell whether
+         the incremental machinery is earning its keep. *)
+      let gauges = obj "gauges" in
+      let gauge k =
+        match List.assoc_opt k gauges with
+        | Some (Json.Obj kvs) -> (
+            match List.assoc_opt "value" kvs with
+            | Some (Json.Num n) -> int_of_float n
+            | _ -> 0)
+        | _ -> 0
+      in
+      let store_nodes = gauge "store.nodes" in
+      if
+        store_nodes > 0
+        || counter "store.reused_verdicts" > 0.
+        || counter "store.dirty_cone" > 0.
+      then
+        Format.printf
+          "store: nodes %d   node-hits %.0f   reused-verdicts %.0f   \
+           dirty-cone %.0f@."
+          store_nodes
+          (counter "store.node_hits")
+          (counter "store.reused_verdicts")
+          (counter "store.dirty_cone");
       let breakers = obj "breakers" in
       if breakers <> [] then begin
         Format.printf "@.breakers:";

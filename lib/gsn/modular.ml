@@ -67,7 +67,7 @@ let dependency_cycle t =
           r)
     None t.order
 
-let check ?pool t =
+let check_with ?pool ~wf t =
   let out = ref [] in
   let add d = out := d :: !out in
   (* Per-module well-formedness, with module-qualified messages.  Each
@@ -87,7 +87,7 @@ let check ?pool t =
                     Printf.sprintf "[module %s] %s" (Id.to_string name)
                       d.Diagnostic.message;
                 })
-              (Wellformed.check e.structure))
+              (wf e.structure))
       t.order
   in
   List.iter (List.iter add) per_module;
@@ -150,4 +150,5 @@ let check ?pool t =
            "module dependencies are cyclic"));
   Diagnostic.sort (List.rev !out)
 
+let check ?pool t = check_with ?pool ~wf:Wellformed.check t
 let is_well_formed t = not (Diagnostic.has_errors (check t))

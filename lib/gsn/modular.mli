@@ -52,4 +52,15 @@ val check : ?pool:Argus_par.Pool.t -> t -> Argus_core.Diagnostic.t list
     - ["modular/dependency-cycle"] — the module dependency graph is
       cyclic. *)
 
+val check_with :
+  ?pool:Argus_par.Pool.t ->
+  wf:(Structure.t -> Argus_core.Diagnostic.t list) ->
+  t ->
+  Argus_core.Diagnostic.t list
+(** {!check} with the per-module well-formedness checker injected —
+    the seam that lets a compiled checker (lib/ir's fused pass) run
+    per module while the cross-module rules stay here.  [wf] must be
+    extensionally equal to {!Wellformed.check} for the result to match
+    {!check}. *)
+
 val is_well_formed : t -> bool

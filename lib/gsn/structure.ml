@@ -57,13 +57,53 @@ let add_evidence ev t =
     evidence_order = order;
   }
 
+(* Bulk construction: same semantics as folding {!add_node},
+   {!add_evidence} and {!connect} over the lists — duplicate ids keep
+   their first position in the order (the newest payload wins),
+   duplicate links keep their first occurrence — but built with
+   reversed accumulators and a duplicate set instead of re-scanning
+   and appending, so a 100k-node case assembles in O(n log n) rather
+   than the fold's O(n^2). *)
+module Link_set = Set.Make (struct
+  type t = link * Id.t * Id.t
+
+  let compare = Stdlib.compare
+end)
+
 let of_nodes ?(links = []) ?(evidence = []) node_list =
-  let t = List.fold_left (fun t n -> add_node n t) empty node_list in
-  let t = List.fold_left (fun t e -> add_evidence e t) t evidence in
-  List.fold_left
-    (fun t (kind, src, dst) ->
-      connect kind ~src:(Id.of_string src) ~dst:(Id.of_string dst) t)
-    t links
+  let node_map, node_order_rev =
+    List.fold_left
+      (fun (m, order) n ->
+        let order =
+          if Id.Map.mem n.Node.id m then order else n.Node.id :: order
+        in
+        (Id.Map.add n.Node.id n m, order))
+      (Id.Map.empty, []) node_list
+  in
+  let evidence_map, evidence_order_rev =
+    List.fold_left
+      (fun (m, order) e ->
+        let order =
+          if Id.Map.mem e.Evidence.id m then order else e.Evidence.id :: order
+        in
+        (Id.Map.add e.Evidence.id e m, order))
+      (Id.Map.empty, []) evidence
+  in
+  let _, link_list_rev =
+    List.fold_left
+      (fun (seen, acc) (kind, src, dst) ->
+        let l = (kind, Id.of_string src, Id.of_string dst) in
+        if Link_set.mem l seen then (seen, acc)
+        else (Link_set.add l seen, l :: acc))
+      (Link_set.empty, []) links
+  in
+  {
+    node_map;
+    node_order = List.rev node_order_rev;
+    link_list = List.rev link_list_rev;
+    evidence_map;
+    evidence_order = List.rev evidence_order_rev;
+  }
 
 let find id t = Id.Map.find_opt id t.node_map
 

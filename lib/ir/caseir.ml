@@ -23,7 +23,16 @@
    recompute on every run (content words, the normalised claim text,
    the ignorance/universal/propositional predicates); the graph shape
    and the texts are immutable once interned, so these are plain
-   arrays.  [ir.interned] counts interning passes. *)
+   arrays.  [ir.interned] counts interning passes.
+
+   Two extensions serve the incremental store (lib/store).  [intern]
+   takes an optional [?derive] hook so a caller can hash-cons the text
+   derivations across cases — re-interning a patched structure then
+   skips [Textutil.content_words] and friends for every node payload
+   already seen.  And [set_node] patches the flat entity arrays in
+   place for a payload-only edit (same id, same links, same
+   contextual-ness), so a one-node text edit never rebuilds the CSR
+   adjacency at all.  [ir.patched] counts in-place patches. *)
 
 module Id = Argus_core.Id
 module Textutil = Argus_core.Textutil
@@ -32,10 +41,20 @@ module Structure = Argus_gsn.Structure
 module Wellformed = Argus_gsn.Wellformed
 module Informal = Argus_fallacy.Informal
 
+type derived = {
+  d_goal_like : bool;
+  d_norm : string;
+  d_content : string list;
+  d_ignorance : bool;
+  d_universal : bool;
+  d_propositional : bool;
+}
+
 type t = {
   structure : Structure.t;  (** The source, for evidence lookups. *)
   n_nodes : int;  (** Entities [0 .. n_nodes-1] are real nodes. *)
   n_entities : int;  (** Nodes plus dangling link endpoints. *)
+  index : (string, int) Hashtbl.t;  (** Id string to entity index. *)
   ids : Id.t array;  (** Entity index to id; length [n_entities]. *)
   nodes : Node.t array;  (** Length [n_nodes], insertion order. *)
   link_kind : Structure.link array;  (** Links in insertion order. *)
@@ -62,8 +81,27 @@ type t = {
 }
 
 let c_interned = Argus_obs.Counter.make "ir.interned"
+let c_patched = Argus_obs.Counter.make "ir.patched"
 
-let intern structure =
+(* Everything the checkers derive from one node payload, independent of
+   the surrounding graph — the unit of hash-consing for the store's
+   arena. *)
+let derive (n : Node.t) =
+  let text = n.Node.text in
+  let words = Textutil.content_words text in
+  let gl = Node.is_goal_like n.Node.node_type in
+  {
+    d_goal_like = gl;
+    d_norm = String.concat " " words;
+    d_content = words;
+    d_ignorance = Informal.argues_from_ignorance text;
+    d_universal = (if gl then Wellformed.claims_universally text else false);
+    d_propositional =
+      (if n.Node.node_type = Node.Goal then Node.looks_propositional text
+       else true);
+  }
+
+let intern ?(derive = derive) structure =
   Argus_obs.Counter.incr c_interned;
   let nodes = Array.of_list (Structure.nodes structure) in
   let n_nodes = Array.length nodes in
@@ -179,21 +217,19 @@ let intern structure =
   let propositional = Array.make (max 1 n_nodes) true in
   Array.iteri
     (fun i n ->
-      let text = n.Node.text in
-      let words = Textutil.content_words text in
-      let gl = Node.is_goal_like n.Node.node_type in
-      goal_like.(i) <- gl;
-      content.(i) <- words;
-      norm.(i) <- String.concat " " words;
-      ignorance.(i) <- Informal.argues_from_ignorance text;
-      if gl then universal.(i) <- Wellformed.claims_universally text;
-      if n.Node.node_type = Node.Goal then
-        propositional.(i) <- Node.looks_propositional text)
+      let d = derive n in
+      goal_like.(i) <- d.d_goal_like;
+      content.(i) <- d.d_content;
+      norm.(i) <- d.d_norm;
+      ignorance.(i) <- d.d_ignorance;
+      universal.(i) <- d.d_universal;
+      propositional.(i) <- d.d_propositional)
     nodes;
   {
     structure;
     n_nodes;
     n_entities;
+    index;
     ids;
     nodes;
     link_kind;
@@ -214,6 +250,80 @@ let intern structure =
     universal;
     propositional;
   }
+
+let entity_index ir id = Hashtbl.find_opt ir.index (Id.to_string id)
+
+(* A process-wide, bounded, domain-safe memo of [derive], keyed by the
+   payload content the derivations read (type and text) — the
+   derivation half of hash-consing a node.  Re-interning a structure
+   whose payloads were seen before (the modular checker's per-module
+   passes, the store's shape-edit rebuilds) skips the text analysis
+   entirely; for a small module that analysis is ~90% of the intern
+   cost.  FIFO eviction keeps the table bounded, and evicting never
+   changes a result — a miss just re-derives.  [ir.derive_hits]
+   counts hits. *)
+let derive_memo_capacity = 1 lsl 16
+
+let derive_tbl : (string, derived) Hashtbl.t = Hashtbl.create 4096
+let derive_fifo : string Queue.t = Queue.create ()
+let derive_mu = Mutex.create ()
+let c_derive_hits = Argus_obs.Counter.make "ir.derive_hits"
+
+let payload_key (n : Node.t) =
+  Digest.string (Node.type_to_string n.Node.node_type ^ "\x00" ^ n.Node.text)
+
+let derive_cached n =
+  let key = payload_key n in
+  Mutex.lock derive_mu;
+  match Hashtbl.find_opt derive_tbl key with
+  | Some d ->
+      Mutex.unlock derive_mu;
+      Argus_obs.Counter.incr c_derive_hits;
+      d
+  | None ->
+      Mutex.unlock derive_mu;
+      let d = derive n in
+      Mutex.lock derive_mu;
+      if not (Hashtbl.mem derive_tbl key) then begin
+        Hashtbl.add derive_tbl key d;
+        Queue.add key derive_fifo;
+        if Queue.length derive_fifo > derive_memo_capacity then
+          Hashtbl.remove derive_tbl (Queue.pop derive_fifo)
+      end;
+      Mutex.unlock derive_mu;
+      d
+
+(* Payload-only patch: replace node [i]'s payload and its cached text
+   derivations in the flat arrays, leaving the entity table, CSR
+   adjacency, roots and reachability untouched — they are functions of
+   the ids and links only, which a payload edit preserves.  The one
+   shape-relevant bit of a payload is whether its type is contextual
+   (it feeds root detection), so a contextual-ness flip is refused and
+   the caller re-interns.
+
+   Mutates [ir]'s arrays in place: the returned value shares them, and
+   the argument must not be used afterwards.  [structure] is the
+   already-edited source the returned IR should carry (for evidence
+   lookups). *)
+let set_node ?(derive = derive) ir structure i n =
+  if i < 0 || i >= ir.n_nodes then invalid_arg "Caseir.set_node: index";
+  let old = ir.nodes.(i) in
+  if not (Id.equal old.Node.id n.Node.id) then
+    invalid_arg "Caseir.set_node: id change needs a re-intern";
+  if
+    Node.is_contextual old.Node.node_type
+    <> Node.is_contextual n.Node.node_type
+  then invalid_arg "Caseir.set_node: contextual-ness change needs a re-intern";
+  Argus_obs.Counter.incr c_patched;
+  ir.nodes.(i) <- n;
+  let d = derive n in
+  ir.goal_like.(i) <- d.d_goal_like;
+  ir.norm.(i) <- d.d_norm;
+  ir.content.(i) <- d.d_content;
+  ir.ignorance.(i) <- d.d_ignorance;
+  ir.universal.(i) <- d.d_universal;
+  ir.propositional.(i) <- d.d_propositional;
+  { ir with structure }
 
 (* The legacy cycle search, verbatim over entity indices: DFS from each
    node entity in insertion order with the recursion stack as the path;

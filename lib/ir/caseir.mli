@@ -17,12 +17,35 @@
     Intern once, check many times: the structure and its texts are
     immutable, so everything here — roots, reachability, content words
     — is computed a single time and amortised over every subsequent
-    {!Fused.check}.  [ir.interned] counts interning passes. *)
+    {!Fused.check}.  [ir.interned] counts interning passes.
+
+    For the incremental store (lib/store), [intern] accepts a
+    [?derive] hook so text derivations can be hash-consed across
+    cases, and {!set_node} patches the flat arrays in place for
+    payload-only edits ([ir.patched] counts them). *)
+
+type derived = {
+  d_goal_like : bool;  (** {!Argus_gsn.Node.is_goal_like}. *)
+  d_norm : string;  (** Normalised content-word text. *)
+  d_content : string list;  (** {!Argus_core.Textutil.content_words}. *)
+  d_ignorance : bool;
+      (** {!Argus_fallacy.Informal.argues_from_ignorance}. *)
+  d_universal : bool;
+      (** {!Argus_gsn.Wellformed.claims_universally}; [false] unless
+          goal-like. *)
+  d_propositional : bool;
+      (** {!Argus_gsn.Node.looks_propositional}; [true] unless a
+          [Goal]. *)
+}
+(** Everything the checkers derive from one node payload, independent
+    of the surrounding graph — the unit of hash-consing for the
+    store's node arena. *)
 
 type t = {
   structure : Argus_gsn.Structure.t;  (** The source, for evidence lookups. *)
   n_nodes : int;  (** Entities [0 .. n_nodes-1] are real nodes. *)
   n_entities : int;  (** Nodes plus dangling link endpoints. *)
+  index : (string, int) Hashtbl.t;  (** Id string to entity index. *)
   ids : Argus_core.Id.t array;  (** Entity index to id. *)
   nodes : Argus_gsn.Node.t array;  (** Length [n_nodes], insertion order. *)
   link_kind : Argus_gsn.Structure.link array;  (** Insertion order. *)
@@ -52,7 +75,40 @@ type t = {
 }
 (** Treat all fields as read-only; the checkers index them freely. *)
 
-val intern : Argus_gsn.Structure.t -> t
+val derive : Argus_gsn.Node.t -> derived
+(** The default per-payload derivation — exactly what {!intern}
+    computes per node when no hook is given. *)
+
+val intern : ?derive:(Argus_gsn.Node.t -> derived) -> Argus_gsn.Structure.t -> t
+(** [?derive] (default {!derive}) computes the per-node text
+    derivations; a caller may substitute a memoised version — it must
+    be extensionally equal to {!derive}. *)
+
+val entity_index : t -> Argus_core.Id.t -> int option
+(** The entity index of an id the structure mentions, if any. *)
+
+val derive_cached : Argus_gsn.Node.t -> derived
+(** {!derive} through a process-wide, bounded, domain-safe memo keyed
+    by the payload content the derivations read (type and text) —
+    extensionally equal to {!derive}, so safe as {!intern}'s hook.
+    FIFO eviction; a miss just re-derives.  [ir.derive_hits] counts
+    hits. *)
+
+val set_node :
+  ?derive:(Argus_gsn.Node.t -> derived) ->
+  t ->
+  Argus_gsn.Structure.t ->
+  int ->
+  Argus_gsn.Node.t ->
+  t
+(** [set_node ir structure i n] replaces node [i]'s payload in place —
+    entity table, CSR adjacency, roots and reachability are untouched,
+    so a one-node edit costs one {!derive}, not a rebuild.  [structure]
+    is the already-edited source for the returned IR to carry.  The
+    arrays are mutated: the returned IR shares them and [ir] must not
+    be used afterwards.  Raises [Invalid_argument] if [n] changes the
+    node's id or the contextual-ness of its type (those edits need a
+    full re-intern). *)
 
 val has_cycle : t -> Argus_core.Id.t list option
 (** {!Argus_gsn.Structure.has_cycle} over the interned adjacency — the

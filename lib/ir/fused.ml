@@ -123,6 +123,187 @@ let circular_walk ?budget (ir : Caseir.t) inf_add =
   List.iter (walk []) ir.Caseir.roots;
   if internal then List.iter inf_add (Budget.diagnostics walk_budget)
 
+(* One link's well-formedness findings, in [check]'s emission order.
+   Counter accounting stays with the caller. *)
+let link_findings_at ~ruleset (ir : Caseir.t) k wf_add =
+  let n_nodes = ir.Caseir.n_nodes in
+  let ids = ir.Caseir.ids in
+  let nodes = ir.Caseir.nodes in
+  let si = ir.Caseir.link_src.(k) and di = ir.Caseir.link_dst.(k) in
+  let src = ids.(si) and dst = ids.(di) in
+  if si >= n_nodes || di >= n_nodes then
+    wf_add
+      (Diagnostic.errorf ~code:"gsn/dangling-link" ~subjects:[ src; dst ]
+         "link references a missing node")
+  else
+    let s = nodes.(si) and d = nodes.(di) in
+    match ir.Caseir.link_kind.(k) with
+    | Structure.Supported_by ->
+        if
+          not (Wellformed.support_target_ok s.Node.node_type d.Node.node_type)
+        then
+          wf_add
+            (Diagnostic.errorf ~code:"gsn/bad-support-link"
+               ~subjects:[ src; dst ] "a %s cannot be supported by a %s"
+               (Node.type_to_string s.Node.node_type)
+               (Node.type_to_string d.Node.node_type))
+        else if
+          ruleset = Wellformed.Denney_pai_2013
+          && s.Node.node_type = Node.Goal
+          && d.Node.node_type = Node.Goal
+        then
+          wf_add
+            (Diagnostic.errorf ~code:"gsn/dp-goal-under-goal"
+               ~subjects:[ src; dst ]
+               "goal directly supports a goal (forbidden by the Denney-Pai \
+                2013 formalisation, though the GSN standard allows it)")
+    | Structure.In_context_of ->
+        let bad_src = not (Wellformed.context_source_ok s.Node.node_type) in
+        let bad_dst = not (Wellformed.context_target_ok d.Node.node_type) in
+        if bad_src || bad_dst then
+          if
+            (match s.Node.node_type with
+            | Node.Away_goal _ -> true
+            | _ -> false)
+            && d.Node.node_type = Node.Solution
+          then
+            wf_add
+              (Diagnostic.errorf ~code:"gsn/solution-in-context-of-away-goal"
+                 ~subjects:[ src; dst ]
+                 "a solution cannot be in the context of an away goal")
+          else
+            wf_add
+              (Diagnostic.errorf ~code:"gsn/bad-context-link"
+                 ~subjects:[ src; dst ] "%s cannot be in the context of %s"
+                 (Node.type_to_string d.Node.node_type)
+                 (Node.type_to_string s.Node.node_type))
+
+let cycle_into (ir : Caseir.t) wf_add =
+  match Caseir.has_cycle ir with
+  | None -> ()
+  | Some witness ->
+      wf_add
+        (Diagnostic.errorf ~code:"gsn/cycle" ~subjects:witness
+           "the SupportedBy relation is cyclic")
+
+let roots_into (ir : Caseir.t) wf_add =
+  let ids = ir.Caseir.ids and nodes = ir.Caseir.nodes in
+  if ir.Caseir.n_nodes > 0 then
+    match ir.Caseir.roots with
+    | [] ->
+        wf_add
+          (Diagnostic.error ~code:"gsn/no-root"
+             "no root element (every non-contextual node is supported)")
+    | [ root ] ->
+        let n = nodes.(root) in
+        if n.Node.node_type <> Node.Goal then
+          wf_add
+            (Diagnostic.warningf ~code:"gsn/root-not-goal"
+               ~subjects:[ ids.(root) ] "the root element is a %s, not a goal"
+               (Node.type_to_string n.Node.node_type))
+    | _ :: _ :: _ as roots ->
+        wf_add
+          (Diagnostic.warningf ~code:"gsn/multiple-roots"
+             ~subjects:(List.map (fun i -> ids.(i)) roots)
+             "%d root elements (a connected argument has one)"
+             (List.length roots))
+
+(* Node [i]'s well-formedness findings, in [check]'s emission order.
+   These depend only on the node's payload, its support degree, its
+   SupportedBy parents' (goal-like, universal) flags, the evidence
+   table's answer for its citation, its reachability bit and whether
+   the case has roots — the inputs the store's verdict memo keys
+   over. *)
+let node_findings_into (ir : Caseir.t) i wf_add =
+  let n_nodes = ir.Caseir.n_nodes in
+  let ids = ir.Caseir.ids in
+  let nodes = ir.Caseir.nodes in
+  let sup_out_off = ir.Caseir.sup_out_off in
+  let n = nodes.(i) in
+  let id = ids.(i) in
+  let unsupported = sup_out_off.(i + 1) = sup_out_off.(i) in
+  if String.trim n.Node.text = "" then
+    wf_add
+      (Diagnostic.errorf ~code:"gsn/empty-text" ~subjects:[ id ]
+         "node has no text");
+  (match n.Node.status with
+  | Node.Developed ->
+      if Wellformed.has_placeholder n.Node.text then
+        wf_add
+          (Diagnostic.errorf ~code:"gsn/placeholder-text" ~subjects:[ id ]
+             "developed node still contains a {placeholder}")
+  | Node.Uninstantiated | Node.Undeveloped_uninstantiated ->
+      wf_add
+        (Diagnostic.warningf ~code:"gsn/uninstantiated" ~subjects:[ id ]
+           "node awaits instantiation")
+  | Node.Undeveloped ->
+      if not unsupported then
+        wf_add
+          (Diagnostic.warningf ~code:"gsn/undeveloped-with-support"
+             ~subjects:[ id ]
+             "node is marked undeveloped yet has supporting elements"));
+  (match n.Node.node_type with
+  | Node.Goal ->
+      if
+        unsupported
+        && (n.Node.status = Node.Developed
+           || n.Node.status = Node.Uninstantiated)
+      then
+        wf_add
+          (Diagnostic.errorf ~code:"gsn/unsupported-goal" ~subjects:[ id ]
+             "goal is neither supported nor marked undeveloped");
+      if not ir.Caseir.propositional.(i) then
+        wf_add
+          (Diagnostic.warningf ~code:"gsn/non-propositional-goal"
+             ~subjects:[ id ] "goal text does not read as a proposition")
+  | Node.Strategy ->
+      if
+        unsupported
+        && (n.Node.status = Node.Developed
+           || n.Node.status = Node.Uninstantiated)
+      then
+        wf_add
+          (Diagnostic.errorf ~code:"gsn/undeveloped-strategy" ~subjects:[ id ]
+             "strategy has no supporting goals and is not marked undeveloped")
+  | Node.Solution -> (
+      match n.Node.evidence with
+      | None ->
+          wf_add
+            (Diagnostic.warningf ~code:"gsn/solution-without-evidence"
+               ~subjects:[ id ] "solution cites no evidence item")
+      | Some ev_id -> (
+          match Structure.find_evidence ev_id ir.Caseir.structure with
+          | None ->
+              wf_add
+                (Diagnostic.errorf ~code:"gsn/unknown-evidence"
+                   ~subjects:[ id; ev_id ]
+                   "solution cites an unregistered evidence item")
+          | Some ev ->
+              for k = ir.Caseir.sup_in_off.(i)
+                  to ir.Caseir.sup_in_off.(i + 1) - 1 do
+                let pi = ir.Caseir.sup_in.(k) in
+                if
+                  pi < n_nodes
+                  && ir.Caseir.goal_like.(pi)
+                  && ir.Caseir.universal.(pi)
+                  && not
+                       (Evidence.supports_kind ev.Evidence.kind
+                          Evidence.Universal)
+                then
+                  wf_add
+                    (Diagnostic.warningf ~code:"gsn/weak-evidence"
+                       ~subjects:[ ids.(pi); id ]
+                       "universal claim rests on %s evidence"
+                       (Evidence.kind_to_string ev.Evidence.kind))
+              done))
+  | Node.Context | Node.Assumption | Node.Justification | Node.Away_goal _
+  | Node.Module_ref _ | Node.Contract _ ->
+      ());
+  if (not ir.Caseir.reachable.(i)) && ir.Caseir.roots <> [] then
+    wf_add
+      (Diagnostic.warningf ~code:"gsn/unreachable" ~subjects:[ id ]
+         "node is not reachable from any root")
+
 let check ?(ruleset = Wellformed.Standard) ?budget ?(lints = true)
     (ir : Caseir.t) =
   Counter.incr c_fused;
@@ -134,202 +315,23 @@ let check ?(ruleset = Wellformed.Standard) ?budget ?(lints = true)
   let inf_out = ref [] in
   let inf_add d = inf_out := d :: !inf_out in
   let n_nodes = ir.Caseir.n_nodes in
-  let ids = ir.Caseir.ids in
-  let nodes = ir.Caseir.nodes in
-  let sup_out_off = ir.Caseir.sup_out_off in
   Span.with_ ~name:"gsn.wellformed" (fun () ->
       (* Link rules. *)
       Span.with_ ~name:"gsn.wellformed.links" (fun () ->
           for k = 0 to Array.length ir.Caseir.link_kind - 1 do
             Counter.incr c_links_checked;
-            let si = ir.Caseir.link_src.(k)
-            and di = ir.Caseir.link_dst.(k) in
-            let src = ids.(si) and dst = ids.(di) in
-            if si >= n_nodes || di >= n_nodes then
-              wf_add
-                (Diagnostic.errorf ~code:"gsn/dangling-link"
-                   ~subjects:[ src; dst ] "link references a missing node")
-            else
-              let s = nodes.(si) and d = nodes.(di) in
-              match ir.Caseir.link_kind.(k) with
-              | Structure.Supported_by ->
-                  if
-                    not
-                      (Wellformed.support_target_ok s.Node.node_type
-                         d.Node.node_type)
-                  then
-                    wf_add
-                      (Diagnostic.errorf ~code:"gsn/bad-support-link"
-                         ~subjects:[ src; dst ]
-                         "a %s cannot be supported by a %s"
-                         (Node.type_to_string s.Node.node_type)
-                         (Node.type_to_string d.Node.node_type))
-                  else if
-                    ruleset = Wellformed.Denney_pai_2013
-                    && s.Node.node_type = Node.Goal
-                    && d.Node.node_type = Node.Goal
-                  then
-                    wf_add
-                      (Diagnostic.errorf ~code:"gsn/dp-goal-under-goal"
-                         ~subjects:[ src; dst ]
-                         "goal directly supports a goal (forbidden by the \
-                          Denney-Pai 2013 formalisation, though the GSN \
-                          standard allows it)")
-              | Structure.In_context_of ->
-                  let bad_src =
-                    not (Wellformed.context_source_ok s.Node.node_type)
-                  in
-                  let bad_dst =
-                    not (Wellformed.context_target_ok d.Node.node_type)
-                  in
-                  if bad_src || bad_dst then
-                    if
-                      (match s.Node.node_type with
-                      | Node.Away_goal _ -> true
-                      | _ -> false)
-                      && d.Node.node_type = Node.Solution
-                    then
-                      wf_add
-                        (Diagnostic.errorf
-                           ~code:"gsn/solution-in-context-of-away-goal"
-                           ~subjects:[ src; dst ]
-                           "a solution cannot be in the context of an away \
-                            goal")
-                    else
-                      wf_add
-                        (Diagnostic.errorf ~code:"gsn/bad-context-link"
-                           ~subjects:[ src; dst ]
-                           "%s cannot be in the context of %s"
-                           (Node.type_to_string d.Node.node_type)
-                           (Node.type_to_string s.Node.node_type))
+            link_findings_at ~ruleset ir k wf_add
           done);
       (* Cycles. *)
       Span.with_ ~name:"gsn.wellformed.cycles" (fun () ->
-          match Caseir.has_cycle ir with
-          | None -> ()
-          | Some witness ->
-              wf_add
-                (Diagnostic.errorf ~code:"gsn/cycle" ~subjects:witness
-                   "the SupportedBy relation is cyclic"));
+          cycle_into ir wf_add);
       (* Roots. *)
-      let roots = ir.Caseir.roots in
-      (if n_nodes > 0 then
-         match roots with
-         | [] ->
-             wf_add
-               (Diagnostic.error ~code:"gsn/no-root"
-                  "no root element (every non-contextual node is supported)")
-         | [ root ] ->
-             let n = nodes.(root) in
-             if n.Node.node_type <> Node.Goal then
-               wf_add
-                 (Diagnostic.warningf ~code:"gsn/root-not-goal"
-                    ~subjects:[ ids.(root) ]
-                    "the root element is a %s, not a goal"
-                    (Node.type_to_string n.Node.node_type))
-         | _ :: _ :: _ ->
-             wf_add
-               (Diagnostic.warningf ~code:"gsn/multiple-roots"
-                  ~subjects:(List.map (fun i -> ids.(i)) roots)
-                  "%d root elements (a connected argument has one)"
-                  (List.length roots)));
+      roots_into ir wf_add;
       (* Per-node rules, with the per-node lints fused in. *)
       Span.with_ ~name:"gsn.wellformed.nodes" (fun () ->
           for i = 0 to n_nodes - 1 do
             Counter.incr c_nodes_visited;
-            let n = nodes.(i) in
-            let id = ids.(i) in
-            let unsupported = sup_out_off.(i + 1) = sup_out_off.(i) in
-            if String.trim n.Node.text = "" then
-              wf_add
-                (Diagnostic.errorf ~code:"gsn/empty-text" ~subjects:[ id ]
-                   "node has no text");
-            (match n.Node.status with
-            | Node.Developed ->
-                if Wellformed.has_placeholder n.Node.text then
-                  wf_add
-                    (Diagnostic.errorf ~code:"gsn/placeholder-text"
-                       ~subjects:[ id ]
-                       "developed node still contains a {placeholder}")
-            | Node.Uninstantiated | Node.Undeveloped_uninstantiated ->
-                wf_add
-                  (Diagnostic.warningf ~code:"gsn/uninstantiated"
-                     ~subjects:[ id ] "node awaits instantiation")
-            | Node.Undeveloped ->
-                if not unsupported then
-                  wf_add
-                    (Diagnostic.warningf ~code:"gsn/undeveloped-with-support"
-                       ~subjects:[ id ]
-                       "node is marked undeveloped yet has supporting \
-                        elements"));
-            (match n.Node.node_type with
-            | Node.Goal ->
-                if
-                  unsupported
-                  && (n.Node.status = Node.Developed
-                     || n.Node.status = Node.Uninstantiated)
-                then
-                  wf_add
-                    (Diagnostic.errorf ~code:"gsn/unsupported-goal"
-                       ~subjects:[ id ]
-                       "goal is neither supported nor marked undeveloped");
-                if not ir.Caseir.propositional.(i) then
-                  wf_add
-                    (Diagnostic.warningf ~code:"gsn/non-propositional-goal"
-                       ~subjects:[ id ]
-                       "goal text does not read as a proposition")
-            | Node.Strategy ->
-                if
-                  unsupported
-                  && (n.Node.status = Node.Developed
-                     || n.Node.status = Node.Uninstantiated)
-                then
-                  wf_add
-                    (Diagnostic.errorf ~code:"gsn/undeveloped-strategy"
-                       ~subjects:[ id ]
-                       "strategy has no supporting goals and is not marked \
-                        undeveloped")
-            | Node.Solution -> (
-                match n.Node.evidence with
-                | None ->
-                    wf_add
-                      (Diagnostic.warningf
-                         ~code:"gsn/solution-without-evidence" ~subjects:[ id ]
-                         "solution cites no evidence item")
-                | Some ev_id -> (
-                    match
-                      Structure.find_evidence ev_id ir.Caseir.structure
-                    with
-                    | None ->
-                        wf_add
-                          (Diagnostic.errorf ~code:"gsn/unknown-evidence"
-                             ~subjects:[ id; ev_id ]
-                             "solution cites an unregistered evidence item")
-                    | Some ev ->
-                        for k = ir.Caseir.sup_in_off.(i)
-                            to ir.Caseir.sup_in_off.(i + 1) - 1 do
-                          let pi = ir.Caseir.sup_in.(k) in
-                          if
-                            pi < n_nodes
-                            && ir.Caseir.goal_like.(pi)
-                            && ir.Caseir.universal.(pi)
-                            && not
-                                 (Evidence.supports_kind ev.Evidence.kind
-                                    Evidence.Universal)
-                          then
-                            wf_add
-                              (Diagnostic.warningf ~code:"gsn/weak-evidence"
-                                 ~subjects:[ ids.(pi); id ]
-                                 "universal claim rests on %s evidence"
-                                 (Evidence.kind_to_string ev.Evidence.kind))
-                        done))
-            | Node.Context | Node.Assumption | Node.Justification
-            | Node.Away_goal _ | Node.Module_ref _ | Node.Contract _ ->
-                ());
-            if (not ir.Caseir.reachable.(i)) && ir.Caseir.roots <> [] then
-              wf_add
-                (Diagnostic.warningf ~code:"gsn/unreachable" ~subjects:[ id ]
-                   "node is not reachable from any root");
+            node_findings_into ir i wf_add;
             if lints then node_lints ir i inf_add
           done));
   if lints then circular_walk ?budget ir inf_add;
@@ -337,6 +339,62 @@ let check ?(ruleset = Wellformed.Standard) ?budget ?(lints = true)
     wf = Diagnostic.sort (List.rev !wf_out);
     informal = Diagnostic.sort (List.rev !inf_out);
   }
+
+(* --- Per-unit entry points for the incremental store --- *)
+
+(* Each returns its findings in [check]'s emission order, without
+   firing the [gsn.wf.*] counters or [gsn.wellformed*] spans (those
+   describe full passes; the store counts its own cache traffic).  A
+   full verdict reassembled from these pieces — links, then cycle,
+   then roots, then per-node findings in node order for [wf]; node
+   lints in node order, then the walk, for [informal] — is
+   byte-identical to {!check} once {!assemble} applies the same stable
+   sort, because the sort only reorders across what the emission
+   order already interleaves deterministically. *)
+
+let collect f =
+  let out = ref [] in
+  f (fun d -> out := d :: !out);
+  List.rev !out
+
+let link_findings ?(ruleset = Wellformed.Standard) (ir : Caseir.t) =
+  collect (fun add ->
+      for k = 0 to Array.length ir.Caseir.link_kind - 1 do
+        link_findings_at ~ruleset ir k add
+      done)
+
+let shape_findings (ir : Caseir.t) =
+  collect (fun add ->
+      cycle_into ir add;
+      roots_into ir add)
+
+let node_findings (ir : Caseir.t) i =
+  collect (fun add -> node_findings_into ir i add)
+
+let node_lint_findings (ir : Caseir.t) i =
+  collect (fun add -> node_lints ir i add)
+
+let walk_findings ?budget (ir : Caseir.t) =
+  collect (fun add -> circular_walk ?budget ir add)
+
+let assemble ~wf ~informal =
+  { wf = Diagnostic.sort wf; informal = Diagnostic.sort informal }
+
+(* --- Modular --- *)
+
+(* The modular checker compiled onto the IR: each module's
+   well-formedness runs as a fused pass over its interned form instead
+   of the legacy tree walk, while the cross-module rules (away goals,
+   module references, dependency cycles) stay in
+   {!Argus_gsn.Modular}.  Byte-identical to
+   {!Argus_gsn.Modular.check} because the per-module fused pass is
+   byte-identical to {!Argus_gsn.Wellformed.check} (test/ir holds
+   both equalities). *)
+let check_modular ?pool m =
+  Argus_gsn.Modular.check_with ?pool
+    ~wf:(fun s ->
+      (check ~lints:false (Caseir.intern ~derive:Caseir.derive_cached s)).wf)
+    m
 
 (* Lints alone, for callers that would have invoked only
    {!Argus_fallacy.Informal.check_structure} — no [gsn.wf.*] counters,

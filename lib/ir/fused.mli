@@ -41,6 +41,59 @@ val lint :
     [gsn.wf.*] counters or [gsn.wellformed*] spans, for callers that
     only lint. *)
 
+(** {2 Per-unit entry points}
+
+    The fused pass split into its independently recomputable units,
+    for the incremental store (lib/store): each returns its findings
+    in {!check}'s emission order, without firing the [gsn.wf.*]
+    counters or spans.  Concatenating links, shape, then per-node
+    findings in node order (resp. node lints in node order, then the
+    walk) and applying {!assemble} reproduces {!check}
+    byte-for-byte. *)
+
+val link_findings :
+  ?ruleset:Argus_gsn.Wellformed.ruleset ->
+  Caseir.t ->
+  Argus_core.Diagnostic.t list
+(** All per-link findings, link order.  The only unit that reads the
+    ruleset. *)
+
+val shape_findings : Caseir.t -> Argus_core.Diagnostic.t list
+(** The cycle witness and the root-count findings — the global graph
+    shape. *)
+
+val node_findings : Caseir.t -> int -> Argus_core.Diagnostic.t list
+(** Node [i]'s well-formedness findings.  Reads only the node's
+    payload, its support degree, its SupportedBy parents' universal
+    flags, the evidence table's answer for its citation, its
+    reachability bit and whether the case has roots. *)
+
+val node_lint_findings : Caseir.t -> int -> Argus_core.Diagnostic.t list
+(** Node [i]'s per-node lints (argument-from-ignorance, equivocation
+    among its goal-like SupportedBy children). *)
+
+val walk_findings :
+  ?budget:Argus_rt.Budget.t -> Caseir.t -> Argus_core.Diagnostic.t list
+(** The circular-support walk, with {!check}'s budget semantics
+    (internal {!Argus_fallacy.Informal.default_walk_fuel} budget when
+    absent, exhaustion reported in the result). *)
+
+val assemble :
+  wf:Argus_core.Diagnostic.t list ->
+  informal:Argus_core.Diagnostic.t list ->
+  result
+(** The final stable sort {!check} applies; the inputs must be in
+    {!check}'s emission order. *)
+
+val check_modular :
+  ?pool:Argus_par.Pool.t ->
+  Argus_gsn.Modular.t ->
+  Argus_core.Diagnostic.t list
+(** The modular checker compiled onto the IR: per-module
+    well-formedness as a fused pass over each module's interned form,
+    cross-module rules from {!Argus_gsn.Modular}.  Byte-identical to
+    {!Argus_gsn.Modular.check}. *)
+
 type cae_ir
 
 val intern_cae : Argus_cae.Cae.t -> cae_ir

@@ -1,0 +1,90 @@
+(** Incremental assurance-case store.
+
+    Content-addressed, in-memory, domain-safe.  A case is [put] once
+    and addressed by its digest; every [patch] applies an edit batch
+    and returns the new digest; [verdict] reassembles the cached
+    per-node findings into a result byte-identical to a full
+    {!Argus_ir.Fused.check} of the same structure.
+
+    Three layers of reuse make an edit of one node in a 100k-node case
+    near-constant instead of a full re-check:
+
+    - a {e node arena} hash-consing per-payload text derivations
+      across cases ([store.node_hits]);
+    - {e Merkle-style digests} — each node's digest covers its payload
+      and its children's digests, folded into an order-independent
+      128-bit sum, so a payload edit re-digests only its ancestor
+      cone;
+    - a {e verdict memo} keyed by a digest of exactly the inputs each
+      node's findings read ([store.reused_verdicts] counts reuse,
+      [store.dirty_cone] counts nodes actually re-checked).
+
+    All operations are serialised by an internal mutex; the store may
+    be shared freely across domains.  The gauge [store.nodes] tracks
+    live nodes across cases. *)
+
+type t
+(** A store: cases keyed by digest, plus the shared arena and memo. *)
+
+type edit =
+  | Set_text of Argus_core.Id.t * string
+      (** Replace a node's text, keeping type, status, annotations,
+          formal rendering and evidence citation.  The incremental
+          fast path: an all-[Set_text] batch re-checks only the dirty
+          cone. *)
+  | Add_node of Argus_gsn.Node.t
+  | Remove_node of Argus_core.Id.t
+  | Link of Argus_gsn.Structure.link * Argus_core.Id.t * Argus_core.Id.t
+      (** [Link (kind, src, dst)]. *)
+  | Unlink of Argus_gsn.Structure.link * Argus_core.Id.t * Argus_core.Id.t
+
+type error =
+  | Unknown_digest of string  (** No case under that digest. *)
+  | Bad_edit of string  (** The batch references a node that is not there. *)
+
+val error_message : error -> string
+
+type verdict = {
+  vdigest : string;  (** The digest the verdict is for. *)
+  result : Argus_ir.Fused.result;
+      (** Byte-identical to [Fused.check] of the same structure. *)
+  confidence : float;
+      (** Root confidence under {!default_trust}, memoized across
+          text edits (confidence never reads node text). *)
+  from_memo : bool;
+      (** The fully-assembled verdict was already cached — no
+          assembly ran at all. *)
+}
+
+val default_trust : Argus_core.Evidence.t -> float
+(** Uniform 0.9, the experiments' baseline trust. *)
+
+val create : ?memo_capacity:int -> unit -> t
+(** [memo_capacity] (default [2^18]) bounds both the arena and the
+    verdict memo; FIFO eviction, and eviction never changes results —
+    a miss just re-derives. *)
+
+val put :
+  ?ruleset:Argus_gsn.Wellformed.ruleset ->
+  t ->
+  Argus_gsn.Structure.t ->
+  string
+(** Intern a case and return its digest.  Structurally equal cases
+    digest equal regardless of insertion order; re-putting an existing
+    digest replaces its state (the last [?ruleset] wins). *)
+
+val patch : t -> digest:string -> edit list -> (string, error) result
+(** Apply an edit batch to the case at [digest]; the case is re-bound
+    under the returned new digest (the old digest is released).  A
+    failed batch leaves the store untouched. *)
+
+val verdict : t -> digest:string -> (verdict, error) result
+(** The full diagnostic report and root confidence of the case at
+    [digest], assembled from cached per-node findings. *)
+
+val digest_of : Argus_gsn.Structure.t -> string
+(** The digest [put] would assign, without storing anything. *)
+
+val mem : t -> string -> bool
+val case : t -> string -> Argus_gsn.Structure.t option
+val size : t -> int

@@ -15,6 +15,7 @@ module Proof_text = Argus_logic.Proof_text
 module Natded = Argus_logic.Natded
 module Prop = Argus_logic.Prop
 module Confidence = Argus_confidence.Confidence
+module Store = Argus_store.Store
 
 let budget_diags = function None -> [] | Some b -> Budget.diagnostics b
 
@@ -63,7 +64,7 @@ let check (req : Protocol.request) ~budget =
       | Error ds -> report_response ~id ds
       | Ok collection ->
           let ds =
-            Modular.check collection
+            Fused.check_modular collection
             @ List.concat_map Dsl.validate_metadata cases
             @ List.concat_map (fun c -> lint c.Dsl.structure) cases
             @ budget_diags budget
@@ -165,3 +166,71 @@ let handle (req : Protocol.request) ~budget =
       Protocol.error ~id:req.Protocol.id ~code:"svc/bad-request"
         (Printf.sprintf "%s is answered by the server, not a worker"
            (Protocol.op_to_string req.Protocol.op))
+  | Protocol.Put | Protocol.Patch | Protocol.Verdict ->
+      Protocol.error ~id:req.Protocol.id ~code:"svc/bad-request"
+        (Printf.sprintf
+           "%s needs a stateful server: start it with \"argus serve --store\""
+           (Protocol.op_to_string req.Protocol.op))
+
+(* --- the stateful handler: store ops over a shared Store.t --- *)
+
+let store_error ~id e =
+  Protocol.error ~id ~code:"svc/bad-request" (Store.error_message e)
+
+let put store (req : Protocol.request) =
+  let id = req.Protocol.id in
+  let ruleset =
+    match req.Protocol.ruleset with
+    | "denney-pai" -> Wellformed.Denney_pai_2013
+    | _ -> Wellformed.Standard
+  in
+  match
+    Dsl.parse_collection ~filename:req.Protocol.filename req.Protocol.source
+  with
+  | Error ds -> report_response ~id ds
+  | Ok [ case ] when case.Dsl.module_name = None ->
+      let digest = Store.put ~ruleset store case.Dsl.structure in
+      Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest) ]
+  | Ok _ ->
+      Protocol.error ~id ~code:"svc/bad-request"
+        "put stores exactly one unnamed case"
+
+let with_digest (req : Protocol.request) k =
+  match req.Protocol.digest with
+  | None ->
+      Protocol.error ~id:req.Protocol.id ~code:"svc/bad-request"
+        (Printf.sprintf "%s needs a \"digest\" field"
+           (Protocol.op_to_string req.Protocol.op))
+  | Some digest -> k digest
+
+let patch store (req : Protocol.request) =
+  let id = req.Protocol.id in
+  with_digest req (fun digest ->
+      match Store.patch store ~digest req.Protocol.edits with
+      | Error e -> store_error ~id e
+      | Ok digest' -> Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest') ])
+
+let verdict store (req : Protocol.request) =
+  let id = req.Protocol.id in
+  with_digest req (fun digest ->
+      match Store.verdict store ~digest with
+      | Error e -> store_error ~id e
+      | Ok v ->
+          let ds =
+            v.Store.result.Fused.wf @ v.Store.result.Fused.informal
+          in
+          Protocol.ok ~id
+            ~exit_code:(if Diagnostic.has_errors ds then 1 else 0)
+            [
+              ("digest", Json.Str v.Store.vdigest);
+              ("report", Diagnostic.report_to_json ds);
+              ("confidence", Json.Num v.Store.confidence);
+              ("from_memo", Json.Bool v.Store.from_memo);
+            ])
+
+let with_store store (req : Protocol.request) ~budget =
+  match req.Protocol.op with
+  | Protocol.Put -> put store req
+  | Protocol.Patch -> patch store req
+  | Protocol.Verdict -> verdict store req
+  | _ -> handle req ~budget

@@ -15,4 +15,20 @@
 val handle :
   Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response
 (** [Health] requests are answered by the server before the queue and
-    are a [svc/bad-request] error here. *)
+    are a [svc/bad-request] error here.  The store ops ([Put], [Patch],
+    [Verdict]) are [svc/bad-request] too — this is the stateless
+    handler; start the server with a store to serve them. *)
+
+val with_store :
+  Argus_store.Store.t ->
+  Protocol.request ->
+  budget:Argus_rt.Budget.t option ->
+  Protocol.response
+(** The stateful handler: [Put] parses the source (one unnamed case)
+    and interns it, answering its digest; [Patch] applies the edit
+    batch to the addressed case, answering the new digest; [Verdict]
+    answers the stored case's report (byte-identical to a [check] of
+    the same source), its root confidence, and whether it came
+    entirely from cache.  Unknown digests and bad edit batches are
+    [svc/bad-request].  Everything else delegates to {!handle}.  The
+    store serialises internally, so one store may back all workers. *)

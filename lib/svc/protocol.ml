@@ -1,6 +1,19 @@
 module Json = Argus_core.Json
+module Id = Argus_core.Id
+module Node = Argus_gsn.Node
+module Structure = Argus_gsn.Structure
+module Store = Argus_store.Store
 
-type op = Check | Prove | Fallacies | Probe | Health | Stats
+type op =
+  | Check
+  | Prove
+  | Fallacies
+  | Probe
+  | Health
+  | Stats
+  | Put
+  | Patch
+  | Verdict
 
 type request = {
   id : string;
@@ -15,6 +28,8 @@ type request = {
   trace : bool;
   trace_id : string option;
   format : string option;
+  digest : string option;
+  edits : Store.edit list;
 }
 
 type response = {
@@ -30,6 +45,9 @@ let op_to_string = function
   | Probe -> "probe"
   | Health -> "health"
   | Stats -> "stats"
+  | Put -> "put"
+  | Patch -> "patch"
+  | Verdict -> "verdict"
 
 let op_of_string = function
   | "check" -> Some Check
@@ -38,11 +56,14 @@ let op_of_string = function
   | "probe" -> Some Probe
   | "health" -> Some Health
   | "stats" -> Some Stats
+  | "put" -> Some Put
+  | "patch" -> Some Patch
+  | "verdict" -> Some Verdict
   | _ -> None
 
 let request ?(id = "") ?(source = "") ?(filename = "<request>") ?goal
     ?(ruleset = "standard") ?(lints = false) ?deadline_ms ?fuel
-    ?(trace = false) ?trace_id ?format op =
+    ?(trace = false) ?trace_id ?format ?digest ?(edits = []) op =
   {
     id;
     op;
@@ -56,7 +77,168 @@ let request ?(id = "") ?(source = "") ?(filename = "<request>") ?goal
     trace;
     trace_id;
     format;
+    digest;
+    edits;
   }
+
+(* --- the edit codec (patch requests) --- *)
+
+let status_to_string = function
+  | Node.Developed -> "developed"
+  | Node.Undeveloped -> "undeveloped"
+  | Node.Uninstantiated -> "uninstantiated"
+  | Node.Undeveloped_uninstantiated -> "undeveloped-uninstantiated"
+
+let status_of_string = function
+  | "developed" -> Some Node.Developed
+  | "undeveloped" -> Some Node.Undeveloped
+  | "uninstantiated" -> Some Node.Uninstantiated
+  | "undeveloped-uninstantiated" -> Some Node.Undeveloped_uninstantiated
+  | _ -> None
+
+let link_to_string = function
+  | Structure.Supported_by -> "supported-by"
+  | Structure.In_context_of -> "in-context-of"
+
+let link_of_string = function
+  | "supported-by" -> Some Structure.Supported_by
+  | "in-context-of" -> Some Structure.In_context_of
+  | _ -> None
+
+let link_edit_json op kind src dst =
+  Json.Obj
+    [
+      ("op", Json.Str op);
+      ("kind", Json.Str (link_to_string kind));
+      ("src", Json.Str (Id.to_string src));
+      ("dst", Json.Str (Id.to_string dst));
+    ]
+
+let edit_to_json = function
+  | Store.Set_text (id, text) ->
+      Json.Obj
+        [
+          ("op", Json.Str "set-text");
+          ("id", Json.Str (Id.to_string id));
+          ("text", Json.Str text);
+        ]
+  | Store.Add_node n ->
+      Json.Obj
+        ([
+           ("op", Json.Str "add-node");
+           ("id", Json.Str (Id.to_string n.Node.id));
+           ("type", Json.Str (Node.type_to_string n.Node.node_type));
+           ("text", Json.Str n.Node.text);
+         ]
+        @ (if n.Node.status = Node.Developed then []
+           else [ ("status", Json.Str (status_to_string n.Node.status)) ])
+        @
+        match n.Node.evidence with
+        | None -> []
+        | Some ev -> [ ("evidence", Json.Str (Id.to_string ev)) ])
+  | Store.Remove_node id ->
+      Json.Obj
+        [ ("op", Json.Str "remove-node"); ("id", Json.Str (Id.to_string id)) ]
+  | Store.Link (kind, src, dst) -> link_edit_json "link" kind src dst
+  | Store.Unlink (kind, src, dst) -> link_edit_json "unlink" kind src dst
+
+let edit_of_json json =
+  let req name =
+    match Json.member name json with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "edit field %S must be a string" name)
+  in
+  let req_id name =
+    match req name with
+    | Error _ as e -> e
+    | Ok s -> (
+        match Id.of_string_opt s with
+        | Some id -> Ok id
+        | None -> Error (Printf.sprintf "edit field %S: bad id %S" name s))
+  in
+  let link_edit ctor =
+    match req "kind" with
+    | Error _ as e -> e
+    | Ok k -> (
+        match link_of_string k with
+        | None ->
+            Error
+              (Printf.sprintf
+                 "edit field \"kind\" must be \"supported-by\" or \
+                  \"in-context-of\", not %S"
+                 k)
+        | Some kind -> (
+            match (req_id "src", req_id "dst") with
+            | Ok src, Ok dst -> Ok (ctor kind src dst)
+            | (Error _ as e), _ | _, (Error _ as e) -> e))
+  in
+  match json with
+  | Json.Obj _ -> (
+      match req "op" with
+      | Error _ as e -> e
+      | Ok "set-text" -> (
+          match (req_id "id", req "text") with
+          | Ok id, Ok text -> Ok (Store.Set_text (id, text))
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+      | Ok "add-node" -> (
+          match (req_id "id", req "type", req "text") with
+          | Ok id, Ok ty, Ok text -> (
+              match Node.type_of_string ty with
+              | None -> Error (Printf.sprintf "edit: unknown node type %S" ty)
+              | Some node_type -> (
+                  let status =
+                    match Json.member "status" json with
+                    | None | Some Json.Null -> Ok None
+                    | Some (Json.Str s) -> (
+                        match status_of_string s with
+                        | Some st -> Ok (Some st)
+                        | None ->
+                            Error
+                              (Printf.sprintf "edit: unknown status %S" s))
+                    | Some _ -> Error "edit field \"status\" must be a string"
+                  in
+                  let evidence =
+                    match Json.member "evidence" json with
+                    | None | Some Json.Null -> Ok None
+                    | Some (Json.Str s) -> (
+                        match Id.of_string_opt s with
+                        | Some ev -> Ok (Some ev)
+                        | None ->
+                            Error
+                              (Printf.sprintf
+                                 "edit field \"evidence\": bad id %S" s))
+                    | Some _ ->
+                        Error "edit field \"evidence\" must be a string"
+                  in
+                  match (status, evidence) with
+                  | Ok status, Ok evidence ->
+                      Ok
+                        (Store.Add_node
+                           (Node.make ~id ~node_type ?status ?evidence text))
+                  | (Error _ as e), _ | _, (Error _ as e) -> e))
+          | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e)
+            ->
+              e)
+      | Ok "remove-node" -> (
+          match req_id "id" with
+          | Ok id -> Ok (Store.Remove_node id)
+          | Error _ as e -> e)
+      | Ok "link" -> link_edit (fun k s d -> Store.Link (k, s, d))
+      | Ok "unlink" -> link_edit (fun k s d -> Store.Unlink (k, s, d))
+      | Ok op -> Error (Printf.sprintf "unknown edit op %S" op))
+  | _ -> Error "each edit must be a JSON object"
+
+let edits_of_json = function
+  | Json.List items ->
+      List.fold_left
+        (fun acc item ->
+          match (acc, edit_of_json item) with
+          | Error _, _ -> acc
+          | _, (Error _ as e) -> e
+          | Ok es, Ok e -> Ok (e :: es))
+        (Ok []) items
+      |> Result.map List.rev
+  | _ -> Error "field \"edits\" must be a list"
 
 let request_to_json r =
   let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
@@ -74,7 +256,11 @@ let request_to_json r =
     @ opt "fuel" (fun f -> Json.int f) r.fuel
     @ (if r.trace then [ ("trace", Json.Bool true) ] else [])
     @ opt "trace_id" (fun t -> Json.Str t) r.trace_id
-    @ opt "format" (fun f -> Json.Str f) r.format)
+    @ opt "format" (fun f -> Json.Str f) r.format
+    @ opt "digest" (fun d -> Json.Str d) r.digest
+    @
+    if r.edits = [] then []
+    else [ ("edits", Json.List (List.map edit_to_json r.edits)) ])
 
 let str_field name json =
   match Json.member name json with
@@ -137,6 +323,12 @@ let request_of_json json =
       let* trace = bool_field "trace" json in
       let* trace_id = str_field "trace_id" json in
       let* format = str_field "format" json in
+      let* digest = str_field "digest" json in
+      let* edits =
+        match Json.member "edits" json with
+        | None | Some Json.Null -> Ok []
+        | Some j -> edits_of_json j
+      in
       Ok
         {
           id = Option.value id ~default:"";
@@ -151,6 +343,8 @@ let request_of_json json =
           trace = Option.value trace ~default:false;
           trace_id;
           format;
+          digest;
+          edits;
         }
   | _ -> Error "request must be a JSON object"
 

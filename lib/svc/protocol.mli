@@ -12,7 +12,16 @@
      "deadline_ms": 500, "fuel": 100000}
     v}
     [op] is one of [check], [prove] (needs ["goal"]), [fallacies],
-    [probe], [health], [stats].  Everything but [op] is optional: a
+    [probe], [health], [stats] — plus the stateful store ops [put]
+    (source in, digest out), [patch] (["digest"] + ["edits"] in, new
+    digest out) and [verdict] (["digest"] in, report + confidence
+    out), answered only by a server started with a store.  An edit is
+    [{"op": "set-text", "id", "text"}], [{"op": "add-node", "id",
+    "type", "text", "status"?, "evidence"?}], [{"op": "remove-node",
+    "id"}] or [{"op": "link"|"unlink", "kind":
+    "supported-by"|"in-context-of", "src", "dst"}]; a malformed edit
+    rejects the whole request as [svc/bad-request].  Everything but
+    [op] is optional: a
     missing [id] is assigned by the server, [source] defaults to empty.
     ["trace": true] asks the server to capture the request's span tree
     and return it in the payload; ["trace_id"] names the request for
@@ -28,7 +37,16 @@
     Both decoders ignore unknown fields, so either end can grow the
     schema without breaking the other. *)
 
-type op = Check | Prove | Fallacies | Probe | Health | Stats
+type op =
+  | Check
+  | Prove
+  | Fallacies
+  | Probe
+  | Health
+  | Stats
+  | Put
+  | Patch
+  | Verdict
 
 type request = {
   id : string;
@@ -43,6 +61,8 @@ type request = {
   trace : bool;  (** Capture and return this request's span tree. *)
   trace_id : string option;  (** Correlation id; server-minted if absent. *)
   format : string option;  (** [stats] only: ["json"] or ["prometheus"]. *)
+  digest : string option;  (** [patch]/[verdict]: the case address. *)
+  edits : Argus_store.Store.edit list;  (** [patch] only. *)
 }
 
 type response = {
@@ -59,7 +79,10 @@ val op_of_string : string -> op option
 val request : ?id:string -> ?source:string -> ?filename:string ->
   ?goal:string -> ?ruleset:string -> ?lints:bool -> ?deadline_ms:float ->
   ?fuel:int -> ?trace:bool -> ?trace_id:string -> ?format:string ->
-  op -> request
+  ?digest:string -> ?edits:Argus_store.Store.edit list -> op -> request
+
+val edit_to_json : Argus_store.Store.edit -> Argus_core.Json.t
+val edit_of_json : Argus_core.Json.t -> (Argus_store.Store.edit, string) result
 
 val request_to_json : request -> Argus_core.Json.t
 

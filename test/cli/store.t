@@ -1,0 +1,74 @@
+The incremental case store behind argus serve --store: put a case,
+patch it by digest, fetch verdicts that match a from-scratch check.
+
+A clean case file:
+
+  $ printf 'case "t" {\n  evidence E1 analysis "a"\n  goal G1 "t holds" { supported-by S1 }\n  strategy S1 "argue by parts" { supported-by G2, G3 }\n  goal G2 "part two holds" { undeveloped }\n  goal G3 "part three holds" { supported-by Sn1 }\n  solution Sn1 "analysis results" { evidence E1 }\n}\n' > case.arg
+
+  $ S=${TMPDIR:-/tmp}/argus-store-$$.sock
+
+Without --store the stateful ops are rejected with a clear error:
+
+  $ argus serve --socket "$S" --jobs 1 2>/dev/null &
+  $ PLAIN_PID=$!
+  $ argus call --socket "$S" --id r1 put case.arg
+  {
+    "id": "r1",
+    "trace_id": "t1",
+    "status": "error",
+    "code": "svc/bad-request",
+    "message": "put needs a stateful server: start it with \"argus serve --store\""
+  }
+  [2]
+  $ kill -TERM $PLAIN_PID
+  $ wait $PLAIN_PID
+
+With --store, put answers the case digest (content-addressed, so it is
+stable across runs):
+
+  $ argus serve --socket "$S" --store --jobs 1 2>/dev/null &
+  $ SERVE_PID=$!
+  $ argus call --socket "$S" --id p1 put case.arg
+  {
+    "id": "p1",
+    "trace_id": "t1",
+    "status": "ok",
+    "exit": 0,
+    "digest": "1c198abab2986f691fcc80cc493e0a48"
+  }
+  $ D=$(argus call --socket "$S" put case.arg | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+
+The stored case is clean, so its verdict is clean too:
+
+  $ argus call --socket "$S" --id v1 verdict --digest "$D" | grep -E '"(exit|errors)"'
+    "exit": 0,
+      "errors": 0,
+
+Patch a goal's text by digest; the op answers the new address:
+
+  $ D2=$(argus call --socket "$S" patch --digest "$D" --edit 'set-text:G3=part three holds after rework' | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+  $ test "$D" != "$D2" && echo moved
+  moved
+
+A shape edit that orphans G3 shows up in the next verdict, exactly as
+a stateless check of the same case would report it:
+
+  $ D3=$(argus call --socket "$S" patch --digest "$D2" --edit 'unlink:supported-by:G3:Sn1' | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+  $ argus call --socket "$S" --id v2 verdict --digest "$D3" | grep -E '"exit"|unsupported-goal'
+    "exit": 1,
+          "code": "gsn/unsupported-goal",
+
+Unknown digests and malformed edits are bad requests, not crashes:
+
+  $ argus call --socket "$S" verdict --digest feedface | grep '"code"'
+    "code": "svc/bad-request",
+  $ argus call --socket "$S" patch --digest "$D3" --edit 'set-text:Gmissing=x' | grep '"message"'
+    "message": "set-text: no node Gmissing"
+
+The server's stats expose the store gauge and reuse counters:
+
+  $ argus call --socket "$S" stats | grep -cE '"store\.(nodes|node_hits|reused_verdicts|dirty_cone)"'
+  4
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID

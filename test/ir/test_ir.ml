@@ -351,6 +351,80 @@ let fused_matches_legacy_on_random_structures =
       | None -> true
       | Some msg -> QCheck.Test.fail_report msg)
 
+(* --- incremental re-interning: set_node = full re-intern --- *)
+
+(* Replace one node's text in place; checking the patched IR must be
+   byte-identical to checking a fresh intern of the edited
+   structure. *)
+let set_node_parity =
+  QCheck.Test.make ~name:"set_node = full re-intern (random text edits)"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (s, _, _) -> print_structure s)
+       QCheck.Gen.(
+         gen_structure >>= fun s ->
+         let n = List.length (Structure.nodes s) in
+         pair (int_bound (max 0 (n - 1))) (int_bound (Array.length texts - 1))
+         >>= fun (pick, text) -> return (s, pick, text)))
+    (fun (s, pick, text) ->
+      let ir = Caseir.intern s in
+      let nodes = Structure.nodes s in
+      let node = List.nth nodes (pick mod List.length nodes) in
+      let n' =
+        Node.make ~id:node.Node.id ~node_type:node.Node.node_type
+          ~status:node.Node.status ?formal:node.Node.formal
+          ~annotations:node.Node.annotations ?evidence:node.Node.evidence
+          texts.(text)
+      in
+      let s' = Structure.add_node n' s in
+      let i =
+        match Caseir.entity_index ir node.Node.id with
+        | Some i -> i
+        | None -> QCheck.Test.fail_report "node lost its entity index"
+      in
+      let patched = Caseir.set_node ir s' i n' in
+      let a = Fused.check ~lints:true patched in
+      let b = Fused.check ~lints:true (Caseir.intern s') in
+      let show r =
+        render r.Fused.wf ^ "\x00" ^ render r.Fused.informal
+      in
+      if show a <> show b then
+        QCheck.Test.fail_report
+          (Printf.sprintf "patched IR drifted\n-- patched --\n%s\n-- fresh --\n%s"
+             (show a) (show b))
+      else true)
+
+(* --- the compiled modular checker --- *)
+
+module Modular = Argus_gsn.Modular
+
+let gen_collection =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun m ->
+  flatten_l
+    (List.init m (fun k ->
+         gen_structure >>= fun s -> return (Id.of_string (Printf.sprintf "M%d" k), s)))
+  |> map
+       (List.fold_left
+          (fun acc (name, s) -> Modular.add_module ~name s acc)
+          Modular.empty)
+
+let check_modular_matches_legacy =
+  QCheck.Test.make
+    ~name:"Fused.check_modular = Modular.check (random collections)"
+    ~count:200
+    (QCheck.make
+       ~print:(fun c ->
+         String.concat ", " (List.map Id.to_string (Modular.module_names c)))
+       gen_collection)
+    (fun c ->
+      let a = render (Fused.check_modular c) in
+      let b = render (Modular.check c) in
+      if a <> b then
+        QCheck.Test.fail_report
+          (Printf.sprintf "modular drift\n-- fused --\n%s\n-- legacy --\n%s" a b)
+      else true)
+
 let () =
   Alcotest.run "argus-ir"
     [
@@ -361,5 +435,7 @@ let () =
             test_lints_off_leaves_budget_untouched;
           Alcotest.test_case "counters advance" `Quick test_ir_counters_advance;
           QCheck_alcotest.to_alcotest fused_matches_legacy_on_random_structures;
+          QCheck_alcotest.to_alcotest set_node_parity;
+          QCheck_alcotest.to_alcotest check_modular_matches_legacy;
         ] );
     ]

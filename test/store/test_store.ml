@@ -1,0 +1,460 @@
+(* The incremental store against its oracle: after every [put] and
+   every [patch], [Store.verdict] must render byte-identically to a
+   from-scratch [Fused.check ~lints:true] of the same structure — the
+   memo, the dirty-cone re-checking and the digest bookkeeping must
+   never show through in the report.  Digests must be insensitive to
+   insertion order, bounded memo eviction must never change results,
+   and one store must serve concurrent domains. *)
+
+module Id = Argus_core.Id
+module Diagnostic = Argus_core.Diagnostic
+module Evidence = Argus_core.Evidence
+module Node = Argus_gsn.Node
+module Structure = Argus_gsn.Structure
+module Wellformed = Argus_gsn.Wellformed
+module Caseir = Argus_ir.Caseir
+module Fused = Argus_ir.Fused
+module Pool = Argus_par.Pool
+module Store = Argus_store.Store
+
+let render ds = Format.asprintf "%a" Diagnostic.pp_report ds
+
+(* The oracle: a full re-intern and fused pass, lints on. *)
+let oracle ?(ruleset = Wellformed.Standard) s =
+  Fused.check ~ruleset ~lints:true (Caseir.intern s)
+
+let check_verdict ?ruleset store digest shadow =
+  match Store.verdict store ~digest with
+  | Error e -> Error ("verdict: " ^ Store.error_message e)
+  | Ok v ->
+      let full = oracle ?ruleset shadow in
+      let got_wf = render v.Store.result.Fused.wf in
+      let want_wf = render full.Fused.wf in
+      let got_inf = render v.Store.result.Fused.informal in
+      let want_inf = render full.Fused.informal in
+      if got_wf <> want_wf then
+        Error
+          (Printf.sprintf "wf drift\n-- store --\n%s\n-- full --\n%s" got_wf
+             want_wf)
+      else if got_inf <> want_inf then
+        Error
+          (Printf.sprintf "informal drift\n-- store --\n%s\n-- full --\n%s"
+             got_inf want_inf)
+      else if Store.digest_of shadow <> digest then
+        Error "store digest disagrees with digest_of the shadow structure"
+      else Ok ()
+
+(* --- generators --- *)
+
+let texts =
+  [|
+    "The system is acceptably safe";
+    "There is no evidence that failures occur";
+    "The river bank erosion control scheme performs well";
+    "All inputs are always validated";
+    "Deadlock is impossible in every mode";
+    "";
+    "Claim {TBD} is pending";
+    "Argue over hazards";
+    "Test report";
+  |]
+
+let evidence_table =
+  [
+    Evidence.make ~id:(Id.of_string "E0") ~kind:Evidence.Test_results "tests";
+    Evidence.make ~id:(Id.of_string "E1") ~kind:Evidence.Expert_judgement
+      "opinion";
+  ]
+
+let mk_node i tcode scode text ecode =
+  let node_type =
+    match tcode with
+    | 0 | 1 -> Node.Goal
+    | 2 -> Node.Strategy
+    | 3 -> Node.Solution
+    | 4 -> Node.Context
+    | 5 -> Node.Assumption
+    | _ -> Node.Away_goal (Id.of_string "M1")
+  in
+  let status =
+    match scode with
+    | 0 | 1 -> Node.Developed
+    | 2 -> Node.Undeveloped
+    | 3 -> Node.Uninstantiated
+    | _ -> Node.Undeveloped_uninstantiated
+  in
+  let evidence =
+    if node_type = Node.Solution then
+      match ecode with
+      | 0 -> Some (Id.of_string "E0")
+      | 1 -> Some (Id.of_string "E1")
+      | 2 -> Some (Id.of_string "Emissing")
+      | _ -> None
+    else None
+  in
+  Node.make
+    ~id:(Id.of_string (Printf.sprintf "N%d" i))
+    ~node_type ~status ?evidence
+    texts.(text mod Array.length texts)
+
+let gen_node i =
+  let open QCheck.Gen in
+  map2
+    (fun (tcode, scode) (text, ecode) -> mk_node i tcode scode text ecode)
+    (pair (int_bound 6) (int_bound 4))
+    (pair (int_bound (Array.length texts - 1)) (int_bound 3))
+
+let gen_link n =
+  let open QCheck.Gen in
+  map2
+    (fun (kind, dangle) (a, b) ->
+      let name j = Printf.sprintf "N%d" j in
+      let src = if dangle = 0 then "Nowhere" else name (a mod n) in
+      let dst = if dangle = 1 then "Nada" else name (b mod n) in
+      ( (if kind then Structure.Supported_by else Structure.In_context_of),
+        src,
+        dst ))
+    (pair bool (int_bound 11))
+    (pair (int_bound (n - 1)) (int_bound (n - 1)))
+
+let gen_structure =
+  let open QCheck.Gen in
+  int_range 1 8 >>= fun n ->
+  pair (flatten_l (List.init n gen_node)) (list_size (int_range 0 12) (gen_link n))
+  |> map (fun (nodes, links) ->
+         Structure.of_nodes ~links ~evidence:evidence_table nodes)
+
+(* A random edit against a pool of n node names.  Set-texts target
+   existing nodes; shape edits may hit anything, including nodes that
+   are not there (rejected batches must leave the store untouched). *)
+let gen_edit n =
+  let open QCheck.Gen in
+  let name = map (fun j -> Id.of_string (Printf.sprintf "N%d" (j mod n))) in
+  int_bound 9 >>= function
+  | 0 | 1 | 2 | 3 ->
+      map2
+        (fun id t -> Store.Set_text (id, texts.(t mod Array.length texts)))
+        (name (int_bound (n - 1)))
+        (int_bound (Array.length texts - 1))
+  | 4 ->
+      map2
+        (fun (tcode, scode) (text, ecode) ->
+          Store.Add_node (mk_node (n + (text mod 3)) tcode scode text ecode))
+        (pair (int_bound 6) (int_bound 4))
+        (pair (int_bound (Array.length texts - 1)) (int_bound 3))
+  | 5 -> map (fun id -> Store.Remove_node id) (name (int_bound (2 * n)))
+  | 6 | 7 ->
+      map2
+        (fun k (a, b) ->
+          Store.Link
+            ((if k then Structure.Supported_by else Structure.In_context_of),
+             a, b))
+        bool
+        (pair (name (int_bound (n - 1))) (name (int_bound (n + 2))))
+  | _ ->
+      map2
+        (fun k (a, b) ->
+          Store.Unlink
+            ((if k then Structure.Supported_by else Structure.In_context_of),
+             a, b))
+        bool
+        (pair (name (int_bound (n - 1))) (name (int_bound (n + 2))))
+
+(* Batches of 1-3 edits, 4-8 batches per case. *)
+let gen_case_and_edits =
+  let open QCheck.Gen in
+  gen_structure >>= fun s ->
+  let n = max 1 (Structure.size s) in
+  list_size (int_range 4 8) (list_size (int_range 1 3) (gen_edit n))
+  >>= fun batches -> return (s, batches)
+
+let print_scenario (s, batches) =
+  Format.asprintf "%a (then %d batches)" Structure.pp_outline s
+    (List.length batches)
+
+(* Drive one scenario against one store; the shadow structure is the
+   oracle's view.  Rejected batches must leave digest and state
+   alone. *)
+let drive store (s, batches) =
+  let ( let* ) = Result.bind in
+  let digest0 = Store.put store s in
+  let* () = check_verdict store digest0 s in
+  let apply_shadow shadow batch =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Store.Set_text (id, text) -> (
+            match Structure.find id acc with
+            | None -> acc
+            | Some n ->
+                Structure.add_node
+                  (Node.make ~id ~node_type:n.Node.node_type
+                     ~status:n.Node.status ?formal:n.Node.formal
+                     ~annotations:n.Node.annotations ?evidence:n.Node.evidence
+                     text)
+                  acc)
+        | Store.Add_node n -> Structure.add_node n acc
+        | Store.Remove_node id -> Structure.remove_node id acc
+        | Store.Link (k, src, dst) -> Structure.connect k ~src ~dst acc
+        | Store.Unlink (k, src, dst) -> Structure.disconnect k ~src ~dst acc)
+      shadow batch
+  in
+  let rec go shadow digest = function
+    | [] -> Ok ()
+    | batch :: rest -> (
+        match Store.patch store ~digest batch with
+        | Error (Store.Unknown_digest _ as e) ->
+            Error ("patch: " ^ Store.error_message e)
+        | Error (Store.Bad_edit _) ->
+            let* () = check_verdict store digest shadow in
+            go shadow digest rest
+        | Ok digest' ->
+            let shadow' = apply_shadow shadow batch in
+            let* () = check_verdict store digest' shadow' in
+            go shadow' digest' rest)
+  in
+  go s digest0 batches
+
+let incremental_matches_full =
+  QCheck.Test.make
+    ~name:"incremental verdict = full fused check (random edit sequences)"
+    ~count:200
+    (QCheck.make ~print:print_scenario gen_case_and_edits)
+    (fun scenario ->
+      let store = Store.create () in
+      match drive store scenario with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+(* A tiny memo forces constant eviction; results must not move. *)
+let eviction_never_changes_results =
+  QCheck.Test.make ~name:"bounded memo eviction never changes results"
+    ~count:60
+    (QCheck.make ~print:print_scenario gen_case_and_edits)
+    (fun scenario ->
+      let store = Store.create ~memo_capacity:1 () in
+      match drive store scenario with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_report msg)
+
+(* Rebuild the structure with nodes, links and evidence inserted in
+   reverse order: structurally equal, so digests must agree. *)
+let reversed s =
+  let s' =
+    List.fold_left
+      (fun acc n -> Structure.add_node n acc)
+      Structure.empty
+      (List.rev (Structure.nodes s))
+  in
+  let s' =
+    List.fold_left
+      (fun acc (k, src, dst) -> Structure.connect k ~src ~dst acc)
+      s'
+      (List.rev (Structure.links s))
+  in
+  List.fold_left
+    (fun acc ev -> Structure.add_evidence ev acc)
+    s'
+    (List.rev (Structure.evidence s))
+
+let digest_order_independent =
+  QCheck.Test.make ~name:"digests ignore insertion order" ~count:300
+    (QCheck.make
+       ~print:(fun s -> Format.asprintf "%a" Structure.pp_outline s)
+       gen_structure)
+    (fun s ->
+      let s' = reversed s in
+      if not (Structure.equal s s') then
+        QCheck.Test.fail_report "reversal changed the structure"
+      else if Store.digest_of s <> Store.digest_of s' then
+        QCheck.Test.fail_report "insertion order leaked into the digest"
+      else true)
+
+(* Distinct structures should (essentially always) digest apart; catch
+   gross collisions like ignoring links or texts. *)
+let digest_separates =
+  let s1 =
+    Structure.of_nodes
+      ~links:[ (Structure.Supported_by, "G1", "G2") ]
+      [ Node.goal "G1" "A holds"; Node.goal "G2" "B holds" ]
+  in
+  let s2 =
+    Structure.of_nodes
+      ~links:[ (Structure.Supported_by, "G2", "G1") ]
+      [ Node.goal "G1" "A holds"; Node.goal "G2" "B holds" ]
+  in
+  let s3 =
+    Structure.of_nodes
+      ~links:[ (Structure.Supported_by, "G1", "G2") ]
+      [ Node.goal "G1" "A holds"; Node.goal "G2" "C holds" ]
+  in
+  (* Links out of dangling entities must be visible to the digest. *)
+  let d1 =
+    Structure.of_nodes
+      ~links:
+        [
+          (Structure.Supported_by, "G1", "Gx");
+          (Structure.Supported_by, "Gx", "Gy");
+        ]
+      [ Node.goal "G1" "A holds" ]
+  in
+  let d2 =
+    Structure.of_nodes
+      ~links:[ (Structure.Supported_by, "G1", "Gx") ]
+      [ Node.goal "G1" "A holds" ]
+  in
+  fun () ->
+    let all = [ s1; s2; s3; d1; d2 ] in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if i < j then
+              Alcotest.(check bool)
+                (Printf.sprintf "digests of distinct cases %d/%d differ" i j)
+                false
+                (Store.digest_of a = Store.digest_of b))
+          all)
+      all
+
+(* The same case is the same case: re-putting is idempotent and a
+   patch cycle that undoes itself returns to the original digest. *)
+let test_digest_roundtrip () =
+  let s =
+    Structure.of_nodes
+      ~links:
+        [
+          (Structure.Supported_by, "G1", "S1");
+          (Structure.Supported_by, "S1", "G2");
+        ]
+      [
+        Node.goal "G1" "The system is acceptably safe";
+        Node.strategy "S1" "Argue over hazards";
+        Node.goal "G2" "Hazard H1 is mitigated";
+      ]
+  in
+  let store = Store.create () in
+  let d0 = Store.put store s in
+  Alcotest.(check string) "idempotent put" d0 (Store.put store s);
+  let g2 = Id.of_string "G2" in
+  let d1 =
+    match Store.patch store ~digest:d0 [ Store.Set_text (g2, "Changed") ] with
+    | Ok d -> d
+    | Error e -> Alcotest.fail (Store.error_message e)
+  in
+  Alcotest.(check bool) "edit moved the digest" true (d0 <> d1);
+  let d2 =
+    match
+      Store.patch store ~digest:d1
+        [ Store.Set_text (g2, "Hazard H1 is mitigated") ]
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.fail (Store.error_message e)
+  in
+  Alcotest.(check string) "undo returns to the original digest" d0 d2
+
+let test_errors () =
+  let store = Store.create () in
+  (match Store.patch store ~digest:"nope" [] with
+  | Error (Store.Unknown_digest _) -> ()
+  | _ -> Alcotest.fail "patch of unknown digest must fail");
+  (match Store.verdict store ~digest:"nope" with
+  | Error (Store.Unknown_digest _) -> ()
+  | _ -> Alcotest.fail "verdict of unknown digest must fail");
+  let s = Structure.of_nodes [ Node.goal "G1" "A holds" ] in
+  let d = Store.put store s in
+  match
+    Store.patch store ~digest:d
+      [ Store.Set_text (Id.of_string "Gmissing", "x") ]
+  with
+  | Error (Store.Bad_edit _) ->
+      Alcotest.(check bool) "store untouched" true (Store.mem store d)
+  | _ -> Alcotest.fail "set-text of a missing node must fail"
+
+(* Verdict caching: the second verdict of an unchanged case comes from
+   the assembled cache; confidence survives a pure text edit. *)
+let test_memoization () =
+  let s =
+    Structure.of_nodes
+      ~links:[ (Structure.Supported_by, "G1", "Sn1") ]
+      ~evidence:
+        [
+          Evidence.make ~id:(Id.of_string "E0") ~kind:Evidence.Test_results
+            "tests";
+        ]
+      [
+        Node.goal "G1" "The system is acceptably safe";
+        Node.solution ~evidence:"E0" "Sn1" "Test report";
+      ]
+  in
+  let store = Store.create () in
+  let d = Store.put store s in
+  let v1 =
+    match Store.verdict store ~digest:d with
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Store.error_message e)
+  in
+  Alcotest.(check bool) "first verdict is assembled" false v1.Store.from_memo;
+  let v2 =
+    match Store.verdict store ~digest:d with
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Store.error_message e)
+  in
+  Alcotest.(check bool) "second verdict is cached" true v2.Store.from_memo;
+  Alcotest.(check (float 0.)) "same confidence" v1.Store.confidence
+    v2.Store.confidence
+
+(* One store, many domains: disjoint scenarios driven concurrently
+   through a shared store must all hold the differential property. *)
+let concurrent_differential jobs () =
+  let scenarios =
+    let seed = ref 42 in
+    Array.init 16 (fun i ->
+        seed := (!seed * 25214903917) + i;
+        let rand = Random.State.make [| !seed; i |] in
+        QCheck.Gen.generate1 ~rand gen_case_and_edits)
+  in
+  let store = Store.create () in
+  let results =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_array ~pool (fun sc -> drive store sc) scenarios)
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "scenario %d: %s" i msg))
+    results
+
+let () =
+  Alcotest.run "argus-store"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest incremental_matches_full;
+          QCheck_alcotest.to_alcotest eviction_never_changes_results;
+        ] );
+      ( "digest",
+        [
+          QCheck_alcotest.to_alcotest digest_order_independent;
+          Alcotest.test_case "distinct cases digest apart" `Quick
+            digest_separates;
+          Alcotest.test_case "put idempotent, patch invertible" `Quick
+            test_digest_roundtrip;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "unknown digests and bad edits" `Quick
+            test_errors;
+          Alcotest.test_case "verdict memoization" `Quick test_memoization;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "shared store, 1 domain" `Quick
+            (concurrent_differential 1);
+          Alcotest.test_case "shared store, 2 domains" `Quick
+            (concurrent_differential 2);
+          Alcotest.test_case "shared store, 8 domains" `Quick
+            (concurrent_differential 8);
+        ] );
+    ]

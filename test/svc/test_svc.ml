@@ -728,6 +728,144 @@ let test_server_traced_request () =
                 "span has a duration" true
                 (span.Argus_obs.Span.dur_ns >= 0)))
 
+(* --- store ops: protocol codec, stateless rejection, stateful mode --- *)
+
+module Store = Argus_store.Store
+module Handlers = Argus_svc.Handlers
+module Id = Argus_core.Id
+
+let string_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_protocol_edits_roundtrip () =
+  let edits =
+    [
+      Store.Set_text (Id.of_string "G1", "new text");
+      Store.Add_node
+        (Argus_gsn.Node.make ~id:(Id.of_string "Sn1")
+           ~node_type:Argus_gsn.Node.Solution
+           ~status:Argus_gsn.Node.Undeveloped
+           ~evidence:(Id.of_string "E1") "Test report");
+      Store.Remove_node (Id.of_string "G2");
+      Store.Link
+        (Argus_gsn.Structure.Supported_by, Id.of_string "G1",
+         Id.of_string "Sn1");
+      Store.Unlink
+        (Argus_gsn.Structure.In_context_of, Id.of_string "G1",
+         Id.of_string "C1");
+    ]
+  in
+  let req = Protocol.request ~digest:"abc123" ~edits Protocol.Patch in
+  (match
+     Protocol.request_of_line (Json.to_string (Protocol.request_to_json req))
+   with
+  | Ok r ->
+      Alcotest.(check (option string))
+        "digest survives the wire" (Some "abc123") r.Protocol.digest;
+      Alcotest.(check bool) "edits round-trip" true (r.Protocol.edits = edits)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  let bad s =
+    match Protocol.request_of_line s with
+    | Ok _ -> Alcotest.failf "accepted %s" s
+    | Error _ -> ()
+  in
+  bad {|{"op": "patch", "edits": "not a list"}|};
+  bad {|{"op": "patch", "edits": [{"op": "explode"}]}|};
+  bad {|{"op": "patch", "edits": [{"op": "set-text", "id": "G1"}]}|};
+  bad {|{"op": "patch", "edits": [{"op": "add-node", "id": "X", "type": "widget", "text": "t"}]}|};
+  bad {|{"op": "patch", "edits": [{"op": "link", "kind": "sideways", "src": "a", "dst": "b"}]}|}
+
+(* A server without a store must reject the stateful ops with a clear
+   bad-request, not crash or hang. *)
+let test_stateless_rejects_store_ops () =
+  List.iter
+    (fun op ->
+      let req = Protocol.request ~id:"r1" op in
+      match (Handlers.handle req ~budget:None).Protocol.outcome with
+      | Error (code, msg) ->
+          Alcotest.(check string)
+            (Protocol.op_to_string op ^ " code")
+            "svc/bad-request" code;
+          Alcotest.(check bool)
+            (Protocol.op_to_string op ^ " says how to enable")
+            true
+            (string_contains msg "--store")
+      | Ok _ ->
+          Alcotest.failf "stateless %s must be rejected"
+            (Protocol.op_to_string op))
+    [ Protocol.Put; Protocol.Patch; Protocol.Verdict ]
+
+let source =
+  {|case "t" {
+  goal G1 "The system is acceptably safe" { supported-by S1 }
+  strategy S1 "Argue over hazards" { supported-by G2 }
+  goal G2 "Hazard H1 is mitigated"
+}|}
+
+let payload_str payload k =
+  match List.assoc_opt k payload with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "payload misses string %S" k
+
+let test_with_store_lifecycle () =
+  let store = Store.create () in
+  let handle = Handlers.with_store store in
+  let put = Protocol.request ~id:"p1" ~source Protocol.Put in
+  let digest =
+    match (handle put ~budget:None).Protocol.outcome with
+    | Ok (0, payload) -> payload_str payload "digest"
+    | Ok (n, _) -> Alcotest.failf "put exited %d" n
+    | Error (c, m) -> Alcotest.failf "put failed: %s %s" c m
+  in
+  (* check still works through the stateful handler (delegation). *)
+  (match
+     (handle (Protocol.request ~id:"c1" ~source Protocol.Check) ~budget:None)
+       .Protocol.outcome
+   with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "delegated check failed: %s %s" c m);
+  let patch =
+    Protocol.request ~id:"p2" ~digest
+      ~edits:[ Store.Set_text (Id.of_string "G2", "Hazard H1 is controlled") ]
+      Protocol.Patch
+  in
+  let digest' =
+    match (handle patch ~budget:None).Protocol.outcome with
+    | Ok (0, payload) -> payload_str payload "digest"
+    | Ok (n, _) -> Alcotest.failf "patch exited %d" n
+    | Error (c, m) -> Alcotest.failf "patch failed: %s %s" c m
+  in
+  Alcotest.(check bool) "patch moves the digest" true (digest <> digest');
+  (match
+     (handle (Protocol.request ~id:"v1" ~digest:digest' Protocol.Verdict)
+        ~budget:None)
+       .Protocol.outcome
+   with
+  | Ok (_, payload) ->
+      Alcotest.(check bool)
+        "verdict has a report" true
+        (List.mem_assoc "report" payload);
+      Alcotest.(check bool)
+        "verdict has a confidence" true
+        (List.mem_assoc "confidence" payload)
+  | Error (c, m) -> Alcotest.failf "verdict failed: %s %s" c m);
+  (* Unknown digests and digest-less requests are bad requests. *)
+  (match
+     (handle (Protocol.request ~id:"v2" ~digest:"feedface" Protocol.Verdict)
+        ~budget:None)
+       .Protocol.outcome
+   with
+  | Error ("svc/bad-request", _) -> ()
+  | _ -> Alcotest.fail "unknown digest must be svc/bad-request");
+  match
+    (handle (Protocol.request ~id:"v3" Protocol.Verdict) ~budget:None)
+      .Protocol.outcome
+  with
+  | Error ("svc/bad-request", _) -> ()
+  | _ -> Alcotest.fail "digest-less verdict must be svc/bad-request"
+
 let () =
   Alcotest.run "argus-svc"
     [
@@ -756,6 +894,15 @@ let () =
             test_protocol_rejects;
           Alcotest.test_case "telemetry fields" `Quick
             test_protocol_telemetry_fields;
+          Alcotest.test_case "edit codec round-trips and rejects" `Quick
+            test_protocol_edits_roundtrip;
+        ] );
+      ( "store-ops",
+        [
+          Alcotest.test_case "stateless server rejects store ops" `Quick
+            test_stateless_rejects_store_ops;
+          Alcotest.test_case "put/patch/verdict lifecycle" `Quick
+            test_with_store_lifecycle;
         ] );
       ( "supervisor",
         [
