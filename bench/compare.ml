@@ -27,13 +27,16 @@
    reported but never fail the gate (benchmarks come and go across
    PRs); I/O or parse problems exit with status 2.
 
-   Kernels whose name contains "svc-" or "par-" are advisory: the
-   former time a request round-trip over a real Unix socket, the
-   latter fan work across OCaml domains, so both measure cross-domain
-   scheduling latency, not CPU work — far too wall-clock-bound to gate
-   on (on shared hardware the par- scaling kernels swing ±30% run to
-   run).  Their deltas are printed (and the baseline records them for
-   trajectory tracking) but they never fail the gate.
+   Kernels whose name contains "svc-", "par-", "store-wal" or
+   "store-recover" are advisory: the first time a request round-trip
+   over a real Unix socket, the second fan work across OCaml domains,
+   and the store durability pair append to and replay real files — all
+   dominated by scheduling or filesystem latency rather than CPU work,
+   far too wall-clock-bound to gate on (on shared hardware the par-
+   scaling kernels swing ±30% run to run, and a WAL append's cost is
+   mostly the page cache's mood).  Their deltas are printed (and the
+   baseline records them for trajectory tracking) but they never fail
+   the gate.
 
    The service round-trip latency quantiles recorded by the bench's
    [bench.svc-*] histograms are printed as a second advisory section,
@@ -194,6 +197,7 @@ let () =
                   at 0
                 in
                 contains "svc-" || contains "par-"
+                || contains "store-wal" || contains "store-recover"
               in
               let pct = (cur -. base) /. base *. 100. in
               let flag =

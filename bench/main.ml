@@ -32,6 +32,8 @@ module Proofgen = Argus_proofgen.Proofgen
 module Modular = Argus_gsn.Modular
 module Pool = Argus_par.Pool
 module Store = Argus_store.Store
+module Wal = Argus_store.Wal
+module Recover = Argus_store.Recover
 open Argus_experiments
 
 let section title =
@@ -383,6 +385,30 @@ let store_edit_texts =
     "operating region 42 mode 7 remains safe after the controller rework";
   |]
 
+(* Scratch directories for the durability kernels: each allocation
+   gets its own, deleted when the kernel's resource is freed. *)
+let bench_tmp_dir =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "argus-bench-%s-%d-%d" name (Unix.getpid ()) !n)
+    in
+    Unix.mkdir dir 0o755;
+    dir
+
+let rec bench_rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun e -> bench_rm_rf (Filename.concat path e))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 (* A par-* kernel owns its pool only for the duration of its own
    measurement (Bechamel's [uniq] resource): parked worker domains are
    not free — while any live, every minor collection is a multi-domain
@@ -709,6 +735,58 @@ let bench_subjects =
             match Store.verdict st ~digest:!d with
             | Ok v -> ignore v.Store.result
             | Error e -> failwith (Store.error_message e))));
+    (* Durability kernels (DESIGN.md §15).  [store-wal-append] is the
+       write-path tax a durable server adds to every acked patch:
+       frame, checksum and append one Patch record, under sync=never
+       so the kernel times the code, not the disk (the fsync cost is a
+       disk property; the sync policy that pays it is the operator's
+       call).  [store-recover-100k] is restart cost: Recover.load of a
+       data dir whose WAL holds one ~110k-node put — Marshal decode,
+       re-intern, and Merkle digest verification, the same work
+       `argus serve --store --data-dir` does before its first accept.
+       Both touch the filesystem, so compare.exe treats them as
+       advisory (see the store- rule there). *)
+    (let seq = ref 0 in
+     let edit =
+       [
+         Store.Set_text
+           ( Argus_core.Id.of_string "G42_7",
+             "operating region 42 mode 7 remains safe after the rework" );
+       ]
+     in
+     Test.make_with_resource ~name:"store-wal-append" Test.uniq
+       ~allocate:(fun () ->
+         let dir = bench_tmp_dir "wal" in
+         (dir, Wal.openw ~sync:Wal.Never (Recover.wal_path dir)))
+       ~free:(fun (dir, wal) ->
+         Wal.close wal;
+         bench_rm_rf dir)
+       (Staged.stage (fun (_, wal) ->
+            incr seq;
+            Wal.append wal
+              {
+                Wal.seq = !seq;
+                op = Wal.Patch (String.make 32 'a', edit);
+                digest = String.make 32 'b';
+              })));
+    Test.make_with_resource ~name:"store-recover-100k" Test.uniq
+      ~allocate:(fun () ->
+        let dir = bench_tmp_dir "recover" in
+        let case = store_case_100k () in
+        let wal = Wal.openw ~sync:Wal.Always (Recover.wal_path dir) in
+        Wal.append wal
+          {
+            Wal.seq = 1;
+            op = Wal.Put (Wellformed.Standard, case);
+            digest = Store.digest_of case;
+          };
+        Wal.close wal;
+        dir)
+      ~free:bench_rm_rf
+      (Staged.stage (fun dir ->
+           match Recover.load ~dir () with
+           | Ok outcome -> ignore outcome.Recover.store
+           | Error msg -> failwith msg));
     (* Parallel-runtime kernels (argus.par): same workloads as their
        sequential counterparts above, fanned out over a pool.  Results
        are bit-identical to sequential by the pool's determinism

@@ -26,6 +26,8 @@ module Protocol = Argus_svc.Protocol
 module Server = Argus_svc.Server
 module Handlers = Argus_svc.Handlers
 module Store = Argus_store.Store
+module Durable = Argus_store.Durable
+module Wal = Argus_store.Wal
 open Cmdliner
 
 (* Flag validation: resource knobs must be positive — a zero or
@@ -728,8 +730,9 @@ let socket_arg =
         ~doc:"Unix domain socket path the server listens on.")
 
 let serve_cmd =
-  let run () socket store jobs queue_cap deadline max_deadline max_fuel
-      drain_ms breaker_failures breaker_cooldown slow_ms =
+  let run () socket store data_dir sync sync_interval snapshot_every jobs
+      queue_cap deadline max_deadline max_fuel drain_ms breaker_failures
+      breaker_cooldown slow_ms =
     spanned "argus.serve" @@ fun () ->
     let jobs =
       match jobs with Some n -> n | None -> Argus_par.Pool.default_jobs ()
@@ -752,8 +755,35 @@ let serve_cmd =
         slow_ms;
       }
     in
-    if store then
-      Server.run ~handler:(Handlers.with_store (Store.create ())) cfg
+    if (not store) && data_dir <> None then begin
+      Printf.eprintf "argus serve: --data-dir needs --store\n%!";
+      2
+    end
+    else if store then begin
+      let sync =
+        match sync with
+        | `Always -> Wal.Always
+        | `Never -> Wal.Never
+        | `Interval -> Wal.Interval sync_interval
+      in
+      match Durable.create ?dir:data_dir ~sync ~snapshot_every () with
+      | Error diagnostic ->
+          (* A refused recovery (mid-stream corruption, digest
+             mismatch) must not be papered over by starting empty:
+             surface it and let the operator decide. *)
+          Printf.eprintf "argus serve: %s\n%!" diagnostic;
+          2
+      | Ok (durable, summary) ->
+          Printf.eprintf "argus serve: %s\n%!" summary;
+          Server.run
+            ~handler:(Handlers.with_store durable)
+            ~extra_stats:(fun () ->
+              [ ("store", Durable.stats_json durable) ])
+            ~on_drain:(fun () ->
+              Durable.flush durable;
+              Durable.close durable)
+            cfg
+    end
     else Server.run cfg
   in
   let store =
@@ -762,8 +792,52 @@ let serve_cmd =
       & info [ "store" ]
           ~doc:
             "Serve the stateful store ops (put, patch, verdict) from an \
-             in-memory incremental case store shared by all workers.  \
-             Without this flag those ops answer svc/bad-request.")
+             incremental case store shared by all workers.  Without this \
+             flag those ops answer svc/bad-request.")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make the store durable: append every put/patch to a \
+             checksummed write-ahead log under $(docv), compact with \
+             periodic snapshots, and on startup recover the prior state \
+             (replaying the WAL tail with digest verification).  A \
+             corrupted log is refused with a diagnostic; a disk error at \
+             runtime degrades the store to read-only instead of crashing.  \
+             Requires --store.")
+  in
+  let sync =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("always", `Always); ("interval", `Interval); ("never", `Never) ])
+          `Always
+      & info [ "sync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL fsync policy: $(b,always) fsyncs every append (an \
+             acknowledged write is durable), $(b,interval) fsyncs at most \
+             once per --sync-interval window, $(b,never) leaves flushing \
+             to the kernel.")
+  in
+  let sync_interval =
+    Arg.(
+      value
+      & opt (positive_float_conv "--sync-interval") 100.
+      & info [ "sync-interval" ] ~docv:"MS"
+          ~doc:"Fsync window for --sync interval, in milliseconds.")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt (nonneg_int_conv "--snapshot-every") 1024
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Write a compacting snapshot and reset the WAL every $(docv) \
+             logged operations (0 disables snapshots).")
   in
   let jobs =
     Arg.(
@@ -850,7 +924,8 @@ let serve_cmd =
        ~doc:
          "Run the supervised always-on checking service on a Unix socket")
     Term.(
-      const run $ obs_t $ socket_arg $ store $ jobs $ queue_cap $ deadline
+      const run $ obs_t $ socket_arg $ store $ data_dir $ sync
+      $ sync_interval $ snapshot_every $ jobs $ queue_cap $ deadline
       $ max_deadline $ max_fuel $ drain_ms $ breaker_failures
       $ breaker_cooldown $ slow_ms)
 

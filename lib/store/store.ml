@@ -469,7 +469,25 @@ let case store digest =
         (fun st -> st.structure)
         (Hashtbl.find_opt store.cases digest))
 
+let find store digest =
+  locked store (fun () ->
+      Option.map
+        (fun st -> (st.ruleset, st.structure))
+        (Hashtbl.find_opt store.cases digest))
+
 let size store = locked store (fun () -> Hashtbl.length store.cases)
+
+let remove store digest =
+  locked store (fun () ->
+      Hashtbl.remove store.cases digest;
+      update_gauge store)
+
+let cases store =
+  locked store (fun () ->
+      Hashtbl.fold
+        (fun digest st acc -> (digest, st.ruleset, st.structure) :: acc)
+        store.cases []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b))
 
 (* The ancestor cone of the edited nodes: everything whose Merkle
    digest covers them, over reverse SupportedBy and reverse

@@ -87,4 +87,22 @@ val digest_of : Argus_gsn.Structure.t -> string
 
 val mem : t -> string -> bool
 val case : t -> string -> Argus_gsn.Structure.t option
+
+val find :
+  t ->
+  string ->
+  (Argus_gsn.Wellformed.ruleset * Argus_gsn.Structure.t) option
+(** Like {!case}, with the ruleset the case was put under. *)
+
 val size : t -> int
+
+val remove : t -> string -> unit
+(** Drop the case bound at a digest (a no-op when absent).  Arena and
+    memo entries it contributed stay cached until evicted — eviction
+    never changes results.  {!Durable} uses this to roll back an
+    operation whose WAL append failed. *)
+
+val cases :
+  t -> (string * Argus_gsn.Wellformed.ruleset * Argus_gsn.Structure.t) list
+(** Every live case as [(digest, ruleset, structure)], sorted by
+    digest — the deterministic enumeration snapshots serialise. *)

@@ -1,0 +1,254 @@
+(* The write-ahead log: an append-only file of length-prefixed,
+   CRC-checksummed operation records.
+
+   Every committed [put] and [patch] appends one record; recovery
+   replays them in order.  The framing is deliberately dumb — no
+   page alignment, no record batching — because the store's mutation
+   rate is human-scale (editors saving cases), not a transaction
+   engine's, and dumb framing keeps the torn-write analysis exact:
+
+     file   := magic record*
+     magic  := "ARGUSWAL1\n"
+     record := len:u32le crc:u32le payload[len]
+
+   [crc] is CRC-32 (IEEE) of the payload bytes; the payload is the
+   [Marshal] encoding of {!record} — pure data (the structure, the
+   edits, the result digest), no closures, so the encoding is
+   deterministic for a given compiler.  The digest recorded with each
+   operation is the case digest the store answered when the operation
+   committed; recovery recomputes it and refuses a log whose replay
+   disagrees.
+
+   Torn-write discipline (the contract {!parse} implements, which the
+   fuzz suite in test/store holds it to):
+
+   - a record that does not fit in the remaining bytes (a crash mid-
+     append, ENOSPC mid-write) is a {e torn tail}: everything from its
+     offset on is garbage-in-good-faith and gets truncated;
+   - a complete final record whose CRC fails is also treated as a torn
+     tail — an interrupted append can leave a full-length record of
+     partly stale bytes;
+   - a CRC failure (or an impossible length) with {e more data after
+     it} is mid-stream corruption: something other than a crash-while-
+     appending wrote here, replaying past it could resurrect arbitrary
+     state, so recovery refuses with the offset in the diagnostic.
+
+   Sync policy: [Always] fsyncs after every append (an acknowledged
+   operation is durable), [Interval ms] fsyncs at most once per
+   window plus on {!flush} (drain), [Never] leaves it to the kernel.
+
+   Fault probes: [store.wal.append] (keyed by record seq) fires before
+   the write, [store.wal.fsync] (keyed likewise) before the fsync —
+   so ENOSPC/EIO at either edge is a deterministic test scenario.
+   Counters: [store.wal_appends], [store.wal_fsyncs]. *)
+
+module Structure = Argus_gsn.Structure
+module Wellformed = Argus_gsn.Wellformed
+module Fault = Argus_rt.Fault
+module Counter = Argus_obs.Counter
+
+let c_appends = Counter.make "store.wal_appends"
+let c_fsyncs = Counter.make "store.wal_fsyncs"
+
+let magic = "ARGUSWAL1\n"
+
+type sync = Always | Interval of float | Never
+
+type op =
+  | Put of Wellformed.ruleset * Structure.t
+  | Patch of string * Store.edit list
+
+type record = { seq : int; op : op; digest : string }
+
+(* --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- framing --- *)
+
+let u32le v =
+  String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+let read_u32le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let encode (r : record) =
+  let payload = Marshal.to_string r [] in
+  u32le (String.length payload) ^ u32le (crc32 payload) ^ payload
+
+type tail =
+  | Clean
+  | Torn of { offset : int; dropped : int }
+      (** The file is valid up to [offset]; [dropped] trailing bytes
+          are a torn final record and should be truncated away. *)
+
+(* Decode a whole log image.  Returns the valid prefix of records plus
+   the tail state, or [Error] with a precise diagnostic for anything
+   that is not explainable as an interrupted append. *)
+let parse (data : string) : (record list * tail, string) result =
+  let n = String.length data in
+  let mlen = String.length magic in
+  if n < mlen then
+    if String.equal data (String.sub magic 0 n) then
+      (* A crash while writing the very first header: an empty log. *)
+      Ok ([], if n = 0 then Clean else Torn { offset = 0; dropped = n })
+    else Error "not an argus WAL (bad magic)"
+  else if not (String.equal (String.sub data 0 mlen) magic) then
+    Error "not an argus WAL (bad magic)"
+  else begin
+    let records = ref [] in
+    let result = ref None in
+    let off = ref mlen in
+    while !result = None do
+      let o = !off in
+      if o = n then result := Some (Ok (List.rev !records, Clean))
+      else if n - o < 8 then
+        (* Header torn mid-write: necessarily the tail. *)
+        result := Some (Ok (List.rev !records, Torn { offset = o; dropped = n - o }))
+      else begin
+        let len = read_u32le data o in
+        let crc = read_u32le data (o + 4) in
+        if len > n - o - 8 then
+          (* The record claims more bytes than the file holds.  Either a
+             genuinely torn append, or a corrupted length field — both
+             leave nothing parseable after this offset, so truncation is
+             the only sound reading. *)
+          result := Some (Ok (List.rev !records, Torn { offset = o; dropped = n - o }))
+        else begin
+          let payload = String.sub data (o + 8) len in
+          if crc32 payload <> crc then
+            if o + 8 + len = n then
+              (* Complete final record, bad bytes: torn append. *)
+              result :=
+                Some (Ok (List.rev !records, Torn { offset = o; dropped = n - o }))
+            else
+              result :=
+                Some
+                  (Error
+                     (Printf.sprintf
+                        "WAL corrupted mid-stream: checksum mismatch in the \
+                         record at byte %d (%d of %d bytes remain after it); \
+                         refusing to replay past it"
+                        o
+                        (n - (o + 8 + len))
+                        n))
+          else
+            match (Marshal.from_string payload 0 : record) with
+            | r ->
+                records := r :: !records;
+                off := o + 8 + len
+            | exception _ ->
+                result :=
+                  Some
+                    (Error
+                       (Printf.sprintf
+                          "WAL corrupted mid-stream: undecodable record at \
+                           byte %d (checksum valid); refusing to replay"
+                          o))
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+(* --- the append handle --- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  sync : sync;
+  mutable last_fsync_ms : float;
+  mutable closed : bool;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* A partial [write] (ENOSPC, or a signal) retried here would leave the
+   already-written fragment as a permanent mid-record gap, so any short
+   write raises and the caller degrades; a crash mid-write instead
+   leaves a torn tail, which recovery truncates. *)
+let write_fully fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> raise (Unix.Unix_error (Unix.ENOSPC, "write", ""))
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let openw ?(sync = Always) path =
+  let fresh = not (Sys.file_exists path) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if fresh || size = 0 then write_fully fd magic;
+  { path; fd; sync; last_fsync_ms = now_ms (); closed = false }
+
+let do_fsync t ~key =
+  Fault.point ~key "store.wal.fsync";
+  Unix.fsync t.fd;
+  Counter.incr c_fsyncs;
+  t.last_fsync_ms <- now_ms ()
+
+let append t (r : record) =
+  Fault.point ~key:(string_of_int r.seq) "store.wal.append";
+  write_fully t.fd (encode r);
+  Counter.incr c_appends;
+  match t.sync with
+  | Always -> do_fsync t ~key:(string_of_int r.seq)
+  | Never -> ()
+  | Interval ms ->
+      if now_ms () -. t.last_fsync_ms >= ms then
+        do_fsync t ~key:(string_of_int r.seq)
+
+let flush t = if not t.closed then do_fsync t ~key:"flush"
+
+(* Empty the log after a snapshot has captured everything it held.
+   O_APPEND writes always land at the (new) end, so truncate-then-
+   rewrite-magic is safe; a crash between the two leaves a zero-length
+   file, which [parse] reads as an empty log. *)
+let reset t =
+  Unix.ftruncate t.fd 0;
+  write_fully t.fd magic;
+  do_fsync t ~key:"reset"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Read a log image for recovery.  The probe [store.recover.read]
+   (keyed ["wal"]) guards the read so EIO while recovering is a
+   deterministic scenario; parse failures surface as [Error]. *)
+let read_file path : (string, string) result =
+  match
+    Fault.point ~key:"wal" "store.recover.read";
+    In_channel.with_open_bin path In_channel.input_all
+  with
+  | data -> Ok data
+  | exception Fault.Injected probe ->
+      Error (Printf.sprintf "injected fault at probe %s reading %s" probe path)
+  | exception Sys_error msg -> Error msg

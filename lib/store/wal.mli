@@ -1,0 +1,85 @@
+(** Append-only write-ahead log of store operations.
+
+    File layout: a magic line ["ARGUSWAL1\n"] followed by records of
+    the form [len:u32le ^ crc32:u32le ^ payload], where the payload is
+    the [Marshal] encoding of {!record}.  {!parse} classifies damage:
+    an interrupted append (incomplete record, or a bad checksum in the
+    {e final} record) is a torn tail and reports how many bytes to
+    truncate; a bad checksum with data after it is mid-stream
+    corruption and is refused with a diagnostic naming the offset.
+
+    Fault probes: [store.wal.append] and [store.wal.fsync], keyed by
+    the record's sequence number; [store.recover.read] (key ["wal"])
+    on {!read_file}. *)
+
+type sync =
+  | Always  (** fsync after every append: an ack means durable. *)
+  | Interval of float  (** fsync at most once per window (ms). *)
+  | Never  (** leave persistence timing to the kernel. *)
+
+type op =
+  | Put of Argus_gsn.Wellformed.ruleset * Argus_gsn.Structure.t
+  | Patch of string * Store.edit list
+      (** [Patch (base_digest, edits)]. *)
+
+type record = {
+  seq : int;  (** Monotone per-log sequence number, starting at 1. *)
+  op : op;
+  digest : string;
+      (** The case digest the store answered when the operation
+          committed; recovery recomputes and verifies it. *)
+}
+
+val magic : string
+
+val crc32 : string -> int
+(** CRC-32 (IEEE) of a string, in [0, 0xFFFFFFFF]. *)
+
+val u32le : int -> string
+val read_u32le : string -> int -> int
+
+val write_fully : Unix.file_descr -> string -> unit
+(** Write every byte or raise; retries [EINTR], maps a zero-progress
+    write to [ENOSPC].  Shared with {!Snapshot}. *)
+
+val encode : record -> string
+(** The framed on-disk bytes of one record. *)
+
+type tail =
+  | Clean
+  | Torn of { offset : int; dropped : int }
+      (** Valid up to [offset]; [dropped] trailing bytes are a torn
+          final record to truncate away. *)
+
+val parse : string -> (record list * tail, string) result
+(** Decode a whole log image: the checksum-valid record prefix plus
+    the tail state, or [Error diagnostic] for mid-stream corruption
+    (bad magic, checksum failure before the end, undecodable
+    payload). *)
+
+(** {1 Appending} *)
+
+type t
+
+val openw : ?sync:sync -> string -> t
+(** Open (creating if absent) a log for appending; writes the magic
+    header into an empty file.  Raises [Unix.Unix_error] on I/O
+    failure. *)
+
+val append : t -> record -> unit
+(** Append one record and apply the sync policy.  Raises
+    [Fault.Injected] or [Unix.Unix_error] on failure — the caller is
+    expected to degrade to read-only. *)
+
+val flush : t -> unit
+(** fsync regardless of policy (graceful drain). *)
+
+val reset : t -> unit
+(** Truncate to an empty log (magic only) after a snapshot has
+    captured everything; fsyncs. *)
+
+val close : t -> unit
+
+val read_file : string -> (string, string) result
+(** The raw log image for recovery, through the [store.recover.read]
+    probe. *)

@@ -16,6 +16,7 @@ module Natded = Argus_logic.Natded
 module Prop = Argus_logic.Prop
 module Confidence = Argus_confidence.Confidence
 module Store = Argus_store.Store
+module Durable = Argus_store.Durable
 
 let budget_diags = function None -> [] | Some b -> Budget.diagnostics b
 
@@ -172,10 +173,20 @@ let handle (req : Protocol.request) ~budget =
            "%s needs a stateful server: start it with \"argus serve --store\""
            (Protocol.op_to_string req.Protocol.op))
 
-(* --- the stateful handler: store ops over a shared Store.t --- *)
+(* --- the stateful handler: store ops over a shared Durable.t --- *)
 
-let store_error ~id e =
-  Protocol.error ~id ~code:"svc/bad-request" (Store.error_message e)
+(* Each refusal keeps its own wire code so `argus call` (and any
+   client) can tell "that digest is gone" from "your batch is
+   malformed" from "the disk failed and the store is read-only" —
+   only the last one means "retry after an operator restart". *)
+let store_error ~id (e : Durable.error) =
+  let code =
+    match e with
+    | Durable.Store_error (Store.Unknown_digest _) -> "svc/unknown-digest"
+    | Durable.Store_error (Store.Bad_edit _) -> "svc/bad-request"
+    | Durable.Read_only _ -> "svc/store-read-only"
+  in
+  Protocol.error ~id ~code (Durable.error_message e)
 
 let put store (req : Protocol.request) =
   let id = req.Protocol.id in
@@ -188,9 +199,11 @@ let put store (req : Protocol.request) =
     Dsl.parse_collection ~filename:req.Protocol.filename req.Protocol.source
   with
   | Error ds -> report_response ~id ds
-  | Ok [ case ] when case.Dsl.module_name = None ->
-      let digest = Store.put ~ruleset store case.Dsl.structure in
-      Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest) ]
+  | Ok [ case ] when case.Dsl.module_name = None -> (
+      match Durable.put ~ruleset store case.Dsl.structure with
+      | Error e -> store_error ~id e
+      | Ok digest ->
+          Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest) ])
   | Ok _ ->
       Protocol.error ~id ~code:"svc/bad-request"
         "put stores exactly one unnamed case"
@@ -206,14 +219,14 @@ let with_digest (req : Protocol.request) k =
 let patch store (req : Protocol.request) =
   let id = req.Protocol.id in
   with_digest req (fun digest ->
-      match Store.patch store ~digest req.Protocol.edits with
+      match Durable.patch store ~digest req.Protocol.edits with
       | Error e -> store_error ~id e
       | Ok digest' -> Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest') ])
 
 let verdict store (req : Protocol.request) =
   let id = req.Protocol.id in
   with_digest req (fun digest ->
-      match Store.verdict store ~digest with
+      match Durable.verdict store ~digest with
       | Error e -> store_error ~id e
       | Ok v ->
           let ds =

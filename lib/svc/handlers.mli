@@ -20,7 +20,7 @@ val handle :
     handler; start the server with a store to serve them. *)
 
 val with_store :
-  Argus_store.Store.t ->
+  Argus_store.Durable.t ->
   Protocol.request ->
   budget:Argus_rt.Budget.t option ->
   Protocol.response
@@ -29,6 +29,8 @@ val with_store :
     batch to the addressed case, answering the new digest; [Verdict]
     answers the stored case's report (byte-identical to a [check] of
     the same source), its root confidence, and whether it came
-    entirely from cache.  Unknown digests and bad edit batches are
-    [svc/bad-request].  Everything else delegates to {!handle}.  The
-    store serialises internally, so one store may back all workers. *)
+    entirely from cache.  Unknown digests are [svc/unknown-digest],
+    bad edit batches are [svc/bad-request], and a store tripped into
+    read-only by a disk failure answers [svc/store-read-only] with
+    the cause.  Everything else delegates to {!handle}.  The store
+    serialises internally, so one store may back all workers. *)

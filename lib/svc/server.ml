@@ -94,6 +94,12 @@ type t = {
           crashes.  Only [run] arms it — the embedded [spawn] servers
           used by tests and the bench stay quiet. *)
   dump_requested : bool Atomic.t;  (** Set by the SIGUSR1 handler. *)
+  extra_stats : (unit -> (string * Json.t) list) option;
+      (** Handler-owned facts (the durable store's mode/cursors)
+          appended to both the [health] and [stats] payloads. *)
+  on_drain : (unit -> unit) option;
+      (** Runs after the workers drain, before exit — where the
+          durable store flushes and fsyncs its WAL. *)
 }
 
 let dump_flight () = Ring.dump stderr Supervisor.flight
@@ -112,6 +118,9 @@ let breakers_json t =
   |> List.map (fun (op, st) ->
          (op, Json.Str (Argus_rt.Breaker.state_to_string st)))
 
+let extra_stats_fields t =
+  match t.extra_stats with None -> [] | Some f -> f ()
+
 let health_json t =
   [
     ("ready", Json.Bool (Supervisor.accepting t.sup));
@@ -123,6 +132,7 @@ let health_json t =
     ("breakers", Json.Obj (breakers_json t));
     ("metrics", Metrics.to_json ());
   ]
+  @ extra_stats_fields t
 
 (* The [stats] payload: health facts plus the full registry with
    bucket-estimated latency quantiles, and a server timestamp so a
@@ -175,6 +185,7 @@ let stats_json t =
     ("latency_ms", Json.Obj latency);
     ("flight_recorded", Json.int (Ring.recorded Supervisor.flight));
   ]
+  @ extra_stats_fields t
 
 let stats_response t (req : Protocol.request) =
   let id = req.Protocol.id in
@@ -382,6 +393,9 @@ let serve_loop t =
       (try Unix.unlink t.cfg.socket_path
        with Unix.Unix_error _ -> ());
       let drained = Supervisor.drain t.sup ~deadline_ms:t.cfg.drain_ms in
+      (* Workers are quiet now: flush handler-owned state (the durable
+         store's WAL fsync) while the process is still in charge. *)
+      (match t.on_drain with None -> () | Some f -> f ());
       (* Every reply is out (or abandoned with its worker past the
          deadline); close what is left under each connection's write
          lock so a straggling writer finds [alive] false rather than a
@@ -404,7 +418,7 @@ let serve_loop t =
   Argus_obs.Obs.finish ();
   code
 
-let make ?(handler = Handlers.handle) cfg =
+let make ?(handler = Handlers.handle) ?extra_stats ?on_drain cfg =
   let listen_fd = bind_listen cfg in
   let flight_dump = ref false in
   let sup_config =
@@ -435,11 +449,13 @@ let make ?(handler = Handlers.handle) cfg =
     next_trace = 0;
     flight_dump;
     dump_requested = Atomic.make false;
+    extra_stats;
+    on_drain;
   }
 
-let run ?handler cfg =
+let run ?handler ?extra_stats ?on_drain cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let t = make ?handler cfg in
+  let t = make ?handler ?extra_stats ?on_drain cfg in
   t.flight_dump := true;
   let request_stop _ = Atomic.set t.stop true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
@@ -452,9 +468,9 @@ let run ?handler cfg =
 
 type handle = { t : t; domain : int Domain.t }
 
-let spawn ?handler cfg =
+let spawn ?handler ?extra_stats ?on_drain cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let t = make ?handler cfg in
+  let t = make ?handler ?extra_stats ?on_drain cfg in
   { t; domain = Domain.spawn (fun () -> serve_loop t) }
 
 let stop h =

@@ -66,10 +66,16 @@ val default_config : socket_path:string -> config
 val run :
   ?handler:
     (Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response) ->
+  ?extra_stats:(unit -> (string * Argus_core.Json.t) list) ->
+  ?on_drain:(unit -> unit) ->
   config ->
   int
 (** Bind, serve until SIGTERM/SIGINT, drain, return the exit code.
-    The default handler is {!Handlers.handle}. *)
+    The default handler is {!Handlers.handle}.  [extra_stats] fields
+    (the durable store's mode and cursors) are appended to both the
+    [health] and [stats] payloads; [on_drain] runs after the workers
+    drain and before exit — where the durable store flushes and
+    fsyncs its WAL. *)
 
 type handle
 (** A server running in a background domain — the bench and test
@@ -79,6 +85,8 @@ type handle
 val spawn :
   ?handler:
     (Protocol.request -> budget:Argus_rt.Budget.t option -> Protocol.response) ->
+  ?extra_stats:(unit -> (string * Argus_core.Json.t) list) ->
+  ?on_drain:(unit -> unit) ->
   config ->
   handle
 (** The socket is bound and listening when [spawn] returns: a client

@@ -1,0 +1,95 @@
+Crash recovery end-to-end: kill -9 a durable store server mid
+patch-storm, restart it on the same data dir, and check that what it
+recovered is a checksum-valid prefix of the committed history — with
+one verdict render byte-identical to an uninterrupted oracle run.
+
+  $ DATA=${ARGUS_DURABILITY_DATA:-/tmp/argus-durability-cram}
+  $ rm -rf "$DATA"
+  $ S=${TMPDIR:-/tmp}/argus-dur-$$.sock
+  $ O=${TMPDIR:-/tmp}/argus-dur-oracle-$$.sock
+  $ printf 'case "storm" {\n  evidence E1 analysis "a"\n  goal G1 "t holds" { supported-by S1 }\n  strategy S1 "argue by parts" { supported-by G2 }\n  goal G2 "part two holds" { supported-by Sn1 }\n  solution Sn1 "analysis results" { evidence E1 }\n}\n' > storm.arg
+  $ digest_of() { sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p'; }
+
+Start the durable server (sync always: an acked patch is fsynced
+before the client hears about it) and put the storm case:
+
+  $ argus serve --socket "$S" --store --data-dir "$DATA" --sync always --jobs 1 2>server.log &
+  $ SERVE_PID=$!
+  $ D0=$(argus call --socket "$S" put storm.arg | digest_of)
+  $ test -n "$D0" && echo put-acked
+  put-acked
+
+The storm: a client chains patches, recording every acked digest.
+Once a handful are acked the server is killed -9 — no drain, no
+flush, whatever was mid-write stays mid-written:
+
+  $ (dig="$D0"; i=1; while [ $i -le 200 ]; do out=$(argus call --socket "$S" patch --digest "$dig" --edit "set-text:G2=storm revision $i" 2>/dev/null) || break; dig=$(printf '%s' "$out" | digest_of); [ -n "$dig" ] || break; echo "$dig" >> acks.log; i=$((i+1)); done) &
+  $ STORM_PID=$!
+  $ while [ ! -s acks.log ] || [ "$(wc -l < acks.log)" -lt 5 ]; do sleep 0.05; done
+  $ kill -9 $SERVE_PID
+  $ wait $STORM_PID
+  $ wait $SERVE_PID
+  [137]
+  $ ACKED=$(wc -l < acks.log)
+  $ test "$ACKED" -ge 5 && echo storm-acked
+  storm-acked
+
+Restart on the same data dir: recovery replays the WAL, verifying
+every record's digest, and reports what it restored:
+
+  $ argus serve --socket "$S" --store --data-dir "$DATA" --sync always --jobs 1 2>recover.log &
+  $ SERVE2_PID=$!
+  $ argus call --socket "$S" health | grep -E '"(mode|durable)"'
+      "mode": "active",
+      "durable": true,
+  $ grep -c 'recovered 1 case' recover.log
+  1
+
+The recovered digest must be a committed point of the history: at or
+after the last acked patch (an appended-but-unacked record can be
+durable — the ack is what promises it), never behind it, never a
+digest that no run of the storm could produce.  The oracle replays
+the same deterministic edit sequence uninterrupted and records every
+digest it passes through:
+
+  $ R=$(argus call --socket "$S" stats | grep -A1 '"digests"' | tail -1 | tr -cd '0-9a-f')
+  $ test -n "$R" && echo recovered-digest
+  recovered-digest
+  $ argus serve --socket "$O" --store --jobs 1 2>/dev/null &
+  $ ORACLE_PID=$!
+  $ OD=$(argus call --socket "$O" put storm.arg | digest_of)
+  $ test "$OD" = "$D0" && echo same-root
+  same-root
+  $ dig="$OD"; i=1; while [ $i -le 200 ]; do dig=$(argus call --socket "$O" patch --digest "$dig" --edit "set-text:G2=storm revision $i" | digest_of); echo "$dig" >> oracle.log; i=$((i+1)); done
+  $ kill -TERM $ORACLE_PID
+  $ wait $ORACLE_PID
+  $ K=$(grep -n "^$R\$" oracle.log | cut -d: -f1)
+  $ test -n "$K" && echo recovered-point-is-committed
+  recovered-point-is-committed
+  $ test "$K" -ge "$ACKED" && echo no-acked-patch-lost
+  no-acked-patch-lost
+
+Byte-identical verdicts across the crash: a fresh oracle run stopped
+at exactly the recovered point must render the same verdict, byte for
+byte (ids pinned so the comparison is exact):
+
+  $ argus call --socket "$S" --raw "{\"id\":\"v\",\"trace_id\":\"T\",\"op\":\"verdict\",\"digest\":\"$R\"}" verdict > recovered.json
+  $ argus serve --socket "$O" --store --jobs 1 2>/dev/null &
+  $ ORACLE2_PID=$!
+  $ dig=$(argus call --socket "$O" put storm.arg | digest_of); i=1; while [ $i -le "$K" ]; do dig=$(argus call --socket "$O" patch --digest "$dig" --edit "set-text:G2=storm revision $i" | digest_of); i=$((i+1)); done
+  $ test "$dig" = "$R" && echo oracle-converged
+  oracle-converged
+  $ argus call --socket "$O" --raw "{\"id\":\"v\",\"trace_id\":\"T\",\"op\":\"verdict\",\"digest\":\"$R\"}" verdict > oracle.json
+  $ kill -TERM $ORACLE2_PID
+  $ wait $ORACLE2_PID
+  $ cmp recovered.json oracle.json && echo byte-identical
+  byte-identical
+
+The recovered server keeps serving writes, and this time drains
+gracefully — flushing the WAL on the way out:
+
+  $ argus call --socket "$S" patch --digest "$R" --edit 'set-text:G2=after the crash' | grep '"status"'
+    "status": "ok",
+  $ kill -TERM $SERVE2_PID
+  $ wait $SERVE2_PID
+  $ rm -rf "$DATA"

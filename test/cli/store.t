@@ -58,17 +58,24 @@ a stateless check of the same case would report it:
     "exit": 1,
           "code": "gsn/unsupported-goal",
 
-Unknown digests and malformed edits are bad requests, not crashes:
+Unknown digests and malformed edits each carry their own error code —
+a client can tell "re-put the case" from "fix the batch" without
+parsing prose:
 
   $ argus call --socket "$S" verdict --digest feedface | grep '"code"'
+    "code": "svc/unknown-digest",
+  $ argus call --socket "$S" patch --digest "$D3" --edit 'set-text:Gmissing=x' | grep -E '"(code|message)"'
     "code": "svc/bad-request",
-  $ argus call --socket "$S" patch --digest "$D3" --edit 'set-text:Gmissing=x' | grep '"message"'
     "message": "set-text: no node Gmissing"
 
-The server's stats expose the store gauge and reuse counters:
+The server's stats expose the store gauge and reuse counters, plus the
+store's durability surface (in-memory here: active, not durable):
 
   $ argus call --socket "$S" stats | grep -cE '"store\.(nodes|node_hits|reused_verdicts|dirty_cone)"'
   4
+  $ argus call --socket "$S" stats | grep -E '"(mode|durable)"'
+      "mode": "active",
+      "durable": false,
 
   $ kill -TERM $SERVE_PID
   $ wait $SERVE_PID

@@ -16,6 +16,11 @@ module Caseir = Argus_ir.Caseir
 module Fused = Argus_ir.Fused
 module Pool = Argus_par.Pool
 module Store = Argus_store.Store
+module Wal = Argus_store.Wal
+module Snapshot = Argus_store.Snapshot
+module Recover = Argus_store.Recover
+module Durable = Argus_store.Durable
+module Fault = Argus_rt.Fault
 
 let render ds = Format.asprintf "%a" Diagnostic.pp_report ds
 
@@ -426,7 +431,467 @@ let concurrent_differential jobs () =
       | Error msg -> Alcotest.fail (Printf.sprintf "scenario %d: %s" i msg))
     results
 
+(* --- durability: WAL + snapshots + recovery + degraded mode --- *)
+
+let temp_dir () =
+  let f = Filename.temp_file "argus-store-test" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let with_dir f =
+  let dir = temp_dir () in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* The corruption fuzz injects its own deterministic damage; ambient
+   fault injection (the CI fault matrix) would make its setup phases
+   flaky, so it is masked for the scope of each fuzz test. *)
+let without_faults f =
+  let saved = Fault.current () in
+  Fault.set None;
+  Fun.protect ~finally:(fun () -> Fault.set saved) f
+
+let base_structure =
+  Structure.of_nodes
+    ~links:
+      [
+        (Structure.Supported_by, "G1", "S1");
+        (Structure.Supported_by, "S1", "G2");
+        (Structure.Supported_by, "S1", "G3");
+      ]
+    [
+      Node.goal "G1" "The system is acceptably safe";
+      Node.strategy "S1" "Argue over hazards";
+      Node.goal "G2" "Hazard H1 is mitigated";
+      Node.goal "G3" "Hazard H2 is mitigated";
+    ]
+
+let nth_edit i =
+  [ Store.Set_text (Id.of_string "G2", Printf.sprintf "Revision %d" i) ]
+
+(* Build a durable dir with [ops] set-text patches after the initial
+   put, sync always so every record is complete on disk.  Returns the
+   acked digest sequence (put first) and the shadow structure at each
+   step, plus the WAL size after each record — the record boundaries
+   the torn-tail fuzz cuts at. *)
+let build_history ?snapshot_every ~ops dir =
+  let durable, _ =
+    match Durable.create ~dir ~sync:Wal.Always ?snapshot_every () with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "durable create failed: %s" e
+  in
+  let wal = Recover.wal_path dir in
+  let wal_size () = (Unix.stat wal).Unix.st_size in
+  let d0 =
+    match Durable.put durable base_structure with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "put failed: %s" (Durable.error_message e)
+  in
+  let digests = ref [ d0 ] in
+  let shadows = ref [ base_structure ] in
+  let sizes = ref [ wal_size () ] in
+  let apply_shadow shadow = function
+    | [ Store.Set_text (id, text) ] ->
+        let n = Option.get (Structure.find id shadow) in
+        Structure.add_node
+          (Node.make ~id ~node_type:n.Node.node_type ~status:n.Node.status
+             ?formal:n.Node.formal ~annotations:n.Node.annotations
+             ?evidence:n.Node.evidence text)
+          shadow
+    | _ -> assert false
+  in
+  for i = 1 to ops do
+    let batch = nth_edit i in
+    match Durable.patch durable ~digest:(List.hd !digests) batch with
+    | Error e -> Alcotest.failf "patch %d failed: %s" i (Durable.error_message e)
+    | Ok d ->
+        digests := d :: !digests;
+        shadows := apply_shadow (List.hd !shadows) batch :: !shadows;
+        sizes := wal_size () :: !sizes
+  done;
+  Durable.close durable;
+  (List.rev !digests, List.rev !shadows, List.rev !sizes)
+
+(* Recover a dir and demand exactly one live case, byte-identical in
+   verdict to the full fused check of the shadow it should hold. *)
+let check_recovered ?(msg = "recovered") dir expected_digest shadow =
+  match Recover.load ~dir () with
+  | Error e -> Alcotest.failf "%s: recovery refused: %s" msg e
+  | Ok outcome ->
+      let store = outcome.Recover.store in
+      (match Store.cases store with
+      | [ (d, _, _) ] ->
+          Alcotest.(check string) (msg ^ ": digest") expected_digest d
+      | cases ->
+          Alcotest.failf "%s: expected 1 case, recovered %d" msg
+            (List.length cases));
+      (match check_verdict store expected_digest shadow with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" msg e)
+
+let test_recover_roundtrip () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let digests, shadows, _ = build_history ~ops:6 dir in
+  let final_digest = List.nth digests 6 in
+  let final_shadow = List.nth shadows 6 in
+  check_recovered ~msg:"clean restart" dir final_digest final_shadow;
+  (* Recovery is idempotent: a second restart sees the same state. *)
+  check_recovered ~msg:"second restart" dir final_digest final_shadow;
+  (* And reopening through Durable keeps accepting writes. *)
+  match Durable.create ~dir ~sync:Wal.Always () with
+  | Error e -> Alcotest.failf "reopen failed: %s" e
+  | Ok (durable, _) -> (
+      match Durable.patch durable ~digest:final_digest (nth_edit 99) with
+      | Error e ->
+          Alcotest.failf "patch after recovery failed: %s"
+            (Durable.error_message e)
+      | Ok _ -> Durable.close durable)
+
+let test_snapshot_compaction () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let digests, shadows, _ = build_history ~snapshot_every:4 ~ops:10 dir in
+  Alcotest.(check bool)
+    "a snapshot was written" true
+    (Snapshot.latest dir <> None);
+  (* The WAL was reset at the snapshot: it holds only the tail. *)
+  (match Recover.load ~dir () with
+  | Error e -> Alcotest.failf "recovery refused: %s" e
+  | Ok outcome ->
+      Alcotest.(check bool)
+        "snapshot carries most of the history" true
+        (outcome.Recover.snapshot_seq >= 4);
+      Alcotest.(check bool)
+        "only the tail replays" true
+        (outcome.Recover.replayed <= 11 - outcome.Recover.snapshot_seq));
+  check_recovered ~msg:"snapshot + tail" dir (List.nth digests 10)
+    (List.nth shadows 10)
+
+(* Torn-tail fuzz: cut the WAL at every byte offset inside the final
+   record; recovery must restore the state just before it, truncate
+   the torn bytes on disk, and leave the shortened log clean. *)
+let test_torn_tail_every_offset () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let digests, shadows, sizes = build_history ~ops:4 dir in
+  let wal = Recover.wal_path dir in
+  let pristine = In_channel.with_open_bin wal In_channel.input_all in
+  let last_start = List.nth sizes 3 in
+  let last_end = List.nth sizes 4 in
+  Alcotest.(check int) "history is intact" last_end (String.length pristine);
+  for cut = last_start to last_end - 1 do
+    with_dir @@ fun dir' ->
+    Out_channel.with_open_bin (Recover.wal_path dir') (fun oc ->
+        Out_channel.output_string oc (String.sub pristine 0 cut));
+    check_recovered
+      ~msg:(Printf.sprintf "cut at byte %d" cut)
+      dir' (List.nth digests 3) (List.nth shadows 3);
+    (* The torn bytes are gone from disk: the next recovery parses a
+       clean log. *)
+    match Recover.load ~dir:dir' () with
+    | Error e -> Alcotest.failf "re-recovery at %d refused: %s" cut e
+    | Ok o ->
+        Alcotest.(check int)
+          (Printf.sprintf "no torn bytes left after cut %d" cut)
+          0 o.Recover.truncated
+  done
+
+(* Bit-flip fuzz: flip one byte at every offset of the final record
+   (covering its length, checksum and payload regions) and one byte
+   per region of an interior record.  Each damaged log must either
+   recover a checksum-valid prefix of the committed history or be
+   refused with the corruption diagnostic — never crash, hang, or
+   resurrect a state that was never committed. *)
+let test_bit_flip_fuzz () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let digests, shadows, sizes = build_history ~ops:4 dir in
+  let wal = Recover.wal_path dir in
+  let pristine = In_channel.with_open_bin wal In_channel.input_all in
+  let check_flip ~expect_refusal offset =
+    with_dir @@ fun dir' ->
+    let damaged = Bytes.of_string pristine in
+    Bytes.set damaged offset
+      (Char.chr (Char.code (Bytes.get damaged offset) lxor 0x40));
+    Out_channel.with_open_bin (Recover.wal_path dir') (fun oc ->
+        Out_channel.output_bytes oc damaged);
+    match Recover.load ~dir:dir' () with
+    | Error diagnostic ->
+        Alcotest.(check bool)
+          (Printf.sprintf "flip at %d: diagnostic names the problem" offset)
+          true
+          (String.length diagnostic > 0)
+    | Ok outcome ->
+        if expect_refusal then
+          Alcotest.failf
+            "flip at %d (interior record) must refuse, recovered %d cases"
+            offset
+            (Store.size outcome.Recover.store);
+        (* A survivable flip must land on a committed prefix, verdicts
+           intact. *)
+        let store = outcome.Recover.store in
+        (match Store.cases store with
+        | [ (d, _, _) ] -> (
+            match
+              List.find_index (fun x -> String.equal x d) digests
+            with
+            | None ->
+                Alcotest.failf
+                  "flip at %d resurrected digest %s that was never committed"
+                  offset d
+            | Some i -> (
+                match check_verdict store d (List.nth shadows i) with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "flip at %d: %s" offset e))
+        | [] -> ()
+        | cases ->
+            Alcotest.failf "flip at %d: recovered %d cases from 1-case history"
+              offset (List.length cases))
+  in
+  (* Every byte of the final record. *)
+  let last_start = List.nth sizes 3 in
+  let last_end = List.nth sizes 4 in
+  for offset = last_start to last_end - 1 do
+    check_flip ~expect_refusal:false offset
+  done;
+  (* Interior record (records follow it, so a checksum failure there
+     is mid-stream corruption): its payload must refuse outright. *)
+  let mid_start = List.nth sizes 1 in
+  check_flip ~expect_refusal:true (mid_start + 8);
+  check_flip ~expect_refusal:true (mid_start + 12);
+  (* An interior length/checksum flip may reclassify the damage as a
+     torn tail (shorter prefix) — allowed — but must never crash or
+     invent state; [expect_refusal:false] still forbids uncommitted
+     digests. *)
+  check_flip ~expect_refusal:false mid_start;
+  check_flip ~expect_refusal:false (mid_start + 4)
+
+(* A log corrupted mid-stream must also refuse end-to-end: reopening
+   through Durable (what `argus serve --data-dir` does) reports the
+   diagnostic instead of starting empty. *)
+let test_corrupt_refused_end_to_end () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let _, _, sizes = build_history ~ops:4 dir in
+  let wal = Recover.wal_path dir in
+  let data = Bytes.of_string (In_channel.with_open_bin wal In_channel.input_all) in
+  let mid = List.nth sizes 1 + 8 in
+  Bytes.set data mid (Char.chr (Char.code (Bytes.get data mid) lxor 0xff));
+  Out_channel.with_open_bin wal (fun oc -> Out_channel.output_bytes oc data);
+  match Durable.create ~dir ~sync:Wal.Always () with
+  | Ok _ -> Alcotest.fail "corrupted log must refuse to open"
+  | Error diagnostic ->
+      Alcotest.(check bool)
+        "diagnostic says mid-stream" true
+        (let has needle =
+           let nh = String.length diagnostic and nn = String.length needle in
+           let rec go i =
+             i + nn <= nh
+             && (String.sub diagnostic i nn = needle || go (i + 1))
+           in
+           go 0
+         in
+         has "mid-stream" || has "checksum")
+
+(* Injected I/O faults trip read-only, stick, and never lose acked
+   state: after reopening the dir, everything acked before the fault
+   is back and verdicts are byte-identical. *)
+let test_fault_trips_read_only () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let durable, _ =
+    match Durable.create ~dir ~sync:Wal.Always () with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "create failed: %s" e
+  in
+  let d0 =
+    match Durable.put durable base_structure with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "put failed: %s" (Durable.error_message e)
+  in
+  let spec =
+    match Fault.parse_spec "store.wal.append@2:1:5" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad spec: %s" e
+  in
+  (match
+     Fault.with_spec spec (fun () ->
+         Durable.patch durable ~digest:d0 (nth_edit 1))
+   with
+  | Error (Durable.Read_only cause) ->
+      Alcotest.(check bool)
+        "cause names the probe" true
+        (String.length cause > 0)
+  | Error e -> Alcotest.failf "expected read-only, got %s" (Durable.error_message e)
+  | Ok _ -> Alcotest.fail "append fault must refuse the write");
+  (* Sticky after the fault window closes; the rolled-back patch left
+     the acked digest live. *)
+  (match Durable.patch durable ~digest:d0 (nth_edit 2) with
+  | Error (Durable.Read_only _) -> ()
+  | _ -> Alcotest.fail "read-only must stick");
+  (match Durable.verdict durable ~digest:d0 with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "read in degraded mode failed: %s"
+        (Durable.error_message e));
+  Durable.close durable;
+  check_recovered ~msg:"after degraded shutdown" dir d0 base_structure
+
+(* A snapshot failure must degrade without losing the operation that
+   triggered it — the WAL still holds every record. *)
+let test_snapshot_fault_degrades () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let durable, _ =
+    match Durable.create ~dir ~sync:Wal.Always ~snapshot_every:1 () with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "create failed: %s" e
+  in
+  let spec =
+    match Fault.parse_spec "store.snapshot.write:1:5" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad spec: %s" e
+  in
+  let d0 =
+    match
+      Fault.with_spec spec (fun () -> Durable.put durable base_structure)
+    with
+    | Ok d -> d
+    | Error e ->
+        Alcotest.failf "the logged op itself must ack: %s"
+          (Durable.error_message e)
+  in
+  Alcotest.(check bool)
+    "snapshot fault degrades" true
+    (match Durable.mode durable with
+    | Durable.Read_only _ -> true
+    | Durable.Active -> false);
+  Durable.close durable;
+  check_recovered ~msg:"WAL survives the failed snapshot" dir d0
+    base_structure
+
+(* A fault while reading during recovery surfaces as a diagnostic, not
+   a crash or a silently empty store. *)
+let test_recover_read_fault () =
+  without_faults @@ fun () ->
+  with_dir @@ fun dir ->
+  let _ = build_history ~ops:2 dir in
+  let spec =
+    match Fault.parse_spec "store.recover.read@wal:1:5" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad spec: %s" e
+  in
+  match Fault.with_spec spec (fun () -> Durable.create ~dir ()) with
+  | Ok _ -> Alcotest.fail "recovery under a read fault must refuse"
+  | Error diagnostic ->
+      Alcotest.(check bool)
+        "diagnostic names the injected fault" true
+        (let needle = "injected fault" in
+         let nh = String.length diagnostic and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub diagnostic i nn = needle || go (i + 1))
+         in
+         go 0)
+
+(* The durable differential: scenarios driven through Durable handles
+   (one data dir each) across domains.  Under ambient fault injection
+   (the CI fault matrix sets ARGUS_FAULT for each store probe) writes
+   may trip read-only at any point; the property is that every ack is
+   honest — whatever was acked is byte-identical after recovery — and
+   nothing ever crashes.  Without ambient faults it degenerates to a
+   full durability round-trip per scenario. *)
+let durable_differential jobs () =
+  let scenarios = Array.init 8 (fun i -> 3 + (i mod 4)) in
+  let run_one ops =
+    with_dir @@ fun dir ->
+    match Durable.create ~dir ~sync:Wal.Always () with
+    | Error e ->
+        (* Only an injected recovery fault may refuse a fresh dir. *)
+        if Fault.current () = None then
+          Alcotest.failf "fresh create refused: %s" e
+    | Ok (durable, _) ->
+        let acked = ref [] in
+        let shadow = ref base_structure in
+        (match Durable.put durable base_structure with
+        | Ok d -> acked := [ (d, base_structure) ]
+        | Error (Durable.Read_only _) -> ()
+        | Error e -> Alcotest.failf "put: %s" (Durable.error_message e));
+        (try
+           for i = 1 to ops do
+             match !acked with
+             | [] -> raise Exit
+             | (digest, _) :: _ -> (
+                 match Durable.patch durable ~digest (nth_edit i) with
+                 | Ok d ->
+                     let n =
+                       Option.get (Structure.find (Id.of_string "G2") !shadow)
+                     in
+                     shadow :=
+                       Structure.add_node
+                         (Node.make ~id:(Id.of_string "G2")
+                            ~node_type:n.Node.node_type ~status:n.Node.status
+                            ?formal:n.Node.formal
+                            ~annotations:n.Node.annotations
+                            ?evidence:n.Node.evidence
+                            (Printf.sprintf "Revision %d" i))
+                         !shadow;
+                     acked := (d, !shadow) :: !acked
+                 | Error (Durable.Read_only _) ->
+                     (* Degraded: acked reads must still be consistent,
+                        then this scenario is done writing. *)
+                     (match !acked with
+                     | (d, s) :: _ -> (
+                         match
+                           check_verdict (Durable.store durable) d s
+                         with
+                         | Ok () -> ()
+                         | Error e ->
+                             Alcotest.failf "degraded read drifted: %s" e)
+                     | [] -> ());
+                     raise Exit
+                 | Error e ->
+                     Alcotest.failf "patch: %s" (Durable.error_message e))
+           done
+         with Exit -> ());
+        Durable.close durable;
+        (* Recovery under ambient faults may refuse (injected read
+           fault) — that is a diagnostic, not a loss.  When it
+           answers, the recovered state must be internally verified
+           (recover re-checks every digest) and verdicts must be
+           byte-identical to the fused oracle of the recovered
+           structure. *)
+        (match Recover.load ~dir () with
+        | Error e ->
+            if Fault.current () = None then
+              Alcotest.failf "recovery refused without faults: %s" e
+        | Ok outcome -> (
+            let store = outcome.Recover.store in
+            List.iter
+              (fun (d, _, structure) ->
+                match check_verdict store d structure with
+                | Ok () -> ()
+                | Error e ->
+                    Alcotest.failf "recovered verdict drifted: %s" e)
+              (Store.cases store);
+            (* Without ambient faults every ack must be back. *)
+            if Fault.current () = None then
+              match (!acked, Store.cases store) with
+              | (d, _) :: _, [ (d', _, _) ] ->
+                  Alcotest.(check string) "last ack recovered" d d'
+              | (_, _) :: _, cases ->
+                  Alcotest.failf "expected 1 recovered case, got %d"
+                    (List.length cases)
+              | [], _ -> ()))
+  in
+  Pool.with_pool ~jobs (fun pool ->
+      ignore (Pool.map_array ~pool run_one scenarios))
+
 let () =
+  Fault.configure_from_env ();
   Alcotest.run "argus-store"
     [
       ( "differential",
@@ -456,5 +921,27 @@ let () =
             (concurrent_differential 2);
           Alcotest.test_case "shared store, 8 domains" `Quick
             (concurrent_differential 8);
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "recover round-trip" `Quick
+            test_recover_roundtrip;
+          Alcotest.test_case "snapshot compaction" `Quick
+            test_snapshot_compaction;
+          Alcotest.test_case "torn tail at every offset" `Quick
+            test_torn_tail_every_offset;
+          Alcotest.test_case "bit-flip fuzz" `Quick test_bit_flip_fuzz;
+          Alcotest.test_case "mid-stream corruption refused end-to-end"
+            `Quick test_corrupt_refused_end_to_end;
+          Alcotest.test_case "disk fault trips read-only" `Quick
+            test_fault_trips_read_only;
+          Alcotest.test_case "snapshot fault degrades without loss" `Quick
+            test_snapshot_fault_degrades;
+          Alcotest.test_case "recovery read fault refuses" `Quick
+            test_recover_read_fault;
+          Alcotest.test_case "durable differential, 1 domain" `Quick
+            (durable_differential 1);
+          Alcotest.test_case "durable differential, 8 domains" `Quick
+            (durable_differential 8);
         ] );
     ]

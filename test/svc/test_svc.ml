@@ -731,6 +731,7 @@ let test_server_traced_request () =
 (* --- store ops: protocol codec, stateless rejection, stateful mode --- *)
 
 module Store = Argus_store.Store
+module Durable = Argus_store.Durable
 module Handlers = Argus_svc.Handlers
 module Id = Argus_core.Id
 
@@ -809,8 +810,13 @@ let payload_str payload k =
   | Some (Json.Str s) -> s
   | _ -> Alcotest.failf "payload misses string %S" k
 
+let memory_store () =
+  match Durable.create () with
+  | Ok (store, _) -> store
+  | Error e -> Alcotest.failf "in-memory durable create failed: %s" e
+
 let test_with_store_lifecycle () =
-  let store = Store.create () in
+  let store = memory_store () in
   let handle = Handlers.with_store store in
   let put = Protocol.request ~id:"p1" ~source Protocol.Put in
   let digest =
@@ -851,20 +857,145 @@ let test_with_store_lifecycle () =
         "verdict has a confidence" true
         (List.mem_assoc "confidence" payload)
   | Error (c, m) -> Alcotest.failf "verdict failed: %s %s" c m);
-  (* Unknown digests and digest-less requests are bad requests. *)
+  (* Unknown digests carry their own code; digest-less requests are
+     malformed input, a bad request. *)
   (match
      (handle (Protocol.request ~id:"v2" ~digest:"feedface" Protocol.Verdict)
         ~budget:None)
        .Protocol.outcome
    with
-  | Error ("svc/bad-request", _) -> ()
-  | _ -> Alcotest.fail "unknown digest must be svc/bad-request");
+  | Error ("svc/unknown-digest", _) -> ()
+  | Error (code, _) ->
+      Alcotest.failf "unknown digest must be svc/unknown-digest, got %s" code
+  | Ok _ -> Alcotest.fail "unknown digest must be an error");
   match
     (handle (Protocol.request ~id:"v3" Protocol.Verdict) ~budget:None)
       .Protocol.outcome
   with
   | Error ("svc/bad-request", _) -> ()
   | _ -> Alcotest.fail "digest-less verdict must be svc/bad-request"
+
+(* Each store refusal keeps its own wire code end-to-end: unknown
+   digest, malformed batch, and the read-only degraded mode are three
+   different client situations (re-put, fix the batch, wait for an
+   operator) and must be distinguishable without parsing prose. *)
+let test_store_wire_errors () =
+  let store = memory_store () in
+  let handle = Handlers.with_store store in
+  let digest =
+    match
+      (handle (Protocol.request ~id:"p" ~source Protocol.Put) ~budget:None)
+        .Protocol.outcome
+    with
+    | Ok (0, payload) -> payload_str payload "digest"
+    | _ -> Alcotest.fail "put failed"
+  in
+  (* patch against a digest nobody ever stored *)
+  (match
+     (handle
+        (Protocol.request ~id:"e1" ~digest:"feedface"
+           ~edits:[ Store.Set_text (Id.of_string "G1", "x") ]
+           Protocol.Patch)
+        ~budget:None)
+       .Protocol.outcome
+   with
+  | Error ("svc/unknown-digest", msg) ->
+      Alcotest.(check bool) "names the digest" true
+        (string_contains msg "feedface")
+  | Error (code, _) -> Alcotest.failf "expected svc/unknown-digest, got %s" code
+  | Ok _ -> Alcotest.fail "patch of unknown digest must fail");
+  (* a batch referencing a node the case does not have *)
+  (match
+     (handle
+        (Protocol.request ~id:"e2" ~digest
+           ~edits:[ Store.Set_text (Id.of_string "G999", "x") ]
+           Protocol.Patch)
+        ~budget:None)
+       .Protocol.outcome
+   with
+  | Error ("svc/bad-request", _) -> ()
+  | Error (code, _) -> Alcotest.failf "expected svc/bad-request, got %s" code
+  | Ok _ -> Alcotest.fail "bad edit batch must fail");
+  Alcotest.(check bool)
+    "store refusals leave the store active" true
+    (Durable.mode store = Durable.Active)
+
+(* An I/O failure on the durable write path trips read-only: the write
+   answers svc/store-read-only with the cause, reads keep working, and
+   the mode is sticky. *)
+let test_store_read_only_wire_error () =
+  let dir =
+    Filename.temp_file "argus-svc-ro" "" |> fun f ->
+    Sys.remove f;
+    f
+  in
+  let store =
+    match Durable.create ~dir ~sync:Argus_store.Wal.Always () with
+    | Ok (store, _) -> store
+    | Error e -> Alcotest.failf "durable create failed: %s" e
+  in
+  let handle = Handlers.with_store store in
+  let digest =
+    match
+      (handle (Protocol.request ~id:"p" ~source Protocol.Put) ~budget:None)
+        .Protocol.outcome
+    with
+    | Ok (0, payload) -> payload_str payload "digest"
+    | _ -> Alcotest.fail "put failed"
+  in
+  (* Inject a WAL failure on the next append (seq 2). *)
+  let spec =
+    match Argus_rt.Fault.parse_spec "store.wal.append@2:1:7" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "bad fault spec: %s" e
+  in
+  Argus_rt.Fault.with_spec spec (fun () ->
+      match
+        (handle
+           (Protocol.request ~id:"w" ~digest
+              ~edits:[ Store.Set_text (Id.of_string "G2", "x") ]
+              Protocol.Patch)
+           ~budget:None)
+          .Protocol.outcome
+      with
+      | Error ("svc/store-read-only", msg) ->
+          Alcotest.(check bool) "carries the cause" true
+            (string_contains msg "store.wal.append")
+      | Error (code, m) ->
+          Alcotest.failf "expected svc/store-read-only, got %s (%s)" code m
+      | Ok _ -> Alcotest.fail "write after disk fault must fail");
+  (* Sticky: the fault is gone but the mode stays, and says so. *)
+  (match
+     (handle
+        (Protocol.request ~id:"w2" ~digest
+           ~edits:[ Store.Set_text (Id.of_string "G2", "y") ]
+           Protocol.Patch)
+        ~budget:None)
+       .Protocol.outcome
+   with
+  | Error ("svc/store-read-only", _) -> ()
+  | _ -> Alcotest.fail "read-only mode must be sticky");
+  (* Reads still answer from the consistent in-memory state. *)
+  (match
+     (handle (Protocol.request ~id:"v" ~digest Protocol.Verdict) ~budget:None)
+       .Protocol.outcome
+   with
+  | Ok (_, payload) ->
+      Alcotest.(check string) "verdict digest" digest
+        (payload_str payload "digest")
+  | Error (c, m) -> Alcotest.failf "read in read-only mode failed: %s %s" c m);
+  (* The stats surface exposes the mode and the cause. *)
+  (match Durable.stats_json store with
+  | Json.Obj fields ->
+      Alcotest.(check bool) "mode is read-only" true
+        (List.assoc_opt "mode" fields = Some (Json.Str "read-only"));
+      (match List.assoc_opt "cause" fields with
+      | Some (Json.Str cause) ->
+          Alcotest.(check bool) "cause names the probe" true
+            (string_contains cause "store.wal.append")
+      | _ -> Alcotest.fail "read-only stats must carry a cause")
+  | _ -> Alcotest.fail "stats_json must be an object");
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
 
 let () =
   Alcotest.run "argus-svc"
@@ -903,6 +1034,10 @@ let () =
             test_stateless_rejects_store_ops;
           Alcotest.test_case "put/patch/verdict lifecycle" `Quick
             test_with_store_lifecycle;
+          Alcotest.test_case "typed wire errors" `Quick
+            test_store_wire_errors;
+          Alcotest.test_case "read-only degraded mode on the wire" `Quick
+            test_store_read_only_wire_error;
         ] );
       ( "supervisor",
         [
