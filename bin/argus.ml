@@ -25,6 +25,9 @@ module Retry = Argus_rt.Retry
 module Protocol = Argus_svc.Protocol
 module Server = Argus_svc.Server
 module Handlers = Argus_svc.Handlers
+module Endpoint = Argus_svc.Endpoint
+module Client = Argus_svc.Client
+module Loadgen = Argus_svc.Loadgen
 module Store = Argus_store.Store
 module Durable = Argus_store.Durable
 module Wal = Argus_store.Wal
@@ -724,14 +727,48 @@ let experiments_cmd =
 
 let socket_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "socket"; "s" ] ~docv:"PATH"
         ~doc:"Unix domain socket path the server listens on.")
 
+let connect_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "connect" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Server endpoint: $(b,HOST:PORT) for TCP or a socket path.  \
+           Repeatable — the client tries endpoints in order and fails \
+           over to the next when one stops answering.")
+
+(* Resolve --socket/--connect into the client's endpoint list: the
+   Unix socket (when given) leads, --connect endpoints follow in
+   order.  At least one is required. *)
+let endpoints_of socket connects =
+  let parsed =
+    List.map
+      (fun s ->
+        match Endpoint.of_string s with
+        | Ok e -> Ok e
+        | Error e -> Error e)
+      connects
+  in
+  match List.find_opt Result.is_error parsed with
+  | Some (Error e) -> Error e
+  | _ ->
+      let eps = List.filter_map Result.to_option parsed in
+      let eps =
+        match socket with
+        | Some p -> Endpoint.Unix_path p :: eps
+        | None -> eps
+      in
+      if eps = [] then Error "no endpoint: give --socket or --connect"
+      else Ok eps
+
 let serve_cmd =
-  let run () socket store data_dir sync sync_interval snapshot_every jobs
-      queue_cap deadline max_deadline max_fuel drain_ms breaker_failures
+  let run () socket listen port_file max_conns idle_timeout read_deadline
+      store data_dir sync sync_interval snapshot_every jobs queue_cap
+      deadline max_deadline max_fuel drain_ms breaker_failures
       breaker_cooldown slow_ms =
     spanned "argus.serve" @@ fun () ->
     let jobs =
@@ -740,8 +777,15 @@ let serve_cmd =
     let env_spec = Budget.spec_of_env () in
     let cfg =
       {
-        (Server.default_config ~socket_path:socket) with
-        Server.jobs;
+        (Server.default_config
+           ~socket_path:(Option.value ~default:"" socket))
+        with
+        Server.listen;
+        port_file;
+        max_conns;
+        idle_timeout_ms = idle_timeout;
+        read_deadline_ms = read_deadline;
+        jobs;
         queue_capacity = queue_cap;
         default_deadline_ms =
           (match deadline with
@@ -755,7 +799,11 @@ let serve_cmd =
         slow_ms;
       }
     in
-    if (not store) && data_dir <> None then begin
+    if socket = None && listen = None then begin
+      Printf.eprintf "argus serve: no listener (give --socket or --listen)\n%!";
+      2
+    end
+    else if (not store) && data_dir <> None then begin
       Printf.eprintf "argus serve: --data-dir needs --store\n%!";
       2
     end
@@ -919,68 +967,79 @@ let serve_cmd =
             "Record requests slower than $(docv) milliseconds (admission \
              to reply) in the flight recorder.")
   in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also (or instead) listen on TCP at $(docv); port 0 asks the \
+             kernel for an ephemeral port (see --port-file).  Accepted \
+             sockets get TCP_NODELAY; slow-loris and half-open clients \
+             are bounded by --read-deadline and --idle-timeout.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound TCP port to $(docv) before serving — how \
+             scripts find a --listen host:0 server.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt (positive_int_conv "--max-conns") 4096
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Simultaneous-connection cap; at the cap new clients wait in \
+             the listen backlog.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt (positive_float_conv "--idle-timeout") 60000.
+      & info [ "idle-timeout" ] ~docv:"MS"
+          ~doc:
+            "Reap connections with no read activity, nothing buffered \
+             and nothing in flight after $(docv) milliseconds.")
+  in
+  let read_deadline =
+    Arg.(
+      value
+      & opt (positive_float_conv "--read-deadline") 10000.
+      & info [ "read-deadline" ] ~docv:"MS"
+          ~doc:
+            "A partial request frame must complete within $(docv) \
+             milliseconds of its first byte; the offender is answered \
+             svc/bad-request and closed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the supervised always-on checking service on a Unix socket")
+         "Run the supervised always-on checking service on a Unix socket \
+          and/or TCP")
     Term.(
-      const run $ obs_t $ socket_arg $ store $ data_dir $ sync
+      const run $ obs_t $ socket_arg $ listen $ port_file $ max_conns
+      $ idle_timeout $ read_deadline $ store $ data_dir $ sync
       $ sync_interval $ snapshot_every $ jobs $ queue_cap $ deadline
       $ max_deadline $ max_fuel $ drain_ms $ breaker_failures
       $ breaker_cooldown $ slow_ms)
 
-(* The server may still be binding its socket (scripts start it in the
-   background and call straight away): retry the connect with
-   deterministic backoff.  Shared by [call] and [top]. *)
-let connect_retrying socket =
-  let c_retried = Argus_obs.Counter.make "svc.retried" in
-  let connect () =
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | () -> fd
-    | exception e ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        raise e
-  in
-  let retryable = function
-    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
-      ->
-        true
-    | _ -> false
-  in
-  let policy =
-    {
-      Retry.default_policy with
-      Retry.max_attempts = 12;
-      base_delay_ms = 25.;
-      max_delay_ms = 400.;
-    }
-  in
-  Retry.run ~policy ~retryable
-    ~on_retry:(fun ~attempt:_ _ -> Argus_obs.Counter.incr c_retried)
-    ~key:socket connect
-
-(* One request line, one response line, over a fresh connection. *)
-let roundtrip socket line =
-  match connect_retrying socket with
-  | Error e ->
-      Error
-        (Printf.sprintf "cannot connect to %s: %s" socket
-           (Printexc.to_string e))
-  | Ok fd -> (
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      output_string oc (line ^ "\n");
-      flush oc;
-      match input_line ic with
-      | exception End_of_file ->
-          close_in_noerr ic;
-          Error "server closed the connection"
-      | resp_line -> (
-          close_in_noerr ic;
-          match Protocol.response_of_line resp_line with
-          | Error e -> Error (Printf.sprintf "bad response: %s" e)
-          | Ok resp -> Ok resp))
+(* One request line, one response, through the resilient client: the
+   server may still be binding (scripts start it in the background and
+   call straight away — the seeded backoff covers that), may be killed
+   mid-request (the retry fails over along the --connect list), or may
+   dribble (per-attempt deadlines carved from the overall budget bound
+   every read).  Shared by [call] and [top]. *)
+let roundtrip ?op eps line =
+  let client = Client.create eps in
+  let result = Client.call ?op client line in
+  Client.close client;
+  match result with
+  | Ok resp -> Ok resp
+  | Error e -> Error (Client.error_message e)
 
 (* The --edit mini-grammar, one edit per occurrence:
    set-text:ID=TEXT | add-node:TYPE:ID=TEXT | remove-node:ID |
@@ -1068,8 +1127,8 @@ let edit_conv =
   Arg.conv (parse, pp)
 
 let call_cmd =
-  let run () socket id op file goal ruleset lints spec raw trace wire_format
-      digest edits =
+  let run () socket connects id op file goal ruleset lints spec raw
+      trace wire_format digest edits =
     spanned "argus.call" @@ fun () ->
     let line =
       match raw with
@@ -1092,7 +1151,11 @@ let call_cmd =
           in
           Json.to_string (Protocol.request_to_json req)
     in
-    match roundtrip socket line with
+    match
+      match endpoints_of socket connects with
+      | Error e -> Error e
+      | Ok eps -> roundtrip ~op eps line
+    with
     | Error msg ->
         Format.eprintf "argus call: %s@." msg;
         2
@@ -1236,9 +1299,9 @@ let call_cmd =
   Cmd.v
     (Cmd.info "call" ~doc:"Send one request to a running argus serve")
     Term.(
-      const run $ obs_json_only_t $ socket_arg $ id $ op $ file $ goal
-      $ ruleset $ lints $ budget_spec_t $ raw $ trace $ wire_format $ digest
-      $ edits)
+      const run $ obs_json_only_t $ socket_arg $ connect_arg $ id $ op
+      $ file $ goal $ ruleset $ lints $ budget_spec_t $ raw $ trace
+      $ wire_format $ digest $ edits)
 
 (* --- top ---
 
@@ -1248,11 +1311,18 @@ let call_cmd =
    latency quantiles, breaker and worker states. *)
 
 let top_cmd =
-  let run () socket interval_ms once =
+  let run () socket connects interval_ms once =
     spanned "argus.top" @@ fun () ->
     let stats_line =
       Json.to_string
         (Protocol.request_to_json (Protocol.request Protocol.Stats))
+    in
+    let eps =
+      match endpoints_of socket connects with
+      | Ok eps -> eps
+      | Error e ->
+          Format.eprintf "argus top: %s@." e;
+          exit 2
     in
     let prev = ref None in
     let render payload =
@@ -1281,7 +1351,8 @@ let top_cmd =
       let ready =
         match member "ready" with Some (Json.Bool b) -> b | _ -> false
       in
-      Format.printf "argus top — %s@." socket;
+      Format.printf "argus top — %s@."
+        (String.concat ", " (List.map Endpoint.to_string eps));
       Format.printf
         "ready %b   queue %d/%d   jobs %d   restarts %d   req/s %s@."
         ready (int_of "queue_depth" 0)
@@ -1374,7 +1445,7 @@ let top_cmd =
       Format.print_flush ()
     in
     let rec loop () =
-      match roundtrip socket stats_line with
+      match roundtrip ~op:Protocol.Stats eps stats_line with
       | Error msg ->
           Format.eprintf "argus top: %s@." msg;
           2
@@ -1410,7 +1481,255 @@ let top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:"Live one-screen telemetry view of a running argus serve")
-    Term.(const run $ obs_json_only_t $ socket_arg $ interval $ once)
+    Term.(
+      const run $ obs_json_only_t $ socket_arg $ connect_arg $ interval
+      $ once)
+
+(* --- bench-serve: the chaos load harness (DESIGN.md §16) --- *)
+
+let bench_rm_rf dir =
+  let rec go path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun e -> go (Filename.concat path e)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  go dir
+
+let bench_serve_cmd =
+  let run () connects duration rate clients chaos seed kill_primary out =
+    spanned "argus.bench-serve" @@ fun () ->
+    let fail msg =
+      Format.eprintf "argus bench-serve: %s@." msg;
+      2
+    in
+    let parse_eps connects =
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest -> (
+            match Endpoint.of_string c with
+            | Ok ep -> go (ep :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] connects
+    in
+    (* Self-host when no --connect endpoints are given: spawn two argus
+       serve children on ephemeral loopback ports — a primary and the
+       failover target — and, under chaos, SIGKILL the primary mid-run
+       so the clients demonstrably fail over. *)
+    let tmpdir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "argus-bench-serve-%d" (Unix.getpid ()))
+    in
+    let spawn_server i =
+      let pf = Filename.concat tmpdir (Printf.sprintf "port%d" i) in
+      (try Sys.remove pf with Sys_error _ -> ());
+      let log =
+        Unix.openfile
+          (Filename.concat tmpdir (Printf.sprintf "server%d.log" i))
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+          0o600
+      in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let pid =
+        Unix.create_process Sys.executable_name
+          [|
+            "argus"; "serve"; "--listen"; "127.0.0.1:0"; "--port-file"; pf;
+            "--read-deadline"; "2000"; "--idle-timeout"; "10000";
+          |]
+          devnull log log
+      in
+      Unix.close devnull;
+      Unix.close log;
+      (pid, pf)
+    in
+    let wait_port pf =
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec go () =
+        let port =
+          match open_in pf with
+          | ic ->
+              let p =
+                try int_of_string_opt (String.trim (input_line ic))
+                with End_of_file -> None
+              in
+              close_in ic;
+              p
+          | exception Sys_error _ -> None
+        in
+        match port with
+        | Some p -> Some p
+        | None ->
+            if Unix.gettimeofday () > deadline then None
+            else begin
+              Unix.sleepf 0.05;
+              go ()
+            end
+      in
+      go ()
+    in
+    let reap pid =
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+    in
+    let eps_or_err, children =
+      if connects <> [] then (parse_eps connects, [])
+      else begin
+        (try Unix.mkdir tmpdir 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let cs = [ spawn_server 0; spawn_server 1 ] in
+        let ports = List.map (fun (_, pf) -> wait_port pf) cs in
+        match ports with
+        | [ Some p0; Some p1 ] ->
+            (Ok [ Endpoint.Tcp ("127.0.0.1", p0); Endpoint.Tcp ("127.0.0.1", p1) ], cs)
+        | _ ->
+            List.iter (fun (pid, _) -> reap pid) cs;
+            (Error "self-hosted servers did not come up within 10 s", cs)
+      end
+    in
+    match eps_or_err with
+    | Error e ->
+        if children <> [] then bench_rm_rf tmpdir;
+        fail e
+    | Ok eps ->
+        let cfg =
+          {
+            (Loadgen.default_config eps) with
+            Loadgen.duration_s = duration;
+            rate;
+            clients;
+            chaos;
+            seed;
+          }
+        in
+        (* The failover demonstration: SIGKILL the primary mid-run.
+           Only meaningful in self-host mode, where the second server
+           keeps answering. *)
+        let assassin =
+          match children with
+          | (pid, _) :: _ :: _ when chaos || kill_primary ->
+              Some
+                (Domain.spawn (fun () ->
+                     Unix.sleepf (duration /. 2.);
+                     try Unix.kill pid Sys.sigkill
+                     with Unix.Unix_error _ -> ()))
+          | _ -> None
+        in
+        let result = Loadgen.run cfg in
+        Option.iter Domain.join assassin;
+        List.iter (fun (pid, _) -> reap pid) children;
+        if children <> [] then bench_rm_rf tmpdir;
+        Format.printf "%a" Loadgen.pp result;
+        (* Publish the bench_serve section into the bench results file,
+           preserving whatever the micro-benchmark harness wrote. *)
+        let path =
+          match out with
+          | Some p -> p
+          | None ->
+              if Sys.file_exists "bench" && Sys.is_directory "bench" then
+                Filename.concat "bench" "results.json"
+              else "results.json"
+        in
+        let existing =
+          match open_in path with
+          | ic ->
+              let len = in_channel_length ic in
+              let s = really_input_string ic len in
+              close_in ic;
+              (match Json.of_string s with
+              | Ok (Json.Obj kvs) -> kvs
+              | _ -> [])
+          | exception Sys_error _ -> []
+        in
+        let merged =
+          List.filter (fun (k, _) -> k <> "bench_serve") existing
+          @ [ ("bench_serve", Loadgen.result_to_json cfg result) ]
+        in
+        let merged =
+          if List.mem_assoc "schema" merged then merged
+          else ("schema", Json.Str "argus-bench/1") :: merged
+        in
+        (match open_out path with
+        | oc ->
+            output_string oc (Json.to_string ~indent:true (Json.Obj merged));
+            output_char oc '\n';
+            close_out oc;
+            Format.printf "wrote %s@." path
+        | exception Sys_error msg ->
+            Format.eprintf "argus bench-serve: could not write %s: %s@." path
+              msg);
+        if result.Loadgen.resolved = result.Loadgen.offered then 0 else 1
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (positive_float_conv "--duration") 10.
+      & info [ "duration" ] ~docv:"S" ~doc:"Run length in seconds.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (positive_float_conv "--rate") 200.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Total offered load in requests per second (open-loop \
+             Poisson arrivals: the schedule does not slow down when the \
+             server does).")
+  in
+  let clients =
+    Arg.(
+      value
+      & opt (positive_int_conv "--clients") 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Retrying client workers; one pipelining worker always runs \
+             besides them.")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Unleash the misbehaving clients (byte-dribbler, mid-frame \
+             disconnector, never-reader, garbage-writer) and, in \
+             self-host mode, SIGKILL the primary server mid-run to \
+             demonstrate failover.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (nonneg_int_conv "--seed") 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Root seed for arrivals and misbehaviour schedules.")
+  in
+  let kill_primary =
+    Arg.(
+      value & flag
+      & info [ "kill-primary" ]
+          ~doc:
+            "SIGKILL the first self-hosted server mid-run even without \
+             --chaos.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Results file to merge the bench_serve section into \
+             (default: bench/results.json when run from the repo root).")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Chaos load harness: open-loop Poisson load, pipelined and \
+          misbehaving clients, failover demonstration")
+    Term.(
+      const run $ obs_json_only_t $ connect_arg $ duration $ rate $ clients
+      $ chaos $ seed $ kill_primary $ out)
 
 (* A consumer that stopped reading (argus check ... | head) must end
    the process quietly, not as a SIGPIPE kill or an "internal error":
@@ -1457,6 +1776,7 @@ let () =
              serve_cmd;
              call_cmd;
              top_cmd;
+             bench_serve_cmd;
            ])
     with
     | e when is_broken_pipe e -> 0

@@ -51,6 +51,7 @@ let error_message = function
 let store t = t.store
 let mode t = t.mode
 let durable t = t.dir <> None
+let seq t = t.seq
 
 let create ?dir ?(sync = Wal.Always) ?(snapshot_every = 1024) ?memo_capacity ()
     : (t * string, string) result =
@@ -151,7 +152,14 @@ let logged t
           | Error e -> Error (Store_error e)
           | Ok (digest, wop, rollback) -> (
               match t.wal with
-              | None -> Ok digest
+              | None ->
+                  (* No WAL, but the sequence cursor still advances:
+                     every acked mutation gets a fresh seq, so clients
+                     can audit retried patches (a duplicate commit
+                     shows as two acks with distinct seqs and the same
+                     digest) in memory-only servers too. *)
+                  t.seq <- t.seq + 1;
+                  Ok digest
               | Some wal -> (
                   let seq = t.seq + 1 in
                   match Wal.append wal { Wal.seq; op = wop; digest } with

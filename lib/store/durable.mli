@@ -46,6 +46,15 @@ val store : t -> Store.t
 val mode : t -> mode
 val durable : t -> bool
 
+val seq : t -> int
+(** The sequence cursor: advances by one on every acked mutation
+    ({!put}, {!patch}) whether or not a WAL is attached — on durable
+    stores it is the last WAL sequence number appended.  Echoed in the
+    server's put/patch acks so a client that retried a write can audit
+    whether it committed once or twice (the digest alone cannot tell:
+    the store is content-addressed, so a replay converges to the same
+    digest). *)
+
 val put :
   ?ruleset:Argus_gsn.Wellformed.ruleset ->
   t ->

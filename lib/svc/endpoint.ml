@@ -1,0 +1,100 @@
+type t = Unix_path of string | Tcp of string * int
+
+let of_string s =
+  if s = "" then Error "empty endpoint"
+  else if String.contains s '/' then Ok (Unix_path s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Ok (Unix_path s)
+    | Some i ->
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        let numeric =
+          port <> "" && String.for_all (fun c -> c >= '0' && c <= '9') port
+        in
+        if host = "" then
+          Error (Printf.sprintf "endpoint %S: empty host" s)
+        else if not numeric then Ok (Unix_path s)
+        else
+          let p = int_of_string port in
+          if p < 0 || p > 65535 then
+            Error (Printf.sprintf "endpoint %S: port out of range" s)
+          else Ok (Tcp (host, p))
+
+let to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let resolve host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+  with
+  | { Unix.ai_addr; _ } :: _ -> Some ai_addr
+  | [] -> (
+      (* No IPv4 answer: take whatever family resolves. *)
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr; _ } :: _ -> Some ai_addr
+      | [] -> None)
+
+(* Non-blocking connect under a deadline: connect returns EINPROGRESS,
+   select on writability, then SO_ERROR tells whether the handshake
+   succeeded.  A plain blocking connect would hang for the kernel
+   default (minutes) against a black-holed address — exactly the
+   hostile case the client must bound. *)
+let connect_deadline fd addr timeout_ms =
+  Unix.set_nonblock fd;
+  let finish () = Unix.clear_nonblock fd in
+  match Unix.connect fd addr with
+  | () ->
+      finish ();
+      Ok ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+    -> (
+      let timeout = if timeout_ms <= 0. then -1. else timeout_ms /. 1000. in
+      match Unix.select [] [ fd ] [] timeout with
+      | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+              finish ();
+              Ok ()
+          | Some err -> Error (Unix.error_message err))
+      | _ -> Error "connect timed out"
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let connect ?(timeout_ms = 5000.) t =
+  let mk dom = Unix.socket ~cloexec:true dom Unix.SOCK_STREAM 0 in
+  let attempt fd addr =
+    match connect_deadline fd addr timeout_ms with
+    | Ok () -> Ok fd
+    | Error e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "connect %s: %s" (to_string t) e)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "connect %s: %s" (to_string t)
+                 (Printexc.to_string e))
+  in
+  match t with
+  | Unix_path p -> attempt (mk Unix.PF_UNIX) (Unix.ADDR_UNIX p)
+  | Tcp (_, 0) ->
+      Error (Printf.sprintf "connect %s: port 0 is listen-only" (to_string t))
+  | Tcp (host, port) -> (
+      match resolve host port with
+      | None ->
+          Error (Printf.sprintf "connect %s: host does not resolve"
+                   (to_string t))
+      | Some addr -> (
+          let dom = Unix.domain_of_sockaddr addr in
+          let fd = mk dom in
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          match attempt fd addr with
+          | Ok fd -> Ok fd
+          | Error e -> Error e))

@@ -1,0 +1,35 @@
+(** Service endpoints: where a server listens and a client connects.
+
+    Two address families.  [Unix_path p] is the original Unix-domain
+    socket; [Tcp (host, port)] is the hostile-network transport.  The
+    textual form accepted by [--connect] and [--listen] is either a
+    filesystem path (anything containing ['/'] or not matching
+    [HOST:PORT]) or [HOST:PORT] with a numeric port — [127.0.0.1:0]
+    asks the kernel for an ephemeral port ([0] is only meaningful for
+    listeners; {!connect} rejects it). *)
+
+type t = Unix_path of string | Tcp of string * int
+
+val of_string : string -> (t, string) result
+(** [HOST:PORT] (numeric port, host non-empty) parses as [Tcp];
+    everything else is a [Unix_path].  An empty string is an error. *)
+
+val to_string : t -> string
+(** Round-trips [of_string]; [Tcp] renders as [HOST:PORT]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val resolve : string -> int -> Unix.sockaddr option
+(** Resolve [host, port] to a stream socket address, preferring IPv4;
+    [None] when the host does not resolve.  Shared by {!connect} and
+    the server's [--listen] binding. *)
+
+val connect : ?timeout_ms:float -> t -> (Unix.file_descr, string) result
+(** Open a blocking-mode connected socket.  TCP sockets get
+    [TCP_NODELAY] (the protocol is request-response single lines —
+    Nagle would serialise every round trip with delayed ACKs).  The
+    connect itself is attempted non-blocking under [timeout_ms]
+    (default 5000; [<= 0.] means no bound), so a black-holed host
+    costs a bounded wait, not a kernel-default 2-minute hang.  On any
+    failure the descriptor is closed and an error message returned;
+    never raises. *)

@@ -203,7 +203,11 @@ let put store (req : Protocol.request) =
       match Durable.put ~ruleset store case.Dsl.structure with
       | Error e -> store_error ~id e
       | Ok digest ->
-          Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest) ])
+          (* The seq echo is the retry audit trail: a client that had
+             to resend sees whether its write committed once or twice
+             (the digest cannot tell — replays converge on it). *)
+          Protocol.ok ~id ~exit_code:0
+            [ ("digest", Json.Str digest); ("seq", Json.int (Durable.seq store)) ])
   | Ok _ ->
       Protocol.error ~id ~code:"svc/bad-request"
         "put stores exactly one unnamed case"
@@ -221,7 +225,9 @@ let patch store (req : Protocol.request) =
   with_digest req (fun digest ->
       match Durable.patch store ~digest req.Protocol.edits with
       | Error e -> store_error ~id e
-      | Ok digest' -> Protocol.ok ~id ~exit_code:0 [ ("digest", Json.Str digest') ])
+      | Ok digest' ->
+          Protocol.ok ~id ~exit_code:0
+            [ ("digest", Json.Str digest'); ("seq", Json.int (Durable.seq store)) ])
 
 let verdict store (req : Protocol.request) =
   let id = req.Protocol.id in

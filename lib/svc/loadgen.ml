@@ -1,0 +1,438 @@
+module Prng = Argus_core.Prng
+module Json = Argus_core.Json
+
+type config = {
+  endpoints : Endpoint.t list;
+  duration_s : float;
+  rate : float;
+  clients : int;
+  chaos : bool;
+  seed : int;
+}
+
+let default_config endpoints =
+  { endpoints; duration_s = 10.; rate = 200.; clients = 4; chaos = false;
+    seed = 42 }
+
+type result = {
+  wall_s : float;
+  offered : int;
+  resolved : int;
+  ok : int;
+  shed : int;
+  taxonomy : (string * int) list;
+  throughput_rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  chaos_conns : int;
+  client_counters : (string * int) list;
+}
+
+let now_s () = Unix.gettimeofday ()
+
+(* --- per-worker accounting, merged after the joins --- *)
+
+type tally = {
+  mutable issued : int;
+  tax : (string, int) Hashtbl.t;
+  mutable lats : float list; (* milliseconds *)
+}
+
+let new_tally () = { issued = 0; tax = Hashtbl.create 8; lats = [] }
+
+let record t bucket lat_ms =
+  Hashtbl.replace t.tax bucket
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.tax bucket));
+  if lat_ms >= 0. then t.lats <- lat_ms :: t.lats
+
+(* --- the request mix --- *)
+
+let valid_source = {|case "lg" { goal G1 "the load holds" { undeveloped } }|}
+let broken_source = {|case "lg" { goal G1 |}
+
+let pick_request rng ~id =
+  match Prng.int rng 20 with
+  | 0 | 1 -> Protocol.request ~id Protocol.Health
+  | 2 | 3 -> Protocol.request ~id Protocol.Stats
+  | 4 | 5 ->
+      (* Parse errors resolve as an ok response with exit 1 — still a
+         full round-trip through the diagnostics path. *)
+      Protocol.request ~id ~source:broken_source ~filename:"lg.arg"
+        Protocol.Check
+  | _ ->
+      Protocol.request ~id ~source:valid_source ~filename:"lg.arg"
+        Protocol.Check
+
+let request_line req = Json.to_string (Protocol.request_to_json req)
+
+let bucket_of_response (resp : Protocol.response) =
+  match resp.Protocol.outcome with
+  | Ok _ -> "ok"
+  | Error (code, _) -> code
+
+(* --- retrying workers: Client-driven, one call at a time --- *)
+
+(* Open-loop schedule: [next] advances by exponential steps from the
+   anchor regardless of how long calls take; a slow stretch leaves a
+   backlog of overdue arrivals that are then issued back-to-back. *)
+let retry_worker ~eps ~rng ~t_end ~rate_per ~wid () =
+  let client = Client.create ~overall_deadline_ms:5_000. eps in
+  let tally = new_tally () in
+  let next = ref (now_s ()) in
+  let n = ref 0 in
+  let rec loop () =
+    next := !next +. Prng.exponential rng ~rate:rate_per;
+    if !next < t_end && now_s () < t_end then begin
+      let now = now_s () in
+      if !next > now then Unix.sleepf (!next -. now);
+      incr n;
+      tally.issued <- tally.issued + 1;
+      let req = pick_request rng ~id:(Printf.sprintf "w%d-%d" wid !n) in
+      let t0 = now_s () in
+      let bucket =
+        match Client.call_request client req with
+        | Ok resp -> bucket_of_response resp
+        | Error e -> Client.error_code e
+        | exception _ -> "closed"
+      in
+      record tally bucket ((now_s () -. t0) *. 1000.);
+      loop ()
+    end
+  in
+  loop ();
+  Client.close client;
+  tally
+
+(* --- the pipelining worker: raw connection, batched frames --- *)
+
+type rawconn = { rfd : Unix.file_descr; rbuf : Buffer.t }
+
+let close_raw rc = try Unix.close rc.rfd with Unix.Unix_error _ -> ()
+
+let raw_connect eps =
+  let n = Array.length eps in
+  let rec walk k =
+    if k >= n then None
+    else
+      match Endpoint.connect ~timeout_ms:1_000. eps.(k) with
+      | Ok fd ->
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25
+           with Unix.Unix_error _ -> ());
+          Some { rfd = fd; rbuf = Buffer.create 4096 }
+      | Error _ -> walk (k + 1)
+  in
+  walk 0
+
+let raw_read_line rc ~deadline_at =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let data = Buffer.contents rc.rbuf in
+    match String.index_opt data '\n' with
+    | Some nl ->
+        let line = String.sub data 0 nl in
+        Buffer.clear rc.rbuf;
+        Buffer.add_substring rc.rbuf data (nl + 1)
+          (String.length data - nl - 1);
+        Ok line
+    | None ->
+        if now_s () >= deadline_at then Error "timeout"
+        else (
+          match Unix.read rc.rfd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "closed"
+          | n ->
+              Buffer.add_subbytes rc.rbuf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              go ()
+          | exception Unix.Unix_error _ -> Error "closed")
+  in
+  go ()
+
+let raw_send_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+(* Pipelining emerges from the open-loop schedule: every arrival that
+   is currently due goes out in one write; the batch's responses are
+   then collected together.  The server sees true multi-frame reads. *)
+let pipeline_worker ~eps ~rng ~t_end ~rate_per ~wid () =
+  let eps = Array.of_list eps in
+  let tally = new_tally () in
+  let next = ref (now_s ()) in
+  let n = ref 0 in
+  let conn = ref None in
+  let rec due acc =
+    (* At least one arrival per batch; then everything already due. *)
+    if !next < t_end && (acc = 0 || !next <= now_s ()) then begin
+      next := !next +. Prng.exponential rng ~rate:rate_per;
+      due (acc + 1)
+    end
+    else acc
+  in
+  let rec loop () =
+    if now_s () >= t_end then ()
+    else
+      let batch = due 0 in
+      if batch = 0 then ()
+      else begin
+        let now = now_s () in
+        (* [next] already points past the batch; wait for the batch's
+           first arrival only if we are ahead of schedule. *)
+        let first_at = !next in
+        if batch = 1 && first_at > now then
+          Unix.sleepf (Float.min (first_at -. now) (t_end -. now));
+        tally.issued <- tally.issued + batch;
+        let lines =
+          String.concat ""
+            (List.init batch (fun _ ->
+                 incr n;
+                 request_line
+                   (pick_request rng ~id:(Printf.sprintf "p%d-%d" wid !n))
+                 ^ "\n"))
+        in
+        let rc =
+          match !conn with
+          | Some rc -> Some rc
+          | None ->
+              conn := raw_connect eps;
+              !conn
+        in
+        (match rc with
+        | None ->
+            for _ = 1 to batch do record tally "connect" (-1.) done;
+            Unix.sleepf 0.05
+        | Some rc ->
+            let t0 = now_s () in
+            if not (raw_send_all rc.rfd lines) then begin
+              for _ = 1 to batch do record tally "closed" (-1.) done;
+              close_raw rc;
+              conn := None
+            end
+            else begin
+              let deadline_at = now_s () +. 5_000. /. 1000. in
+              let rec collect k =
+                if k < batch then
+                  match raw_read_line rc ~deadline_at with
+                  | Ok line ->
+                      let bucket =
+                        match Protocol.response_of_line line with
+                        | Ok resp -> bucket_of_response resp
+                        | Error _ -> "bad-response"
+                      in
+                      record tally bucket ((now_s () -. t0) *. 1000.);
+                      collect (k + 1)
+                  | Error kind ->
+                      (* Everything still outstanding resolves to the
+                         failure bucket; the connection is done for. *)
+                      for _ = k + 1 to batch do
+                        record tally kind (-1.)
+                      done;
+                      close_raw rc;
+                      conn := None
+              in
+              collect 0
+            end);
+        loop ()
+      end
+  in
+  loop ();
+  (match !conn with Some rc -> close_raw rc | None -> ());
+  tally
+
+(* --- the misbehaving-client menagerie --- *)
+
+type misbehaviour = Dribbler | Midframe | Neverread | Garbage
+
+let misbehaviours = [ Dribbler; Midframe; Neverread; Garbage ]
+
+let misbehave kind ~eps ~rng ~t_end () =
+  let eps = Array.of_list eps in
+  let conns = ref 0 in
+  let one = Bytes.create 1 in
+  let line =
+    request_line (pick_request rng ~id:"evil") ^ "\n"
+  in
+  while now_s () < t_end do
+    match raw_connect eps with
+    | None -> Unix.sleepf 0.05
+    | Some rc ->
+        incr conns;
+        (try
+           (match kind with
+           | Dribbler ->
+               (* One byte every 50 ms: a legitimate-looking frame
+                  that will never complete before any sane read
+                  deadline. *)
+               let stop_at = Float.min t_end (now_s () +. 2.) in
+               let i = ref 0 in
+               while now_s () < stop_at && !i < String.length line do
+                 Bytes.set one 0 line.[!i];
+                 ignore (Unix.write rc.rfd one 0 1);
+                 incr i;
+                 Unix.sleepf 0.05
+               done
+           | Midframe ->
+               let cut = 1 + Prng.int rng (String.length line - 1) in
+               ignore
+                 (raw_send_all rc.rfd (String.sub line 0 cut));
+               Unix.sleepf (0.005 +. Prng.float rng *. 0.02)
+           | Neverread ->
+               for _ = 1 to 4 do
+                 ignore (raw_send_all rc.rfd line)
+               done;
+               Unix.sleepf (Float.min 0.5 (Float.max 0. (t_end -. now_s ())))
+           | Garbage ->
+               let b =
+                 String.init 256 (fun _ ->
+                     Char.chr (Prng.int rng 256))
+               in
+               ignore (raw_send_all rc.rfd (b ^ "\n"));
+               Unix.sleepf 0.02)
+         with _ -> ());
+        close_raw rc
+  done;
+  !conns
+
+(* --- quantiles and the merge --- *)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
+let run cfg =
+  if cfg.endpoints = [] then invalid_arg "Loadgen.run: no endpoints";
+  if cfg.rate <= 0. then invalid_arg "Loadgen.run: rate must be positive";
+  if cfg.duration_s <= 0. then
+    invalid_arg "Loadgen.run: duration must be positive";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let root = Prng.create cfg.seed in
+  let t0 = now_s () in
+  let t_end = t0 +. cfg.duration_s in
+  let workers = max 1 cfg.clients in
+  let rate_per = cfg.rate /. float_of_int (workers + 1) in
+  let retriers =
+    List.init workers (fun w ->
+        Domain.spawn
+          (retry_worker ~eps:cfg.endpoints ~rng:(Prng.stream root w) ~t_end
+             ~rate_per ~wid:w))
+  in
+  let pipeliner =
+    Domain.spawn
+      (pipeline_worker ~eps:cfg.endpoints
+         ~rng:(Prng.stream root workers)
+         ~t_end ~rate_per ~wid:workers)
+  in
+  let menagerie =
+    if not cfg.chaos then []
+    else
+      List.mapi
+        (fun i kind ->
+          Domain.spawn
+            (misbehave kind ~eps:cfg.endpoints
+               ~rng:(Prng.stream root (1000 + i))
+               ~t_end))
+        misbehaviours
+  in
+  let tallies = List.map Domain.join retriers @ [ Domain.join pipeliner ] in
+  let chaos_conns =
+    List.fold_left (fun acc d -> acc + Domain.join d) 0 menagerie
+  in
+  let wall_s = now_s () -. t0 in
+  let tax = Hashtbl.create 8 in
+  let offered = List.fold_left (fun acc t -> acc + t.issued) 0 tallies in
+  List.iter
+    (fun t ->
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace tax k
+            (v + Option.value ~default:0 (Hashtbl.find_opt tax k)))
+        t.tax)
+    tallies;
+  let taxonomy =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tax [] |> List.sort compare
+  in
+  let resolved = List.fold_left (fun acc (_, v) -> acc + v) 0 taxonomy in
+  let bucket k = Option.value ~default:0 (Hashtbl.find_opt tax k) in
+  let ok = bucket "ok" in
+  let shed = bucket "svc/overloaded" + bucket "svc/breaker-open" in
+  let lats =
+    Array.of_list (List.concat_map (fun t -> t.lats) tallies)
+  in
+  Array.sort compare lats;
+  {
+    wall_s;
+    offered;
+    resolved;
+    ok;
+    shed;
+    taxonomy;
+    throughput_rps = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
+    p50_ms = quantile lats 0.5;
+    p99_ms = quantile lats 0.99;
+    max_ms = (if Array.length lats = 0 then 0. else lats.(Array.length lats - 1));
+    chaos_conns;
+    client_counters =
+      List.filter
+        (fun (n, _) -> String.length n > 11 && String.sub n 0 11 = "svc.client.")
+        (Argus_obs.Metrics.counters ());
+  }
+
+let result_to_json cfg r =
+  Json.Obj
+    [
+      ( "config",
+        Json.Obj
+          [
+            ( "endpoints",
+              Json.List
+                (List.map
+                   (fun e -> Json.Str (Endpoint.to_string e))
+                   cfg.endpoints) );
+            ("duration_s", Json.Num cfg.duration_s);
+            ("rate", Json.Num cfg.rate);
+            ("clients", Json.int cfg.clients);
+            ("chaos", Json.Bool cfg.chaos);
+            ("seed", Json.int cfg.seed);
+          ] );
+      ("wall_s", Json.Num r.wall_s);
+      ("offered", Json.int r.offered);
+      ("resolved", Json.int r.resolved);
+      ("ok", Json.int r.ok);
+      ("shed", Json.int r.shed);
+      ("throughput_rps", Json.Num r.throughput_rps);
+      ("p50_ms", Json.Num r.p50_ms);
+      ("p99_ms", Json.Num r.p99_ms);
+      ("max_ms", Json.Num r.max_ms);
+      ("chaos_conns", Json.int r.chaos_conns);
+      ( "taxonomy",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) r.taxonomy) );
+      ( "client_counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.int v)) r.client_counters) );
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf
+    "offered %d, resolved %d (%s), ok %d, shed %d@.%.1f req/s ok; latency \
+     p50 %.2f ms, p99 %.2f ms, max %.2f ms@.chaos connections: %d@.taxonomy: %s@."
+    r.offered r.resolved
+    (if r.resolved = r.offered then "no request left behind"
+     else "MISSING RESOLUTIONS")
+    r.ok r.shed r.throughput_rps r.p50_ms r.p99_ms r.max_ms r.chaos_conns
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.taxonomy))

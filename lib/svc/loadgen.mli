@@ -1,0 +1,72 @@
+(** The chaos load harness behind [argus bench-serve].
+
+    Open-loop load: arrivals are drawn from a Poisson process anchored
+    at the start of the run (exponential inter-arrival times via the
+    seeded {!Argus_core.Prng}), so the offered rate does not adapt to
+    server slowness — a worker that falls behind its schedule issues
+    the overdue requests back-to-back instead of silently thinning the
+    load, which is what distinguishes an open-loop harness from a
+    closed-loop one that can never overload anything.
+
+    Two kinds of well-behaved traffic:
+    - {e retrying workers} drive {!Client} (pooling, seeded-backoff
+      retries, failover across the endpoint list) one call at a time;
+    - one {e pipelining worker} writes every currently-due request in
+      a single batch on a raw connection and then collects the batch's
+      responses — exercising the server's multiple-frames-per-read
+      path — reconnecting (with endpoint failover) when the
+      connection dies and accounting every outstanding request to the
+      taxonomy rather than forgetting it.
+
+    With [chaos] set, a menagerie of misbehaving clients runs
+    alongside: a byte-dribbler (feeds a frame one byte at a time, far
+    slower than the server's read deadline), a mid-frame disconnector,
+    a never-reader (sends requests, never reads responses) and a
+    garbage-writer — all seeded from the same root, so the abuse
+    schedule is reproducible.
+
+    Every issued request is resolved into exactly one taxonomy bucket:
+    ["ok"], a server error code (["svc/overloaded"], ...) or a client
+    failure code (["connect"], ["timeout"], ["closed"],
+    ["bad-response"]).  [resolved = offered] is the harness's no-hang
+    invariant; {!run} never blocks past [duration_s] plus the drain
+    grace. *)
+
+type config = {
+  endpoints : Endpoint.t list;  (** Failover order. *)
+  duration_s : float;
+  rate : float;  (** Total offered load, requests per second. *)
+  clients : int;  (** Retrying workers (the pipeliner is extra). *)
+  chaos : bool;  (** Spawn the misbehaving-client menagerie. *)
+  seed : int;
+}
+
+val default_config : Endpoint.t list -> config
+(** 10 s, 200 req/s, 4 retrying workers + the pipeliner, no chaos,
+    seed 42. *)
+
+type result = {
+  wall_s : float;
+  offered : int;  (** Requests actually issued. *)
+  resolved : int;  (** Requests accounted to a taxonomy bucket. *)
+  ok : int;
+  shed : int;  (** [svc/overloaded] + [svc/breaker-open]. *)
+  taxonomy : (string * int) list;  (** Bucket -> count, sorted. *)
+  throughput_rps : float;  (** [ok / wall_s]. *)
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  chaos_conns : int;  (** Connections the misbehavers opened. *)
+  client_counters : (string * int) list;
+      (** The [svc.client.*] counters after the run — retries,
+          failover, stale pool hits. *)
+}
+
+val run : config -> result
+(** Blocks for roughly [duration_s].  Raises [Invalid_argument] on an
+    empty endpoint list, a non-positive rate or duration. *)
+
+val result_to_json : config -> result -> Argus_core.Json.t
+(** The [bench_serve] section published into bench/results.json. *)
+
+val pp : Format.formatter -> result -> unit

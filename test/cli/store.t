@@ -34,7 +34,8 @@ stable across runs):
     "trace_id": "t1",
     "status": "ok",
     "exit": 0,
-    "digest": "1c198abab2986f691fcc80cc493e0a48"
+    "digest": "1c198abab2986f691fcc80cc493e0a48",
+    "seq": 1
   }
   $ D=$(argus call --socket "$S" put case.arg | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
 

@@ -1,0 +1,100 @@
+Hostile-network serving (DESIGN.md section 16): a TCP listener on an
+ephemeral port discovered through --port-file, every op round-tripped
+over --connect, and a SIGKILL'd primary survived by failing over to a
+second endpoint.
+
+A well-formed case file:
+
+  $ printf 'case "t" {\n  evidence E1 analysis "a"\n  goal G1 "t holds" { supported-by Sn1 }\n  solution Sn1 "s" { evidence E1 }\n}\n' > ok.arg
+
+Start a store-backed server on an ephemeral port.  The port file is
+written before the listener is advertised, so polling it is enough:
+
+  $ argus serve --listen 127.0.0.1:0 --port-file port --store --jobs 1 2>/dev/null &
+  $ SERVE_PID=$!
+  $ for i in $(seq 100); do [ -s port ] && break; sleep 0.1; done
+  $ PORT=$(cat port)
+
+check round-trips over TCP exactly as over the Unix socket:
+
+  $ argus call --connect 127.0.0.1:$PORT --id r1 check ok.arg
+  {
+    "id": "r1",
+    "trace_id": "t1",
+    "status": "ok",
+    "exit": 0,
+    "report": {
+      "diagnostics": [],
+      "errors": 0,
+      "warnings": 0,
+      "infos": 0
+    }
+  }
+
+prove, fallacies and probe:
+
+  $ argus call --connect 127.0.0.1:$PORT --id r2 prove desert_bank.pl --goal 'adjacent(desert_bank, river)' | grep '"derivable"'
+    "derivable": true,
+
+  $ argus call --connect 127.0.0.1:$PORT --id r3 fallacies ok.arg > /dev/null
+
+  $ argus call --connect 127.0.0.1:$PORT --id r4 probe haley.nd | grep -c '"load_bearing": true'
+  3
+
+health and stats:
+
+  $ argus call --connect 127.0.0.1:$PORT health | grep '"ready"'
+    "ready": true,
+
+  $ argus call --connect 127.0.0.1:$PORT stats | grep -c '"queue_depth"'
+  1
+
+The store ops.  put answers the case's content address and the store's
+sequence cursor (never pinned here: under retries the cursor may
+legitimately advance past the obvious count):
+
+  $ argus call --connect 127.0.0.1:$PORT put ok.arg > put.json
+  $ grep -c '"digest"' put.json
+  1
+  $ grep -c '"seq"' put.json
+  1
+  $ D=$(sed -n 's/.*"digest": "\([^"]*\)".*/\1/p' put.json)
+
+patch moves the digest; the ack echoes the new one plus the cursor:
+
+  $ argus call --connect 127.0.0.1:$PORT patch --digest "$D" --edit 'set-text:G1=t still holds' > patch.json
+  $ grep -c '"digest"\|"seq"' patch.json
+  2
+  $ D2=$(sed -n 's/.*"digest": "\([^"]*\)".*/\1/p' patch.json)
+  $ [ "$D" != "$D2" ] && echo moved
+  moved
+
+verdict answers the stored case's report and confidence:
+
+  $ argus call --connect 127.0.0.1:$PORT verdict --digest "$D2" | grep -c '"confidence"'
+  1
+
+Failover.  A second server, then SIGKILL the primary — no drain, no
+goodbye, the TCP peer just vanishes.  The client walks the --connect
+list and completes on the survivor within its deadline:
+
+  $ argus serve --listen 127.0.0.1:0 --port-file port2 --jobs 1 2>/dev/null &
+  $ PID2=$!
+  $ for i in $(seq 100); do [ -s port2 ] && break; sleep 0.1; done
+  $ PORT2=$(cat port2)
+
+  $ kill -9 $SERVE_PID
+
+  $ argus call --connect 127.0.0.1:$PORT --connect 127.0.0.1:$PORT2 --id f1 check ok.arg | grep '"exit"'
+    "exit": 0,
+
+The survivor drains cleanly:
+
+  $ kill -TERM $PID2
+  $ wait $PID2
+
+A connect against the dead primary alone stays bounded — a typed
+client error, not a hang:
+
+  $ argus call --connect 127.0.0.1:$PORT --id f2 health 2>&1 | head -1 | sed "s/$PORT/PORT/"
+  argus call: cannot connect: connect 127.0.0.1:PORT: Connection refused
